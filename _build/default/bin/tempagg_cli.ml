@@ -1,0 +1,311 @@
+(* tempagg — command-line front end.
+
+   Subcommands:
+     query     run a TSQL2-subset query over CSV relations
+     explain   show the evaluation plan without running the query
+     generate  write a synthetic relation (paper Section 6 methodology)
+     metrics   report k-orderedness / k-ordered-percentage of a relation
+     sort      time-sort a relation CSV
+
+   Relations are CSV files with a [name:type,...,start,stop] header (see
+   Relation.Csv_io); `generate` produces them. *)
+
+open Cmdliner
+
+(* CSV or heap file, by extension. *)
+let load_relation path =
+  if Filename.check_suffix path ".heap" then
+    match Storage.Heap_file.read_relation ~stats:(Storage.Io_stats.create ()) path with
+    | rel -> Ok rel
+    | exception Invalid_argument msg -> Error (Printf.sprintf "%s: %s" path msg)
+  else
+    match Relation.Csv_io.load path with
+    | Ok rel -> Ok rel
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+
+let save_relation path rel =
+  if Filename.check_suffix path ".heap" then
+    Storage.Heap_file.write_relation ~stats:(Storage.Io_stats.create ()) path rel
+  else Relation.Csv_io.save path rel
+
+(* Relations are passed as NAME=PATH; a bare PATH is bound to its
+   basename without extension. *)
+let parse_binding spec =
+  match String.index_opt spec '=' with
+  | Some i ->
+      ( String.sub spec 0 i,
+        String.sub spec (i + 1) (String.length spec - i - 1) )
+  | None -> (Filename.remove_extension (Filename.basename spec), spec)
+
+let build_catalog bindings =
+  List.fold_left
+    (fun acc spec ->
+      Result.bind acc (fun catalog ->
+          let name, path = parse_binding spec in
+          Result.map
+            (fun rel -> Tsql.Catalog.add catalog name rel)
+            (load_relation path)))
+    (Ok (Tsql.Catalog.with_builtins ()))
+    bindings
+
+let relations_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "r"; "relation" ] ~docv:"NAME=PATH"
+        ~doc:
+          "Bind a CSV relation for use in queries (repeatable).  A bare \
+           PATH binds the file's basename.  The paper's $(i,Employed) \
+           relation is always available.")
+
+let query_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"QUERY"
+        ~doc:"TSQL2-subset query, e.g. 'SELECT COUNT(Name) FROM Employed'.")
+
+let exec kind bindings q =
+  match
+    Result.bind (build_catalog bindings) (fun catalog ->
+        match kind with
+        | `Run -> Result.map (fun r -> `Rel r) (Tsql.Eval.query catalog q)
+        | `Explain -> Result.map (fun s -> `Text s) (Tsql.Eval.explain catalog q))
+  with
+  | Ok (`Rel result) ->
+      Tsql.Pretty.print_result result;
+      `Ok ()
+  | Ok (`Text text) ->
+      print_endline text;
+      `Ok ()
+  | Error msg -> `Error (false, msg)
+
+let query_cmd =
+  let doc = "run a temporal aggregate query" in
+  Cmd.v
+    (Cmd.info "query" ~doc)
+    Term.(ret (const (exec `Run) $ relations_arg $ query_arg))
+
+let explain_cmd =
+  let doc = "show the evaluation plan for a query" in
+  Cmd.v
+    (Cmd.info "explain" ~doc)
+    Term.(ret (const (exec `Explain) $ relations_arg $ query_arg))
+
+(* generate *)
+
+let generate n long_lived lifespan seed order k percentage output =
+  let spec_result =
+    match
+      Workload.Spec.make ~long_lived_fraction:long_lived ~lifespan ~seed ~n ()
+    with
+    | spec -> Ok spec
+    | exception Invalid_argument msg -> Error msg
+  in
+  match
+    Result.bind spec_result (fun spec ->
+        let rel = Workload.Generate.relation spec in
+        match order with
+        | `Random -> Ok rel
+        | `Sorted -> Ok (Relation.Trel.sort_by_time rel)
+        | `Kordered -> (
+            let tuples =
+              Array.of_list
+                (Relation.Trel.tuples (Relation.Trel.sort_by_time rel))
+            in
+            let prng = Workload.Prng.create ~seed:(seed + 1) in
+            match
+              Ordering.Perturb.k_ordered
+                ~rand:(Workload.Prng.int_bounded prng)
+                ~k ~percentage tuples
+            with
+            | perturbed ->
+                Ok
+                  (Relation.Trel.of_array
+                     (Relation.Trel.schema rel)
+                     perturbed)
+            | exception Invalid_argument msg -> Error msg))
+  with
+  | Error msg -> `Error (false, msg)
+  | Ok rel ->
+      (match output with
+      | Some path ->
+          save_relation path rel;
+          Printf.printf "wrote %d tuples to %s\n" (Relation.Trel.cardinality rel)
+            path
+      | None -> print_string (Relation.Csv_io.to_string rel));
+      `Ok ()
+
+let order_enum =
+  Arg.enum [ ("random", `Random); ("sorted", `Sorted); ("k-ordered", `Kordered) ]
+
+let generate_cmd =
+  let doc = "generate a synthetic temporal relation (Section 6 workload)" in
+  let n =
+    Arg.(value & opt int 1024 & info [ "n"; "tuples" ] ~docv:"N" ~doc:"Tuple count.")
+  in
+  let long =
+    Arg.(
+      value & opt float 0.
+      & info [ "long-lived" ] ~docv:"FRACTION"
+          ~doc:"Fraction of long-lived tuples (paper: 0, 0.4, 0.8).")
+  in
+  let lifespan =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "lifespan" ] ~docv:"INSTANTS" ~doc:"Relation lifespan.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let order =
+    Arg.(
+      value & opt order_enum `Random
+      & info [ "order" ] ~docv:"ORDER"
+          ~doc:"Physical order: $(b,random), $(b,sorted) or $(b,k-ordered).")
+  in
+  let k =
+    Arg.(value & opt int 4 & info [ "k" ] ~docv:"K" ~doc:"k for k-ordered output.")
+  in
+  let percentage =
+    Arg.(
+      value & opt float 0.02
+      & info [ "percentage" ] ~docv:"P"
+          ~doc:"k-ordered-percentage for k-ordered output.")
+  in
+  let output =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Output file (default stdout).")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc)
+    Term.(
+      ret
+        (const generate $ n $ long $ lifespan $ seed $ order $ k $ percentage
+       $ output))
+
+(* metrics *)
+
+let metrics path ks =
+  match load_relation path with
+  | Error msg -> `Error (false, msg)
+  | Ok rel ->
+      let k = Ordering.Korder.k_of_relation rel in
+      Printf.printf "tuples:            %d\n" (Relation.Trel.cardinality rel);
+      Printf.printf "time-ordered:      %b\n" (Relation.Trel.is_time_ordered rel);
+      Printf.printf "k-orderedness:     %d\n" k;
+      List.iter
+        (fun probe_k ->
+          if probe_k >= k && probe_k > 0 then
+            Printf.printf "percentage (k=%d): %.5f\n" probe_k
+              (Ordering.Korder.relation_percentage ~k:probe_k rel))
+        (if ks = [] then [ max k 1 ] else ks);
+      `Ok ()
+
+let metrics_cmd =
+  let doc = "report sortedness metrics of a relation (Section 5.2)" in
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH" ~doc:"CSV relation.")
+  in
+  let ks =
+    Arg.(
+      value & opt_all int []
+      & info [ "k" ] ~docv:"K" ~doc:"Report the k-ordered-percentage for this k (repeatable).")
+  in
+  Cmd.v (Cmd.info "metrics" ~doc) Term.(ret (const metrics $ path $ ks))
+
+(* sort *)
+
+let sort_relation input output =
+  match load_relation input with
+  | Error msg -> `Error (false, msg)
+  | Ok rel ->
+      let sorted = Relation.Trel.sort_by_time rel in
+      (match output with
+      | Some path -> Relation.Csv_io.save path sorted
+      | None -> print_string (Relation.Csv_io.to_string sorted));
+      `Ok ()
+
+(* convert *)
+
+let convert input output =
+  match load_relation input with
+  | Error msg -> `Error (false, msg)
+  | Ok rel ->
+      save_relation output rel;
+      Printf.printf "wrote %d tuples to %s\n"
+        (Relation.Trel.cardinality rel)
+        output;
+      `Ok ()
+
+let convert_cmd =
+  let doc = "convert a relation between CSV and heap-file formats" in
+  let input =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"INPUT" ~doc:"Source relation (.csv or .heap).")
+  in
+  let output =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"OUTPUT" ~doc:"Destination (.csv or .heap).")
+  in
+  Cmd.v (Cmd.info "convert" ~doc) Term.(ret (const convert $ input $ output))
+
+(* extsort *)
+
+let extsort memory_tuples fan_in src dst =
+  if not (Filename.check_suffix src ".heap" && Filename.check_suffix dst ".heap")
+  then `Error (false, "extsort operates on .heap files (see convert)")
+  else
+    let stats = Storage.Io_stats.create () in
+    match
+      Storage.External_sort.sort ~memory_tuples ~fan_in ~stats ~src ~dst ()
+    with
+    | () ->
+        Printf.printf "sorted %s -> %s (%d pages read, %d written)\n" src dst
+          (Storage.Io_stats.pages_read stats)
+          (Storage.Io_stats.pages_written stats);
+        `Ok ()
+    | exception Invalid_argument msg -> `Error (false, msg)
+
+let extsort_cmd =
+  let doc =
+    "external-merge-sort a heap file by valid time (run formation + k-way \
+     merge)"
+  in
+  let memory =
+    Arg.(
+      value & opt int 4096
+      & info [ "memory-tuples" ] ~docv:"N" ~doc:"In-memory run size.")
+  in
+  let fan_in =
+    Arg.(value & opt int 16 & info [ "fan-in" ] ~docv:"K" ~doc:"Merge fan-in.")
+  in
+  let src =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SRC" ~doc:"Input heap file.")
+  in
+  let dst =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"DST" ~doc:"Output heap file.")
+  in
+  Cmd.v (Cmd.info "extsort" ~doc)
+    Term.(ret (const extsort $ memory $ fan_in $ src $ dst))
+
+let sort_cmd =
+  let doc = "sort a relation by valid time (start, then stop)" in
+  let input =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH" ~doc:"CSV relation.")
+  in
+  let output =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Output file (default stdout).")
+  in
+  Cmd.v (Cmd.info "sort" ~doc) Term.(ret (const sort_relation $ input $ output))
+
+let main =
+  let doc = "temporal aggregate computation (Kline & Snodgrass, ICDE 1995)" in
+  Cmd.group
+    (Cmd.info "tempagg" ~version:"1.0.0" ~doc)
+    [ query_cmd; explain_cmd; generate_cmd; metrics_cmd; sort_cmd;
+      convert_cmd; extsort_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/employed.ml: Array Fixtures Interval List Printf Relation Seq String Tempagg Temporal Timeline Trel Tsql Tuple Value

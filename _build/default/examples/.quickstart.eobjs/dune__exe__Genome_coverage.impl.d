@@ -1,0 +1,1 @@
+examples/genome_coverage.ml: Chronon Granule Interval Interval_set List Printf Stdlib String Tempagg Temporal Timeline Workload

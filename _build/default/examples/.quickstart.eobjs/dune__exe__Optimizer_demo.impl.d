@@ -1,0 +1,1 @@
+examples/optimizer_demo.ml: Array Format Printf Sys Tempagg Temporal Workload

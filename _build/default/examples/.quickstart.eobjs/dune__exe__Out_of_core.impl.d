@@ -1,0 +1,1 @@
+examples/out_of_core.ml: Array External_sort Filename Fun Heap_file Int Io_stats Printf Relation Seq Storage Sys Tempagg Temporal Timeline Workload

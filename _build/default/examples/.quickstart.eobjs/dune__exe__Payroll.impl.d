@@ -1,0 +1,1 @@
+examples/payroll.ml: Array List Printf Relation Schema Temporal Trel Tsql Tuple Value Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Interval List Printf Relation Tempagg Temporal Timeline Tsql

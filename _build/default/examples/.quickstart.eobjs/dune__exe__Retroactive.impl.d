@@ -1,0 +1,1 @@
+examples/retroactive.ml: Array Int Interval Printf Tempagg Temporal Timeline Workload

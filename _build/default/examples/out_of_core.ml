@@ -1,0 +1,124 @@
+(* Aggregating a relation that must live on disk.
+
+     dune exec examples/out_of_core.exe
+
+   A telemetry archive of 40,000 sessions is stored in a heap file
+   (8 KB pages of 128-byte slots — the paper's tuple format).  We want
+   the concurrent-session count at every instant, but only have a small
+   memory budget for the algorithm's state.  Section 6.3's trade-off,
+   measured:
+
+   1. the paper's recommendation — external-sort the file, then stream
+      it through the k-ordered aggregation tree with k = 1 (more disk
+      I/O, almost no memory);
+   2. the future-work alternative — one scan into the paged aggregation
+      tree, which spills cold subtrees and stays within its node budget
+      (one read pass plus spill traffic);
+   3. the baseline — one scan into the unbounded aggregation tree
+      (minimal I/O, maximal memory). *)
+
+open Temporal
+open Storage
+
+let n = 40_000
+
+let in_dir f =
+  let dir = Filename.temp_file "tempagg_ooc" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun name -> Sys.remove (Filename.concat dir name))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let count_of_scan reader =
+  Seq.map (fun t -> (Relation.Tuple.valid t, ())) (Heap_file.scan reader)
+
+let () =
+  in_dir @@ fun dir ->
+  let archive = Filename.concat dir "sessions.heap" in
+  let sorted_path = Filename.concat dir "sessions.sorted.heap" in
+
+  (* Build the archive. *)
+  let io = Io_stats.create () in
+  let spec = Workload.Spec.make ~n ~long_lived_fraction:0.2 ~seed:77 () in
+  Heap_file.write_relation ~stats:io archive (Workload.Generate.relation spec);
+  Printf.printf "archive: %d sessions, %d data pages of %d bytes\n\n" n
+    (Io_stats.pages_written io - 1)
+    Heap_file.default_page_size;
+
+  let report name timeline ~io ~peak_bytes ~seconds =
+    Printf.printf
+      "%-28s %8.3fs   %6d pages read  %6d written   %9d state bytes   (%d \
+       constant intervals)\n"
+      name seconds (Io_stats.pages_read io) (Io_stats.pages_written io)
+      peak_bytes (Timeline.length timeline)
+  in
+
+  (* 1. Sort externally, stream through ktree(1). *)
+  let io1 = Io_stats.create () in
+  let t0 = Sys.time () in
+  External_sort.sort ~memory_tuples:4096 ~stats:io1 ~src:archive
+    ~dst:sorted_path ();
+  let reader = Heap_file.open_reader ~stats:io1 sorted_path in
+  let inst1 = Tempagg.Instrument.create () in
+  let tl1 =
+    Tempagg.Korder_tree.eval ~instrument:inst1 ~k:1 Tempagg.Monoid.count
+      (count_of_scan reader)
+  in
+  Heap_file.close_reader reader;
+  report "sort + ktree(1)" tl1 ~io:io1
+    ~peak_bytes:(Tempagg.Instrument.peak_bytes inst1)
+    ~seconds:(Sys.time () -. t0);
+
+  (* 2. One scan into the paged aggregation tree. *)
+  let io2 = Io_stats.create () in
+  let t0 = Sys.time () in
+  let reader = Heap_file.open_reader ~stats:io2 archive in
+  let inst2 = Tempagg.Instrument.create () in
+  let t =
+    Tempagg.Paged_tree.create ~instrument:inst2 ~spill_dir:dir
+      ~budget_nodes:4096 Tempagg.Monoid.count
+  in
+  Seq.iter (fun (iv, ()) -> Tempagg.Paged_tree.insert t iv ()) (count_of_scan reader);
+  Heap_file.close_reader reader;
+  let spilled = ref 0 in
+  let tl2 =
+    let result = Tempagg.Paged_tree.result t in
+    spilled := Tempagg.Paged_tree.spilled_bytes t;
+    result
+  in
+  Printf.printf
+    "%-28s %8.3fs   %6d pages read  %6d spill-page equivalents   %9d state \
+     bytes   (%d constant intervals)\n"
+    "paged tree (4096 nodes)"
+    (Sys.time () -. t0)
+    (Io_stats.pages_read io2)
+    (!spilled / Heap_file.default_page_size)
+    (Tempagg.Instrument.peak_bytes inst2)
+    (Timeline.length tl2);
+
+  (* 3. Unbounded aggregation tree. *)
+  let io3 = Io_stats.create () in
+  let t0 = Sys.time () in
+  let reader = Heap_file.open_reader ~stats:io3 archive in
+  let inst3 = Tempagg.Instrument.create () in
+  let tl3 =
+    Tempagg.Agg_tree.eval ~instrument:inst3 Tempagg.Monoid.count
+      (count_of_scan reader)
+  in
+  Heap_file.close_reader reader;
+  report "unbounded tree (baseline)" tl3 ~io:io3
+    ~peak_bytes:(Tempagg.Instrument.peak_bytes inst3)
+    ~seconds:(Sys.time () -. t0);
+
+  assert (Timeline.equal Int.equal tl1 tl2);
+  assert (Timeline.equal Int.equal tl1 tl3);
+  print_endline "\nall three strategies computed the identical timeline";
+  print_endline
+    "trade-off (Section 6.3): the sort pays extra disk passes for minimal \
+     memory; the paged tree\npays spill traffic to respect a budget; the \
+     plain tree pays memory for a single pass."

@@ -1,0 +1,73 @@
+(* Payroll analytics: the paper's motivating workload at a realistic size.
+
+     dune exec examples/payroll.exe
+
+   Builds a company's employment history (600 stints across 4
+   departments over ~10 "years" of 365-instant spans), then answers
+   time-varying questions with the TSQL2 subset:
+
+   - head count over time (grouped by instant),
+   - average salary per department over time,
+   - yearly head count (GROUP BY SPAN 365 — far fewer buckets),
+   - peak-era staffing via WHERE.  *)
+
+open Relation
+
+let schema =
+  Schema.of_pairs
+    [ ("name", Value.Tstring); ("dept", Value.Tstring);
+      ("salary", Value.Tint) ]
+
+let departments = [| "engineering"; "sales"; "support"; "research" |]
+
+let build_history () =
+  let prng = Workload.Prng.create ~seed:2024 in
+  let year = 365 in
+  let horizon = 10 * year in
+  let stint i =
+    let dept = departments.(Workload.Prng.int_bounded prng 4) in
+    let start = Workload.Prng.int_bounded prng (horizon - 30) in
+    let duration = Workload.Prng.int_in prng ~lo:30 ~hi:(3 * year) in
+    let stop = min (horizon - 1) (start + duration - 1) in
+    Tuple.make
+      [|
+        Value.Str (Printf.sprintf "emp%03d" i);
+        Value.Str dept;
+        Value.Int (Workload.Prng.int_in prng ~lo:30_000 ~hi:90_000);
+      |]
+      (Temporal.Interval.of_ints start stop)
+  in
+  Trel.create schema (List.init 600 stint)
+
+let show catalog query =
+  Printf.printf "\n%s\n" query;
+  match Tsql.Eval.explain catalog query with
+  | Error msg -> prerr_endline msg
+  | Ok plan -> (
+      Printf.printf "-- %s\n" plan;
+      match Tsql.Eval.query catalog query with
+      | Error msg -> prerr_endline msg
+      | Ok result ->
+          let rows = Trel.cardinality result in
+          if rows <= 12 then Tsql.Pretty.print_result result
+          else begin
+            (* Large results: show the first rows and the total. *)
+            let preview =
+              Trel.create (Trel.schema result)
+                (List.filteri (fun i _ -> i < 8) (Trel.tuples result))
+            in
+            Tsql.Pretty.print_result preview;
+            Printf.printf "... %d rows total\n" rows
+          end)
+
+let () =
+  let history = build_history () in
+  let catalog = Tsql.Catalog.add Tsql.Catalog.empty "Payroll" history in
+  Printf.printf "Payroll history: %d employment stints over 10 years\n"
+    (Trel.cardinality history);
+  show catalog "SELECT COUNT(*) FROM Payroll";
+  show catalog "SELECT dept, AVG(salary) FROM Payroll GROUP BY dept";
+  show catalog "SELECT COUNT(*) FROM Payroll GROUP BY SPAN 365";
+  show catalog
+    "SELECT dept, COUNT(*), MAX(salary) FROM Payroll \
+     WHERE salary >= 60000 GROUP BY dept, SPAN 365 USING balanced_tree"

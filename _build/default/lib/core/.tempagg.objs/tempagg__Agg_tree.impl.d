@@ -1,0 +1,1 @@
+lib/core/agg_tree.ml: Chronon Instrument Interval List Monoid Printf Seg_node Seq Temporal Timeline

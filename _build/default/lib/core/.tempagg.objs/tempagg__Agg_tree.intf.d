@@ -1,0 +1,1 @@
+lib/core/agg_tree.mli: Chronon Instrument Interval Monoid Seq Temporal Timeline

@@ -1,0 +1,1 @@
+lib/core/balanced_tree.ml: Chronon Instrument Interval List Monoid Printf Seq Stdlib Temporal Timeline

@@ -1,0 +1,1 @@
+lib/core/distinct.ml: Engine Interval_set List Map Seq Temporal

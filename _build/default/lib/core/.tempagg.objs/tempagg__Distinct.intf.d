@@ -1,0 +1,1 @@
+lib/core/distinct.mli: Chronon Engine Interval Monoid Seq Temporal Timeline

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Agg_tree Balanced_tree Instrument Korder_tree Linked_list Printf String Two_scan

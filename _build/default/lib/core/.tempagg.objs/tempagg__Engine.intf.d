@@ -1,0 +1,1 @@
+lib/core/engine.mli: Chronon Instrument Interval Monoid Seq Temporal Timeline

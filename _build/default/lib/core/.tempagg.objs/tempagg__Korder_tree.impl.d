@@ -1,0 +1,1 @@
+lib/core/korder_tree.ml: Chronon Instrument Interval List Monoid Printf Queue Seg_node Seq Temporal Timeline

@@ -1,0 +1,1 @@
+lib/core/linked_list.ml: Chronon Instrument Interval List Monoid Printf Seq Sys Temporal Timeline

@@ -1,0 +1,1 @@
+lib/core/linked_list.mli: Chronon Instrument Interval Monoid Seq Temporal Timeline

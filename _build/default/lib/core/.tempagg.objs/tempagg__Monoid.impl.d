@@ -1,0 +1,1 @@
+lib/core/monoid.ml: Float Fun Int Option Printf String

@@ -1,0 +1,1 @@
+lib/core/paged_tree.ml: Array Bytes Chronon Filename Fun Instrument Int64 Interval List Marshal Monoid Printf Seq Stdlib String Sys Temporal Timeline

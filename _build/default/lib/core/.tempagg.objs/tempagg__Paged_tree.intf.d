@@ -1,0 +1,1 @@
+lib/core/paged_tree.mli: Chronon Instrument Interval Monoid Seq Temporal Timeline

@@ -1,0 +1,1 @@
+lib/core/reference.ml: Chronon Interval List Monoid Temporal Timeline

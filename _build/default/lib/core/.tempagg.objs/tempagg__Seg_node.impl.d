@@ -1,0 +1,1 @@
+lib/core/seg_node.ml: Buffer Chronon Instrument Interval Printf Stdlib Temporal

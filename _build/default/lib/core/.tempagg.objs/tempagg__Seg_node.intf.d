@@ -1,0 +1,1 @@
+lib/core/seg_node.mli: Chronon Instrument Interval Temporal

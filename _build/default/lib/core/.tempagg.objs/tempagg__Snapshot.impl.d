@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Interval List Map Monoid Seq Temporal

@@ -1,0 +1,1 @@
+lib/core/span.ml: Chronon Engine Granule Instrument Interval List Option Printf Seq Temporal Timeline

@@ -1,0 +1,1 @@
+lib/core/span.mli: Chronon Engine Granule Instrument Interval Monoid Seq Temporal Timeline

@@ -1,0 +1,1 @@
+lib/core/two_scan.ml: Array Chronon Instrument Interval List Monoid Printf Seq Temporal Timeline

@@ -1,0 +1,1 @@
+lib/core/two_scan.mli: Chronon Instrument Interval Monoid Seq Temporal Timeline

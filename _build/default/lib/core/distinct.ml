@@ -1,0 +1,28 @@
+open Temporal
+
+let merge_intervals intervals =
+  Interval_set.intervals (Interval_set.of_intervals intervals)
+
+let prepare (type v) ~(compare : v -> v -> int) data =
+  let module Values = Map.Make (struct
+    type t = v
+
+    let compare = compare
+  end) in
+  let by_value =
+    Seq.fold_left
+      (fun acc (iv, v) ->
+        Values.update v
+          (function None -> Some [ iv ] | Some l -> Some (iv :: l))
+          acc)
+      Values.empty data
+  in
+  List.concat_map
+    (fun (v, intervals) ->
+      List.map (fun iv -> (iv, v)) (merge_intervals intervals))
+    (Values.bindings by_value)
+
+let eval ?origin ?horizon ?(algorithm = Engine.Aggregation_tree) ~compare
+    monoid data =
+  Engine.eval ?origin ?horizon algorithm monoid
+    (List.to_seq (prepare ~compare data))

@@ -1,0 +1,35 @@
+(** Duplicate elimination for temporal aggregates (paper, Section 7).
+
+    Two value-equivalent tuples overlapping the same instant should count
+    once under DISTINCT semantics.  The paper suggests "removing the
+    duplicates before the relation is processed, perhaps by sorting";
+    {!prepare} does exactly that: it groups the input by value, unions
+    each value's intervals (merging overlapping and adjacent ones), and
+    emits the merged stream, over which {e any} of the algorithms
+    computes the DISTINCT variant of {e any} aggregate. *)
+
+open Temporal
+
+val merge_intervals : Interval.t list -> Interval.t list
+(** Union of the given intervals as maximal disjoint intervals in time
+    order. *)
+
+val prepare :
+  compare:('v -> 'v -> int) ->
+  (Interval.t * 'v) Seq.t ->
+  (Interval.t * 'v) list
+(** The duplicate-free stream: for every distinct value (under [compare])
+    its merged intervals, ordered by value then time.  Materializes the
+    input (duplicate elimination is blocking, as the paper notes). *)
+
+val eval :
+  ?origin:Chronon.t ->
+  ?horizon:Chronon.t ->
+  ?algorithm:Engine.algorithm ->
+  compare:('v -> 'v -> int) ->
+  ('v, 's, 'r) Monoid.t ->
+  (Interval.t * 'v) Seq.t ->
+  'r Timeline.t
+(** [prepare] then evaluate; default algorithm is the aggregation tree.
+    Note the prepared stream is value-ordered, not time-ordered — callers
+    hinting [Korder_tree] must account for that. *)

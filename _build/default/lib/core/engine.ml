@@ -1,0 +1,59 @@
+type algorithm =
+  | Linked_list
+  | Aggregation_tree
+  | Korder_tree of { k : int }
+  | Balanced_tree
+  | Two_scan
+
+let name = function
+  | Linked_list -> "linked-list"
+  | Aggregation_tree -> "aggregation-tree"
+  | Korder_tree { k } -> Printf.sprintf "ktree(%d)" k
+  | Balanced_tree -> "balanced-tree"
+  | Two_scan -> "two-scan"
+
+let of_string s =
+  (* Accept underscores for contexts (like TSQL identifiers) where hyphens
+     cannot appear. *)
+  let s = String.map (function '_' -> '-' | c -> c) s in
+  match s with
+  | "linked-list" -> Ok Linked_list
+  | "aggregation-tree" -> Ok Aggregation_tree
+  | "balanced-tree" -> Ok Balanced_tree
+  | "two-scan" -> Ok Two_scan
+  | _ ->
+      let ktree_k =
+        if String.length s > 6 && String.sub s 0 6 = "ktree(" && s.[String.length s - 1] = ')'
+        then int_of_string_opt (String.sub s 6 (String.length s - 7))
+        else None
+      in
+      (match ktree_k with
+      | Some k when k >= 0 -> Ok (Korder_tree { k })
+      | Some _ | None ->
+          Error
+            (Printf.sprintf
+               "unknown algorithm %S (expected linked-list, \
+                aggregation-tree, ktree(K), balanced-tree or two-scan)"
+               s))
+
+let all =
+  [ Linked_list; Aggregation_tree; Korder_tree { k = 1 }; Balanced_tree;
+    Two_scan ]
+
+let node_bytes = function
+  | Balanced_tree -> Balanced_tree.node_bytes
+  | Linked_list | Aggregation_tree | Korder_tree _ | Two_scan -> 16
+
+let eval ?origin ?horizon ?instrument algorithm monoid data =
+  match algorithm with
+  | Linked_list -> Linked_list.eval ?origin ?horizon ?instrument monoid data
+  | Aggregation_tree -> Agg_tree.eval ?origin ?horizon ?instrument monoid data
+  | Korder_tree { k } ->
+      Korder_tree.eval ?origin ?horizon ?instrument ~k monoid data
+  | Balanced_tree -> Balanced_tree.eval ?origin ?horizon ?instrument monoid data
+  | Two_scan -> Two_scan.eval ?origin ?horizon ?instrument monoid data
+
+let eval_with_stats ?origin ?horizon algorithm monoid data =
+  let inst = Instrument.create ~node_bytes:(node_bytes algorithm) () in
+  let timeline = eval ?origin ?horizon ~instrument:inst algorithm monoid data in
+  (timeline, Instrument.snapshot inst)

@@ -1,0 +1,45 @@
+(** Uniform dispatch over the temporal-aggregation algorithms. *)
+
+open Temporal
+
+type algorithm =
+  | Linked_list  (** Section 4.2 — the naive one-scan list. *)
+  | Aggregation_tree  (** Section 5.1 — best for randomly ordered input. *)
+  | Korder_tree of { k : int }
+      (** Section 5.3 — garbage-collected tree for k-ordered input. *)
+  | Balanced_tree  (** Section 7 future work — AVL-balanced variant. *)
+  | Two_scan  (** Section 4.1 — Tuma's prior-work baseline. *)
+
+val name : algorithm -> string
+(** E.g. ["linked-list"], ["ktree(4)"]. *)
+
+val of_string : string -> (algorithm, string) result
+(** Inverse of {!name}; accepts ["ktree(K)"] with any non-negative K, and
+    underscores in place of hyphens (for TSQL [USING] hints, where an
+    identifier cannot contain a hyphen). *)
+
+val all : algorithm list
+(** One representative of each family (Korder with [k = 1]). *)
+
+val node_bytes : algorithm -> int
+(** Per-node memory cost: 16 except {!Balanced_tree} (20). *)
+
+val eval :
+  ?origin:Chronon.t ->
+  ?horizon:Chronon.t ->
+  ?instrument:Instrument.t ->
+  algorithm ->
+  ('v, 's, 'r) Monoid.t ->
+  (Interval.t * 'v) Seq.t ->
+  'r Timeline.t
+(** Run the chosen algorithm.
+    @raise Korder_tree.Order_violation from [Korder_tree _] when the input
+    is not k-ordered for the configured k. *)
+
+val eval_with_stats :
+  ?origin:Chronon.t ->
+  ?horizon:Chronon.t ->
+  algorithm ->
+  ('v, 's, 'r) Monoid.t ->
+  (Interval.t * 'v) Seq.t ->
+  'r Timeline.t * Instrument.snapshot

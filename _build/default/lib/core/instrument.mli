@@ -1,0 +1,42 @@
+(** Memory instrumentation for the aggregation algorithms.
+
+    The paper's Section 6.2 compares algorithms by the number of live
+    "nodes" times a per-node byte cost: 16 bytes for both tree algorithms
+    (two child pointers, an aggregate value, a split timestamp) and 16 for
+    the linked list (two timestamps, an aggregate value, a next pointer).
+    Each algorithm calls {!alloc}/{!free} as it creates and garbage-collects
+    nodes; {!peak_bytes} then reproduces the Figure 9 measurements. *)
+
+type t
+
+val create : ?node_bytes:int -> unit -> t
+(** [node_bytes] defaults to 16, the paper's cost for tree and list nodes. *)
+
+val alloc : t -> unit
+val free : t -> unit
+val free_many : t -> int -> unit
+
+val allocated : t -> int
+(** Total nodes ever allocated. *)
+
+val live : t -> int
+(** Nodes currently live. *)
+
+val peak_live : t -> int
+(** High-water mark of {!live}. *)
+
+val node_bytes : t -> int
+val peak_bytes : t -> int
+(** [peak_live * node_bytes] — the paper's main-memory requirement. *)
+
+val reset : t -> unit
+
+type snapshot = {
+  allocated : int;
+  peak_live : int;
+  node_bytes : int;
+  peak_bytes : int;
+}
+
+val snapshot : t -> snapshot
+val pp_snapshot : Format.formatter -> snapshot -> unit

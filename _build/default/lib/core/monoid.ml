@@ -1,0 +1,117 @@
+type ('v, 's, 'r) t = {
+  name : string;
+  empty : 's;
+  inject : 'v -> 's;
+  combine : 's -> 's -> 's;
+  output : 's -> 'r;
+}
+
+let count =
+  {
+    name = "count";
+    empty = 0;
+    inject = (fun _ -> 1);
+    combine = ( + );
+    output = Fun.id;
+  }
+
+let sum_int =
+  {
+    name = "sum";
+    empty = 0;
+    inject = Fun.id;
+    combine = ( + );
+    output = Fun.id;
+  }
+
+let sum_float =
+  {
+    name = "sum";
+    empty = 0.;
+    inject = Fun.id;
+    combine = ( +. );
+    output = Fun.id;
+  }
+
+let semilattice name better ~compare =
+  {
+    name;
+    empty = None;
+    inject = (fun v -> Some v);
+    combine =
+      (fun a b ->
+        match (a, b) with
+        | None, x | x, None -> x
+        | Some x, Some y -> Some (if better (compare x y) then x else y));
+    output = Fun.id;
+  }
+
+let minimum ~compare = semilattice "min" (fun c -> c <= 0) ~compare
+let maximum ~compare = semilattice "max" (fun c -> c >= 0) ~compare
+let min_int = minimum ~compare:Int.compare
+let max_int = maximum ~compare:Int.compare
+
+let avg_int =
+  {
+    name = "avg";
+    empty = (0, 0);
+    inject = (fun v -> (v, 1));
+    combine = (fun (s1, c1) (s2, c2) -> (s1 + s2, c1 + c2));
+    output =
+      (fun (s, c) -> if c = 0 then None else Some (float_of_int s /. float_of_int c));
+  }
+
+let avg_float =
+  {
+    name = "avg";
+    empty = (0., 0);
+    inject = (fun v -> (v, 1));
+    combine = (fun (s1, c1) (s2, c2) -> (s1 +. s2, c1 + c2));
+    output = (fun (s, c) -> if c = 0 then None else Some (s /. float_of_int c));
+  }
+
+let pair a b =
+  {
+    name = Printf.sprintf "(%s,%s)" a.name b.name;
+    empty = (a.empty, b.empty);
+    inject = (fun v -> (a.inject v, b.inject v));
+    combine = (fun (x1, y1) (x2, y2) -> (a.combine x1 x2, b.combine y1 y2));
+    output = (fun (x, y) -> (a.output x, b.output y));
+  }
+
+let contramap f m = { m with inject = (fun w -> m.inject (f w)) }
+
+let map_output f m =
+  {
+    name = m.name;
+    empty = m.empty;
+    inject = m.inject;
+    combine = m.combine;
+    output = (fun s -> f (m.output s));
+  }
+
+let state_bytes m =
+  match m.name with
+  | "avg" -> 8
+  | name when String.length name > 1 && name.[0] = '(' -> 8
+  | _ -> 4
+
+let variance =
+  {
+    name = "variance";
+    empty = (0, 0., 0.);
+    inject = (fun v -> (1, v, v *. v));
+    combine =
+      (fun (c1, s1, q1) (c2, s2, q2) -> (c1 + c2, s1 +. s2, q1 +. q2));
+    output =
+      (fun (c, s, q) ->
+        if c = 0 then None
+        else
+          let n = float_of_int c in
+          let mean = s /. n in
+          (* Clamp tiny negative rounding residue. *)
+          Some (Float.max 0. ((q /. n) -. (mean *. mean))));
+  }
+
+let stddev =
+  { (map_output (Option.map sqrt) variance) with name = "stddev" }

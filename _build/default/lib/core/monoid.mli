@@ -1,0 +1,70 @@
+(** Aggregates as commutative monoids with per-tuple injection.
+
+    Every algorithm in this library (linked list, aggregation tree,
+    k-ordered aggregation tree, two-scan, balanced tree) is generic over
+    the aggregate being computed.  The common structure they need is:
+
+    - a partial-aggregate {e state} ['s] forming a commutative monoid
+      ({!field:empty}, {!field:combine});
+    - an {e injection} of a tuple's attribute value into a state
+      ({!field:inject});
+    - a final {e output} step ({!field:output}).
+
+    Count and sum use the additive monoid; min and max use the
+    corresponding semilattice lifted with an identity (option); average
+    pairs sum with count.  The aggregation tree depends on commutativity
+    and associativity: a constant interval's value is the combination of
+    the states stored on its root-to-leaf path, in whatever order tuples
+    arrived (paper, Section 5.1).
+
+    Laws (property-tested in [test/test_monoid.ml]):
+    [combine empty s = s], [combine s empty = s],
+    [combine a (combine b c) = combine (combine a b) c],
+    [combine a b = combine b a]. *)
+
+type ('v, 's, 'r) t = {
+  name : string;
+  empty : 's;
+  inject : 'v -> 's;
+  combine : 's -> 's -> 's;
+  output : 's -> 'r;
+}
+
+val count : ('v, int, int) t
+(** Number of tuples overlapping each instant. *)
+
+val sum_int : (int, int, int) t
+val sum_float : (float, float, float) t
+
+val minimum : compare:('v -> 'v -> int) -> ('v, 'v option, 'v option) t
+(** [None] over intervals no tuple overlaps. *)
+
+val maximum : compare:('v -> 'v -> int) -> ('v, 'v option, 'v option) t
+
+val min_int : (int, int option, int option) t
+val max_int : (int, int option, int option) t
+
+val avg_int : (int, int * int, float option) t
+(** State is (sum, count); output [None] where count is 0.  Matches the
+    paper's 8-byte average state: 4 for the sum, 4 for the count. *)
+
+val avg_float : (float, float * int, float option) t
+
+val pair : ('v, 's1, 'r1) t -> ('v, 's2, 'r2) t -> ('v, 's1 * 's2, 'r1 * 'r2) t
+(** Compute two aggregates of the same input in one pass. *)
+
+val contramap : ('w -> 'v) -> ('v, 's, 'r) t -> ('w, 's, 'r) t
+(** Adapt the input value type. *)
+
+val map_output : ('r -> 'q) -> ('v, 's, 'r) t -> ('v, 's, 'q) t
+
+val state_bytes : _ t -> int
+(** The paper's per-aggregate state cost model (Section 6): 4 bytes for
+    count/sum/min/max (plus an empty-marker bit, which we fold into the
+    4), 8 for average.  Used by the memory instrumentation. *)
+
+val variance : (float, int * float * float, float option) t
+(** Population variance; state is (count, sum, sum of squares). *)
+
+val stddev : (float, int * float * float, float option) t
+(** Population standard deviation (square root of {!variance}). *)

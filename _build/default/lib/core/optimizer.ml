@@ -1,0 +1,93 @@
+type metadata = {
+  cardinality : int;
+  time_ordered : bool;
+  retroactive_bound : int option;
+  memory_budget : int option;
+  expected_constant_intervals : int option;
+}
+
+let default_metadata ~cardinality =
+  {
+    cardinality;
+    time_ordered = false;
+    retroactive_bound = None;
+    memory_budget = None;
+    expected_constant_intervals = None;
+  }
+
+type choice = {
+  algorithm : Engine.algorithm;
+  sort_first : bool;
+  rationale : string;
+}
+
+let estimated_tree_bytes ~cardinality = ((4 * cardinality) + 1) * 16
+
+(* A result at least this many times smaller than the relation counts as
+   "very few constant intervals" (Section 6.3's single-year-of-days
+   example). *)
+let few_intervals_factor = 100
+
+let choose md =
+  match md.expected_constant_intervals with
+  | Some m
+    when md.cardinality >= few_intervals_factor
+         && m * few_intervals_factor <= md.cardinality ->
+      {
+        algorithm = Engine.Linked_list;
+        sort_first = false;
+        rationale =
+          Printf.sprintf
+            "expected result of ~%d constant intervals is tiny relative to \
+             %d tuples; the linked list is adequate and cheapest in memory"
+            m md.cardinality;
+      }
+  | _ -> (
+      if md.time_ordered then
+        {
+          algorithm = Engine.Korder_tree { k = 1 };
+          sort_first = false;
+          rationale =
+            "relation already sorted by time: k-ordered aggregation tree \
+             with k=1 gives the best time and memory";
+        }
+      else
+        match md.retroactive_bound with
+        | Some k ->
+            {
+              algorithm = Engine.Korder_tree { k };
+              sort_first = false;
+              rationale =
+                Printf.sprintf
+                  "relation declared retroactively bounded (k=%d): k-ordered \
+                   aggregation tree applies directly, no sorting required"
+                  k;
+            }
+        | None -> (
+            let tree_bytes = estimated_tree_bytes ~cardinality:md.cardinality in
+            match md.memory_budget with
+            | Some budget when tree_bytes > budget ->
+                {
+                  algorithm = Engine.Korder_tree { k = 1 };
+                  sort_first = true;
+                  rationale =
+                    Printf.sprintf
+                      "unordered relation and the aggregation tree's ~%d \
+                       bytes exceed the %d-byte budget: sort first, then \
+                       k-ordered tree with k=1"
+                      tree_bytes budget;
+                }
+            | Some _ | None ->
+                {
+                  algorithm = Engine.Aggregation_tree;
+                  sort_first = false;
+                  rationale =
+                    "unordered relation and memory is available: the \
+                     aggregation tree is fastest on random order";
+                }))
+
+let pp_choice ppf c =
+  Format.fprintf ppf "%s%s — %s"
+    (Engine.name c.algorithm)
+    (if c.sort_first then " (after sorting)" else "")
+    c.rationale

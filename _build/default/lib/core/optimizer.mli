@@ -1,0 +1,48 @@
+(** The query-optimizer strategy rules of Section 6.3.
+
+    Given what the system knows about a relation — cardinality, declared
+    or detected sort order, a declared retroactive bound, the available
+    memory — choose the evaluation algorithm:
+
+    - very few expected constant intervals (coarse granularity, single
+      year of days, ...): the linked list is "quite adequate";
+    - relation sorted by time: k-ordered aggregation tree with [k = 1];
+    - relation declared retroactively bounded by [k]: k-ordered tree with
+      that [k], no sorting required;
+    - otherwise, if memory is cheaper than the disk I/O of sorting:
+      the aggregation tree;
+    - otherwise: sort first, then the k-ordered tree with [k = 1]
+      ("the simplest strategy", the paper's headline recommendation). *)
+
+type metadata = {
+  cardinality : int;
+  time_ordered : bool;  (** Known (declared or verified) sorted by time. *)
+  retroactive_bound : int option;
+      (** Declared bound on update delay, as a k-ordering bound
+          (Section 5.2: retroactively bounded relations are k-ordered for
+          uniform arrival). *)
+  memory_budget : int option;  (** Bytes available for algorithm state. *)
+  expected_constant_intervals : int option;
+      (** Estimate of the result size, when grouping coarser than the
+          data (e.g. by span). *)
+}
+
+val default_metadata : cardinality:int -> metadata
+(** Unordered, no bound, unlimited memory, unknown result size. *)
+
+type choice = {
+  algorithm : Engine.algorithm;
+  sort_first : bool;
+      (** The chosen algorithm requires the relation sorted by time
+          first. *)
+  rationale : string;  (** Human-readable summary of the applied rule. *)
+}
+
+val choose : metadata -> choice
+
+val estimated_tree_bytes : cardinality:int -> int
+(** Upper bound on aggregation-tree memory for an n-tuple relation: up to
+    2 unique timestamps per tuple, 2 nodes per unique timestamp plus the
+    initial node, 16 bytes per node. *)
+
+val pp_choice : Format.formatter -> choice -> unit

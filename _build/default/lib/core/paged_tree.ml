@@ -1,0 +1,414 @@
+open Temporal
+
+(* Fragments are (start, stop, state) range-updates, with chronons as raw
+   ints (max_int encodes forever).  Both a flattened subtree and a later
+   tuple clipped to a region are fragments, so replaying a region is
+   uniform: build a fresh tree over the region's span from its fragment
+   stream. *)
+type 's fragment = int * int * 's
+
+type 's region = {
+  r_lo : Chronon.t;
+  r_hi : Chronon.t;
+  path : string;
+  mutable pending : 's fragment list;  (* reversed; flushed in batches *)
+  mutable pending_count : int;
+}
+
+type 's pnode =
+  | Leaf of { mutable state : 's }
+  | Node of {
+      split : Chronon.t;
+      mutable left : 's pnode;
+      mutable right : 's pnode;
+      mutable state : 's;
+    }
+  | Evicted of { region : 's region; mutable state : 's }
+
+type ('v, 's, 'r) t = {
+  monoid : ('v, 's, 'r) Monoid.t;
+  origin : Chronon.t;
+  horizon : Chronon.t;
+  inst : Instrument.t;
+  spill_dir : string;
+  budget : int;
+  mutable root : 's pnode;
+  mutable live : int;
+  evicted : int ref;  (* shared with region sub-evaluators *)
+  spilled : int ref;
+  mutable finished : bool;
+}
+
+let pending_flush_threshold = 256
+
+let create ?(origin = Chronon.origin) ?(horizon = Chronon.forever)
+    ?instrument ?spill_dir ~budget_nodes monoid =
+  if budget_nodes < 8 then
+    invalid_arg "Paged_tree.create: budget_nodes must be at least 8";
+  if Chronon.( > ) origin horizon then
+    invalid_arg "Paged_tree.create: origin after horizon";
+  let inst =
+    match instrument with Some i -> i | None -> Instrument.create ()
+  in
+  Instrument.alloc inst;
+  {
+    monoid;
+    origin;
+    horizon;
+    inst;
+    spill_dir =
+      (match spill_dir with
+      | Some dir -> dir
+      | None -> Filename.get_temp_dir_name ());
+    budget = budget_nodes;
+    root = Leaf { state = monoid.Monoid.empty };
+    live = 1;
+    evicted = ref 0;
+    spilled = ref 0;
+    finished = false;
+  }
+
+(* A sub-evaluator over a region's span sharing budget, instrument and
+   spill accounting with the parent. *)
+let sub_tree t ~lo ~hi =
+  Instrument.alloc t.inst;
+  {
+    t with
+    origin = lo;
+    horizon = hi;
+    root = Leaf { state = t.monoid.Monoid.empty };
+    live = 1;
+    finished = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Spill files                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let append_fragments t region frags =
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o600 region.path
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun frag ->
+          let data = Marshal.to_string (frag : _ fragment) [] in
+          output_string oc data;
+          t.spilled := !(t.spilled) + String.length data)
+        frags)
+
+let flush_pending t region =
+  if region.pending_count > 0 then begin
+    append_fragments t region (List.rev region.pending);
+    region.pending <- [];
+    region.pending_count <- 0
+  end
+
+let add_fragment t region frag =
+  region.pending <- frag :: region.pending;
+  region.pending_count <- region.pending_count + 1;
+  if region.pending_count >= pending_flush_threshold then
+    flush_pending t region
+
+(* Copy an inner region's spill bytes into an outer region's file (the
+   marshalled fragment streams concatenate) and drop the inner file. *)
+let absorb_region t outer inner =
+  flush_pending t inner;
+  let ic = open_in_bin inner.path in
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o600 outer.path
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      close_in ic;
+      close_out oc;
+      Sys.remove inner.path)
+    (fun () ->
+      let buf = Bytes.create 65536 in
+      let rec copy () =
+        let n = input ic buf 0 (Bytes.length buf) in
+        if n > 0 then begin
+          output oc buf 0 n;
+          copy ()
+        end
+      in
+      copy ())
+
+let read_fragments region =
+  let from_file =
+    if Sys.file_exists region.path then begin
+      let ic = open_in_bin region.path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let frags = ref [] in
+          (try
+             while true do
+               frags := (Marshal.from_channel ic : _ fragment) :: !frags
+             done
+           with End_of_file -> ());
+          List.rev !frags)
+    end
+    else []
+  in
+  from_file @ List.rev region.pending
+
+(* ------------------------------------------------------------------ *)
+(* Size and eviction                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec size = function
+  | Leaf _ | Evicted _ -> 1
+  | Node n -> 1 + size n.left + size n.right
+
+(* Flatten a subtree over [lo,hi] into fragments (its constant intervals
+   with fully combined states); nested evicted regions contribute their
+   marker state as a covering fragment and donate their spill bytes. *)
+let rec flatten t ~acc node ~lo ~hi ~region =
+  let combine = t.monoid.Monoid.combine in
+  match node with
+  | Leaf { state } ->
+      add_fragment t region
+        (Chronon.to_int lo, Chronon.to_int hi, combine acc state)
+  | Node n ->
+      let acc = combine acc n.state in
+      flatten t ~acc n.left ~lo ~hi:n.split ~region;
+      flatten t ~acc n.right ~lo:(Chronon.succ n.split) ~hi ~region
+  | Evicted ev ->
+      add_fragment t region
+        (Chronon.to_int lo, Chronon.to_int hi, combine acc ev.state);
+      absorb_region t region ev.region
+
+let new_region t ~lo ~hi =
+  {
+    r_lo = lo;
+    r_hi = hi;
+    path = Filename.temp_file ~temp_dir:t.spill_dir "tempagg_region" ".spill";
+    pending = [];
+    pending_count = 0;
+  }
+
+(* Evict the root's larger child: flatten it to a fresh region and
+   replace it with a one-node marker.  Returns the number of freed
+   nodes. *)
+let evict t =
+  match t.root with
+  | Leaf _ | Evicted _ -> 0
+  | Node n ->
+      let left_size = size n.left and right_size = size n.right in
+      let victim, lo, hi =
+        if left_size >= right_size then (`Left, t.origin, n.split)
+        else (`Right, Chronon.succ n.split, t.horizon)
+      in
+      let node = match victim with `Left -> n.left | `Right -> n.right in
+      let victim_size = Stdlib.max left_size right_size in
+      if victim_size <= 1 then 0
+      else begin
+        let region = new_region t ~lo ~hi in
+        flatten t ~acc:t.monoid.Monoid.empty node ~lo ~hi ~region;
+        let marker = Evicted { region; state = t.monoid.Monoid.empty } in
+        (match victim with
+        | `Left -> n.left <- marker
+        | `Right -> n.right <- marker);
+        let freed = victim_size - 1 in
+        t.live <- t.live - freed;
+        Instrument.free_many t.inst freed;
+        incr t.evicted;
+        freed
+      end
+
+let enforce_budget t =
+  let rec loop () =
+    if t.live > t.budget then
+      let freed = evict t in
+      if freed > 0 then loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Insertion                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec ins t node ~lo ~hi ~start ~stop st =
+  let m = t.monoid in
+  if Chronon.( <= ) start lo && Chronon.( <= ) hi stop then begin
+    (match node with
+    | Leaf l -> l.state <- m.Monoid.combine l.state st
+    | Node n -> n.state <- m.Monoid.combine n.state st
+    | Evicted ev -> ev.state <- m.Monoid.combine ev.state st);
+    node
+  end
+  else
+    match node with
+    | Leaf { state } ->
+        let split =
+          if Chronon.( > ) start lo then Chronon.pred start else stop
+        in
+        Instrument.alloc t.inst;
+        Instrument.alloc t.inst;
+        t.live <- t.live + 2;
+        let node =
+          Node
+            {
+              split;
+              left = Leaf { state = m.Monoid.empty };
+              right = Leaf { state = m.Monoid.empty };
+              state;
+            }
+        in
+        ins t node ~lo ~hi ~start ~stop st
+    | Node n ->
+        if Chronon.( <= ) start n.split then
+          n.left <- ins t n.left ~lo ~hi:n.split ~start ~stop st;
+        if Chronon.( > ) stop n.split then
+          n.right <- ins t n.right ~lo:(Chronon.succ n.split) ~hi ~start ~stop st;
+        node
+    | Evicted ev ->
+        (* Partial overlap with a paged-out region: accumulate the
+           clipped fragment for later (paper Section 5.1). *)
+        add_fragment t ev.region
+          ( Chronon.to_int (Chronon.max start lo),
+            Chronon.to_int (Chronon.min stop hi),
+            st );
+        node
+
+let insert_state t iv st =
+  t.root <-
+    ins t t.root ~lo:t.origin ~hi:t.horizon ~start:(Interval.start iv)
+      ~stop:(Interval.stop iv) st;
+  enforce_budget t
+
+let check_interval t iv =
+  if
+    Chronon.( < ) (Interval.start iv) t.origin
+    || Chronon.( > ) (Interval.stop iv) t.horizon
+  then
+    invalid_arg
+      (Printf.sprintf "Paged_tree.insert: %s outside [%s,%s]"
+         (Interval.to_string iv)
+         (Chronon.to_string t.origin)
+         (Chronon.to_string t.horizon))
+
+let insert t iv v =
+  if t.finished then invalid_arg "Paged_tree.insert: already finished";
+  check_interval t iv;
+  insert_state t iv (t.monoid.Monoid.inject v)
+
+let insert_all t data = Seq.iter (fun (iv, v) -> insert t iv v) data
+
+(* ------------------------------------------------------------------ *)
+(* Result                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic Fisher-Yates over the fragment array (splitmix64).
+   Spill files hold fragments in time order; replaying them in that order
+   would rebuild a degenerate right spine whose root split is useless for
+   eviction (the region would barely shrink).  Randomizing the replay
+   order keeps the rebuilt tree balanced — the paper's own remedy for
+   linearization ("randomize the relation's pages when they are read",
+   Section 7). *)
+let shuffle_fragments arr =
+  let state = ref 0x9E3779B97F4A7C15L in
+  let next_int bound =
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    Int64.to_int
+      (Int64.rem (Int64.shift_right_logical (Int64.logxor z (Int64.shift_right_logical z 31)) 1)
+         (Int64.of_int bound))
+  in
+  for i = Array.length arr - 1 downto 1 do
+    let j = next_int (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(* Rebuild a region from its fragments under the shared budget.  The
+   result may itself contain evicted markers; the traversal below
+   resolves them from its explicit stack, so nesting never deepens the
+   OCaml call stack. *)
+let replay_region t region =
+  let sub = sub_tree t ~lo:region.r_lo ~hi:region.r_hi in
+  let fragments = Array.of_list (read_fragments region) in
+  shuffle_fragments fragments;
+  Array.iter
+    (fun (s, e, st) ->
+      let start = Chronon.of_int s in
+      let stop = if e = max_int then Chronon.forever else Chronon.of_int e in
+      insert_state sub (Interval.make start stop) st)
+    fragments;
+  if Sys.file_exists region.path then Sys.remove region.path;
+  sub
+
+let result t =
+  if t.finished then invalid_arg "Paged_tree.result: already finished";
+  t.finished <- true;
+  let m = t.monoid in
+  let segments = ref [] in
+  (* Explicit in-order traversal; each visited node is freed in the
+     instrument so the measured peak reflects region-at-a-time work. *)
+  let stack = ref [ (t.root, t.origin, t.horizon, m.Monoid.empty) ] in
+  let continue_loop = ref true in
+  while !continue_loop do
+    match !stack with
+    | [] -> continue_loop := false
+    | (node, lo, hi, acc) :: rest -> (
+        stack := rest;
+        Instrument.free t.inst;
+        match node with
+        | Leaf { state } ->
+            segments :=
+              (Interval.make lo hi, m.Monoid.output (m.Monoid.combine acc state))
+              :: !segments
+        | Node n ->
+            let acc = m.Monoid.combine acc n.state in
+            stack :=
+              (n.left, lo, n.split, acc)
+              :: (n.right, Chronon.succ n.split, hi, acc)
+              :: !stack
+        | Evicted ev ->
+            let acc = m.Monoid.combine acc ev.state in
+            let sub = replay_region t ev.region in
+            stack := (sub.root, lo, hi, acc) :: !stack)
+  done;
+  Timeline.of_list (List.rev !segments)
+
+let live_nodes t = t.live
+let evictions t = !(t.evicted)
+let spilled_bytes t = !(t.spilled)
+let instrument t = t.inst
+
+let eval ?origin ?horizon ?instrument ?spill_dir ~budget_nodes monoid data =
+  let t = create ?origin ?horizon ?instrument ?spill_dir ~budget_nodes monoid in
+  insert_all t data;
+  result t
+
+type stats = {
+  peak_live_nodes : int;
+  evictions : int;
+  spilled_bytes : int;
+}
+
+let eval_with_stats ?origin ?horizon ?spill_dir ~budget_nodes monoid data =
+  let inst = Instrument.create () in
+  let t =
+    create ?origin ?horizon ~instrument:inst ?spill_dir ~budget_nodes monoid
+  in
+  insert_all t data;
+  let timeline = result t in
+  ( timeline,
+    {
+      peak_live_nodes = Instrument.peak_live inst;
+      evictions = !(t.evicted);
+      spilled_bytes = !(t.spilled);
+    } )

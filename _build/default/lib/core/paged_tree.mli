@@ -1,0 +1,81 @@
+(** A limited-main-memory aggregation tree with spilling — the paper's
+    Section 5.1/7 sketch made concrete:
+
+    "If we do not balance the aggregation tree, then it is simple to page
+    portions of the tree to disk ... simply to mark a parent as pointing
+    to a subtree not currently in memory.  Simply accumulate the tuples
+    which would overlap this region of the tree and process them later."
+
+    The tree is built as usual until the live node count would exceed
+    [budget_nodes].  Then a large subtree is {e evicted}: its constant
+    intervals are flattened to (interval, state) fragments and written to
+    a spill file, and the subtree is replaced by a one-node marker.
+    Later tuples that fall inside an evicted region are not inserted —
+    their clipped fragments are appended to the region's spill file
+    (tuples fully covering the region still just merge into the marker's
+    state, as with any internal node).  {!result} processes the evicted
+    regions one at a time, each under the same node budget (regions may
+    re-spill recursively), so peak tree memory stays bounded by the
+    budget no matter the relation size.
+
+    States must be marshallable (plain data — true of every aggregate in
+    {!Monoid}); spill files live in [spill_dir] and are removed by
+    {!result}. *)
+
+open Temporal
+
+type ('v, 's, 'r) t
+
+val create :
+  ?origin:Chronon.t ->
+  ?horizon:Chronon.t ->
+  ?instrument:Instrument.t ->
+  ?spill_dir:string ->
+  budget_nodes:int ->
+  ('v, 's, 'r) Monoid.t ->
+  ('v, 's, 'r) t
+(** @raise Invalid_argument if [budget_nodes < 8] (too small to hold a
+    working tree) or [origin > horizon]. *)
+
+val insert : ('v, 's, 'r) t -> Interval.t -> 'v -> unit
+(** @raise Invalid_argument if the interval is not within
+    [[origin, horizon]]. *)
+
+val insert_all : ('v, 's, 'r) t -> (Interval.t * 'v) Seq.t -> unit
+
+val result : ('v, 's, 'r) t -> 'r Timeline.t
+(** Resolve every evicted region (in time order, region by region) and
+    return the full timeline.  Removes all spill files; the tree must not
+    be used afterwards. *)
+
+val live_nodes : ('v, 's, 'r) t -> int
+val evictions : ('v, 's, 'r) t -> int
+val spilled_bytes : ('v, 's, 'r) t -> int
+(** Total bytes ever written to spill files (the "disk" traffic). *)
+
+val instrument : ('v, 's, 'r) t -> Instrument.t
+
+val eval :
+  ?origin:Chronon.t ->
+  ?horizon:Chronon.t ->
+  ?instrument:Instrument.t ->
+  ?spill_dir:string ->
+  budget_nodes:int ->
+  ('v, 's, 'r) Monoid.t ->
+  (Interval.t * 'v) Seq.t ->
+  'r Timeline.t
+
+type stats = {
+  peak_live_nodes : int;
+  evictions : int;
+  spilled_bytes : int;
+}
+
+val eval_with_stats :
+  ?origin:Chronon.t ->
+  ?horizon:Chronon.t ->
+  ?spill_dir:string ->
+  budget_nodes:int ->
+  ('v, 's, 'r) Monoid.t ->
+  (Interval.t * 'v) Seq.t ->
+  'r Timeline.t * stats

@@ -1,0 +1,44 @@
+open Temporal
+
+let value_at monoid data c =
+  let state =
+    List.fold_left
+      (fun acc (iv, v) ->
+        if Interval.contains iv c then
+          monoid.Monoid.combine acc (monoid.Monoid.inject v)
+        else acc)
+      monoid.Monoid.empty data
+  in
+  monoid.Monoid.output state
+
+let eval ?(origin = Chronon.origin) ?(horizon = Chronon.forever) monoid data =
+  List.iter
+    (fun (iv, _) ->
+      if
+        Chronon.( < ) (Interval.start iv) origin
+        || Chronon.( > ) (Interval.stop iv) horizon
+      then invalid_arg "Reference.eval: interval out of range")
+    data;
+  let points =
+    List.concat_map
+      (fun (iv, _) ->
+        let starts =
+          if Chronon.( > ) (Interval.start iv) origin then
+            [ Interval.start iv ]
+          else []
+        in
+        let stop = Interval.stop iv in
+        if Chronon.is_finite stop && Chronon.( < ) stop horizon then
+          Chronon.succ stop :: starts
+        else starts)
+      data
+  in
+  let starts = List.sort_uniq Chronon.compare (origin :: points) in
+  let rec segments = function
+    | [] -> []
+    | [ last ] -> [ (Interval.make last horizon, value_at monoid data last) ]
+    | s :: (next :: _ as rest) ->
+        (Interval.make s (Chronon.pred next), value_at monoid data s)
+        :: segments rest
+  in
+  Timeline.of_list (segments starts)

@@ -1,0 +1,21 @@
+(** Brute-force reference implementation — the executable specification of
+    instant-grouped temporal aggregation, used as the oracle in tests.
+
+    For every constant interval (delimited by the unique interval
+    endpoints), the whole input is re-scanned and every overlapping
+    tuple's value folded in.  O(n · m) — never use it for real work; its
+    value is that it shares no code or algorithmic idea with the
+    algorithms under test. *)
+
+open Temporal
+
+val eval :
+  ?origin:Chronon.t ->
+  ?horizon:Chronon.t ->
+  ('v, 's, 'r) Monoid.t ->
+  (Interval.t * 'v) list ->
+  'r Timeline.t
+
+val value_at :
+  ('v, 's, 'r) Monoid.t -> (Interval.t * 'v) list -> Chronon.t -> 'r
+(** The aggregate at one instant, by direct scan. *)

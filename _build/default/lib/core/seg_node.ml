@@ -1,0 +1,119 @@
+open Temporal
+
+type 's t =
+  | Leaf of { mutable state : 's }
+  | Node of {
+      split : Chronon.t;
+      mutable left : 's t;
+      mutable right : 's t;
+      mutable state : 's;
+    }
+
+let leaf state = Leaf { state }
+
+(* Inserting [start,stop] into a node spanning [lo,hi].  When the tuple
+   fully covers the span, its contribution is recorded here and the
+   descent stops (the paper's "we adjust the internal node aggregate
+   values when a tuple's constant interval completely overlaps a node").
+   A partially covered leaf is split at one of the tuple's unique
+   timestamps; the old leaf's state moves to the new internal node, which
+   both new leaves sit under, preserving root-to-leaf sums.  Each split
+   allocates two nodes, matching the paper's "each unique timestamp adds
+   two nodes". *)
+let rec insert ~combine ~empty ~inst node ~lo ~hi ~start ~stop st =
+  if Chronon.( <= ) start lo && Chronon.( <= ) hi stop then begin
+    (match node with
+    | Leaf l -> l.state <- combine l.state st
+    | Node n -> n.state <- combine n.state st);
+    node
+  end
+  else
+    match node with
+    | Leaf { state } ->
+        let split =
+          if Chronon.( > ) start lo then Chronon.pred start else stop
+        in
+        Instrument.alloc inst;
+        Instrument.alloc inst;
+        let node =
+          Node { split; left = leaf empty; right = leaf empty; state }
+        in
+        insert ~combine ~empty ~inst node ~lo ~hi ~start ~stop st
+    | Node n ->
+        if Chronon.( <= ) start n.split then
+          n.left <-
+            insert ~combine ~empty ~inst n.left ~lo ~hi:n.split ~start ~stop
+              st;
+        if Chronon.( > ) stop n.split then
+          n.right <-
+            insert ~combine ~empty ~inst n.right ~lo:(Chronon.succ n.split)
+              ~hi ~start ~stop st;
+        node
+
+let rec dfs ~combine ~acc node ~lo ~hi ~emit =
+  match node with
+  | Leaf { state } -> emit (Interval.make lo hi) (combine acc state)
+  | Node n ->
+      let acc = combine acc n.state in
+      dfs ~combine ~acc n.left ~lo ~hi:n.split ~emit;
+      dfs ~combine ~acc n.right ~lo:(Chronon.succ n.split) ~hi ~emit
+
+let rec size = function
+  | Leaf _ -> 1
+  | Node n -> 1 + size n.left + size n.right
+
+let rec depth = function
+  | Leaf _ -> 1
+  | Node n -> 1 + Stdlib.max (depth n.left) (depth n.right)
+
+(* Emits and removes the leading run of constant intervals that end before
+   [threshold].  A left subtree entirely before the threshold is flushed
+   with [dfs] and freed, and the internal node spliced out with its state
+   pushed into the promoted right child (legal: states form a commutative
+   monoid).  Only the earliest consecutive part of the tree is collected,
+   so no hole is ever created (paper, Section 5.3). *)
+let rec gc ~combine ~inst ~threshold ~acc node ~lo ~hi ~emit =
+  match node with
+  | Leaf _ ->
+      (* The leaf spans [lo, hi] with hi >= threshold: not collectible. *)
+      (node, lo)
+  | Node n ->
+      if Chronon.( < ) n.split threshold then begin
+        dfs ~combine ~acc:(combine acc n.state) n.left ~lo ~hi:n.split ~emit;
+        Instrument.free_many inst (size n.left + 1);
+        (match n.right with
+        | Leaf l -> l.state <- combine n.state l.state
+        | Node r -> r.state <- combine n.state r.state);
+        gc ~combine ~inst ~threshold ~acc n.right ~lo:(Chronon.succ n.split)
+          ~hi ~emit
+      end
+      else begin
+        let left', lo' =
+          gc ~combine ~inst ~threshold ~acc:(combine acc n.state) n.left ~lo
+            ~hi:n.split ~emit
+        in
+        n.left <- left';
+        (node, lo')
+      end
+
+let render ~state_to_string node ~lo ~hi =
+  let buf = Buffer.create 256 in
+  let interval lo hi =
+    Printf.sprintf "[%s,%s]" (Chronon.to_string lo) (Chronon.to_string hi)
+  in
+  let rec go prefix node lo hi =
+    match node with
+    | Leaf { state } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %s\n" prefix (interval lo hi)
+             (state_to_string state))
+    | Node n ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %s\n" prefix (interval lo hi)
+             (state_to_string n.state));
+        let child = prefix ^ "  " in
+        go child n.left lo n.split;
+        go child n.right (Chronon.succ n.split) hi
+  in
+  go "" node lo hi;
+  Buffer.contents buf

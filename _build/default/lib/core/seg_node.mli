@@ -1,0 +1,76 @@
+(** Internal: the raw aggregation-tree node structure shared by
+    {!Agg_tree} and {!Korder_tree}.  Not part of the stable API — use those
+    modules instead.
+
+    A tree covers an implicit span [[lo, hi]] known to the caller; an
+    internal node carries only its split timestamp (the paper's
+    space-efficient "single timestamp per node variation"): the left child
+    covers [[lo, split]], the right [[split+1, hi]].  A node's [state] is
+    the combined contribution of tuples whose interval fully covered the
+    node's span when inserted; a constant interval's aggregate is the
+    combination of the states on its root-to-leaf path. *)
+
+open Temporal
+
+type 's t =
+  | Leaf of { mutable state : 's }
+  | Node of {
+      split : Chronon.t;
+      mutable left : 's t;
+      mutable right : 's t;
+      mutable state : 's;
+    }
+
+val leaf : 's -> 's t
+
+val insert :
+  combine:('s -> 's -> 's) ->
+  empty:'s ->
+  inst:Instrument.t ->
+  's t ->
+  lo:Chronon.t ->
+  hi:Chronon.t ->
+  start:Chronon.t ->
+  stop:Chronon.t ->
+  's ->
+  's t
+(** [insert node ~lo ~hi ~start ~stop st] adds a tuple whose interval
+    [[start, stop]] (clipped to [[lo, hi]] by the caller) contributes state
+    [st], splitting leaves at the new unique timestamps and returning the
+    (possibly replaced) node.  Counts two {!Instrument.alloc}s per leaf
+    split. *)
+
+val dfs :
+  combine:('s -> 's -> 's) ->
+  acc:'s ->
+  's t ->
+  lo:Chronon.t ->
+  hi:Chronon.t ->
+  emit:(Interval.t -> 's -> unit) ->
+  unit
+(** Depth-first traversal emitting every constant interval with its fully
+    combined state, in time order (the paper's second phase). *)
+
+val gc :
+  combine:('s -> 's -> 's) ->
+  inst:Instrument.t ->
+  threshold:Chronon.t ->
+  acc:'s ->
+  's t ->
+  lo:Chronon.t ->
+  hi:Chronon.t ->
+  emit:(Interval.t -> 's -> unit) ->
+  's t * Chronon.t
+(** [gc ~threshold ~acc node ~lo ~hi ~emit] emits (in time order, with
+    [acc] merged in) and removes every leading constant interval whose
+    stop is before [threshold], returning the remaining tree and its new
+    span start.  Requires [hi >= threshold] so the tree is never emptied.
+    Frees removed nodes in the instrument. *)
+
+val size : 's t -> int
+(** Number of nodes (leaves + internal). *)
+
+val depth : 's t -> int
+
+val render : state_to_string:('s -> string) -> 's t -> lo:Chronon.t -> hi:Chronon.t -> string
+(** Multi-line ASCII rendering for debugging and the Figure 3 example. *)

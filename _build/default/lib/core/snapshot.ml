@@ -1,0 +1,42 @@
+open Temporal
+
+let scalar monoid values =
+  let state, counter =
+    Seq.fold_left
+      (fun (state, counter) v ->
+        (monoid.Monoid.combine state (monoid.Monoid.inject v), counter + 1))
+      (monoid.Monoid.empty, 0) values
+  in
+  (monoid.Monoid.output state, counter)
+
+let grouped (type k) ~(compare : k -> k -> int) ~key monoid values =
+  let module Groups = Map.Make (struct
+    type t = k
+
+    let compare = compare
+  end) in
+  let cells =
+    Seq.fold_left
+      (fun acc v ->
+        let k = key v in
+        let state, counter =
+          match Groups.find_opt k acc with
+          | Some cell -> cell
+          | None -> (monoid.Monoid.empty, 0)
+        in
+        Groups.add k
+          (monoid.Monoid.combine state (monoid.Monoid.inject v), counter + 1)
+          acc)
+      Groups.empty values
+  in
+  List.map
+    (fun (k, (state, counter)) -> (k, monoid.Monoid.output state, counter))
+    (Groups.bindings cells)
+
+let timeslice ~at data =
+  Seq.filter_map
+    (fun (iv, v) -> if Interval.contains iv at then Some v else None)
+    data
+
+let at ~at:instant monoid data =
+  fst (scalar monoid (timeslice ~at:instant data))

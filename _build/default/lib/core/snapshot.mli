@@ -1,0 +1,38 @@
+(** Snapshot (conventional) aggregate computation — the paper's Section 3.
+
+    Epstein's two-step technique for scalar aggregates: allocate a result
+    cell holding a counter (initialized to zero) and a partial result,
+    then fold every qualifying value into it.  The counter serves
+    aggregates that need the qualifying cardinality (count, average) and
+    lets min/max recognize the first tuple — our monoids absorb both
+    roles, but the counter is still exposed because TSQL2's non-temporal
+    queries and the optimizer use it.
+
+    Group-by is handled with Epstein's temporary-relation approach: one
+    cell per distinct grouping value.
+
+    Temporal relations are reduced to snapshots with {!timeslice}: the
+    state of the relation at one instant. *)
+
+open Temporal
+
+val scalar : ('v, 's, 'r) Monoid.t -> 'v Seq.t -> 'r * int
+(** The aggregate over all values, and the qualifying-tuple counter. *)
+
+val grouped :
+  compare:('k -> 'k -> int) ->
+  key:('v -> 'k) ->
+  ('v, 's, 'r) Monoid.t ->
+  'v Seq.t ->
+  ('k * 'r * int) list
+(** One (group, aggregate, counter) triple per distinct key, ordered by
+    key — the temporary relation of grouped results. *)
+
+val timeslice : at:Chronon.t -> (Interval.t * 'v) Seq.t -> 'v Seq.t
+(** The values of the tuples whose valid interval overlaps the instant
+    [at] — the snapshot of a valid-time relation. *)
+
+val at : at:Chronon.t -> ('v, 's, 'r) Monoid.t -> (Interval.t * 'v) Seq.t -> 'r
+(** Scalar aggregate of the snapshot at one instant: what a TSQL2 query
+    with a single-instant valid clause computes.  Equal to the temporal
+    aggregate's timeline sampled at [at] (property-tested). *)

@@ -1,0 +1,1 @@
+lib/ordering/korder.ml: Array Fun Int Printf Relation Stdlib

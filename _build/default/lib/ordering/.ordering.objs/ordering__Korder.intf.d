@@ -1,0 +1,1 @@
+lib/ordering/korder.mli: Relation

@@ -1,0 +1,1 @@
+lib/ordering/perturb.ml: Array Float Int List Stdlib

@@ -1,0 +1,1 @@
+lib/ordering/perturb.mli:

@@ -1,0 +1,48 @@
+let displacements ~compare a =
+  let n = Array.length a in
+  (* Stable sort of indices by element: position j in [order] holds the
+     original index of the element ranked j-th. *)
+  let order = Array.init n Fun.id in
+  let cmp i j =
+    let c = compare a.(i) a.(j) in
+    if c <> 0 then c else Int.compare i j
+  in
+  Array.sort cmp order;
+  let disp = Array.make n 0 in
+  Array.iteri
+    (fun rank original -> disp.(original) <- abs (rank - original))
+    order;
+  disp
+
+let k_of ~compare a =
+  Array.fold_left Stdlib.max 0 (displacements ~compare a)
+
+let percentage ~compare ~k a =
+  if k <= 0 then invalid_arg "Korder.percentage: k must be positive";
+  let disp = displacements ~compare a in
+  let n = Array.length a in
+  if n = 0 then 0.
+  else begin
+    let sum =
+      Array.fold_left
+        (fun acc d ->
+          if d > k then
+            invalid_arg
+              (Printf.sprintf
+                 "Korder.percentage: displacement %d exceeds k=%d" d k)
+          else acc + d)
+        0 disp
+    in
+    float_of_int sum /. float_of_int (k * n)
+  end
+
+let tuples_array rel = Array.of_list (Relation.Trel.tuples rel)
+
+let relation_displacements rel =
+  displacements ~compare:Relation.Tuple.compare_by_time (tuples_array rel)
+
+let k_of_relation rel =
+  k_of ~compare:Relation.Tuple.compare_by_time (tuples_array rel)
+
+let relation_percentage ~k rel =
+  percentage ~compare:Relation.Tuple.compare_by_time ~k (tuples_array rel)

@@ -1,0 +1,37 @@
+(** Sortedness metrics for temporal relations (paper, Section 5.2).
+
+    A sequence is {e k-ordered} when every element is at most [k]
+    positions away from its position in the stable-sorted order; totally
+    ordered is 0-ordered.  The {e k-ordered-percentage} summarizes how
+    much of that disorder budget a sequence uses:
+
+    {v
+      k-ordered-percentage = (sum over i of i * n_i) / (k * n)
+    v}
+
+    where [n_i] is the number of elements [i] positions out of order.  It
+    is 0 for a sorted sequence and at most 1 (only attainable for certain
+    [k] and [n]); see the paper's Table 2 for worked examples. *)
+
+val displacements : compare:('a -> 'a -> int) -> 'a array -> int array
+(** [displacements ~compare a] gives, for each position of [a], the
+    distance between that position and the element's position in the
+    stable sort of [a].  Stability makes the result well-defined under
+    duplicate keys. *)
+
+val k_of : compare:('a -> 'a -> int) -> 'a array -> int
+(** The smallest [k] for which the array is k-ordered: the maximum
+    displacement (0 for empty or sorted arrays). *)
+
+val percentage : compare:('a -> 'a -> int) -> k:int -> 'a array -> float
+(** The k-ordered-percentage for the given [k].
+    @raise Invalid_argument if [k <= 0], or if the array is not k-ordered
+    for this [k] (some displacement exceeds [k], making the ratio
+    meaningless). *)
+
+(** The same metrics over a relation's physical tuple order, compared by
+    valid time (start, then stop). *)
+
+val relation_displacements : Relation.Trel.t -> int array
+val k_of_relation : Relation.Trel.t -> int
+val relation_percentage : k:int -> Relation.Trel.t -> float

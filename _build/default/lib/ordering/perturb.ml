@@ -1,0 +1,157 @@
+let shuffle ~rand a =
+  let out = Array.copy a in
+  for i = Array.length out - 1 downto 1 do
+    let j = rand (i + 1) in
+    let tmp = out.(i) in
+    out.(i) <- out.(j);
+    out.(j) <- tmp
+  done;
+  out
+
+let k_ordered ~rand ~k ~percentage a =
+  if k <= 0 then invalid_arg "Perturb.k_ordered: k must be positive";
+  if percentage < 0. || percentage > 1. then
+    invalid_arg "Perturb.k_ordered: percentage outside [0,1]";
+  let n = Array.length a in
+  let swaps =
+    int_of_float (Float.round (percentage *. float_of_int n /. 2.))
+  in
+  let out = Array.copy a in
+  if swaps = 0 then out
+  else if n <= k then
+    invalid_arg "Perturb.k_ordered: array too small for distance-k swaps"
+  else begin
+    let used = Array.make n false in
+    (* Pick disjoint transpositions (i, i+k).  Random probing almost always
+       succeeds at the paper's densities (percentage <= 0.14); fall back to
+       a scan when it does not. *)
+    let place () =
+      let rec probe attempts =
+        if attempts = 0 then scan 0
+        else
+          let i = rand (n - k) in
+          if used.(i) || used.(i + k) then probe (attempts - 1) else i
+      and scan i =
+        if i >= n - k then
+          invalid_arg
+            "Perturb.k_ordered: no room left for disjoint distance-k swaps"
+        else if used.(i) || used.(i + k) then scan (i + 1)
+        else i
+      in
+      probe 64
+    in
+    for _ = 1 to swaps do
+      let i = place () in
+      used.(i) <- true;
+      used.(i + k) <- true;
+      let tmp = out.(i) in
+      out.(i) <- out.(i + k);
+      out.(i + k) <- tmp
+    done;
+    out
+  end
+
+(* Finds the lowest base position where all (relative) offsets are free,
+   marks them used, and returns the base. *)
+let allocate used offsets =
+  let n = Array.length used in
+  let fits p =
+    List.for_all (fun off -> p + off < n && not used.(p + off)) offsets
+  in
+  let rec scan p =
+    if p >= n then
+      invalid_arg "Perturb.realize_displacements: array too small"
+    else if fits p then p
+    else scan (p + 1)
+  in
+  let p = scan 0 in
+  List.iter (fun off -> used.(p + off) <- true) offsets;
+  p
+
+let realize_displacements spec a =
+  List.iter
+    (fun (d, count) ->
+      if d <= 0 then
+        invalid_arg "Perturb.realize_displacements: non-positive displacement";
+      if count < 0 then
+        invalid_arg "Perturb.realize_displacements: negative count")
+    spec;
+  let out = Array.copy a in
+  let used = Array.make (Array.length a) false in
+  let swap i j =
+    let tmp = out.(i) in
+    out.(i) <- out.(j);
+    out.(j) <- tmp
+  in
+  (* Even part: count/2 transpositions per displacement. *)
+  List.iter
+    (fun (d, count) ->
+      for _ = 1 to count / 2 do
+        let p = allocate used [ 0; d ] in
+        swap p (p + d)
+      done)
+    spec;
+  (* Odd leftovers: match smallest with largest into equal-sum pairs, then
+     group two pairs into a 4-cycle realizing displacements (a,b,c,d) with
+     a+b = c+d. *)
+  let odds =
+    List.sort Int.compare
+      (List.filter_map
+         (fun (d, count) -> if count mod 2 = 1 then Some d else None)
+         spec)
+  in
+  let m = List.length odds in
+  if m > 0 then begin
+    if m mod 4 <> 0 then
+      invalid_arg
+        "Perturb.realize_displacements: odd counts not groupable into \
+         4-cycles (need a multiple of four of them)";
+    let arr = Array.of_list odds in
+    let sum = arr.(0) + arr.(m - 1) in
+    for i = 0 to (m / 2) - 1 do
+      if arr.(i) + arr.(m - 1 - i) <> sum then
+        invalid_arg
+          "Perturb.realize_displacements: odd displacements do not pair \
+           into equal sums"
+    done;
+    for g = 0 to (m / 4) - 1 do
+      let a = arr.(2 * g)
+      and b = arr.(m - 1 - (2 * g))
+      and c = arr.((2 * g) + 1)
+      in
+      (* 4-cycle positions: q1=p, q2=p+a, q3=p+a+b, q4=p+a+b-c; the fourth
+         realized displacement is d = a+b-c = arr.(m-2-2g) by the
+         equal-sum property. *)
+      let p = allocate used [ 0; a; a + b; a + b - c ] in
+      let q1 = p and q2 = p + a and q3 = p + a + b in
+      let q4 = p + a + b - c in
+      let e1 = out.(q1) and e2 = out.(q2) and e3 = out.(q3) in
+      let e4 = out.(q4) in
+      out.(q2) <- e1;
+      out.(q3) <- e2;
+      out.(q4) <- e3;
+      out.(q1) <- e4
+    done
+  end;
+  out
+
+let page_randomized ~rand ~page_tuples ~buffer_pages a =
+  if page_tuples <= 0 then
+    invalid_arg "Perturb.page_randomized: page_tuples must be positive";
+  if buffer_pages <= 0 then
+    invalid_arg "Perturb.page_randomized: buffer_pages must be positive";
+  let group = page_tuples * buffer_pages in
+  let out = Array.copy a in
+  let n = Array.length out in
+  let start = ref 0 in
+  while !start < n do
+    let len = Stdlib.min group (n - !start) in
+    for i = len - 1 downto 1 do
+      let j = rand (i + 1) in
+      let tmp = out.(!start + i) in
+      out.(!start + i) <- out.(!start + j);
+      out.(!start + j) <- tmp
+    done;
+    start := !start + group
+  done;
+  out

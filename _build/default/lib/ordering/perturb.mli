@@ -1,0 +1,50 @@
+(** Controlled disordering of sorted sequences.
+
+    The paper's Figures 7–9 run the algorithms over relations that are
+    "sorted, then altered according to various k-ordered and
+    k-ordered-percentage values".  This module builds such inputs:
+    {!k_ordered} realizes a target (k, percentage) with random
+    transpositions; {!realize_displacements} builds the exact displacement
+    profiles of the paper's Table 2; {!shuffle} produces the fully random
+    order used in Figure 6.
+
+    All functions return a fresh array (the input is not modified) and
+    draw randomness only from the supplied [rand] (see
+    {!Workload.Prng.int_bounded}). *)
+
+val shuffle : rand:(int -> int) -> 'a array -> 'a array
+(** Fisher–Yates; [rand n] must return a uniform draw from [[0, n-1]]. *)
+
+val k_ordered : rand:(int -> int) -> k:int -> percentage:float -> 'a array -> 'a array
+(** Perturb a sorted array with [round (percentage * n / 2)] disjoint
+    transpositions of elements exactly [k] apart: each transposition
+    displaces two elements by [k], so the result (for distinct keys) is
+    exactly k-ordered with k-ordered-percentage ≈ [percentage].
+    @raise Invalid_argument if [k <= 0], [percentage] is outside [0, 1],
+    or the array is too small to host the required disjoint
+    transpositions. *)
+
+val realize_displacements : (int * int) list -> 'a array -> 'a array
+(** [realize_displacements spec a] permutes the sorted array [a] so that,
+    for every [(d, count)] in [spec], exactly [count] elements end up [d]
+    positions out of order, and all other elements stay in place.
+
+    Even [count]s are realized by [count/2] transpositions of distance
+    [d].  Odd leftovers are grouped into 4-cycles realizing displacements
+    [(a, b, c, d)] with [a + b = c + d]; this works whenever the leftover
+    displacements form pairs of equal sums when matched smallest-with-
+    largest (true for the arithmetic runs used in the paper's Table 2).
+    @raise Invalid_argument when the spec is unrealizable by this
+    strategy, a displacement is non-positive, or the array is too small. *)
+
+val page_randomized :
+  rand:(int -> int) -> page_tuples:int -> buffer_pages:int -> 'a array -> 'a array
+(** Simulate the paper's Section 7 proposal for running the aggregation
+    tree over a sorted relation: "randomize the relation's pages when
+    they are read to avoid linearizing the aggregation tree ...
+    performed on each group of pages read into memory".  The array is
+    processed in groups of [buffer_pages * page_tuples] consecutive
+    elements; each group is shuffled internally, leaving the relation
+    k-ordered with k < group size while breaking the insertion-order
+    degeneracy.
+    @raise Invalid_argument if either knob is non-positive. *)

@@ -1,0 +1,1 @@
+lib/relation/csv_io.ml: Array Buffer Chronon In_channel Interval List Out_channel Printf Schema String Temporal Trel Tuple Value

@@ -1,0 +1,1 @@
+lib/relation/fixtures.ml: Chronon Interval Schema Temporal Trel Tuple Value

@@ -1,0 +1,1 @@
+lib/relation/fixtures.mli: Schema Temporal Trel

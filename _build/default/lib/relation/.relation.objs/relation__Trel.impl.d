@@ -1,0 +1,1 @@
+lib/relation/trel.ml: Array Format Interval List Printf Schema Seq Temporal Tuple Value

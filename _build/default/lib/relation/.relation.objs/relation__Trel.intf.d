@@ -1,0 +1,1 @@
+lib/relation/trel.mli: Format Interval Schema Seq Temporal Tuple Value

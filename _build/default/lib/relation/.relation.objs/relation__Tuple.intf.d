@@ -1,0 +1,1 @@
+lib/relation/tuple.mli: Chronon Format Interval Temporal Value

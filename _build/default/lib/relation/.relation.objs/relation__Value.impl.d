@@ -1,0 +1,1 @@
+lib/relation/value.ml: Float Format Int Printf Stdlib String

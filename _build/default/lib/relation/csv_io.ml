@@ -1,0 +1,164 @@
+open Temporal
+
+let needs_quoting s =
+  String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+
+let quote_field s =
+  if needs_quoting s then
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  else s
+
+(* Splits a CSV document into rows of fields, handling quoted fields. *)
+let parse_rows text =
+  let rows = ref [] and row = ref [] and buf = Buffer.create 32 in
+  let n = String.length text in
+  let flush_field () =
+    row := Buffer.contents buf :: !row;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  let rec plain i =
+    if i >= n then (if !row <> [] || Buffer.length buf > 0 then flush_row ())
+    else
+      match text.[i] with
+      | ',' -> flush_field (); plain (i + 1)
+      | '\n' -> flush_row (); plain (i + 1)
+      | '\r' -> plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c -> Buffer.add_char buf c; plain (i + 1)
+  and quoted i =
+    if i >= n then failwith "unterminated quoted field"
+    else
+      match text.[i] with
+      | '"' when i + 1 < n && text.[i + 1] = '"' ->
+          Buffer.add_char buf '"'; quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c -> Buffer.add_char buf c; quoted (i + 1)
+  in
+  plain 0;
+  List.rev !rows
+
+let header schema =
+  String.concat ","
+    (List.map
+       (fun c ->
+         Printf.sprintf "%s:%s" c.Schema.name (Value.ty_to_string c.Schema.ty))
+       (Schema.columns schema))
+  ^ ",start,stop"
+
+let row_of_tuple tuple =
+  let fields =
+    Array.to_list (Array.map (fun v -> quote_field (Value.to_string v))
+                     (Tuple.values tuple))
+  in
+  String.concat ","
+    (fields
+    @ [ Chronon.to_string (Tuple.start tuple);
+        Chronon.to_string (Tuple.stop tuple) ])
+
+let to_string rel =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (header (Trel.schema rel));
+  Buffer.add_char buf '\n';
+  Trel.iter
+    (fun tuple ->
+      Buffer.add_string buf (row_of_tuple tuple);
+      Buffer.add_char buf '\n')
+    rel;
+  Buffer.contents buf
+
+let to_channel oc rel = output_string oc (to_string rel)
+
+let parse_header fields =
+  let rec split_cols acc = function
+    | [ "start"; "stop" ] -> Ok (List.rev acc)
+    | decl :: rest -> (
+        match String.index_opt decl ':' with
+        | None ->
+            Error (Printf.sprintf "header: missing type in column %S" decl)
+        | Some i -> (
+            let name = String.sub decl 0 i in
+            let ty_s = String.sub decl (i + 1) (String.length decl - i - 1) in
+            match Value.ty_of_string ty_s with
+            | None -> Error (Printf.sprintf "header: unknown type %S" ty_s)
+            | Some ty -> split_cols ({ Schema.name; ty } :: acc) rest))
+    | [] -> Error "header: missing start,stop columns"
+  in
+  match split_cols [] fields with
+  | Ok cols -> (
+      match Schema.make cols with
+      | schema -> Ok schema
+      | exception Invalid_argument msg -> Error msg)
+  | Error _ as e -> e
+
+let parse_chronon s =
+  if s = "oo" || s = "inf" then Ok Chronon.forever
+  else
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok (Chronon.of_int n)
+    | Some _ -> Error (Printf.sprintf "negative timestamp %S" s)
+    | None -> Error (Printf.sprintf "bad timestamp %S" s)
+
+let parse_tuple schema line_no fields =
+  let arity = Schema.arity schema in
+  if List.length fields <> arity + 2 then
+    Error (Printf.sprintf "line %d: expected %d fields, got %d" line_no
+             (arity + 2) (List.length fields))
+  else
+    let rec values i acc = function
+      | [ s; e ] -> (
+          match (parse_chronon s, parse_chronon e) with
+          | Ok start, Ok stop -> (
+              match Interval.make start stop with
+              | iv -> Ok (Tuple.make (Array.of_list (List.rev acc)) iv)
+              | exception Invalid_argument msg ->
+                  Error (Printf.sprintf "line %d: %s" line_no msg))
+          | Error msg, _ | _, Error msg ->
+              Error (Printf.sprintf "line %d: %s" line_no msg))
+      | field :: rest -> (
+          let ty = (Schema.column schema i).Schema.ty in
+          match Value.of_string ty field with
+          | Ok v -> values (i + 1) (v :: acc) rest
+          | Error msg -> Error (Printf.sprintf "line %d: %s" line_no msg))
+      | [] -> Error (Printf.sprintf "line %d: truncated row" line_no)
+    in
+    values 0 [] fields
+
+let of_string text =
+  match parse_rows text with
+  | exception Failure msg -> Error msg
+  | [] -> Error "empty document"
+  | header :: rows -> (
+      match parse_header header with
+      | Error _ as e -> e
+      | Ok schema ->
+          let rec build line_no acc = function
+            | [] -> Ok (Trel.create schema (List.rev acc))
+            | row :: rest -> (
+                match parse_tuple schema line_no row with
+                | Ok tuple -> build (line_no + 1) (tuple :: acc) rest
+                | Error _ as e -> e)
+          in
+          build 2 [] rows)
+
+let of_channel ic = of_string (In_channel.input_all ic)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg
+
+let save path rel =
+  Out_channel.with_open_text path (fun oc -> to_channel oc rel)

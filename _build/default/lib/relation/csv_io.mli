@@ -1,0 +1,31 @@
+(** CSV import/export of temporal relations.
+
+    Format: a header line of [name:type] column declarations followed by the
+    two implicit valid-time columns [start] and [stop]; one data row per
+    tuple.  [stop] may be ["oo"] for an unbounded interval.  Fields
+    containing commas, quotes or newlines are double-quoted with doubled
+    inner quotes (RFC-4180 style).
+
+    Example:
+    {v
+    name:string,salary:int,start,stop
+    Richard,40000,18,oo
+    Karen,45000,8,20
+    v} *)
+
+val to_string : Trel.t -> string
+
+val to_channel : out_channel -> Trel.t -> unit
+
+val of_string : string -> (Trel.t, string) result
+(** Parses a whole CSV document; returns a descriptive error on malformed
+    input (bad header, wrong arity, unparsable literal or timestamp,
+    start after stop). *)
+
+val of_channel : in_channel -> (Trel.t, string) result
+
+val load : string -> (Trel.t, string) result
+(** Read a relation from the named file. *)
+
+val save : string -> Trel.t -> unit
+(** Write a relation to the named file. *)

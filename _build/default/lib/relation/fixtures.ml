@@ -1,0 +1,29 @@
+open Temporal
+
+let employed_schema =
+  Schema.of_pairs [ ("name", Value.Tstring); ("salary", Value.Tint) ]
+
+let employed_tuple name salary start stop =
+  Tuple.make
+    [| Value.Str name; Value.Int salary |]
+    (Interval.make (Chronon.of_int start) stop)
+
+let employed () =
+  Trel.create employed_schema
+    [
+      employed_tuple "Richard" 40_000 18 Chronon.forever;
+      employed_tuple "Karen" 45_000 8 (Chronon.of_int 20);
+      employed_tuple "Nathan" 35_000 7 (Chronon.of_int 12);
+      employed_tuple "Nathan" 37_000 18 (Chronon.of_int 21);
+    ]
+
+let employed_count =
+  [
+    (Interval.of_ints 0 6, 0);
+    (Interval.of_ints 7 7, 1);
+    (Interval.of_ints 8 12, 2);
+    (Interval.of_ints 13 17, 1);
+    (Interval.of_ints 18 20, 3);
+    (Interval.of_ints 21 21, 2);
+    (Interval.make (Chronon.of_int 22) Chronon.forever, 1);
+  ]

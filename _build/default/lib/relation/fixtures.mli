@@ -1,0 +1,21 @@
+(** Canonical example relations from the paper. *)
+
+val employed_schema : Schema.t
+(** [(name:string, salary:int)] plus valid time. *)
+
+val employed : unit -> Trel.t
+(** The Employed relation of Figure 1:
+    {v
+    Richard  40K  [18,oo]
+    Karen    45K  [ 8,20]
+    Nathan   35K  [ 7,12]
+    Nathan   37K  [18,21]
+    v}
+    Nathan is unemployed during [13,17]; the relation is in no particular
+    order; COUNT over it yields the seven constant intervals of Table 1. *)
+
+val employed_count : (Temporal.Interval.t * int) list
+(** Table 1 extended with the leading empty interval: the COUNT aggregate of
+    the Employed relation at every instant — the 7 constant intervals
+    [[0,6]:0; [7,7]:1; [8,12]:2; [13,17]:1; [18,20]:3; [21,21]:2;
+    [22,oo]:1]. *)

@@ -1,0 +1,44 @@
+type column = { name : string; ty : Value.ty }
+
+type t = column array
+
+let make cols =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      if c.name = "" then invalid_arg "Schema.make: empty column name";
+      if Hashtbl.mem seen c.name then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate column %S" c.name);
+      Hashtbl.add seen c.name ())
+    cols;
+  Array.of_list cols
+
+let of_pairs pairs = make (List.map (fun (name, ty) -> { name; ty }) pairs)
+let columns t = Array.to_list t
+let arity = Array.length
+
+let index_of t name =
+  let rec search i =
+    if i >= Array.length t then None
+    else if t.(i).name = name then Some i
+    else search (i + 1)
+  in
+  search 0
+
+let column t i =
+  if i < 0 || i >= Array.length t then invalid_arg "Schema.column: out of range";
+  t.(i)
+
+let ty_of t name = Option.map (fun i -> t.(i).ty) (index_of t name)
+let mem t name = Option.is_some (index_of t name)
+
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> x.name = y.name && x.ty = y.ty) a b
+
+let pp ppf t =
+  Format.fprintf ppf "(%s)"
+    (String.concat ", "
+       (List.map
+          (fun c -> Printf.sprintf "%s:%s" c.name (Value.ty_to_string c.ty))
+          (columns t)))

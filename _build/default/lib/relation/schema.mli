@@ -1,0 +1,31 @@
+(** Relation schemas: ordered, uniquely named, typed columns.
+
+    The valid-time dimension is not a column; every tuple of a temporal
+    relation carries a valid interval alongside its column values
+    (see {!Tuple}). *)
+
+type column = { name : string; ty : Value.ty }
+
+type t
+
+val make : column list -> t
+(** @raise Invalid_argument on duplicate or empty column names. *)
+
+val of_pairs : (string * Value.ty) list -> t
+
+val columns : t -> column list
+val arity : t -> int
+
+val index_of : t -> string -> int option
+(** Position of the named column. *)
+
+val column : t -> int -> column
+(** @raise Invalid_argument if out of range. *)
+
+val ty_of : t -> string -> Value.ty option
+
+val mem : t -> string -> bool
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

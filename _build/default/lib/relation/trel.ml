@@ -1,0 +1,86 @@
+open Temporal
+
+type t = { schema : Schema.t; tuples : Tuple.t array }
+
+let check_tuple schema tuple =
+  let values = Tuple.values tuple in
+  if Array.length values <> Schema.arity schema then
+    invalid_arg
+      (Printf.sprintf "Trel: tuple arity %d, schema arity %d"
+         (Array.length values) (Schema.arity schema));
+  Array.iteri
+    (fun i v ->
+      match Value.type_of v with
+      | None -> ()
+      | Some ty ->
+          let col = Schema.column schema i in
+          if col.Schema.ty <> ty then
+            invalid_arg
+              (Printf.sprintf "Trel: column %s expects %s, got %s"
+                 col.Schema.name
+                 (Value.ty_to_string col.Schema.ty)
+                 (Value.ty_to_string ty)))
+    values
+
+let of_array schema tuples =
+  Array.iter (check_tuple schema) tuples;
+  { schema; tuples }
+
+let create schema tuples = of_array schema (Array.of_list tuples)
+let schema t = t.schema
+let cardinality t = Array.length t.tuples
+
+let get t i =
+  if i < 0 || i >= Array.length t.tuples then
+    invalid_arg "Trel.get: out of range";
+  t.tuples.(i)
+
+let tuples t = Array.to_list t.tuples
+let to_seq t = Array.to_seq t.tuples
+let iter f t = Array.iter f t.tuples
+let fold f acc t = Array.fold_left f acc t.tuples
+
+let filter p t =
+  { t with tuples = Array.of_list (List.filter p (tuples t)) }
+
+let append a b =
+  if not (Schema.equal a.schema b.schema) then
+    invalid_arg "Trel.append: schemas differ";
+  { a with tuples = Array.append a.tuples b.tuples }
+
+let sort_by_time t =
+  let copy = Array.copy t.tuples in
+  Array.stable_sort Tuple.compare_by_time copy;
+  { t with tuples = copy }
+
+let is_time_ordered t =
+  let ordered = ref true in
+  for i = 0 to Array.length t.tuples - 2 do
+    if Tuple.compare_by_time t.tuples.(i) t.tuples.(i + 1) > 0 then
+      ordered := false
+  done;
+  !ordered
+
+let lifespan t =
+  Array.fold_left
+    (fun acc tuple ->
+      let iv = Tuple.valid tuple in
+      match acc with
+      | None -> Some iv
+      | Some hull -> Some (Interval.hull hull iv))
+    None t.tuples
+
+let agg_input t ~column =
+  match Schema.index_of t.schema column with
+  | None -> invalid_arg (Printf.sprintf "Trel.agg_input: no column %S" column)
+  | Some i ->
+      Seq.map
+        (fun tuple -> (Tuple.valid tuple, Tuple.value tuple i))
+        (to_seq t)
+
+let intervals t = Seq.map Tuple.valid (to_seq t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@,%a@]" Schema.pp t.schema
+    (Format.pp_print_list Tuple.pp)
+    (tuples t)

@@ -1,0 +1,28 @@
+open Temporal
+
+type t = { values : Value.t array; valid : Interval.t }
+
+let make values valid = { values; valid }
+let values t = t.values
+
+let value t i =
+  if i < 0 || i >= Array.length t.values then
+    invalid_arg "Tuple.value: column index out of range";
+  t.values.(i)
+
+let valid t = t.valid
+let with_valid t valid = { t with valid }
+let start t = Interval.start t.valid
+let stop t = Interval.stop t.valid
+let compare_by_time a b = Interval.compare a.valid b.valid
+
+let equal a b =
+  Interval.equal a.valid b.valid
+  && Array.length a.values = Array.length b.values
+  && Array.for_all2 Value.equal a.values b.values
+
+let pp ppf t =
+  Format.fprintf ppf "(%s) %a"
+    (String.concat ", "
+       (Array.to_list (Array.map Value.to_string t.values)))
+    Interval.pp t.valid

@@ -1,0 +1,28 @@
+(** Tuples of a valid-time relation: column values plus a valid interval. *)
+
+open Temporal
+
+type t
+
+val make : Value.t array -> Interval.t -> t
+
+val values : t -> Value.t array
+(** The underlying array; callers must not mutate it. *)
+
+val value : t -> int -> Value.t
+(** @raise Invalid_argument if the index is out of range. *)
+
+val valid : t -> Interval.t
+
+val with_valid : t -> Interval.t -> t
+
+val start : t -> Chronon.t
+val stop : t -> Chronon.t
+
+val compare_by_time : t -> t -> int
+(** The paper's "totally ordered by time": by start time, ties broken by
+    stop time (Section 5.2). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+type ty = Tint | Tfloat | Tstring
+
+type t = Int of int | Float of float | Str of string | Null
+
+let type_of = function
+  | Int _ -> Some Tint
+  | Float _ -> Some Tfloat
+  | Str _ -> Some Tstring
+  | Null -> None
+
+let ty_to_string = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tstring -> "string"
+
+let ty_of_string = function
+  | "int" -> Some Tint
+  | "float" -> Some Tfloat
+  | "string" -> Some Tstring
+  | _ -> None
+
+let is_null = function Null -> true | Int _ | Float _ | Str _ -> false
+let equal a b = Stdlib.compare a b = 0
+
+let rank = function Null -> 0 | Int _ -> 1 | Float _ -> 1 | Str _ -> 2
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | Null, Null -> 0
+  | _ -> Int.compare (rank a) (rank b)
+
+let to_int = function Int n -> Some n | Float _ | Str _ | Null -> None
+
+let to_float = function
+  | Int n -> Some (float_of_int n)
+  | Float f -> Some f
+  | Str _ | Null -> None
+
+let of_string ty s =
+  if s = "" then Ok Null
+  else
+    match ty with
+    | Tint -> (
+        match int_of_string_opt s with
+        | Some n -> Ok (Int n)
+        | None -> Error (Printf.sprintf "not an int literal: %S" s))
+    | Tfloat -> (
+        match float_of_string_opt s with
+        | Some f -> Ok (Float f)
+        | None -> Error (Printf.sprintf "not a float literal: %S" s))
+    | Tstring -> Ok (Str s)
+
+let to_string = function
+  | Int n -> string_of_int n
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+  | Null -> ""
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

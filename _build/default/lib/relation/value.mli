@@ -1,0 +1,35 @@
+(** Attribute values of temporal relations.
+
+    The paper's test relation carries a name (string), a salary (int) and
+    the two timestamps; we support the scalar types needed by the TSQL2
+    subset and the aggregates. *)
+
+type ty = Tint | Tfloat | Tstring
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Null  (** SQL NULL; aggregates skip it, comparisons treat it as unknown *)
+
+val type_of : t -> ty option
+(** [None] for {!Null}. *)
+
+val ty_to_string : ty -> string
+val ty_of_string : string -> ty option
+
+val is_null : t -> bool
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order for sorting: Null < Int/Float (numerically) < Str. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** Numeric coercions; [Int] coerces to float, nothing coerces to int. *)
+
+val of_string : ty -> string -> (t, string) result
+(** Parse a literal of the given type; empty string parses to {!Null}. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+type t = {
+  title : string;
+  x_label : string;
+  unit_label : string;
+  mutable xs : int list;  (* reversed insertion order *)
+  mutable names : string list;  (* reversed insertion order *)
+  points : (int * string, float) Hashtbl.t;
+}
+
+let create ~title ~x_label ~unit_label =
+  { title; x_label; unit_label; xs = []; names = []; points = Hashtbl.create 64 }
+
+let add t ~x ~series v =
+  if not (List.mem x t.xs) then t.xs <- x :: t.xs;
+  if not (List.mem series t.names) then t.names <- series :: t.names;
+  Hashtbl.replace t.points (x, series) v
+
+let x_values t = List.rev t.xs
+let series_names t = List.rev t.names
+let get t ~x ~series = Hashtbl.find_opt t.points (x, series)
+
+let format_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else if Float.abs v >= 100. then Printf.sprintf "%.1f" v
+  else if Float.abs v >= 1. then Printf.sprintf "%.3f" v
+  else Printf.sprintf "%.6f" v
+
+let rows t =
+  List.map
+    (fun x ->
+      string_of_int x
+      :: List.map
+           (fun name ->
+             match get t ~x ~series:name with
+             | Some v -> format_value v
+             | None -> "-")
+           (series_names t))
+    (x_values t)
+
+let to_string t =
+  Printf.sprintf "%s (%s)\n%s" t.title t.unit_label
+    (Table.to_string ~headers:(t.x_label :: series_names t) (rows t))
+
+let to_csv t =
+  let header = String.concat "," (t.x_label :: series_names t) in
+  let lines = List.map (String.concat ",") (rows t) in
+  String.concat "\n" (header :: lines) ^ "\n"
+
+let print t = print_endline (to_string t)

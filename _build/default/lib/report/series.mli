@@ -1,0 +1,23 @@
+(** Experiment series — the textual equivalent of the paper's log-log
+    figures: one row per x value (relation size), one column per curve
+    (algorithm). *)
+
+type t
+
+val create : title:string -> x_label:string -> unit_label:string -> t
+
+val add : t -> x:int -> series:string -> float -> unit
+(** Record one measurement.  Re-adding the same (x, series) overwrites. *)
+
+val x_values : t -> int list
+val series_names : t -> string list
+val get : t -> x:int -> series:string -> float option
+
+val to_string : t -> string
+(** Render as a table: first column x, then one column per series (in
+    insertion order), missing points as ["-"].  Values are printed with
+    engineering-style precision. *)
+
+val to_csv : t -> string
+
+val print : t -> unit

@@ -1,0 +1,44 @@
+let is_numeric s =
+  s <> ""
+  && String.for_all
+       (function
+         | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' | '%' | 'x' -> true
+         | _ -> false)
+       s
+
+let to_string ~headers rows =
+  let arity = List.length headers in
+  List.iteri
+    (fun i row ->
+      if List.length row <> arity then
+        invalid_arg
+          (Printf.sprintf "Table.to_string: row %d has %d cells, expected %d"
+             i (List.length row) arity))
+    rows;
+  let widths = Array.of_list (List.map String.length headers) in
+  List.iter
+    (List.iteri (fun i cell ->
+         widths.(i) <- Stdlib.max widths.(i) (String.length cell)))
+    rows;
+  let pad i cell =
+    let w = widths.(i) in
+    let gap = w - String.length cell in
+    if is_numeric cell then String.make gap ' ' ^ cell
+    else cell ^ String.make gap ' '
+  in
+  let line cells = "| " ^ String.concat " | " (List.mapi pad cells) ^ " |" in
+  let rule =
+    "+"
+    ^ String.concat "+"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.add_string buf (line headers ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (line row ^ "\n")) rows;
+  Buffer.add_string buf rule;
+  Buffer.contents buf
+
+let print ~headers rows = print_endline (to_string ~headers rows)

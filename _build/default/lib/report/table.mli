@@ -1,0 +1,10 @@
+(** Fixed-width ASCII tables for experiment output. *)
+
+val to_string : headers:string list -> string list list -> string
+(** Render rows under the given headers; every column is sized to its
+    widest cell.  Numeric-looking cells are right-aligned, the rest
+    left-aligned.
+    @raise Invalid_argument if a row's arity differs from the header's. *)
+
+val print : headers:string list -> string list list -> unit
+(** [to_string] to stdout. *)

@@ -1,0 +1,1 @@
+lib/storage/codec.ml: Array Bytes Char Chronon Int64 Interval Printf Relation Schema String Temporal Tuple Value

@@ -1,0 +1,1 @@
+lib/storage/external_sort.ml: Array Filename Fun Heap_file List Relation Seq Stdlib Sys Tuple

@@ -1,0 +1,1 @@
+lib/storage/heap_file.ml: Array Buffer_pool Bytes Codec Fun Int32 Int64 Io_stats List Printf Relation Schema Seq String Trel Tuple Value

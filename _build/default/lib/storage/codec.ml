@@ -1,0 +1,96 @@
+open Temporal
+open Relation
+
+let default_slot_bytes = 128
+
+let tag_null = '\000'
+let tag_int = '\001'
+let tag_float = '\002'
+let tag_str = '\003'
+
+let value_size = function
+  | Value.Null -> 1
+  | Value.Int _ | Value.Float _ -> 9
+  | Value.Str s -> 3 + String.length s
+
+let encoded_size tuple =
+  16 + Array.fold_left (fun acc v -> acc + value_size v) 0 (Tuple.values tuple)
+
+let encode_into ~slot_bytes tuple buf ~pos =
+  let need = encoded_size tuple in
+  if need > slot_bytes then
+    invalid_arg
+      (Printf.sprintf "Codec.encode: tuple needs %d bytes, slot is %d" need
+         slot_bytes);
+  Bytes.fill buf pos slot_bytes '\000';
+  let valid = Tuple.valid tuple in
+  Bytes.set_int64_le buf pos
+    (Int64.of_int (Chronon.to_int (Interval.start valid)));
+  Bytes.set_int64_le buf (pos + 8)
+    (Int64.of_int (Chronon.to_int (Interval.stop valid)));
+  let cursor = ref (pos + 16) in
+  Array.iter
+    (fun v ->
+      (match v with
+      | Value.Null -> Bytes.set buf !cursor tag_null
+      | Value.Int n ->
+          Bytes.set buf !cursor tag_int;
+          Bytes.set_int64_le buf (!cursor + 1) (Int64.of_int n)
+      | Value.Float f ->
+          Bytes.set buf !cursor tag_float;
+          Bytes.set_int64_le buf (!cursor + 1) (Int64.bits_of_float f)
+      | Value.Str s ->
+          Bytes.set buf !cursor tag_str;
+          Bytes.set_uint16_le buf (!cursor + 1) (String.length s);
+          Bytes.blit_string s 0 buf (!cursor + 3) (String.length s));
+      cursor := !cursor + value_size v)
+    (Tuple.values tuple)
+
+let encode ~slot_bytes tuple =
+  let buf = Bytes.create slot_bytes in
+  encode_into ~slot_bytes tuple buf ~pos:0;
+  buf
+
+let decode schema buf ~pos =
+  let start = Int64.to_int (Bytes.get_int64_le buf pos) in
+  let stop = Int64.to_int (Bytes.get_int64_le buf (pos + 8)) in
+  let valid =
+    match
+      Interval.make (Chronon.of_int start)
+        (if stop = max_int then Chronon.forever else Chronon.of_int stop)
+    with
+    | iv -> iv
+    | exception Invalid_argument msg ->
+        invalid_arg ("Codec.decode: corrupt valid time: " ^ msg)
+  in
+  let cursor = ref (pos + 16) in
+  let column i =
+    let expected = (Schema.column schema i).Schema.ty in
+    let tag = Bytes.get buf !cursor in
+    let v =
+      if tag = tag_null then Value.Null
+      else if tag = tag_int && expected = Value.Tint then
+        Value.Int (Int64.to_int (Bytes.get_int64_le buf (!cursor + 1)))
+      else if tag = tag_float && expected = Value.Tfloat then
+        Value.Float (Int64.float_of_bits (Bytes.get_int64_le buf (!cursor + 1)))
+      else if tag = tag_str && expected = Value.Tstring then begin
+        let len = Bytes.get_uint16_le buf (!cursor + 1) in
+        Value.Str (Bytes.sub_string buf (!cursor + 3) len)
+      end
+      else
+        invalid_arg
+          (Printf.sprintf "Codec.decode: tag %d does not match %s column"
+             (Char.code tag)
+             (Value.ty_to_string expected))
+    in
+    cursor := !cursor + value_size v;
+    v
+  in
+  (* Fields must be decoded left to right (the cursor is stateful);
+     Array.init's application order is unspecified, so loop explicitly. *)
+  let arity = Schema.arity schema in
+  let values = Array.make arity Value.Null in
+  for i = 0 to arity - 1 do
+    values.(i) <- column i
+  done;
+  Tuple.make values valid

@@ -1,0 +1,30 @@
+(** Fixed-width binary encoding of tuples.
+
+    Tuples are stored in fixed-size slots (default 128 bytes — the
+    paper's tuple size) so that a page holds a predictable number of
+    records and a scan is strictly sequential.  Layout: the two
+    valid-time chronons as little-endian 64-bit integers
+    ({!Temporal.Chronon.forever} encodes the unbounded stop), followed by
+    one tagged field per column (null / int / float / length-prefixed
+    string), followed by zero padding. *)
+
+val default_slot_bytes : int
+(** 128, the paper's tuple size. *)
+
+val encoded_size : Relation.Tuple.t -> int
+(** The number of bytes the tuple needs (before padding). *)
+
+val encode :
+  slot_bytes:int -> Relation.Tuple.t -> bytes
+(** A fresh buffer of exactly [slot_bytes].
+    @raise Invalid_argument if the tuple needs more than [slot_bytes]
+    bytes (oversized strings). *)
+
+val encode_into :
+  slot_bytes:int -> Relation.Tuple.t -> bytes -> pos:int -> unit
+(** In-place variant for page assembly. *)
+
+val decode : Relation.Schema.t -> bytes -> pos:int -> Relation.Tuple.t
+(** Decode one slot starting at [pos]; the schema dictates the column
+    count (types are checked against the stored tags).
+    @raise Invalid_argument on a corrupt slot. *)

@@ -1,0 +1,185 @@
+open Relation
+
+(* A tiny binary min-heap over (tuple, run-id, cursor); ordered by valid
+   time with the run id breaking ties, which keeps the merge stable. *)
+module Merge_heap = struct
+  type entry = {
+    tuple : Tuple.t;
+    run : int;
+    mutable rest : Tuple.t Seq.t;
+  }
+
+  type t = { mutable data : entry array; mutable size : int }
+
+  let create () = { data = [||]; size = 0 }
+
+  let less a b =
+    let c = Tuple.compare_by_time a.tuple b.tuple in
+    if c <> 0 then c < 0 else a.run < b.run
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let rec sift_up h i =
+    let parent = (i - 1) / 2 in
+    if i > 0 && less h.data.(i) h.data.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+
+  let rec sift_down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
+    if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
+    if !smallest <> i then begin
+      swap h i !smallest;
+      sift_down h !smallest
+    end
+
+  let push h entry =
+    if h.size = Array.length h.data then begin
+      let grown = Array.make (Stdlib.max 4 (2 * h.size)) entry in
+      Array.blit h.data 0 grown 0 h.size;
+      h.data <- grown
+    end;
+    h.data.(h.size) <- entry;
+    h.size <- h.size + 1;
+    sift_up h (h.size - 1)
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      if h.size > 0 then begin
+        h.data.(0) <- h.data.(h.size);
+        sift_down h 0
+      end;
+      Some top
+    end
+end
+
+let run_count ~n ~memory_tuples = (n + memory_tuples - 1) / memory_tuples
+
+let estimated_page_io ~n ~pages ~memory_tuples ~fan_in =
+  let rec levels runs acc =
+    if runs <= 1 then acc
+    else levels ((runs + fan_in - 1) / fan_in) (acc + 1)
+  in
+  let merge_levels = levels (run_count ~n ~memory_tuples) 0 in
+  (* Run formation reads and writes everything once; each merge level
+     does the same. *)
+  2 * pages * (1 + merge_levels)
+
+let temp_run () = Filename.temp_file "tempagg_run" ".heap"
+
+(* Write [tuples] (already sorted) as one run. *)
+let write_run ~stats ~page_size ~slot_bytes schema tuples =
+  let path = temp_run () in
+  let w = Heap_file.create ~page_size ~slot_bytes ~stats path schema in
+  Fun.protect
+    ~finally:(fun () -> Heap_file.close_writer w)
+    (fun () -> List.iter (Heap_file.append w) tuples);
+  path
+
+(* Merge the given runs into [dst_path]; consumes (deletes) the runs. *)
+let merge_runs ~stats ~page_size ~slot_bytes schema runs dst_path =
+  let readers =
+    List.map (fun path -> (path, Heap_file.open_reader ~stats path)) runs
+  in
+  let w = Heap_file.create ~page_size ~slot_bytes ~stats dst_path schema in
+  Fun.protect
+    ~finally:(fun () ->
+      Heap_file.close_writer w;
+      List.iter
+        (fun (path, r) ->
+          Heap_file.close_reader r;
+          Sys.remove path)
+        readers)
+    (fun () ->
+      let heap = Merge_heap.create () in
+      List.iteri
+        (fun run (_, r) ->
+          match (Heap_file.scan r) () with
+          | Seq.Nil -> ()
+          | Seq.Cons (tuple, rest) ->
+              Merge_heap.push heap { Merge_heap.tuple; run; rest })
+        readers;
+      let rec drain () =
+        match Merge_heap.pop heap with
+        | None -> ()
+        | Some entry ->
+            Heap_file.append w entry.Merge_heap.tuple;
+            (match entry.Merge_heap.rest () with
+            | Seq.Nil -> ()
+            | Seq.Cons (tuple, rest) ->
+                Merge_heap.push heap
+                  { entry with Merge_heap.tuple; rest });
+            drain ()
+      in
+      drain ())
+
+let chunk size l =
+  let rec go acc current n = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | x :: rest ->
+        if n = size then go (List.rev current :: acc) [ x ] 1 rest
+        else go acc (x :: current) (n + 1) rest
+  in
+  go [] [] 0 l
+
+let rec merge_passes ~stats ~page_size ~slot_bytes ~fan_in schema runs dst =
+  match runs with
+  | [] ->
+      let w = Heap_file.create ~page_size ~slot_bytes ~stats dst schema in
+      Heap_file.close_writer w
+  | runs when List.length runs <= fan_in ->
+      merge_runs ~stats ~page_size ~slot_bytes schema runs dst
+  | runs ->
+      let next =
+        List.map
+          (fun group ->
+            let tmp = temp_run () in
+            merge_runs ~stats ~page_size ~slot_bytes schema group tmp;
+            tmp)
+          (chunk fan_in runs)
+      in
+      merge_passes ~stats ~page_size ~slot_bytes ~fan_in schema next dst
+
+let sort ?(memory_tuples = 4096) ?(fan_in = 16) ~stats ~src ~dst () =
+  if memory_tuples <= 0 then
+    invalid_arg "External_sort.sort: memory_tuples must be positive";
+  if fan_in < 2 then invalid_arg "External_sort.sort: fan_in must be >= 2";
+  let reader = Heap_file.open_reader ~stats src in
+  let schema = Heap_file.schema reader in
+  let page_size = Heap_file.page_size reader in
+  let slot_bytes = Heap_file.slot_bytes reader in
+  let runs =
+    Fun.protect
+      ~finally:(fun () -> Heap_file.close_reader reader)
+      (fun () ->
+        let runs = ref [] and buffer = ref [] and buffered = ref 0 in
+        let spill () =
+          if !buffered > 0 then begin
+            let sorted =
+              List.stable_sort Tuple.compare_by_time (List.rev !buffer)
+            in
+            runs :=
+              write_run ~stats ~page_size ~slot_bytes schema sorted :: !runs;
+            buffer := [];
+            buffered := 0
+          end
+        in
+        Seq.iter
+          (fun tuple ->
+            buffer := tuple :: !buffer;
+            incr buffered;
+            if !buffered = memory_tuples then spill ())
+          (Heap_file.scan reader);
+        spill ();
+        List.rev !runs)
+  in
+  merge_passes ~stats ~page_size ~slot_bytes ~fan_in schema runs dst

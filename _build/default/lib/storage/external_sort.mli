@@ -1,0 +1,33 @@
+(** External merge sort of heap files by valid time.
+
+    The paper's headline recommendation — "first sort the underlying
+    relation, then apply the k-ordered aggregation tree with k = 1" —
+    requires sorting relations that exceed main memory.  This is the
+    classic run-formation + k-way-merge sort: runs of [memory_tuples]
+    tuples are sorted in memory and spilled, then merged [fan_in] runs at
+    a time.  All page traffic (source scan, run writes, merge passes) is
+    charged to the supplied {!Io_stats}, so the Section 6.3 trade-off
+    "disk access time necessary to sort" can be measured. *)
+
+val sort :
+  ?memory_tuples:int ->
+  ?fan_in:int ->
+  stats:Io_stats.t ->
+  src:string ->
+  dst:string ->
+  unit ->
+  unit
+(** Sort the heap file [src] into a new heap file [dst] by (start, stop).
+    The sort is stable.  Defaults: [memory_tuples = 4096] (a few hundred
+    KB of 128-byte slots), [fan_in = 16].  Temporary run files are
+    created via {!Filename.temp_file} and removed afterwards.
+    @raise Invalid_argument if [src] is not a heap file, or the knobs are
+    not positive. *)
+
+val run_count : n:int -> memory_tuples:int -> int
+(** Number of initial runs the sort will form — exposed for cost
+    estimation ([ceil (n / memory_tuples)]). *)
+
+val estimated_page_io : n:int -> pages:int -> memory_tuples:int -> fan_in:int -> int
+(** Predicted total page transfers: one read and one write of the data
+    per merge level plus the initial run formation. *)

@@ -1,0 +1,234 @@
+open Relation
+
+let default_page_size = 8192
+let magic = "TAG1"
+
+let schema_to_string schema =
+  String.concat ","
+    (List.map
+       (fun c ->
+         Printf.sprintf "%s:%s" c.Schema.name (Value.ty_to_string c.Schema.ty))
+       (Schema.columns schema))
+
+let schema_of_string text =
+  let column decl =
+    match String.index_opt decl ':' with
+    | None -> invalid_arg "Heap_file: malformed schema in header"
+    | Some i -> (
+        let name = String.sub decl 0 i in
+        let ty_s = String.sub decl (i + 1) (String.length decl - i - 1) in
+        match Value.ty_of_string ty_s with
+        | Some ty -> { Schema.name; ty }
+        | None -> invalid_arg "Heap_file: unknown column type in header")
+  in
+  Schema.make (List.map column (String.split_on_char ',' text))
+
+(* Header page layout: magic(4) version(4) page_size(4) slot_bytes(4)
+   count(8) schema_len(4) schema bytes, zero-padded to page_size. *)
+let header_fixed = 4 + 4 + 4 + 4 + 8 + 4
+
+let encode_header ~page_size ~slot_bytes ~count schema =
+  let decl = schema_to_string schema in
+  if header_fixed + String.length decl > page_size then
+    invalid_arg "Heap_file: schema declaration does not fit the header page";
+  let buf = Bytes.make page_size '\000' in
+  Bytes.blit_string magic 0 buf 0 4;
+  Bytes.set_int32_le buf 4 1l;
+  Bytes.set_int32_le buf 8 (Int32.of_int page_size);
+  Bytes.set_int32_le buf 12 (Int32.of_int slot_bytes);
+  Bytes.set_int64_le buf 16 (Int64.of_int count);
+  Bytes.set_int32_le buf 24 (Int32.of_int (String.length decl));
+  Bytes.blit_string decl 0 buf 28 (String.length decl);
+  buf
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type writer = {
+  oc : out_channel;
+  schema : Schema.t;
+  page_size : int;
+  slot_bytes : int;
+  slots_per_page : int;
+  page : bytes;
+  w_stats : Io_stats.t;
+  mutable used : int;  (* slots in the current page *)
+  mutable count : int;
+  mutable w_closed : bool;
+}
+
+let create ?(page_size = default_page_size)
+    ?(slot_bytes = Codec.default_slot_bytes) ~stats path schema =
+  let slots_per_page = (page_size - 4) / slot_bytes in
+  if slots_per_page < 1 then
+    invalid_arg "Heap_file.create: page cannot hold a single slot";
+  (* Validate the schema fits before touching the file. *)
+  ignore (encode_header ~page_size ~slot_bytes ~count:0 schema);
+  let oc = open_out_bin path in
+  (* Reserve the header page; the real header lands at close, when the
+     tuple count is known. *)
+  output_bytes oc (Bytes.make page_size '\000');
+  {
+    oc;
+    schema;
+    page_size;
+    slot_bytes;
+    slots_per_page;
+    page = Bytes.make page_size '\000';
+    w_stats = stats;
+    used = 0;
+    count = 0;
+    w_closed = false;
+  }
+
+let flush_page w =
+  if w.used > 0 then begin
+    Bytes.set_int32_le w.page 0 (Int32.of_int w.used);
+    output_bytes w.oc w.page;
+    Io_stats.write_page w.w_stats;
+    Bytes.fill w.page 0 w.page_size '\000';
+    w.used <- 0
+  end
+
+let check_tuple w tuple =
+  let values = Tuple.values tuple in
+  if Array.length values <> Schema.arity w.schema then
+    invalid_arg "Heap_file.append: tuple arity disagrees with the schema"
+
+let append w tuple =
+  if w.w_closed then invalid_arg "Heap_file.append: writer is closed";
+  check_tuple w tuple;
+  Codec.encode_into ~slot_bytes:w.slot_bytes tuple w.page
+    ~pos:(4 + (w.used * w.slot_bytes));
+  w.used <- w.used + 1;
+  w.count <- w.count + 1;
+  if w.used = w.slots_per_page then flush_page w
+
+let close_writer w =
+  if not w.w_closed then begin
+    w.w_closed <- true;
+    flush_page w;
+    seek_out w.oc 0;
+    output_bytes w.oc
+      (encode_header ~page_size:w.page_size ~slot_bytes:w.slot_bytes
+         ~count:w.count w.schema);
+    Io_stats.write_page w.w_stats;
+    close_out w.oc
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type reader = {
+  ic : in_channel;
+  r_path : string;
+  r_schema : Schema.t;
+  r_page_size : int;
+  r_slot_bytes : int;
+  r_count : int;
+  r_pages : int;
+  r_stats : Io_stats.t;
+  mutable r_closed : bool;
+}
+
+let open_reader ~stats path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> invalid_arg ("Heap_file.open_reader: " ^ msg)
+  in
+  let head = Bytes.create header_fixed in
+  (try really_input ic head 0 header_fixed
+   with End_of_file ->
+     close_in ic;
+     invalid_arg "Heap_file.open_reader: truncated header");
+  if Bytes.sub_string head 0 4 <> magic then begin
+    close_in ic;
+    invalid_arg "Heap_file.open_reader: bad magic (not a heap file)"
+  end;
+  let page_size = Int32.to_int (Bytes.get_int32_le head 8) in
+  let slot_bytes = Int32.to_int (Bytes.get_int32_le head 12) in
+  let count = Int64.to_int (Bytes.get_int64_le head 16) in
+  let decl_len = Int32.to_int (Bytes.get_int32_le head 24) in
+  let decl = really_input_string ic decl_len in
+  Io_stats.read_page stats;
+  let schema = schema_of_string decl in
+  let file_len = in_channel_length ic in
+  let pages = (file_len / page_size) - 1 in
+  {
+    ic;
+    r_path = path;
+    r_schema = schema;
+    r_page_size = page_size;
+    r_slot_bytes = slot_bytes;
+    r_count = count;
+    r_pages = pages;
+    r_stats = stats;
+    r_closed = false;
+  }
+
+let schema r = r.r_schema
+let cardinality r = r.r_count
+let page_size r = r.r_page_size
+let slot_bytes r = r.r_slot_bytes
+let data_pages r = r.r_pages
+
+let read_page r index buf =
+  seek_in r.ic ((index + 1) * r.r_page_size);
+  really_input r.ic buf 0 r.r_page_size;
+  Io_stats.read_page r.r_stats
+
+let fetch_page ?pool r p =
+  match pool with
+  | None ->
+      let buf = Bytes.create r.r_page_size in
+      read_page r p buf;
+      buf
+  | Some pool -> (
+      let key = (r.r_path, p) in
+      match Buffer_pool.find pool key with
+      | Some page -> page
+      | None ->
+          let buf = Bytes.create r.r_page_size in
+          read_page r p buf;
+          Buffer_pool.insert pool key buf;
+          buf)
+
+let scan ?pool r =
+  let rec page_seq p () =
+    if r.r_closed then invalid_arg "Heap_file.scan: reader is closed";
+    if p >= r.r_pages then Seq.Nil
+    else begin
+      let buf = fetch_page ?pool r p in
+      let slots = Int32.to_int (Bytes.get_int32_le buf 0) in
+      let tuples =
+        List.init slots (fun i ->
+            Codec.decode r.r_schema buf ~pos:(4 + (i * r.r_slot_bytes)))
+      in
+      Seq.append (List.to_seq tuples) (page_seq (p + 1)) ()
+    end
+  in
+  page_seq 0
+
+let close_reader r =
+  if not r.r_closed then begin
+    r.r_closed <- true;
+    close_in r.ic
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Whole relations                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let write_relation ?page_size ?slot_bytes ~stats path rel =
+  let w = create ?page_size ?slot_bytes ~stats path (Trel.schema rel) in
+  Fun.protect
+    ~finally:(fun () -> close_writer w)
+    (fun () -> Trel.iter (append w) rel)
+
+let read_relation ~stats path =
+  let r = open_reader ~stats path in
+  Fun.protect
+    ~finally:(fun () -> close_reader r)
+    (fun () -> Trel.create (schema r) (List.of_seq (scan r)))

@@ -1,0 +1,68 @@
+(** Heap files: temporal relations on disk as pages of fixed-width slots.
+
+    Layout: a header page (magic, version, page size, slot size, tuple
+    count, and the schema as a CSV-style declaration) followed by data
+    pages, each holding a slot count and up to
+    [(page_size - 4) / slot_bytes] encoded tuples.  Scans read one page at
+    a time and charge every page transfer to the supplied {!Io_stats}.
+
+    Heap files preserve physical tuple order — the property the paper's
+    algorithms care about (sorted / k-ordered / random). *)
+
+open Relation
+
+val default_page_size : int
+(** 8192 bytes. *)
+
+(** {1 Writing} *)
+
+type writer
+
+val create :
+  ?page_size:int ->
+  ?slot_bytes:int ->
+  stats:Io_stats.t ->
+  string ->
+  Schema.t ->
+  writer
+(** Create (truncate) the named file.
+    @raise Invalid_argument if a page cannot hold at least one slot, or
+    the schema declaration does not fit the header page. *)
+
+val append : writer -> Tuple.t -> unit
+(** @raise Invalid_argument if the tuple does not fit a slot or disagrees
+    with the schema. *)
+
+val close_writer : writer -> unit
+(** Flush the final partial page and the header.  Idempotent. *)
+
+(** {1 Reading} *)
+
+type reader
+
+val open_reader : stats:Io_stats.t -> string -> reader
+(** @raise Invalid_argument on a missing or malformed file. *)
+
+val schema : reader -> Schema.t
+val cardinality : reader -> int
+val page_size : reader -> int
+val slot_bytes : reader -> int
+
+val data_pages : reader -> int
+(** Number of data pages (excluding the header). *)
+
+val scan : ?pool:Buffer_pool.t -> reader -> Tuple.t Seq.t
+(** Sequential scan in physical order; pages are charged as they are
+    pulled.  The sequence may be re-consumed (each traversal re-reads).
+    With [pool], cached pages are served without touching the disk or the
+    {!Io_stats} counters — how a second scan (e.g. Tuma's two-scan
+    algorithm) can come for free when the relation fits the pool. *)
+
+val close_reader : reader -> unit
+
+(** {1 Whole-relation convenience} *)
+
+val write_relation :
+  ?page_size:int -> ?slot_bytes:int -> stats:Io_stats.t -> string -> Trel.t -> unit
+
+val read_relation : stats:Io_stats.t -> string -> Trel.t

@@ -1,0 +1,20 @@
+type t = { mutable reads : int; mutable writes : int }
+
+let create () = { reads = 0; writes = 0 }
+let read_page t = t.reads <- t.reads + 1
+let write_page t = t.writes <- t.writes + 1
+let pages_read t = t.reads
+let pages_written t = t.writes
+let total_pages t = t.reads + t.writes
+
+let reset t =
+  t.reads <- 0;
+  t.writes <- 0
+
+type snapshot = { pages_read : int; pages_written : int }
+
+let snapshot t = { pages_read = t.reads; pages_written = t.writes }
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf "pages_read=%d pages_written=%d" s.pages_read
+    s.pages_written

@@ -1,0 +1,27 @@
+(** Disk-I/O accounting.
+
+    The paper's Section 6.3 weighs "the cost of increased memory
+    requirements [against] the cost of disk access" — e.g. whether the
+    disk time needed to sort the relation beats the aggregation tree's
+    memory appetite.  Every storage operation in this library charges its
+    page reads and writes to an [Io_stats.t] so that trade-off can be
+    measured rather than guessed. *)
+
+type t
+
+val create : unit -> t
+
+val read_page : t -> unit
+val write_page : t -> unit
+
+val pages_read : t -> int
+val pages_written : t -> int
+
+val total_pages : t -> int
+
+val reset : t -> unit
+
+type snapshot = { pages_read : int; pages_written : int }
+
+val snapshot : t -> snapshot
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,1 @@
+lib/temporal/chronon.ml: Format Int Stdlib

@@ -1,0 +1,1 @@
+lib/temporal/granule.ml: Chronon Format Interval

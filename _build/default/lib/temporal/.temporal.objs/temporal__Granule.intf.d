@@ -1,0 +1,1 @@
+lib/temporal/granule.mli: Chronon Format Interval

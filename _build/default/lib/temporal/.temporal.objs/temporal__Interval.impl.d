@@ -1,0 +1,1 @@
+lib/temporal/interval.ml: Chronon Format Printf

@@ -1,0 +1,1 @@
+lib/temporal/interval_set.ml: Chronon Format Interval List String

@@ -1,0 +1,1 @@
+lib/temporal/timeline.ml: Array Chronon Format Interval List Printf

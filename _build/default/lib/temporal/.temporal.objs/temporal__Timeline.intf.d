@@ -1,0 +1,1 @@
+lib/temporal/timeline.mli: Chronon Format Interval

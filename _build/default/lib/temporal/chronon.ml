@@ -1,0 +1,37 @@
+type t = int
+
+let origin = 0
+let forever = max_int
+
+let of_int n =
+  if n < 0 then invalid_arg "Chronon.of_int: negative chronon" else n
+
+let to_int c = c
+let is_finite c = c <> forever
+let equal = Int.equal
+let compare = Int.compare
+let ( < ) (a : t) b = Stdlib.( < ) a b
+let ( <= ) (a : t) b = Stdlib.( <= ) a b
+let ( > ) (a : t) b = Stdlib.( > ) a b
+let ( >= ) (a : t) b = Stdlib.( >= ) a b
+let min (a : t) b = Stdlib.min a b
+let max (a : t) b = Stdlib.max a b
+let succ c = if c = forever then forever else c + 1
+
+let pred c =
+  if c = origin then invalid_arg "Chronon.pred: origin has no predecessor"
+  else if c = forever then invalid_arg "Chronon.pred: forever has no predecessor"
+  else c - 1
+
+let add c n =
+  if Stdlib.( < ) n 0 then invalid_arg "Chronon.add: negative delta"
+  else if c = forever then forever
+  else if Stdlib.( > ) c (forever - n) then forever
+  else c + n
+
+let diff a b =
+  if a = forever || b = forever then invalid_arg "Chronon.diff: infinite chronon"
+  else a - b
+
+let to_string c = if c = forever then "oo" else string_of_int c
+let pp ppf c = Format.pp_print_string ppf (to_string c)

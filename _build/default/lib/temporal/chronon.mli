@@ -1,0 +1,58 @@
+(** Chronons: the discrete instants of the temporal database time-line.
+
+    The paper models time as the instants [0 .. +infinity], where an instant
+    (a {e chronon}) is the smallest measurable period of time.  We represent
+    chronons as non-negative [int]s; the distinguished value {!forever}
+    plays the role of the paper's [oo] (the greatest timestamp).
+
+    All functions in this module treat {!forever} as an absorbing maximum:
+    it compares greater than every finite chronon, and arithmetic saturates
+    at it. *)
+
+type t = private int
+
+val origin : t
+(** The earliest timestamp, [0]. *)
+
+val forever : t
+(** The greatest timestamp, the paper's [oo]. *)
+
+val of_int : int -> t
+(** [of_int n] is the chronon [n].
+    @raise Invalid_argument if [n < 0]. [of_int max_int] is {!forever}. *)
+
+val to_int : t -> int
+(** [to_int c] is the underlying integer; [to_int forever = max_int]. *)
+
+val is_finite : t -> bool
+(** [is_finite c] is [false] exactly for {!forever}. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val succ : t -> t
+(** [succ c] is the next instant.  [succ forever = forever]. *)
+
+val pred : t -> t
+(** [pred c] is the previous instant.
+    @raise Invalid_argument on {!origin} or {!forever} (the predecessor of
+    the greatest timestamp is not representable). *)
+
+val add : t -> int -> t
+(** [add c n] advances [c] by [n >= 0] instants, saturating at {!forever}.
+    @raise Invalid_argument if [n < 0]. *)
+
+val diff : t -> t -> int
+(** [diff a b] is [to_int a - to_int b] for finite chronons.
+    @raise Invalid_argument if either argument is {!forever}. *)
+
+val to_string : t -> string
+(** Decimal digits, or ["oo"] for {!forever}. *)
+
+val pp : Format.formatter -> t -> unit

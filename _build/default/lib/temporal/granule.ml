@@ -1,0 +1,40 @@
+type t = { length : int; anchor : Chronon.t }
+
+let make ?(anchor = Chronon.origin) length =
+  if length <= 0 then invalid_arg "Granule.make: span length must be positive";
+  if not (Chronon.is_finite anchor) then
+    invalid_arg "Granule.make: anchor must be finite";
+  { length; anchor }
+
+let instant = { length = 1; anchor = Chronon.origin }
+
+let index_of g c =
+  if not (Chronon.is_finite c) then
+    invalid_arg "Granule.index_of: infinite instant";
+  if Chronon.( < ) c g.anchor then
+    invalid_arg "Granule.index_of: instant before anchor";
+  Chronon.diff c g.anchor / g.length
+
+let span_of g i =
+  if i < 0 then invalid_arg "Granule.span_of: negative index";
+  let start = Chronon.add g.anchor (i * g.length) in
+  Interval.make start (Chronon.add start (g.length - 1))
+
+let quantize g iv =
+  let lo = index_of g (Interval.start iv) in
+  let hi =
+    if Chronon.is_finite (Interval.stop iv) then
+      Some (index_of g (Interval.stop iv))
+    else None
+  in
+  (lo, hi)
+
+let align g iv =
+  let lo, hi = quantize g iv in
+  let start = Interval.start (span_of g lo) in
+  match hi with
+  | Some hi -> Interval.make start (Interval.stop (span_of g hi))
+  | None -> Interval.from start
+
+let pp ppf g =
+  Format.fprintf ppf "span(length=%d,anchor=%a)" g.length Chronon.pp g.anchor

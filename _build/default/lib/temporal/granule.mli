@@ -1,0 +1,36 @@
+(** Spans: fixed-length partitionings of the time-line.
+
+    TSQL2 temporal grouping partitions either by instant or by a {e span} —
+    a calendar-defined length of time such as a year (paper, Section 2).
+    A granularity [g] with span length [len] and anchor [a] partitions the
+    finite time-line into spans
+    [[a, a+len-1]], [[a+len, a+2len-1]], ... indexed from 0. *)
+
+type t = private { length : int; anchor : Chronon.t }
+
+val make : ?anchor:Chronon.t -> int -> t
+(** [make ?anchor len] is the granularity of spans of [len] instants
+    starting at [anchor] (default {!Chronon.origin}).
+    @raise Invalid_argument if [len <= 0] or [anchor] is not finite. *)
+
+val instant : t
+(** Span length 1 — grouping by instant. *)
+
+val index_of : t -> Chronon.t -> int
+(** The index of the span containing the given finite instant.
+    @raise Invalid_argument if the instant is infinite or before the
+    anchor. *)
+
+val span_of : t -> int -> Interval.t
+(** [span_of g i] is the interval of span index [i >= 0]. *)
+
+val quantize : t -> Interval.t -> int * int option
+(** [quantize g iv] is the inclusive range [(lo, hi)] of span indices
+    overlapped by [iv]; [hi = None] when [iv] extends to
+    {!Chronon.forever}. *)
+
+val align : t -> Interval.t -> Interval.t
+(** The smallest span-aligned interval covering the argument (the stop
+    stays {!Chronon.forever} for unbounded intervals). *)
+
+val pp : Format.formatter -> t -> unit

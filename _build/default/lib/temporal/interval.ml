@@ -1,0 +1,108 @@
+type t = { start : Chronon.t; stop : Chronon.t }
+
+let make start stop =
+  if not (Chronon.is_finite start) then
+    invalid_arg "Interval.make: start must be finite"
+  else if Chronon.( > ) start stop then
+    invalid_arg
+      (Printf.sprintf "Interval.make: start %s after stop %s"
+         (Chronon.to_string start) (Chronon.to_string stop))
+  else { start; stop }
+
+let of_ints s e = make (Chronon.of_int s) (Chronon.of_int e)
+let from s = make s Chronon.forever
+let at c = make c c
+let full = { start = Chronon.origin; stop = Chronon.forever }
+let start i = i.start
+let stop i = i.stop
+let equal a b = Chronon.equal a.start b.start && Chronon.equal a.stop b.stop
+
+let compare a b =
+  let c = Chronon.compare a.start b.start in
+  if c <> 0 then c else Chronon.compare a.stop b.stop
+
+let duration i =
+  if Chronon.is_finite i.stop then
+    Some (Chronon.diff i.stop i.start + 1)
+  else None
+
+let contains i c = Chronon.( <= ) i.start c && Chronon.( <= ) c i.stop
+let covers a b = Chronon.( <= ) a.start b.start && Chronon.( >= ) a.stop b.stop
+
+let overlaps a b =
+  Chronon.( <= ) a.start b.stop && Chronon.( <= ) b.start a.stop
+
+let adjacent a b =
+  let meets x y =
+    Chronon.is_finite x.stop && Chronon.equal (Chronon.succ x.stop) y.start
+  in
+  meets a b || meets b a
+
+let intersect a b =
+  if overlaps a b then
+    Some (make (Chronon.max a.start b.start) (Chronon.min a.stop b.stop))
+  else None
+
+let hull a b = make (Chronon.min a.start b.start) (Chronon.max a.stop b.stop)
+let merge a b = if overlaps a b || adjacent a b then Some (hull a b) else None
+
+type allen =
+  | Before
+  | Meets
+  | Overlaps
+  | Finished_by
+  | Contains
+  | Starts
+  | Equals
+  | Started_by
+  | During
+  | Finishes
+  | Overlapped_by
+  | Met_by
+  | After
+
+(* Closed integer intervals: "a meets b" when succ a.stop = b.start, and
+   "a before b" when there is at least one instant between them. *)
+let allen a b =
+  if Chronon.is_finite a.stop && Chronon.( > ) b.start (Chronon.succ a.stop)
+  then Before
+  else if
+    Chronon.is_finite a.stop && Chronon.equal (Chronon.succ a.stop) b.start
+  then Meets
+  else if
+    Chronon.is_finite b.stop && Chronon.( > ) a.start (Chronon.succ b.stop)
+  then After
+  else if
+    Chronon.is_finite b.stop && Chronon.equal (Chronon.succ b.stop) a.start
+  then Met_by
+  else
+    let s = Chronon.compare a.start b.start
+    and e = Chronon.compare a.stop b.stop in
+    if s = 0 && e = 0 then Equals
+    else if s = 0 then if e < 0 then Starts else Started_by
+    else if e = 0 then if s > 0 then Finishes else Finished_by
+    else if s < 0 && e > 0 then Contains
+    else if s > 0 && e < 0 then During
+    else if s < 0 then Overlaps
+    else Overlapped_by
+
+let allen_to_string = function
+  | Before -> "before"
+  | Meets -> "meets"
+  | Overlaps -> "overlaps"
+  | Finished_by -> "finished-by"
+  | Contains -> "contains"
+  | Starts -> "starts"
+  | Equals -> "equals"
+  | Started_by -> "started-by"
+  | During -> "during"
+  | Finishes -> "finishes"
+  | Overlapped_by -> "overlapped-by"
+  | Met_by -> "met-by"
+  | After -> "after"
+
+let to_string i =
+  Printf.sprintf "[%s,%s]" (Chronon.to_string i.start)
+    (Chronon.to_string i.stop)
+
+let pp ppf i = Format.pp_print_string ppf (to_string i)

@@ -1,0 +1,87 @@
+(** Closed intervals of chronons, the valid-time dimension of tuples.
+
+    The paper assumes closed intervals [[start, stop]] with [start <= stop];
+    [stop] may be {!Chronon.forever}, [start] must be finite.  An interval
+    denotes the set of instants it contains, so [[3,3]] is the single
+    instant 3 and two intervals [[a,b]] and [[b+1,c]] are adjacent but
+    disjoint. *)
+
+type t = private { start : Chronon.t; stop : Chronon.t }
+
+val make : Chronon.t -> Chronon.t -> t
+(** [make start stop] is the closed interval [[start, stop]].
+    @raise Invalid_argument if [start > stop] or [start] is not finite. *)
+
+val of_ints : int -> int -> t
+(** [of_ints s e] is [make (Chronon.of_int s) (Chronon.of_int e)]. *)
+
+val from : Chronon.t -> t
+(** [from s] is [[s, forever]]. *)
+
+val at : Chronon.t -> t
+(** [at c] is the single-instant interval [[c, c]].
+    @raise Invalid_argument if [c] is not finite. *)
+
+val full : t
+(** [[origin, forever]] — the whole time-line. *)
+
+val start : t -> Chronon.t
+val stop : t -> Chronon.t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Orders by start time, ties broken by stop time — the paper's
+    "totally ordered by time" order (Section 5.2). *)
+
+val duration : t -> int option
+(** Number of instants contained; [None] if [stop] is {!Chronon.forever}. *)
+
+val contains : t -> Chronon.t -> bool
+(** [contains i c] — does instant [c] fall within [i]? *)
+
+val covers : t -> t -> bool
+(** [covers a b] — is every instant of [b] also in [a]? *)
+
+val overlaps : t -> t -> bool
+(** [overlaps a b] — do [a] and [b] share at least one instant? *)
+
+val adjacent : t -> t -> bool
+(** [adjacent a b] — disjoint but with no instant between them
+    (one ends exactly where the other begins). *)
+
+val intersect : t -> t -> t option
+(** The common instants, if any. *)
+
+val hull : t -> t -> t
+(** Smallest interval containing both arguments. *)
+
+val merge : t -> t -> t option
+(** Union as a single interval, when the arguments overlap or are adjacent. *)
+
+(** Allen's thirteen interval relations, adapted to closed integer
+    intervals: "meets" holds when one interval ends on the instant just
+    before the other starts. For any two intervals exactly one relation
+    holds. *)
+type allen =
+  | Before
+  | Meets
+  | Overlaps
+  | Finished_by
+  | Contains
+  | Starts
+  | Equals
+  | Started_by
+  | During
+  | Finishes
+  | Overlapped_by
+  | Met_by
+  | After
+
+val allen : t -> t -> allen
+val allen_to_string : allen -> string
+
+val to_string : t -> string
+(** E.g. ["[8,20]"], ["[18,oo]"]. *)
+
+val pp : Format.formatter -> t -> unit

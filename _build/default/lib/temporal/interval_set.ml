@@ -1,0 +1,110 @@
+type t = Interval.t list
+(* Invariant: time-ordered, pairwise disjoint, non-adjacent (canonical). *)
+
+let empty = []
+let is_empty t = t = []
+let of_interval iv = [ iv ]
+
+let of_intervals intervals =
+  let sorted = List.sort Interval.compare intervals in
+  let merged =
+    List.fold_left
+      (fun acc iv ->
+        match acc with
+        | prev :: rest -> (
+            match Interval.merge prev iv with
+            | Some joined -> joined :: rest
+            | None -> iv :: acc)
+        | [] -> [ iv ])
+      [] sorted
+  in
+  List.rev merged
+
+let intervals t = t
+let cardinal = List.length
+
+let duration t =
+  List.fold_left
+    (fun acc iv ->
+      match (acc, Interval.duration iv) with
+      | Some total, Some d -> Some (total + d)
+      | _ -> None)
+    (Some 0) t
+
+let mem t c =
+  let rec search = function
+    | [] -> false
+    | iv :: rest ->
+        if Chronon.( < ) c (Interval.start iv) then false
+        else Interval.contains iv c || search rest
+  in
+  search t
+
+let add t iv = of_intervals (iv :: t)
+let union a b = of_intervals (a @ b)
+
+let inter a b =
+  let rec go acc a b =
+    match (a, b) with
+    | [], _ | _, [] -> List.rev acc
+    | ia :: ra, ib :: rb -> (
+        let acc =
+          match Interval.intersect ia ib with
+          | Some common -> common :: acc
+          | None -> acc
+        in
+        match Chronon.compare (Interval.stop ia) (Interval.stop ib) with
+        | c when c < 0 -> go acc ra b
+        | 0 -> go acc ra rb
+        | _ -> go acc a rb)
+  in
+  go [] a b
+
+let diff a b =
+  let rec go acc a b =
+    match (a, b) with
+    | [], _ -> List.rev acc
+    | rest, [] -> List.rev_append acc rest
+    | ia :: ra, ib :: rb ->
+        if Chronon.( < ) (Interval.stop ia) (Interval.start ib) then
+          go (ia :: acc) ra b
+        else if Chronon.( < ) (Interval.stop ib) (Interval.start ia) then
+          go acc a rb
+        else begin
+          (* Overlap: keep the part of [ia] before [ib], requeue the part
+             after [ib]. *)
+          let acc =
+            if Chronon.( < ) (Interval.start ia) (Interval.start ib) then
+              Interval.make (Interval.start ia)
+                (Chronon.pred (Interval.start ib))
+              :: acc
+            else acc
+          in
+          if Chronon.( > ) (Interval.stop ia) (Interval.stop ib) then
+            go acc
+              (Interval.make
+                 (Chronon.succ (Interval.stop ib))
+                 (Interval.stop ia)
+              :: ra)
+              rb
+          else go acc ra b
+        end
+  in
+  go [] a b
+
+let complement ?(within = Interval.full) t =
+  diff (of_interval within) t
+
+let equal a b = List.equal Interval.equal a b
+let is_empty_diff a b = is_empty (diff a b)
+let subset a b = is_empty_diff a b
+
+let hull = function
+  | [] -> None
+  | first :: _ as t ->
+      let last = List.nth t (List.length t - 1) in
+      Some (Interval.make (Interval.start first) (Interval.stop last))
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}"
+    (String.concat " " (List.map Interval.to_string t))

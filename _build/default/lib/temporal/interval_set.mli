@@ -1,0 +1,49 @@
+(** Sets of instants, represented as maximal disjoint intervals in time
+    order.
+
+    The temporal database's value-equivalent coalescing, duplicate
+    elimination and valid-time windows all manipulate unions of
+    intervals; this module gives them one canonical representation with
+    the usual set algebra.  All operations preserve and rely on the
+    canonical form: intervals sorted, pairwise disjoint and
+    non-adjacent. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val of_interval : Interval.t -> t
+
+val of_intervals : Interval.t list -> t
+(** Union of arbitrary (possibly overlapping, unordered) intervals. *)
+
+val intervals : t -> Interval.t list
+(** The canonical decomposition, in time order. *)
+
+val cardinal : t -> int
+(** Number of maximal intervals (not instants). *)
+
+val duration : t -> int option
+(** Total number of instants contained; [None] if unbounded. *)
+
+val mem : t -> Chronon.t -> bool
+
+val add : t -> Interval.t -> t
+
+val union : t -> t -> t
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+(** Instants in the first set but not the second. *)
+
+val complement : ?within:Interval.t -> t -> t
+(** Instants of [within] (default the full time-line) not in the set. *)
+
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+
+val hull : t -> Interval.t option
+(** Smallest single interval covering the set; [None] when empty. *)
+
+val pp : Format.formatter -> t -> unit

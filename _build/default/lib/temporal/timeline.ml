@@ -1,0 +1,94 @@
+type 'a t = (Interval.t * 'a) array
+(* Array representation keeps [value_at] a binary search and avoids
+   re-validating the contiguity invariant on every traversal. *)
+
+let check_contiguous segs =
+  let n = Array.length segs in
+  if n = 0 then invalid_arg "Timeline.of_list: empty timeline";
+  for i = 0 to n - 2 do
+    let prev, _ = segs.(i) and next, _ = segs.(i + 1) in
+    let expected =
+      if Chronon.is_finite (Interval.stop prev) then
+        Chronon.succ (Interval.stop prev)
+      else invalid_arg "Timeline.of_list: segment after an infinite segment"
+    in
+    if not (Chronon.equal (Interval.start next) expected) then
+      invalid_arg
+        (Printf.sprintf "Timeline.of_list: gap or overlap between %s and %s"
+           (Interval.to_string prev) (Interval.to_string next))
+  done
+
+let of_list l =
+  let segs = Array.of_list l in
+  check_contiguous segs;
+  segs
+
+let to_list = Array.to_list
+let singleton iv v = [| (iv, v) |]
+
+let cover t =
+  let first, _ = t.(0) and last, _ = t.(Array.length t - 1) in
+  Interval.make (Interval.start first) (Interval.stop last)
+
+let length = Array.length
+
+let value_at t c =
+  if not (Interval.contains (cover t) c) then None
+  else
+    let rec search lo hi =
+      let mid = (lo + hi) / 2 in
+      let iv, v = t.(mid) in
+      if Chronon.( < ) c (Interval.start iv) then search lo (mid - 1)
+      else if Chronon.( > ) c (Interval.stop iv) then search (mid + 1) hi
+      else Some v
+    in
+    search 0 (Array.length t - 1)
+
+let map f t = Array.map (fun (iv, v) -> (iv, f v)) t
+let iter f t = Array.iter (fun (iv, v) -> f iv v) t
+let fold f acc t = Array.fold_left (fun acc (iv, v) -> f acc iv v) acc t
+
+let coalesce ~equal t =
+  let merged =
+    Array.fold_left
+      (fun acc (iv, v) ->
+        match acc with
+        | (piv, pv) :: rest when equal pv v ->
+            (Interval.make (Interval.start piv) (Interval.stop iv), pv) :: rest
+        | _ -> (iv, v) :: acc)
+      [] t
+  in
+  Array.of_list (List.rev merged)
+
+let refine a b =
+  if not (Interval.equal (cover a) (cover b)) then
+    invalid_arg "Timeline.refine: covers differ";
+  let out = ref [] in
+  let i = ref 0 and j = ref 0 in
+  let cursor = ref (Interval.start (cover a)) in
+  while !i < Array.length a && !j < Array.length b do
+    let iva, va = a.(!i) and ivb, vb = b.(!j) in
+    let stop = Chronon.min (Interval.stop iva) (Interval.stop ivb) in
+    out := (Interval.make !cursor stop, (va, vb)) :: !out;
+    if Chronon.equal stop (Interval.stop iva) then incr i;
+    if Chronon.equal stop (Interval.stop ivb) then incr j;
+    if Chronon.is_finite stop then cursor := Chronon.succ stop
+  done;
+  Array.of_list (List.rev !out)
+
+let equal eq a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun (iva, va) (ivb, vb) -> Interval.equal iva ivb && eq va vb)
+       a b
+
+let equivalent eq a b = equal eq (coalesce ~equal:eq a) (coalesce ~equal:eq b)
+
+let pp ppv ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i (iv, v) ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "%a %a" Interval.pp iv ppv v)
+    t;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,56 @@
+(** Timelines: contiguous sequences of intervals carrying values.
+
+    The result of a temporal aggregate grouped by instant is a timeline of
+    {e constant intervals}: consecutive, non-overlapping intervals that
+    partition a stretch of the time-line, each carrying the aggregate value
+    over that interval (paper, Sections 2 and 5).
+
+    Invariants enforced by this module:
+    - at least one segment;
+    - segments appear in increasing time order;
+    - each segment starts exactly one instant after the previous one ends
+      (no gaps, no overlaps). *)
+
+type 'a t
+
+val of_list : (Interval.t * 'a) list -> 'a t
+(** Validates the invariants. @raise Invalid_argument if they fail. *)
+
+val to_list : 'a t -> (Interval.t * 'a) list
+
+val singleton : Interval.t -> 'a -> 'a t
+
+val cover : 'a t -> Interval.t
+(** The stretch of the time-line the timeline partitions. *)
+
+val length : 'a t -> int
+(** Number of segments. *)
+
+val value_at : 'a t -> Chronon.t -> 'a option
+(** The value of the segment containing the given instant, if within
+    {!cover}.  Binary search, O(log n). *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val iter : (Interval.t -> 'a -> unit) -> 'a t -> unit
+
+val fold : ('acc -> Interval.t -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val coalesce : equal:('a -> 'a -> bool) -> 'a t -> 'a t
+(** Merge adjacent segments carrying equal values — TSQL2's valid-time
+    coalescing of the result ("each interval in the result is a constant
+    interval", Section 5.1).  Idempotent. *)
+
+val refine : 'a t -> 'b t -> ('a * 'b) t
+(** [refine a b] splits both timelines at the union of their boundaries and
+    pairs the values.  The covers must be equal.
+    @raise Invalid_argument if the covers differ. *)
+
+val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+(** Segment-wise equality (same boundaries, equal values). *)
+
+val equivalent : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+(** Equality up to coalescing: do the two timelines denote the same
+    function from instants to values? *)
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,1 @@
+lib/tsql/ast.ml: Buffer List Option Printf String

@@ -1,0 +1,1 @@
+lib/tsql/catalog.ml: List Map Option Relation String

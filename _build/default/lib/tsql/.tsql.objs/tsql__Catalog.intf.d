@@ -1,0 +1,1 @@
+lib/tsql/catalog.mli: Relation

@@ -1,0 +1,1 @@
+lib/tsql/eval.ml: Array Ast Chronon Granule Hashtbl Interval List Option Parser Printf Relation Result Semant Seq String Tempagg Temporal Timeline Trel Tuple Value

@@ -1,0 +1,1 @@
+lib/tsql/eval.mli: Catalog Relation Semant

@@ -1,0 +1,1 @@
+lib/tsql/lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/tsql/parser.ml: Array Ast Lexer List Option Printf String

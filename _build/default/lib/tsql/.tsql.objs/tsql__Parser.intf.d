@@ -1,0 +1,1 @@
+lib/tsql/parser.mli: Ast

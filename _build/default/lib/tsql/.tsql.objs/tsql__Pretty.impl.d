@@ -1,0 +1,1 @@
+lib/tsql/pretty.ml: Array List Relation Schema Stdlib String Temporal Trel Tuple Value

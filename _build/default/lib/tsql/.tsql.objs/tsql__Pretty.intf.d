@@ -1,0 +1,1 @@
+lib/tsql/pretty.mli: Relation

@@ -1,0 +1,1 @@
+lib/tsql/semant.ml: Ast Catalog Hashtbl List Option Printf Relation Result Schema Stdlib String Tempagg Temporal Trel Tuple Value

@@ -1,0 +1,1 @@
+lib/tsql/semant.mli: Ast Catalog Relation Tempagg Temporal

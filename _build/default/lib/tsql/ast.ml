@@ -1,0 +1,87 @@
+type agg_fun = Count | Sum | Avg | Min | Max
+
+type select_item =
+  | Column of string
+  | Aggregate of { fn : agg_fun; arg : string option; distinct : bool }
+
+type comparison_op = Eq | Neq | Lt | Le | Gt | Ge
+
+type literal = Lint of int | Lfloat of float | Lstring of string
+
+type predicate = { column : string; op : comparison_op; value : literal }
+
+type temporal_grouping = By_instant | By_span of int
+
+type window = { w_start : int; w_stop : int option }
+
+type query = {
+  select : select_item list;
+  from : string;
+  during : window option;
+  where : predicate list;
+  group_by : string list;
+  grouping : temporal_grouping;
+  using : string option;
+}
+
+let agg_fun_to_string = function
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Avg -> "AVG"
+  | Min -> "MIN"
+  | Max -> "MAX"
+
+let op_to_string = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let literal_to_string = function
+  | Lint n -> string_of_int n
+  | Lfloat f -> Printf.sprintf "%g" f
+  | Lstring s -> Printf.sprintf "'%s'" s
+
+let select_item_to_string = function
+  | Column name -> name
+  | Aggregate { fn; arg; distinct } ->
+      Printf.sprintf "%s(%s%s)" (agg_fun_to_string fn)
+        (if distinct then "DISTINCT " else "")
+        (Option.value arg ~default:"*")
+
+let to_string q =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT ";
+  Buffer.add_string buf
+    (String.concat ", " (List.map select_item_to_string q.select));
+  Buffer.add_string buf (" FROM " ^ q.from);
+  (match q.during with
+  | Some { w_start; w_stop } ->
+      Buffer.add_string buf
+        (Printf.sprintf " DURING [%d,%s]" w_start
+           (match w_stop with Some e -> string_of_int e | None -> "oo"))
+  | None -> ());
+  if q.where <> [] then begin
+    Buffer.add_string buf " WHERE ";
+    Buffer.add_string buf
+      (String.concat " AND "
+         (List.map
+            (fun p ->
+              Printf.sprintf "%s %s %s" p.column (op_to_string p.op)
+                (literal_to_string p.value))
+            q.where))
+  end;
+  let groups =
+    q.group_by
+    @ (match q.grouping with
+      | By_instant -> []
+      | By_span n -> [ Printf.sprintf "SPAN %d" n ])
+  in
+  if groups <> [] then
+    Buffer.add_string buf (" GROUP BY " ^ String.concat ", " groups);
+  (match q.using with
+  | Some algo -> Buffer.add_string buf (" USING " ^ algo)
+  | None -> ());
+  Buffer.contents buf

@@ -1,0 +1,68 @@
+(** Abstract syntax of the TSQL2 subset.
+
+    The paper (Section 2) presents temporal aggregation through TSQL2
+    queries such as
+
+    {v
+    SELECT COUNT(Name) FROM Employed
+    SELECT Dept, AVG(Salary) FROM Employed GROUP BY Dept
+    v}
+
+    This subset covers single-relation aggregate queries: a select list of
+    columns and aggregate calls, an optional conjunction of comparison
+    predicates, attribute grouping, temporal grouping (by instant, the
+    TSQL2 default, or by span), and an evaluation hint:
+
+    {v
+    query  ::= SELECT items FROM ident [DURING '[' int ',' stop ']']
+               [WHERE pred {AND pred}] [GROUP BY group {, group}]
+               [USING algo] [;]
+    stop   ::= int | oo | forever
+    items  ::= item {, item}
+    item   ::= ident | fn '(' [DISTINCT] ident ')' | COUNT '(' '*' ')'
+    fn     ::= COUNT | SUM | AVG | MIN | MAX
+    pred   ::= ident op literal ; op in = <> < <= > >=
+    group  ::= ident | INSTANT | SPAN int
+    algo   ::= ident ['(' int ')']       e.g. USING ktree(4)
+    v} *)
+
+type agg_fun = Count | Sum | Avg | Min | Max
+
+type select_item =
+  | Column of string
+  | Aggregate of { fn : agg_fun; arg : string option; distinct : bool }
+      (** [arg = None] is [COUNT( * )]; [distinct] adds duplicate
+          elimination (paper Section 7), e.g. [COUNT(DISTINCT name)]. *)
+
+type comparison_op = Eq | Neq | Lt | Le | Gt | Ge
+
+type literal = Lint of int | Lfloat of float | Lstring of string
+
+type predicate = { column : string; op : comparison_op; value : literal }
+
+type temporal_grouping =
+  | By_instant  (** TSQL2's default temporal grouping. *)
+  | By_span of int  (** Fixed-length spans (Sections 2 and 7). *)
+
+type window = { w_start : int; w_stop : int option }
+(** A DURING window: the result is restricted to these instants
+    ([w_stop = None] means forever).  Constrains the evaluation domain —
+    the Section 6.3 "only interested in the results for a single year"
+    case. *)
+
+type query = {
+  select : select_item list;
+  from : string;
+  during : window option;  (** valid-time window *)
+  where : predicate list;  (** conjunction; empty = no filter *)
+  group_by : string list;  (** attribute (value) grouping *)
+  grouping : temporal_grouping;
+  using : string option;  (** evaluation-algorithm hint *)
+}
+
+val agg_fun_to_string : agg_fun -> string
+val op_to_string : comparison_op -> string
+val literal_to_string : literal -> string
+val select_item_to_string : select_item -> string
+val to_string : query -> string
+(** Re-render a query (normalized keywords and spacing). *)

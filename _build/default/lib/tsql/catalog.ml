@@ -1,0 +1,16 @@
+module Names = Map.Make (String)
+
+type t = (string * Relation.Trel.t) Names.t
+(* Keyed by the case-folded name; the original spelling is kept for
+   listings. *)
+
+let empty = Names.empty
+let fold_name = String.lowercase_ascii
+let add t name rel = Names.add (fold_name name) (name, rel) t
+let find t name = Option.map snd (Names.find_opt (fold_name name) t)
+
+let names t =
+  List.sort String.compare
+    (List.map (fun (_, (name, _)) -> name) (Names.bindings t))
+
+let with_builtins () = add empty "Employed" (Relation.Fixtures.employed ())

@@ -1,0 +1,18 @@
+(** Named temporal relations available to queries.
+
+    Relation names are case-insensitive, as in SQL. *)
+
+type t
+
+val empty : t
+
+val add : t -> string -> Relation.Trel.t -> t
+(** Replaces any previous binding of the same (case-folded) name. *)
+
+val find : t -> string -> Relation.Trel.t option
+
+val names : t -> string list
+(** Bound names (as given at {!add}), sorted. *)
+
+val with_builtins : unit -> t
+(** A catalog containing the paper's [Employed] relation. *)

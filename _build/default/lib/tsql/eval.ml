@@ -1,0 +1,231 @@
+open Temporal
+open Relation
+
+(* One (interval, value) pair per tuple relevant to this aggregate:
+   COUNT( * ) consumes every tuple; column aggregates skip SQL NULLs. *)
+let data_for tuples (spec : Semant.agg_spec) =
+  match spec.Semant.column with
+  | None -> List.to_seq (List.map (fun t -> (Tuple.valid t, Value.Null)) tuples)
+  | Some i ->
+      List.to_seq tuples
+      |> Seq.filter_map (fun t ->
+             let v = Tuple.value t i in
+             if Value.is_null v then None else Some (Tuple.valid t, v))
+
+let run_engine (plan : Semant.plan) monoid data =
+  let origin, horizon =
+    match plan.Semant.window with
+    | Some w -> (Interval.start w, Interval.stop w)
+    | None -> (Chronon.origin, Chronon.forever)
+  in
+  match plan.Semant.granule with
+  | Some granule ->
+      Tempagg.Span.eval ~origin ~horizon ~algorithm:plan.Semant.algorithm
+        ~granule monoid data
+  | None ->
+      Tempagg.Engine.eval ~origin ~horizon plan.Semant.algorithm monoid data
+
+let int_value n = Value.Int n
+
+let option_value = function None -> Value.Null | Some v -> v
+
+let agg_timeline plan tuples (spec : Semant.agg_spec) =
+  let data = data_for tuples spec in
+  let data =
+    (* Duplicate elimination happens before the relation is processed
+       (paper Section 7); the prepared stream is value-ordered. *)
+    if spec.Semant.distinct then
+      List.to_seq (Tempagg.Distinct.prepare ~compare:Value.compare data)
+    else data
+  in
+  let plan =
+    match (spec.Semant.distinct, plan.Semant.algorithm) with
+    | true, Tempagg.Engine.Korder_tree _ ->
+        (* The value-ordered distinct stream is no longer k-ordered. *)
+        { plan with Semant.algorithm = Tempagg.Engine.Aggregation_tree }
+    | _ -> plan
+  in
+  let module M = Tempagg.Monoid in
+  match (spec.Semant.fn, spec.Semant.column_ty) with
+  | Ast.Count, _ -> run_engine plan (M.map_output int_value M.count) data
+  | Ast.Sum, Some Value.Tfloat ->
+      let monoid =
+        M.contramap
+          (fun v -> Option.value (Value.to_float v) ~default:0.)
+          M.sum_float
+        |> M.map_output (fun f -> Value.Float f)
+      in
+      run_engine plan monoid data
+  | Ast.Sum, _ ->
+      let monoid =
+        M.contramap (fun v -> Option.value (Value.to_int v) ~default:0)
+          M.sum_int
+        |> M.map_output int_value
+      in
+      run_engine plan monoid data
+  | Ast.Avg, _ ->
+      let monoid =
+        M.contramap
+          (fun v -> Option.value (Value.to_float v) ~default:0.)
+          M.avg_float
+        |> M.map_output (function
+             | None -> Value.Null
+             | Some f -> Value.Float f)
+      in
+      run_engine plan monoid data
+  | Ast.Min, _ ->
+      run_engine plan
+        (M.map_output option_value (M.minimum ~compare:Value.compare))
+        data
+  | Ast.Max, _ ->
+      run_engine plan
+        (M.map_output option_value (M.maximum ~compare:Value.compare))
+        data
+
+(* Pair up the per-aggregate timelines into one timeline of value lists.
+   All of them cover the full [origin,horizon], so refine never fails. *)
+let zip_timelines = function
+  | [] -> assert false
+  | first :: rest ->
+      List.fold_left
+        (fun acc tl -> Timeline.map (fun (l, v) -> l @ [ v ]) (Timeline.refine acc tl))
+        (Timeline.map (fun v -> [ v ]) first)
+        rest
+
+(* Restrict a timeline to the segments intersecting [hull], trimming the
+   first and last. *)
+let clip_to hull tl =
+  let segments =
+    List.filter_map
+      (fun (ivl, v) ->
+        Option.map (fun i -> (i, v)) (Interval.intersect ivl hull))
+      (Timeline.to_list tl)
+  in
+  match segments with [] -> None | _ -> Some (Timeline.of_list segments)
+
+let partitions (plan : Semant.plan) tuples =
+  match plan.Semant.group_columns with
+  | [] -> [ ([], tuples) ]
+  | cols ->
+      let groups = Hashtbl.create 16 in
+      let order = ref [] in
+      List.iter
+        (fun t ->
+          let key = List.map (fun (_, i) -> Tuple.value t i) cols in
+          (match Hashtbl.find_opt groups key with
+          | None ->
+              order := key :: !order;
+              Hashtbl.add groups key [ t ]
+          | Some ts -> Hashtbl.replace groups key (t :: ts)))
+        tuples;
+      List.sort
+        (fun (a, _) (b, _) -> List.compare Value.compare a b)
+        (List.map
+           (fun key -> (key, List.rev (Hashtbl.find groups key)))
+           !order)
+
+let run (plan : Semant.plan) =
+  let tuples =
+    List.filter plan.Semant.filter (Trel.tuples plan.Semant.relation)
+  in
+  (* DURING window: keep only the overlapping part of each tuple. *)
+  let tuples =
+    match plan.Semant.window with
+    | None -> tuples
+    | Some w ->
+        List.filter_map
+          (fun t ->
+            Option.map
+              (fun clipped -> Tuple.with_valid t clipped)
+              (Interval.intersect (Tuple.valid t) w))
+          tuples
+  in
+  let tuples =
+    if plan.Semant.sort_first then
+      List.stable_sort Tuple.compare_by_time tuples
+    else tuples
+  in
+  let grouped = plan.Semant.group_columns <> [] in
+  let rows =
+    List.concat_map
+      (fun (key, group_tuples) ->
+        let timelines =
+          List.map (agg_timeline plan group_tuples) plan.Semant.aggregates
+        in
+        let zipped =
+          Timeline.coalesce
+            ~equal:(List.equal Value.equal)
+            (zip_timelines timelines)
+        in
+        let clipped =
+          if grouped then
+            let hull =
+              List.fold_left
+                (fun acc t ->
+                  match acc with
+                  | None -> Some (Tuple.valid t)
+                  | Some h -> Some (Interval.hull h (Tuple.valid t)))
+                None group_tuples
+            in
+            match hull with
+            | None -> None
+            | Some h -> clip_to h zipped
+          else Some zipped
+        in
+        match clipped with
+        | None -> []
+        | Some tl ->
+            List.map
+              (fun (ivl, values) ->
+                Tuple.make (Array.of_list (key @ values)) ivl)
+              (Timeline.to_list tl))
+      (partitions plan tuples)
+  in
+  Trel.create plan.Semant.out_schema rows
+
+let ( let* ) = Result.bind
+
+let query catalog text =
+  let* ast = Parser.parse text in
+  let* plan = Semant.analyze catalog ast in
+  match run plan with
+  | rel -> Ok rel
+  | exception Invalid_argument msg -> Error ("evaluation failed: " ^ msg)
+  | exception Tempagg.Korder_tree.Order_violation { position; _ } ->
+      Error
+        (Printf.sprintf
+           "evaluation failed: input not k-ordered for the hinted k (tuple \
+            %d); sort the relation or raise k"
+           position)
+
+let explain catalog text =
+  let* ast = Parser.parse text in
+  let* plan = Semant.analyze catalog ast in
+  let grouping =
+    match plan.Semant.granule with
+    | None -> "by instant"
+    | Some g ->
+        Printf.sprintf "by span of %d instants"
+          (g : Granule.t).Granule.length
+  in
+  Ok
+    (Printf.sprintf
+       "scan %s (%d tuples)%s%s; aggregate %s grouped %s%s using %s\n  why: %s"
+       plan.Semant.source_name
+       (Trel.cardinality plan.Semant.relation)
+       (match plan.Semant.window with
+       | Some w -> Printf.sprintf " during %s" (Interval.to_string w)
+       | None -> "")
+       (if plan.Semant.sort_first then ", sort by time" else "")
+       (String.concat ", "
+          (List.map
+             (fun (s : Semant.agg_spec) -> s.Semant.out_name)
+             plan.Semant.aggregates))
+       grouping
+       (match plan.Semant.group_columns with
+       | [] -> ""
+       | cols ->
+           Printf.sprintf " and by (%s)"
+             (String.concat ", " (List.map fst cols)))
+       (Tempagg.Engine.name plan.Semant.algorithm)
+       plan.Semant.rationale)

@@ -1,0 +1,24 @@
+(** Query evaluation.
+
+    A query's result is itself a valid-time relation: one tuple per
+    (group, constant interval), carrying the group-by values, the
+    aggregate values, and the constant interval as its valid time —
+    coalesced so that adjacent intervals with identical values are merged
+    (TSQL2 result semantics, paper Section 5.1).
+
+    For ungrouped queries the result covers the whole time-line
+    (including leading/trailing intervals where the aggregate is empty,
+    as in the paper's Table 1 which begins at time 0).  For queries with
+    a GROUP BY attribute, each group's timeline is clipped to that
+    group's lifespan, since an unbounded all-empty timeline per group is
+    rarely useful. *)
+
+val run : Semant.plan -> Relation.Trel.t
+(** Execute an analyzed plan. *)
+
+val query : Catalog.t -> string -> (Relation.Trel.t, string) result
+(** Parse, analyze and run: the whole pipeline. *)
+
+val explain : Catalog.t -> string -> (string, string) result
+(** Parse and analyze only; describe the chosen strategy (algorithm,
+    sorting, grouping) without running the query. *)

@@ -1,0 +1,207 @@
+exception Syntax_error of string
+
+type state = { tokens : (Lexer.token * int) array; mutable pos : int }
+
+let peek st = fst st.tokens.(st.pos)
+let offset st = snd st.tokens.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st expected =
+  raise
+    (Syntax_error
+       (Printf.sprintf "expected %s but found %s at offset %d" expected
+          (Lexer.token_to_string (peek st))
+          (offset st)))
+
+let expect st token what =
+  if peek st = token then advance st else fail st what
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT name -> advance st; name
+  | _ -> fail st "an identifier"
+
+let agg_fun_of_ident name =
+  match String.lowercase_ascii name with
+  | "count" -> Some Ast.Count
+  | "sum" -> Some Ast.Sum
+  | "avg" -> Some Ast.Avg
+  | "min" -> Some Ast.Min
+  | "max" -> Some Ast.Max
+  | _ -> None
+
+let select_item st =
+  match peek st with
+  | Lexer.IDENT name -> (
+      advance st;
+      match (agg_fun_of_ident name, peek st) with
+      | Some fn, Lexer.LPAREN ->
+          advance st;
+          let distinct =
+            if peek st = Lexer.DISTINCT then begin
+              advance st;
+              true
+            end
+            else false
+          in
+          let arg =
+            match peek st with
+            | Lexer.STAR ->
+                if fn <> Ast.Count then
+                  raise
+                    (Syntax_error
+                       (Printf.sprintf "%s(*) is not allowed; only COUNT(*)"
+                          (Ast.agg_fun_to_string fn)));
+                if distinct then
+                  raise (Syntax_error "DISTINCT requires a column argument");
+                advance st;
+                None
+            | _ -> Some (ident st)
+          in
+          expect st Lexer.RPAREN "')'";
+          Ast.Aggregate { fn; arg; distinct }
+      | _ -> Ast.Column name)
+  | _ -> fail st "a column or aggregate"
+
+let rec comma_separated st parse_one =
+  let first = parse_one st in
+  if peek st = Lexer.COMMA then begin
+    advance st;
+    first :: comma_separated st parse_one
+  end
+  else [ first ]
+
+let literal st =
+  match peek st with
+  | Lexer.INT n -> advance st; Ast.Lint n
+  | Lexer.FLOAT f -> advance st; Ast.Lfloat f
+  | Lexer.STRING s -> advance st; Ast.Lstring s
+  | _ -> fail st "a literal"
+
+let comparison_op st =
+  match peek st with
+  | Lexer.EQ -> advance st; Ast.Eq
+  | Lexer.NEQ -> advance st; Ast.Neq
+  | Lexer.LT -> advance st; Ast.Lt
+  | Lexer.LE -> advance st; Ast.Le
+  | Lexer.GT -> advance st; Ast.Gt
+  | Lexer.GE -> advance st; Ast.Ge
+  | _ -> fail st "a comparison operator"
+
+let predicate st =
+  let column = ident st in
+  let op = comparison_op st in
+  let value = literal st in
+  { Ast.column; op; value }
+
+let rec predicates st =
+  let first = predicate st in
+  if peek st = Lexer.AND then begin
+    advance st;
+    first :: predicates st
+  end
+  else [ first ]
+
+(* GROUP BY elements: attribute names, INSTANT, or SPAN n.  At most one
+   temporal grouping may appear. *)
+let group_elements st =
+  let attrs = ref [] and temporal = ref None in
+  let set_temporal g =
+    match !temporal with
+    | None -> temporal := Some g
+    | Some _ ->
+        raise (Syntax_error "multiple temporal groupings in GROUP BY")
+  in
+  let element st =
+    match peek st with
+    | Lexer.INSTANT -> advance st; set_temporal Ast.By_instant
+    | Lexer.SPAN -> (
+        advance st;
+        match peek st with
+        | Lexer.INT n ->
+            advance st;
+            if n <= 0 then raise (Syntax_error "SPAN length must be positive");
+            set_temporal (Ast.By_span n)
+        | _ -> fail st "a span length")
+    | Lexer.IDENT name -> advance st; attrs := name :: !attrs
+    | _ -> fail st "a grouping element"
+  in
+  ignore (comma_separated st (fun st -> element st));
+  (List.rev !attrs, Option.value !temporal ~default:Ast.By_instant)
+
+let using_clause st =
+  let name = ident st in
+  if peek st = Lexer.LPAREN then begin
+    advance st;
+    match peek st with
+    | Lexer.INT n ->
+        advance st;
+        expect st Lexer.RPAREN "')'";
+        Printf.sprintf "%s(%d)" name n
+    | _ -> fail st "an integer argument"
+  end
+  else name
+
+let during_clause st =
+  expect st Lexer.LBRACKET "'['";
+  let w_start =
+    match peek st with
+    | Lexer.INT n when n >= 0 -> advance st; n
+    | _ -> fail st "a non-negative start instant"
+  in
+  expect st Lexer.COMMA "','";
+  let w_stop =
+    match peek st with
+    | Lexer.INT n -> advance st; Some n
+    | Lexer.IDENT ("oo" | "forever") -> advance st; None
+    | _ -> fail st "a stop instant or oo"
+  in
+  (match w_stop with
+  | Some stop when stop < w_start ->
+      raise (Syntax_error "DURING window stops before it starts")
+  | _ -> ());
+  expect st Lexer.RBRACKET "']'";
+  { Ast.w_start; w_stop }
+
+let query st =
+  expect st Lexer.SELECT "SELECT";
+  let select = comma_separated st select_item in
+  expect st Lexer.FROM "FROM";
+  let from = ident st in
+  let during =
+    if peek st = Lexer.DURING then begin
+      advance st;
+      Some (during_clause st)
+    end
+    else None
+  in
+  let where =
+    if peek st = Lexer.WHERE then begin advance st; predicates st end else []
+  in
+  let group_by, grouping =
+    if peek st = Lexer.GROUP then begin
+      advance st;
+      expect st Lexer.BY "BY";
+      group_elements st
+    end
+    else ([], Ast.By_instant)
+  in
+  let using =
+    if peek st = Lexer.USING then begin
+      advance st;
+      Some (using_clause st)
+    end
+    else None
+  in
+  if peek st = Lexer.SEMI then advance st;
+  expect st Lexer.EOF "end of query";
+  { Ast.select; from; during; where; group_by; grouping; using }
+
+let parse text =
+  match Lexer.tokenize text with
+  | Error _ as e -> e
+  | Ok tokens -> (
+      let st = { tokens = Array.of_list tokens; pos = 0 } in
+      match query st with
+      | q -> Ok q
+      | exception Syntax_error msg -> Error msg)

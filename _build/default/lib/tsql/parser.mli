@@ -1,0 +1,5 @@
+(** Recursive-descent parser for the TSQL2 subset (grammar in {!Ast}). *)
+
+val parse : string -> (Ast.query, string) result
+(** Parse one query.  Errors name the offending token and its byte
+    offset, e.g. ["expected FROM but found GROUP at offset 18"]. *)

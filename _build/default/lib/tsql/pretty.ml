@@ -1,0 +1,41 @@
+open Relation
+
+let result_to_string rel =
+  let schema = Trel.schema rel in
+  let headers =
+    List.map (fun c -> c.Schema.name) (Schema.columns schema) @ [ "valid" ]
+  in
+  let rows =
+    List.map
+      (fun t ->
+        Array.to_list (Array.map Value.to_string (Tuple.values t))
+        @ [ Temporal.Interval.to_string (Tuple.valid t) ])
+      (Trel.tuples rel)
+  in
+  let widths = Array.of_list (List.map String.length headers) in
+  List.iter
+    (List.iteri (fun i cell ->
+         widths.(i) <- Stdlib.max widths.(i) (String.length cell)))
+    rows;
+  let is_numeric s =
+    s <> ""
+    && String.for_all
+         (function '0' .. '9' | '.' | '-' -> true | _ -> false)
+         s
+  in
+  let pad i cell =
+    let gap = widths.(i) - String.length cell in
+    if is_numeric cell then String.make gap ' ' ^ cell
+    else cell ^ String.make gap ' '
+  in
+  let line cells = "| " ^ String.concat " | " (List.mapi pad cells) ^ " |" in
+  let rule =
+    "+"
+    ^ String.concat "+"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  String.concat "\n"
+    ([ rule; line headers; rule ] @ List.map line rows @ [ rule ])
+
+let print_result rel = print_endline (result_to_string rel)

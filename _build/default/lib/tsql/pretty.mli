@@ -1,0 +1,23 @@
+(** Rendering query results.
+
+    A result relation prints as a table with one column per schema column
+    plus a final [valid] column, e.g. for the paper's
+    [SELECT COUNT(Name) FROM Employed]:
+
+    {v
+    +-------------+---------+
+    | count(name) | valid   |
+    +-------------+---------+
+    |           0 | [0,6]   |
+    |           1 | [7,7]   |
+    |           2 | [8,12]  |
+    |           1 | [13,17] |
+    |           3 | [18,20] |
+    |           2 | [21,21] |
+    |           1 | [22,oo] |
+    +-------------+---------+
+    v} *)
+
+val result_to_string : Relation.Trel.t -> string
+
+val print_result : Relation.Trel.t -> unit

@@ -1,0 +1,280 @@
+open Relation
+
+type agg_spec = {
+  fn : Ast.agg_fun;
+  column : int option;
+  column_ty : Value.ty option;
+  distinct : bool;
+  out_name : string;
+  out_ty : Value.ty;
+}
+
+type plan = {
+  relation : Trel.t;
+  source_name : string;
+  filter : Tuple.t -> bool;
+  group_columns : (string * int) list;
+  aggregates : agg_spec list;
+  algorithm : Tempagg.Engine.algorithm;
+  sort_first : bool;
+  granule : Temporal.Granule.t option;
+  window : Temporal.Interval.t option;
+  out_schema : Schema.t;
+  rationale : string;
+}
+
+let ( let* ) = Result.bind
+
+(* SQL column references are case-insensitive; exact matches win, then a
+   unique case-folded match is accepted. *)
+let resolve_column schema name =
+  match Schema.index_of schema name with
+  | Some i -> Ok (i, (Schema.column schema i).Schema.ty)
+  | None -> (
+      let folded = String.lowercase_ascii name in
+      let candidates =
+        List.filteri
+          (fun _ c -> String.lowercase_ascii c.Schema.name = folded)
+          (Schema.columns schema)
+      in
+      match candidates with
+      | [ c ] ->
+          let i = Option.get (Schema.index_of schema c.Schema.name) in
+          Ok (i, c.Schema.ty)
+      | [] -> Error (Printf.sprintf "unknown column %S" name)
+      | _ :: _ ->
+          Error (Printf.sprintf "ambiguous column %S (case-folded)" name))
+
+let numeric = function Value.Tint | Value.Tfloat -> true | Value.Tstring -> false
+
+let analyze_aggregate schema item =
+  match item with
+  | Ast.Column _ -> assert false
+  | Ast.Aggregate { fn; arg; distinct } -> (
+      let base_name =
+        Printf.sprintf "%s(%s%s)"
+          (String.lowercase_ascii (Ast.agg_fun_to_string fn))
+          (if distinct then "distinct " else "")
+          (Option.value arg ~default:"*")
+      in
+      match arg with
+      | None ->
+          if fn = Ast.Count then
+            Ok
+              {
+                fn;
+                column = None;
+                column_ty = None;
+                distinct = false;
+                out_name = base_name;
+                out_ty = Value.Tint;
+              }
+          else
+            Error
+              (Printf.sprintf "%s requires a column argument"
+                 (Ast.agg_fun_to_string fn))
+      | Some col ->
+          let* i, ty = resolve_column schema col in
+          let* out_ty =
+            match fn with
+            | Ast.Count -> Ok Value.Tint
+            | Ast.Avg ->
+                if numeric ty then Ok Value.Tfloat
+                else Error (Printf.sprintf "AVG(%s): column is not numeric" col)
+            | Ast.Sum ->
+                if numeric ty then Ok ty
+                else Error (Printf.sprintf "SUM(%s): column is not numeric" col)
+            | Ast.Min | Ast.Max -> Ok ty
+          in
+          Ok { fn; column = Some i; column_ty = Some ty; distinct;
+               out_name = base_name; out_ty })
+
+let literal_value ty lit =
+  match (ty, lit) with
+  | Value.Tint, Ast.Lint n -> Ok (Value.Int n)
+  | Value.Tfloat, Ast.Lfloat f -> Ok (Value.Float f)
+  | Value.Tfloat, Ast.Lint n -> Ok (Value.Float (float_of_int n))
+  | Value.Tstring, Ast.Lstring s -> Ok (Value.Str s)
+  | _ ->
+      Error
+        (Printf.sprintf "literal %s does not match a %s column"
+           (Ast.literal_to_string lit)
+           (Value.ty_to_string ty))
+
+let compile_predicate schema (p : Ast.predicate) =
+  let* i, ty = resolve_column schema p.Ast.column in
+  let* rhs = literal_value ty p.Ast.value in
+  let test tuple =
+    let v = Tuple.value tuple i in
+    if Value.is_null v then false (* SQL: comparisons with NULL are unknown *)
+    else
+      let c = Value.compare v rhs in
+      match p.Ast.op with
+      | Ast.Eq -> c = 0
+      | Ast.Neq -> c <> 0
+      | Ast.Lt -> c < 0
+      | Ast.Le -> c <= 0
+      | Ast.Gt -> c > 0
+      | Ast.Ge -> c >= 0
+  in
+  Ok test
+
+let rec collect_results f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = collect_results f rest in
+      Ok (y :: ys)
+
+(* Result columns need unique names; repeated aggregates get _2, _3 ... *)
+let uniquify names =
+  let seen = Hashtbl.create 8 in
+  List.map
+    (fun name ->
+      match Hashtbl.find_opt seen name with
+      | None ->
+          Hashtbl.add seen name 1;
+          name
+      | Some n ->
+          Hashtbl.replace seen name (n + 1);
+          Printf.sprintf "%s_%d" name (n + 1))
+    names
+
+let choose_algorithm relation (q : Ast.query) granule window =
+  match q.Ast.using with
+  | Some hint ->
+      let* algorithm = Tempagg.Engine.of_string hint in
+      Ok (algorithm, false, Printf.sprintf "USING hint: %s" hint)
+  | None ->
+      let expected_constant_intervals =
+        (* Upper bounds on the result size: the number of spans under
+           span grouping, the window width under DURING (Section 6.3's
+           "results for a single year" case). *)
+        let span_estimate =
+          match granule with
+          | Some g ->
+              Option.bind (Trel.lifespan relation) (fun span ->
+                  match Temporal.Interval.duration span with
+                  | Some d ->
+                      Some
+                        ((d / (g : Temporal.Granule.t).Temporal.Granule.length)
+                        + 1)
+                  | None -> None)
+          | None -> None
+        in
+        let window_estimate =
+          Option.bind window Temporal.Interval.duration
+        in
+        match (span_estimate, window_estimate) with
+        | Some a, Some b -> Some (Stdlib.min a b)
+        | (Some _ as e), None | None, (Some _ as e) -> e
+        | None, None -> None
+      in
+      let metadata =
+        {
+          (Tempagg.Optimizer.default_metadata
+             ~cardinality:(Trel.cardinality relation))
+          with
+          Tempagg.Optimizer.time_ordered = Trel.is_time_ordered relation;
+          expected_constant_intervals;
+        }
+      in
+      let choice = Tempagg.Optimizer.choose metadata in
+      Ok
+        ( choice.Tempagg.Optimizer.algorithm,
+          choice.Tempagg.Optimizer.sort_first,
+          choice.Tempagg.Optimizer.rationale )
+
+let analyze catalog (q : Ast.query) =
+  let* relation =
+    match Catalog.find catalog q.Ast.from with
+    | Some rel -> Ok rel
+    | None -> Error (Printf.sprintf "unknown relation %S" q.Ast.from)
+  in
+  let schema = Trel.schema relation in
+  let* group_columns =
+    collect_results
+      (fun name ->
+        let* i, _ = resolve_column schema name in
+        Ok (name, i))
+      q.Ast.group_by
+  in
+  let agg_items, column_items =
+    List.partition
+      (function Ast.Aggregate _ -> true | Ast.Column _ -> false)
+      q.Ast.select
+  in
+  let* () =
+    if agg_items = [] then
+      Error "the select list must contain at least one aggregate"
+    else Ok ()
+  in
+  let* () =
+    collect_results
+      (function
+        | Ast.Column name ->
+            if List.mem_assoc name group_columns then Ok ()
+            else
+              Error
+                (Printf.sprintf
+                   "column %S must appear in GROUP BY to be selected" name)
+        | Ast.Aggregate _ -> Ok ())
+      column_items
+    |> Result.map (fun (_ : unit list) -> ())
+  in
+  let* aggregates = collect_results (analyze_aggregate schema) agg_items in
+  let* predicates = collect_results (compile_predicate schema) q.Ast.where in
+  let filter tuple = List.for_all (fun p -> p tuple) predicates in
+  let granule =
+    match q.Ast.grouping with
+    | Ast.By_instant -> None
+    | Ast.By_span n -> Some (Temporal.Granule.make n)
+  in
+  let window =
+    Option.map
+      (fun { Ast.w_start; w_stop } ->
+        Temporal.Interval.make
+          (Temporal.Chronon.of_int w_start)
+          (match w_stop with
+          | Some e -> Temporal.Chronon.of_int e
+          | None -> Temporal.Chronon.forever))
+      q.Ast.during
+  in
+  let* algorithm, sort_first, rationale =
+    choose_algorithm relation q granule window
+  in
+  let group_cols_schema =
+    List.map
+      (fun (name, i) -> (name, (Schema.column schema i).Schema.ty))
+      group_columns
+  in
+  let agg_cols_schema =
+    List.map (fun spec -> (spec.out_name, spec.out_ty)) aggregates
+  in
+  let names =
+    uniquify (List.map fst group_cols_schema @ List.map fst agg_cols_schema)
+  in
+  let tys = List.map snd group_cols_schema @ List.map snd agg_cols_schema in
+  let out_schema = Schema.of_pairs (List.combine names tys) in
+  let aggregates =
+    (* Propagate uniquified names back into the specs. *)
+    let agg_names =
+      List.filteri (fun i _ -> i >= List.length group_cols_schema) names
+    in
+    List.map2 (fun spec name -> { spec with out_name = name }) aggregates
+      agg_names
+  in
+  Ok
+    {
+      relation;
+      source_name = q.Ast.from;
+      filter;
+      group_columns;
+      aggregates;
+      algorithm;
+      sort_first;
+      granule;
+      window;
+      out_schema;
+      rationale;
+    }

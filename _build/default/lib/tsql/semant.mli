@@ -1,0 +1,43 @@
+(** Semantic analysis: resolve and type-check a parsed query against a
+    catalog, producing an executable plan.
+
+    Enforced rules:
+    - the FROM relation must exist in the catalog;
+    - the select list must contain at least one aggregate;
+    - a plain column in the select list must appear in GROUP BY;
+    - all referenced columns must exist, with types compatible with their
+      use (SUM/AVG need numeric columns; WHERE literals must match the
+      column's type, ints being acceptable for float columns);
+    - [COUNT( * )] takes no column, other aggregates take exactly one;
+    - a USING hint must name a known algorithm.
+
+    When no USING hint is given, the algorithm is chosen by
+    {!Tempagg.Optimizer.choose} from what is known about the relation
+    (cardinality, physical time-orderedness, expected result size under
+    span grouping). *)
+
+type agg_spec = {
+  fn : Ast.agg_fun;
+  column : int option;  (** [None] for [COUNT( * )]. *)
+  column_ty : Relation.Value.ty option;
+  distinct : bool;  (** Duplicate elimination before aggregation. *)
+  out_name : string;  (** Result-relation column name, e.g. [count(name)]. *)
+  out_ty : Relation.Value.ty;
+}
+
+type plan = {
+  relation : Relation.Trel.t;
+  source_name : string;
+  filter : Relation.Tuple.t -> bool;  (** Compiled WHERE conjunction. *)
+  group_columns : (string * int) list;  (** GROUP BY name and column index. *)
+  aggregates : agg_spec list;
+  algorithm : Tempagg.Engine.algorithm;
+  sort_first : bool;  (** Sort the relation by time before evaluating. *)
+  granule : Temporal.Granule.t option;  (** [Some _] for GROUP BY SPAN. *)
+  window : Temporal.Interval.t option;
+      (** DURING window: evaluation is restricted to these instants. *)
+  out_schema : Relation.Schema.t;
+  rationale : string;  (** Why this algorithm (hint or optimizer rule). *)
+}
+
+val analyze : Catalog.t -> Ast.query -> (plan, string) result

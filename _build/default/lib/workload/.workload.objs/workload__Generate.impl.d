@@ -1,0 +1,1 @@
+lib/workload/generate.ml: Array Char Float Interval Ordering Prng Relation Spec String Temporal

@@ -1,0 +1,1 @@
+lib/workload/generate.mli: Interval Relation Seq Spec Temporal

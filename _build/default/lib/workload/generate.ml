@@ -1,0 +1,70 @@
+open Temporal
+
+(* One tuple interval: uniform start over the lifespan, duration from the
+   short- or long-lived distribution; redraw anything extending past the
+   lifespan (the paper discards such tuples). *)
+let rec draw_interval prng (spec : Spec.t) ~long =
+  let start = Prng.int_bounded prng spec.lifespan in
+  let duration =
+    if long then
+      let lo =
+        int_of_float (spec.long_min_fraction *. float_of_int spec.lifespan)
+      in
+      let hi =
+        int_of_float (spec.long_max_fraction *. float_of_int spec.lifespan)
+      in
+      Prng.int_in prng ~lo ~hi
+    else Prng.int_in prng ~lo:spec.short_min ~hi:spec.short_max
+  in
+  let stop = start + duration - 1 in
+  if stop >= spec.lifespan then draw_interval prng spec ~long
+  else Interval.of_ints start stop
+
+let salary prng = Prng.int_in prng ~lo:20_000 ~hi:60_000
+
+(* The first [long_count] draws are long-lived, the rest short; a final
+   shuffle interleaves them so physical order carries no signal. *)
+let random_intervals (spec : Spec.t) =
+  let prng = Prng.create ~seed:spec.seed in
+  let long_count =
+    int_of_float (Float.round (spec.long_lived_fraction *. float_of_int spec.n))
+  in
+  let raw =
+    Array.init spec.n (fun i ->
+        let long = i < long_count in
+        (draw_interval prng spec ~long, salary prng))
+  in
+  Ordering.Perturb.shuffle ~rand:(Prng.int_bounded prng) raw
+
+let by_time (a, _) (b, _) = Interval.compare a b
+
+let sorted_intervals spec =
+  let data = random_intervals spec in
+  Array.stable_sort by_time data;
+  data
+
+let k_ordered_intervals ~k ~percentage spec =
+  let sorted = sorted_intervals spec in
+  let prng = Prng.create ~seed:(spec.Spec.seed + 0x5eed) in
+  Ordering.Perturb.k_ordered ~rand:(Prng.int_bounded prng) ~k ~percentage
+    sorted
+
+let name prng =
+  String.init 6 (fun _ -> Char.chr (Char.code 'a' + Prng.int_bounded prng 26))
+
+let schema =
+  Relation.Schema.of_pairs
+    [ ("name", Relation.Value.Tstring); ("salary", Relation.Value.Tint) ]
+
+let relation spec =
+  let prng = Prng.create ~seed:(spec.Spec.seed + 0xa11ce) in
+  let data = random_intervals spec in
+  Relation.Trel.of_array schema
+    (Array.map
+       (fun (iv, sal) ->
+         Relation.Tuple.make
+           [| Relation.Value.Str (name prng); Relation.Value.Int sal |]
+           iv)
+       data)
+
+let seq_of = Array.to_seq

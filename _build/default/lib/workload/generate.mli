@@ -1,0 +1,33 @@
+(** Synthetic temporal relations per the paper's Section 6 methodology.
+
+    Tuple start positions are generated independently and uniformly over
+    the lifespan (so "relations had many unique timestamps"); durations
+    are short- or long-lived per the spec; tuples extending past the
+    lifespan are discarded and regenerated.  Orderings:
+
+    - {!random_intervals} / {!relation} — the unordered relations of
+      Figure 6 (long- and short-lived tuples interleaved randomly);
+    - {!sorted_intervals} — totally time-ordered (Figures 7–9, "Ktree,
+      sorted relation, K=1" and the sorted aggregation-tree runs);
+    - {!k_ordered_intervals} — sorted then perturbed to a target k and
+      k-ordered-percentage (the Ktree K=4/40/400 runs). *)
+
+open Temporal
+
+val random_intervals : Spec.t -> (Interval.t * int) array
+(** (valid interval, salary) pairs in random order.  Salaries are uniform
+    in 20 000–60 000. *)
+
+val sorted_intervals : Spec.t -> (Interval.t * int) array
+
+val k_ordered_intervals :
+  k:int -> percentage:float -> Spec.t -> (Interval.t * int) array
+(** @raise Invalid_argument per {!Ordering.Perturb.k_ordered}. *)
+
+val relation : Spec.t -> Relation.Trel.t
+(** A full relation with the paper's germane attributes
+    [(name:string, salary:int)] (random 6-character names), in random
+    order. *)
+
+val seq_of : ('a * 'b) array -> ('a * 'b) Seq.t
+(** Convenience: the array as the sequence the algorithms consume. *)

@@ -1,0 +1,36 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+(* splitmix64 (Steele, Lea & Flood 2014): tiny state, excellent statistical
+   quality for simulation workloads, trivially reproducible. *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* A non-negative 62-bit int. *)
+let next_nonneg t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int_bounded t n =
+  if n <= 0 then invalid_arg "Prng.int_bounded: bound must be positive";
+  (* Rejection sampling over the largest multiple of [n] below 2^62. *)
+  let limit = (max_int / n) * n in
+  let rec draw () =
+    let x = next_nonneg t in
+    if x < limit then x mod n else draw ()
+  in
+  draw ()
+
+let int_in t ~lo ~hi =
+  if lo > hi then invalid_arg "Prng.int_in: empty range";
+  lo + int_bounded t (hi - lo + 1)
+
+let float_unit t =
+  let x = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  x /. 9007199254740992. (* 2^53 *)
+
+let bool_with t ~probability = float_unit t < probability

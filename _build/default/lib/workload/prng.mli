@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    All randomness in the workload generators flows through this module
+    with explicit seeds, so every experiment in the paper reproduction is
+    repeatable bit-for-bit.  The paper ran "each test several times with
+    different random number seeds"; the benches do the same by varying
+    the seed. *)
+
+type t
+
+val create : seed:int -> t
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+(** The raw splitmix64 output. *)
+
+val int_bounded : t -> int -> int
+(** [int_bounded t n] is uniform over [[0, n-1]] (rejection-sampled, no
+    modulo bias).
+    @raise Invalid_argument if [n <= 0]. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** Uniform over the inclusive range [[lo, hi]].
+    @raise Invalid_argument if [lo > hi]. *)
+
+val float_unit : t -> float
+(** Uniform in [[0, 1)]. *)
+
+val bool_with : t -> probability:float -> bool
+(** [true] with the given probability. *)

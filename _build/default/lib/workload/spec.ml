@@ -1,0 +1,51 @@
+type t = {
+  n : int;
+  long_lived_fraction : float;
+  lifespan : int;
+  short_min : int;
+  short_max : int;
+  long_min_fraction : float;
+  long_max_fraction : float;
+  seed : int;
+}
+
+let make ?(long_lived_fraction = 0.) ?(lifespan = 1_000_000) ?(short_min = 1)
+    ?(short_max = 1000) ?(long_min_fraction = 0.2) ?(long_max_fraction = 0.8)
+    ?(seed = 42) ~n () =
+  if n <= 0 then invalid_arg "Spec.make: n must be positive";
+  if lifespan <= 0 then invalid_arg "Spec.make: lifespan must be positive";
+  if long_lived_fraction < 0. || long_lived_fraction > 1. then
+    invalid_arg "Spec.make: long_lived_fraction outside [0,1]";
+  if short_min < 1 || short_max < short_min then
+    invalid_arg "Spec.make: bad short-lived duration range";
+  if
+    long_min_fraction <= 0. || long_max_fraction > 1.
+    || long_max_fraction < long_min_fraction
+  then invalid_arg "Spec.make: bad long-lived fraction range";
+  {
+    n;
+    long_lived_fraction;
+    lifespan;
+    short_min;
+    short_max;
+    long_min_fraction;
+    long_max_fraction;
+    seed;
+  }
+
+let table3_sizes = [ 1_024; 2_048; 4_096; 8_192; 16_384; 32_768; 65_536 ]
+let table3_long_lived = [ 0.; 0.4; 0.8 ]
+let table3_k = [ 4; 40; 400 ]
+let table3_percentages = [ 0.02; 0.08; 0.14 ]
+let bytes_per_tuple = 128
+
+let pp ppf t =
+  Format.fprintf ppf
+    "n=%d long-lived=%.0f%% lifespan=%d short=[%d,%d] long=[%.0f%%,%.0f%%] \
+     seed=%d"
+    t.n
+    (t.long_lived_fraction *. 100.)
+    t.lifespan t.short_min t.short_max
+    (t.long_min_fraction *. 100.)
+    (t.long_max_fraction *. 100.)
+    t.seed

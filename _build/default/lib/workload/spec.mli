@@ -1,0 +1,55 @@
+(** Workload specifications — the paper's Table 3 parameter space.
+
+    The test relation has a lifespan of one million instants.  Short-lived
+    tuples last a uniform 1–1000 instants; long-lived tuples last a
+    uniform 20–80 % of the lifespan.  Tuples whose interval would extend
+    past the lifespan are discarded and regenerated.  Relation sizes
+    double from 1K to 64K tuples, with 0 %, 40 % or 80 % long-lived, and
+    (for the ordered experiments) k in {4, 40, 400} and
+    k-ordered-percentage in {0.02, 0.08, 0.14}. *)
+
+type t = {
+  n : int;  (** Number of tuples. *)
+  long_lived_fraction : float;  (** Fraction of long-lived tuples. *)
+  lifespan : int;  (** Relation lifespan in instants (paper: 1M). *)
+  short_min : int;  (** Shortest short-lived duration (paper: 1). *)
+  short_max : int;  (** Longest short-lived duration (paper: 1000). *)
+  long_min_fraction : float;  (** Long-lived min, as lifespan fraction. *)
+  long_max_fraction : float;  (** Long-lived max, as lifespan fraction. *)
+  seed : int;
+}
+
+val make :
+  ?long_lived_fraction:float ->
+  ?lifespan:int ->
+  ?short_min:int ->
+  ?short_max:int ->
+  ?long_min_fraction:float ->
+  ?long_max_fraction:float ->
+  ?seed:int ->
+  n:int ->
+  unit ->
+  t
+(** Paper defaults: no long-lived tuples, 1M-instant lifespan, short 1–1000,
+    long 0.2–0.8 of lifespan, seed 42.
+    @raise Invalid_argument on non-positive sizes, fractions outside
+    [0, 1], or an empty duration range. *)
+
+(** The paper's tested values (Table 3). *)
+
+val table3_sizes : int list
+(** 1K, 2K, ..., 64K. *)
+
+val table3_long_lived : float list
+(** 0 %, 40 %, 80 %. *)
+
+val table3_k : int list
+(** 4, 40, 400 (Figures 7–9). *)
+
+val table3_percentages : float list
+(** 0.02, 0.08, 0.14. *)
+
+val bytes_per_tuple : int
+(** 128 — the paper's tuple size (germane attributes plus padding). *)
+
+val pp : Format.formatter -> t -> unit

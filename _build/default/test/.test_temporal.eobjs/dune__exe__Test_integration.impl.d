@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Chronon Csv_io Format Granule Int Interval List Printf Relation Seq String Tempagg Temporal Timeline Trel Tsql Tuple Value Workload

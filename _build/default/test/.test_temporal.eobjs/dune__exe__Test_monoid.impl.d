@@ -1,0 +1,1 @@
+test/test_monoid.ml: Alcotest Float Int List Monoid Option QCheck2 QCheck_alcotest String Tempagg

@@ -1,0 +1,1 @@
+test/test_ordering.ml: Alcotest Array Float Fun Int Korder List Ordering Perturb Printf QCheck2 QCheck_alcotest Relation Workload

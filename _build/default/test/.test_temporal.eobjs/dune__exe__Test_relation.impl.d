@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Chronon Csv_io Filename Fixtures Fun Interval List Option Printf Relation Result Schema Seq String Sys Temporal Trel Tuple Value

@@ -1,0 +1,1 @@
+test/test_temporal.ml: Alcotest Chronon Format Granule Int Interval Interval_set List QCheck2 QCheck_alcotest Temporal Timeline

@@ -1,0 +1,1 @@
+test/test_tsql.ml: Alcotest Array Fixtures List Option Printf Relation Result Schema String Temporal Trel Tsql Tuple Value

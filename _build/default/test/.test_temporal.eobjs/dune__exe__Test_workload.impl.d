@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Chronon Float Generate Interval List Ordering Printf Prng QCheck2 QCheck_alcotest Relation Spec Stdlib String Temporal Workload

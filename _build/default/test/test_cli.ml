@@ -1,0 +1,137 @@
+(* End-to-end tests of the tempagg command-line tool, driving the built
+   binary as a user would. *)
+
+(* The CLI binary sits next to this test in the build tree:
+   _build/default/{test/test_cli.exe, bin/tempagg_cli.exe}.  Resolve it
+   from the executable's own path so the tests work from any cwd. *)
+let cli =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    (Filename.concat "bin" "tempagg_cli.exe")
+
+let temp_out () = Filename.temp_file "tempagg_cli" ".out"
+
+(* Runs the CLI with the given arguments, returning (exit code, stdout). *)
+let run args =
+  let out = temp_out () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists out then Sys.remove out)
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s %s > %s 2>&1" cli
+          (String.concat " " (List.map Filename.quote args))
+          out
+      in
+      let code = Sys.command cmd in
+      (code, In_channel.with_open_text out In_channel.input_all))
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let check_contains output fragment =
+  if not (contains output fragment) then
+    Alcotest.fail (Printf.sprintf "output %S lacks %S" output fragment)
+
+let with_tempdir f =
+  let dir = Filename.temp_file "tempagg_cli" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun x -> Sys.remove (Filename.concat dir x)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let test_query_employed () =
+  let code, out = run [ "query"; "SELECT COUNT(Name) FROM Employed" ] in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains out "| [18,20] |" |> ignore;
+  check_contains out "3";
+  check_contains out "[22,oo]"
+
+let test_query_error_reported () =
+  let code, out = run [ "query"; "SELECT COUNT(*) FROM Nowhere" ] in
+  Alcotest.(check bool) "nonzero exit" true (code <> 0);
+  check_contains out "unknown relation"
+
+let test_explain () =
+  let code, out = run [ "explain"; "SELECT COUNT(*) FROM Employed" ] in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains out "aggregation-tree"
+
+let test_generate_metrics_roundtrip () =
+  with_tempdir (fun dir ->
+      let csv = Filename.concat dir "rel.csv" in
+      let code, _ =
+        run
+          [ "generate"; "--tuples"; "200"; "--order"; "k-ordered"; "-k"; "7";
+            "--seed"; "3"; "-o"; csv ]
+      in
+      Alcotest.(check int) "generate ok" 0 code;
+      let code, out = run [ "metrics"; csv; "-k"; "7" ] in
+      Alcotest.(check int) "metrics ok" 0 code;
+      check_contains out "tuples:            200";
+      check_contains out "k-orderedness:     7")
+
+let test_convert_extsort_query_pipeline () =
+  with_tempdir (fun dir ->
+      let csv = Filename.concat dir "rel.csv" in
+      let heap = Filename.concat dir "rel.heap" in
+      let sorted = Filename.concat dir "rel.sorted.heap" in
+      let code, _ =
+        run [ "generate"; "--tuples"; "300"; "--seed"; "4"; "-o"; csv ]
+      in
+      Alcotest.(check int) "generate" 0 code;
+      let code, out = run [ "convert"; csv; heap ] in
+      Alcotest.(check int) "convert" 0 code;
+      check_contains out "wrote 300 tuples";
+      let code, _ = run [ "extsort"; heap; sorted; "--memory-tuples"; "50" ] in
+      Alcotest.(check int) "extsort" 0 code;
+      let code, out = run [ "metrics"; sorted ] in
+      Alcotest.(check int) "metrics" 0 code;
+      check_contains out "time-ordered:      true";
+      let code, out =
+        run
+          [ "query"; "-r"; "jobs=" ^ sorted;
+            "SELECT COUNT(*) FROM jobs DURING [0,100000]" ]
+      in
+      Alcotest.(check int) "query over heap" 0 code;
+      check_contains out "count(*)")
+
+let test_sort_csv () =
+  with_tempdir (fun dir ->
+      let csv = Filename.concat dir "rel.csv" in
+      let out_csv = Filename.concat dir "sorted.csv" in
+      let code, _ =
+        run [ "generate"; "--tuples"; "100"; "--seed"; "5"; "-o"; csv ]
+      in
+      Alcotest.(check int) "generate" 0 code;
+      let code, _ = run [ "sort"; csv; "-o"; out_csv ] in
+      Alcotest.(check int) "sort" 0 code;
+      let code, out = run [ "metrics"; out_csv ] in
+      Alcotest.(check int) "metrics" 0 code;
+      check_contains out "k-orderedness:     0")
+
+let test_bad_subcommand () =
+  let code, _ = run [ "frobnicate" ] in
+  Alcotest.(check bool) "nonzero exit" true (code <> 0)
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "tempagg",
+        [
+          quick "query Employed (Table 1)" test_query_employed;
+          quick "query error reported" test_query_error_reported;
+          quick "explain" test_explain;
+          quick "generate + metrics" test_generate_metrics_roundtrip;
+          quick "convert + extsort + query pipeline"
+            test_convert_extsort_query_pipeline;
+          quick "sort csv" test_sort_csv;
+          quick "bad subcommand" test_bad_subcommand;
+        ] );
+    ]

@@ -1,0 +1,224 @@
+(* Property tests: every algorithm computes exactly the same timeline as
+   the brute-force reference, on random inputs, for several aggregates.
+   The segment boundaries must agree exactly (not just up to coalescing):
+   every algorithm splits at precisely the unique interval endpoints. *)
+
+open Temporal
+open Tempagg
+
+let c = Chronon.of_int
+let iv = Interval.of_ints
+
+(* Random data sets over a small domain so brute force stays cheap and
+   collisions between endpoints are common (the interesting edge cases). *)
+let gen_data ?(max_time = 120) ?(max_len = 30) () =
+  QCheck2.Gen.(
+    let gen_tuple =
+      let* s = int_bound (max_time - 1) in
+      let* len = int_bound max_len in
+      let* unbounded = map (fun n -> n = 0) (int_bound 19) in
+      let* v = int_range 1 100 in
+      if unbounded then return (Interval.from (c s), v)
+      else return (iv s (min (max_time - 1) (s + len)), v)
+    in
+    list_size (int_range 0 40) gen_tuple)
+
+let print_data data =
+  String.concat "; "
+    (List.map
+       (fun (ivl, v) -> Printf.sprintf "%s=%d" (Interval.to_string ivl) v)
+       data)
+
+let sort_data data =
+  List.sort (fun (a, _) (b, _) -> Interval.compare a b) data
+
+(* k of a data list, for feeding the k-ordered tree raw input. *)
+let k_of data =
+  Ordering.Korder.k_of
+    ~compare:(fun (a, _) (b, _) -> Interval.compare a b)
+    (Array.of_list data)
+
+let algorithms_against_reference ~name ~monoid ~equal_r =
+  QCheck2.Test.make ~name ~count:300 ~print:print_data (gen_data ())
+    (fun data ->
+      let expected = Reference.eval monoid data in
+      let same tl = Timeline.equal equal_r expected tl in
+      let seq () = List.to_seq data in
+      same (Agg_tree.eval monoid (seq ()))
+      && same (Linked_list.eval monoid (seq ()))
+      && same (Two_scan.eval monoid (seq ()))
+      && same (Balanced_tree.eval monoid (seq ()))
+      && same (Korder_tree.eval ~k:(k_of data) monoid (seq ()))
+      && same
+           (Korder_tree.eval ~k:1 monoid (List.to_seq (sort_data data))))
+
+let count_vs_reference =
+  algorithms_against_reference ~name:"count = reference (all algorithms)"
+    ~monoid:Monoid.count ~equal_r:Int.equal
+
+let sum_vs_reference =
+  algorithms_against_reference ~name:"sum = reference (all algorithms)"
+    ~monoid:Monoid.sum_int ~equal_r:Int.equal
+
+let min_vs_reference =
+  algorithms_against_reference ~name:"min = reference (all algorithms)"
+    ~monoid:Monoid.min_int ~equal_r:(Option.equal Int.equal)
+
+let max_vs_reference =
+  algorithms_against_reference ~name:"max = reference (all algorithms)"
+    ~monoid:Monoid.max_int ~equal_r:(Option.equal Int.equal)
+
+let avg_vs_reference =
+  algorithms_against_reference ~name:"avg = reference (all algorithms)"
+    ~monoid:Monoid.avg_int
+    ~equal_r:
+      (Option.equal (fun a b -> Float.abs (a -. b) <= 1e-9 *. Float.max 1. (Float.abs a)))
+
+(* Timeline structural invariants of every algorithm's output. *)
+let timeline_invariants =
+  QCheck2.Test.make ~name:"outputs partition [origin,horizon] in order"
+    ~count:300 ~print:print_data (gen_data ())
+    (fun data ->
+      List.for_all
+        (fun algorithm ->
+          let input =
+            match algorithm with
+            | Engine.Korder_tree _ -> sort_data data
+            | _ -> data
+          in
+          let tl = Engine.eval algorithm Monoid.count (List.to_seq input) in
+          (* of_list re-validates contiguity; cover must be [0,oo]. *)
+          let tl' = Timeline.of_list (Timeline.to_list tl) in
+          Interval.equal (Timeline.cover tl') Interval.full)
+        Engine.all)
+
+(* The number of segments equals the number of constant intervals: one per
+   unique boundary point. *)
+let segment_count_matches_boundaries =
+  QCheck2.Test.make ~name:"segment count = unique boundaries" ~count:300
+    ~print:print_data (gen_data ())
+    (fun data ->
+      let tl = Agg_tree.eval Monoid.count (List.to_seq data) in
+      let boundaries =
+        List.concat_map
+          (fun (ivl, _) ->
+            let s = Interval.start ivl and e = Interval.stop ivl in
+            let bs = if Chronon.( > ) s Chronon.origin then [ s ] else [] in
+            if Chronon.is_finite e then Chronon.succ e :: bs else bs)
+          data
+        |> List.cons Chronon.origin
+        |> List.sort_uniq Chronon.compare
+      in
+      Timeline.length tl = List.length boundaries)
+
+(* value_at of the result equals the reference at random probe points. *)
+let pointwise_probes =
+  QCheck2.Test.make ~name:"pointwise value_at = reference" ~count:300
+    ~print:(fun (data, probe) ->
+      Printf.sprintf "%s @ %d" (print_data data) probe)
+    QCheck2.Gen.(pair (gen_data ()) (int_bound 200))
+    (fun (data, probe) ->
+      let tl = Agg_tree.eval Monoid.count (List.to_seq data) in
+      Timeline.value_at tl (c probe)
+      = Some (Reference.value_at Monoid.count data (c probe)))
+
+(* Insertion order never matters for the tree algorithms. *)
+let insertion_order_irrelevant =
+  QCheck2.Test.make ~name:"insertion order irrelevant (agg tree)" ~count:200
+    ~print:print_data (gen_data ())
+    (fun data ->
+      let forward = Agg_tree.eval Monoid.count (List.to_seq data) in
+      let backward =
+        Agg_tree.eval Monoid.count (List.to_seq (List.rev data))
+      in
+      Timeline.equal Int.equal forward backward)
+
+(* Splitting the input stream across an intermediate [result] call does not
+   disturb the tree (result is non-destructive). *)
+let result_is_repeatable =
+  QCheck2.Test.make ~name:"Agg_tree.result is non-destructive" ~count:200
+    ~print:print_data (gen_data ())
+    (fun data ->
+      let t = Agg_tree.create Monoid.count in
+      Agg_tree.insert_all t (List.to_seq data);
+      let once = Agg_tree.result t in
+      let twice = Agg_tree.result t in
+      Timeline.equal Int.equal once twice)
+
+(* Korder with any k >= true disorder matches; and streaming emit +
+   remainder = full result. *)
+let korder_any_sufficient_k =
+  QCheck2.Test.make ~name:"ktree correct for any sufficient k" ~count:200
+    ~print:(fun (data, extra) ->
+      Printf.sprintf "%s k+%d" (print_data data) extra)
+    QCheck2.Gen.(pair (gen_data ()) (int_bound 5))
+    (fun (data, extra) ->
+      let k = k_of data + extra in
+      let expected = Reference.eval Monoid.count data in
+      Timeline.equal Int.equal expected
+        (Korder_tree.eval ~k Monoid.count (List.to_seq data)))
+
+(* Span grouping agrees with quantize-then-reference. *)
+let span_vs_reference =
+  QCheck2.Test.make ~name:"span grouping = reference on quantized input"
+    ~count:200
+    ~print:(fun (data, len) ->
+      Printf.sprintf "%s span=%d" (print_data data) len)
+    QCheck2.Gen.(pair (gen_data ()) (int_range 1 40))
+    (fun (data, len) ->
+      let granule = Granule.make len in
+      let tl = Span.eval ~granule Monoid.count (List.to_seq data) in
+      (* Every instant's value must equal the count of tuples overlapping
+         the instant's span. *)
+      List.for_all
+        (fun probe ->
+          let p = c probe in
+          let span = Granule.span_of granule (Granule.index_of granule p) in
+          let expected =
+            List.length
+              (List.filter (fun (ivl, _) -> Interval.overlaps ivl span) data)
+          in
+          Timeline.value_at tl p = Some expected)
+        [ 0; 1; 7; 50; 119; 200 ])
+
+(* With an understated k the algorithm must never return a wrong answer
+   silently: it either still happens to be correct (gc never overtook the
+   disorder) or raises Order_violation. *)
+let korder_understated_k_safe =
+  QCheck2.Test.make ~name:"ktree with understated k: correct or raises"
+    ~count:300 ~print:print_data (gen_data ())
+    (fun data ->
+      let k = k_of data in
+      let k' = Stdlib.max 0 (k / 2) in
+      let expected = Reference.eval Monoid.count data in
+      match Korder_tree.eval ~k:k' Monoid.count (List.to_seq data) with
+      | tl -> Timeline.equal Int.equal expected tl
+      | exception Korder_tree.Order_violation _ -> true)
+
+let () =
+  Alcotest.run "equivalence"
+    [
+      ( "vs-reference",
+        List.map
+          (QCheck_alcotest.to_alcotest ~long:false)
+          [
+            count_vs_reference;
+            sum_vs_reference;
+            min_vs_reference;
+            max_vs_reference;
+            avg_vs_reference;
+          ] );
+      ( "invariants",
+        List.map
+          (QCheck_alcotest.to_alcotest ~long:false)
+          [
+            timeline_invariants;
+            segment_count_matches_boundaries;
+            pointwise_probes;
+            insertion_order_irrelevant;
+            result_is_repeatable;
+            korder_any_sufficient_k;
+            korder_understated_k_safe;
+            span_vs_reference;
+          ] );
+    ]

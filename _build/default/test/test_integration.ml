@@ -1,0 +1,190 @@
+(* End-to-end tests across the whole stack: workload generation -> CSV ->
+   catalog -> TSQL -> engine, cross-checked against direct engine calls. *)
+
+open Temporal
+open Relation
+
+let int_timeline =
+  Alcotest.testable (Timeline.pp Format.pp_print_int) (Timeline.equal Int.equal)
+
+(* A generated relation, round-tripped through CSV, queried through TSQL;
+   the counts must equal a direct engine evaluation on the raw data. *)
+let test_pipeline_count_matches_engine () =
+  let spec = Workload.Spec.make ~n:300 ~lifespan:10_000 ~seed:21 () in
+  let rel = Workload.Generate.relation spec in
+  let rel =
+    match Csv_io.of_string (Csv_io.to_string rel) with
+    | Ok r -> r
+    | Error msg -> Alcotest.fail msg
+  in
+  let catalog = Tsql.Catalog.add (Tsql.Catalog.with_builtins ()) "Jobs" rel in
+  let result =
+    match Tsql.Eval.query catalog "SELECT COUNT(*) FROM Jobs" with
+    | Ok r -> r
+    | Error msg -> Alcotest.fail msg
+  in
+  let from_query =
+    Timeline.of_list
+      (List.map
+         (fun t ->
+           match Tuple.value t 0 with
+           | Value.Int n -> (Tuple.valid t, n)
+           | _ -> Alcotest.fail "count should be an int")
+         (Trel.tuples result))
+  in
+  let direct =
+    Tempagg.Engine.eval Tempagg.Engine.Aggregation_tree Tempagg.Monoid.count
+      (Seq.map (fun iv -> (iv, ())) (Trel.intervals rel))
+  in
+  (* The query result is coalesced; compare up to coalescing. *)
+  Alcotest.(check bool) "equivalent" true
+    (Timeline.equivalent Int.equal from_query direct)
+
+(* The optimizer must route a pre-sorted relation to the k-ordered tree
+   and produce the same answer. *)
+let test_optimizer_uses_ktree_on_sorted_relation () =
+  let spec = Workload.Spec.make ~n:200 ~lifespan:20_000 ~seed:5 () in
+  let rel = Trel.sort_by_time (Workload.Generate.relation spec) in
+  let catalog = Tsql.Catalog.add (Tsql.Catalog.with_builtins ()) "Sorted" rel in
+  (match Tsql.Eval.explain catalog "SELECT COUNT(*) FROM Sorted" with
+  | Ok text ->
+      let contains hay needle =
+        let lh = String.length hay and ln = String.length needle in
+        let rec go i =
+          i + ln <= lh && (String.sub hay i ln = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "plans ktree(1)" true (contains text "ktree(1)")
+  | Error msg -> Alcotest.fail msg);
+  match Tsql.Eval.query catalog "SELECT COUNT(*) FROM Sorted" with
+  | Error msg -> Alcotest.fail msg
+  | Ok result -> Alcotest.(check bool) "non-empty" true (Trel.cardinality result > 0)
+
+(* Same query under every USING hint gives identical rows. *)
+let test_all_hints_agree_on_generated_data () =
+  let spec =
+    Workload.Spec.make ~n:150 ~long_lived_fraction:0.3 ~lifespan:5_000 ~seed:9 ()
+  in
+  let rel = Trel.sort_by_time (Workload.Generate.relation spec) in
+  let catalog = Tsql.Catalog.add (Tsql.Catalog.with_builtins ()) "Work" rel in
+  let results =
+    List.map
+      (fun hint ->
+        match
+          Tsql.Eval.query catalog
+            (Printf.sprintf
+               "SELECT SUM(salary), COUNT(*) FROM Work USING %s" hint)
+        with
+        | Ok r -> Tsql.Pretty.result_to_string r
+        | Error msg -> Alcotest.fail (hint ^ ": " ^ msg))
+      [ "aggregation_tree"; "linked_list"; "two_scan"; "balanced_tree";
+        "ktree(1)" ]
+  in
+  match results with
+  | first :: rest ->
+      List.iteri
+        (fun i other -> Alcotest.(check string) (string_of_int i) first other)
+        rest
+  | [] -> assert false
+
+(* Span grouping through TSQL equals Span.eval directly. *)
+let test_span_query_matches_span_eval () =
+  let spec = Workload.Spec.make ~n:120 ~lifespan:8_000 ~seed:31 () in
+  let rel = Workload.Generate.relation spec in
+  let catalog = Tsql.Catalog.add (Tsql.Catalog.with_builtins ()) "W" rel in
+  let result =
+    match
+      Tsql.Eval.query catalog "SELECT COUNT(*) FROM W GROUP BY SPAN 500"
+    with
+    | Ok r -> r
+    | Error msg -> Alcotest.fail msg
+  in
+  let from_query =
+    Timeline.of_list
+      (List.map
+         (fun t ->
+           match Tuple.value t 0 with
+           | Value.Int n -> (Tuple.valid t, n)
+           | _ -> Alcotest.fail "count"
+           )
+         (Trel.tuples result))
+  in
+  let direct =
+    Tempagg.Span.eval ~granule:(Granule.make 500) Tempagg.Monoid.count
+      (Seq.map (fun iv -> (iv, ())) (Trel.intervals rel))
+  in
+  Alcotest.check int_timeline "equal (coalesced)"
+    (Timeline.coalesce ~equal:Int.equal direct)
+    (Timeline.coalesce ~equal:Int.equal from_query)
+
+(* GROUP BY over a generated column: partition sums must add up to the
+   ungrouped sum at probe instants. *)
+let test_group_by_partitions_sum () =
+  let spec = Workload.Spec.make ~n:100 ~lifespan:2_000 ~seed:13 () in
+  let rel = Workload.Generate.relation spec in
+  let catalog = Tsql.Catalog.add (Tsql.Catalog.with_builtins ()) "P" rel in
+  let grouped =
+    match
+      Tsql.Eval.query catalog "SELECT name, COUNT(*) FROM P GROUP BY name"
+    with
+    | Ok r -> r
+    | Error msg -> Alcotest.fail msg
+  in
+  let ungrouped =
+    match Tsql.Eval.query catalog "SELECT COUNT(*) FROM P" with
+    | Ok r -> r
+    | Error msg -> Alcotest.fail msg
+  in
+  let count_at rel col probe =
+    List.fold_left
+      (fun acc t ->
+        if Interval.contains (Tuple.valid t) probe then
+          match Tuple.value t col with Value.Int n -> acc + n | _ -> acc
+        else acc)
+      0 (Trel.tuples rel)
+  in
+  List.iter
+    (fun p ->
+      let probe = Chronon.of_int p in
+      Alcotest.(check int)
+        (Printf.sprintf "probe %d" p)
+        (count_at ungrouped 0 probe)
+        (count_at grouped 1 probe))
+    [ 0; 100; 500; 999; 1500; 1999 ]
+
+(* CLI-less CSV export of a query result re-parses. *)
+let test_query_result_csv_roundtrip () =
+  let catalog = Tsql.Catalog.with_builtins () in
+  let result =
+    match
+      Tsql.Eval.query catalog
+        "SELECT name, MIN(salary), AVG(salary) FROM Employed GROUP BY name"
+    with
+    | Ok r -> r
+    | Error msg -> Alcotest.fail msg
+  in
+  match Csv_io.of_string (Csv_io.to_string result) with
+  | Error msg -> Alcotest.fail msg
+  | Ok rel ->
+      Alcotest.(check int) "rows preserved" (Trel.cardinality result)
+        (Trel.cardinality rel)
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipeline",
+        [
+          quick "workload -> CSV -> TSQL = engine"
+            test_pipeline_count_matches_engine;
+          quick "optimizer routes sorted input to ktree"
+            test_optimizer_uses_ktree_on_sorted_relation;
+          quick "all hints agree" test_all_hints_agree_on_generated_data;
+          quick "span query = Span.eval" test_span_query_matches_span_eval;
+          quick "group-by partitions sum to total"
+            test_group_by_partitions_sum;
+          quick "query result CSV roundtrip" test_query_result_csv_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,272 @@
+(* Tests for the sortedness metrics of Section 5.2 (k-orderedness and
+   k-ordered-percentage, including the paper's Table 2) and the controlled
+   perturbations used to build the Figure 7-9 inputs. *)
+
+open Ordering
+
+let sorted n = Array.init n Fun.id
+
+let swap a i j =
+  let copy = Array.copy a in
+  let tmp = copy.(i) in
+  copy.(i) <- copy.(j);
+  copy.(j) <- tmp;
+  copy
+
+(* ------------------------------------------------------------------ *)
+(* Korder                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_sorted_is_zero_ordered () =
+  Alcotest.(check int) "k" 0 (Korder.k_of ~compare:Int.compare (sorted 100));
+  Alcotest.(check int) "empty" 0 (Korder.k_of ~compare:Int.compare [||])
+
+let test_single_swap_displacements () =
+  let a = swap (sorted 10) 2 7 in
+  let disp = Korder.displacements ~compare:Int.compare a in
+  Alcotest.(check (array int)) "displacements"
+    [| 0; 0; 5; 0; 0; 0; 0; 5; 0; 0 |] disp;
+  Alcotest.(check int) "k" 5 (Korder.k_of ~compare:Int.compare a)
+
+let test_reversed_array () =
+  let n = 10 in
+  let a = Array.init n (fun i -> n - 1 - i) in
+  Alcotest.(check int) "k of reversal" (n - 1)
+    (Korder.k_of ~compare:Int.compare a)
+
+let test_duplicates_use_stable_order () =
+  (* All-equal keys: stable sort keeps the original order, so any
+     arrangement of equal keys is 0-ordered. *)
+  let a = Array.make 20 7 in
+  Alcotest.(check int) "all equal" 0 (Korder.k_of ~compare:Int.compare a)
+
+let test_percentage_sorted_is_zero () =
+  Alcotest.(check (float 1e-12)) "0" 0.
+    (Korder.percentage ~compare:Int.compare ~k:100 (sorted 1000))
+
+let test_percentage_rejects_bad_k () =
+  Alcotest.check_raises "k=0"
+    (Invalid_argument "Korder.percentage: k must be positive") (fun () ->
+      ignore (Korder.percentage ~compare:Int.compare ~k:0 (sorted 10)))
+
+let test_percentage_rejects_insufficient_k () =
+  let a = swap (sorted 100) 0 50 in
+  Alcotest.check_raises "k too small"
+    (Invalid_argument "Korder.percentage: displacement 50 exceeds k=10")
+    (fun () -> ignore (Korder.percentage ~compare:Int.compare ~k:10 a))
+
+let test_percentage_full_swap_pattern () =
+  (* The paper's example: n=6, k=3, swap 1<->4, 2<->5, 3<->6 (1-based)
+     gives percentage 1. *)
+  let a = [| 3; 4; 5; 0; 1; 2 |] in
+  Alcotest.(check (float 1e-12)) "maximal disorder" 1.
+    (Korder.percentage ~compare:Int.compare ~k:3 a)
+
+(* Table 2 (n = 10000, k = 100). *)
+
+let table2_n = 10_000
+let table2_k = 100
+
+let percentage a =
+  Korder.percentage ~compare:Int.compare ~k:table2_k a
+
+let test_table2_sorted () =
+  Alcotest.(check (float 1e-9)) "row 1: sorted" 0. (percentage (sorted table2_n))
+
+let test_table2_one_swap_100_apart () =
+  let a = swap (sorted table2_n) 0 100 in
+  Alcotest.(check (float 1e-9)) "row 2: 0.0002" 0.0002 (percentage a)
+
+let test_table2_twenty_tuples_100_out () =
+  let a =
+    Perturb.realize_displacements [ (100, 20) ] (sorted table2_n)
+  in
+  Alcotest.(check (float 1e-9)) "row 3: 0.002" 0.002 (percentage a)
+
+let test_table2_one_tuple_per_displacement () =
+  let spec = List.init 100 (fun i -> (i + 1, 1)) in
+  let a = Perturb.realize_displacements spec (sorted table2_n) in
+  Alcotest.(check (float 1e-9)) "row 4: 0.00505" 0.00505 (percentage a)
+
+let test_table2_ten_tuples_per_displacement () =
+  let spec = List.init 100 (fun i -> (i + 1, 10)) in
+  let a = Perturb.realize_displacements spec (sorted table2_n) in
+  Alcotest.(check (float 1e-9)) "row 5: 0.0505" 0.0505 (percentage a)
+
+(* ------------------------------------------------------------------ *)
+(* Perturb                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let mk_rand seed =
+  let prng = Workload.Prng.create ~seed in
+  Workload.Prng.int_bounded prng
+
+let test_shuffle_is_permutation () =
+  let a = sorted 500 in
+  let s = Perturb.shuffle ~rand:(mk_rand 1) a in
+  let back = Array.copy s in
+  Array.sort Int.compare back;
+  Alcotest.(check (array int)) "permutation" a back;
+  Alcotest.(check bool) "actually shuffled" true (s <> a)
+
+let test_shuffle_leaves_input_untouched () =
+  let a = sorted 50 in
+  ignore (Perturb.shuffle ~rand:(mk_rand 2) a);
+  Alcotest.(check (array int)) "input intact" (sorted 50) a
+
+let test_k_ordered_exact_k () =
+  let a = sorted 2000 in
+  List.iter
+    (fun (k, p) ->
+      let out = Perturb.k_ordered ~rand:(mk_rand 3) ~k ~percentage:p a in
+      Alcotest.(check int)
+        (Printf.sprintf "k=%d p=%.2f" k p)
+        k
+        (Korder.k_of ~compare:Int.compare out))
+    [ (4, 0.02); (4, 0.14); (40, 0.08); (400, 0.14) ]
+
+let test_k_ordered_percentage_close () =
+  let a = sorted 10_000 in
+  List.iter
+    (fun p ->
+      let out = Perturb.k_ordered ~rand:(mk_rand 4) ~k:40 ~percentage:p a in
+      let measured = Korder.percentage ~compare:Int.compare ~k:40 out in
+      Alcotest.(check bool)
+        (Printf.sprintf "%.3f vs %.3f" p measured)
+        true
+        (Float.abs (measured -. p) < 0.001))
+    [ 0.02; 0.08; 0.14 ]
+
+let test_k_ordered_zero_percentage () =
+  let a = sorted 100 in
+  let out = Perturb.k_ordered ~rand:(mk_rand 5) ~k:10 ~percentage:0. a in
+  Alcotest.(check (array int)) "unchanged" a out
+
+let test_k_ordered_validates () =
+  Alcotest.check_raises "k" (Invalid_argument "Perturb.k_ordered: k must be positive")
+    (fun () ->
+      ignore (Perturb.k_ordered ~rand:(mk_rand 6) ~k:0 ~percentage:0.1 (sorted 10)));
+  Alcotest.check_raises "percentage"
+    (Invalid_argument "Perturb.k_ordered: percentage outside [0,1]") (fun () ->
+      ignore
+        (Perturb.k_ordered ~rand:(mk_rand 6) ~k:2 ~percentage:1.5 (sorted 10)));
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Perturb.k_ordered: array too small for distance-k swaps")
+    (fun () ->
+      ignore
+        (Perturb.k_ordered ~rand:(mk_rand 6) ~k:20 ~percentage:0.5 (sorted 10)))
+
+let test_realize_displacements_exact_profile () =
+  let spec = [ (3, 4); (7, 2) ] in
+  let a = Perturb.realize_displacements spec (sorted 200) in
+  let disp = Korder.displacements ~compare:Int.compare a in
+  let count d = Array.fold_left (fun acc x -> if x = d then acc + 1 else acc) 0 disp in
+  Alcotest.(check int) "four at 3" 4 (count 3);
+  Alcotest.(check int) "two at 7" 2 (count 7);
+  Alcotest.(check int) "rest in place" (200 - 6) (count 0)
+
+let test_realize_displacements_odd_profile () =
+  (* Odd counts per displacement, realized through 4-cycles. *)
+  let spec = [ (1, 1); (2, 1); (3, 1); (4, 1) ] in
+  let a = Perturb.realize_displacements spec (sorted 50) in
+  let disp = Korder.displacements ~compare:Int.compare a in
+  let count d = Array.fold_left (fun acc x -> if x = d then acc + 1 else acc) 0 disp in
+  List.iter (fun d -> Alcotest.(check int) (string_of_int d) 1 (count d)) [ 1; 2; 3; 4 ]
+
+let test_realize_displacements_validates () =
+  Alcotest.check_raises "negative d"
+    (Invalid_argument "Perturb.realize_displacements: non-positive displacement")
+    (fun () -> ignore (Perturb.realize_displacements [ (0, 2) ] (sorted 10)));
+  Alcotest.(check bool) "ungroupable odds" true
+    (match Perturb.realize_displacements [ (1, 1); (2, 1) ] (sorted 10) with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "too small" true
+    (match Perturb.realize_displacements [ (50, 2) ] (sorted 10) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* Relation-level helpers. *)
+
+let test_relation_metrics () =
+  let employed = Relation.Fixtures.employed () in
+  Alcotest.(check int) "employed is 3-ordered" 3
+    (Korder.k_of_relation employed);
+  let sorted_rel = Relation.Trel.sort_by_time employed in
+  Alcotest.(check int) "sorted relation" 0 (Korder.k_of_relation sorted_rel);
+  Alcotest.(check (float 1e-9)) "sorted percentage" 0.
+    (Korder.relation_percentage ~k:10 sorted_rel);
+  Alcotest.(check bool) "unsorted percentage positive" true
+    (Korder.relation_percentage ~k:3 employed > 0.)
+
+(* Property: perturbation with target k never exceeds k, and measured
+   percentage stays within tolerance of the target. *)
+let prop_perturb_within_k =
+  QCheck2.Test.make ~name:"k_ordered stays within k" ~count:100
+    QCheck2.Gen.(
+      triple (int_range 1 20)
+        (map (fun x -> float_of_int x /. 100.) (int_bound 14))
+        (int_range 100 2000))
+    (fun (k, p, n) ->
+      let out =
+        Perturb.k_ordered ~rand:(mk_rand (k + n)) ~k ~percentage:p
+          (sorted n)
+      in
+      Korder.k_of ~compare:Int.compare out <= k)
+
+let prop_displacement_symmetry =
+  (* Sum of signed displacements is zero, so sum of |d| is even. *)
+  QCheck2.Test.make ~name:"total displacement is even" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 50) (int_bound 1000))
+    (fun l ->
+      let disp =
+        Korder.displacements ~compare:Int.compare (Array.of_list l)
+      in
+      Array.fold_left ( + ) 0 disp mod 2 = 0)
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "ordering"
+    [
+      ( "korder",
+        [
+          quick "sorted is 0-ordered" test_sorted_is_zero_ordered;
+          quick "single swap displacements" test_single_swap_displacements;
+          quick "reversed array" test_reversed_array;
+          quick "duplicates via stable order" test_duplicates_use_stable_order;
+          quick "percentage of sorted" test_percentage_sorted_is_zero;
+          quick "percentage rejects k<=0" test_percentage_rejects_bad_k;
+          quick "percentage rejects insufficient k"
+            test_percentage_rejects_insufficient_k;
+          quick "percentage can reach 1" test_percentage_full_swap_pattern;
+        ] );
+      ( "table2",
+        [
+          quick "row 1: sorted" test_table2_sorted;
+          quick "row 2: one swap 100 apart" test_table2_one_swap_100_apart;
+          quick "row 3: 20 tuples 100 out" test_table2_twenty_tuples_100_out;
+          quick "row 4: one tuple per displacement"
+            test_table2_one_tuple_per_displacement;
+          quick "row 5: ten tuples per displacement"
+            test_table2_ten_tuples_per_displacement;
+        ] );
+      ( "perturb",
+        [
+          quick "shuffle is a permutation" test_shuffle_is_permutation;
+          quick "shuffle copies" test_shuffle_leaves_input_untouched;
+          quick "k_ordered hits exact k" test_k_ordered_exact_k;
+          quick "k_ordered percentage close" test_k_ordered_percentage_close;
+          quick "zero percentage is identity" test_k_ordered_zero_percentage;
+          quick "k_ordered validates" test_k_ordered_validates;
+          quick "realize exact profile" test_realize_displacements_exact_profile;
+          quick "realize odd profile via 4-cycles"
+            test_realize_displacements_odd_profile;
+          quick "realize validates" test_realize_displacements_validates;
+          quick "relation metrics" test_relation_metrics;
+        ] );
+      ( "properties",
+        List.map
+          (QCheck_alcotest.to_alcotest ~long:false)
+          [ prop_perturb_within_k; prop_displacement_symmetry ] );
+    ]

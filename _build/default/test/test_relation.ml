@@ -1,0 +1,318 @@
+(* Tests for the relation layer: values, schemas, tuples, valid-time
+   relations and CSV round-trips. *)
+
+open Temporal
+open Relation
+
+let c = Chronon.of_int
+let iv = Interval.of_ints
+
+let value = Alcotest.testable Value.pp Value.equal
+
+(* ------------------------------------------------------------------ *)
+(* Value                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_types () =
+  Alcotest.(check (option string)) "int" (Some "int")
+    (Option.map Value.ty_to_string (Value.type_of (Value.Int 3)));
+  Alcotest.(check (option string)) "null" None
+    (Option.map Value.ty_to_string (Value.type_of Value.Null))
+
+let test_value_ty_roundtrip () =
+  List.iter
+    (fun ty ->
+      Alcotest.(check bool) "roundtrip" true
+        (Value.ty_of_string (Value.ty_to_string ty) = Some ty))
+    [ Value.Tint; Value.Tfloat; Value.Tstring ];
+  Alcotest.(check bool) "unknown" true (Value.ty_of_string "blob" = None)
+
+let test_value_compare_numeric () =
+  Alcotest.(check bool) "int<int" true (Value.compare (Value.Int 1) (Value.Int 2) < 0);
+  Alcotest.(check int) "int=float" 0
+    (Value.compare (Value.Int 2) (Value.Float 2.));
+  Alcotest.(check bool) "null smallest" true
+    (Value.compare Value.Null (Value.Int (-100)) < 0);
+  Alcotest.(check bool) "string largest" true
+    (Value.compare (Value.Str "a") (Value.Int 5) > 0)
+
+let test_value_coercions () =
+  Alcotest.(check (option int)) "to_int" (Some 3) (Value.to_int (Value.Int 3));
+  Alcotest.(check (option int)) "float not int" None
+    (Value.to_int (Value.Float 3.));
+  Alcotest.(check bool) "int to float" true
+    (Value.to_float (Value.Int 3) = Some 3.)
+
+let test_value_of_string () =
+  Alcotest.(check (result value string)) "int" (Ok (Value.Int 42))
+    (Value.of_string Value.Tint "42");
+  Alcotest.(check (result value string)) "empty is null" (Ok Value.Null)
+    (Value.of_string Value.Tint "");
+  Alcotest.(check bool) "bad int" true
+    (Result.is_error (Value.of_string Value.Tint "4x"));
+  Alcotest.(check (result value string)) "string" (Ok (Value.Str "hi"))
+    (Value.of_string Value.Tstring "hi")
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sample_schema =
+  Schema.of_pairs [ ("name", Value.Tstring); ("salary", Value.Tint) ]
+
+let test_schema_basic () =
+  Alcotest.(check int) "arity" 2 (Schema.arity sample_schema);
+  Alcotest.(check (option int)) "index" (Some 1)
+    (Schema.index_of sample_schema "salary");
+  Alcotest.(check (option int)) "missing" None
+    (Schema.index_of sample_schema "dept");
+  Alcotest.(check bool) "mem" true (Schema.mem sample_schema "name");
+  Alcotest.(check bool) "ty" true
+    (Schema.ty_of sample_schema "salary" = Some Value.Tint)
+
+let test_schema_rejects_duplicates () =
+  Alcotest.check_raises "dup" (Invalid_argument "Schema.make: duplicate column \"a\"")
+    (fun () ->
+      ignore (Schema.of_pairs [ ("a", Value.Tint); ("a", Value.Tint) ]))
+
+let test_schema_rejects_empty_name () =
+  Alcotest.check_raises "empty" (Invalid_argument "Schema.make: empty column name")
+    (fun () -> ignore (Schema.of_pairs [ ("", Value.Tint) ]))
+
+let test_schema_equal () =
+  let s2 = Schema.of_pairs [ ("name", Value.Tstring); ("salary", Value.Tint) ] in
+  let s3 = Schema.of_pairs [ ("salary", Value.Tint); ("name", Value.Tstring) ] in
+  Alcotest.(check bool) "equal" true (Schema.equal sample_schema s2);
+  Alcotest.(check bool) "order matters" false (Schema.equal sample_schema s3)
+
+(* ------------------------------------------------------------------ *)
+(* Tuple                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let t1 = Tuple.make [| Value.Str "a"; Value.Int 1 |] (iv 5 10)
+
+let test_tuple_accessors () =
+  Alcotest.check value "value" (Value.Int 1) (Tuple.value t1 1);
+  Alcotest.(check bool) "valid" true (Interval.equal (Tuple.valid t1) (iv 5 10));
+  Alcotest.(check bool) "start" true (Chronon.equal (Tuple.start t1) (c 5))
+
+let test_tuple_out_of_range () =
+  Alcotest.check_raises "index"
+    (Invalid_argument "Tuple.value: column index out of range") (fun () ->
+      ignore (Tuple.value t1 2))
+
+let test_tuple_time_order () =
+  let t2 = Tuple.make [| Value.Str "b"; Value.Int 2 |] (iv 5 12) in
+  let t3 = Tuple.make [| Value.Str "c"; Value.Int 3 |] (iv 4 20) in
+  Alcotest.(check bool) "stop ties" true (Tuple.compare_by_time t1 t2 < 0);
+  Alcotest.(check bool) "start first" true (Tuple.compare_by_time t3 t1 < 0)
+
+let test_tuple_with_valid () =
+  let t = Tuple.with_valid t1 (iv 0 1) in
+  Alcotest.(check bool) "updated" true (Interval.equal (Tuple.valid t) (iv 0 1));
+  Alcotest.check value "values preserved" (Value.Str "a") (Tuple.value t 0)
+
+(* ------------------------------------------------------------------ *)
+(* Trel                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let employed = Fixtures.employed ()
+
+let test_trel_cardinality () =
+  Alcotest.(check int) "4 tuples" 4 (Trel.cardinality employed)
+
+let test_trel_type_checking () =
+  Alcotest.check_raises "wrong type"
+    (Invalid_argument "Trel: column salary expects int, got string") (fun () ->
+      ignore
+        (Trel.create sample_schema
+           [ Tuple.make [| Value.Str "a"; Value.Str "oops" |] (iv 0 1) ]))
+
+let test_trel_arity_checking () =
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Trel: tuple arity 1, schema arity 2") (fun () ->
+      ignore
+        (Trel.create sample_schema [ Tuple.make [| Value.Str "a" |] (iv 0 1) ]))
+
+let test_trel_null_any_column () =
+  let rel =
+    Trel.create sample_schema
+      [ Tuple.make [| Value.Null; Value.Null |] (iv 0 1) ]
+  in
+  Alcotest.(check int) "accepted" 1 (Trel.cardinality rel)
+
+let test_trel_sort_by_time () =
+  let sorted = Trel.sort_by_time employed in
+  Alcotest.(check bool) "unsorted input" false (Trel.is_time_ordered employed);
+  Alcotest.(check bool) "sorted output" true (Trel.is_time_ordered sorted);
+  Alcotest.(check int) "same cardinality" 4 (Trel.cardinality sorted);
+  Alcotest.(check bool) "first is Nathan [7,12]" true
+    (Chronon.equal (Tuple.start (Trel.get sorted 0)) (c 7))
+
+let test_trel_lifespan () =
+  match Trel.lifespan employed with
+  | None -> Alcotest.fail "expected lifespan"
+  | Some span ->
+      Alcotest.(check bool) "hull" true
+        (Interval.equal span (Interval.from (c 7)))
+
+let test_trel_empty_lifespan () =
+  let rel = Trel.create sample_schema [] in
+  Alcotest.(check bool) "none" true (Trel.lifespan rel = None)
+
+let test_trel_filter () =
+  let nathans =
+    Trel.filter
+      (fun t -> Value.equal (Tuple.value t 0) (Value.Str "Nathan"))
+      employed
+  in
+  Alcotest.(check int) "two Nathans" 2 (Trel.cardinality nathans)
+
+let test_trel_append () =
+  let both = Trel.append employed employed in
+  Alcotest.(check int) "doubled" 8 (Trel.cardinality both)
+
+let test_trel_append_schema_mismatch () =
+  let other = Trel.create (Schema.of_pairs [ ("x", Value.Tint) ]) [] in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Trel.append: schemas differ")
+    (fun () -> ignore (Trel.append employed other))
+
+let test_trel_agg_input () =
+  let salaries = List.of_seq (Trel.agg_input employed ~column:"salary") in
+  Alcotest.(check int) "4 pairs" 4 (List.length salaries);
+  Alcotest.(check bool) "first salary" true
+    (Value.equal (snd (List.hd salaries)) (Value.Int 40_000))
+
+let test_trel_agg_input_missing_column () =
+  Alcotest.check_raises "missing"
+    (Invalid_argument "Trel.agg_input: no column \"dept\"") (fun () ->
+      let (_ : _ Seq.t) = Trel.agg_input employed ~column:"dept" in
+      ())
+
+(* ------------------------------------------------------------------ *)
+(* CSV                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_csv_roundtrip () =
+  let text = Csv_io.to_string employed in
+  match Csv_io.of_string text with
+  | Error msg -> Alcotest.fail msg
+  | Ok rel ->
+      Alcotest.(check int) "cardinality" 4 (Trel.cardinality rel);
+      Alcotest.(check bool) "schema" true
+        (Schema.equal (Trel.schema rel) (Trel.schema employed));
+      List.iter2
+        (fun a b -> Alcotest.(check bool) "tuple" true (Tuple.equal a b))
+        (Trel.tuples employed) (Trel.tuples rel)
+
+let test_csv_infinite_stop () =
+  let text = Csv_io.to_string employed in
+  let lines = String.split_on_char '\n' text in
+  Alcotest.(check bool) "oo serialized" true
+    (List.exists
+       (fun l ->
+         String.length l > 2 && String.sub l (String.length l - 2) 2 = "oo")
+       lines)
+
+let test_csv_quoting () =
+  let schema = Schema.of_pairs [ ("note", Value.Tstring) ] in
+  let rel =
+    Trel.create schema
+      [ Tuple.make [| Value.Str "a,b \"quoted\"\nline" |] (iv 0 1) ]
+  in
+  match Csv_io.of_string (Csv_io.to_string rel) with
+  | Error msg -> Alcotest.fail msg
+  | Ok rel' ->
+      Alcotest.check value "field preserved"
+        (Value.Str "a,b \"quoted\"\nline")
+        (Tuple.value (Trel.get rel' 0) 0)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let expect_error text fragment =
+  match Csv_io.of_string text with
+  | Ok _ -> Alcotest.fail ("expected parse error for " ^ String.escaped text)
+  | Error msg ->
+      if not (contains msg fragment) then
+        Alcotest.fail (Printf.sprintf "error %S lacks %S" msg fragment)
+
+let test_csv_errors () =
+  expect_error "" "empty";
+  expect_error "name,start,stop\n" "missing type";
+  expect_error "name:blob,start,stop\n" "unknown type";
+  expect_error "name:string\n" "missing start,stop";
+  expect_error "name:string,start,stop\nalice,5\n" "expected 3 fields";
+  expect_error "name:string,start,stop\nalice,5,x\n" "bad timestamp";
+  expect_error "name:string,start,stop\nalice,-5,7\n" "negative timestamp";
+  expect_error "name:string,start,stop\nalice,9,7\n" "start 9 after stop 7";
+  expect_error "salary:int,start,stop\nabc,5,7\n" "not an int literal"
+
+let test_csv_file_io () =
+  let path = Filename.temp_file "tempagg" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv_io.save path employed;
+      match Csv_io.load path with
+      | Error msg -> Alcotest.fail msg
+      | Ok rel -> Alcotest.(check int) "loaded" 4 (Trel.cardinality rel))
+
+let () =
+  Alcotest.run "relation"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "types" `Quick test_value_types;
+          Alcotest.test_case "type-name roundtrip" `Quick test_value_ty_roundtrip;
+          Alcotest.test_case "numeric comparison" `Quick
+            test_value_compare_numeric;
+          Alcotest.test_case "coercions" `Quick test_value_coercions;
+          Alcotest.test_case "of_string" `Quick test_value_of_string;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "basic accessors" `Quick test_schema_basic;
+          Alcotest.test_case "rejects duplicate columns" `Quick
+            test_schema_rejects_duplicates;
+          Alcotest.test_case "rejects empty names" `Quick
+            test_schema_rejects_empty_name;
+          Alcotest.test_case "equality" `Quick test_schema_equal;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "accessors" `Quick test_tuple_accessors;
+          Alcotest.test_case "index out of range" `Quick test_tuple_out_of_range;
+          Alcotest.test_case "time order" `Quick test_tuple_time_order;
+          Alcotest.test_case "with_valid" `Quick test_tuple_with_valid;
+        ] );
+      ( "trel",
+        [
+          Alcotest.test_case "cardinality" `Quick test_trel_cardinality;
+          Alcotest.test_case "type checking" `Quick test_trel_type_checking;
+          Alcotest.test_case "arity checking" `Quick test_trel_arity_checking;
+          Alcotest.test_case "null allowed anywhere" `Quick
+            test_trel_null_any_column;
+          Alcotest.test_case "sort by time" `Quick test_trel_sort_by_time;
+          Alcotest.test_case "lifespan" `Quick test_trel_lifespan;
+          Alcotest.test_case "empty lifespan" `Quick test_trel_empty_lifespan;
+          Alcotest.test_case "filter" `Quick test_trel_filter;
+          Alcotest.test_case "append" `Quick test_trel_append;
+          Alcotest.test_case "append schema mismatch" `Quick
+            test_trel_append_schema_mismatch;
+          Alcotest.test_case "agg_input" `Quick test_trel_agg_input;
+          Alcotest.test_case "agg_input missing column" `Quick
+            test_trel_agg_input_missing_column;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "infinite stop serialized" `Quick
+            test_csv_infinite_stop;
+          Alcotest.test_case "quoting" `Quick test_csv_quoting;
+          Alcotest.test_case "parse errors" `Quick test_csv_errors;
+          Alcotest.test_case "file io" `Quick test_csv_file_io;
+        ] );
+    ]

@@ -1,0 +1,574 @@
+(* Unit and property tests for the temporal kernel: chronons, intervals
+   (including Allen's relations), timelines and granules. *)
+
+open Temporal
+
+let chronon = Alcotest.testable Chronon.pp Chronon.equal
+let interval = Alcotest.testable Interval.pp Interval.equal
+
+let c = Chronon.of_int
+let iv = Interval.of_ints
+
+(* ------------------------------------------------------------------ *)
+(* Chronon                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_origin_is_zero () =
+  Alcotest.(check int) "origin" 0 (Chronon.to_int Chronon.origin)
+
+let test_of_int_negative_rejected () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Chronon.of_int: negative chronon") (fun () ->
+      ignore (Chronon.of_int (-1)))
+
+let test_forever_not_finite () =
+  Alcotest.(check bool) "forever" false (Chronon.is_finite Chronon.forever);
+  Alcotest.(check bool) "zero" true (Chronon.is_finite Chronon.origin)
+
+let test_forever_is_max () =
+  Alcotest.(check bool) "compare" true
+    (Chronon.( < ) (c 1_000_000_000) Chronon.forever)
+
+let test_succ_pred_roundtrip () =
+  Alcotest.check chronon "succ" (c 8) (Chronon.succ (c 7));
+  Alcotest.check chronon "pred" (c 7) (Chronon.pred (c 8))
+
+let test_succ_forever_absorbs () =
+  Alcotest.check chronon "succ oo" Chronon.forever (Chronon.succ Chronon.forever)
+
+let test_pred_origin_rejected () =
+  Alcotest.check_raises "pred 0"
+    (Invalid_argument "Chronon.pred: origin has no predecessor") (fun () ->
+      ignore (Chronon.pred Chronon.origin))
+
+let test_pred_forever_rejected () =
+  Alcotest.check_raises "pred oo"
+    (Invalid_argument "Chronon.pred: forever has no predecessor") (fun () ->
+      ignore (Chronon.pred Chronon.forever))
+
+let test_add_saturates () =
+  Alcotest.check chronon "oo + 3" Chronon.forever
+    (Chronon.add Chronon.forever 3);
+  Alcotest.check chronon "near-max" Chronon.forever
+    (Chronon.add (c (max_int - 1)) 5);
+  Alcotest.check chronon "plain" (c 12) (Chronon.add (c 7) 5)
+
+let test_add_negative_rejected () =
+  Alcotest.check_raises "negative delta"
+    (Invalid_argument "Chronon.add: negative delta") (fun () ->
+      ignore (Chronon.add (c 3) (-1)))
+
+let test_diff () =
+  Alcotest.(check int) "diff" 13 (Chronon.diff (c 20) (c 7));
+  Alcotest.check_raises "diff oo"
+    (Invalid_argument "Chronon.diff: infinite chronon") (fun () ->
+      ignore (Chronon.diff Chronon.forever (c 0)))
+
+let test_to_string () =
+  Alcotest.(check string) "42" "42" (Chronon.to_string (c 42));
+  Alcotest.(check string) "oo" "oo" (Chronon.to_string Chronon.forever)
+
+let test_min_max () =
+  Alcotest.check chronon "min" (c 3) (Chronon.min (c 3) Chronon.forever);
+  Alcotest.check chronon "max" Chronon.forever
+    (Chronon.max (c 3) Chronon.forever)
+
+(* ------------------------------------------------------------------ *)
+(* Interval                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_make_validates () =
+  Alcotest.check_raises "start after stop"
+    (Invalid_argument "Interval.make: start 5 after stop 3") (fun () ->
+      ignore (iv 5 3));
+  Alcotest.check_raises "infinite start"
+    (Invalid_argument "Interval.make: start must be finite") (fun () ->
+      ignore (Interval.make Chronon.forever Chronon.forever))
+
+let test_single_instant () =
+  let i = Interval.at (c 5) in
+  Alcotest.check chronon "start" (c 5) (Interval.start i);
+  Alcotest.check chronon "stop" (c 5) (Interval.stop i);
+  Alcotest.(check (option int)) "duration" (Some 1) (Interval.duration i)
+
+let test_duration () =
+  Alcotest.(check (option int)) "closed" (Some 13) (Interval.duration (iv 8 20));
+  Alcotest.(check (option int)) "unbounded" None
+    (Interval.duration (Interval.from (c 18)))
+
+let test_compare_by_start_then_stop () =
+  Alcotest.(check bool) "start order" true (Interval.compare (iv 1 9) (iv 2 3) < 0);
+  Alcotest.(check bool) "stop breaks ties" true
+    (Interval.compare (iv 2 3) (iv 2 9) < 0);
+  Alcotest.(check int) "equal" 0 (Interval.compare (iv 2 9) (iv 2 9))
+
+let test_contains () =
+  let i = iv 8 20 in
+  Alcotest.(check bool) "inside" true (Interval.contains i (c 8));
+  Alcotest.(check bool) "last" true (Interval.contains i (c 20));
+  Alcotest.(check bool) "before" false (Interval.contains i (c 7));
+  Alcotest.(check bool) "after" false (Interval.contains i (c 21));
+  Alcotest.(check bool) "oo in unbounded" true
+    (Interval.contains (Interval.from (c 3)) Chronon.forever)
+
+let test_overlaps () =
+  Alcotest.(check bool) "yes" true (Interval.overlaps (iv 1 5) (iv 5 9));
+  Alcotest.(check bool) "no (adjacent)" false
+    (Interval.overlaps (iv 1 5) (iv 6 9));
+  Alcotest.(check bool) "nested" true (Interval.overlaps (iv 1 9) (iv 3 4))
+
+let test_adjacent () =
+  Alcotest.(check bool) "meets" true (Interval.adjacent (iv 1 5) (iv 6 9));
+  Alcotest.(check bool) "flipped" true (Interval.adjacent (iv 6 9) (iv 1 5));
+  Alcotest.(check bool) "gap" false (Interval.adjacent (iv 1 5) (iv 7 9));
+  Alcotest.(check bool) "overlap" false (Interval.adjacent (iv 1 5) (iv 5 9))
+
+let test_intersect () =
+  Alcotest.(check (option interval)) "common" (Some (iv 5 7))
+    (Interval.intersect (iv 1 7) (iv 5 9));
+  Alcotest.(check (option interval)) "disjoint" None
+    (Interval.intersect (iv 1 4) (iv 5 9))
+
+let test_hull_and_merge () =
+  Alcotest.check interval "hull" (iv 1 9) (Interval.hull (iv 1 4) (iv 7 9));
+  Alcotest.(check (option interval)) "merge adjacent" (Some (iv 1 9))
+    (Interval.merge (iv 1 5) (iv 6 9));
+  Alcotest.(check (option interval)) "merge gap" None
+    (Interval.merge (iv 1 4) (iv 6 9))
+
+let test_covers () =
+  Alcotest.(check bool) "covers" true (Interval.covers (iv 1 9) (iv 3 9));
+  Alcotest.(check bool) "not" false (Interval.covers (iv 3 9) (iv 1 9));
+  Alcotest.(check bool) "full covers all" true
+    (Interval.covers Interval.full (Interval.from (c 1000)))
+
+let allen_case name a b expected =
+  Alcotest.(check string) name expected (Interval.allen_to_string (Interval.allen a b))
+
+let test_allen_all_thirteen () =
+  allen_case "before" (iv 1 3) (iv 5 9) "before";
+  allen_case "meets" (iv 1 4) (iv 5 9) "meets";
+  allen_case "overlaps" (iv 1 6) (iv 5 9) "overlaps";
+  allen_case "finished-by" (iv 1 9) (iv 5 9) "finished-by";
+  allen_case "contains" (iv 1 9) (iv 5 8) "contains";
+  allen_case "starts" (iv 5 7) (iv 5 9) "starts";
+  allen_case "equals" (iv 5 9) (iv 5 9) "equals";
+  allen_case "started-by" (iv 5 9) (iv 5 7) "started-by";
+  allen_case "during" (iv 6 8) (iv 5 9) "during";
+  allen_case "finishes" (iv 7 9) (iv 5 9) "finishes";
+  allen_case "overlapped-by" (iv 5 9) (iv 1 6) "overlapped-by";
+  allen_case "met-by" (iv 5 9) (iv 1 4) "met-by";
+  allen_case "after" (iv 5 9) (iv 1 3) "after"
+
+let test_allen_unbounded () =
+  allen_case "oo equals" (Interval.from (c 5)) (Interval.from (c 5)) "equals";
+  allen_case "oo started-by" (Interval.from (c 5)) (iv 5 9) "started-by";
+  allen_case "oo contains" (Interval.from (c 1)) (iv 5 9) "contains";
+  allen_case "oo met-by" (Interval.from (c 5)) (iv 1 4) "met-by";
+  allen_case "oo finishes" (Interval.from (c 7))
+    (Interval.from (c 2)) "finishes"
+
+(* Property: for random interval pairs, exactly one Allen relation holds,
+   and the relation of (b,a) is the inverse of (a,b). *)
+let arbitrary_interval ?(max_time = 50) () =
+  QCheck2.Gen.(
+    let* s = int_bound (max_time - 1) in
+    let* len = int_bound 10 in
+    let* unbounded = map (fun n -> n = 0) (int_bound 9) in
+    if unbounded then return (Interval.from (c s))
+    else return (iv s (min (max_time - 1) (s + len))))
+
+let allen_inverse = function
+  | Interval.Before -> Interval.After
+  | Meets -> Met_by
+  | Overlaps -> Overlapped_by
+  | Finished_by -> Finishes
+  | Contains -> During
+  | Starts -> Started_by
+  | Equals -> Equals
+  | Started_by -> Starts
+  | During -> Contains
+  | Finishes -> Finished_by
+  | Overlapped_by -> Overlaps
+  | Met_by -> Meets
+  | After -> Before
+
+let prop_allen_inverse =
+  QCheck2.Test.make ~name:"allen (b,a) is inverse of (a,b)" ~count:500
+    QCheck2.Gen.(pair (arbitrary_interval ()) (arbitrary_interval ()))
+    (fun (a, b) -> Interval.allen b a = allen_inverse (Interval.allen a b))
+
+let prop_allen_consistent_with_overlaps =
+  QCheck2.Test.make ~name:"allen vs overlaps/adjacent" ~count:500
+    QCheck2.Gen.(pair (arbitrary_interval ()) (arbitrary_interval ()))
+    (fun (a, b) ->
+      let rel = Interval.allen a b in
+      let disjoint =
+        match rel with
+        | Before | Meets | After | Met_by -> true
+        | _ -> false
+      in
+      disjoint = not (Interval.overlaps a b)
+      && (match rel with
+         | Meets | Met_by -> Interval.adjacent a b
+         | _ -> true))
+
+(* ------------------------------------------------------------------ *)
+(* Timeline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let tl l = Timeline.of_list l
+
+let int_timeline = Alcotest.testable (Timeline.pp Format.pp_print_int)
+    (Timeline.equal Int.equal)
+
+let sample =
+  tl [ (iv 0 6, 0); (iv 7 7, 1); (iv 8 12, 2);
+       (Interval.from (c 13), 1) ]
+
+let test_of_list_rejects_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Timeline.of_list: empty timeline")
+    (fun () -> ignore (tl []))
+
+let test_of_list_rejects_gap () =
+  Alcotest.(check_raises) "gap"
+    (Invalid_argument
+       "Timeline.of_list: gap or overlap between [0,6] and [8,12]")
+    (fun () -> ignore (tl [ (iv 0 6, 0); (iv 8 12, 1) ]))
+
+let test_of_list_rejects_overlap () =
+  Alcotest.(check_raises) "overlap"
+    (Invalid_argument
+       "Timeline.of_list: gap or overlap between [0,6] and [6,12]")
+    (fun () -> ignore (tl [ (iv 0 6, 0); (iv 6 12, 1) ]))
+
+let test_of_list_rejects_after_infinite () =
+  Alcotest.(check_raises) "infinite then more"
+    (Invalid_argument "Timeline.of_list: segment after an infinite segment")
+    (fun () ->
+      ignore (tl [ (Interval.from (c 0), 0); (iv 7 9, 1) ]))
+
+let test_cover () =
+  Alcotest.check interval "cover" (Interval.from (c 0)) (Timeline.cover sample)
+
+let test_length () = Alcotest.(check int) "length" 4 (Timeline.length sample)
+
+let test_value_at () =
+  Alcotest.(check (option int)) "first" (Some 0) (Timeline.value_at sample (c 3));
+  Alcotest.(check (option int)) "single" (Some 1) (Timeline.value_at sample (c 7));
+  Alcotest.(check (option int)) "mid" (Some 2) (Timeline.value_at sample (c 12));
+  Alcotest.(check (option int)) "tail" (Some 1)
+    (Timeline.value_at sample (c 1_000_000));
+  Alcotest.(check (option int)) "at oo" (Some 1)
+    (Timeline.value_at sample Chronon.forever)
+
+let test_value_at_outside_cover () =
+  let t = tl [ (iv 5 9, 42) ] in
+  Alcotest.(check (option int)) "before" None (Timeline.value_at t (c 4));
+  Alcotest.(check (option int)) "after" None (Timeline.value_at t (c 10))
+
+let test_map () =
+  let doubled = Timeline.map (fun v -> v * 2) sample in
+  Alcotest.(check (option int)) "mapped" (Some 4)
+    (Timeline.value_at doubled (c 10))
+
+let test_fold_and_iter () =
+  let total = Timeline.fold (fun acc _ v -> acc + v) 0 sample in
+  Alcotest.(check int) "fold" 4 total;
+  let count = ref 0 in
+  Timeline.iter (fun _ _ -> incr count) sample;
+  Alcotest.(check int) "iter" 4 !count
+
+let test_coalesce_merges_equal_runs () =
+  let t =
+    tl [ (iv 0 2, 1); (iv 3 5, 1); (iv 6 7, 2); (iv 8 9, 1) ]
+  in
+  let expected = tl [ (iv 0 5, 1); (iv 6 7, 2); (iv 8 9, 1) ] in
+  Alcotest.check int_timeline "coalesced" expected
+    (Timeline.coalesce ~equal:Int.equal t)
+
+let test_coalesce_idempotent () =
+  let t = Timeline.coalesce ~equal:Int.equal sample in
+  Alcotest.check int_timeline "idempotent" t
+    (Timeline.coalesce ~equal:Int.equal t)
+
+let test_refine () =
+  let a = tl [ (iv 0 4, "a"); (iv 5 9, "b") ] in
+  let b = tl [ (iv 0 7, 1); (iv 8 9, 2) ] in
+  let r = Timeline.refine a b in
+  Alcotest.(check int) "segments" 3 (Timeline.length r);
+  Alcotest.(check (list (pair string int)))
+    "values"
+    [ ("a", 1); ("b", 1); ("b", 2) ]
+    (List.map snd (Timeline.to_list r))
+
+let test_refine_rejects_mismatched_covers () =
+  let a = tl [ (iv 0 4, "a") ] in
+  let b = tl [ (iv 0 7, 1) ] in
+  Alcotest.check_raises "covers" (Invalid_argument "Timeline.refine: covers differ")
+    (fun () -> ignore (Timeline.refine a b))
+
+let test_equivalent_ignores_segmentation () =
+  let a = tl [ (iv 0 4, 1); (iv 5 9, 1) ] in
+  let b = tl [ (iv 0 9, 1) ] in
+  Alcotest.(check bool) "equivalent" true (Timeline.equivalent Int.equal a b);
+  Alcotest.(check bool) "not equal" false (Timeline.equal Int.equal a b)
+
+(* ------------------------------------------------------------------ *)
+(* Granule                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_granule_make_validates () =
+  Alcotest.check_raises "zero length"
+    (Invalid_argument "Granule.make: span length must be positive") (fun () ->
+      ignore (Granule.make 0));
+  Alcotest.check_raises "infinite anchor"
+    (Invalid_argument "Granule.make: anchor must be finite") (fun () ->
+      ignore (Granule.make ~anchor:Chronon.forever 10))
+
+let test_granule_index_of () =
+  let g = Granule.make 100 in
+  Alcotest.(check int) "first" 0 (Granule.index_of g (c 0));
+  Alcotest.(check int) "edge" 0 (Granule.index_of g (c 99));
+  Alcotest.(check int) "second" 1 (Granule.index_of g (c 100));
+  Alcotest.(check int) "big" 123 (Granule.index_of g (c 12345))
+
+let test_granule_anchored () =
+  let g = Granule.make ~anchor:(c 50) 100 in
+  Alcotest.(check int) "anchored" 0 (Granule.index_of g (c 149));
+  Alcotest.check interval "span" (iv 150 249) (Granule.span_of g 1)
+
+let test_granule_span_roundtrip () =
+  let g = Granule.make 365 in
+  for i = 0 to 10 do
+    let span = Granule.span_of g i in
+    Alcotest.(check int) "start maps back" i
+      (Granule.index_of g (Interval.start span));
+    Alcotest.(check int) "stop maps back" i
+      (Granule.index_of g (Interval.stop span))
+  done
+
+let test_granule_quantize () =
+  let g = Granule.make 100 in
+  Alcotest.(check (pair int (option int))) "bounded" (0, Some 2)
+    (Granule.quantize g (iv 50 250));
+  Alcotest.(check (pair int (option int))) "unbounded" (1, None)
+    (Granule.quantize g (Interval.from (c 100)))
+
+let test_granule_align () =
+  let g = Granule.make 100 in
+  Alcotest.check interval "aligned" (iv 0 299) (Granule.align g (iv 50 250));
+  Alcotest.check interval "unbounded" (Interval.from (c 100))
+    (Granule.align g (Interval.from (c 123)))
+
+let test_granule_instant () =
+  Alcotest.(check int) "instant index" 17 (Granule.index_of Granule.instant (c 17));
+  Alcotest.check interval "instant span" (iv 17 17)
+    (Granule.span_of Granule.instant 17)
+
+(* ------------------------------------------------------------------ *)
+(* Interval_set                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let iset l = Interval_set.of_intervals l
+
+let test_iset_canonical_form () =
+  let s = iset [ iv 5 9; iv 0 2; iv 8 12; iv 3 3; iv 20 25 ] in
+  Alcotest.(check (list string)) "canonical"
+    [ "[0,3]"; "[5,12]"; "[20,25]" ]
+    (List.map Interval.to_string (Interval_set.intervals s));
+  Alcotest.(check int) "cardinal" 3 (Interval_set.cardinal s)
+
+let test_iset_empty () =
+  Alcotest.(check bool) "empty" true (Interval_set.is_empty Interval_set.empty);
+  Alcotest.(check bool) "mem" false (Interval_set.mem Interval_set.empty (c 3));
+  Alcotest.(check bool) "hull" true (Interval_set.hull Interval_set.empty = None)
+
+let test_iset_mem () =
+  let s = iset [ iv 0 4; iv 10 14 ] in
+  Alcotest.(check bool) "in first" true (Interval_set.mem s (c 2));
+  Alcotest.(check bool) "gap" false (Interval_set.mem s (c 7));
+  Alcotest.(check bool) "in second" true (Interval_set.mem s (c 14));
+  Alcotest.(check bool) "after" false (Interval_set.mem s (c 15))
+
+let test_iset_union_inter () =
+  let a = iset [ iv 0 9 ] and b = iset [ iv 5 14; iv 20 24 ] in
+  Alcotest.(check (list string)) "union" [ "[0,14]"; "[20,24]" ]
+    (List.map Interval.to_string (Interval_set.intervals (Interval_set.union a b)));
+  Alcotest.(check (list string)) "inter" [ "[5,9]" ]
+    (List.map Interval.to_string (Interval_set.intervals (Interval_set.inter a b)))
+
+let test_iset_diff () =
+  let a = iset [ iv 0 20 ] and b = iset [ iv 3 5; iv 10 12 ] in
+  Alcotest.(check (list string)) "diff"
+    [ "[0,2]"; "[6,9]"; "[13,20]" ]
+    (List.map Interval.to_string (Interval_set.intervals (Interval_set.diff a b)))
+
+let test_iset_diff_unbounded () =
+  let a = iset [ Interval.from (c 0) ] and b = iset [ iv 5 9 ] in
+  Alcotest.(check (list string)) "diff oo" [ "[0,4]"; "[10,oo]" ]
+    (List.map Interval.to_string (Interval_set.intervals (Interval_set.diff a b)))
+
+let test_iset_complement () =
+  let s = iset [ iv 5 9 ] in
+  Alcotest.(check (list string)) "complement" [ "[0,4]"; "[10,oo]" ]
+    (List.map Interval.to_string
+       (Interval_set.intervals (Interval_set.complement s)));
+  Alcotest.(check (list string)) "within" [ "[3,4]" ]
+    (List.map Interval.to_string
+       (Interval_set.intervals (Interval_set.complement ~within:(iv 3 8) s)))
+
+let test_iset_duration_and_hull () =
+  let s = iset [ iv 0 4; iv 10 14 ] in
+  Alcotest.(check (option int)) "duration" (Some 10) (Interval_set.duration s);
+  Alcotest.(check (option int)) "unbounded" None
+    (Interval_set.duration (iset [ Interval.from (c 3) ]));
+  Alcotest.(check bool) "hull" true
+    (Interval_set.hull s = Some (iv 0 14))
+
+let test_iset_subset () =
+  let a = iset [ iv 2 4; iv 8 9 ] and b = iset [ iv 0 10 ] in
+  Alcotest.(check bool) "subset" true (Interval_set.subset a b);
+  Alcotest.(check bool) "not superset" false (Interval_set.subset b a)
+
+let gen_iset =
+  QCheck2.Gen.(
+    map iset
+      (list_size (int_range 0 10)
+         (let* s = int_bound 60 in
+          let* len = int_bound 12 in
+          return (iv s (s + len)))))
+
+let prop_iset_setlike name op model =
+  QCheck2.Test.make ~name ~count:300
+    QCheck2.Gen.(triple gen_iset gen_iset (int_bound 80))
+    (fun (a, b, probe) ->
+      let p = c probe in
+      Interval_set.mem (op a b) p
+      = model (Interval_set.mem a p) (Interval_set.mem b p))
+
+let prop_iset_union = prop_iset_setlike "iset union = pointwise or" Interval_set.union ( || )
+let prop_iset_inter = prop_iset_setlike "iset inter = pointwise and" Interval_set.inter ( && )
+let prop_iset_diff =
+  prop_iset_setlike "iset diff = pointwise and-not" Interval_set.diff
+    (fun x y -> x && not y)
+
+let prop_iset_canonical =
+  QCheck2.Test.make ~name:"iset results stay canonical" ~count:300
+    QCheck2.Gen.(pair gen_iset gen_iset)
+    (fun (a, b) ->
+      let canonical s =
+        let rec ok = function
+          | x :: (y :: _ as rest) ->
+              Chronon.is_finite (Interval.stop x)
+              && Chronon.( > ) (Interval.start y)
+                   (Chronon.succ (Interval.stop x))
+              && ok rest
+          | _ -> true
+        in
+        ok (Interval_set.intervals s)
+      in
+      canonical (Interval_set.union a b)
+      && canonical (Interval_set.inter a b)
+      && canonical (Interval_set.diff a b))
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "temporal"
+    [
+      ( "chronon",
+        [
+          Alcotest.test_case "origin is zero" `Quick test_origin_is_zero;
+          Alcotest.test_case "of_int rejects negatives" `Quick
+            test_of_int_negative_rejected;
+          Alcotest.test_case "forever is not finite" `Quick
+            test_forever_not_finite;
+          Alcotest.test_case "forever is maximal" `Quick test_forever_is_max;
+          Alcotest.test_case "succ/pred roundtrip" `Quick
+            test_succ_pred_roundtrip;
+          Alcotest.test_case "succ forever absorbs" `Quick
+            test_succ_forever_absorbs;
+          Alcotest.test_case "pred origin rejected" `Quick
+            test_pred_origin_rejected;
+          Alcotest.test_case "pred forever rejected" `Quick
+            test_pred_forever_rejected;
+          Alcotest.test_case "add saturates" `Quick test_add_saturates;
+          Alcotest.test_case "add rejects negatives" `Quick
+            test_add_negative_rejected;
+          Alcotest.test_case "diff" `Quick test_diff;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+          Alcotest.test_case "min/max" `Quick test_min_max;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "make validates" `Quick test_make_validates;
+          Alcotest.test_case "single instant" `Quick test_single_instant;
+          Alcotest.test_case "duration" `Quick test_duration;
+          Alcotest.test_case "compare orders by (start, stop)" `Quick
+            test_compare_by_start_then_stop;
+          Alcotest.test_case "contains" `Quick test_contains;
+          Alcotest.test_case "overlaps" `Quick test_overlaps;
+          Alcotest.test_case "adjacent" `Quick test_adjacent;
+          Alcotest.test_case "intersect" `Quick test_intersect;
+          Alcotest.test_case "hull and merge" `Quick test_hull_and_merge;
+          Alcotest.test_case "covers" `Quick test_covers;
+          Alcotest.test_case "all thirteen Allen relations" `Quick
+            test_allen_all_thirteen;
+          Alcotest.test_case "Allen with unbounded intervals" `Quick
+            test_allen_unbounded;
+        ] );
+      qsuite "interval-properties"
+        [ prop_allen_inverse; prop_allen_consistent_with_overlaps ];
+      ( "timeline",
+        [
+          Alcotest.test_case "rejects empty" `Quick test_of_list_rejects_empty;
+          Alcotest.test_case "rejects gaps" `Quick test_of_list_rejects_gap;
+          Alcotest.test_case "rejects overlaps" `Quick
+            test_of_list_rejects_overlap;
+          Alcotest.test_case "rejects segments after infinity" `Quick
+            test_of_list_rejects_after_infinite;
+          Alcotest.test_case "cover" `Quick test_cover;
+          Alcotest.test_case "length" `Quick test_length;
+          Alcotest.test_case "value_at" `Quick test_value_at;
+          Alcotest.test_case "value_at outside cover" `Quick
+            test_value_at_outside_cover;
+          Alcotest.test_case "map" `Quick test_map;
+          Alcotest.test_case "fold and iter" `Quick test_fold_and_iter;
+          Alcotest.test_case "coalesce merges equal runs" `Quick
+            test_coalesce_merges_equal_runs;
+          Alcotest.test_case "coalesce idempotent" `Quick
+            test_coalesce_idempotent;
+          Alcotest.test_case "refine" `Quick test_refine;
+          Alcotest.test_case "refine rejects mismatched covers" `Quick
+            test_refine_rejects_mismatched_covers;
+          Alcotest.test_case "equivalent ignores segmentation" `Quick
+            test_equivalent_ignores_segmentation;
+        ] );
+      ( "interval-set",
+        [
+          Alcotest.test_case "canonical form" `Quick test_iset_canonical_form;
+          Alcotest.test_case "empty set" `Quick test_iset_empty;
+          Alcotest.test_case "membership" `Quick test_iset_mem;
+          Alcotest.test_case "union and inter" `Quick test_iset_union_inter;
+          Alcotest.test_case "diff" `Quick test_iset_diff;
+          Alcotest.test_case "diff with unbounded" `Quick test_iset_diff_unbounded;
+          Alcotest.test_case "complement" `Quick test_iset_complement;
+          Alcotest.test_case "duration and hull" `Quick
+            test_iset_duration_and_hull;
+          Alcotest.test_case "subset" `Quick test_iset_subset;
+        ] );
+      qsuite "interval-set-properties"
+        [ prop_iset_union; prop_iset_inter; prop_iset_diff; prop_iset_canonical ];
+      ( "granule",
+        [
+          Alcotest.test_case "make validates" `Quick test_granule_make_validates;
+          Alcotest.test_case "index_of" `Quick test_granule_index_of;
+          Alcotest.test_case "anchored granule" `Quick test_granule_anchored;
+          Alcotest.test_case "span/index roundtrip" `Quick
+            test_granule_span_roundtrip;
+          Alcotest.test_case "quantize" `Quick test_granule_quantize;
+          Alcotest.test_case "align" `Quick test_granule_align;
+          Alcotest.test_case "instant granularity" `Quick test_granule_instant;
+        ] );
+    ]

@@ -1,0 +1,443 @@
+(* Tests for the TSQL2 subset: lexer, parser, semantic analysis, and query
+   evaluation over the paper's Employed relation (Section 2 / Table 1). *)
+
+open Relation
+
+let catalog = Tsql.Catalog.with_builtins ()
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let run q =
+  match Tsql.Eval.query catalog q with
+  | Ok rel -> rel
+  | Error msg -> Alcotest.fail (q ^ " -> " ^ msg)
+
+let expect_error q fragment =
+  match Tsql.Eval.query catalog q with
+  | Ok _ -> Alcotest.fail ("expected failure: " ^ q)
+  | Error msg ->
+      let contains hay needle =
+        let lh = String.length hay and ln = String.length needle in
+        let rec go i =
+          i + ln <= lh && (String.sub hay i ln = needle || go (i + 1))
+        in
+        go 0
+      in
+      if not (contains msg fragment) then
+        Alcotest.fail (Printf.sprintf "error %S lacks %S" msg fragment)
+
+let row_values rel =
+  List.map
+    (fun t ->
+      ( Array.to_list (Array.map Value.to_string (Tuple.values t)),
+        Temporal.Interval.to_string (Tuple.valid t) ))
+    (Trel.tuples rel)
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let tokens_of s =
+  match Tsql.Lexer.tokenize s with
+  | Ok toks -> List.map fst toks
+  | Error msg -> Alcotest.fail msg
+
+let test_lexer_keywords_case_insensitive () =
+  Alcotest.(check bool) "mixed case" true
+    (tokens_of "SeLeCt FrOm" = [ Tsql.Lexer.SELECT; Tsql.Lexer.FROM; Tsql.Lexer.EOF ])
+
+let test_lexer_operators () =
+  Alcotest.(check bool) "ops" true
+    (tokens_of "= <> < <= > >="
+    = Tsql.Lexer.[ EQ; NEQ; LT; LE; GT; GE; EOF ])
+
+let test_lexer_literals () =
+  Alcotest.(check bool) "int/float/string" true
+    (tokens_of "42 4.5 'it''s'"
+    = Tsql.Lexer.[ INT 42; FLOAT 4.5; STRING "it's"; EOF ])
+
+let test_lexer_errors () =
+  Alcotest.(check bool) "bad char" true
+    (Result.is_error (Tsql.Lexer.tokenize "select @"));
+  Alcotest.(check bool) "unterminated string" true
+    (Result.is_error (Tsql.Lexer.tokenize "select 'oops"))
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse q =
+  match Tsql.Parser.parse q with
+  | Ok ast -> ast
+  | Error msg -> Alcotest.fail (q ^ " -> " ^ msg)
+
+let test_parser_roundtrip () =
+  List.iter
+    (fun q ->
+      let ast = parse q in
+      Alcotest.(check string) q q (Tsql.Ast.to_string ast))
+    [
+      "SELECT COUNT(Name) FROM Employed";
+      "SELECT COUNT(*) FROM Employed";
+      "SELECT Dept, AVG(Salary) FROM Employed GROUP BY Dept";
+      "SELECT SUM(salary) FROM Employed WHERE salary >= 40000 AND name <> 'Bob'";
+      "SELECT MIN(salary), MAX(salary) FROM Employed GROUP BY SPAN 10";
+      "SELECT COUNT(*) FROM Employed USING ktree(4)";
+      "SELECT COUNT(*) FROM Employed USING linked_list";
+    ]
+
+let test_parser_semicolon_and_instant () =
+  let ast = parse "select count(*) from employed group by instant;" in
+  Alcotest.(check bool) "instant grouping" true
+    (ast.Tsql.Ast.grouping = Tsql.Ast.By_instant);
+  Alcotest.(check string) "relation" "employed" ast.Tsql.Ast.from
+
+let test_parser_errors () =
+  List.iter
+    (fun (q, fragment) ->
+      match Tsql.Parser.parse q with
+      | Ok _ -> Alcotest.fail ("expected syntax error: " ^ q)
+      | Error msg ->
+          let contains hay needle =
+            let lh = String.length hay and ln = String.length needle in
+            let rec go i =
+              i + ln <= lh && (String.sub hay i ln = needle || go (i + 1))
+            in
+            go 0
+          in
+          if not (contains msg fragment) then
+            Alcotest.fail (Printf.sprintf "%S lacks %S" msg fragment))
+    [
+      ("COUNT(*) FROM Employed", "expected SELECT");
+      ("SELECT FROM Employed", "a column or aggregate");
+      ("SELECT COUNT(*) Employed", "expected FROM");
+      ("SELECT COUNT(* FROM Employed", "')'");
+      ("SELECT SUM(*) FROM Employed", "only COUNT(*)");
+      ("SELECT COUNT(*) FROM Employed WHERE x", "a comparison operator");
+      ("SELECT COUNT(*) FROM Employed WHERE x = ", "a literal");
+      ("SELECT COUNT(*) FROM Employed GROUP BY SPAN 0", "must be positive");
+      ("SELECT COUNT(*) FROM Employed GROUP BY SPAN 5, INSTANT",
+       "multiple temporal groupings");
+      ("SELECT COUNT(*) FROM Employed extra", "end of query");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Semantic analysis                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_semant_unknown_relation () =
+  expect_error "SELECT COUNT(*) FROM Nowhere" "unknown relation"
+
+let test_semant_unknown_column () =
+  expect_error "SELECT COUNT(dept) FROM Employed" "unknown column";
+  expect_error "SELECT COUNT(*) FROM Employed WHERE dept = 1" "unknown column";
+  expect_error "SELECT COUNT(*) FROM Employed GROUP BY dept" "unknown column"
+
+let test_semant_requires_aggregate () =
+  expect_error "SELECT name FROM Employed" "at least one aggregate"
+
+let test_semant_bare_column_needs_group_by () =
+  expect_error "SELECT name, COUNT(*) FROM Employed" "must appear in GROUP BY"
+
+let test_semant_numeric_aggregates () =
+  expect_error "SELECT SUM(name) FROM Employed" "not numeric";
+  expect_error "SELECT AVG(name) FROM Employed" "not numeric"
+
+let test_semant_count_needs_no_column () =
+  expect_error "SELECT SUM(*) FROM Employed" "only COUNT(*)"
+
+let test_semant_literal_types () =
+  expect_error "SELECT COUNT(*) FROM Employed WHERE salary = 'abc'"
+    "does not match";
+  expect_error "SELECT COUNT(*) FROM Employed WHERE name = 42" "does not match"
+
+let test_semant_unknown_algorithm () =
+  expect_error "SELECT COUNT(*) FROM Employed USING btree" "unknown algorithm"
+
+let test_semant_case_insensitive_columns () =
+  (* The paper spells it COUNT(Name) over a lowercase schema. *)
+  let rel = run "SELECT COUNT(Name) FROM Employed" in
+  Alcotest.(check int) "works" 7 (Trel.cardinality rel)
+
+let test_semant_explain_mentions_strategy () =
+  match Tsql.Eval.explain catalog "SELECT COUNT(*) FROM Employed" with
+  | Error msg -> Alcotest.fail msg
+  | Ok text ->
+      let contains hay needle =
+        let lh = String.length hay and ln = String.length needle in
+        let rec go i =
+          i + ln <= lh && (String.sub hay i ln = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "names an algorithm" true
+        (contains text "aggregation-tree")
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_eval_table1 () =
+  (* The paper's Section 5.1 query and Table 1 result. *)
+  let rel = run "SELECT COUNT(Name) FROM Employed" in
+  Alcotest.(check (list (pair (list string) string)))
+    "Table 1"
+    [
+      ([ "0" ], "[0,6]"); ([ "1" ], "[7,7]"); ([ "2" ], "[8,12]");
+      ([ "1" ], "[13,17]"); ([ "3" ], "[18,20]"); ([ "2" ], "[21,21]");
+      ([ "1" ], "[22,oo]");
+    ]
+    (row_values rel)
+
+let test_eval_all_algorithms_same_table1 () =
+  List.iter
+    (fun algo ->
+      let rel =
+        run (Printf.sprintf "SELECT COUNT(Name) FROM Employed USING %s" algo)
+      in
+      Alcotest.(check int) algo 7 (Trel.cardinality rel))
+    [ "aggregation_tree"; "linked_list"; "two_scan"; "balanced_tree"; "ktree(3)" ]
+
+let test_eval_where_filters () =
+  let rel = run "SELECT COUNT(*) FROM Employed WHERE salary >= 40000" in
+  Alcotest.(check (list (pair (list string) string)))
+    "well-paid only"
+    [
+      ([ "0" ], "[0,7]"); ([ "1" ], "[8,17]"); ([ "2" ], "[18,20]");
+      ([ "1" ], "[21,oo]");
+    ]
+    (row_values rel)
+
+let test_eval_group_by_attribute () =
+  let rel = run "SELECT name, COUNT(*) FROM Employed GROUP BY name" in
+  Alcotest.(check (list (pair (list string) string)))
+    "per person, clipped to their lifespan"
+    [
+      ([ "Karen"; "1" ], "[8,20]");
+      ([ "Nathan"; "1" ], "[7,12]");
+      ([ "Nathan"; "0" ], "[13,17]");
+      ([ "Nathan"; "1" ], "[18,21]");
+      ([ "Richard"; "1" ], "[18,oo]");
+    ]
+    (row_values rel)
+
+let test_eval_avg_null_in_gap () =
+  let rel = run "SELECT name, AVG(salary) FROM Employed GROUP BY name" in
+  let nathan_gap =
+    List.find
+      (fun (values, valid) ->
+        List.hd values = "Nathan" && valid = "[13,17]")
+      (row_values rel)
+  in
+  Alcotest.(check string) "NULL average in employment gap" ""
+    (List.nth (fst nathan_gap) 1)
+
+let test_eval_multiple_aggregates_zipped () =
+  let rel = run "SELECT MIN(salary), MAX(salary), COUNT(*) FROM Employed" in
+  let at_19 =
+    List.find (fun (_, valid) -> valid = "[18,20]") (row_values rel)
+  in
+  Alcotest.(check (list string)) "min,max,count over [18,20]"
+    [ "37000"; "45000"; "3" ] (fst at_19)
+
+let test_eval_sum () =
+  let rel = run "SELECT SUM(salary) FROM Employed" in
+  let at_19 =
+    List.find (fun (_, valid) -> valid = "[18,20]") (row_values rel)
+  in
+  Alcotest.(check (list string)) "sum over [18,20]" [ "122000" ] (fst at_19)
+
+let test_eval_span_grouping () =
+  let rel = run "SELECT COUNT(*) FROM Employed GROUP BY SPAN 10" in
+  Alcotest.(check (list (pair (list string) string)))
+    "decades"
+    [
+      ([ "2" ], "[0,9]"); ([ "4" ], "[10,19]"); ([ "3" ], "[20,29]");
+      ([ "1" ], "[30,oo]");
+    ]
+    (row_values rel)
+
+let test_eval_duplicate_aggregates_renamed () =
+  let rel = run "SELECT COUNT(*), COUNT(*) FROM Employed" in
+  let cols =
+    List.map (fun c -> c.Schema.name) (Schema.columns (Trel.schema rel))
+  in
+  Alcotest.(check (list string)) "unique names" [ "count(*)"; "count(*)_2" ]
+    cols
+
+let test_eval_coalescing () =
+  (* MAX(salary) is 45000 throughout [8,20]: three constant intervals
+     coalesce into one row. *)
+  let rel = run "SELECT MAX(salary) FROM Employed" in
+  Alcotest.(check bool) "coalesced" true
+    (List.exists (fun (_, valid) -> valid = "[8,20]") (row_values rel))
+
+let test_eval_ktree_hint_on_unsorted_fails_cleanly () =
+  (* Employed is 3-ordered; hinting k=0 must fail with a clear message,
+     not a wrong answer. *)
+  expect_error "SELECT COUNT(*) FROM Employed USING ktree(0)" "not k-ordered"
+
+let test_eval_empty_relation () =
+  let empty =
+    Trel.create (Schema.of_pairs [ ("x", Value.Tint) ]) []
+  in
+  let cat = Tsql.Catalog.add catalog "Empty" empty in
+  match Tsql.Eval.query cat "SELECT COUNT(*) FROM Empty" with
+  | Error msg -> Alcotest.fail msg
+  | Ok rel ->
+      Alcotest.(check (list (pair (list string) string)))
+        "single empty segment"
+        [ ([ "0" ], "[0,oo]") ]
+        (row_values rel)
+
+let test_eval_where_null_comparisons_unknown () =
+  let with_null =
+    Trel.create Fixtures.employed_schema
+      [
+        Tuple.make [| Value.Str "Ghost"; Value.Null |]
+          (Temporal.Interval.of_ints 0 5);
+      ]
+  in
+  let cat = Tsql.Catalog.add catalog "Ghosts" with_null in
+  match Tsql.Eval.query cat "SELECT COUNT(*) FROM Ghosts WHERE salary < 10" with
+  | Error msg -> Alcotest.fail msg
+  | Ok rel ->
+      (* NULL salary: predicate unknown -> tuple filtered out. *)
+      Alcotest.(check (list (pair (list string) string)))
+        "null filtered" [ ([ "0" ], "[0,oo]") ] (row_values rel)
+
+
+let test_eval_during_window () =
+  let rel = run "SELECT COUNT(Name) FROM Employed DURING [8,20]" in
+  Alcotest.(check (list (pair (list string) string)))
+    "window [8,20]"
+    [ ([ "2" ], "[8,12]"); ([ "1" ], "[13,17]"); ([ "3" ], "[18,20]") ]
+    (row_values rel)
+
+let test_eval_during_unbounded () =
+  let rel = run "SELECT COUNT(Name) FROM Employed DURING [21,oo]" in
+  Alcotest.(check (list (pair (list string) string)))
+    "window [21,oo]"
+    [ ([ "2" ], "[21,21]"); ([ "1" ], "[22,oo]") ]
+    (row_values rel)
+
+let test_eval_during_with_group_by () =
+  let rel =
+    run "SELECT name, COUNT(*) FROM Employed DURING [8,20] GROUP BY name"
+  in
+  Alcotest.(check (list (pair (list string) string)))
+    "grouped window"
+    [
+      ([ "Karen"; "1" ], "[8,20]");
+      ([ "Nathan"; "1" ], "[8,12]");
+      ([ "Nathan"; "0" ], "[13,17]");
+      ([ "Nathan"; "1" ], "[18,20]");
+      ([ "Richard"; "1" ], "[18,20]");
+    ]
+    (row_values rel)
+
+let test_during_roundtrip () =
+  List.iter
+    (fun q ->
+      match Tsql.Parser.parse q with
+      | Error msg -> Alcotest.fail msg
+      | Ok ast -> Alcotest.(check string) q q (Tsql.Ast.to_string ast))
+    [
+      "SELECT COUNT(*) FROM Employed DURING [8,20]";
+      "SELECT COUNT(*) FROM Employed DURING [0,oo]";
+    ]
+
+let test_during_syntax_errors () =
+  List.iter
+    (fun (q, fragment) ->
+      match Tsql.Parser.parse q with
+      | Ok _ -> Alcotest.fail ("expected error: " ^ q)
+      | Error msg ->
+          if not (contains msg fragment) then
+            Alcotest.fail (Printf.sprintf "%S lacks %S" msg fragment))
+    [
+      ("SELECT COUNT(*) FROM E DURING [9,5]", "stops before it starts");
+      ("SELECT COUNT(*) FROM E DURING [5", "','");
+      ("SELECT COUNT(*) FROM E DURING 5,9]", "'['");
+      ("SELECT COUNT(*) FROM E DURING [5,x]", "a stop instant or oo");
+    ]
+
+let test_catalog_case_insensitive () =
+  Alcotest.(check bool) "employed" true
+    (Option.is_some (Tsql.Catalog.find catalog "eMpLoYeD"));
+  Alcotest.(check (list string)) "names" [ "Employed" ]
+    (Tsql.Catalog.names catalog)
+
+let test_pretty_output_shape () =
+  let rel = run "SELECT COUNT(Name) FROM Employed" in
+  let text = Tsql.Pretty.result_to_string rel in
+  let lines = String.split_on_char '\n' text in
+  (* rule + header + rule + 7 rows + rule *)
+  Alcotest.(check int) "lines" 11 (List.length lines);
+  Alcotest.(check bool) "header" true
+    (List.exists
+       (fun l -> l = "| count(Name) | valid   |")
+       lines)
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "tsql"
+    [
+      ( "lexer",
+        [
+          quick "keywords case-insensitive" test_lexer_keywords_case_insensitive;
+          quick "operators" test_lexer_operators;
+          quick "literals" test_lexer_literals;
+          quick "errors" test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          quick "roundtrip" test_parser_roundtrip;
+          quick "semicolon and INSTANT" test_parser_semicolon_and_instant;
+          quick "syntax errors" test_parser_errors;
+        ] );
+      ( "semant",
+        [
+          quick "unknown relation" test_semant_unknown_relation;
+          quick "unknown column" test_semant_unknown_column;
+          quick "requires an aggregate" test_semant_requires_aggregate;
+          quick "bare column needs GROUP BY"
+            test_semant_bare_column_needs_group_by;
+          quick "numeric aggregates" test_semant_numeric_aggregates;
+          quick "star only for COUNT" test_semant_count_needs_no_column;
+          quick "literal types" test_semant_literal_types;
+          quick "unknown algorithm" test_semant_unknown_algorithm;
+          quick "case-insensitive columns" test_semant_case_insensitive_columns;
+          quick "explain mentions strategy" test_semant_explain_mentions_strategy;
+        ] );
+      ( "eval",
+        [
+          quick "Table 1" test_eval_table1;
+          quick "all algorithms agree" test_eval_all_algorithms_same_table1;
+          quick "WHERE filters" test_eval_where_filters;
+          quick "GROUP BY attribute" test_eval_group_by_attribute;
+          quick "NULL average in gaps" test_eval_avg_null_in_gap;
+          quick "multiple aggregates zipped" test_eval_multiple_aggregates_zipped;
+          quick "SUM" test_eval_sum;
+          quick "GROUP BY SPAN" test_eval_span_grouping;
+          quick "duplicate aggregates renamed"
+            test_eval_duplicate_aggregates_renamed;
+          quick "results coalesced" test_eval_coalescing;
+          quick "bad ktree hint fails cleanly"
+            test_eval_ktree_hint_on_unsorted_fails_cleanly;
+          quick "DURING window" test_eval_during_window;
+          quick "DURING unbounded" test_eval_during_unbounded;
+          quick "DURING with GROUP BY" test_eval_during_with_group_by;
+          quick "DURING roundtrip" test_during_roundtrip;
+          quick "DURING syntax errors" test_during_syntax_errors;
+          quick "empty relation" test_eval_empty_relation;
+          quick "NULL comparisons are unknown"
+            test_eval_where_null_comparisons_unknown;
+          quick "catalog case-insensitive" test_catalog_case_insensitive;
+          quick "pretty output" test_pretty_output_shape;
+        ] );
+    ]

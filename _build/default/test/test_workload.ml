@@ -1,0 +1,261 @@
+(* Tests for the synthetic workload generators (paper, Section 6 and
+   Table 3) and the deterministic PRNG they draw from. *)
+
+open Temporal
+open Workload
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  Alcotest.(check bool) "different" true
+    (Prng.next_int64 a <> Prng.next_int64 b)
+
+let test_prng_copy_forks_stream () =
+  let a = Prng.create ~seed:9 in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "same from fork" (Prng.next_int64 a) (Prng.next_int64 b)
+
+let test_prng_bounds () =
+  let p = Prng.create ~seed:5 in
+  for _ = 1 to 10_000 do
+    let x = Prng.int_bounded p 7 in
+    Alcotest.(check bool) "in [0,7)" true (x >= 0 && x < 7)
+  done;
+  for _ = 1 to 10_000 do
+    let x = Prng.int_in p ~lo:3 ~hi:9 in
+    Alcotest.(check bool) "in [3,9]" true (x >= 3 && x <= 9)
+  done
+
+let test_prng_bounds_validate () =
+  let p = Prng.create ~seed:5 in
+  Alcotest.check_raises "bound"
+    (Invalid_argument "Prng.int_bounded: bound must be positive") (fun () ->
+      ignore (Prng.int_bounded p 0));
+  Alcotest.check_raises "range" (Invalid_argument "Prng.int_in: empty range")
+    (fun () -> ignore (Prng.int_in p ~lo:5 ~hi:4))
+
+let test_prng_uniformity_rough () =
+  (* chi-square-lite: each of 10 buckets within 20% of expectation. *)
+  let p = Prng.create ~seed:77 in
+  let buckets = Array.make 10 0 in
+  let draws = 100_000 in
+  for _ = 1 to draws do
+    let b = Prng.int_bounded p 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iteri
+    (fun i count ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d (%d)" i count)
+        true
+        (abs (count - (draws / 10)) < draws / 50))
+    buckets
+
+let test_prng_float_unit () =
+  let p = Prng.create ~seed:123 in
+  let sum = ref 0. in
+  for _ = 1 to 10_000 do
+    let f = Prng.float_unit p in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0. && f < 1.);
+    sum := !sum +. f
+  done;
+  Alcotest.(check bool) "mean near 0.5" true
+    (Float.abs ((!sum /. 10_000.) -. 0.5) < 0.02)
+
+(* ------------------------------------------------------------------ *)
+(* Spec                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_spec_defaults_match_paper () =
+  let s = Spec.make ~n:1024 () in
+  Alcotest.(check int) "lifespan" 1_000_000 s.Spec.lifespan;
+  Alcotest.(check int) "short min" 1 s.Spec.short_min;
+  Alcotest.(check int) "short max" 1000 s.Spec.short_max;
+  Alcotest.(check (float 0.)) "long min" 0.2 s.Spec.long_min_fraction;
+  Alcotest.(check (float 0.)) "long max" 0.8 s.Spec.long_max_fraction;
+  Alcotest.(check (float 0.)) "no long-lived by default" 0.
+    s.Spec.long_lived_fraction
+
+let test_spec_table3_values () =
+  Alcotest.(check (list int)) "sizes 1K..64K"
+    [ 1024; 2048; 4096; 8192; 16384; 32768; 65536 ]
+    Spec.table3_sizes;
+  Alcotest.(check (list (float 0.))) "long-lived" [ 0.; 0.4; 0.8 ]
+    Spec.table3_long_lived;
+  Alcotest.(check (list int)) "k" [ 4; 40; 400 ] Spec.table3_k;
+  Alcotest.(check (list (float 0.))) "percentages" [ 0.02; 0.08; 0.14 ]
+    Spec.table3_percentages;
+  Alcotest.(check int) "tuple bytes" 128 Spec.bytes_per_tuple
+
+let test_spec_validates () =
+  Alcotest.check_raises "n" (Invalid_argument "Spec.make: n must be positive")
+    (fun () -> ignore (Spec.make ~n:0 ()));
+  Alcotest.check_raises "fraction"
+    (Invalid_argument "Spec.make: long_lived_fraction outside [0,1]")
+    (fun () -> ignore (Spec.make ~n:10 ~long_lived_fraction:1.5 ()));
+  Alcotest.check_raises "durations"
+    (Invalid_argument "Spec.make: bad short-lived duration range") (fun () ->
+      ignore (Spec.make ~n:10 ~short_min:10 ~short_max:5 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let spec = Spec.make ~n:2000 ~long_lived_fraction:0.4 ~seed:11 ()
+
+let test_generate_count_and_bounds () =
+  let data = Generate.random_intervals spec in
+  Alcotest.(check int) "n tuples" 2000 (Array.length data);
+  Array.iter
+    (fun (iv, salary) ->
+      Alcotest.(check bool) "within lifespan" true
+        (Chronon.to_int (Interval.start iv) >= 0
+        && Chronon.is_finite (Interval.stop iv)
+        && Chronon.to_int (Interval.stop iv) < spec.Spec.lifespan);
+      Alcotest.(check bool) "salary range" true
+        (salary >= 20_000 && salary <= 60_000))
+    data
+
+let test_generate_deterministic () =
+  let a = Generate.random_intervals spec in
+  let b = Generate.random_intervals spec in
+  Alcotest.(check bool) "same seed, same data" true (a = b);
+  let other = Spec.make ~n:2000 ~long_lived_fraction:0.4 ~seed:12 () in
+  Alcotest.(check bool) "different seed differs" true
+    (Generate.random_intervals other <> a)
+
+let duration iv =
+  match Interval.duration iv with
+  | Some d -> d
+  | None -> Alcotest.fail "unbounded generated interval"
+
+let test_generate_duration_mix () =
+  let data = Generate.random_intervals spec in
+  let long, short =
+    Array.to_list data
+    |> List.partition (fun (iv, _) -> duration iv > spec.Spec.short_max)
+  in
+  (* 40% long-lived. *)
+  Alcotest.(check int) "long count" 800 (List.length long);
+  List.iter
+    (fun (iv, _) ->
+      let d = duration iv in
+      Alcotest.(check bool) "long in [20%,80%] of lifespan" true
+        (d >= 200_000 && d <= 800_000))
+    long;
+  List.iter
+    (fun (iv, _) ->
+      let d = duration iv in
+      Alcotest.(check bool) "short in [1,1000]" true (d >= 1 && d <= 1000))
+    short
+
+let test_generate_no_long_lived () =
+  let s = Spec.make ~n:500 ~seed:2 () in
+  Array.iter
+    (fun (iv, _) ->
+      Alcotest.(check bool) "short only" true (duration iv <= 1000))
+    (Generate.random_intervals s)
+
+let test_generate_random_is_unsorted () =
+  let data = Generate.random_intervals spec in
+  Alcotest.(check bool) "high disorder" true
+    (Ordering.Korder.k_of
+       ~compare:(fun (a, _) (b, _) -> Interval.compare a b)
+       data
+    > 100)
+
+let test_generate_sorted () =
+  let data = Generate.sorted_intervals spec in
+  Alcotest.(check int) "0-ordered" 0
+    (Ordering.Korder.k_of
+       ~compare:(fun (a, _) (b, _) -> Interval.compare a b)
+       data);
+  (* Same multiset as the random version. *)
+  let random = Generate.random_intervals spec in
+  let key (iv, s) = (Interval.to_string iv, s) in
+  let sort l = List.sort Stdlib.compare (List.map key (Array.to_list l)) in
+  Alcotest.(check bool) "same tuples" true (sort data = sort random)
+
+let test_generate_k_ordered () =
+  let data = Generate.k_ordered_intervals ~k:40 ~percentage:0.08 spec in
+  let compare (a, _) (b, _) = Interval.compare a b in
+  Alcotest.(check int) "k = 40" 40 (Ordering.Korder.k_of ~compare data);
+  let p = Ordering.Korder.percentage ~compare ~k:40 data in
+  Alcotest.(check bool) "percentage close" true (Float.abs (p -. 0.08) < 0.005)
+
+let test_generate_relation () =
+  let rel = Generate.relation spec in
+  Alcotest.(check int) "cardinality" 2000 (Relation.Trel.cardinality rel);
+  Alcotest.(check bool) "schema" true
+    (Relation.Schema.mem (Relation.Trel.schema rel) "name"
+    && Relation.Schema.mem (Relation.Trel.schema rel) "salary");
+  let first = Relation.Trel.get rel 0 in
+  match Relation.Tuple.value first 0 with
+  | Relation.Value.Str name ->
+      Alcotest.(check int) "6-char names" 6 (String.length name)
+  | _ -> Alcotest.fail "name should be a string"
+
+(* Property: generation respects lifespan for random specs. *)
+let prop_generation_in_lifespan =
+  QCheck2.Test.make ~name:"generated intervals within lifespan" ~count:50
+    QCheck2.Gen.(
+      triple (int_range 1 300) (int_range 2000 50_000) (int_bound 1000))
+    (fun (n, lifespan, seed) ->
+      let s =
+        Spec.make ~n ~lifespan ~long_lived_fraction:0.5 ~seed
+          ~short_max:(Stdlib.min 1000 (lifespan / 2))
+          ()
+      in
+      Array.for_all
+        (fun (iv, _) ->
+          Chronon.is_finite (Interval.stop iv)
+          && Chronon.to_int (Interval.stop iv) < lifespan)
+        (Generate.random_intervals s))
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "prng",
+        [
+          quick "deterministic" test_prng_deterministic;
+          quick "seeds differ" test_prng_seeds_differ;
+          quick "copy forks stream" test_prng_copy_forks_stream;
+          quick "bounds respected" test_prng_bounds;
+          quick "bounds validated" test_prng_bounds_validate;
+          quick "rough uniformity" test_prng_uniformity_rough;
+          quick "float_unit" test_prng_float_unit;
+        ] );
+      ( "spec",
+        [
+          quick "paper defaults" test_spec_defaults_match_paper;
+          quick "table 3 values" test_spec_table3_values;
+          quick "validation" test_spec_validates;
+        ] );
+      ( "generate",
+        [
+          quick "count and bounds" test_generate_count_and_bounds;
+          quick "deterministic by seed" test_generate_deterministic;
+          quick "duration mix" test_generate_duration_mix;
+          quick "no long-lived when fraction 0" test_generate_no_long_lived;
+          quick "random order is unsorted" test_generate_random_is_unsorted;
+          quick "sorted variant" test_generate_sorted;
+          quick "k-ordered variant" test_generate_k_ordered;
+          quick "full relation" test_generate_relation;
+        ] );
+      ( "properties",
+        List.map
+          (QCheck_alcotest.to_alcotest ~long:false)
+          [ prop_generation_in_lifespan ] );
+    ]
