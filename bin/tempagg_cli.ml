@@ -64,12 +64,51 @@ let query_arg =
     & info [] ~docv:"QUERY"
         ~doc:"TSQL2-subset query, e.g. 'SELECT COUNT(Name) FROM Employed'.")
 
-let exec kind bindings q =
+let algorithm_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "algorithm" ] ~docv:"ALGO"
+        ~doc:
+          "Override the planned evaluation algorithm: $(b,sweep), \
+           $(b,aggregation-tree), $(b,linked-list), $(b,balanced-tree), \
+           $(b,two-scan), $(b,ktree(K)) or $(b,parallel(D,ALGO)).  \
+           Overrides both the optimizer and any USING hint.")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Shard the evaluation across N OCaml domains (multicore \
+           divide-and-conquer); wraps the chosen algorithm in \
+           $(b,parallel(N,...)).")
+
+let exec kind bindings algorithm domains q =
+  let parsed_algorithm =
+    match algorithm with
+    | None -> Ok None
+    | Some name -> Result.map Option.some (Tempagg.Engine.of_string name)
+  in
+  let checked_domains =
+    match domains with
+    | Some d when d < 1 -> Error "--domains must be at least 1"
+    | d -> Ok d
+  in
   match
-    Result.bind (build_catalog bindings) (fun catalog ->
-        match kind with
-        | `Run -> Result.map (fun r -> `Rel r) (Tsql.Eval.query catalog q)
-        | `Explain -> Result.map (fun s -> `Text s) (Tsql.Eval.explain catalog q))
+    Result.bind parsed_algorithm (fun algorithm ->
+        Result.bind checked_domains (fun domains ->
+            Result.bind (build_catalog bindings) (fun catalog ->
+                match kind with
+                | `Run ->
+                    Result.map
+                      (fun r -> `Rel r)
+                      (Tsql.Eval.query ?algorithm ?domains catalog q)
+                | `Explain ->
+                    Result.map
+                      (fun s -> `Text s)
+                      (Tsql.Eval.explain ?algorithm ?domains catalog q))))
   with
   | Ok (`Rel result) ->
       Tsql.Pretty.print_result result;
@@ -83,13 +122,19 @@ let query_cmd =
   let doc = "run a temporal aggregate query" in
   Cmd.v
     (Cmd.info "query" ~doc)
-    Term.(ret (const (exec `Run) $ relations_arg $ query_arg))
+    Term.(
+      ret
+        (const (exec `Run) $ relations_arg $ algorithm_arg $ domains_arg
+       $ query_arg))
 
 let explain_cmd =
   let doc = "show the evaluation plan for a query" in
   Cmd.v
     (Cmd.info "explain" ~doc)
-    Term.(ret (const (exec `Explain) $ relations_arg $ query_arg))
+    Term.(
+      ret
+        (const (exec `Explain) $ relations_arg $ algorithm_arg $ domains_arg
+       $ query_arg))
 
 (* generate *)
 

@@ -1,50 +1,101 @@
+open Temporal
+
 type algorithm =
   | Linked_list
   | Aggregation_tree
   | Korder_tree of { k : int }
   | Balanced_tree
   | Two_scan
+  | Sweep
+  | Parallel of { domains : int; inner : algorithm }
 
-let name = function
+let rec name = function
   | Linked_list -> "linked-list"
   | Aggregation_tree -> "aggregation-tree"
   | Korder_tree { k } -> Printf.sprintf "ktree(%d)" k
   | Balanced_tree -> "balanced-tree"
   | Two_scan -> "two-scan"
+  | Sweep -> "sweep"
+  | Parallel { domains; inner } ->
+      Printf.sprintf "parallel(%d,%s)" domains (name inner)
 
 let of_string s =
   (* Accept underscores for contexts (like TSQL identifiers) where hyphens
      cannot appear. *)
   let s = String.map (function '_' -> '-' | c -> c) s in
-  match s with
-  | "linked-list" -> Ok Linked_list
-  | "aggregation-tree" -> Ok Aggregation_tree
-  | "balanced-tree" -> Ok Balanced_tree
-  | "two-scan" -> Ok Two_scan
-  | _ ->
-      let ktree_k =
-        if String.length s > 6 && String.sub s 0 6 = "ktree(" && s.[String.length s - 1] = ')'
-        then int_of_string_opt (String.sub s 6 (String.length s - 7))
-        else None
-      in
-      (match ktree_k with
-      | Some k when k >= 0 -> Ok (Korder_tree { k })
-      | Some _ | None ->
-          Error
-            (Printf.sprintf
-               "unknown algorithm %S (expected linked-list, \
-                aggregation-tree, ktree(K), balanced-tree or two-scan)"
-               s))
+  let err s =
+    Error
+      (Printf.sprintf
+         "unknown algorithm %S (expected linked-list, aggregation-tree, \
+          ktree(K), balanced-tree, two-scan, sweep or parallel(D[,ALGO]))"
+         s)
+  in
+  (* The body of [prefix(body)], when [s] has that shape. *)
+  let paren_body s prefix =
+    let lp = String.length prefix in
+    if
+      String.length s > lp + 1
+      && String.sub s 0 lp = prefix
+      && s.[String.length s - 1] = ')'
+    then Some (String.sub s lp (String.length s - lp - 1))
+    else None
+  in
+  let rec go s =
+    match s with
+    | "linked-list" -> Ok Linked_list
+    | "aggregation-tree" -> Ok Aggregation_tree
+    | "balanced-tree" -> Ok Balanced_tree
+    | "two-scan" -> Ok Two_scan
+    | "sweep" -> Ok Sweep
+    | _ -> (
+        match paren_body s "ktree(" with
+        | Some body -> (
+            match int_of_string_opt body with
+            | Some k when k >= 0 -> Ok (Korder_tree { k })
+            | Some _ | None -> err s)
+        | None -> (
+            match paren_body s "parallel(" with
+            | None -> err s
+            | Some body -> (
+                (* parallel(D) defaults the inner algorithm to the sweep;
+                   parallel(D,ALGO) nests, e.g. parallel(4,ktree(1)). *)
+                let domains_str, inner =
+                  match String.index_opt body ',' with
+                  | None -> (body, Ok Sweep)
+                  | Some i ->
+                      ( String.sub body 0 i,
+                        go
+                          (String.trim
+                             (String.sub body (i + 1)
+                                (String.length body - i - 1))) )
+                in
+                match int_of_string_opt (String.trim domains_str) with
+                | Some d when d >= 1 ->
+                    Result.map
+                      (fun inner -> Parallel { domains = d; inner })
+                      inner
+                | Some _ | None -> err s)))
+  in
+  go s
 
 let all =
   [ Linked_list; Aggregation_tree; Korder_tree { k = 1 }; Balanced_tree;
-    Two_scan ]
+    Two_scan; Sweep; Parallel { domains = 2; inner = Sweep } ]
 
-let node_bytes = function
+let rec node_bytes = function
   | Balanced_tree -> Balanced_tree.node_bytes
-  | Linked_list | Aggregation_tree | Korder_tree _ | Two_scan -> 16
+  | Parallel { inner; _ } -> node_bytes inner
+  | Linked_list | Aggregation_tree | Korder_tree _ | Two_scan | Sweep -> 16
 
-let eval ?origin ?horizon ?instrument algorithm monoid data =
+let rec eval : type v s r.
+    ?origin:Chronon.t ->
+    ?horizon:Chronon.t ->
+    ?instrument:Instrument.t ->
+    algorithm ->
+    (v, s, r) Monoid.t ->
+    (Interval.t * v) Seq.t ->
+    r Timeline.t =
+ fun ?origin ?horizon ?instrument algorithm monoid data ->
   match algorithm with
   | Linked_list -> Linked_list.eval ?origin ?horizon ?instrument monoid data
   | Aggregation_tree -> Agg_tree.eval ?origin ?horizon ?instrument monoid data
@@ -52,6 +103,15 @@ let eval ?origin ?horizon ?instrument algorithm monoid data =
       Korder_tree.eval ?origin ?horizon ?instrument ~k monoid data
   | Balanced_tree -> Balanced_tree.eval ?origin ?horizon ?instrument monoid data
   | Two_scan -> Two_scan.eval ?origin ?horizon ?instrument monoid data
+  | Sweep -> Sweep.eval ?origin ?horizon ?instrument monoid data
+  | Parallel { domains; inner } ->
+      (* Shards evaluate to state timelines (output deferred) so that the
+         pairwise merge can run under the monoid's combine. *)
+      let state_monoid = { monoid with Monoid.output = Fun.id } in
+      Parallel.eval ?instrument ~domains
+        ~eval_shard:(fun ~instrument shard ->
+          eval ?origin ?horizon ?instrument inner state_monoid shard)
+        monoid data
 
 let eval_with_stats ?origin ?horizon algorithm monoid data =
   let inst = Instrument.create ~node_bytes:(node_bytes algorithm) () in

@@ -9,20 +9,30 @@ type algorithm =
       (** Section 5.3 — garbage-collected tree for k-ordered input. *)
   | Balanced_tree  (** Section 7 future work — AVL-balanced variant. *)
   | Two_scan  (** Section 4.1 — Tuma's prior-work baseline. *)
+  | Sweep
+      (** Flat-array endpoint sweep (see {!Sweep}): delta summation for
+          invertible monoids, flat segment tree otherwise. *)
+  | Parallel of { domains : int; inner : algorithm }
+      (** Divide-and-conquer over OCaml 5 domains (see {!Parallel}):
+          shard, evaluate each shard with [inner], merge pairwise. *)
 
 val name : algorithm -> string
-(** E.g. ["linked-list"], ["ktree(4)"]. *)
+(** E.g. ["linked-list"], ["ktree(4)"], ["parallel(4,sweep)"]. *)
 
 val of_string : string -> (algorithm, string) result
-(** Inverse of {!name}; accepts ["ktree(K)"] with any non-negative K, and
-    underscores in place of hyphens (for TSQL [USING] hints, where an
-    identifier cannot contain a hyphen). *)
+(** Inverse of {!name}; accepts ["ktree(K)"] with any non-negative K,
+    ["parallel(D)"] (inner defaulting to the sweep) and
+    ["parallel(D,ALGO)"] with any nested algorithm, and underscores in
+    place of hyphens (for TSQL [USING] hints, where an identifier cannot
+    contain a hyphen). *)
 
 val all : algorithm list
-(** One representative of each family (Korder with [k = 1]). *)
+(** One representative of each family (Korder with [k = 1]; Parallel with
+    2 domains over the sweep). *)
 
 val node_bytes : algorithm -> int
-(** Per-node memory cost: 16 except {!Balanced_tree} (20). *)
+(** Per-node memory cost: 16 except {!Balanced_tree} (20); {!Parallel}
+    inherits its inner algorithm's cost. *)
 
 val eval :
   ?origin:Chronon.t ->

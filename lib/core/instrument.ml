@@ -41,6 +41,11 @@ let snapshot (t : t) =
     peak_bytes = peak_bytes t;
   }
 
+let absorb (t : t) (s : snapshot) =
+  t.allocated <- t.allocated + s.allocated;
+  t.live <- t.live + s.peak_live;
+  if t.live > t.peak_live then t.peak_live <- t.live
+
 let pp_snapshot ppf s =
   Format.fprintf ppf "allocated=%d peak_live=%d peak_bytes=%d" s.allocated
     s.peak_live s.peak_bytes

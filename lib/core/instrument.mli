@@ -39,4 +39,13 @@ type snapshot = {
 }
 
 val snapshot : t -> snapshot
+
+val absorb : t -> snapshot -> unit
+(** Fold a child instrument's snapshot into [t]: the child's allocations
+    are added to [t]'s total, and its peak joins [t]'s live count (so
+    absorbing the snapshots of several concurrently-running children
+    before releasing them with {!free_many} makes [t]'s peak the sum of
+    the children's peaks — the honest multicore accounting, since the
+    children's states were live at the same time). *)
+
 val pp_snapshot : Format.formatter -> snapshot -> unit

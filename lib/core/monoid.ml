@@ -4,7 +4,10 @@ type ('v, 's, 'r) t = {
   inject : 'v -> 's;
   combine : 's -> 's -> 's;
   output : 's -> 'r;
+  inverse : ('s -> 's) option;
 }
+
+let invertible m = Option.is_some m.inverse
 
 let count =
   {
@@ -13,6 +16,7 @@ let count =
     inject = (fun _ -> 1);
     combine = ( + );
     output = Fun.id;
+    inverse = Some Int.neg;
   }
 
 let sum_int =
@@ -22,6 +26,7 @@ let sum_int =
     inject = Fun.id;
     combine = ( + );
     output = Fun.id;
+    inverse = Some Int.neg;
   }
 
 let sum_float =
@@ -31,6 +36,7 @@ let sum_float =
     inject = Fun.id;
     combine = ( +. );
     output = Fun.id;
+    inverse = Some Float.neg;
   }
 
 let semilattice name better ~compare =
@@ -44,6 +50,9 @@ let semilattice name better ~compare =
         | None, x | x, None -> x
         | Some x, Some y -> Some (if better (compare x y) then x else y));
     output = Fun.id;
+    (* Semilattices are idempotent, hence never invertible: once a value
+       has been absorbed into the state there is no way to retract it. *)
+    inverse = None;
   }
 
 let minimum ~compare = semilattice "min" (fun c -> c <= 0) ~compare
@@ -59,6 +68,7 @@ let avg_int =
     combine = (fun (s1, c1) (s2, c2) -> (s1 + s2, c1 + c2));
     output =
       (fun (s, c) -> if c = 0 then None else Some (float_of_int s /. float_of_int c));
+    inverse = Some (fun (s, c) -> (-s, -c));
   }
 
 let avg_float =
@@ -68,6 +78,7 @@ let avg_float =
     inject = (fun v -> (v, 1));
     combine = (fun (s1, c1) (s2, c2) -> (s1 +. s2, c1 + c2));
     output = (fun (s, c) -> if c = 0 then None else Some (s /. float_of_int c));
+    inverse = Some (fun (s, c) -> (-.s, -c));
   }
 
 let pair a b =
@@ -77,6 +88,10 @@ let pair a b =
     inject = (fun v -> (a.inject v, b.inject v));
     combine = (fun (x1, y1) (x2, y2) -> (a.combine x1 x2, b.combine y1 y2));
     output = (fun (x, y) -> (a.output x, b.output y));
+    inverse =
+      (match (a.inverse, b.inverse) with
+      | Some ia, Some ib -> Some (fun (x, y) -> (ia x, ib y))
+      | _ -> None);
   }
 
 let contramap f m = { m with inject = (fun w -> m.inject (f w)) }
@@ -88,6 +103,7 @@ let map_output f m =
     inject = m.inject;
     combine = m.combine;
     output = (fun s -> f (m.output s));
+    inverse = m.inverse;
   }
 
 let state_bytes m =
@@ -111,6 +127,7 @@ let variance =
           let mean = s /. n in
           (* Clamp tiny negative rounding residue. *)
           Some (Float.max 0. ((q /. n) -. (mean *. mean))));
+    inverse = Some (fun (c, s, q) -> (-c, -.s, -.q));
   }
 
 let stddev =

@@ -28,7 +28,17 @@ type ('v, 's, 'r) t = {
   inject : 'v -> 's;
   combine : 's -> 's -> 's;
   output : 's -> 'r;
+  inverse : ('s -> 's) option;
+      (** When present, the monoid is a commutative {e group}:
+          [combine s (inverse s) = empty].  Count, sum, average and
+          variance are invertible (delta summation); min and max,
+          being idempotent semilattices, are not.  Invertibility lets
+          the {!Sweep} evaluator retract a tuple's contribution when
+          its interval ends instead of recombining the active set. *)
 }
+
+val invertible : _ t -> bool
+(** [invertible m] is [true] iff {!field:inverse} is present. *)
 
 val count : ('v, int, int) t
 (** Number of tuples overlapping each instant. *)

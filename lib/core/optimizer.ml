@@ -4,6 +4,7 @@ type metadata = {
   retroactive_bound : int option;
   memory_budget : int option;
   expected_constant_intervals : int option;
+  invertible_aggregate : bool;
 }
 
 let default_metadata ~cardinality =
@@ -13,6 +14,7 @@ let default_metadata ~cardinality =
     retroactive_bound = None;
     memory_budget = None;
     expected_constant_intervals = None;
+    invertible_aggregate = false;
   }
 
 type choice = {
@@ -78,13 +80,28 @@ let choose md =
                       tree_bytes budget;
                 }
             | Some _ | None ->
-                {
-                  algorithm = Engine.Aggregation_tree;
-                  sort_first = false;
-                  rationale =
-                    "unordered relation and memory is available: the \
-                     aggregation tree is fastest on random order";
-                }))
+                if md.invertible_aggregate then
+                  {
+                    algorithm = Engine.Sweep;
+                    sort_first = false;
+                    rationale =
+                      "unordered relation, memory is available and the \
+                       aggregate is invertible: the flat delta-sweep is a \
+                       single cache-friendly O(n log n) pass over sorted \
+                       endpoint events (its ~4n+1 flat cells fit the same \
+                       budget as the tree's nodes)";
+                  }
+                else
+                  {
+                    algorithm = Engine.Aggregation_tree;
+                    sort_first = false;
+                    rationale =
+                      "unordered relation and memory is available: the \
+                       aggregation tree is fastest on random order among \
+                       the pointer-based algorithms, and the aggregate is \
+                       not invertible, ruling out the delta-sweep's fast \
+                       path";
+                  }))
 
 let pp_choice ppf c =
   Format.fprintf ppf "%s%s — %s"

@@ -10,7 +10,9 @@
     - relation declared retroactively bounded by [k]: k-ordered tree with
       that [k], no sorting required;
     - otherwise, if memory is cheaper than the disk I/O of sorting:
-      the aggregation tree;
+      the flat delta-{!Engine.Sweep} when the aggregate is invertible
+      (count/sum/avg — one cache-friendly pass, see {!Sweep}), else the
+      aggregation tree;
     - otherwise: sort first, then the k-ordered tree with [k = 1]
       ("the simplest strategy", the paper's headline recommendation). *)
 
@@ -25,10 +27,15 @@ type metadata = {
   expected_constant_intervals : int option;
       (** Estimate of the result size, when grouping coarser than the
           data (e.g. by span). *)
+  invertible_aggregate : bool;
+      (** The aggregate monoid has an inverse ({!Monoid.invertible}):
+          count/sum/avg/variance but not min/max.  Enables the
+          delta-sweep's O(n log n) fast path. *)
 }
 
 val default_metadata : cardinality:int -> metadata
-(** Unordered, no bound, unlimited memory, unknown result size. *)
+(** Unordered, no bound, unlimited memory, unknown result size,
+    aggregate assumed non-invertible. *)
 
 type choice = {
   algorithm : Engine.algorithm;

@@ -1,0 +1,79 @@
+open Temporal
+
+(* Contiguous shards so that any ordering property of the input (time
+   sortedness, k-orderedness) survives sharding: a contiguous slice of a
+   k-ordered sequence is itself k-ordered, so a k-ordered tree is a valid
+   inner algorithm. *)
+let shard_bounds ~shards n i = (i * n / shards, (i + 1) * n / shards)
+
+let eval ?instrument ~domains ~eval_shard monoid data =
+  if domains < 1 then invalid_arg "Parallel.eval: domains must be >= 1";
+  let tuples = Array.of_seq data in
+  let n = Array.length tuples in
+  let d = if n = 0 then 1 else min domains n in
+  if d = 1 then
+    (* No parallelism to extract: evaluate inline, no domain overhead. *)
+    Timeline.map monoid.Monoid.output
+      (eval_shard ~instrument (Array.to_seq tuples))
+  else begin
+    let node_bytes =
+      match instrument with
+      | Some i -> Instrument.node_bytes i
+      | None -> 16
+    in
+    let shard_instruments =
+      Array.init d (fun _ ->
+          Option.map
+            (fun _ -> Instrument.create ~node_bytes ())
+            instrument)
+    in
+    let run i =
+      let lo, hi = shard_bounds ~shards:d n i in
+      eval_shard ~instrument:shard_instruments.(i)
+        (Array.to_seq (Array.sub tuples lo (hi - lo)))
+    in
+    let handles =
+      Array.init (d - 1) (fun i -> Domain.spawn (fun () -> run (i + 1)))
+    in
+    let results = Array.make d None in
+    let first_exn = ref None in
+    (match run 0 with
+    | r -> results.(0) <- Some r
+    | exception e -> first_exn := Some e);
+    (* Join every domain even if a shard failed, so no domain leaks. *)
+    Array.iteri
+      (fun i handle ->
+        match Domain.join handle with
+        | r -> results.(i + 1) <- Some r
+        | exception e -> if Option.is_none !first_exn then first_exn := Some e)
+      handles;
+    (match !first_exn with Some e -> raise e | None -> ());
+    (* The shards ran concurrently: their peaks were live at the same
+       time, so the parent's peak is their sum. *)
+    (match instrument with
+    | None -> ()
+    | Some inst ->
+        let total = ref 0 in
+        Array.iter
+          (function
+            | None -> ()
+            | Some shard_inst ->
+                let s = Instrument.snapshot shard_inst in
+                total := !total + s.Instrument.peak_live;
+                Instrument.absorb inst s)
+          shard_instruments;
+        Instrument.free_many inst !total);
+    let timeline i =
+      match results.(i) with Some t -> t | None -> assert false
+    in
+    (* Pairwise divide-and-conquer merge: each level halves the number of
+       timelines, so every segment is touched O(log d) times. *)
+    let rec reduce lo hi =
+      if hi - lo = 1 then timeline lo
+      else
+        let mid = (lo + hi) / 2 in
+        Timeline.merge ~combine:monoid.Monoid.combine (reduce lo mid)
+          (reduce mid hi)
+    in
+    Timeline.map monoid.Monoid.output (reduce 0 d)
+  end

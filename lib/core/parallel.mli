@@ -1,0 +1,49 @@
+(** Multicore divide-and-conquer evaluation over OCaml 5 domains.
+
+    Temporal aggregation is embarrassingly parallel in the tuples: shard
+    the relation, evaluate each shard with {e any} inner algorithm into a
+    timeline of partial-aggregate {e states} over the full time-line, and
+    fold the shard timelines together with {!Timeline.merge} under the
+    monoid's [combine] — commutativity and associativity (the same laws
+    the aggregation tree relies on) make the result independent of the
+    sharding.
+
+    Sharding is contiguous, so a time-sorted or k-ordered input stays
+    sorted/k-ordered within each shard and the k-ordered tree remains a
+    valid inner algorithm.
+
+    This module is algorithm-agnostic: the caller supplies [eval_shard]
+    (normally a closure over {!Engine.eval} with the inner algorithm and
+    the state monoid [{ m with output = Fun.id }]); {!Engine.eval}'s
+    [Parallel] variant is the packaged form. *)
+
+open Temporal
+
+val eval :
+  ?instrument:Instrument.t ->
+  domains:int ->
+  eval_shard:
+    (instrument:Instrument.t option ->
+    (Interval.t * 'v) Seq.t ->
+    's Timeline.t) ->
+  ('v, 's, 'r) Monoid.t ->
+  (Interval.t * 'v) Seq.t ->
+  'r Timeline.t
+(** [eval ~domains ~eval_shard monoid data] splits [data] into at most
+    [domains] contiguous shards, evaluates shard 0 on the current domain
+    and the rest on freshly spawned domains, then merges the shard
+    timelines pairwise and applies [monoid.output].
+
+    [eval_shard] must return a timeline of monoid {e states} (not
+    outputs) covering the same [[origin, horizon]] stretch for every
+    shard, including the empty shard.  Each shard gets its own
+    {!Instrument} (no cross-domain mutation); their snapshots are
+    absorbed into the parent instrument after the join, with peaks
+    summed, since the shards ran concurrently.
+
+    With [domains = 1] (or fewer tuples than domains beyond a point) the
+    evaluation runs inline with no domain overhead.
+
+    @raise Invalid_argument if [domains < 1].  Exceptions raised by a
+    shard (e.g. {!Korder_tree.Order_violation}) are re-raised after all
+    domains have been joined. *)

@@ -2,25 +2,30 @@ type 'a t = (Interval.t * 'a) array
 (* Array representation keeps [value_at] a binary search and avoids
    re-validating the contiguity invariant on every traversal. *)
 
-let check_contiguous segs =
+let check_contiguous ~what segs =
   let n = Array.length segs in
-  if n = 0 then invalid_arg "Timeline.of_list: empty timeline";
+  if n = 0 then invalid_arg (what ^ ": empty timeline");
   for i = 0 to n - 2 do
     let prev, _ = segs.(i) and next, _ = segs.(i + 1) in
     let expected =
       if Chronon.is_finite (Interval.stop prev) then
         Chronon.succ (Interval.stop prev)
-      else invalid_arg "Timeline.of_list: segment after an infinite segment"
+      else invalid_arg (what ^ ": segment after an infinite segment")
     in
     if not (Chronon.equal (Interval.start next) expected) then
       invalid_arg
-        (Printf.sprintf "Timeline.of_list: gap or overlap between %s and %s"
+        (Printf.sprintf "%s: gap or overlap between %s and %s" what
            (Interval.to_string prev) (Interval.to_string next))
   done
 
 let of_list l =
   let segs = Array.of_list l in
-  check_contiguous segs;
+  check_contiguous ~what:"Timeline.of_list" segs;
+  segs
+
+let init n f =
+  let segs = Array.init n f in
+  check_contiguous ~what:"Timeline.init" segs;
   segs
 
 let to_list = Array.to_list
@@ -70,6 +75,24 @@ let refine a b =
     let iva, va = a.(!i) and ivb, vb = b.(!j) in
     let stop = Chronon.min (Interval.stop iva) (Interval.stop ivb) in
     out := (Interval.make !cursor stop, (va, vb)) :: !out;
+    if Chronon.equal stop (Interval.stop iva) then incr i;
+    if Chronon.equal stop (Interval.stop ivb) then incr j;
+    if Chronon.is_finite stop then cursor := Chronon.succ stop
+  done;
+  Array.of_list (List.rev !out)
+
+let merge ~combine a b =
+  if not (Interval.equal (cover a) (cover b)) then
+    invalid_arg "Timeline.merge: covers differ";
+  (* Same zip as [refine], but combining the two values in place instead
+     of pairing them: one O(n+m) pass, no intermediate pair segments. *)
+  let out = ref [] in
+  let i = ref 0 and j = ref 0 in
+  let cursor = ref (Interval.start (cover a)) in
+  while !i < Array.length a && !j < Array.length b do
+    let iva, va = a.(!i) and ivb, vb = b.(!j) in
+    let stop = Chronon.min (Interval.stop iva) (Interval.stop ivb) in
+    out := (Interval.make !cursor stop, combine va vb) :: !out;
     if Chronon.equal stop (Interval.stop iva) then incr i;
     if Chronon.equal stop (Interval.stop ivb) then incr j;
     if Chronon.is_finite stop then cursor := Chronon.succ stop

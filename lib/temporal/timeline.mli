@@ -16,6 +16,12 @@ type 'a t
 val of_list : (Interval.t * 'a) list -> 'a t
 (** Validates the invariants. @raise Invalid_argument if they fail. *)
 
+val init : int -> (int -> Interval.t * 'a) -> 'a t
+(** [init n f] is the timeline of segments [f 0 .. f (n-1)], validated
+    like {!of_list} but without materializing an intermediate list —
+    the cheap constructor for algorithms that already know their segment
+    count.  @raise Invalid_argument if the invariants fail. *)
+
 val to_list : 'a t -> (Interval.t * 'a) list
 
 val singleton : Interval.t -> 'a -> 'a t
@@ -44,6 +50,17 @@ val coalesce : equal:('a -> 'a -> bool) -> 'a t -> 'a t
 val refine : 'a t -> 'b t -> ('a * 'b) t
 (** [refine a b] splits both timelines at the union of their boundaries and
     pairs the values.  The covers must be equal.
+    @raise Invalid_argument if the covers differ. *)
+
+val merge : combine:('a -> 'a -> 'a) -> 'a t -> 'a t -> 'a t
+(** [merge ~combine a b] zips two timelines over the same cover into one,
+    splitting at the union of their boundaries and combining the values of
+    the overlapping segments — the parallel divide-and-conquer step: two
+    partial-aggregate timelines computed over disjoint tuple shards merge
+    into the timeline of their union.  O(n+m), one pass.  When [combine]
+    is the combine of a commutative monoid, [merge] is associative and
+    commutative, and a single-segment timeline carrying [empty] is an
+    identity up to segment refinement.
     @raise Invalid_argument if the covers differ. *)
 
 val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool

@@ -23,7 +23,8 @@
     fn     ::= COUNT | SUM | AVG | MIN | MAX
     pred   ::= ident op literal ; op in = <> < <= > >=
     group  ::= ident | INSTANT | SPAN int
-    algo   ::= ident ['(' int ')']       e.g. USING ktree(4)
+    algo   ::= ident ['(' int [',' algo] ')']
+               e.g. USING ktree(4), USING parallel(4, sweep)
     v} *)
 
 type agg_fun = Count | Sum | Avg | Min | Max

@@ -38,12 +38,24 @@ let agg_timeline plan tuples (spec : Semant.agg_spec) =
       List.to_seq (Tempagg.Distinct.prepare ~compare:Value.compare data)
     else data
   in
+  (* The value-ordered distinct stream is no longer k-ordered, even
+     inside a parallel shard (contiguous sharding preserves input order,
+     but the distinct preparation re-sorts by value first). *)
+  let rec needs_time_order = function
+    | Tempagg.Engine.Korder_tree _ -> true
+    | Tempagg.Engine.Parallel { inner; _ } -> needs_time_order inner
+    | _ -> false
+  in
+  let rec without_korder = function
+    | Tempagg.Engine.Korder_tree _ -> Tempagg.Engine.Aggregation_tree
+    | Tempagg.Engine.Parallel { domains; inner } ->
+        Tempagg.Engine.Parallel { domains; inner = without_korder inner }
+    | a -> a
+  in
   let plan =
-    match (spec.Semant.distinct, plan.Semant.algorithm) with
-    | true, Tempagg.Engine.Korder_tree _ ->
-        (* The value-ordered distinct stream is no longer k-ordered. *)
-        { plan with Semant.algorithm = Tempagg.Engine.Aggregation_tree }
-    | _ -> plan
+    if spec.Semant.distinct && needs_time_order plan.Semant.algorithm then
+      { plan with Semant.algorithm = without_korder plan.Semant.algorithm }
+    else plan
   in
   let module M = Tempagg.Monoid in
   match (spec.Semant.fn, spec.Semant.column_ty) with
@@ -185,9 +197,37 @@ let run (plan : Semant.plan) =
 
 let ( let* ) = Result.bind
 
-let query catalog text =
+(* Command-line overrides: --algorithm replaces the planned algorithm
+   outright; --domains N (N > 1) wraps whatever was chosen in a parallel
+   divide-and-conquer over N OCaml domains. *)
+let apply_overrides ?algorithm ?domains plan =
+  let plan =
+    match algorithm with
+    | None -> plan
+    | Some a ->
+        {
+          plan with
+          Semant.algorithm = a;
+          rationale =
+            Printf.sprintf "--algorithm override: %s" (Tempagg.Engine.name a);
+        }
+  in
+  match domains with
+  | Some d when d > 1 ->
+      {
+        plan with
+        Semant.algorithm =
+          Tempagg.Engine.Parallel { domains = d; inner = plan.Semant.algorithm };
+        rationale =
+          plan.Semant.rationale
+          ^ Printf.sprintf "; sharded across %d domains (--domains)" d;
+      }
+  | _ -> plan
+
+let query ?algorithm ?domains catalog text =
   let* ast = Parser.parse text in
   let* plan = Semant.analyze catalog ast in
+  let plan = apply_overrides ?algorithm ?domains plan in
   match run plan with
   | rel -> Ok rel
   | exception Invalid_argument msg -> Error ("evaluation failed: " ^ msg)
@@ -198,9 +238,10 @@ let query catalog text =
             %d); sort the relation or raise k"
            position)
 
-let explain catalog text =
+let explain ?algorithm ?domains catalog text =
   let* ast = Parser.parse text in
   let* plan = Semant.analyze catalog ast in
+  let plan = apply_overrides ?algorithm ?domains plan in
   let grouping =
     match plan.Semant.granule with
     | None -> "by instant"

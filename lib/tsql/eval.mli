@@ -16,9 +16,25 @@
 val run : Semant.plan -> Relation.Trel.t
 (** Execute an analyzed plan. *)
 
-val query : Catalog.t -> string -> (Relation.Trel.t, string) result
-(** Parse, analyze and run: the whole pipeline. *)
+val query :
+  ?algorithm:Tempagg.Engine.algorithm ->
+  ?domains:int ->
+  Catalog.t ->
+  string ->
+  (Relation.Trel.t, string) result
+(** Parse, analyze and run: the whole pipeline.  [?algorithm] overrides
+    the planned evaluation algorithm (the CLI's [--algorithm]);
+    [?domains] with a value above 1 wraps the planned algorithm in
+    {!Tempagg.Engine.Parallel} over that many OCaml domains (the CLI's
+    [--domains]). *)
 
-val explain : Catalog.t -> string -> (string, string) result
+val explain :
+  ?algorithm:Tempagg.Engine.algorithm ->
+  ?domains:int ->
+  Catalog.t ->
+  string ->
+  (string, string) result
 (** Parse and analyze only; describe the chosen strategy (algorithm,
-    sorting, grouping) without running the query. *)
+    sorting, grouping) without running the query.  Takes the same
+    overrides as {!query} so [explain] shows exactly what [query] would
+    run. *)

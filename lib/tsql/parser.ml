@@ -129,15 +129,27 @@ let group_elements st =
   ignore (comma_separated st (fun st -> element st));
   (List.rev !attrs, Option.value !temporal ~default:Ast.By_instant)
 
-let using_clause st =
+(* USING algo, algo ::= ident ['(' int [',' algo] ')'] — the optional
+   second argument nests an inner algorithm, e.g.
+   USING parallel(4, ktree(1)).  The clause re-serializes to the string
+   form Engine.of_string parses. *)
+let rec using_clause st =
   let name = ident st in
   if peek st = Lexer.LPAREN then begin
     advance st;
     match peek st with
     | Lexer.INT n ->
         advance st;
-        expect st Lexer.RPAREN "')'";
-        Printf.sprintf "%s(%d)" name n
+        if peek st = Lexer.COMMA then begin
+          advance st;
+          let inner = using_clause st in
+          expect st Lexer.RPAREN "')'";
+          Printf.sprintf "%s(%d,%s)" name n inner
+        end
+        else begin
+          expect st Lexer.RPAREN "')'";
+          Printf.sprintf "%s(%d)" name n
+        end
     | _ -> fail st "an integer argument"
   end
   else name

@@ -140,7 +140,19 @@ let uniquify names =
           Printf.sprintf "%s_%d" name (n + 1))
     names
 
-let choose_algorithm relation (q : Ast.query) granule window =
+(* Whether every selected aggregate maps to an invertible monoid
+   (Monoid.invertible): COUNT/SUM/AVG subtract cleanly, MIN/MAX are
+   idempotent semilattices and do not.  One algorithm serves the whole
+   query, so the delta-sweep fast path needs them all invertible. *)
+let all_invertible aggregates =
+  List.for_all
+    (fun spec ->
+      match spec.fn with
+      | Ast.Count | Ast.Sum | Ast.Avg -> true
+      | Ast.Min | Ast.Max -> false)
+    aggregates
+
+let choose_algorithm relation (q : Ast.query) ~invertible granule window =
   match q.Ast.using with
   | Some hint ->
       let* algorithm = Tempagg.Engine.of_string hint in
@@ -177,6 +189,7 @@ let choose_algorithm relation (q : Ast.query) granule window =
           with
           Tempagg.Optimizer.time_ordered = Trel.is_time_ordered relation;
           expected_constant_intervals;
+          invertible_aggregate = invertible;
         }
       in
       let choice = Tempagg.Optimizer.choose metadata in
@@ -241,7 +254,8 @@ let analyze catalog (q : Ast.query) =
       q.Ast.during
   in
   let* algorithm, sort_first, rationale =
-    choose_algorithm relation q granule window
+    choose_algorithm relation q ~invertible:(all_invertible aggregates)
+      granule window
   in
   let group_cols_schema =
     List.map

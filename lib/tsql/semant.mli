@@ -14,7 +14,8 @@
     When no USING hint is given, the algorithm is chosen by
     {!Tempagg.Optimizer.choose} from what is known about the relation
     (cardinality, physical time-orderedness, expected result size under
-    span grouping). *)
+    span grouping) and about the query (whether every selected aggregate
+    is invertible — COUNT/SUM/AVG — which enables the delta-sweep). *)
 
 type agg_spec = {
   fn : Ast.agg_fun;

@@ -1,0 +1,71 @@
+(* Smoke test for the benchmark harness: the sweep section must run end
+   to end at a small size, and --csv must create nested output
+   directories (Sys.mkdir is not recursive; save_csv's mkdir_p is). *)
+
+(* The bench binary sits next to this test in the build tree:
+   _build/default/{test/test_bench_smoke.exe, bench/main.exe}. *)
+let bench =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    (Filename.concat "bench" "main.exe")
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let run args =
+  let out = Filename.temp_file "tempagg_bench" ".out" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists out then Sys.remove out)
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s %s > %s 2>&1" bench
+          (String.concat " " (List.map Filename.quote args))
+          out
+      in
+      let code = Sys.command cmd in
+      (code, In_channel.with_open_text out In_channel.input_all))
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let test_sweep_section () =
+  let dir = Filename.temp_file "tempagg_bench" "" in
+  Sys.remove dir;
+  (* Two levels below a directory that does not exist yet: the exact
+     shape that crashed the old non-recursive save_csv. *)
+  let csv_dir = Filename.concat (Filename.concat dir "nested") "sub" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      let code, out =
+        run
+          [
+            "--sections"; "sweep"; "--max-size"; "512"; "--repeats"; "1";
+            "--csv"; csv_dir;
+          ]
+      in
+      Alcotest.(check int) "exit 0" 0 code;
+      Alcotest.(check bool) "prints the sweep banner" true
+        (contains out "sweep:");
+      Alcotest.(check bool) "prints domain scaling" true
+        (contains out "domain scaling at n = 512");
+      let csv = Filename.concat csv_dir "sweep.csv" in
+      Alcotest.(check bool) "csv written under nested dirs" true
+        (Sys.file_exists csv);
+      let contents = In_channel.with_open_text csv In_channel.input_all in
+      Alcotest.(check bool) "csv mentions the sweep series" true
+        (contains contents "sweep (count)"))
+
+let () =
+  Alcotest.run "bench-smoke"
+    [
+      ( "bench",
+        [ Alcotest.test_case "sweep section + nested csv" `Quick
+            test_sweep_section ] );
+    ]

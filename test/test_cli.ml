@@ -59,7 +59,28 @@ let test_query_error_reported () =
 let test_explain () =
   let code, out = run [ "explain"; "SELECT COUNT(*) FROM Employed" ] in
   Alcotest.(check int) "exit 0" 0 code;
-  check_contains out "aggregation-tree"
+  (* COUNT is invertible, so the optimizer picks the delta-sweep. *)
+  check_contains out "sweep";
+  (* MIN is not, so it falls back to the aggregation tree; --domains
+     wraps the choice in the parallel divide-and-conquer. *)
+  let code, out =
+    run
+      [ "explain"; "--domains"; "2"; "SELECT MIN(Salary) FROM Employed" ]
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains out "parallel(2,aggregation-tree)"
+
+let test_query_algorithm_override () =
+  let code, out =
+    run
+      [
+        "query"; "--algorithm"; "parallel(4,sweep)";
+        "SELECT COUNT(Name) FROM Employed";
+      ]
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains out "| [18,20] |";
+  check_contains out "[22,oo]"
 
 let test_generate_metrics_roundtrip () =
   with_tempdir (fun dir ->
@@ -128,6 +149,7 @@ let () =
           quick "query Employed (Table 1)" test_query_employed;
           quick "query error reported" test_query_error_reported;
           quick "explain" test_explain;
+          quick "query --algorithm override" test_query_algorithm_override;
           quick "generate + metrics" test_generate_metrics_roundtrip;
           quick "convert + extsort + query pipeline"
             test_convert_extsort_query_pipeline;

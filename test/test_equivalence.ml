@@ -49,8 +49,18 @@ let algorithms_against_reference ~name ~monoid ~equal_r =
       && same (Two_scan.eval monoid (seq ()))
       && same (Balanced_tree.eval monoid (seq ()))
       && same (Korder_tree.eval ~k:(k_of data) monoid (seq ()))
+      && same (Korder_tree.eval ~k:1 monoid (List.to_seq (sort_data data)))
+      (* The sweep exercises both of its paths here: delta summation for
+         the invertible monoids, the flat segment tree for min/max. *)
+      && same (Sweep.eval monoid (seq ()))
       && same
-           (Korder_tree.eval ~k:1 monoid (List.to_seq (sort_data data))))
+           (Engine.eval
+              (Engine.Parallel { domains = 2; inner = Engine.Sweep })
+              monoid (seq ()))
+      && same
+           (Engine.eval
+              (Engine.Parallel { domains = 3; inner = Engine.Aggregation_tree })
+              monoid (seq ())))
 
 let count_vs_reference =
   algorithms_against_reference ~name:"count = reference (all algorithms)"
@@ -181,6 +191,63 @@ let span_vs_reference =
           Timeline.value_at tl p = Some expected)
         [ 0; 1; 7; 50; 119; 200 ])
 
+(* Timeline.merge is the divide-and-conquer combination step: it must be
+   a commutative-monoid operation on timelines (up to refinement of the
+   segment boundaries) and agree pointwise with combining value_at. *)
+
+let timeline_of data = Agg_tree.eval Monoid.count (List.to_seq data)
+
+let gen_three =
+  QCheck2.Gen.(triple (gen_data ()) (gen_data ()) (gen_data ()))
+
+let print_three (a, b, c) =
+  Printf.sprintf "%s | %s | %s" (print_data a) (print_data b) (print_data c)
+
+let merge_associative_commutative =
+  QCheck2.Test.make ~name:"Timeline.merge associative and commutative"
+    ~count:200 ~print:print_three gen_three
+    (fun (da, db, dc) ->
+      let a = timeline_of da and b = timeline_of db and c = timeline_of dc in
+      let merge = Timeline.merge ~combine:( + ) in
+      Timeline.equal Int.equal (merge (merge a b) c) (merge a (merge b c))
+      && Timeline.equal Int.equal (merge a b) (merge b a))
+
+let merge_identity =
+  QCheck2.Test.make ~name:"Timeline.merge: empty-state timeline is identity"
+    ~count:200 ~print:print_data (gen_data ())
+    (fun data ->
+      let a = timeline_of data in
+      let identity = Timeline.singleton Interval.full 0 in
+      (* Identity up to refinement: merging splits no values, so
+         coalescing recovers the original function of time. *)
+      Timeline.equivalent Int.equal
+        (Timeline.merge ~combine:( + ) a identity)
+        a)
+
+let merge_preserves_cover =
+  QCheck2.Test.make ~name:"Timeline.merge preserves the cover" ~count:200
+    ~print:(fun (a, b) ->
+      Printf.sprintf "%s | %s" (print_data a) (print_data b))
+    QCheck2.Gen.(pair (gen_data ()) (gen_data ()))
+    (fun (da, db) ->
+      let a = timeline_of da and b = timeline_of db in
+      let merged = Timeline.merge ~combine:( + ) a b in
+      Interval.equal (Timeline.cover merged) (Timeline.cover a))
+
+let merge_pointwise =
+  QCheck2.Test.make ~name:"Timeline.merge agrees with pointwise value_at"
+    ~count:200
+    ~print:(fun ((a, b), probe) ->
+      Printf.sprintf "%s | %s @ %d" (print_data a) (print_data b) probe)
+    QCheck2.Gen.(pair (pair (gen_data ()) (gen_data ())) (int_bound 200))
+    (fun ((da, db), probe) ->
+      let a = timeline_of da and b = timeline_of db in
+      let merged = Timeline.merge ~combine:( + ) a b in
+      let p = c probe in
+      Timeline.value_at merged p
+      = Option.bind (Timeline.value_at a p) (fun va ->
+            Option.map (fun vb -> va + vb) (Timeline.value_at b p)))
+
 (* With an understated k the algorithm must never return a wrong answer
    silently: it either still happens to be correct (gc never overtook the
    disorder) or raises Order_violation. *)
@@ -220,5 +287,14 @@ let () =
             korder_any_sufficient_k;
             korder_understated_k_safe;
             span_vs_reference;
+          ] );
+      ( "merge",
+        List.map
+          (QCheck_alcotest.to_alcotest ~long:false)
+          [
+            merge_associative_commutative;
+            merge_identity;
+            merge_preserves_cover;
+            merge_pointwise;
           ] );
     ]
