@@ -13,11 +13,28 @@
 open Cmdliner
 
 (* CSV or heap file, by extension. *)
-let load_relation path =
-  if Filename.check_suffix path ".heap" then
-    match Storage.Heap_file.read_relation ~stats:(Storage.Io_stats.create ()) path with
-    | rel -> Ok rel
+let load_relation ?fault ?on_corrupt path =
+  if Filename.check_suffix path ".heap" then begin
+    let stats = Storage.Io_stats.create () in
+    match Storage.Heap_file.read_relation ?fault ?on_corrupt ~stats path with
+    | rel ->
+        (* Recovery is never silent: report retried and skipped pages. *)
+        if Storage.Io_stats.retries stats > 0 then
+          Printf.eprintf "%s: recovered from %d transient read fault(s)\n%!"
+            path
+            (Storage.Io_stats.retries stats);
+        if Storage.Io_stats.corrupt_pages stats > 0 then
+          Printf.eprintf "%s: skipped %d corrupt page(s)\n%!" path
+            (Storage.Io_stats.corrupt_pages stats);
+        Ok rel
     | exception Invalid_argument msg -> Error (Printf.sprintf "%s: %s" path msg)
+    | exception Storage.Heap_file.Corrupt_page { page; _ } ->
+        Error
+          (Printf.sprintf
+             "%s: page %d failed its checksum (re-create the file, or pass \
+              --on-error fallback/skip to scan around it)"
+             path page)
+  end
   else
     match Relation.Csv_io.load path with
     | Ok rel -> Ok rel
@@ -37,14 +54,14 @@ let parse_binding spec =
         String.sub spec (i + 1) (String.length spec - i - 1) )
   | None -> (Filename.remove_extension (Filename.basename spec), spec)
 
-let build_catalog bindings =
+let build_catalog ?fault ?on_corrupt bindings =
   List.fold_left
     (fun acc spec ->
       Result.bind acc (fun catalog ->
           let name, path = parse_binding spec in
           Result.map
             (fun rel -> Tsql.Catalog.add catalog name rel)
-            (load_relation path)))
+            (load_relation ?fault ?on_corrupt path)))
     (Ok (Tsql.Catalog.with_builtins ()))
     bindings
 
@@ -85,7 +102,59 @@ let domains_arg =
            divide-and-conquer); wraps the chosen algorithm in \
            $(b,parallel(N,...)).")
 
-let exec kind bindings algorithm domains q =
+let on_error_conv =
+  Arg.conv
+    ( (fun s ->
+        Result.map_error
+          (fun e -> `Msg e)
+          (Tempagg.Engine.on_error_of_string s)),
+      fun ppf p ->
+        Format.pp_print_string ppf (Tempagg.Engine.on_error_to_string p) )
+
+let on_error_arg =
+  Arg.(
+    value
+    & opt (some on_error_conv) None
+    & info [ "on-error" ] ~docv:"POLICY"
+        ~doc:
+          "Recovery policy for recoverable failures: $(b,fail) (abort with \
+           a structured error), $(b,fallback) (retry along the fallback \
+           chain — doubled k, then aggregation tree; flat sweep on a blown \
+           memory budget) or $(b,skip) (additionally drop-and-count \
+           misordered tuples and corrupt pages).  Overrides the query's ON \
+           ERROR clause.  Any degradation is reported on stderr.")
+
+let memory_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "memory-budget" ] ~docv:"BYTES"
+        ~doc:
+          "Cap the evaluation's live algorithm state (16-byte-node \
+           accounting); exceeding it triggers the on-error policy.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock deadline per evaluation, in milliseconds; running \
+           past it aborts with a structured error (never retried).")
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject-faults" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic storage fault injection for .heap reads, e.g. \
+           $(b,transient=0.1,torn=0.02,seed=7).  Keys: $(b,transient), \
+           $(b,torn), $(b,bitflip) (per-page probabilities) and \
+           $(b,seed).  For testing the recovery paths.")
+
+let exec kind bindings algorithm domains on_error memory_budget deadline_ms
+    faults q =
   let parsed_algorithm =
     match algorithm with
     | None -> Ok None
@@ -96,22 +165,55 @@ let exec kind bindings algorithm domains q =
     | Some d when d < 1 -> Error "--domains must be at least 1"
     | d -> Ok d
   in
+  let parsed_faults =
+    match faults with
+    | None -> Ok None
+    | Some spec -> Result.map Option.some (Storage.Fault.of_string spec)
+  in
   match
     Result.bind parsed_algorithm (fun algorithm ->
         Result.bind checked_domains (fun domains ->
-            Result.bind (build_catalog bindings) (fun catalog ->
-                match kind with
-                | `Run ->
-                    Result.map
-                      (fun r -> `Rel r)
-                      (Tsql.Eval.query ?algorithm ?domains catalog q)
-                | `Explain ->
-                    Result.map
-                      (fun s -> `Text s)
-                      (Tsql.Eval.explain ?algorithm ?domains catalog q))))
+            Result.bind parsed_faults (fun fault ->
+                let on_corrupt =
+                  (* Corrupt pages abort the load under fail (the
+                     default), and are skipped-and-counted otherwise. *)
+                  match on_error with
+                  | Some (Tempagg.Engine.Fallback | Tempagg.Engine.Skip) ->
+                      `Skip
+                  | Some Tempagg.Engine.Fail | None -> `Fail
+                in
+                Result.bind (build_catalog ?fault ~on_corrupt bindings)
+                  (fun catalog ->
+                    match kind with
+                    | `Run ->
+                        if
+                          on_error = None && memory_budget = None
+                          && deadline_ms = None
+                        then
+                          Result.map
+                            (fun r -> `Rel r)
+                            (Tsql.Eval.query ?algorithm ?domains catalog q)
+                        else
+                          Result.map
+                            (fun r -> `Robust r)
+                            (Tsql.Eval.query_robust ?algorithm ?domains
+                               ?on_error ?memory_budget ?deadline_ms catalog q)
+                    | `Explain ->
+                        Result.map
+                          (fun s -> `Text s)
+                          (Tsql.Eval.explain ?algorithm ?domains ?on_error
+                             catalog q)))))
   with
   | Ok (`Rel result) ->
       Tsql.Pretty.print_result result;
+      `Ok ()
+  | Ok (`Robust { Tsql.Eval.result; degradations }) ->
+      Tsql.Pretty.print_result result;
+      List.iter
+        (fun d ->
+          Printf.eprintf "degraded: %s\n%!"
+            (Tempagg.Engine.degradation_to_string d))
+        degradations;
       `Ok ()
   | Ok (`Text text) ->
       print_endline text;
@@ -125,6 +227,7 @@ let query_cmd =
     Term.(
       ret
         (const (exec `Run) $ relations_arg $ algorithm_arg $ domains_arg
+       $ on_error_arg $ memory_budget_arg $ deadline_arg $ faults_arg
        $ query_arg))
 
 let explain_cmd =
@@ -134,6 +237,7 @@ let explain_cmd =
     Term.(
       ret
         (const (exec `Explain) $ relations_arg $ algorithm_arg $ domains_arg
+       $ on_error_arg $ memory_budget_arg $ deadline_arg $ faults_arg
        $ query_arg))
 
 (* generate *)

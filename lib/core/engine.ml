@@ -52,7 +52,13 @@ let of_string s =
         | Some body -> (
             match int_of_string_opt body with
             | Some k when k >= 0 -> Ok (Korder_tree { k })
-            | Some _ | None -> err s)
+            | Some k ->
+                Error
+                  (Printf.sprintf
+                     "ktree(%d): k must be non-negative (k is a bound on how \
+                      far a tuple may sit from its sorted position)"
+                     k)
+            | None -> err s)
         | None -> (
             match paren_body s "parallel(" with
             | None -> err s
@@ -74,7 +80,11 @@ let of_string s =
                     Result.map
                       (fun inner -> Parallel { domains = d; inner })
                       inner
-                | Some _ | None -> err s)))
+                | Some d ->
+                    Error
+                      (Printf.sprintf
+                         "parallel(%d): the domain count must be at least 1" d)
+                | None -> err s)))
   in
   go s
 
@@ -117,3 +127,189 @@ let eval_with_stats ?origin ?horizon algorithm monoid data =
   let inst = Instrument.create ~node_bytes:(node_bytes algorithm) () in
   let timeline = eval ?origin ?horizon ~instrument:inst algorithm monoid data in
   (timeline, Instrument.snapshot inst)
+
+(* ------------------------------------------------------------------ *)
+(* Robust evaluation: budgets, deadlines and declarative fallbacks.   *)
+(* ------------------------------------------------------------------ *)
+
+type on_error = Fail | Fallback | Skip
+
+let on_error_to_string = function
+  | Fail -> "fail"
+  | Fallback -> "fallback"
+  | Skip -> "skip"
+
+let on_error_of_string = function
+  | "fail" -> Ok Fail
+  | "fallback" -> Ok Fallback
+  | "skip" -> Ok Skip
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown on-error policy %S (expected fail, fallback or skip)" s)
+
+type degradation = { stage : string; reason : string; action : string }
+
+let degradation_to_string { stage; reason; action } =
+  Printf.sprintf "%s: %s; %s" stage reason action
+
+type error =
+  | Not_k_ordered of { position : int }
+  | Budget_exhausted of { budget_bytes : int; used_bytes : int }
+  | Deadline_exhausted of { deadline_ms : float; elapsed_ms : float }
+  | Eval_failed of string
+
+let error_to_string = function
+  | Not_k_ordered { position } ->
+      Printf.sprintf
+        "input is not k-ordered (tuple %d starts before the emitted \
+         frontier); sort the relation, raise k, or use --on-error \
+         fallback/skip"
+        position
+  | Budget_exhausted { budget_bytes; used_bytes } ->
+      Printf.sprintf "memory budget exhausted (%d bytes live, budget %d)"
+        used_bytes budget_bytes
+  | Deadline_exhausted { deadline_ms; elapsed_ms } ->
+      Printf.sprintf "deadline exceeded (%.1f ms elapsed, deadline %.1f ms)"
+        elapsed_ms deadline_ms
+  | Eval_failed msg -> msg
+
+let reason_of_exn = function
+  | Korder_tree.Order_violation { position; _ } ->
+      Printf.sprintf
+        "input not k-ordered (tuple %d starts before the emitted frontier)"
+        position
+  | Guard.Budget_exceeded { budget_bytes; used_bytes } ->
+      Printf.sprintf "memory budget exceeded (%d of %d bytes)" used_bytes
+        budget_bytes
+  | Guard.Deadline_exceeded { deadline_ms; elapsed_ms } ->
+      Printf.sprintf "deadline exceeded (%.1f of %.1f ms)" elapsed_ms
+        deadline_ms
+  | Invalid_argument msg -> msg
+  | e -> Printexc.to_string e
+
+(* The k-ordered tree retries at most up to this k before conceding that
+   the input is essentially unsorted and the aggregation tree (which
+   needs no order at all) is the right tool. *)
+let k_retry_cap = 4096
+
+(* The declarative fallback chain: which algorithm to try next after
+   [alg] failed with [exn], or [None] when the failure is terminal.
+   Deadlines are always terminal — retrying cannot recover wall-clock
+   time already spent. *)
+let rec fallback_step exn alg =
+  match (alg, exn) with
+  | Korder_tree { k }, Korder_tree.Order_violation _ ->
+      let k' = if k = 0 then 1 else 2 * k in
+      if k' <= k_retry_cap then Some (Korder_tree { k = k' })
+      else Some Aggregation_tree
+  | ( (Linked_list | Aggregation_tree | Korder_tree _ | Balanced_tree | Two_scan),
+      Guard.Budget_exceeded _ ) ->
+      (* The flat sweep allocates one slot per distinct endpoint — the
+         cheapest memory profile of any algorithm here. *)
+      Some Sweep
+  | Parallel { domains; inner }, exn ->
+      Option.map
+        (fun inner -> Parallel { domains; inner })
+        (fallback_step exn inner)
+  | _ -> None
+
+(* Inline recovery for a single failed shard of a parallel evaluation:
+   order violations re-run under the order-oblivious aggregation tree,
+   blown budgets under the flat sweep.  Anything else (deadline, real
+   bugs) is terminal and propagates. *)
+let shard_fallback_algorithm = function
+  | Korder_tree.Order_violation _ -> Aggregation_tree
+  | Guard.Budget_exceeded _ -> Sweep
+  | e -> raise e
+
+let eval_robust : type v s r.
+    ?origin:Chronon.t ->
+    ?horizon:Chronon.t ->
+    ?on_error:on_error ->
+    ?memory_budget:int ->
+    ?deadline_ms:float ->
+    algorithm ->
+    (v, s, r) Monoid.t ->
+    (Interval.t * v) Seq.t ->
+    (r Timeline.t * degradation list, error) result =
+ fun ?origin ?horizon ?(on_error = Fallback) ?memory_budget ?deadline_ms
+     algorithm monoid data ->
+  (* Materialize once so every retry sees the same tuples even if the
+     caller's Seq is ephemeral (e.g. a single-pass storage scan). *)
+  let tuples = Array.of_seq data in
+  let data = Array.to_seq tuples in
+  let guard = Guard.create ?memory_budget ?deadline_ms () in
+  let degradations = ref [] in
+  let note ~stage ~reason ~action =
+    degradations := { stage; reason; action } :: !degradations
+  in
+  (* One attempt with algorithm [alg], under [guard].  Raises on failure;
+     the caller decides whether the policy and chain allow a retry. *)
+  let attempt alg =
+    (* With no limits configured, skip the instrument entirely so the
+       happy path costs exactly what a plain [eval] does (the <3%
+       guard-overhead bar in the bench's [guard] section). *)
+    let inst =
+      if Guard.unlimited guard then None
+      else begin
+        let i = Instrument.create ~node_bytes:(node_bytes alg) () in
+        Guard.attach guard i;
+        Some i
+      end
+    in
+    let data () = Guard.wrap_seq guard data in
+    match (alg, on_error) with
+    | Korder_tree { k }, Skip ->
+        (* Skip mode: drop (and count) each misordered tuple instead of
+           abandoning the k-ordered tree. *)
+        let t = Korder_tree.create ?origin ?horizon ?instrument:inst ~k monoid in
+        let skipped = ref 0 in
+        Seq.iter
+          (fun (iv, v) ->
+            match Korder_tree.insert t iv v with
+            | () -> ()
+            | exception Korder_tree.Order_violation _ -> incr skipped)
+          (data ());
+        let timeline = Korder_tree.finish t in
+        if !skipped > 0 then
+          note ~stage:(name alg) ~reason:"input not k-ordered"
+            ~action:(Printf.sprintf "skipped %d misordered tuples" !skipped);
+        timeline
+    | Parallel { domains; inner }, (Fallback | Skip) ->
+        let state_monoid = { monoid with Monoid.output = Fun.id } in
+        let fallback_shard ~shard ~exn ~instrument shard_data =
+          let fb = shard_fallback_algorithm exn in
+          note
+            ~stage:(Printf.sprintf "%s shard %d" (name inner) shard)
+            ~reason:(reason_of_exn exn)
+            ~action:(Printf.sprintf "re-evaluated inline with %s" (name fb));
+          eval ?origin ?horizon ?instrument fb state_monoid shard_data
+        in
+        Parallel.eval ?instrument:inst ~fallback_shard ~domains
+          ~eval_shard:(fun ~instrument shard ->
+            eval ?origin ?horizon ?instrument inner state_monoid shard)
+          monoid (data ())
+    | _ -> eval ?origin ?horizon ?instrument:inst alg monoid (data ())
+  in
+  let error_of_exn = function
+    | Korder_tree.Order_violation { position; _ } -> Not_k_ordered { position }
+    | Guard.Budget_exceeded { budget_bytes; used_bytes } ->
+        Budget_exhausted { budget_bytes; used_bytes }
+    | Guard.Deadline_exceeded { deadline_ms; elapsed_ms } ->
+        Deadline_exhausted { deadline_ms; elapsed_ms }
+    | Invalid_argument msg -> Eval_failed msg
+    | e -> raise e
+  in
+  let rec go alg =
+    match attempt alg with
+    | timeline -> Ok (timeline, List.rev !degradations)
+    | exception e -> (
+        match (on_error, fallback_step e alg) with
+        | (Fallback | Skip), Some alg' ->
+            note ~stage:(name alg) ~reason:(reason_of_exn e)
+              ~action:("retrying with " ^ name alg');
+            go alg'
+        | _ -> Error (error_of_exn e))
+  in
+  go algorithm

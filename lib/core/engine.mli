@@ -53,3 +53,65 @@ val eval_with_stats :
   ('v, 's, 'r) Monoid.t ->
   (Interval.t * 'v) Seq.t ->
   'r Timeline.t * Instrument.snapshot
+
+(** {1 Robust evaluation}
+
+    {!eval_robust} wraps {!eval} with per-query resource budgets (see
+    {!Guard}) and a declarative fallback chain, so that recoverable
+    failures degrade the {e plan} rather than the {e answer}:
+
+    - {!Korder_tree.Order_violation} retries with a doubled k (capped at
+      4096), then concedes to the order-oblivious aggregation tree;
+    - {!Guard.Budget_exceeded} on any pointer-based structure retries
+      with the flat {!Sweep} (one slot per distinct endpoint — the
+      cheapest memory profile here);
+    - a failed shard of a {!Parallel} evaluation is re-evaluated inline
+      (order violation → aggregation tree, blown budget → sweep) without
+      aborting the other shards;
+    - {!Guard.Deadline_exceeded} is always terminal — retrying cannot
+      recover wall-clock time already spent.
+
+    Every recovery step is recorded as a {!degradation}; nothing degrades
+    silently. *)
+
+type on_error =
+  | Fail  (** Propagate the first failure as an [Error]. *)
+  | Fallback  (** Walk the fallback chain; [Error] only when it runs dry. *)
+  | Skip
+      (** Like [Fallback], but a top-level k-ordered tree drops (and
+          counts) misordered tuples instead of abandoning the attempt. *)
+
+val on_error_to_string : on_error -> string
+val on_error_of_string : string -> (on_error, string) result
+
+type degradation = { stage : string; reason : string; action : string }
+(** One recovery event: which stage failed, why, and what was done. *)
+
+val degradation_to_string : degradation -> string
+
+type error =
+  | Not_k_ordered of { position : int }
+  | Budget_exhausted of { budget_bytes : int; used_bytes : int }
+  | Deadline_exhausted of { deadline_ms : float; elapsed_ms : float }
+  | Eval_failed of string
+
+val error_to_string : error -> string
+
+val eval_robust :
+  ?origin:Chronon.t ->
+  ?horizon:Chronon.t ->
+  ?on_error:on_error ->
+  ?memory_budget:int ->
+  ?deadline_ms:float ->
+  algorithm ->
+  ('v, 's, 'r) Monoid.t ->
+  (Interval.t * 'v) Seq.t ->
+  ('r Timeline.t * degradation list, error) result
+(** [eval_robust alg monoid data] evaluates under a {!Guard} built from
+    [memory_budget] (bytes of algorithm state) and [deadline_ms]
+    (wall-clock, spanning all retries — a retry does not restart the
+    clock).  [on_error] defaults to [Fallback].  The input is
+    materialized once up front so retries replay identical tuples even
+    from an ephemeral (single-pass) sequence.  Degradations are listed
+    oldest first.  Exceptions that the chain cannot interpret (genuine
+    bugs) propagate unchanged. *)

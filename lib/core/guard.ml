@@ -1,0 +1,95 @@
+exception
+  Budget_exceeded of {
+    budget_bytes : int;
+    used_bytes : int;
+  }
+
+exception
+  Deadline_exceeded of {
+    deadline_ms : float;
+    elapsed_ms : float;
+  }
+
+type t = {
+  budget_bytes : int option;
+  deadline_ms : float option;
+  started_at : float;  (* wall clock, seconds *)
+  deadline_at : float;  (* absolute wall clock; infinity when unset *)
+  mutable ticks : int;
+}
+
+(* Wall-clock lookups are cheap but not free; cooperative checks sample
+   the clock every [clock_stride] ticks.  The stride is a power of two so
+   the check is a single masked compare, and the very first tick always
+   samples so a zero deadline fails fast and deterministically. *)
+let clock_stride_mask = 255
+
+let create ?memory_budget ?deadline_ms () =
+  (match memory_budget with
+  | Some b when b < 0 -> invalid_arg "Guard.create: negative memory budget"
+  | _ -> ());
+  (match deadline_ms with
+  | Some ms when ms < 0. -> invalid_arg "Guard.create: negative deadline"
+  | _ -> ());
+  let now = Unix.gettimeofday () in
+  {
+    budget_bytes = memory_budget;
+    deadline_ms;
+    started_at = now;
+    deadline_at =
+      (match deadline_ms with
+      | Some ms -> now +. (ms /. 1000.)
+      | None -> infinity);
+    ticks = 0;
+  }
+
+let unlimited t = t.budget_bytes = None && t.deadline_ms = None
+
+let check t =
+  match t.deadline_ms with
+  | None -> ()
+  | Some deadline_ms ->
+      (* [ticks] is bumped from every domain running under this guard;
+         the races are benign — a lost increment only shifts when the
+         clock is next sampled. *)
+      t.ticks <- t.ticks + 1;
+      if (t.ticks - 1) land clock_stride_mask = 0 then begin
+        let now = Unix.gettimeofday () in
+        if now > t.deadline_at then
+          raise
+            (Deadline_exceeded
+               { deadline_ms; elapsed_ms = (now -. t.started_at) *. 1000. })
+      end
+
+let check_instrument t inst =
+  (match t.budget_bytes with
+  | None -> ()
+  | Some budget_bytes ->
+      let used_bytes = Instrument.live inst * Instrument.node_bytes inst in
+      if used_bytes > budget_bytes then
+        raise (Budget_exceeded { budget_bytes; used_bytes }));
+  check t
+
+let hook t = if unlimited t then None else Some (check_instrument t)
+
+let attach t inst = Instrument.set_hook inst (hook t)
+
+let wrap_seq t seq =
+  if t.deadline_ms = None then seq
+  else
+    Seq.map
+      (fun x ->
+        check t;
+        x)
+      seq
+
+let describe = function
+  | Budget_exceeded { budget_bytes; used_bytes } ->
+      Some
+        (Printf.sprintf "memory budget exceeded (%d bytes used, budget %d)"
+           used_bytes budget_bytes)
+  | Deadline_exceeded { deadline_ms; elapsed_ms } ->
+      Some
+        (Printf.sprintf "deadline exceeded (%.1f ms elapsed, deadline %g ms)"
+           elapsed_ms deadline_ms)
+  | _ -> None

@@ -1,0 +1,69 @@
+(** Per-query resource budgets: peak-memory caps and wall-clock deadlines.
+
+    The paper's algorithms have sharply different resource profiles — the
+    aggregation tree is O(n²) time on sorted input and its node count is
+    unbounded by the result size, while a mis-guessed k makes the
+    k-ordered tree abort outright.  A {!t} turns "runs away" into a
+    structured, catchable failure: a {e memory budget} is enforced by
+    piggybacking on {!Instrument.alloc} (the same 16-bytes-per-node
+    accounting the paper uses for its memory figures), and a {e deadline}
+    by cooperative checks in every algorithm's insert loop (each tuple
+    pulled from a {!wrap_seq}-wrapped input, and each node allocation,
+    ticks the guard; the wall clock is sampled every 256 ticks).
+
+    Both failures raise structured exceptions that {!Engine.eval_robust}
+    converts into fallbacks or errors, never silent truncation. *)
+
+exception
+  Budget_exceeded of {
+    budget_bytes : int;  (** The configured cap. *)
+    used_bytes : int;  (** Live bytes at the allocation that crossed it. *)
+  }
+(** The evaluation's live algorithm state (per the {!Instrument} node
+    model) exceeded the memory budget. *)
+
+exception
+  Deadline_exceeded of {
+    deadline_ms : float;  (** The configured deadline. *)
+    elapsed_ms : float;  (** Wall-clock time actually spent. *)
+  }
+(** The evaluation ran past its wall-clock deadline. *)
+
+type t
+
+val create : ?memory_budget:int -> ?deadline_ms:float -> unit -> t
+(** [memory_budget] is in bytes of algorithm state; [deadline_ms] is
+    wall-clock milliseconds counted from this call.  Omitted limits are
+    not enforced.
+    @raise Invalid_argument on a negative budget or deadline. *)
+
+val unlimited : t -> bool
+(** No limit was configured: every check is a no-op. *)
+
+val check : t -> unit
+(** One cooperative tick.  Cheap (a masked compare); samples the wall
+    clock every 256th tick (and on the first).
+    @raise Deadline_exceeded when the deadline has passed. *)
+
+val check_instrument : t -> Instrument.t -> unit
+(** {!check} plus the memory-budget comparison against the instrument's
+    live bytes ([live * node_bytes]).
+    @raise Budget_exceeded
+    @raise Deadline_exceeded *)
+
+val hook : t -> (Instrument.t -> unit) option
+(** The {!Instrument.set_hook} payload: [None] when {!unlimited} (so the
+    happy path keeps its bare allocation counters), otherwise
+    {!check_instrument} partially applied. *)
+
+val attach : t -> Instrument.t -> unit
+(** [attach t inst] installs {!hook} on [inst]. *)
+
+val wrap_seq : t -> 'a Seq.t -> 'a Seq.t
+(** Interpose a {!check} before every element — the per-tuple cooperative
+    deadline check in each algorithm's insert loop.  The identity when no
+    deadline is set. *)
+
+val describe : exn -> string option
+(** A human-readable rendering of the two guard exceptions; [None] for
+    any other exception. *)

@@ -3,15 +3,20 @@ type t = {
   mutable live : int;
   mutable peak_live : int;
   node_bytes : int;
+  mutable hook : (t -> unit) option;
 }
 
 let create ?(node_bytes = 16) () =
-  { allocated = 0; live = 0; peak_live = 0; node_bytes }
+  { allocated = 0; live = 0; peak_live = 0; node_bytes; hook = None }
 
 let alloc t =
   t.allocated <- t.allocated + 1;
   t.live <- t.live + 1;
-  if t.live > t.peak_live then t.peak_live <- t.live
+  if t.live > t.peak_live then t.peak_live <- t.live;
+  match t.hook with None -> () | Some f -> f t
+
+let set_hook t hook = t.hook <- hook
+let hook t = t.hook
 
 let free t = t.live <- t.live - 1
 let free_many t n = t.live <- t.live - n

@@ -16,6 +16,17 @@ val alloc : t -> unit
 val free : t -> unit
 val free_many : t -> int -> unit
 
+val set_hook : t -> (t -> unit) option -> unit
+(** Install (or clear) a hook invoked after every {!alloc}, with the
+    allocation already counted.  This is how {!Guard} piggybacks its
+    resource checks on the paper's node accounting: the hook may raise
+    (e.g. {!Guard.Budget_exceeded}) to abort a runaway evaluation at the
+    exact allocation that crossed the budget.  Survives {!reset}. *)
+
+val hook : t -> (t -> unit) option
+(** The installed hook, so child instruments (e.g. {!Parallel} shards)
+    can inherit the parent's guard. *)
+
 val allocated : t -> int
 (** Total nodes ever allocated. *)
 

@@ -20,6 +20,7 @@ let default_metadata ~cardinality =
 type choice = {
   algorithm : Engine.algorithm;
   sort_first : bool;
+  on_error : Engine.on_error;
   rationale : string;
 }
 
@@ -38,6 +39,7 @@ let choose md =
       {
         algorithm = Engine.Linked_list;
         sort_first = false;
+        on_error = Engine.Fail;
         rationale =
           Printf.sprintf
             "expected result of ~%d constant intervals is tiny relative to \
@@ -49,6 +51,9 @@ let choose md =
         {
           algorithm = Engine.Korder_tree { k = 1 };
           sort_first = false;
+          (* The sortedness is declared, not verified: if the declaration
+             is wrong, fall back rather than abort. *)
+          on_error = Engine.Fallback;
           rationale =
             "relation already sorted by time: k-ordered aggregation tree \
              with k=1 gives the best time and memory";
@@ -59,6 +64,7 @@ let choose md =
             {
               algorithm = Engine.Korder_tree { k };
               sort_first = false;
+              on_error = Engine.Fallback;
               rationale =
                 Printf.sprintf
                   "relation declared retroactively bounded (k=%d): k-ordered \
@@ -72,6 +78,10 @@ let choose md =
                 {
                   algorithm = Engine.Korder_tree { k = 1 };
                   sort_first = true;
+                  (* Sorted by us, so order violations are impossible;
+                     still fall back if the budget proves too tight even
+                     for the k-ordered tree. *)
+                  on_error = Engine.Fallback;
                   rationale =
                     Printf.sprintf
                       "unordered relation and the aggregation tree's ~%d \
@@ -84,6 +94,7 @@ let choose md =
                   {
                     algorithm = Engine.Sweep;
                     sort_first = false;
+                    on_error = Engine.Fail;
                     rationale =
                       "unordered relation, memory is available and the \
                        aggregate is invertible: the flat delta-sweep is a \
@@ -95,6 +106,7 @@ let choose md =
                   {
                     algorithm = Engine.Aggregation_tree;
                     sort_first = false;
+                    on_error = Engine.Fail;
                     rationale =
                       "unordered relation and memory is available: the \
                        aggregation tree is fastest on random order among \
@@ -104,7 +116,10 @@ let choose md =
                   }))
 
 let pp_choice ppf c =
-  Format.fprintf ppf "%s%s — %s"
+  Format.fprintf ppf "%s%s%s — %s"
     (Engine.name c.algorithm)
     (if c.sort_first then " (after sorting)" else "")
+    (match c.on_error with
+    | Engine.Fail -> ""
+    | p -> Printf.sprintf " (on-error %s)" (Engine.on_error_to_string p))
     c.rationale

@@ -42,6 +42,12 @@ type choice = {
   sort_first : bool;
       (** The chosen algorithm requires the relation sorted by time
           first. *)
+  on_error : Engine.on_error;
+      (** Recommended recovery policy: [Fallback] when the choice leans
+          on declared-but-unverified metadata (a wrongly declared sort
+          order or retroactive bound would otherwise abort the query),
+          [Fail] when the algorithm cannot fail recoverably.  A TSQL
+          [ON ERROR] clause overrides it. *)
   rationale : string;  (** Human-readable summary of the applied rule. *)
 }
 

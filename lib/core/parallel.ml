@@ -6,7 +6,7 @@ open Temporal
    inner algorithm. *)
 let shard_bounds ~shards n i = (i * n / shards, (i + 1) * n / shards)
 
-let eval ?instrument ~domains ~eval_shard monoid data =
+let eval ?instrument ?fallback_shard ~domains ~eval_shard monoid data =
   if domains < 1 then invalid_arg "Parallel.eval: domains must be >= 1";
   let tuples = Array.of_seq data in
   let n = Array.length tuples in
@@ -24,30 +24,55 @@ let eval ?instrument ~domains ~eval_shard monoid data =
     let shard_instruments =
       Array.init d (fun _ ->
           Option.map
-            (fun _ -> Instrument.create ~node_bytes ())
+            (fun parent ->
+              let inst = Instrument.create ~node_bytes () in
+              (* Shards run under the same guard as the parent (each
+                 checked against its own live bytes). *)
+              Instrument.set_hook inst (Instrument.hook parent);
+              inst)
             instrument)
     in
-    let run i =
+    let shard_seq i =
       let lo, hi = shard_bounds ~shards:d n i in
-      eval_shard ~instrument:shard_instruments.(i)
-        (Array.to_seq (Array.sub tuples lo (hi - lo)))
+      Array.to_seq (Array.sub tuples lo (hi - lo))
     in
+    let run i = eval_shard ~instrument:shard_instruments.(i) (shard_seq i) in
     let handles =
       Array.init (d - 1) (fun i -> Domain.spawn (fun () -> run (i + 1)))
     in
     let results = Array.make d None in
-    let first_exn = ref None in
+    let failures = Array.make d None in
     (match run 0 with
     | r -> results.(0) <- Some r
-    | exception e -> first_exn := Some e);
+    | exception e -> failures.(0) <- Some e);
     (* Join every domain even if a shard failed, so no domain leaks. *)
     Array.iteri
       (fun i handle ->
         match Domain.join handle with
         | r -> results.(i + 1) <- Some r
-        | exception e -> if Option.is_none !first_exn then first_exn := Some e)
+        | exception e -> failures.(i + 1) <- Some e)
       handles;
-    (match !first_exn with Some e -> raise e | None -> ());
+    (* Recovery: with a fallback, each failed shard is re-evaluated
+       inline (on this domain, after every join) instead of aborting the
+       whole query.  The shard's instrument is reset first — its partial
+       counts belong to the abandoned attempt — keeping any guard hook. *)
+    (match fallback_shard with
+    | None -> (
+        match Array.find_opt Option.is_some failures with
+        | Some (Some e) -> raise e
+        | _ -> ())
+    | Some fallback ->
+        Array.iteri
+          (fun i failure ->
+            match failure with
+            | None -> ()
+            | Some exn ->
+                Option.iter Instrument.reset shard_instruments.(i);
+                results.(i) <-
+                  Some
+                    (fallback ~shard:i ~exn ~instrument:shard_instruments.(i)
+                       (shard_seq i)))
+          failures);
     (* The shards ran concurrently: their peaks were live at the same
        time, so the parent's peak is their sum. *)
     (match instrument with

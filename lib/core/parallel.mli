@@ -21,6 +21,12 @@ open Temporal
 
 val eval :
   ?instrument:Instrument.t ->
+  ?fallback_shard:
+    (shard:int ->
+    exn:exn ->
+    instrument:Instrument.t option ->
+    (Interval.t * 'v) Seq.t ->
+    's Timeline.t) ->
   domains:int ->
   eval_shard:
     (instrument:Instrument.t option ->
@@ -44,6 +50,17 @@ val eval :
     With [domains = 1] (or fewer tuples than domains beyond a point) the
     evaluation runs inline with no domain overhead.
 
-    @raise Invalid_argument if [domains < 1].  Exceptions raised by a
-    shard (e.g. {!Korder_tree.Order_violation}) are re-raised after all
-    domains have been joined. *)
+    @raise Invalid_argument if [domains < 1].  Without [fallback_shard],
+    exceptions raised by a shard (e.g. {!Korder_tree.Order_violation})
+    are re-raised after all domains have been joined.
+
+    With [fallback_shard], a failed shard does {e not} abort the query:
+    after every domain has been joined, each failed shard is re-evaluated
+    inline on the calling domain by
+    [fallback_shard ~shard ~exn ~instrument data] — [exn] being the
+    shard's original failure, [instrument] its (reset) per-shard
+    instrument, [data] the same contiguous slice — and the recovered
+    timeline takes the shard's place in the merge.  An exception raised
+    by the fallback itself propagates.  Shard instruments inherit the
+    parent instrument's {!Instrument.hook}, so {!Guard} budgets apply
+    inside shards (each shard checked against its own live bytes). *)

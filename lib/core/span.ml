@@ -59,6 +59,30 @@ let eval_aux ?(origin = Chronon.origin) ?(horizon = Chronon.forever)
 let eval ?origin ?horizon ?algorithm ~granule monoid data =
   eval_aux ?origin ?horizon ?algorithm ~granule monoid data
 
+let eval_robust ?(origin = Chronon.origin) ?(horizon = Chronon.forever)
+    ?(algorithm = Engine.Aggregation_tree) ?on_error ?memory_budget
+    ?deadline_ms ~granule monoid data =
+  if Chronon.( > ) (granule : Granule.t).Granule.anchor origin then
+    Error
+      (Engine.Eval_failed "Span.eval: granule anchor after origin")
+  else
+    let index_origin = Chronon.of_int (Granule.index_of granule origin) in
+    let index_horizon =
+      if Chronon.is_finite horizon then
+        Chronon.of_int (Granule.index_of granule horizon)
+      else Chronon.forever
+    in
+    let quantized = quantize ~origin ~horizon ~granule data in
+    Result.map
+      (fun (index_timeline, degradations) ->
+        ( Timeline.of_list
+            (List.map
+               (fun (iv, r) -> (unquantize ~origin ~horizon ~granule iv, r))
+               (Timeline.to_list index_timeline)),
+          degradations ))
+      (Engine.eval_robust ~origin:index_origin ~horizon:index_horizon
+         ?on_error ?memory_budget ?deadline_ms algorithm monoid quantized)
+
 let eval_with_stats ?origin ?horizon ?algorithm ~granule monoid data =
   let inst =
     Instrument.create

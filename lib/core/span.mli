@@ -36,3 +36,20 @@ val eval_with_stats :
   ('v, 's, 'r) Monoid.t ->
   (Interval.t * 'v) Seq.t ->
   'r Timeline.t * Instrument.snapshot
+
+val eval_robust :
+  ?origin:Chronon.t ->
+  ?horizon:Chronon.t ->
+  ?algorithm:Engine.algorithm ->
+  ?on_error:Engine.on_error ->
+  ?memory_budget:int ->
+  ?deadline_ms:float ->
+  granule:Granule.t ->
+  ('v, 's, 'r) Monoid.t ->
+  (Interval.t * 'v) Seq.t ->
+  ('r Timeline.t * Engine.degradation list, Engine.error) result
+(** {!eval} through {!Engine.eval_robust}: budgets, deadlines and the
+    fallback chain apply to the span-index evaluation; a bad granule
+    anchor surfaces as [Error (Eval_failed _)] rather than an exception
+    (a quantization error on an out-of-range interval still raises, as
+    in {!eval}). *)

@@ -16,17 +16,22 @@ let quote_field s =
     Buffer.contents buf
   else s
 
-(* Splits a CSV document into rows of fields, handling quoted fields. *)
+exception Parse_error of string
+
+(* Splits a CSV document into rows of fields, handling quoted fields.
+   Each row is tagged with the physical line it starts on: quoted fields
+   may contain newlines, so row index and line number can diverge. *)
 let parse_rows text =
   let rows = ref [] and row = ref [] and buf = Buffer.create 32 in
   let n = String.length text in
+  let line = ref 1 and row_line = ref 1 in
   let flush_field () =
     row := Buffer.contents buf :: !row;
     Buffer.clear buf
   in
   let flush_row () =
     flush_field ();
-    rows := List.rev !row :: !rows;
+    rows := (!row_line, List.rev !row) :: !rows;
     row := []
   in
   let rec plain i =
@@ -34,18 +39,29 @@ let parse_rows text =
     else
       match text.[i] with
       | ',' -> flush_field (); plain (i + 1)
-      | '\n' -> flush_row (); plain (i + 1)
+      | '\n' ->
+          flush_row ();
+          incr line;
+          row_line := !line;
+          plain (i + 1)
       | '\r' -> plain (i + 1)
-      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted !line (i + 1)
       | c -> Buffer.add_char buf c; plain (i + 1)
-  and quoted i =
-    if i >= n then failwith "unterminated quoted field"
+  and quoted opened i =
+    if i >= n then
+      raise
+        (Parse_error
+           (Printf.sprintf "line %d: unterminated quoted field" opened))
     else
       match text.[i] with
       | '"' when i + 1 < n && text.[i + 1] = '"' ->
-          Buffer.add_char buf '"'; quoted (i + 2)
+          Buffer.add_char buf '"'; quoted opened (i + 2)
       | '"' -> plain (i + 1)
-      | c -> Buffer.add_char buf c; quoted (i + 1)
+      | '\n' ->
+          Buffer.add_char buf '\n';
+          incr line;
+          quoted opened (i + 1)
+      | c -> Buffer.add_char buf c; quoted opened (i + 1)
   in
   plain 0;
   List.rev !rows
@@ -111,11 +127,12 @@ let parse_chronon s =
     | Some _ -> Error (Printf.sprintf "negative timestamp %S" s)
     | None -> Error (Printf.sprintf "bad timestamp %S" s)
 
-let parse_tuple schema line_no fields =
+let parse_tuple schema fields =
   let arity = Schema.arity schema in
   if List.length fields <> arity + 2 then
-    Error (Printf.sprintf "line %d: expected %d fields, got %d" line_no
-             (arity + 2) (List.length fields))
+    Error
+      (Printf.sprintf "expected %d fields, got %d" (arity + 2)
+         (List.length fields))
   else
     let rec values i acc = function
       | [ s; e ] -> (
@@ -123,35 +140,38 @@ let parse_tuple schema line_no fields =
           | Ok start, Ok stop -> (
               match Interval.make start stop with
               | iv -> Ok (Tuple.make (Array.of_list (List.rev acc)) iv)
-              | exception Invalid_argument msg ->
-                  Error (Printf.sprintf "line %d: %s" line_no msg))
-          | Error msg, _ | _, Error msg ->
-              Error (Printf.sprintf "line %d: %s" line_no msg))
+              | exception Invalid_argument msg -> Error msg)
+          | Error msg, _ | _, Error msg -> Error msg)
       | field :: rest -> (
           let ty = (Schema.column schema i).Schema.ty in
           match Value.of_string ty field with
           | Ok v -> values (i + 1) (v :: acc) rest
-          | Error msg -> Error (Printf.sprintf "line %d: %s" line_no msg))
-      | [] -> Error (Printf.sprintf "line %d: truncated row" line_no)
+          | Error msg -> Error msg)
+      | [] -> Error "truncated row"
     in
     values 0 [] fields
 
 let of_string text =
   match parse_rows text with
-  | exception Failure msg -> Error msg
+  | exception Parse_error msg -> Error msg
   | [] -> Error "empty document"
-  | header :: rows -> (
+  | (header_line, header) :: rows -> (
       match parse_header header with
-      | Error _ as e -> e
+      | Error msg -> Error (Printf.sprintf "line %d: %s" header_line msg)
       | Ok schema ->
-          let rec build line_no acc = function
+          (* Data rows are numbered from 1; their physical line can lag
+             the row number when quoted fields span lines. *)
+          let rec build row_no acc = function
             | [] -> Ok (Trel.create schema (List.rev acc))
-            | row :: rest -> (
-                match parse_tuple schema line_no row with
-                | Ok tuple -> build (line_no + 1) (tuple :: acc) rest
-                | Error _ as e -> e)
+            | (line_no, row) :: rest -> (
+                match parse_tuple schema row with
+                | Ok tuple -> build (row_no + 1) (tuple :: acc) rest
+                | Error msg ->
+                    Error
+                      (Printf.sprintf "line %d (row %d): %s" line_no row_no
+                         msg))
           in
-          build 2 [] rows)
+          build 1 [] rows)
 
 let of_channel ic = of_string (In_channel.input_all ic)
 

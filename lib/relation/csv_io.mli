@@ -20,7 +20,10 @@ val to_channel : out_channel -> Trel.t -> unit
 val of_string : string -> (Trel.t, string) result
 (** Parses a whole CSV document; returns a descriptive error on malformed
     input (bad header, wrong arity, unparsable literal or timestamp,
-    start after stop). *)
+    start after stop, unterminated quote).  Every error names the
+    physical line it occurred on, and data-row errors additionally name
+    the row ([line n (row m): ...] — the two diverge when quoted fields
+    span lines).  No exception escapes this function. *)
 
 val of_channel : in_channel -> (Trel.t, string) result
 

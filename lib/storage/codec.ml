@@ -3,6 +3,33 @@ open Relation
 
 let default_slot_bytes = 128
 
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) with the usual
+   256-entry table — the checksum in heap-file page trailers. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Codec.crc32: range outside the buffer";
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    c :=
+      Int32.logxor
+        table.(Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.get buf i)))) 0xFFl))
+        (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
 let tag_null = '\000'
 let tag_int = '\001'
 let tag_float = '\002'

@@ -11,6 +11,11 @@
 val default_slot_bytes : int
 (** 128, the paper's tuple size. *)
 
+val crc32 : bytes -> pos:int -> len:int -> int32
+(** CRC-32 (IEEE 802.3) of [len] bytes starting at [pos] — the checksum
+    stored in heap-file page trailers.
+    @raise Invalid_argument if the range falls outside the buffer. *)
+
 val encoded_size : Relation.Tuple.t -> int
 (** The number of bytes the tuple needs (before padding). *)
 

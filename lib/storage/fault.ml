@@ -1,0 +1,114 @@
+exception Transient_read_error of { path : string; page : int; attempt : int }
+
+type t = {
+  seed : int;
+  transient : float;
+  torn : float;
+  bitflip : float;
+}
+
+let default_seed () =
+  match Sys.getenv_opt "TEMPAGG_FAULT_SEED" with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 42)
+  | None -> 42
+
+let create ?seed ?(transient = 0.) ?(torn = 0.) ?(bitflip = 0.) () =
+  let check name r =
+    if r < 0. || r > 1. then
+      invalid_arg
+        (Printf.sprintf "Fault.create: %s rate %g not within [0,1]" name r)
+  in
+  check "transient" transient;
+  check "torn" torn;
+  check "bitflip" bitflip;
+  let seed = match seed with Some s -> s | None -> default_seed () in
+  { seed; transient; torn; bitflip }
+
+let seed t = t.seed
+
+let to_string t =
+  Printf.sprintf "transient=%g,torn=%g,bitflip=%g,seed=%d" t.transient t.torn
+    t.bitflip t.seed
+
+let of_string s =
+  let parse_pair acc pair =
+    Result.bind acc (fun (tr, to_, bf, seed) ->
+        match String.split_on_char '=' (String.trim pair) with
+        | [ key; value ] -> (
+            let rate () =
+              match float_of_string_opt value with
+              | Some r when r >= 0. && r <= 1. -> Ok r
+              | Some _ | None ->
+                  Error
+                    (Printf.sprintf
+                       "fault spec: %s rate %S is not a number in [0,1]" key
+                       value)
+            in
+            match key with
+            | "transient" -> Result.map (fun r -> (r, to_, bf, seed)) (rate ())
+            | "torn" -> Result.map (fun r -> (tr, r, bf, seed)) (rate ())
+            | "bitflip" -> Result.map (fun r -> (tr, to_, r, seed)) (rate ())
+            | "seed" -> (
+                match int_of_string_opt value with
+                | Some n -> Ok (tr, to_, bf, Some n)
+                | None ->
+                    Error
+                      (Printf.sprintf "fault spec: seed %S is not an integer"
+                         value))
+            | _ ->
+                Error
+                  (Printf.sprintf
+                     "fault spec: unknown key %S (expected transient, torn, \
+                      bitflip or seed)"
+                     key))
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "fault spec: expected KEY=VALUE pairs separated by commas, \
+                  got %S"
+                 pair))
+  in
+  match
+    List.fold_left parse_pair
+      (Ok (0., 0., 0., None))
+      (List.filter
+         (fun p -> String.trim p <> "")
+         (String.split_on_char ',' s))
+  with
+  | Error _ as e -> e
+  | Ok (transient, torn, bitflip, seed) ->
+      Ok (create ?seed ~transient ~torn ~bitflip ())
+
+(* A deterministic draw in [0,1) keyed by (seed, path, page, salt):
+   whether a given fault hits a given page is a pure function of the
+   configuration, so a run is exactly reproducible from its seed. *)
+let draw t ~path ~page ~salt =
+  let h = Hashtbl.hash (t.seed, path, page, salt) in
+  float_of_int (h land 0xFFFFFF) /. 16777216.
+
+let salt_transient = 0
+let salt_torn = 1
+let salt_bitflip = 2
+
+let apply t ~path ~page ~attempt buf =
+  (* Transient faults fail only the first attempt on a page, so a
+     bounded retry always recovers — the model is a bus hiccup, not bad
+     media. *)
+  if attempt = 0 && draw t ~path ~page ~salt:salt_transient < t.transient then
+    raise (Transient_read_error { path; page; attempt });
+  let len = Bytes.length buf in
+  (* Torn write: the second half of the page (trailer included) never
+     made it to disk.  Persistent — every read of the page sees it. *)
+  if draw t ~path ~page ~salt:salt_torn < t.torn then
+    Bytes.fill buf (len / 2) (len - (len / 2)) '\000';
+  (* Single bit flip at a page-determined offset.  Also persistent. *)
+  if draw t ~path ~page ~salt:salt_bitflip < t.bitflip then begin
+    let offset = Hashtbl.hash (t.seed, path, page, "bit") mod (len * 8) in
+    let byte = offset / 8 and bit = offset mod 8 in
+    Bytes.set buf byte
+      (Char.chr (Char.code (Bytes.get buf byte) lxor (1 lsl bit)))
+  end
+
+let would_corrupt t ~path ~page =
+  draw t ~path ~page ~salt:salt_torn < t.torn
+  || draw t ~path ~page ~salt:salt_bitflip < t.bitflip

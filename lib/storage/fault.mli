@@ -1,0 +1,54 @@
+(** Deterministic storage fault injection.
+
+    A {!t} is a seeded configuration of per-page fault probabilities.
+    Whether a fault hits a given page is a pure function of
+    [(seed, path, page)], so every run with the same configuration
+    injects exactly the same faults — tests and reproductions are
+    deterministic, never flaky.
+
+    Three fault kinds, modelling distinct disk failure modes:
+
+    - {e transient}: the read itself fails ({!Transient_read_error}) but
+      only on the first attempt — a bus hiccup that a bounded retry
+      (see {!Heap_file}) always recovers from;
+    - {e torn}: the second half of the page (CRC trailer included) reads
+      back as zeros, as if a write was interrupted mid-page.  Persistent;
+      detected by the page checksum;
+    - {e bitflip}: a single bit at a page-determined offset is inverted.
+      Persistent; detected by the page checksum.
+
+    Injection mutates the {e in-memory} page buffer after the read; the
+    file on disk is never touched. *)
+
+exception Transient_read_error of { path : string; page : int; attempt : int }
+
+type t
+
+val create :
+  ?seed:int -> ?transient:float -> ?torn:float -> ?bitflip:float -> unit -> t
+(** Rates are per-page probabilities in [[0,1]], all defaulting to 0.
+    The default seed comes from the [TEMPAGG_FAULT_SEED] environment
+    variable when set (and an integer), else 42.
+    @raise Invalid_argument on a rate outside [[0,1]]. *)
+
+val of_string : string -> (t, string) result
+(** Parse a spec of comma-separated [KEY=VALUE] pairs with keys
+    [transient], [torn], [bitflip] (rates) and [seed], e.g.
+    ["transient=0.1,torn=0.02,seed=7"].  Omitted keys default as in
+    {!create}; [""] is a valid all-zero spec. *)
+
+val to_string : t -> string
+(** Canonical spec form, [of_string]-compatible. *)
+
+val seed : t -> int
+
+val apply : t -> path:string -> page:int -> attempt:int -> bytes -> unit
+(** Inject into a page buffer just read from [path]/[page] on the given
+    (0-based) read [attempt].
+    @raise Transient_read_error when the transient draw hits and
+    [attempt = 0]; otherwise mutates the buffer in place (torn, bitflip)
+    or does nothing. *)
+
+val would_corrupt : t -> path:string -> page:int -> bool
+(** Whether a torn or bitflip fault hits this page — the pages a
+    skip-and-count scan will drop.  For tests. *)

@@ -1,10 +1,21 @@
 (** Heap files: temporal relations on disk as pages of fixed-width slots.
 
-    Layout: a header page (magic, version, page size, slot size, tuple
-    count, and the schema as a CSV-style declaration) followed by data
-    pages, each holding a slot count and up to
-    [(page_size - 4) / slot_bytes] encoded tuples.  Scans read one page at
-    a time and charge every page transfer to the supplied {!Io_stats}.
+    Layout (format version 2): a header page (magic, version, page size,
+    slot size, tuple count, and the schema as a CSV-style declaration)
+    followed by data pages, each holding a slot count, up to
+    [(page_size - 8) / slot_bytes] encoded tuples, and a CRC-32 trailer
+    in the last 4 bytes covering everything before it.  Version-1 files
+    (no trailers) are still readable; new files are always version 2.
+    Scans read one page at a time and charge every page transfer to the
+    supplied {!Io_stats}.
+
+    Corruption and fault handling: every page read on a version-2 file is
+    checksum-verified — a mismatch raises {!Corrupt_page} (and bumps the
+    stats' corrupt counter), or, in a [`Skip] scan, drops the page's
+    tuples and continues.  With a {!Fault} injector installed on the
+    reader, transient read faults are retried up to 3 times with doubled
+    backoff (each retry charged to {!Io_stats.retry}); torn pages and bit
+    flips surface through the checksum like real corruption would.
 
     Heap files preserve physical tuple order — the property the paper's
     algorithms care about (sorted / k-ordered / random). *)
@@ -13,6 +24,10 @@ open Relation
 
 val default_page_size : int
 (** 8192 bytes. *)
+
+exception Corrupt_page of { path : string; page : int }
+(** A page's CRC-32 trailer did not match its contents.  [page] is the
+    0-based data-page index, or [-1] for the header page. *)
 
 (** {1 Writing} *)
 
@@ -40,8 +55,11 @@ val close_writer : writer -> unit
 
 type reader
 
-val open_reader : stats:Io_stats.t -> string -> reader
-(** @raise Invalid_argument on a missing or malformed file. *)
+val open_reader : ?fault:Fault.t -> stats:Io_stats.t -> string -> reader
+(** [fault] installs a deterministic fault injector on every subsequent
+    page read (the header page is read before injection starts).
+    @raise Invalid_argument on a missing or malformed file.
+    @raise Corrupt_page if a version-2 header fails its checksum. *)
 
 val schema : reader -> Schema.t
 val cardinality : reader -> int
@@ -51,12 +69,21 @@ val slot_bytes : reader -> int
 val data_pages : reader -> int
 (** Number of data pages (excluding the header). *)
 
-val scan : ?pool:Buffer_pool.t -> reader -> Tuple.t Seq.t
+val format_version : reader -> int
+(** 1 (no page trailers) or 2 (CRC-32 trailers). *)
+
+val scan : ?pool:Buffer_pool.t -> ?on_corrupt:[ `Fail | `Skip ] -> reader -> Tuple.t Seq.t
 (** Sequential scan in physical order; pages are charged as they are
     pulled.  The sequence may be re-consumed (each traversal re-reads).
     With [pool], cached pages are served without touching the disk or the
     {!Io_stats} counters — how a second scan (e.g. Tuma's two-scan
-    algorithm) can come for free when the relation fits the pool. *)
+    algorithm) can come for free when the relation fits the pool; only
+    checksum-verified pages ever enter the pool.
+
+    [on_corrupt] (default [`Fail]) decides what a checksum mismatch does:
+    [`Fail] lets {!Corrupt_page} escape from the sequence; [`Skip] drops
+    the corrupt page's tuples and scans on — the page is still counted in
+    {!Io_stats.corrupt_pages}, so the loss is visible. *)
 
 val close_reader : reader -> unit
 
@@ -65,4 +92,9 @@ val close_reader : reader -> unit
 val write_relation :
   ?page_size:int -> ?slot_bytes:int -> stats:Io_stats.t -> string -> Trel.t -> unit
 
-val read_relation : stats:Io_stats.t -> string -> Trel.t
+val read_relation :
+  ?fault:Fault.t ->
+  ?on_corrupt:[ `Fail | `Skip ] ->
+  stats:Io_stats.t ->
+  string ->
+  Trel.t

@@ -22,6 +22,7 @@ type query = {
   group_by : string list;
   grouping : temporal_grouping;
   using : string option;
+  on_error : Tempagg.Engine.on_error option;
 }
 
 let agg_fun_to_string = function
@@ -83,5 +84,11 @@ let to_string q =
     Buffer.add_string buf (" GROUP BY " ^ String.concat ", " groups);
   (match q.using with
   | Some algo -> Buffer.add_string buf (" USING " ^ algo)
+  | None -> ());
+  (match q.on_error with
+  | Some policy ->
+      Buffer.add_string buf
+        (" ON ERROR "
+        ^ String.uppercase_ascii (Tempagg.Engine.on_error_to_string policy))
   | None -> ());
   Buffer.contents buf

@@ -16,7 +16,7 @@
     {v
     query  ::= SELECT items FROM ident [DURING '[' int ',' stop ']']
                [WHERE pred {AND pred}] [GROUP BY group {, group}]
-               [USING algo] [;]
+               [USING algo] [ON ERROR policy] [;]
     stop   ::= int | oo | forever
     items  ::= item {, item}
     item   ::= ident | fn '(' [DISTINCT] ident ')' | COUNT '(' '*' ')'
@@ -25,6 +25,7 @@
     group  ::= ident | INSTANT | SPAN int
     algo   ::= ident ['(' int [',' algo] ')']
                e.g. USING ktree(4), USING parallel(4, sweep)
+    policy ::= FAIL | FALLBACK | SKIP
     v} *)
 
 type agg_fun = Count | Sum | Avg | Min | Max
@@ -59,6 +60,9 @@ type query = {
   group_by : string list;  (** attribute (value) grouping *)
   grouping : temporal_grouping;
   using : string option;  (** evaluation-algorithm hint *)
+  on_error : Tempagg.Engine.on_error option;
+      (** [ON ERROR] recovery policy; [None] leaves the choice to the
+          optimizer (see {!Tempagg.Optimizer.choice}). *)
 }
 
 val agg_fun_to_string : agg_fun -> string

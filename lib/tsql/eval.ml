@@ -12,24 +12,59 @@ let data_for tuples (spec : Semant.agg_spec) =
              let v = Tuple.value t i in
              if Value.is_null v then None else Some (Tuple.valid t, v))
 
-let run_engine (plan : Semant.plan) monoid data =
+(* Mutable context for one robust query run: the budgets to enforce and
+   the degradation events accumulated across every per-aggregate,
+   per-group engine evaluation. *)
+type robust_ctx = {
+  memory_budget : int option;
+  deadline_ms : float option;
+  mutable events : Tempagg.Engine.degradation list;
+}
+
+(* Carries a structured engine error out of the evaluation loops;
+   intercepted in [query_robust], never escapes this module. *)
+exception Robust_error of Tempagg.Engine.error
+
+let run_engine ?robust (plan : Semant.plan) monoid data =
   let origin, horizon =
     match plan.Semant.window with
     | Some w -> (Interval.start w, Interval.stop w)
     | None -> (Chronon.origin, Chronon.forever)
   in
-  match plan.Semant.granule with
-  | Some granule ->
-      Tempagg.Span.eval ~origin ~horizon ~algorithm:plan.Semant.algorithm
-        ~granule monoid data
-  | None ->
-      Tempagg.Engine.eval ~origin ~horizon plan.Semant.algorithm monoid data
+  match robust with
+  | None -> (
+      match plan.Semant.granule with
+      | Some granule ->
+          Tempagg.Span.eval ~origin ~horizon ~algorithm:plan.Semant.algorithm
+            ~granule monoid data
+      | None ->
+          Tempagg.Engine.eval ~origin ~horizon plan.Semant.algorithm monoid
+            data)
+  | Some ctx -> (
+      let result =
+        match plan.Semant.granule with
+        | Some granule ->
+            Tempagg.Span.eval_robust ~origin ~horizon
+              ~algorithm:plan.Semant.algorithm ~on_error:plan.Semant.on_error
+              ?memory_budget:ctx.memory_budget ?deadline_ms:ctx.deadline_ms
+              ~granule monoid data
+        | None ->
+            Tempagg.Engine.eval_robust ~origin ~horizon
+              ~on_error:plan.Semant.on_error
+              ?memory_budget:ctx.memory_budget ?deadline_ms:ctx.deadline_ms
+              plan.Semant.algorithm monoid data
+      in
+      match result with
+      | Ok (timeline, degradations) ->
+          ctx.events <- ctx.events @ degradations;
+          timeline
+      | Error e -> raise (Robust_error e))
 
 let int_value n = Value.Int n
 
 let option_value = function None -> Value.Null | Some v -> v
 
-let agg_timeline plan tuples (spec : Semant.agg_spec) =
+let agg_timeline ?robust plan tuples (spec : Semant.agg_spec) =
   let data = data_for tuples spec in
   let data =
     (* Duplicate elimination happens before the relation is processed
@@ -59,7 +94,7 @@ let agg_timeline plan tuples (spec : Semant.agg_spec) =
   in
   let module M = Tempagg.Monoid in
   match (spec.Semant.fn, spec.Semant.column_ty) with
-  | Ast.Count, _ -> run_engine plan (M.map_output int_value M.count) data
+  | Ast.Count, _ -> run_engine ?robust plan (M.map_output int_value M.count) data
   | Ast.Sum, Some Value.Tfloat ->
       let monoid =
         M.contramap
@@ -67,14 +102,14 @@ let agg_timeline plan tuples (spec : Semant.agg_spec) =
           M.sum_float
         |> M.map_output (fun f -> Value.Float f)
       in
-      run_engine plan monoid data
+      run_engine ?robust plan monoid data
   | Ast.Sum, _ ->
       let monoid =
         M.contramap (fun v -> Option.value (Value.to_int v) ~default:0)
           M.sum_int
         |> M.map_output int_value
       in
-      run_engine plan monoid data
+      run_engine ?robust plan monoid data
   | Ast.Avg, _ ->
       let monoid =
         M.contramap
@@ -84,13 +119,13 @@ let agg_timeline plan tuples (spec : Semant.agg_spec) =
              | None -> Value.Null
              | Some f -> Value.Float f)
       in
-      run_engine plan monoid data
+      run_engine ?robust plan monoid data
   | Ast.Min, _ ->
-      run_engine plan
+      run_engine ?robust plan
         (M.map_output option_value (M.minimum ~compare:Value.compare))
         data
   | Ast.Max, _ ->
-      run_engine plan
+      run_engine ?robust plan
         (M.map_output option_value (M.maximum ~compare:Value.compare))
         data
 
@@ -136,7 +171,7 @@ let partitions (plan : Semant.plan) tuples =
            (fun key -> (key, List.rev (Hashtbl.find groups key)))
            !order)
 
-let run (plan : Semant.plan) =
+let run_aux ?robust (plan : Semant.plan) =
   let tuples =
     List.filter plan.Semant.filter (Trel.tuples plan.Semant.relation)
   in
@@ -162,7 +197,8 @@ let run (plan : Semant.plan) =
     List.concat_map
       (fun (key, group_tuples) ->
         let timelines =
-          List.map (agg_timeline plan group_tuples) plan.Semant.aggregates
+          List.map (agg_timeline ?robust plan group_tuples)
+            plan.Semant.aggregates
         in
         let zipped =
           Timeline.coalesce
@@ -195,12 +231,20 @@ let run (plan : Semant.plan) =
   in
   Trel.create plan.Semant.out_schema rows
 
+let run plan = run_aux plan
+
 let ( let* ) = Result.bind
 
 (* Command-line overrides: --algorithm replaces the planned algorithm
    outright; --domains N (N > 1) wraps whatever was chosen in a parallel
-   divide-and-conquer over N OCaml domains. *)
-let apply_overrides ?algorithm ?domains plan =
+   divide-and-conquer over N OCaml domains; --on-error replaces the
+   recovery policy. *)
+let apply_overrides ?algorithm ?domains ?on_error plan =
+  let plan =
+    match on_error with
+    | None -> plan
+    | Some p -> { plan with Semant.on_error = p }
+  in
   let plan =
     match algorithm with
     | None -> plan
@@ -238,10 +282,27 @@ let query ?algorithm ?domains catalog text =
             %d); sort the relation or raise k"
            position)
 
-let explain ?algorithm ?domains catalog text =
+type robust_report = {
+  result : Trel.t;
+  degradations : Tempagg.Engine.degradation list;
+}
+
+let query_robust ?algorithm ?domains ?on_error ?memory_budget ?deadline_ms
+    catalog text =
   let* ast = Parser.parse text in
   let* plan = Semant.analyze catalog ast in
-  let plan = apply_overrides ?algorithm ?domains plan in
+  let plan = apply_overrides ?algorithm ?domains ?on_error plan in
+  let ctx = { memory_budget; deadline_ms; events = [] } in
+  match run_aux ~robust:ctx plan with
+  | rel -> Ok { result = rel; degradations = ctx.events }
+  | exception Robust_error e ->
+      Error ("evaluation failed: " ^ Tempagg.Engine.error_to_string e)
+  | exception Invalid_argument msg -> Error ("evaluation failed: " ^ msg)
+
+let explain ?algorithm ?domains ?on_error catalog text =
+  let* ast = Parser.parse text in
+  let* plan = Semant.analyze catalog ast in
+  let plan = apply_overrides ?algorithm ?domains ?on_error plan in
   let grouping =
     match plan.Semant.granule with
     | None -> "by instant"
@@ -251,7 +312,8 @@ let explain ?algorithm ?domains catalog text =
   in
   Ok
     (Printf.sprintf
-       "scan %s (%d tuples)%s%s; aggregate %s grouped %s%s using %s\n  why: %s"
+       "scan %s (%d tuples)%s%s; aggregate %s grouped %s%s using %s%s\n\
+       \  why: %s"
        plan.Semant.source_name
        (Trel.cardinality plan.Semant.relation)
        (match plan.Semant.window with
@@ -269,4 +331,9 @@ let explain ?algorithm ?domains catalog text =
            Printf.sprintf " and by (%s)"
              (String.concat ", " (List.map fst cols)))
        (Tempagg.Engine.name plan.Semant.algorithm)
+       (match plan.Semant.on_error with
+       | Tempagg.Engine.Fail -> ""
+       | p ->
+           Printf.sprintf " (on error: %s)"
+             (Tempagg.Engine.on_error_to_string p))
        plan.Semant.rationale)

@@ -28,13 +28,38 @@ val query :
     {!Tempagg.Engine.Parallel} over that many OCaml domains (the CLI's
     [--domains]). *)
 
+type robust_report = {
+  result : Relation.Trel.t;
+  degradations : Tempagg.Engine.degradation list;
+      (** Every recovery event across all per-aggregate, per-group
+          evaluations, in occurrence order.  Empty on a clean run. *)
+}
+
+val query_robust :
+  ?algorithm:Tempagg.Engine.algorithm ->
+  ?domains:int ->
+  ?on_error:Tempagg.Engine.on_error ->
+  ?memory_budget:int ->
+  ?deadline_ms:float ->
+  Catalog.t ->
+  string ->
+  (robust_report, string) result
+(** Like {!query}, but every engine evaluation goes through
+    {!Tempagg.Engine.eval_robust}: budgets and deadlines are enforced
+    (per evaluation), failures walk the plan's recovery policy
+    ([?on_error] overrides the query's [ON ERROR] clause or the
+    optimizer's recommendation), and every degradation is reported —
+    never applied silently.  [Error _] carries the rendered structured
+    error when recovery is impossible or disallowed. *)
+
 val explain :
   ?algorithm:Tempagg.Engine.algorithm ->
   ?domains:int ->
+  ?on_error:Tempagg.Engine.on_error ->
   Catalog.t ->
   string ->
   (string, string) result
 (** Parse and analyze only; describe the chosen strategy (algorithm,
-    sorting, grouping) without running the query.  Takes the same
-    overrides as {!query} so [explain] shows exactly what [query] would
-    run. *)
+    sorting, grouping, recovery policy when not [fail]) without running
+    the query.  Takes the same overrides as {!query} so [explain] shows
+    exactly what [query] would run. *)

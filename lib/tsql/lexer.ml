@@ -10,6 +10,8 @@ type token =
   | DISTINCT
   | INSTANT
   | SPAN
+  | ON
+  | ERROR
   | IDENT of string
   | INT of int
   | FLOAT of float
@@ -41,6 +43,8 @@ let token_to_string = function
   | DISTINCT -> "DISTINCT"
   | INSTANT -> "INSTANT"
   | SPAN -> "SPAN"
+  | ON -> "ON"
+  | ERROR -> "ERROR"
   | IDENT s -> s
   | INT n -> string_of_int n
   | FLOAT f -> Printf.sprintf "%g" f
@@ -72,6 +76,8 @@ let keyword_of = function
   | "distinct" -> Some DISTINCT
   | "instant" -> Some INSTANT
   | "span" -> Some SPAN
+  | "on" -> Some ON
+  | "error" -> Some ERROR
   | _ -> None
 
 let is_ident_start = function

@@ -16,6 +16,8 @@ type token =
   | DISTINCT
   | INSTANT
   | SPAN
+  | ON
+  | ERROR
   | IDENT of string
   | INT of int
   | FLOAT of float

@@ -205,9 +205,20 @@ let query st =
     end
     else None
   in
+  let on_error =
+    if peek st = Lexer.ON then begin
+      advance st;
+      expect st Lexer.ERROR "ERROR";
+      let name = ident st in
+      match Tempagg.Engine.on_error_of_string (String.lowercase_ascii name) with
+      | Ok policy -> Some policy
+      | Error msg -> raise (Syntax_error msg)
+    end
+    else None
+  in
   if peek st = Lexer.SEMI then advance st;
   expect st Lexer.EOF "end of query";
-  { Ast.select; from; during; where; group_by; grouping; using }
+  { Ast.select; from; during; where; group_by; grouping; using; on_error }
 
 let parse text =
   match Lexer.tokenize text with

@@ -17,6 +17,7 @@ type plan = {
   aggregates : agg_spec list;
   algorithm : Tempagg.Engine.algorithm;
   sort_first : bool;
+  on_error : Tempagg.Engine.on_error;
   granule : Temporal.Granule.t option;
   window : Temporal.Interval.t option;
   out_schema : Schema.t;
@@ -156,7 +157,12 @@ let choose_algorithm relation (q : Ast.query) ~invertible granule window =
   match q.Ast.using with
   | Some hint ->
       let* algorithm = Tempagg.Engine.of_string hint in
-      Ok (algorithm, false, Printf.sprintf "USING hint: %s" hint)
+      (* An explicit hint fails loudly by default — the user asked for
+         this algorithm — unless an ON ERROR clause says otherwise. *)
+      let on_error =
+        Option.value q.Ast.on_error ~default:Tempagg.Engine.Fail
+      in
+      Ok (algorithm, false, on_error, Printf.sprintf "USING hint: %s" hint)
   | None ->
       let expected_constant_intervals =
         (* Upper bounds on the result size: the number of spans under
@@ -196,6 +202,8 @@ let choose_algorithm relation (q : Ast.query) ~invertible granule window =
       Ok
         ( choice.Tempagg.Optimizer.algorithm,
           choice.Tempagg.Optimizer.sort_first,
+          Option.value q.Ast.on_error
+            ~default:choice.Tempagg.Optimizer.on_error,
           choice.Tempagg.Optimizer.rationale )
 
 let analyze catalog (q : Ast.query) =
@@ -253,7 +261,7 @@ let analyze catalog (q : Ast.query) =
           | None -> Temporal.Chronon.forever))
       q.Ast.during
   in
-  let* algorithm, sort_first, rationale =
+  let* algorithm, sort_first, on_error, rationale =
     choose_algorithm relation q ~invertible:(all_invertible aggregates)
       granule window
   in
@@ -287,6 +295,7 @@ let analyze catalog (q : Ast.query) =
       aggregates;
       algorithm;
       sort_first;
+      on_error;
       granule;
       window;
       out_schema;

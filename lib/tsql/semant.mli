@@ -34,6 +34,11 @@ type plan = {
   aggregates : agg_spec list;
   algorithm : Tempagg.Engine.algorithm;
   sort_first : bool;  (** Sort the relation by time before evaluating. *)
+  on_error : Tempagg.Engine.on_error;
+      (** Recovery policy for robust execution: an explicit [ON ERROR]
+          clause, else [Fail] for a [USING] hint, else the optimizer's
+          recommendation.  {!Eval.run} ignores it; {!Eval.query_robust}
+          honours it. *)
   granule : Temporal.Granule.t option;  (** [Some _] for GROUP BY SPAN. *)
   window : Temporal.Interval.t option;
       (** DURING window: evaluation is restricted to these instants. *)

@@ -139,6 +139,103 @@ let test_bad_subcommand () =
   let code, _ = run [ "frobnicate" ] in
   Alcotest.(check bool) "nonzero exit" true (code <> 0)
 
+let test_csv_error_carries_position () =
+  with_tempdir (fun dir ->
+      let csv = Filename.concat dir "bad.csv" in
+      Out_channel.with_open_text csv (fun oc ->
+          output_string oc "name:string,start,stop\nalice,1,2\nbob,oops,9\n");
+      let code, out = run [ "metrics"; csv ] in
+      Alcotest.(check bool) "nonzero exit" true (code <> 0);
+      check_contains out "line 3 (row 2)")
+
+(* Writes a relation whose physical order defeats ktree(1) so the
+   recovery flags have something to recover from. *)
+let unsorted_csv dir =
+  let csv = Filename.concat dir "rel.csv" in
+  let code, _ =
+    run
+      [ "generate"; "--tuples"; "300"; "--order"; "k-ordered"; "-k"; "40";
+        "--seed"; "9"; "-o"; csv ]
+  in
+  Alcotest.(check int) "generate" 0 code;
+  csv
+
+let test_on_error_fallback_flag () =
+  with_tempdir (fun dir ->
+      let csv = unsorted_csv dir in
+      let q = "SELECT COUNT(*) FROM jobs" in
+      (* Without a policy the hinted algorithm fails loudly... *)
+      let code, out =
+        run [ "query"; "-r"; "jobs=" ^ csv; "--algorithm"; "ktree(1)"; q ]
+      in
+      Alcotest.(check bool) "hint fails" true (code <> 0);
+      check_contains out "not k-ordered";
+      (* ...and with --on-error fallback the query completes, reporting
+         every degradation on stderr. *)
+      let code, out =
+        run
+          [ "query"; "-r"; "jobs=" ^ csv; "--algorithm"; "ktree(1)";
+            "--on-error"; "fallback"; q ]
+      in
+      Alcotest.(check int) "fallback recovers" 0 code;
+      check_contains out "degraded:";
+      check_contains out "count(*)")
+
+let test_deadline_flag () =
+  with_tempdir (fun dir ->
+      let csv = Filename.concat dir "rel.csv" in
+      let code, _ =
+        run [ "generate"; "--tuples"; "20000"; "--seed"; "6"; "-o"; csv ]
+      in
+      Alcotest.(check int) "generate" 0 code;
+      let code, out =
+        run
+          [ "query"; "-r"; "jobs=" ^ csv; "--deadline-ms"; "0.001";
+            "SELECT COUNT(*) FROM jobs" ]
+      in
+      Alcotest.(check bool) "deadline trips" true (code <> 0);
+      check_contains out "deadline exceeded")
+
+let test_inject_faults_flags () =
+  with_tempdir (fun dir ->
+      let csv = Filename.concat dir "rel.csv" in
+      let heap = Filename.concat dir "rel.heap" in
+      let code, _ =
+        run [ "generate"; "--tuples"; "300"; "--seed"; "8"; "-o"; csv ]
+      in
+      Alcotest.(check int) "generate" 0 code;
+      let code, _ = run [ "convert"; csv; heap ] in
+      Alcotest.(check int) "convert" 0 code;
+      let q = "SELECT COUNT(*) FROM jobs" in
+      (* Transient faults are retried away without any policy. *)
+      let code, out =
+        run
+          [ "query"; "-r"; "jobs=" ^ heap; "--inject-faults"; "transient=1.0";
+            q ]
+      in
+      Alcotest.(check int) "transient recovered" 0 code;
+      check_contains out "transient read fault";
+      (* Persistent corruption fails the checksum... *)
+      let code, out =
+        run [ "query"; "-r"; "jobs=" ^ heap; "--inject-faults"; "torn=1.0"; q ]
+      in
+      Alcotest.(check bool) "corruption fatal by default" true (code <> 0);
+      check_contains out "failed its checksum";
+      (* ...unless the policy says to scan around it. *)
+      let code, out =
+        run
+          [ "query"; "-r"; "jobs=" ^ heap; "--inject-faults"; "torn=1.0";
+            "--on-error"; "skip"; q ]
+      in
+      Alcotest.(check int) "skip scans around" 0 code;
+      check_contains out "corrupt page";
+      (* A malformed spec is rejected up front. *)
+      let code, out =
+        run [ "query"; "-r"; "jobs=" ^ heap; "--inject-faults"; "torn=9"; q ]
+      in
+      Alcotest.(check bool) "bad spec rejected" true (code <> 0);
+      check_contains out "torn")
+
 let quick name f = Alcotest.test_case name `Quick f
 
 let () =
@@ -155,5 +252,9 @@ let () =
             test_convert_extsort_query_pipeline;
           quick "sort csv" test_sort_csv;
           quick "bad subcommand" test_bad_subcommand;
+          quick "csv error carries line/row" test_csv_error_carries_position;
+          quick "--on-error fallback" test_on_error_fallback_flag;
+          quick "--deadline-ms" test_deadline_flag;
+          quick "--inject-faults" test_inject_faults_flags;
         ] );
     ]

@@ -250,6 +250,17 @@ let test_csv_errors () =
   expect_error "name:string,start,stop\nalice,9,7\n" "start 9 after stop 7";
   expect_error "salary:int,start,stop\nabc,5,7\n" "not an int literal"
 
+(* Every parse error names its physical line; data-row errors also name
+   the row, and the two diverge across quoted newlines. *)
+let test_csv_error_positions () =
+  expect_error "name:string,start,stop\n\"alice,1,2\n" "line 2";
+  expect_error "name:string,start,stop\nalice,1,2\nbob,5\n" "line 3 (row 2)";
+  (* Row 1 spans lines 2-3 via a quoted newline, so the bad row 2 sits on
+     physical line 4. *)
+  expect_error "name:string,start,stop\n\"a\nb\",1,2\nbob,bad,2\n"
+    "line 4 (row 2)";
+  expect_error "name:blob,start,stop\nalice,1,2\n" "line 1"
+
 let test_csv_file_io () =
   let path = Filename.temp_file "tempagg" ".csv" in
   Fun.protect
@@ -313,6 +324,8 @@ let () =
             test_csv_infinite_stop;
           Alcotest.test_case "quoting" `Quick test_csv_quoting;
           Alcotest.test_case "parse errors" `Quick test_csv_errors;
+          Alcotest.test_case "error positions" `Quick
+            test_csv_error_positions;
           Alcotest.test_case "file io" `Quick test_csv_file_io;
         ] );
     ]

@@ -339,6 +339,47 @@ let test_pool_invalidate_file () =
   Alcotest.(check bool) "f gone" true (Buffer_pool.find pool ("f", 0) = None);
   Alcotest.(check bool) "g kept" true (Buffer_pool.find pool ("g", 0) <> None)
 
+let test_pool_invalidate_multiple_pages () =
+  let pool = Buffer_pool.create ~capacity:8 in
+  for p = 0 to 3 do
+    Buffer_pool.insert pool ("f", p) (Bytes.of_string (string_of_int p))
+  done;
+  Buffer_pool.insert pool ("g", 0) (Bytes.of_string "keep");
+  Buffer_pool.invalidate_file pool "f";
+  Alcotest.(check int) "only g's page remains" 1 (Buffer_pool.length pool);
+  for p = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "f page %d gone" p)
+      true
+      (Buffer_pool.find pool ("f", p) = None)
+  done;
+  Alcotest.(check bool) "g untouched" true
+    (Buffer_pool.find pool ("g", 0) <> None)
+
+let test_pool_invalidate_missing_file_is_noop () =
+  let pool = Buffer_pool.create ~capacity:2 in
+  Buffer_pool.insert pool ("f", 0) (Bytes.of_string "a");
+  Buffer_pool.invalidate_file pool "nonexistent";
+  Alcotest.(check int) "nothing dropped" 1 (Buffer_pool.length pool);
+  let empty = Buffer_pool.create ~capacity:2 in
+  Buffer_pool.invalidate_file empty "f";
+  Alcotest.(check int) "empty pool unchanged" 0 (Buffer_pool.length empty)
+
+let test_pool_reinsert_after_invalidate () =
+  let pool = Buffer_pool.create ~capacity:2 in
+  Buffer_pool.insert pool ("f", 0) (Bytes.of_string "stale");
+  Buffer_pool.invalidate_file pool "f";
+  Buffer_pool.insert pool ("f", 0) (Bytes.of_string "fresh");
+  Alcotest.(check (option string)) "fresh copy served" (Some "fresh")
+    (Option.map Bytes.to_string (Buffer_pool.find pool ("f", 0)));
+  (* Eviction order must be consistent after the invalidation: the pool
+     holds one page, inserting two more evicts only the oldest. *)
+  Buffer_pool.insert pool ("g", 0) (Bytes.of_string "b");
+  Buffer_pool.insert pool ("g", 1) (Bytes.of_string "c");
+  Alcotest.(check int) "capacity respected" 2 (Buffer_pool.length pool);
+  Alcotest.(check bool) "oldest evicted" true
+    (Buffer_pool.find pool ("f", 0) = None)
+
 let test_pool_validation () =
   Alcotest.(check bool) "capacity" true
     (match Buffer_pool.create ~capacity:0 with
@@ -419,6 +460,11 @@ let () =
           quick "LRU eviction" test_pool_lru_eviction;
           quick "pages are copied" test_pool_copies_pages;
           quick "invalidate file" test_pool_invalidate_file;
+          quick "invalidate drops every page of the file"
+            test_pool_invalidate_multiple_pages;
+          quick "invalidate unknown file is a no-op"
+            test_pool_invalidate_missing_file_is_noop;
+          quick "reinsert after invalidate" test_pool_reinsert_after_invalidate;
           quick "validation" test_pool_validation;
           quick "second scan free with big pool" test_pool_second_scan_free;
           quick "tiny pool does not help" test_pool_too_small_to_help;
