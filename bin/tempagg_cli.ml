@@ -3,6 +3,8 @@
    Subcommands:
      query     run a TSQL2-subset query over CSV relations
      explain   show the evaluation plan without running the query
+     serve     execute a script of interleaved DDL/DML/queries against
+               live incrementally-maintained views
      generate  write a synthetic relation (paper Section 6 methodology)
      metrics   report k-orderedness / k-ordered-percentage of a relation
      sort      time-sort a relation CSV
@@ -438,6 +440,64 @@ let extsort_cmd =
   Cmd.v (Cmd.info "extsort" ~doc)
     Term.(ret (const extsort $ memory $ fan_in $ src $ dst))
 
+(* serve *)
+
+let serve bindings cache_capacity echo script =
+  match build_catalog bindings with
+  | Error msg -> `Error (false, msg)
+  | Ok catalog -> (
+      match In_channel.with_open_text script In_channel.input_all with
+      | exception Sys_error msg -> `Error (false, msg)
+      | text -> (
+          let session = Tsql.Session.create ~cache_capacity catalog in
+          match Tsql.Serve.run_script ~echo session text with
+          | Error msg -> `Error (false, script ^ ": " ^ msg)
+          | Ok report ->
+              print_string (Tsql.Serve.report_to_string report);
+              `Ok ()))
+
+let serve_cmd =
+  let doc =
+    "execute a script of interleaved statements against live views and \
+     report per-operation latencies"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs a mutable session over the bound relations: the script may \
+         interleave $(b,CREATE VIEW name AS query), $(b,REFRESH VIEW), \
+         $(b,DROP VIEW), $(b,INSERT INTO r VALUES (...) DURING [a,b]), \
+         $(b,DELETE FROM r WHERE ...) and $(b,SELECT) statements, \
+         separated by semicolons ($(b,--) starts a line comment).  Views \
+         with a plain by-instant, ungrouped definition are maintained \
+         incrementally on every write; others are recomputed lazily.  The \
+         report gives per-statement-kind latency percentiles and the \
+         session's live-maintenance counters.";
+    ]
+  in
+  let cache =
+    Arg.(
+      value & opt int 128
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Query-cache capacity in entries.")
+  in
+  let echo =
+    Arg.(
+      value & flag
+      & info [ "echo" ]
+          ~doc:"Print each SELECT result and acknowledgement as it runs.")
+  in
+  let script =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "script" ] ~docv:"PATH"
+          ~doc:"Statement script to execute (required).")
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(ret (const serve $ relations_arg $ cache $ echo $ script))
+
 let sort_cmd =
   let doc = "sort a relation by valid time (start, then stop)" in
   let input =
@@ -454,7 +514,7 @@ let main =
   let doc = "temporal aggregate computation (Kline & Snodgrass, ICDE 1995)" in
   Cmd.group
     (Cmd.info "tempagg" ~version:"1.0.0" ~doc)
-    [ query_cmd; explain_cmd; generate_cmd; metrics_cmd; sort_cmd;
+    [ query_cmd; explain_cmd; serve_cmd; generate_cmd; metrics_cmd; sort_cmd;
       convert_cmd; extsort_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -9,6 +9,9 @@ type ('v, 's, 'r) t = {
 
 let invertible m = Option.is_some m.inverse
 
+let subtract m =
+  Option.map (fun inverse acc s -> m.combine acc (inverse s)) m.inverse
+
 let count =
   {
     name = "count";

@@ -40,6 +40,12 @@ type ('v, 's, 'r) t = {
 val invertible : _ t -> bool
 (** [invertible m] is [true] iff {!field:inverse} is present. *)
 
+val subtract : ('v, 's, 'r) t -> ('s -> 's -> 's) option
+(** [subtract m] is [Some (fun acc s -> combine acc (inverse s))] when
+    the monoid is a group, [None] otherwise — the delta retraction used
+    by incremental maintenance to remove a tuple's contribution from a
+    materialized state without recombining the survivors. *)
+
 val count : ('v, int, int) t
 (** Number of tuples overlapping each instant. *)
 

@@ -1,0 +1,72 @@
+open Temporal
+
+type 'a entry = {
+  scope : string;
+  interval : Interval.t;
+  version : int;
+  value : 'a;
+}
+
+type 'a t = {
+  capacity : int;
+  stats : Stats.t;
+  table : (string, 'a entry) Hashtbl.t;
+  order : string Queue.t;  (* insertion order; may hold stale keys *)
+}
+
+let create ?(capacity = 128) stats =
+  if capacity <= 0 then invalid_arg "Live.Cache.create: capacity must be > 0";
+  { capacity; stats; table = Hashtbl.create capacity; order = Queue.create () }
+
+let length t = Hashtbl.length t.table
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      t.stats.Stats.cache_hits <- t.stats.Stats.cache_hits + 1;
+      Some e.value
+  | None ->
+      t.stats.Stats.cache_misses <- t.stats.Stats.cache_misses + 1;
+      None
+
+let entry_version t key =
+  Option.map (fun e -> e.version) (Hashtbl.find_opt t.table key)
+
+let rec evict_one t =
+  (* The queue can hold keys already removed by invalidation; skip them. *)
+  match Queue.take_opt t.order with
+  | None -> ()
+  | Some key ->
+      if Hashtbl.mem t.table key then begin
+        Hashtbl.remove t.table key;
+        t.stats.Stats.cache_evictions <- t.stats.Stats.cache_evictions + 1
+      end
+      else evict_one t
+
+let add t ~key ~scope ~interval ~version value =
+  if not (Hashtbl.mem t.table key) then begin
+    if Hashtbl.length t.table >= t.capacity then evict_one t;
+    Queue.add key t.order
+  end;
+  Hashtbl.replace t.table key { scope; interval; version; value }
+
+let invalidate t ~scope ~interval =
+  let doomed =
+    Hashtbl.fold
+      (fun key e acc ->
+        if String.equal e.scope scope && Interval.overlaps e.interval interval
+        then key :: acc
+        else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) doomed;
+  let n = List.length doomed in
+  t.stats.Stats.cache_invalidations <- t.stats.Stats.cache_invalidations + n;
+  n
+
+let clear t =
+  let n = Hashtbl.length t.table in
+  Hashtbl.reset t.table;
+  Queue.clear t.order;
+  t.stats.Stats.cache_invalidations <- t.stats.Stats.cache_invalidations + n;
+  n

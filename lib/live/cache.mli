@@ -1,0 +1,41 @@
+(** Staleness-tracking query cache.
+
+    Entries are keyed by canonical query text and tagged with a
+    {e scope} (the base relation the result was derived from), the
+    {e interval} of instants the result depends on, and the view
+    version that produced it.  A write to scope [s] over interval [w]
+    invalidates exactly the entries whose scope is [s] and whose
+    interval overlaps [w] — a write outside an entry's window cannot
+    change its rows, so the entry survives.  Bounded capacity with FIFO
+    eviction; all traffic is counted in a shared {!Stats}. *)
+
+open Temporal
+
+type 'a t
+
+val create : ?capacity:int -> Stats.t -> 'a t
+(** [capacity] defaults to 128 entries.
+    @raise Invalid_argument when it is not positive. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup by key; counts a hit or a miss. *)
+
+val add :
+  'a t -> key:string -> scope:string -> interval:Interval.t -> version:int ->
+  'a -> unit
+(** Insert (or overwrite) an entry, evicting the oldest entry first when
+    at capacity. *)
+
+val invalidate : 'a t -> scope:string -> interval:Interval.t -> int
+(** Drop every entry of the scope whose interval overlaps the write;
+    returns how many were dropped. *)
+
+val clear : 'a t -> int
+(** Drop everything (e.g. on DDL); returns how many were dropped,
+    counted as invalidations. *)
+
+val length : 'a t -> int
+
+val entry_version : 'a t -> string -> int option
+(** The view version recorded on an entry, for observability and tests;
+    does not count as a hit or miss. *)

@@ -1,0 +1,25 @@
+let eval_live ?origin ?horizon ?memory_budget ?deadline_ms ?stats monoid data =
+  let guard = Tempagg.Guard.create ?memory_budget ?deadline_ms () in
+  let instrument =
+    if Tempagg.Guard.unlimited guard then None
+    else begin
+      let i = Tempagg.Instrument.create () in
+      Tempagg.Guard.attach guard i;
+      Some i
+    end
+  in
+  (* Everything that can tick the guard — including the view's own
+     initial segment and any rebuild forced by the final snapshot — runs
+     inside the one guarded region. *)
+  match
+    let view = View.create ?origin ?horizon ?instrument ?stats monoid in
+    Seq.iter
+      (fun (iv, v) -> ignore (View.insert view iv v))
+      (Tempagg.Guard.wrap_seq guard data);
+    View.snapshot view
+  with
+  | snapshot -> Ok snapshot
+  | exception Tempagg.Guard.Budget_exceeded { budget_bytes; used_bytes } ->
+      Error (Tempagg.Engine.Budget_exhausted { budget_bytes; used_bytes })
+  | exception Tempagg.Guard.Deadline_exceeded { deadline_ms; elapsed_ms } ->
+      Error (Tempagg.Engine.Deadline_exhausted { deadline_ms; elapsed_ms })

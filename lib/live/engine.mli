@@ -1,0 +1,22 @@
+(** The [eval_live] path: batch evaluation through incremental
+    maintenance.
+
+    Feeds the input tuple-by-tuple into a fresh {!View} under the same
+    {!Tempagg.Guard} budgets as {!Tempagg.Engine.eval_robust} — the
+    memory budget bounds the materialized state timeline (enforced at
+    each patched segment), the deadline ticks per tuple — and returns
+    the final snapshot.  Mostly useful as a conformance harness (the
+    QCheck equivalence tests drive it) and as the guarded entry point
+    for trickle-loading a view from a stream. *)
+
+open Temporal
+
+val eval_live :
+  ?origin:Chronon.t ->
+  ?horizon:Chronon.t ->
+  ?memory_budget:int ->
+  ?deadline_ms:float ->
+  ?stats:Stats.t ->
+  ('v, 's, 'r) Tempagg.Monoid.t ->
+  (Interval.t * 'v) Seq.t ->
+  ('r Timeline.t, Tempagg.Engine.error) result

@@ -1,0 +1,49 @@
+type t = {
+  mutable inserts : int;
+  mutable deletes : int;
+  mutable patched_segments : int;
+  mutable rebuilds : int;
+  mutable pending_tombstones : int;
+  mutable snapshots : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_invalidations : int;
+  mutable cache_evictions : int;
+}
+
+let create () =
+  {
+    inserts = 0;
+    deletes = 0;
+    patched_segments = 0;
+    rebuilds = 0;
+    pending_tombstones = 0;
+    snapshots = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_invalidations = 0;
+    cache_evictions = 0;
+  }
+
+let reset t =
+  t.inserts <- 0;
+  t.deletes <- 0;
+  t.patched_segments <- 0;
+  t.rebuilds <- 0;
+  t.pending_tombstones <- 0;
+  t.snapshots <- 0;
+  t.cache_hits <- 0;
+  t.cache_misses <- 0;
+  t.cache_invalidations <- 0;
+  t.cache_evictions <- 0
+
+let to_string t =
+  Printf.sprintf
+    "inserts=%d deletes=%d patched-segments=%d rebuilds=%d \
+     pending-tombstones=%d snapshots=%d cache: hits=%d misses=%d \
+     invalidations=%d evictions=%d"
+    t.inserts t.deletes t.patched_segments t.rebuilds t.pending_tombstones
+    t.snapshots t.cache_hits t.cache_misses t.cache_invalidations
+    t.cache_evictions
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,184 @@
+open Temporal
+
+type handle = int
+
+type ('v, 's, 'r) t = {
+  monoid : ('v, 's, 'r) Tempagg.Monoid.t;
+  state_equal : 's -> 's -> bool;
+  domain : Interval.t;
+  instrument : Tempagg.Instrument.t option;
+  stats : Stats.t;
+  tuples : (handle, Interval.t * 'v) Hashtbl.t;
+  mutable next_handle : int;
+  mutable version : int;
+  mutable states : 's Timeline.t;
+  mutable dirty : bool;
+      (* A non-invertible delete was absorbed as a tombstone: [states]
+         no longer reflects [tuples] and must be rebuilt before a read. *)
+  history_limit : int;
+  mutable history : (int * 's Timeline.t) list;  (* newest first *)
+}
+
+let sync_instrument t =
+  (* Keep the instrument's live count equal to the segment count, so
+     peak_bytes reports the materialized state's footprint and a Guard
+     budget bounds it. *)
+  match t.instrument with
+  | None -> ()
+  | Some i ->
+      let target = Timeline.length t.states in
+      let cur = Tempagg.Instrument.live i in
+      if cur > target then Tempagg.Instrument.free_many i (cur - target)
+      else for _ = 1 to target - cur do Tempagg.Instrument.alloc i done
+
+let create ?(origin = Chronon.origin) ?(horizon = Chronon.forever)
+    ?(state_equal = Stdlib.( = )) ?(history = 0) ?instrument
+    ?(stats = Stats.create ()) monoid =
+  if Chronon.( > ) origin horizon then
+    invalid_arg "Live.View.create: origin after horizon";
+  if history < 0 then invalid_arg "Live.View.create: negative history";
+  let domain = Interval.make origin horizon in
+  let t =
+    {
+      monoid;
+      state_equal;
+      domain;
+      instrument;
+      stats;
+      tuples = Hashtbl.create 64;
+      next_handle = 0;
+      version = 0;
+      states = Timeline.singleton domain monoid.Tempagg.Monoid.empty;
+      dirty = false;
+      history_limit = history;
+      history = [];
+    }
+  in
+  sync_instrument t;
+  if history > 0 then t.history <- [ (0, t.states) ];
+  t
+
+let domain t = t.domain
+let version t = t.version
+let live_tuples t = Hashtbl.length t.tuples
+let segments t = Timeline.length t.states
+let stats t = t.stats
+
+let state_monoid t = { t.monoid with Tempagg.Monoid.output = Fun.id }
+
+let rebuild t =
+  let data =
+    Hashtbl.fold (fun _ tuple acc -> fun () -> Seq.Cons (tuple, acc))
+      t.tuples Seq.empty
+  in
+  t.states <-
+    Tempagg.Sweep.eval ~origin:(Interval.start t.domain)
+      ~horizon:(Interval.stop t.domain) (state_monoid t) data;
+  t.dirty <- false;
+  sync_instrument t;
+  t.stats.Stats.rebuilds <- t.stats.Stats.rebuilds + 1;
+  t.stats.Stats.pending_tombstones <- 0
+
+let ensure_clean t = if t.dirty then rebuild t
+
+let bump t =
+  t.version <- t.version + 1;
+  if t.history_limit > 0 then begin
+    ensure_clean t;
+    let keep = t.history_limit in
+    t.history <-
+      (t.version, t.states) :: List.filteri (fun i _ -> i < keep - 1) t.history
+  end
+
+let apply_patch t span f =
+  let touched = ref 0 in
+  let f' s =
+    incr touched;
+    (* Each touched segment ticks the instrument, so a Guard attached to
+       it enforces its budget mid-patch, and [patched_segments] measures
+       the per-write c in O(log n + c). *)
+    (match t.instrument with
+    | Some i -> Tempagg.Instrument.alloc i
+    | None -> ());
+    f s
+  in
+  t.states <- Timeline.patch ~equal:t.state_equal t.states span f';
+  sync_instrument t;
+  t.stats.Stats.patched_segments <- t.stats.Stats.patched_segments + !touched
+
+let insert t iv v =
+  let h = t.next_handle in
+  t.next_handle <- h + 1;
+  (match Interval.intersect iv t.domain with
+  | None -> ()
+  | Some clipped ->
+      Hashtbl.replace t.tuples h (clipped, v);
+      if not t.dirty then
+        let s = t.monoid.Tempagg.Monoid.inject v in
+        apply_patch t clipped (fun st -> t.monoid.Tempagg.Monoid.combine st s));
+  t.stats.Stats.inserts <- t.stats.Stats.inserts + 1;
+  bump t;
+  h
+
+let delete t h =
+  match Hashtbl.find_opt t.tuples h with
+  | None -> false
+  | Some (iv, v) ->
+      Hashtbl.remove t.tuples h;
+      (if not t.dirty then
+         match Tempagg.Monoid.subtract t.monoid with
+         | Some sub ->
+             let s = t.monoid.Tempagg.Monoid.inject v in
+             apply_patch t iv (fun st -> sub st s)
+         | None ->
+             (* No inverse (min/max): tombstone now, rebuild lazily on
+                the next read. *)
+             t.dirty <- true;
+             t.stats.Stats.pending_tombstones <-
+               t.stats.Stats.pending_tombstones + 1);
+      t.stats.Stats.deletes <- t.stats.Stats.deletes + 1;
+      bump t;
+      true
+
+let load t data =
+  let handles =
+    Seq.fold_left
+      (fun acc (iv, v) ->
+        let h = t.next_handle in
+        t.next_handle <- h + 1;
+        (match Interval.intersect iv t.domain with
+        | None -> ()
+        | Some clipped -> Hashtbl.replace t.tuples h (clipped, v));
+        t.stats.Stats.inserts <- t.stats.Stats.inserts + 1;
+        h :: acc)
+      [] data
+  in
+  (* One batch sweep instead of per-tuple patches: O(n log n), not
+     O(n * segments). *)
+  rebuild t;
+  bump t;
+  List.rev handles
+
+let output_timeline t states = Timeline.map t.monoid.Tempagg.Monoid.output states
+
+let snapshot t =
+  ensure_clean t;
+  t.stats.Stats.snapshots <- t.stats.Stats.snapshots + 1;
+  output_timeline t t.states
+
+let snapshot_at t v =
+  if v = t.version then Some (snapshot t)
+  else
+    Option.map
+      (fun states ->
+        t.stats.Stats.snapshots <- t.stats.Stats.snapshots + 1;
+        output_timeline t states)
+      (List.assoc_opt v t.history)
+
+let value_at t c =
+  ensure_clean t;
+  Option.map t.monoid.Tempagg.Monoid.output (Timeline.value_at t.states c)
+
+let range t span =
+  ensure_clean t;
+  Option.map (output_timeline t) (Timeline.clip t.states span)

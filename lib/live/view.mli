@@ -1,0 +1,89 @@
+(** Live materialized temporal-aggregate views.
+
+    A [View] is a long-lived incremental index over a temporal relation:
+    it keeps the aggregate's {e state} timeline (constant intervals
+    carrying partial-aggregate states, the sweep representation)
+    materialized, and maintains it under interleaved writes instead of
+    recomputing from scratch per query.
+
+    {b Writes.}  [insert] patches only the constant intervals the tuple
+    overlaps — O(log n + c) where c is the number of segments touched,
+    measured through the {!Tempagg.Instrument} hooks.  [delete] retires a
+    previously inserted tuple: for invertible monoids (count, sum, avg,
+    variance) the contribution is subtracted segment-by-segment via
+    {!Tempagg.Monoid.subtract}; for semilattices (min, max), which have
+    no inverse, the delete is absorbed as a tombstone and the timeline is
+    lazily rebuilt — one batch {!Tempagg.Sweep} pass over the surviving
+    tuples — on the next read.
+
+    {b Reads.}  Every write bumps a version counter and replaces the
+    timeline functionally (copy-on-write of the touched span), so a
+    snapshot handed to a reader is immutable and never observes a
+    half-applied delta.  [create ~history:k] additionally retains the
+    last [k] versions for {!snapshot_at}. *)
+
+open Temporal
+
+type ('v, 's, 'r) t
+(** A view computing a [('v, 's, 'r) Tempagg.Monoid.t] aggregate. *)
+
+type handle = int
+(** Identifies an inserted tuple for later {!delete}.  Handles are
+    allocated sequentially from 0 and never reused. *)
+
+val create :
+  ?origin:Chronon.t ->
+  ?horizon:Chronon.t ->
+  ?state_equal:('s -> 's -> bool) ->
+  ?history:int ->
+  ?instrument:Tempagg.Instrument.t ->
+  ?stats:Stats.t ->
+  ('v, 's, 'r) Tempagg.Monoid.t ->
+  ('v, 's, 'r) t
+(** An empty view over the domain [[origin, horizon]] (defaulting to
+    [[Chronon.origin, Chronon.forever]]).  Inserted intervals are clipped
+    to the domain; a tuple entirely outside contributes nothing.
+    [state_equal] (default: structural equality) re-coalesces patch seams
+    so segment count tracks distinct boundaries rather than write count.
+    [history] retains that many past versions for {!snapshot_at}
+    (default 0 — note that retention forces eager rebuilds on the write
+    path for non-invertible aggregates).  [instrument]'s live count is
+    kept equal to the segment count, so an attached {!Tempagg.Guard}
+    bounds the materialized state.  [stats] may be shared across views.
+    @raise Invalid_argument if [origin > horizon] or [history < 0]. *)
+
+val insert : ('v, 's, 'r) t -> Interval.t -> 'v -> handle
+(** Add a tuple's contribution over an interval.  O(log n + c). *)
+
+val delete : ('v, 's, 'r) t -> handle -> bool
+(** Retire a tuple.  [false] if the handle is unknown or already
+    deleted (idempotent).  O(log n + c) for invertible aggregates;
+    deferred-O(m log m) tombstone otherwise. *)
+
+val load : ('v, 's, 'r) t -> (Interval.t * 'v) Seq.t -> handle list
+(** Bulk insert: registers every tuple, then rebuilds once with a batch
+    sweep — O(m log m) total, the right way to seed a view with a large
+    relation.  Returns the handles in input order; counts as one
+    version bump. *)
+
+val version : ('v, 's, 'r) t -> int
+(** Monotonic write counter; 0 for a fresh view. *)
+
+val snapshot : ('v, 's, 'r) t -> 'r Timeline.t
+(** The aggregate timeline at the current version.  Immutable: later
+    writes never mutate a returned snapshot.  Forces a pending rebuild. *)
+
+val snapshot_at : ('v, 's, 'r) t -> int -> 'r Timeline.t option
+(** The timeline as of an earlier version, if retained (see [~history]).
+    The current version is always available. *)
+
+val value_at : ('v, 's, 'r) t -> Chronon.t -> 'r option
+(** Point query against the materialized timeline, O(log n). *)
+
+val range : ('v, 's, 'r) t -> Interval.t -> 'r Timeline.t option
+(** Range query: the timeline clipped to the span, O(log n + k). *)
+
+val domain : ('v, 's, 'r) t -> Interval.t
+val live_tuples : ('v, 's, 'r) t -> int
+val segments : ('v, 's, 'r) t -> int
+val stats : ('v, 's, 'r) t -> Stats.t

@@ -99,6 +99,78 @@ let merge ~combine a b =
   done;
   Array.of_list (List.rev !out)
 
+(* Index of the segment containing instant [c].  The caller guarantees
+   [c] lies within [cover t]. *)
+let index_of t c =
+  let rec search lo hi =
+    let mid = (lo + hi) / 2 in
+    let iv, _ = t.(mid) in
+    if Chronon.( < ) c (Interval.start iv) then search lo (mid - 1)
+    else if Chronon.( > ) c (Interval.stop iv) then search (mid + 1) hi
+    else mid
+  in
+  search 0 (Array.length t - 1)
+
+let patch ?equal t span f =
+  if not (Interval.covers (cover t) span) then
+    invalid_arg
+      (Printf.sprintf "Timeline.patch: %s outside the cover %s"
+         (Interval.to_string span)
+         (Interval.to_string (cover t)));
+  let n = Array.length t in
+  let lo = index_of t (Interval.start span)
+  and hi = index_of t (Interval.stop span) in
+  (* Rebuild only segments [lo..hi]: split the two boundary segments at
+     the span's endpoints, apply [f] to the covered parts, keep the
+     uncovered remainders untouched. *)
+  let middle = ref [] in
+  let push iv v = middle := (iv, v) :: !middle in
+  for i = lo to hi do
+    let iv, v = t.(i) in
+    let s = Chronon.max (Interval.start iv) (Interval.start span)
+    and e = Chronon.min (Interval.stop iv) (Interval.stop span) in
+    if i = lo && Chronon.( < ) (Interval.start iv) s then
+      push (Interval.make (Interval.start iv) (Chronon.pred s)) v;
+    push (Interval.make s e) (f v);
+    if i = hi && Chronon.( > ) (Interval.stop iv) e then
+      push (Interval.make (Chronon.succ e) (Interval.stop iv)) v
+  done;
+  let middle = List.rev !middle in
+  match equal with
+  | None ->
+      let prefix = Array.to_list (Array.sub t 0 lo)
+      and suffix = Array.to_list (Array.sub t (hi + 1) (n - hi - 1)) in
+      Array.of_list (prefix @ middle @ suffix)
+  | Some eq ->
+      (* Re-coalesce only around the patched zone: pull in the one
+         segment on each side so a delta that restores a neighbouring
+         value merges back, leaving the O(n) remainder untouched. *)
+      let zone, pre_rest_rev =
+        if lo > 0 then (t.(lo - 1) :: middle, List.rev (Array.to_list (Array.sub t 0 (lo - 1))))
+        else (middle, [])
+      in
+      let zone, suffix_rest =
+        if hi + 1 < n then (zone @ [ t.(hi + 1) ], Array.to_list (Array.sub t (hi + 2) (n - hi - 2)))
+        else (zone, [])
+      in
+      let zone = Array.to_list (coalesce ~equal:eq (Array.of_list zone)) in
+      Array.of_list (List.rev_append pre_rest_rev (zone @ suffix_rest))
+
+let clip t span =
+  match Interval.intersect (cover t) span with
+  | None -> None
+  | Some span ->
+      let lo = index_of t (Interval.start span)
+      and hi = index_of t (Interval.stop span) in
+      Some
+        (Array.init
+           (hi - lo + 1)
+           (fun i ->
+             let iv, v = t.(lo + i) in
+             match Interval.intersect iv span with
+             | Some iv -> (iv, v)
+             | None -> assert false))
+
 let equal eq a b =
   Array.length a = Array.length b
   && Array.for_all2

@@ -63,6 +63,22 @@ val merge : combine:('a -> 'a -> 'a) -> 'a t -> 'a t -> 'a t
     identity up to segment refinement.
     @raise Invalid_argument if the covers differ. *)
 
+val patch : ?equal:('a -> 'a -> bool) -> 'a t -> Interval.t -> ('a -> 'a) -> 'a t
+(** [patch t span f] splices a delta over a sub-span: every segment
+    overlapping [span] has [f] applied to the covered part of its value,
+    the two boundary segments are split at the span's endpoints, and the
+    rest of the timeline is shared untouched.  The incremental-maintenance
+    primitive: a tuple insertion or retirement patches only the constant
+    intervals it overlaps, O(log n + c) where c is the number of segments
+    touched.  When [?equal] is given, the result is re-coalesced — but
+    only at the seams of the patched zone, not over the whole timeline.
+    @raise Invalid_argument if [span] is not within {!cover}. *)
+
+val clip : 'a t -> Interval.t -> 'a t option
+(** [clip t span] restricts the timeline to [span ∩ cover t]: boundary
+    segments are trimmed, values unchanged.  [None] when the span misses
+    the cover entirely.  O(log n + k) for k surviving segments. *)
+
 val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
 (** Segment-wise equality (same boundaries, equal values). *)
 

@@ -3,6 +3,7 @@ type agg_fun = Count | Sum | Avg | Min | Max
 type select_item =
   | Column of string
   | Aggregate of { fn : agg_fun; arg : string option; distinct : bool }
+  | Star
 
 type comparison_op = Eq | Neq | Lt | Le | Gt | Ge
 
@@ -51,6 +52,7 @@ let select_item_to_string = function
       Printf.sprintf "%s(%s%s)" (agg_fun_to_string fn)
         (if distinct then "DISTINCT " else "")
         (Option.value arg ~default:"*")
+  | Star -> "*"
 
 let to_string q =
   let buf = Buffer.create 128 in
@@ -92,3 +94,38 @@ let to_string q =
         ^ String.uppercase_ascii (Tempagg.Engine.on_error_to_string policy))
   | None -> ());
   Buffer.contents buf
+
+type statement =
+  | Select of query
+  | Create_view of { name : string; definition : query }
+  | Refresh_view of string
+  | Drop_view of string
+  | Insert_into of { relation : string; values : literal list; window : window }
+  | Delete_from of { relation : string; where : predicate list }
+
+let window_to_string { w_start; w_stop } =
+  Printf.sprintf "[%d,%s]" w_start
+    (match w_stop with Some e -> string_of_int e | None -> "oo")
+
+let statement_to_string = function
+  | Select q -> to_string q
+  | Create_view { name; definition } ->
+      Printf.sprintf "CREATE VIEW %s AS %s" name (to_string definition)
+  | Refresh_view name -> "REFRESH VIEW " ^ name
+  | Drop_view name -> "DROP VIEW " ^ name
+  | Insert_into { relation; values; window } ->
+      Printf.sprintf "INSERT INTO %s VALUES (%s) DURING %s" relation
+        (String.concat ", " (List.map literal_to_string values))
+        (window_to_string window)
+  | Delete_from { relation; where } ->
+      Printf.sprintf "DELETE FROM %s%s" relation
+        (match where with
+        | [] -> ""
+        | ps ->
+            " WHERE "
+            ^ String.concat " AND "
+                (List.map
+                   (fun p ->
+                     Printf.sprintf "%s %s %s" p.column (op_to_string p.op)
+                       (literal_to_string p.value))
+                   ps))

@@ -35,6 +35,9 @@ type select_item =
   | Aggregate of { fn : agg_fun; arg : string option; distinct : bool }
       (** [arg = None] is [COUNT( * )]; [distinct] adds duplicate
           elimination (paper Section 7), e.g. [COUNT(DISTINCT name)]. *)
+  | Star
+      (** [SELECT *] — only valid against a view, whose materialized
+          timeline already fixes the output columns. *)
 
 type comparison_op = Eq | Neq | Lt | Le | Gt | Ge
 
@@ -65,9 +68,33 @@ type query = {
           optimizer (see {!Tempagg.Optimizer.choice}). *)
 }
 
+(** Top-level statements: queries plus the session-mutating DDL/DML of
+    the live subsystem.
+
+    {v
+    stmt ::= query
+           | CREATE VIEW ident AS query
+           | REFRESH VIEW ident
+           | DROP VIEW ident
+           | INSERT INTO ident VALUES '(' literal {, literal} ')'
+             DURING '[' int ',' stop ']'
+           | DELETE FROM ident [WHERE pred {AND pred}]
+    v} *)
+type statement =
+  | Select of query
+  | Create_view of { name : string; definition : query }
+  | Refresh_view of string
+  | Drop_view of string
+  | Insert_into of { relation : string; values : literal list; window : window }
+  | Delete_from of { relation : string; where : predicate list }
+
 val agg_fun_to_string : agg_fun -> string
 val op_to_string : comparison_op -> string
 val literal_to_string : literal -> string
 val select_item_to_string : select_item -> string
 val to_string : query -> string
 (** Re-render a query (normalized keywords and spacing). *)
+
+val statement_to_string : statement -> string
+(** Re-render a statement; {!Select} renders via {!to_string}.  The
+    canonical form — {!Session} uses it as the query-cache key. *)

@@ -64,6 +64,37 @@ let int_value n = Value.Int n
 
 let option_value = function None -> Value.Null | Some v -> v
 
+type value_monoid =
+  | Value_monoid : (Value.t, 's, Value.t) Tempagg.Monoid.t -> value_monoid
+
+let monoid_of_spec (spec : Semant.agg_spec) =
+  let module M = Tempagg.Monoid in
+  match (spec.Semant.fn, spec.Semant.column_ty) with
+  | Ast.Count, _ -> Value_monoid (M.map_output int_value M.count)
+  | Ast.Sum, Some Value.Tfloat ->
+      Value_monoid
+        (M.contramap
+           (fun v -> Option.value (Value.to_float v) ~default:0.)
+           M.sum_float
+        |> M.map_output (fun f -> Value.Float f))
+  | Ast.Sum, _ ->
+      Value_monoid
+        (M.contramap (fun v -> Option.value (Value.to_int v) ~default:0)
+           M.sum_int
+        |> M.map_output int_value)
+  | Ast.Avg, _ ->
+      Value_monoid
+        (M.contramap
+           (fun v -> Option.value (Value.to_float v) ~default:0.)
+           M.avg_float
+        |> M.map_output (function
+             | None -> Value.Null
+             | Some f -> Value.Float f))
+  | Ast.Min, _ ->
+      Value_monoid (M.map_output option_value (M.minimum ~compare:Value.compare))
+  | Ast.Max, _ ->
+      Value_monoid (M.map_output option_value (M.maximum ~compare:Value.compare))
+
 let agg_timeline ?robust plan tuples (spec : Semant.agg_spec) =
   let data = data_for tuples spec in
   let data =
@@ -92,42 +123,8 @@ let agg_timeline ?robust plan tuples (spec : Semant.agg_spec) =
       { plan with Semant.algorithm = without_korder plan.Semant.algorithm }
     else plan
   in
-  let module M = Tempagg.Monoid in
-  match (spec.Semant.fn, spec.Semant.column_ty) with
-  | Ast.Count, _ -> run_engine ?robust plan (M.map_output int_value M.count) data
-  | Ast.Sum, Some Value.Tfloat ->
-      let monoid =
-        M.contramap
-          (fun v -> Option.value (Value.to_float v) ~default:0.)
-          M.sum_float
-        |> M.map_output (fun f -> Value.Float f)
-      in
-      run_engine ?robust plan monoid data
-  | Ast.Sum, _ ->
-      let monoid =
-        M.contramap (fun v -> Option.value (Value.to_int v) ~default:0)
-          M.sum_int
-        |> M.map_output int_value
-      in
-      run_engine ?robust plan monoid data
-  | Ast.Avg, _ ->
-      let monoid =
-        M.contramap
-          (fun v -> Option.value (Value.to_float v) ~default:0.)
-          M.avg_float
-        |> M.map_output (function
-             | None -> Value.Null
-             | Some f -> Value.Float f)
-      in
-      run_engine ?robust plan monoid data
-  | Ast.Min, _ ->
-      run_engine ?robust plan
-        (M.map_output option_value (M.minimum ~compare:Value.compare))
-        data
-  | Ast.Max, _ ->
-      run_engine ?robust plan
-        (M.map_output option_value (M.maximum ~compare:Value.compare))
-        data
+  match monoid_of_spec spec with
+  | Value_monoid monoid -> run_engine ?robust plan monoid data
 
 (* Pair up the per-aggregate timelines into one timeline of value lists.
    All of them cover the full [origin,horizon], so refine never fails. *)

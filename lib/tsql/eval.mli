@@ -16,6 +16,23 @@
 val run : Semant.plan -> Relation.Trel.t
 (** Execute an analyzed plan. *)
 
+type value_monoid =
+  | Value_monoid : (Relation.Value.t, 's, Relation.Value.t) Tempagg.Monoid.t -> value_monoid
+      (** An aggregate monoid over relation values with its state type
+          abstracted — what a heterogeneous list of per-aggregate
+          evaluations (or live views) carries. *)
+
+val monoid_of_spec : Semant.agg_spec -> value_monoid
+(** The monoid an analyzed aggregate evaluates: COUNT over any column,
+    SUM specialized to the column's numeric type, AVG as float,
+    MIN/MAX by {!Relation.Value.compare}.  Shared by the batch path
+    here and the incremental maintenance in {!Session}. *)
+
+val zip_timelines :
+  'a Temporal.Timeline.t list -> 'a list Temporal.Timeline.t
+(** Refine a non-empty list of timelines over a common cover into one
+    timeline of value lists (in input order). *)
+
 val query :
   ?algorithm:Tempagg.Engine.algorithm ->
   ?domains:int ->

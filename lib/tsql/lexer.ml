@@ -12,6 +12,15 @@ type token =
   | SPAN
   | ON
   | ERROR
+  | CREATE
+  | VIEW
+  | AS
+  | REFRESH
+  | DROP
+  | INSERT
+  | INTO
+  | VALUES
+  | DELETE
   | IDENT of string
   | INT of int
   | FLOAT of float
@@ -45,6 +54,15 @@ let token_to_string = function
   | SPAN -> "SPAN"
   | ON -> "ON"
   | ERROR -> "ERROR"
+  | CREATE -> "CREATE"
+  | VIEW -> "VIEW"
+  | AS -> "AS"
+  | REFRESH -> "REFRESH"
+  | DROP -> "DROP"
+  | INSERT -> "INSERT"
+  | INTO -> "INTO"
+  | VALUES -> "VALUES"
+  | DELETE -> "DELETE"
   | IDENT s -> s
   | INT n -> string_of_int n
   | FLOAT f -> Printf.sprintf "%g" f
@@ -78,6 +96,15 @@ let keyword_of = function
   | "span" -> Some SPAN
   | "on" -> Some ON
   | "error" -> Some ERROR
+  | "create" -> Some CREATE
+  | "view" -> Some VIEW
+  | "as" -> Some AS
+  | "refresh" -> Some REFRESH
+  | "drop" -> Some DROP
+  | "insert" -> Some INSERT
+  | "into" -> Some INTO
+  | "values" -> Some VALUES
+  | "delete" -> Some DELETE
   | _ -> None
 
 let is_ident_start = function
@@ -117,6 +144,12 @@ let tokenize input =
             emit GE i; scan (i + 2)
           end
           else begin emit GT i; scan (i + 1) end
+      | '-' when i + 1 < n && input.[i + 1] = '-' ->
+          (* SQL line comment: skip to end of line. *)
+          let rec eol j =
+            if j < n && input.[j] <> '\n' then eol (j + 1) else j
+          in
+          scan (eol (i + 2))
       | '\'' -> string_lit (i + 1) i (Buffer.create 16)
       | c when is_digit c -> number i
       | c when is_ident_start c -> ident i

@@ -1,8 +1,9 @@
 (** Hand-written lexer for the TSQL2 subset.
 
     Keywords are case-insensitive; identifiers keep their case.  String
-    literals use single quotes with [''] as the escaped quote.  Errors
-    carry the byte offset of the offending character. *)
+    literals use single quotes with [''] as the escaped quote.  [--]
+    starts a line comment.  Errors carry the byte offset of the
+    offending character. *)
 
 type token =
   | SELECT
@@ -18,6 +19,15 @@ type token =
   | SPAN
   | ON
   | ERROR
+  | CREATE
+  | VIEW
+  | AS
+  | REFRESH
+  | DROP
+  | INSERT
+  | INTO
+  | VALUES
+  | DELETE
   | IDENT of string
   | INT of int
   | FLOAT of float

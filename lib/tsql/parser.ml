@@ -32,6 +32,9 @@ let agg_fun_of_ident name =
 
 let select_item st =
   match peek st with
+  | Lexer.STAR ->
+      advance st;
+      Ast.Star
   | Lexer.IDENT name -> (
       advance st;
       match (agg_fun_of_ident name, peek st) with
@@ -175,7 +178,7 @@ let during_clause st =
   expect st Lexer.RBRACKET "']'";
   { Ast.w_start; w_stop }
 
-let query st =
+let query_body st =
   expect st Lexer.SELECT "SELECT";
   let select = comma_separated st select_item in
   expect st Lexer.FROM "FROM";
@@ -216,15 +219,86 @@ let query st =
     end
     else None
   in
-  if peek st = Lexer.SEMI then advance st;
-  expect st Lexer.EOF "end of query";
   { Ast.select; from; during; where; group_by; grouping; using; on_error }
 
-let parse text =
+let statement st =
+  match peek st with
+  | Lexer.SELECT -> Ast.Select (query_body st)
+  | Lexer.CREATE ->
+      advance st;
+      expect st Lexer.VIEW "VIEW";
+      let name = ident st in
+      expect st Lexer.AS "AS";
+      Ast.Create_view { name; definition = query_body st }
+  | Lexer.REFRESH ->
+      advance st;
+      expect st Lexer.VIEW "VIEW";
+      Ast.Refresh_view (ident st)
+  | Lexer.DROP ->
+      advance st;
+      expect st Lexer.VIEW "VIEW";
+      Ast.Drop_view (ident st)
+  | Lexer.INSERT ->
+      advance st;
+      expect st Lexer.INTO "INTO";
+      let relation = ident st in
+      expect st Lexer.VALUES "VALUES";
+      expect st Lexer.LPAREN "'('";
+      let values = comma_separated st literal in
+      expect st Lexer.RPAREN "')'";
+      expect st Lexer.DURING "DURING";
+      let window = during_clause st in
+      Ast.Insert_into { relation; values; window }
+  | Lexer.DELETE ->
+      advance st;
+      expect st Lexer.FROM "FROM";
+      let relation = ident st in
+      let where =
+        if peek st = Lexer.WHERE then begin
+          advance st;
+          predicates st
+        end
+        else []
+      in
+      Ast.Delete_from { relation; where }
+  | _ -> fail st "a statement (SELECT, CREATE, REFRESH, DROP, INSERT, DELETE)"
+
+let run_parser text parse_fn =
   match Lexer.tokenize text with
   | Error _ as e -> e
   | Ok tokens -> (
       let st = { tokens = Array.of_list tokens; pos = 0 } in
-      match query st with
+      match parse_fn st with
       | q -> Ok q
       | exception Syntax_error msg -> Error msg)
+
+let parse text =
+  run_parser text (fun st ->
+      let q = query_body st in
+      if peek st = Lexer.SEMI then advance st;
+      expect st Lexer.EOF "end of query";
+      q)
+
+let parse_statement text =
+  run_parser text (fun st ->
+      let s = statement st in
+      if peek st = Lexer.SEMI then advance st;
+      expect st Lexer.EOF "end of statement";
+      s)
+
+let parse_script text =
+  run_parser text (fun st ->
+      let rec loop acc =
+        while peek st = Lexer.SEMI do
+          advance st
+        done;
+        if peek st = Lexer.EOF then List.rev acc
+        else begin
+          let s = statement st in
+          (match peek st with
+          | Lexer.SEMI | Lexer.EOF -> ()
+          | _ -> fail st "';' between statements");
+          loop (s :: acc)
+        end
+      in
+      loop [])

@@ -3,3 +3,12 @@
 val parse : string -> (Ast.query, string) result
 (** Parse one query.  Errors name the offending token and its byte
     offset, e.g. ["expected FROM but found GROUP at offset 18"]. *)
+
+val parse_statement : string -> (Ast.statement, string) result
+(** Parse one statement (query or view DDL / DML), optionally
+    semicolon-terminated. *)
+
+val parse_script : string -> (Ast.statement list, string) result
+(** Parse a whole script: statements separated by semicolons (the
+    semicolon after the last statement is optional; empty statements are
+    skipped).  [--] line comments are handled by the lexer. *)

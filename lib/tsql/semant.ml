@@ -50,7 +50,7 @@ let numeric = function Value.Tint | Value.Tfloat -> true | Value.Tstring -> fals
 
 let analyze_aggregate schema item =
   match item with
-  | Ast.Column _ -> assert false
+  | Ast.Column _ | Ast.Star -> assert false
   | Ast.Aggregate { fn; arg; distinct } -> (
       let base_name =
         Printf.sprintf "%s(%s%s)"
@@ -119,6 +119,38 @@ let compile_predicate schema (p : Ast.predicate) =
       | Ast.Ge -> c >= 0
   in
   Ok test
+
+let predicate_filter schema preds =
+  let rec build = function
+    | [] -> Ok []
+    | p :: rest ->
+        let* test = compile_predicate schema p in
+        let* tests = build rest in
+        Ok (test :: tests)
+  in
+  let* tests = build preds in
+  Ok (fun tuple -> List.for_all (fun test -> test tuple) tests)
+
+let tuple_of_literals schema literals valid =
+  let arity = Schema.arity schema in
+  let given = List.length literals in
+  if given <> arity then
+    Error
+      (Printf.sprintf "expected %d value(s) for %s, got %d" arity
+         (String.concat ", "
+            (List.map (fun c -> c.Schema.name) (Schema.columns schema)))
+         given)
+  else
+    let rec convert i = function
+      | [] -> Ok []
+      | lit :: rest ->
+          let ty = (Schema.column schema i).Schema.ty in
+          let* v = literal_value ty lit in
+          let* vs = convert (i + 1) rest in
+          Ok (v :: vs)
+    in
+    let* values = convert 0 literals in
+    Ok (Tuple.make (Array.of_list values) valid)
 
 let rec collect_results f = function
   | [] -> Ok []
@@ -220,9 +252,16 @@ let analyze catalog (q : Ast.query) =
         Ok (name, i))
       q.Ast.group_by
   in
+  let* () =
+    if List.mem Ast.Star q.Ast.select then
+      Error
+        "SELECT * is only supported against a view (whose output columns \
+         are fixed by its definition)"
+    else Ok ()
+  in
   let agg_items, column_items =
     List.partition
-      (function Ast.Aggregate _ -> true | Ast.Column _ -> false)
+      (function Ast.Aggregate _ -> true | Ast.Column _ | Ast.Star -> false)
       q.Ast.select
   in
   let* () =
@@ -239,7 +278,7 @@ let analyze catalog (q : Ast.query) =
               Error
                 (Printf.sprintf
                    "column %S must appear in GROUP BY to be selected" name)
-        | Ast.Aggregate _ -> Ok ())
+        | Ast.Aggregate _ | Ast.Star -> Ok ())
       column_items
     |> Result.map (fun (_ : unit list) -> ())
   in

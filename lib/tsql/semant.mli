@@ -47,3 +47,20 @@ type plan = {
 }
 
 val analyze : Catalog.t -> Ast.query -> (plan, string) result
+
+val predicate_filter :
+  Relation.Schema.t ->
+  Ast.predicate list ->
+  (Relation.Tuple.t -> bool, string) result
+(** Compile a WHERE conjunction against a schema — the same resolution
+    and typing rules as {!analyze}, exposed for the session's DELETE
+    path and view maintenance. *)
+
+val tuple_of_literals :
+  Relation.Schema.t ->
+  Ast.literal list ->
+  Temporal.Interval.t ->
+  (Relation.Tuple.t, string) result
+(** Type-check an INSERT's value list against a schema (arity and
+    per-column literal compatibility) and build the tuple with the given
+    valid interval. *)

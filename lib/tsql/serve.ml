@@ -1,0 +1,140 @@
+type op_stats = {
+  ops : int;
+  errors : int;
+  mean_us : float;
+  p50_us : float;
+  p90_us : float;
+  p99_us : float;
+  max_us : float;
+}
+
+type report = {
+  total : int;
+  total_errors : int;
+  elapsed_s : float;
+  per_kind : (string * op_stats) list;
+  session_stats : Live.Stats.t;
+}
+
+let kind_of = function
+  | Ast.Select _ -> "select"
+  | Ast.Create_view _ -> "create-view"
+  | Ast.Refresh_view _ -> "refresh-view"
+  | Ast.Drop_view _ -> "drop-view"
+  | Ast.Insert_into _ -> "insert"
+  | Ast.Delete_from _ -> "delete"
+
+(* Kinds in a stable display order. *)
+let kind_order =
+  [ "select"; "insert"; "delete"; "create-view"; "refresh-view"; "drop-view" ]
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let idx = int_of_float ((p *. float_of_int (n - 1)) +. 0.5) in
+    sorted.(min (n - 1) (max 0 idx))
+
+let summarize samples errors =
+  let sorted = Array.of_list samples in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  let mean =
+    if n = 0 then 0. else Array.fold_left ( +. ) 0. sorted /. float_of_int n
+  in
+  {
+    ops = n;
+    errors;
+    mean_us = mean;
+    p50_us = percentile sorted 0.5;
+    p90_us = percentile sorted 0.9;
+    p99_us = percentile sorted 0.99;
+    max_us = (if n = 0 then 0. else sorted.(n - 1));
+  }
+
+let run ?(echo = false) ?(out = print_string) session statements =
+  let samples : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
+  let errors : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let bucket tbl zero k =
+    match Hashtbl.find_opt tbl k with
+    | Some r -> r
+    | None ->
+        let r = ref zero in
+        Hashtbl.replace tbl k r;
+        r
+  in
+  let started = Unix.gettimeofday () in
+  List.iter
+    (fun stmt ->
+      let kind = kind_of stmt in
+      let t0 = Unix.gettimeofday () in
+      let result = Session.exec_statement session stmt in
+      let dt_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+      let s = bucket samples [] kind in
+      s := dt_us :: !s;
+      match result with
+      | Ok (Session.Rows rel) ->
+          if echo then
+            let text = Pretty.result_to_string rel in
+            out
+              (if String.length text > 0 && text.[String.length text - 1] = '\n'
+               then text
+               else text ^ "\n")
+      | Ok (Session.Ack msg) -> if echo then out (msg ^ "\n")
+      | Error msg ->
+          incr (bucket errors 0 kind);
+          out (Printf.sprintf "error: %s\n" msg))
+    statements;
+  let elapsed_s = Unix.gettimeofday () -. started in
+  let kinds =
+    let present = Hashtbl.fold (fun k _ acc -> k :: acc) samples [] in
+    List.filter (fun k -> List.mem k present) kind_order
+    @ List.filter (fun k -> not (List.mem k kind_order)) present
+  in
+  let per_kind =
+    List.map
+      (fun k ->
+        let s = match Hashtbl.find_opt samples k with
+          | Some r -> !r
+          | None -> []
+        in
+        let e = match Hashtbl.find_opt errors k with
+          | Some r -> !r
+          | None -> 0
+        in
+        (k, summarize s e))
+      kinds
+  in
+  {
+    total = List.length statements;
+    total_errors =
+      Hashtbl.fold (fun _ r acc -> acc + !r) errors 0;
+    elapsed_s;
+    per_kind;
+    session_stats = Session.stats session;
+  }
+
+let run_script ?echo ?out session text =
+  match Parser.parse_script text with
+  | Error msg -> Error msg
+  | Ok statements -> Ok (run ?echo ?out session statements)
+
+let report_to_string r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "serve: %d op(s) in %.3f s%s\n" r.total r.elapsed_s
+       (if r.total_errors > 0 then
+          Printf.sprintf " (%d error(s))" r.total_errors
+        else ""));
+  Buffer.add_string buf
+    (Printf.sprintf "  %-14s %6s %6s %10s %10s %10s %10s %10s\n" "kind" "ops"
+       "errs" "mean-us" "p50-us" "p90-us" "p99-us" "max-us");
+  List.iter
+    (fun (kind, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-14s %6d %6d %10.1f %10.1f %10.1f %10.1f %10.1f\n"
+           kind s.ops s.errors s.mean_us s.p50_us s.p90_us s.p99_us s.max_us))
+    r.per_kind;
+  Buffer.add_string buf
+    ("  live: " ^ Live.Stats.to_string r.session_stats ^ "\n");
+  Buffer.contents buf

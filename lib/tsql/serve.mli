@@ -1,0 +1,40 @@
+(** The serve loop: execute a stream of interleaved statements against a
+    {!Session} and report per-operation latency percentiles.
+
+    Latency is wall-clock time around {!Session.exec_statement}, bucketed
+    by statement kind (select / insert / delete / view DDL); percentiles
+    are computed over each bucket.  Errors are reported inline, counted,
+    and do not stop the stream — a serve loop keeps serving. *)
+
+type op_stats = {
+  ops : int;
+  errors : int;
+  mean_us : float;
+  p50_us : float;
+  p90_us : float;
+  p99_us : float;
+  max_us : float;
+}
+
+type report = {
+  total : int;
+  total_errors : int;
+  elapsed_s : float;
+  per_kind : (string * op_stats) list;  (** Stable display order. *)
+  session_stats : Live.Stats.t;  (** The session's live counters. *)
+}
+
+val run :
+  ?echo:bool -> ?out:(string -> unit) -> Session.t -> Ast.statement list ->
+  report
+(** Execute the statements in order.  [echo] (default false) prints each
+    SELECT result and acknowledgement through [out] (default
+    [print_string]); errors always print. *)
+
+val run_script :
+  ?echo:bool -> ?out:(string -> unit) -> Session.t -> string ->
+  (report, string) result
+(** {!Parser.parse_script} then {!run}.  [Error _] only on a parse
+    failure — execution errors are counted in the report. *)
+
+val report_to_string : report -> string

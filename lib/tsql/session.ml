@@ -1,0 +1,471 @@
+open Temporal
+open Relation
+
+let ( let* ) = Result.bind
+let fold = String.lowercase_ascii
+
+type outcome = Rows of Trel.t | Ack of string
+
+(* A mutable base relation: tuples keyed by a session-assigned id (so a
+   DELETE can tell the views exactly which contributions to retire),
+   with a cached immutable snapshot for the batch path. *)
+type base = {
+  bname : string;  (* original spelling *)
+  schema : Schema.t;
+  ids : (int, Tuple.t) Hashtbl.t;
+  mutable next_id : int;
+  mutable cached : Trel.t option;
+}
+
+type agg_view =
+  | Agg : {
+      spec : Semant.agg_spec;
+      view : (Value.t, 's, Value.t) Live.View.t;
+    }
+      -> agg_view
+
+type incremental = {
+  aggs : agg_view list;
+  inc_filter : Tuple.t -> bool;
+  inc_window : Interval.t option;
+  handles : (int, Live.View.handle option list) Hashtbl.t;
+      (* base tuple id -> per-aggregate view handles (None where the
+         tuple was skipped, e.g. a NULL in that aggregate's column) *)
+}
+
+type strategy =
+  | Incremental of incremental
+  | Recompute of { mutable rel : Trel.t; mutable stale : bool }
+
+type view = {
+  vname : string;
+  source : string;  (* case-folded base-relation name *)
+  definition : Ast.query;
+  out_schema : Schema.t;
+  mutable strategy : strategy;
+  mutable vversion : int;
+}
+
+type t = {
+  bases : (string, base) Hashtbl.t;
+  views : (string, view) Hashtbl.t;
+  cache : Trel.t Live.Cache.t;
+  stats : Live.Stats.t;
+}
+
+let materialize base =
+  match base.cached with
+  | Some rel -> rel
+  | None ->
+      let rows = Hashtbl.fold (fun id tu acc -> (id, tu) :: acc) base.ids [] in
+      let rows = List.sort (fun (a, _) (b, _) -> Int.compare a b) rows in
+      let rel = Trel.create base.schema (List.map snd rows) in
+      base.cached <- Some rel;
+      rel
+
+let catalog t =
+  Hashtbl.fold
+    (fun _ base acc -> Catalog.add acc base.bname (materialize base))
+    t.bases Catalog.empty
+
+let add_base t name rel =
+  let ids = Hashtbl.create (max 16 (Trel.cardinality rel)) in
+  List.iteri (fun i tu -> Hashtbl.replace ids i tu) (Trel.tuples rel);
+  Hashtbl.replace t.bases (fold name)
+    {
+      bname = name;
+      schema = Trel.schema rel;
+      ids;
+      next_id = Trel.cardinality rel;
+      cached = Some rel;
+    }
+
+let create ?(cache_capacity = 128) source =
+  let stats = Live.Stats.create () in
+  let t =
+    {
+      bases = Hashtbl.create 8;
+      views = Hashtbl.create 8;
+      cache = Live.Cache.create ~capacity:cache_capacity stats;
+      stats;
+    }
+  in
+  List.iter
+    (fun name -> add_base t name (Option.get (Catalog.find source name)))
+    (Catalog.names source);
+  t
+
+let stats t = t.stats
+let cache_length t = Live.Cache.length t.cache
+
+let relation t name =
+  Option.map materialize (Hashtbl.find_opt t.bases (fold name))
+
+let base_names t =
+  List.sort String.compare
+    (Hashtbl.fold (fun _ b acc -> b.bname :: acc) t.bases [])
+
+let view_names t =
+  List.sort String.compare
+    (Hashtbl.fold (fun _ v acc -> v.vname :: acc) t.views [])
+
+let view_version t name =
+  Option.map (fun v -> v.vversion) (Hashtbl.find_opt t.views (fold name))
+
+let view_strategy t name =
+  Option.map
+    (fun v ->
+      match v.strategy with
+      | Incremental _ -> "incremental"
+      | Recompute _ -> "recompute")
+    (Hashtbl.find_opt t.views (fold name))
+
+(* ---- incremental maintenance ---- *)
+
+let value_for (spec : Semant.agg_spec) tuple =
+  match spec.Semant.column with
+  | None -> Some Value.Null (* COUNT( * ) consumes every tuple *)
+  | Some i ->
+      let v = Tuple.value tuple i in
+      if Value.is_null v then None else Some v
+
+let clipped_interval incr tuple =
+  match incr.inc_window with
+  | None -> Some (Tuple.valid tuple)
+  | Some w -> Interval.intersect (Tuple.valid tuple) w
+
+let insert_tuple incr id tuple =
+  if incr.inc_filter tuple then
+    match clipped_interval incr tuple with
+    | None -> ()
+    | Some iv ->
+        let hs =
+          List.map
+            (function
+              | Agg { spec; view } ->
+                  Option.map
+                    (fun v -> Live.View.insert view iv v)
+                    (value_for spec tuple))
+            incr.aggs
+        in
+        Hashtbl.replace incr.handles id hs
+
+let delete_tuple incr id =
+  match Hashtbl.find_opt incr.handles id with
+  | None -> ()
+  | Some hs ->
+      Hashtbl.remove incr.handles id;
+      List.iter2
+        (fun agg h ->
+          match agg with
+          | Agg { view; _ } ->
+              Option.iter (fun h -> ignore (Live.View.delete view h)) h)
+        incr.aggs hs
+
+(* Seed the views with the base's current tuples: one bulk [View.load]
+   (a single batch sweep) per aggregate, not one patch per tuple. *)
+let load_incremental incr base =
+  let rows = Hashtbl.fold (fun id tu acc -> (id, tu) :: acc) base.ids [] in
+  let rows = List.sort (fun (a, _) (b, _) -> Int.compare a b) rows in
+  let eligible =
+    List.filter_map
+      (fun (id, tu) ->
+        if incr.inc_filter tu then
+          Option.map (fun iv -> (id, tu, iv)) (clipped_interval incr tu)
+        else None)
+      rows
+  in
+  let per_agg =
+    List.map
+      (function
+        | Agg { spec; view } ->
+            let entries =
+              List.filter_map
+                (fun (id, tu, iv) ->
+                  Option.map (fun v -> (id, (iv, v))) (value_for spec tu))
+                eligible
+            in
+            let handles =
+              Live.View.load view (List.to_seq (List.map snd entries))
+            in
+            let tbl = Hashtbl.create (max 16 (List.length entries)) in
+            List.iter2 (fun (id, _) h -> Hashtbl.replace tbl id h) entries
+              handles;
+            tbl)
+      incr.aggs
+  in
+  List.iter
+    (fun (id, _, _) ->
+      Hashtbl.replace incr.handles id
+        (List.map (fun tbl -> Hashtbl.find_opt tbl id) per_agg))
+    eligible
+
+let build_incremental t (plan : Semant.plan) base =
+  let origin, horizon =
+    match plan.Semant.window with
+    | Some w -> (Interval.start w, Interval.stop w)
+    | None -> (Chronon.origin, Chronon.forever)
+  in
+  let aggs =
+    List.map
+      (fun spec ->
+        match Eval.monoid_of_spec spec with
+        | Eval.Value_monoid m ->
+            Agg
+              { spec; view = Live.View.create ~origin ~horizon ~stats:t.stats m })
+      plan.Semant.aggregates
+  in
+  let incr =
+    {
+      aggs;
+      inc_filter = plan.Semant.filter;
+      inc_window = plan.Semant.window;
+      handles = Hashtbl.create 64;
+    }
+  in
+  load_incremental incr base;
+  incr
+
+(* Every write to [source] funnels through here: incremental views apply
+   the delta, recompute views go stale, and either way the view version
+   advances so cache entries are traceable to a maintenance state. *)
+let touch_views t source apply =
+  Hashtbl.iter
+    (fun _ v ->
+      if String.equal v.source source then begin
+        (match v.strategy with
+        | Incremental incr -> apply incr
+        | Recompute r -> r.stale <- true);
+        v.vversion <- v.vversion + 1
+      end)
+    t.views
+
+(* ---- statement execution ---- *)
+
+let interval_of_window { Ast.w_start; w_stop } =
+  Interval.make (Chronon.of_int w_start)
+    (match w_stop with Some e -> Chronon.of_int e | None -> Chronon.forever)
+
+let run_plan plan =
+  match Eval.run plan with
+  | rel -> Ok rel
+  | exception Invalid_argument msg -> Error ("evaluation failed: " ^ msg)
+  | exception Tempagg.Korder_tree.Order_violation { position; _ } ->
+      Error
+        (Printf.sprintf
+           "evaluation failed: input not k-ordered for the hinted k (tuple \
+            %d); sort the relation or raise k"
+           position)
+
+let incremental_capable (q : Ast.query) (plan : Semant.plan) =
+  q.Ast.group_by = []
+  && plan.Semant.granule = None
+  && List.for_all (fun s -> not s.Semant.distinct) plan.Semant.aggregates
+
+let create_view t name definition =
+  let key = fold name in
+  if Hashtbl.mem t.bases key then
+    Error (Printf.sprintf "%S is a base relation" name)
+  else if Hashtbl.mem t.views (fold definition.Ast.from) then
+    Error "views cannot be defined over views"
+  else
+    let* plan = Semant.analyze (catalog t) definition in
+    let source = fold definition.Ast.from in
+    let base = Hashtbl.find t.bases source in
+    let* strategy =
+      if incremental_capable definition plan then
+        Ok (Incremental (build_incremental t plan base))
+      else
+        let* rel = run_plan plan in
+        Ok (Recompute { rel; stale = false })
+    in
+    let replaced = Hashtbl.mem t.views key in
+    (* Cached results of a same-named earlier view would be returned
+       verbatim for textually identical queries: drop everything. *)
+    ignore (Live.Cache.clear t.cache);
+    Hashtbl.replace t.views key
+      {
+        vname = name;
+        source;
+        definition;
+        out_schema = plan.Semant.out_schema;
+        strategy;
+        vversion = 0;
+      };
+    Ok
+      (Ack
+         (Printf.sprintf "view %s %s (%s maintenance)" name
+            (if replaced then "replaced" else "created")
+            (match strategy with
+            | Incremental _ -> "incremental"
+            | Recompute _ -> "recompute")))
+
+let refresh_view t name =
+  match Hashtbl.find_opt t.views (fold name) with
+  | None -> Error (Printf.sprintf "unknown view %S" name)
+  | Some v ->
+      let* plan = Semant.analyze (catalog t) v.definition in
+      let base = Hashtbl.find t.bases v.source in
+      let* strategy =
+        match v.strategy with
+        | Incremental _ -> Ok (Incremental (build_incremental t plan base))
+        | Recompute _ ->
+            let* rel = run_plan plan in
+            t.stats.Live.Stats.rebuilds <- t.stats.Live.Stats.rebuilds + 1;
+            Ok (Recompute { rel; stale = false })
+      in
+      v.strategy <- strategy;
+      v.vversion <- v.vversion + 1;
+      Ok (Ack (Printf.sprintf "view %s refreshed (version %d)" v.vname v.vversion))
+
+let drop_view t name =
+  match Hashtbl.find_opt t.views (fold name) with
+  | None -> Error (Printf.sprintf "unknown view %S" name)
+  | Some v ->
+      Hashtbl.remove t.views (fold name);
+      ignore (Live.Cache.clear t.cache);
+      Ok (Ack (Printf.sprintf "view %s dropped" v.vname))
+
+let insert_into t rel_name values window =
+  let key = fold rel_name in
+  if Hashtbl.mem t.views key then
+    Error (Printf.sprintf "cannot INSERT into view %S" rel_name)
+  else
+    match Hashtbl.find_opt t.bases key with
+    | None -> Error (Printf.sprintf "unknown relation %S" rel_name)
+    | Some base ->
+        let iv = interval_of_window window in
+        let* tuple = Semant.tuple_of_literals base.schema values iv in
+        let id = base.next_id in
+        base.next_id <- id + 1;
+        Hashtbl.replace base.ids id tuple;
+        base.cached <- None;
+        touch_views t key (fun incr -> insert_tuple incr id tuple);
+        ignore (Live.Cache.invalidate t.cache ~scope:key ~interval:iv);
+        Ok (Ack (Printf.sprintf "inserted 1 tuple into %s" base.bname))
+
+let delete_from t rel_name where =
+  let key = fold rel_name in
+  if Hashtbl.mem t.views key then
+    Error (Printf.sprintf "cannot DELETE from view %S" rel_name)
+  else
+    match Hashtbl.find_opt t.bases key with
+    | None -> Error (Printf.sprintf "unknown relation %S" rel_name)
+    | Some base ->
+        let* filter = Semant.predicate_filter base.schema where in
+        let victims =
+          Hashtbl.fold
+            (fun id tu acc -> if filter tu then (id, tu) :: acc else acc)
+            base.ids []
+        in
+        List.iter
+          (fun (id, tu) ->
+            Hashtbl.remove base.ids id;
+            touch_views t key (fun incr -> delete_tuple incr id);
+            ignore
+              (Live.Cache.invalidate t.cache ~scope:key
+                 ~interval:(Tuple.valid tu)))
+          victims;
+        if victims <> [] then base.cached <- None;
+        Ok
+          (Ack
+             (Printf.sprintf "deleted %d tuple(s) from %s"
+                (List.length victims) base.bname))
+
+(* ---- queries ---- *)
+
+let view_query_shape_ok (q : Ast.query) =
+  q.Ast.select = [ Ast.Star ]
+  && q.Ast.where = []
+  && q.Ast.group_by = []
+  && q.Ast.grouping = Ast.By_instant
+  && q.Ast.using = None
+
+let compute_view_rows t v window =
+  match v.strategy with
+  | Incremental incr ->
+      let timelines =
+        List.map (function Agg { view; _ } -> Live.View.snapshot view) incr.aggs
+      in
+      let zipped =
+        Timeline.coalesce
+          ~equal:(List.equal Value.equal)
+          (Eval.zip_timelines timelines)
+      in
+      let clipped =
+        match window with
+        | None -> Some zipped
+        | Some w -> Timeline.clip zipped w
+      in
+      let rows =
+        match clipped with
+        | None -> []
+        | Some tl ->
+            List.map
+              (fun (iv, values) -> Tuple.make (Array.of_list values) iv)
+              (Timeline.to_list tl)
+      in
+      Ok (Trel.create v.out_schema rows)
+  | Recompute r ->
+      let* () =
+        if r.stale then begin
+          let* plan = Semant.analyze (catalog t) v.definition in
+          let* rel = run_plan plan in
+          r.rel <- rel;
+          r.stale <- false;
+          t.stats.Live.Stats.rebuilds <- t.stats.Live.Stats.rebuilds + 1;
+          Ok ()
+        end
+        else Ok ()
+      in
+      let rows =
+        match window with
+        | None -> Trel.tuples r.rel
+        | Some w ->
+            List.filter_map
+              (fun tu ->
+                Option.map (Tuple.with_valid tu)
+                  (Interval.intersect (Tuple.valid tu) w))
+              (Trel.tuples r.rel)
+      in
+      Ok (Trel.create (Trel.schema r.rel) rows)
+
+let select_view t v (q : Ast.query) =
+  if not (view_query_shape_ok q) then
+    Error
+      (Printf.sprintf
+         "queries against view %S must be SELECT * FROM %s [DURING [a,b]]; \
+          re-aggregating a view is not supported"
+         v.vname v.vname)
+  else
+    let window = Option.map interval_of_window q.Ast.during in
+    let cache_key = Ast.statement_to_string (Ast.Select q) in
+    match Live.Cache.find t.cache cache_key with
+    | Some rel -> Ok (Rows rel)
+    | None ->
+        let* rel = compute_view_rows t v window in
+        Live.Cache.add t.cache ~key:cache_key ~scope:v.source
+          ~interval:(Option.value window ~default:Interval.full)
+          ~version:v.vversion rel;
+        Ok (Rows rel)
+
+let select t (q : Ast.query) =
+  match Hashtbl.find_opt t.views (fold q.Ast.from) with
+  | Some v -> select_view t v q
+  | None ->
+      let* plan = Semant.analyze (catalog t) q in
+      let* rel = run_plan plan in
+      Ok (Rows rel)
+
+let exec_statement t = function
+  | Ast.Select q -> select t q
+  | Ast.Create_view { name; definition } -> create_view t name definition
+  | Ast.Refresh_view name -> refresh_view t name
+  | Ast.Drop_view name -> drop_view t name
+  | Ast.Insert_into { relation; values; window } ->
+      insert_into t relation values window
+  | Ast.Delete_from { relation; where } -> delete_from t relation where
+
+let exec t text =
+  let* stmt = Parser.parse_statement text in
+  exec_statement t stmt

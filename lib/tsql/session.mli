@@ -1,0 +1,59 @@
+(** Mutable query sessions: live views over changing base relations.
+
+    A session owns a set of {e base relations} (seeded from a
+    {!Catalog}) that accept [INSERT INTO] and [DELETE FROM], a registry
+    of views created with [CREATE VIEW name AS query], and a
+    staleness-tracked query cache ({!Live.Cache}).
+
+    {b View maintenance.}  An ungrouped, non-DISTINCT, by-instant view
+    definition is maintained {e incrementally}: one {!Live.View} per
+    selected aggregate, patched in place by every insert/delete on the
+    source relation (deletes retire exactly the handles the insert
+    registered).  Anything else — GROUP BY, SPAN grouping, DISTINCT —
+    falls back to {e recompute} maintenance: the materialized rows are
+    marked stale by writes and re-evaluated on the next read (or on
+    [REFRESH VIEW]).
+
+    {b View queries.}  Only [SELECT * FROM view [DURING [a,b]]] may
+    target a view: the session answers it from the materialized timeline
+    (clipped to the window), consulting the cache first.  Cache entries
+    are keyed by the canonical statement text and invalidated precisely:
+    a write to the source relation drops exactly the entries whose
+    interval overlaps the written tuple's valid time.
+
+    All counters accumulate in a shared {!Live.Stats}. *)
+
+type t
+
+type outcome =
+  | Rows of Relation.Trel.t  (** A SELECT's result relation. *)
+  | Ack of string  (** DDL / DML acknowledgement. *)
+
+val create : ?cache_capacity:int -> Catalog.t -> t
+(** A session whose base relations are the catalog's bindings (snapshot:
+    later catalog changes are not seen).  [cache_capacity] bounds the
+    query cache (default 128 entries). *)
+
+val exec : t -> string -> (outcome, string) result
+(** Parse and execute one statement. *)
+
+val exec_statement : t -> Ast.statement -> (outcome, string) result
+
+val catalog : t -> Catalog.t
+(** The current base relations, materialized as an immutable catalog. *)
+
+val relation : t -> string -> Relation.Trel.t option
+(** One base relation's current contents (case-insensitive name). *)
+
+val base_names : t -> string list
+val view_names : t -> string list
+
+val view_version : t -> string -> int option
+(** The view's maintenance version: bumped by every write to its source
+    and by [REFRESH VIEW]. *)
+
+val view_strategy : t -> string -> string option
+(** ["incremental"] or ["recompute"]. *)
+
+val stats : t -> Live.Stats.t
+val cache_length : t -> int

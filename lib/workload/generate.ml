@@ -68,3 +68,63 @@ let relation spec =
        data)
 
 let seq_of = Array.to_seq
+
+type op =
+  | Insert of Interval.t * int
+  | Delete of int
+  | Query_point of Chronon.t
+  | Query_range of Interval.t
+
+let op_to_string = function
+  | Insert (iv, v) -> Printf.sprintf "insert %s %d" (Interval.to_string iv) v
+  | Delete id -> Printf.sprintf "delete #%d" id
+  | Query_point c -> Printf.sprintf "query-point %s" (Chronon.to_string c)
+  | Query_range iv -> Printf.sprintf "query-range %s" (Interval.to_string iv)
+
+let trace (spec : Spec.ops) =
+  let base = spec.Spec.base in
+  let prng = Prng.create ~seed:(base.Spec.seed + 0x0b5) in
+  let draw_tuple () =
+    let long = Prng.bool_with prng ~probability:base.Spec.long_lived_fraction in
+    (draw_interval prng base ~long, salary prng)
+  in
+  let initial = Array.init spec.Spec.initial (fun _ -> draw_tuple ()) in
+  (* Ids are assigned in arrival order: 0 .. initial-1 for the preload,
+     then one per Insert.  [live] tracks deletable ids with O(1)
+     uniform pick via swap-remove. *)
+  let live = Array.make (spec.Spec.initial + spec.Spec.length) 0 in
+  let live_count = ref 0 in
+  let push id =
+    live.(!live_count) <- id;
+    incr live_count
+  in
+  Array.iteri (fun i _ -> push i) initial;
+  let next_id = ref spec.Spec.initial in
+  let insert () =
+    let iv, v = draw_tuple () in
+    push !next_id;
+    incr next_id;
+    Insert (iv, v)
+  in
+  let ops =
+    Array.init spec.Spec.length (fun _ ->
+        let r = Prng.float_unit prng in
+        if r < spec.Spec.insert_ratio then insert ()
+        else if r < spec.Spec.insert_ratio +. spec.Spec.delete_ratio then begin
+          if !live_count = 0 then insert ()
+            (* nothing left to delete: degrade to an insert *)
+          else begin
+            let slot = Prng.int_bounded prng !live_count in
+            let id = live.(slot) in
+            decr live_count;
+            live.(slot) <- live.(!live_count);
+            Delete id
+          end
+        end
+        else if Prng.bool_with prng ~probability:spec.Spec.point_fraction then
+          Query_point (Chronon.of_int (Prng.int_bounded prng base.Spec.lifespan))
+        else
+          let iv = draw_interval prng base ~long:false in
+          Query_range iv)
+  in
+  (initial, ops)

@@ -31,3 +31,23 @@ val relation : Spec.t -> Relation.Trel.t
 
 val seq_of : ('a * 'b) array -> ('a * 'b) Seq.t
 (** Convenience: the array as the sequence the algorithms consume. *)
+
+(** {1 Mixed read/write traces} *)
+
+type op =
+  | Insert of Interval.t * int
+      (** A new tuple; it receives the next sequential id. *)
+  | Delete of int
+      (** Retire the tuple with this id — always an id live at this
+          point of the trace, chosen uniformly among the survivors. *)
+  | Query_point of Chronon.t
+  | Query_range of Interval.t
+
+val op_to_string : op -> string
+
+val trace : Spec.ops -> (Interval.t * int) array * op array
+(** [trace spec] is [(initial, ops)]: the preloaded tuples (ids
+    [0 .. initial-1], in id order) and the operation stream.  Inserts
+    claim ids sequentially after the preload.  Deterministic in the
+    spec's seed.  A delete drawn when no tuple is live degrades to an
+    insert, so the trace never references a dead id. *)

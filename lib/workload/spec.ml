@@ -33,6 +33,40 @@ let make ?(long_lived_fraction = 0.) ?(lifespan = 1_000_000) ?(short_min = 1)
     seed;
   }
 
+type ops = {
+  initial : int;
+  length : int;
+  insert_ratio : float;
+  delete_ratio : float;
+  point_fraction : float;
+  base : t;
+}
+
+let ops ?(insert_ratio = 0.05) ?(delete_ratio = 0.05) ?(point_fraction = 0.5)
+    ?base ~initial ~length () =
+  if initial < 0 then invalid_arg "Spec.ops: initial must be non-negative";
+  if length <= 0 then invalid_arg "Spec.ops: length must be positive";
+  let check name r =
+    if r < 0. || r > 1. then
+      invalid_arg (Printf.sprintf "Spec.ops: %s outside [0,1]" name)
+  in
+  check "insert_ratio" insert_ratio;
+  check "delete_ratio" delete_ratio;
+  check "point_fraction" point_fraction;
+  if insert_ratio +. delete_ratio > 1. then
+    invalid_arg "Spec.ops: insert_ratio + delete_ratio exceeds 1";
+  let base = match base with Some b -> b | None -> make ~n:(max initial 1) () in
+  { initial; length; insert_ratio; delete_ratio; point_fraction; base }
+
+let pp_ops ppf o =
+  Format.fprintf ppf
+    "initial=%d length=%d insert=%.1f%% delete=%.1f%% point=%.0f%% seed=%d"
+    o.initial o.length
+    (o.insert_ratio *. 100.)
+    (o.delete_ratio *. 100.)
+    (o.point_fraction *. 100.)
+    o.base.seed
+
 let table3_sizes = [ 1_024; 2_048; 4_096; 8_192; 16_384; 32_768; 65_536 ]
 let table3_long_lived = [ 0.; 0.4; 0.8 ]
 let table3_k = [ 4; 40; 400 ]

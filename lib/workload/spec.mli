@@ -35,6 +35,40 @@ val make :
     @raise Invalid_argument on non-positive sizes, fractions outside
     [0, 1], or an empty duration range. *)
 
+(** {1 Mixed read/write traces}
+
+    Parameters for the serve-mode workloads: an initial relation of
+    [initial] tuples followed by [length] interleaved operations, each
+    drawn independently — insert with probability [insert_ratio], delete
+    with [delete_ratio], otherwise a query ([point_fraction] of queries
+    are point lookups, the rest range scans).  Interval and value
+    distributions (and the seed) come from the embedded base spec. *)
+
+type ops = {
+  initial : int;  (** Tuples loaded before the trace starts. *)
+  length : int;  (** Number of trace operations. *)
+  insert_ratio : float;
+  delete_ratio : float;
+  point_fraction : float;  (** Point share of the query mix. *)
+  base : t;  (** Interval/value distributions and the seed. *)
+}
+
+val ops :
+  ?insert_ratio:float ->
+  ?delete_ratio:float ->
+  ?point_fraction:float ->
+  ?base:t ->
+  initial:int ->
+  length:int ->
+  unit ->
+  ops
+(** Defaults: 5 % inserts, 5 % deletes, queries split evenly between
+    point and range; [base] defaults to [make ~n:(max initial 1) ()].
+    @raise Invalid_argument on negative sizes, ratios outside [0, 1], or
+    [insert_ratio + delete_ratio > 1]. *)
+
+val pp_ops : Format.formatter -> ops -> unit
+
 (** The paper's tested values (Table 3). *)
 
 val table3_sizes : int list

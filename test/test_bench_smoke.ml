@@ -62,10 +62,47 @@ let test_sweep_section () =
       Alcotest.(check bool) "csv mentions the sweep series" true
         (contains contents "sweep (count)"))
 
+let test_live_section_json () =
+  let dir = Filename.temp_file "tempagg_bench" "" in
+  Sys.remove dir;
+  (* Nested path again: write_json must create the directories. *)
+  let json = Filename.concat (Filename.concat dir "out") "BENCH_results.json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      let code, out = run [ "--smoke"; "--sections"; "live"; "--json"; json ] in
+      Alcotest.(check int) "exit 0" 0 code;
+      Alcotest.(check bool) "prints the live banner" true
+        (contains out "live:");
+      Alcotest.(check bool) "prints the headline ratio" true
+        (contains out "headline (1% writes");
+      Alcotest.(check bool) "json written" true (Sys.file_exists json);
+      let contents = In_channel.with_open_text json In_channel.input_all in
+      (* Superficial JSON shape: an array of flat records carrying the
+         fields the CI artifact consumers key on. *)
+      Alcotest.(check bool) "array" true
+        (String.length contents > 2
+        && contents.[0] = '['
+        && String.ends_with ~suffix:"]\n" contents);
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) needle true (contains contents needle))
+        [
+          "\"section\": \"live\"";
+          "\"algorithm\": \"incremental\"";
+          "\"algorithm\": \"reeval\"";
+          "\"median_ns\":";
+          "\"n\":";
+        ])
+
 let () =
   Alcotest.run "bench-smoke"
     [
       ( "bench",
-        [ Alcotest.test_case "sweep section + nested csv" `Quick
-            test_sweep_section ] );
+        [
+          Alcotest.test_case "sweep section + nested csv" `Quick
+            test_sweep_section;
+          Alcotest.test_case "live section + json records" `Quick
+            test_live_section_json;
+        ] );
     ]

@@ -236,6 +236,46 @@ let test_inject_faults_flags () =
       Alcotest.(check bool) "bad spec rejected" true (code <> 0);
       check_contains out "torn")
 
+let test_serve_script () =
+  with_tempdir (fun dir ->
+      let script = Filename.concat dir "ops.tsql" in
+      Out_channel.with_open_text script (fun oc ->
+          output_string oc
+            "-- live view over the paper's Employed relation\n\
+             CREATE VIEW hc AS SELECT COUNT(Name) FROM Employed;\n\
+             SELECT * FROM hc DURING [8,20];\n\
+             INSERT INTO Employed VALUES ('Zoe', 60000) DURING [12,18];\n\
+             SELECT * FROM hc DURING [8,20];\n\
+             DELETE FROM Employed WHERE Name = 'Zoe';\n\
+             DROP VIEW hc\n");
+      let code, out = run [ "serve"; "--echo"; "--script"; script ] in
+      Alcotest.(check int) "exit 0" 0 code;
+      (* --echo shows the view's rows before and after the write... *)
+      check_contains out "| [18,20] |";
+      (* ...and the closing report aggregates latency per statement kind
+         plus the live-subsystem counters. *)
+      check_contains out "serve: 6 op(s)";
+      check_contains out "select";
+      check_contains out "create-view";
+      check_contains out "p99-us";
+      check_contains out "cache")
+
+let test_serve_missing_script () =
+  with_tempdir (fun dir ->
+      let code, out =
+        run [ "serve"; "--script"; Filename.concat dir "nope.tsql" ]
+      in
+      Alcotest.(check bool) "nonzero exit" true (code <> 0);
+      check_contains out "nope.tsql")
+
+let test_serve_parse_error () =
+  with_tempdir (fun dir ->
+      let script = Filename.concat dir "bad.tsql" in
+      Out_channel.with_open_text script (fun oc ->
+          output_string oc "SELECT FROM ;\n");
+      let code, _ = run [ "serve"; "--script"; script ] in
+      Alcotest.(check bool) "nonzero exit" true (code <> 0))
+
 let quick name f = Alcotest.test_case name `Quick f
 
 let () =
@@ -256,5 +296,8 @@ let () =
           quick "--on-error fallback" test_on_error_fallback_flag;
           quick "--deadline-ms" test_deadline_flag;
           quick "--inject-faults" test_inject_faults_flags;
+          quick "serve script" test_serve_script;
+          quick "serve missing script" test_serve_missing_script;
+          quick "serve parse error" test_serve_parse_error;
         ] );
     ]

@@ -314,6 +314,124 @@ let test_equivalent_ignores_segmentation () =
   Alcotest.(check bool) "equivalent" true (Timeline.equivalent Int.equal a b);
   Alcotest.(check bool) "not equal" false (Timeline.equal Int.equal a b)
 
+let test_patch_splits_one_segment () =
+  let t = tl [ (iv 0 9, 1) ] in
+  let expected = tl [ (iv 0 2, 1); (iv 3 6, 11); (iv 7 9, 1) ] in
+  Alcotest.check int_timeline "split" expected
+    (Timeline.patch t (iv 3 6) (( + ) 10))
+
+let test_patch_spans_segments () =
+  let t = tl [ (iv 0 4, 1); (iv 5 9, 2); (iv 10 14, 3) ] in
+  let expected =
+    tl [ (iv 0 2, 1); (iv 3 4, 11); (iv 5 9, 12); (iv 10 12, 13); (iv 13 14, 3) ]
+  in
+  Alcotest.check int_timeline "across" expected
+    (Timeline.patch t (iv 3 12) (( + ) 10))
+
+let test_patch_whole_cover () =
+  let t = tl [ (iv 0 4, 1); (iv 5 9, 2) ] in
+  let expected = tl [ (iv 0 4, 2); (iv 5 9, 3) ] in
+  Alcotest.check int_timeline "whole" expected
+    (Timeline.patch t (iv 0 9) (( + ) 1))
+
+let test_patch_exact_boundaries () =
+  let t = tl [ (iv 0 4, 1); (iv 5 9, 2); (iv 10 14, 3) ] in
+  let expected = tl [ (iv 0 4, 1); (iv 5 9, 12); (iv 10 14, 3) ] in
+  Alcotest.check int_timeline "aligned" expected
+    (Timeline.patch t (iv 5 9) (( + ) 10))
+
+let test_patch_equal_coalesces_seams () =
+  (* An identity delta with ~equal leaves no seam behind... *)
+  let t = tl [ (iv 0 9, 1) ] in
+  Alcotest.check int_timeline "identity merges back" t
+    (Timeline.patch ~equal:Int.equal t (iv 3 6) Fun.id);
+  (* ...and a delta that restores a neighbour's value merges into it. *)
+  let t2 = tl [ (iv 0 4, 1); (iv 5 9, 2) ] in
+  let expected = tl [ (iv 0 9, 1) ] in
+  Alcotest.check int_timeline "neighbour merge" expected
+    (Timeline.patch ~equal:Int.equal t2 (iv 5 9) (fun _ -> 1))
+
+let test_patch_outside_cover_rejected () =
+  let t = tl [ (iv 5 9, 1) ] in
+  Alcotest.check_raises "outside"
+    (Invalid_argument "Timeline.patch: [3,7] outside the cover [5,9]")
+    (fun () -> ignore (Timeline.patch t (iv 3 7) Fun.id))
+
+let test_clip () =
+  let t = tl [ (iv 0 4, 1); (iv 5 9, 2); (iv 10 14, 3) ] in
+  (match Timeline.clip t (iv 3 11) with
+  | None -> Alcotest.fail "expected Some"
+  | Some c ->
+      Alcotest.check int_timeline "trimmed"
+        (tl [ (iv 3 4, 1); (iv 5 9, 2); (iv 10 11, 3) ])
+        c);
+  (match Timeline.clip t (iv 5 9) with
+  | None -> Alcotest.fail "expected Some"
+  | Some c -> Alcotest.check int_timeline "aligned" (tl [ (iv 5 9, 2) ]) c);
+  Alcotest.(check bool)
+    "disjoint" true
+    (Option.is_none (Timeline.clip t (iv 20 30)))
+
+(* patch against the obvious rebuild: apply f through of_list over the
+   pointwise-patched segment list. *)
+let gen_timeline_and_span =
+  QCheck2.Gen.(
+    let* cuts = list_size (int_range 0 8) (int_range 1 58) in
+    let* vals = list_size (return 12) (int_range 0 5) in
+    let* unbounded = bool in
+    let bounds = List.sort_uniq Int.compare (0 :: 59 :: cuts) in
+    (* Consecutive bounds become segments [b_i, b_{i+1}-1], last to 59. *)
+    let rec segments vs = function
+      | b :: (b' :: _ as rest) ->
+          let v = match vs with v :: _ -> v | [] -> 0 in
+          let tail = match vs with _ :: t -> t | [] -> [] in
+          (iv b (b' - 1), v) :: segments tail rest
+      | [ last ] ->
+          let v = match vs with v :: _ -> v | [] -> 0 in
+          [ ((if unbounded then Interval.from (c last) else iv last 59), v) ]
+      | [] -> []
+    in
+    let t = Timeline.of_list (segments vals bounds) in
+    let* s = int_range 0 59 in
+    let* e = int_range s 59 in
+    return (t, iv s e))
+
+let prop_patch_matches_rebuild =
+  QCheck2.Test.make ~name:"patch = pointwise rebuild" ~count:500
+    ~print:(fun (t, span) ->
+      Printf.sprintf "%s patched over %s"
+        (Format.asprintf "%a" (Timeline.pp Format.pp_print_int) t)
+        (Interval.to_string span))
+    gen_timeline_and_span
+    (fun (t, span) ->
+      let f v = v + 100 in
+      let patched = Timeline.patch t span f in
+      let reference_value c0 =
+        Option.map
+          (fun v -> if Interval.contains span c0 then f v else v)
+          (Timeline.value_at t c0)
+      in
+      (* Contiguity invariants survive (of_list re-validates them)... *)
+      ignore (Timeline.of_list (Timeline.to_list patched));
+      (* ...and the patch agrees with the rebuild at every instant. *)
+      List.for_all
+        (fun i -> Timeline.value_at patched (c i) = reference_value (c i))
+        (List.init 61 Fun.id))
+
+let prop_patch_equal_is_coalesced =
+  QCheck2.Test.make ~name:"patch ~equal leaves a coalesced timeline" ~count:500
+    ~print:(fun (t, span) ->
+      Printf.sprintf "%s patched over %s"
+        (Format.asprintf "%a" (Timeline.pp Format.pp_print_int) t)
+        (Interval.to_string span))
+    gen_timeline_and_span
+    (fun (t, span) ->
+      let t = Timeline.coalesce ~equal:Int.equal t in
+      (* A value-collapsing delta is the worst case for seams. *)
+      let patched = Timeline.patch ~equal:Int.equal t span (fun v -> v mod 2) in
+      Timeline.equal Int.equal patched
+        (Timeline.coalesce ~equal:Int.equal patched))
+
 (* ------------------------------------------------------------------ *)
 (* Granule                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -544,7 +662,21 @@ let () =
             test_refine_rejects_mismatched_covers;
           Alcotest.test_case "equivalent ignores segmentation" `Quick
             test_equivalent_ignores_segmentation;
+          Alcotest.test_case "patch splits one segment" `Quick
+            test_patch_splits_one_segment;
+          Alcotest.test_case "patch spans segments" `Quick
+            test_patch_spans_segments;
+          Alcotest.test_case "patch whole cover" `Quick test_patch_whole_cover;
+          Alcotest.test_case "patch exact boundaries" `Quick
+            test_patch_exact_boundaries;
+          Alcotest.test_case "patch ~equal coalesces seams" `Quick
+            test_patch_equal_coalesces_seams;
+          Alcotest.test_case "patch outside cover rejected" `Quick
+            test_patch_outside_cover_rejected;
+          Alcotest.test_case "clip" `Quick test_clip;
         ] );
+      qsuite "timeline-properties"
+        [ prop_patch_matches_rebuild; prop_patch_equal_is_coalesced ];
       ( "interval-set",
         [
           Alcotest.test_case "canonical form" `Quick test_iset_canonical_form;

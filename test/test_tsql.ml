@@ -382,6 +382,292 @@ let test_pretty_output_shape () =
        (fun l -> l = "| count(Name) | valid   |")
        lines)
 
+(* ------------------------------------------------------------------ *)
+(* Statements: lexing, parsing, and printing                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_lexer_statement_keywords () =
+  Alcotest.(check bool) "ddl/dml keywords" true
+    (tokens_of "create view as refresh drop insert into values delete"
+    = Tsql.Lexer.
+        [ CREATE; VIEW; AS; REFRESH; DROP; INSERT; INTO; VALUES; DELETE; EOF ])
+
+let test_lexer_line_comments () =
+  Alcotest.(check bool) "comment to end of line" true
+    (tokens_of "select -- the whole query\n from -- trailing"
+    = Tsql.Lexer.[ SELECT; FROM; EOF ])
+
+let parse_statement s =
+  match Tsql.Parser.parse_statement s with
+  | Ok stmt -> stmt
+  | Error msg -> Alcotest.fail (s ^ " -> " ^ msg)
+
+let test_parse_statement_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string)
+        s s
+        (Tsql.Ast.statement_to_string (parse_statement s)))
+    [
+      "SELECT COUNT(Name) FROM Employed";
+      "CREATE VIEW head_count AS SELECT COUNT(*) FROM Employed";
+      "REFRESH VIEW head_count";
+      "DROP VIEW head_count";
+      "INSERT INTO Employed VALUES ('Ann', 42000) DURING [3,9]";
+      "DELETE FROM Employed WHERE Name = 'Ann'";
+      "DELETE FROM Employed";
+    ]
+
+let test_parse_script () =
+  match
+    Tsql.Parser.parse_script
+      "-- a comment-only line\n\
+       CREATE VIEW v AS SELECT COUNT(*) FROM Employed;\n\
+       SELECT * FROM v;\n\
+       DROP VIEW v"
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok statements ->
+      Alcotest.(check int) "three statements" 3 (List.length statements)
+
+let test_parse_script_empty_statements_skipped () =
+  match Tsql.Parser.parse_script ";;SELECT COUNT(*) FROM Employed;;" with
+  | Error msg -> Alcotest.fail msg
+  | Ok statements -> Alcotest.(check int) "one" 1 (List.length statements)
+
+let test_parse_statement_errors () =
+  List.iter
+    (fun (s, fragment) ->
+      match Tsql.Parser.parse_statement s with
+      | Ok _ -> Alcotest.fail ("expected syntax error: " ^ s)
+      | Error msg ->
+          if not (contains msg fragment) then
+            Alcotest.fail (Printf.sprintf "%S lacks %S" msg fragment))
+    [
+      ("CREATE head AS SELECT COUNT(*) FROM E", "VIEW");
+      ("INSERT Employed VALUES (1)", "INTO");
+      ("INSERT INTO Employed VALUES (1)", "DURING");
+      ("DELETE Employed", "FROM");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Session: live views, writes, and the query cache                    *)
+(* ------------------------------------------------------------------ *)
+
+let session () = Tsql.Session.create (Tsql.Catalog.with_builtins ())
+
+let exec s q =
+  match Tsql.Session.exec s q with
+  | Ok outcome -> outcome
+  | Error msg -> Alcotest.fail (q ^ " -> " ^ msg)
+
+let exec_rows s q =
+  match exec s q with
+  | Tsql.Session.Rows rel -> rel
+  | Tsql.Session.Ack msg -> Alcotest.fail (q ^ " -> unexpected ack: " ^ msg)
+
+let exec_err s q =
+  match Tsql.Session.exec s q with
+  | Ok _ -> Alcotest.fail ("expected failure: " ^ q)
+  | Error msg -> msg
+
+let test_session_view_matches_direct_query () =
+  let s = session () in
+  (match exec s "CREATE VIEW hc AS SELECT COUNT(Name) FROM Employed" with
+  | Tsql.Session.Ack msg ->
+      Alcotest.(check bool) "incremental" true (contains msg "incremental")
+  | Tsql.Session.Rows _ -> Alcotest.fail "expected an ack");
+  Alcotest.(check (option string))
+    "strategy" (Some "incremental")
+    (Tsql.Session.view_strategy s "hc");
+  let via_view = exec_rows s "SELECT * FROM hc" in
+  let direct = run "SELECT COUNT(Name) FROM Employed" in
+  Alcotest.(check bool)
+    "same rows" true
+    (row_values via_view = row_values direct)
+
+let test_session_insert_updates_view () =
+  let s = session () in
+  ignore (exec s "CREATE VIEW hc AS SELECT COUNT(Name) FROM Employed");
+  ignore (exec s "INSERT INTO Employed VALUES ('Zoe', 60000) DURING [12,18]");
+  ignore (exec s "INSERT INTO Employed VALUES ('Ada', 50000) DURING [0,3]");
+  let via_view = exec_rows s "SELECT * FROM hc" in
+  (* The reference: a fresh batch query over the session's mutated base. *)
+  let direct =
+    match
+      Tsql.Eval.query (Tsql.Session.catalog s) "SELECT COUNT(Name) FROM Employed"
+    with
+    | Ok rel -> rel
+    | Error msg -> Alcotest.fail msg
+  in
+  Alcotest.(check bool)
+    "view tracks writes" true
+    (row_values via_view = row_values direct)
+
+let test_session_delete_updates_view () =
+  let s = session () in
+  ignore (exec s "CREATE VIEW hc AS SELECT COUNT(Name) FROM Employed");
+  let before = exec_rows s "SELECT * FROM hc" in
+  ignore (exec s "INSERT INTO Employed VALUES ('Zoe', 60000) DURING [12,18]");
+  (match exec s "DELETE FROM Employed WHERE Name = 'Zoe'" with
+  | Tsql.Session.Ack msg ->
+      Alcotest.(check bool) "one victim" true (contains msg "1")
+  | Tsql.Session.Rows _ -> Alcotest.fail "expected an ack");
+  let after = exec_rows s "SELECT * FROM hc" in
+  Alcotest.(check bool)
+    "insert then delete is a no-op" true
+    (row_values before = row_values after)
+
+let test_session_view_window_and_min_max () =
+  let s = session () in
+  ignore (exec s "CREATE VIEW sal AS SELECT MIN(Salary), MAX(Salary) FROM Employed");
+  ignore (exec s "DELETE FROM Employed WHERE Name = 'Nathan'");
+  let via_view = exec_rows s "SELECT * FROM sal DURING [8,20]" in
+  let direct =
+    match
+      Tsql.Eval.query (Tsql.Session.catalog s)
+        "SELECT MIN(Salary), MAX(Salary) FROM Employed DURING [8,20]"
+    with
+    | Ok rel -> rel
+    | Error msg -> Alcotest.fail msg
+  in
+  Alcotest.(check bool)
+    "min/max survive a delete (lazy rebuild)" true
+    (row_values via_view = row_values direct)
+
+let test_session_grouped_view_recomputes () =
+  let s = session () in
+  (match exec s "CREATE VIEW by_name AS SELECT Name, COUNT(*) FROM Employed GROUP BY Name" with
+  | Tsql.Session.Ack msg ->
+      Alcotest.(check bool) "recompute" true (contains msg "recompute")
+  | Tsql.Session.Rows _ -> Alcotest.fail "expected an ack");
+  Alcotest.(check (option string))
+    "strategy" (Some "recompute")
+    (Tsql.Session.view_strategy s "by_name");
+  let before = (Tsql.Session.stats s).Live.Stats.rebuilds in
+  ignore (exec s "INSERT INTO Employed VALUES ('Zoe', 60000) DURING [1,2]");
+  let rows = exec_rows s "SELECT * FROM by_name" in
+  Alcotest.(check bool)
+    "stale view rebuilt on read" true
+    ((Tsql.Session.stats s).Live.Stats.rebuilds > before);
+  Alcotest.(check bool)
+    "new group present" true
+    (List.exists (fun (vs, _) -> List.mem "Zoe" vs) (row_values rows))
+
+let test_session_cache_hits_and_precise_invalidation () =
+  let s = session () in
+  ignore (exec s "CREATE VIEW hc AS SELECT COUNT(Name) FROM Employed");
+  let q = "SELECT * FROM hc DURING [0,20]" in
+  ignore (exec_rows s q);
+  let stats = Tsql.Session.stats s in
+  let hits0 = stats.Live.Stats.cache_hits in
+  ignore (exec_rows s q);
+  Alcotest.(check int) "second read hits" (hits0 + 1) stats.Live.Stats.cache_hits;
+  (* A write entirely outside the cached window leaves the entry alive... *)
+  ignore (exec s "INSERT INTO Employed VALUES ('Far', 1000) DURING [50,60]");
+  ignore (exec_rows s q);
+  Alcotest.(check int)
+    "disjoint write keeps the entry" (hits0 + 2) stats.Live.Stats.cache_hits;
+  (* ...but an overlapping write drops exactly that entry. *)
+  let invalidations0 = stats.Live.Stats.cache_invalidations in
+  ignore (exec s "INSERT INTO Employed VALUES ('Near', 1000) DURING [15,25]");
+  Alcotest.(check bool)
+    "overlapping write invalidates" true
+    (stats.Live.Stats.cache_invalidations > invalidations0);
+  ignore (exec_rows s q);
+  Alcotest.(check int)
+    "post-invalidation read misses" (hits0 + 2) stats.Live.Stats.cache_hits;
+  (* The recomputed entry is correct (compare against a fresh query). *)
+  let via_view = exec_rows s q in
+  let direct =
+    match
+      Tsql.Eval.query (Tsql.Session.catalog s)
+        "SELECT COUNT(Name) FROM Employed DURING [0,20]"
+    with
+    | Ok rel -> rel
+    | Error msg -> Alcotest.fail msg
+  in
+  Alcotest.(check bool)
+    "cached result correct" true
+    (row_values via_view = row_values direct)
+
+let test_session_refresh_and_drop () =
+  let s = session () in
+  ignore (exec s "CREATE VIEW hc AS SELECT COUNT(*) FROM Employed");
+  let v0 = Tsql.Session.view_version s "hc" in
+  (match exec s "REFRESH VIEW hc" with
+  | Tsql.Session.Ack _ -> ()
+  | Tsql.Session.Rows _ -> Alcotest.fail "expected an ack");
+  Alcotest.(check bool)
+    "refresh bumps the version" true
+    (Tsql.Session.view_version s "hc" > v0);
+  ignore (exec s "DROP VIEW hc");
+  Alcotest.(check (list string)) "gone" [] (Tsql.Session.view_names s);
+  ignore (exec_err s "SELECT * FROM hc")
+
+let test_session_rejections () =
+  let s = session () in
+  ignore (exec s "CREATE VIEW hc AS SELECT COUNT(*) FROM Employed");
+  Alcotest.(check bool) "star on a base table" true
+    (contains (exec_err s "SELECT * FROM Employed") "view");
+  Alcotest.(check bool) "insert into a view" true
+    (contains
+       (exec_err s "INSERT INTO hc VALUES ('x', 1) DURING [0,1]")
+       "view");
+  Alcotest.(check bool) "view over a view" true
+    (contains (exec_err s "CREATE VIEW h2 AS SELECT COUNT(*) FROM hc") "view");
+  Alcotest.(check bool) "clashing base name" true
+    (contains
+       (exec_err s "CREATE VIEW Employed AS SELECT COUNT(*) FROM Employed")
+       "base relation");
+  Alcotest.(check bool) "refresh unknown" true
+    (contains (exec_err s "REFRESH VIEW nope") "nope");
+  Alcotest.(check bool)
+    "grouped select against a view" true
+    (String.length (exec_err s "SELECT Name, COUNT(*) FROM hc GROUP BY Name")
+    > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_serve_reports_latencies () =
+  let s = session () in
+  let sink = Buffer.create 256 in
+  match
+    Tsql.Serve.run_script ~echo:true
+      ~out:(Buffer.add_string sink)
+      s
+      "CREATE VIEW hc AS SELECT COUNT(*) FROM Employed;\n\
+       SELECT * FROM hc;\n\
+       INSERT INTO Employed VALUES ('Zoe', 1) DURING [2,4];\n\
+       SELECT * FROM hc;\n\
+       SELECT * FROM nonexistent;\n\
+       DROP VIEW hc"
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok report ->
+      Alcotest.(check int) "ops" 6 report.Tsql.Serve.total;
+      Alcotest.(check int) "one error" 1 report.Tsql.Serve.total_errors;
+      let selects = List.assoc "select" report.Tsql.Serve.per_kind in
+      Alcotest.(check int) "selects" 3 selects.Tsql.Serve.ops;
+      Alcotest.(check int) "select errors" 1 selects.Tsql.Serve.errors;
+      Alcotest.(check bool)
+        "percentiles ordered" true
+        (selects.Tsql.Serve.p50_us <= selects.Tsql.Serve.p99_us
+        && selects.Tsql.Serve.p99_us <= selects.Tsql.Serve.max_us);
+      let text = Tsql.Serve.report_to_string report in
+      Alcotest.(check bool) "report mentions kinds" true
+        (contains text "create-view" && contains text "p99-us");
+      Alcotest.(check bool) "echo shows error" true
+        (contains (Buffer.contents sink) "error:")
+
+let test_serve_parse_error () =
+  let s = session () in
+  Alcotest.(check bool)
+    "bad script is an Error" true
+    (Result.is_error (Tsql.Serve.run_script s "SELECT FROM ;"))
+
 let quick name f = Alcotest.test_case name `Quick f
 
 let () =
@@ -439,5 +725,32 @@ let () =
             test_eval_where_null_comparisons_unknown;
           quick "catalog case-insensitive" test_catalog_case_insensitive;
           quick "pretty output" test_pretty_output_shape;
+        ] );
+      ( "statements",
+        [
+          quick "ddl/dml keywords" test_lexer_statement_keywords;
+          quick "line comments" test_lexer_line_comments;
+          quick "statement roundtrip" test_parse_statement_roundtrip;
+          quick "script" test_parse_script;
+          quick "empty statements skipped"
+            test_parse_script_empty_statements_skipped;
+          quick "statement syntax errors" test_parse_statement_errors;
+        ] );
+      ( "session",
+        [
+          quick "view matches direct query" test_session_view_matches_direct_query;
+          quick "insert updates view" test_session_insert_updates_view;
+          quick "delete updates view" test_session_delete_updates_view;
+          quick "min/max across deletes" test_session_view_window_and_min_max;
+          quick "grouped views recompute" test_session_grouped_view_recomputes;
+          quick "cache hits and precise invalidation"
+            test_session_cache_hits_and_precise_invalidation;
+          quick "refresh and drop" test_session_refresh_and_drop;
+          quick "rejections" test_session_rejections;
+        ] );
+      ( "serve",
+        [
+          quick "latency report" test_serve_reports_latencies;
+          quick "parse errors rejected" test_serve_parse_error;
         ] );
     ]

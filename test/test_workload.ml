@@ -222,6 +222,102 @@ let prop_generation_in_lifespan =
           && Chronon.to_int (Interval.stop iv) < lifespan)
         (Generate.random_intervals s))
 
+(* ------------------------------------------------------------------ *)
+(* Mixed read/write traces                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ops_spec ?(insert_ratio = 0.2) ?(delete_ratio = 0.2) ?(initial = 50)
+    ?(length = 500) () =
+  Spec.ops ~insert_ratio ~delete_ratio ~initial ~length ()
+
+let test_ops_spec_validates () =
+  let check_raises name f =
+    Alcotest.(check bool) name true
+      (match f () with exception Invalid_argument _ -> true | _ -> false)
+  in
+  check_raises "negative initial" (fun () ->
+      Spec.ops ~initial:(-1) ~length:10 ());
+  check_raises "zero length" (fun () -> Spec.ops ~initial:1 ~length:0 ());
+  check_raises "ratio above 1" (fun () ->
+      Spec.ops ~insert_ratio:1.5 ~initial:1 ~length:10 ());
+  check_raises "ratios sum above 1" (fun () ->
+      Spec.ops ~insert_ratio:0.7 ~delete_ratio:0.7 ~initial:1 ~length:10 ())
+
+let test_trace_deterministic () =
+  let a = Generate.trace (ops_spec ()) in
+  let b = Generate.trace (ops_spec ()) in
+  Alcotest.(check bool) "same initial" true (fst a = fst b);
+  Alcotest.(check bool) "same ops" true (snd a = snd b)
+
+let test_trace_shape () =
+  let initial, ops = Generate.trace (ops_spec ()) in
+  Alcotest.(check int) "initial size" 50 (Array.length initial);
+  Alcotest.(check int) "trace length" 500 (Array.length ops)
+
+(* Replay the trace: every delete must name an id that is live at that
+   point (preloaded or previously inserted, not yet deleted). *)
+let test_trace_deletes_are_valid () =
+  let initial, ops = Generate.trace (ops_spec ()) in
+  let live = Hashtbl.create 64 in
+  Array.iteri (fun id _ -> Hashtbl.replace live id ()) initial;
+  let next = ref (Array.length initial) in
+  Array.iter
+    (function
+      | Generate.Insert _ ->
+          Hashtbl.replace live !next ();
+          incr next
+      | Generate.Delete id ->
+          Alcotest.(check bool)
+            (Printf.sprintf "id %d live" id)
+            true (Hashtbl.mem live id);
+          Hashtbl.remove live id
+      | Generate.Query_point _ | Generate.Query_range _ -> ())
+    ops
+
+let test_trace_respects_ratios () =
+  let _, ops =
+    Generate.trace
+      (ops_spec ~insert_ratio:0.3 ~delete_ratio:0.1 ~length:5_000 ())
+  in
+  let count p = Array.fold_left (fun n op -> if p op then n + 1 else n) 0 ops in
+  let inserts =
+    count (function Generate.Insert _ -> true | _ -> false)
+  and deletes = count (function Generate.Delete _ -> true | _ -> false)
+  and queries =
+    count (function
+      | Generate.Query_point _ | Generate.Query_range _ -> true
+      | _ -> false)
+  in
+  let near what expected got =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s ~ %.0f (got %d)" what expected got)
+      true
+      (Float.abs (float_of_int got -. expected) < expected *. 0.25)
+  in
+  near "inserts" (0.3 *. 5_000.) inserts;
+  (* Deletes can degrade to inserts when nothing is live, so only an
+     upper-ish bound is meaningful; with 50 preloaded tuples and more
+     inserts than deletes the degradation is rare. *)
+  near "deletes" (0.1 *. 5_000.) deletes;
+  near "queries" (0.6 *. 5_000.) queries
+
+let test_trace_query_mix () =
+  let _, ops =
+    Generate.trace
+      (Spec.ops ~insert_ratio:0. ~delete_ratio:0. ~point_fraction:1.
+         ~initial:10 ~length:200 ())
+  in
+  Alcotest.(check bool)
+    "all point queries" true
+    (Array.for_all
+       (function Generate.Query_point _ -> true | _ -> false)
+       ops)
+
+let test_op_to_string () =
+  Alcotest.(check bool)
+    "insert renders" true
+    (String.length (Generate.op_to_string (Generate.Delete 3)) > 0)
+
 let quick name f = Alcotest.test_case name `Quick f
 
 let () =
@@ -253,6 +349,16 @@ let () =
           quick "sorted variant" test_generate_sorted;
           quick "k-ordered variant" test_generate_k_ordered;
           quick "full relation" test_generate_relation;
+        ] );
+      ( "trace",
+        [
+          quick "ops spec validates" test_ops_spec_validates;
+          quick "deterministic" test_trace_deterministic;
+          quick "shape" test_trace_shape;
+          quick "deletes always valid" test_trace_deletes_are_valid;
+          quick "ratios respected" test_trace_respects_ratios;
+          quick "query mix" test_trace_query_mix;
+          quick "op_to_string" test_op_to_string;
         ] );
       ( "properties",
         List.map
