@@ -9,8 +9,11 @@
      dune exec bench/main.exe -- --help
 
    Sections: table1 table2 table3 fig6 fig7 fig8 fig9 fig9_longlived
-   sweep live optimizer guard ablation_balanced ablation_span
+   sweep live optimizer guard obs ablation_balanced ablation_span
    ablation_unique ablation_paged ablation_pagerand storage_io micro.
+   The obs section also writes BENCH_trace.json (Chrome trace_event,
+   loads in Perfetto) and BENCH_metrics.txt (Prometheus exposition)
+   next to the --json output when one is requested.
 
    --smoke shrinks every size for CI (seconds, not minutes); --json PATH
    writes every measured point as a machine-readable JSON array.
@@ -791,6 +794,67 @@ let optimizer () =
        cases)
 
 (* ------------------------------------------------------------------ *)
+(* Paired overhead measurement                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Paired comparison over interleaved, compacted rounds: every round
+   measures all variants back-to-back and the overhead is the median of
+   the per-round ratios against that round's baseline.  Pairing within
+   a round cancels the slow drift in GC/allocator state that
+   independent measurement blocks pick up, which at these run times
+   dwarfs the few percent being resolved here.  Used by the guard and
+   obs sections, both of which defend a <3% "disarmed is free" bar. *)
+let paired_rounds = 7
+
+(* A steadier timer than the global [time_run]: a rep count calibrated
+   once per workload (so every variant runs the same number of times —
+   adaptive counts can settle on different powers of two for variants
+   of near-identical cost, which skews their GC interaction) and enough
+   accumulation per measurement (0.25s) to average GC pacing down to
+   where a 3% bar is resolvable. *)
+let paired_calibrate f =
+  let rec go reps =
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    if Sys.time () -. t0 >= 0.25 || reps >= 16_384 then reps else go (reps * 2)
+  in
+  go 1
+
+let paired_timed reps f =
+  let t0 = Sys.time () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Sys.time () -. t0) /. float_of_int reps
+
+let paired_median a =
+  let s = Array.copy a in
+  Array.sort compare s;
+  s.(Array.length s / 2)
+
+(* Returns, per variant, (median seconds, median overhead vs the first
+   variant in the same round, in percent). *)
+let measure_paired fns =
+  let k = List.length fns in
+  let rounds = paired_rounds in
+  let reps = paired_calibrate (List.hd fns) in
+  let times = Array.make_matrix k rounds infinity in
+  for r = 0 to rounds - 1 do
+    List.iteri
+      (fun i f ->
+        Gc.compact ();
+        times.(i).(r) <- paired_timed reps f)
+      fns
+  done;
+  List.mapi
+    (fun i _ ->
+      let ratios = Array.init rounds (fun r -> times.(i).(r) /. times.(0).(r)) in
+      (paired_median times.(i), (paired_median ratios -. 1.) *. 100.))
+    fns
+
+(* ------------------------------------------------------------------ *)
 (* Guard overhead                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -808,63 +872,7 @@ let guard_bench cfg =
   let sp = spec ~n ~long:0. ~seed:1 in
   let random = Workload.Generate.random_intervals sp in
   let sorted = Workload.Generate.sorted_intervals sp in
-  (* Paired comparison over interleaved, compacted rounds: every round
-     measures all variants back-to-back and the overhead is the median
-     of the per-round ratios against that round's baseline.  Pairing
-     within a round cancels the slow drift in GC/allocator state that
-     independent measurement blocks pick up, which at these run times
-     dwarfs the few percent being resolved here. *)
-  let rounds = 7 in
-  (* A steadier timer than the global [time_run]: a rep count calibrated
-     once per workload (so every variant runs the same number of times —
-     adaptive counts can settle on different powers of two for variants
-     of near-identical cost, which skews their GC interaction) and
-     enough accumulation per measurement (0.25s) to average GC pacing
-     down to where a 3% bar is resolvable. *)
-  let calibrate f =
-    let rec go reps =
-      let t0 = Sys.time () in
-      for _ = 1 to reps do
-        ignore (Sys.opaque_identity (f ()))
-      done;
-      if Sys.time () -. t0 >= 0.25 || reps >= 16_384 then reps
-      else go (reps * 2)
-    in
-    go 1
-  in
-  let timed reps f =
-    let t0 = Sys.time () in
-    for _ = 1 to reps do
-      ignore (Sys.opaque_identity (f ()))
-    done;
-    (Sys.time () -. t0) /. float_of_int reps
-  in
-  let median a =
-    let s = Array.copy a in
-    Array.sort compare s;
-    s.(Array.length s / 2)
-  in
-  (* Returns, per variant, (median seconds, median overhead vs the first
-     variant in the same round, in percent). *)
-  let measure_paired fns =
-    let k = List.length fns in
-    let reps = calibrate (List.hd fns) in
-    let times = Array.make_matrix k rounds infinity in
-    for r = 0 to rounds - 1 do
-      List.iteri
-        (fun i f ->
-          Gc.compact ();
-          times.(i).(r) <- timed reps f)
-        fns
-    done;
-    List.mapi
-      (fun i _ ->
-        let ratios =
-          Array.init rounds (fun r -> times.(i).(r) /. times.(0).(r))
-        in
-        (median times.(i), (median ratios -. 1.) *. 100.))
-      fns
-  in
+  let rounds = paired_rounds in
   let cases =
     [
       ("tree, random input", Tempagg.Engine.Aggregation_tree, random);
@@ -939,6 +947,109 @@ let guard_bench cfg =
      hook installed); arming it costs a masked compare per tuple and per \
      node; eval_robust adds one up-front materialization pass so retries \
      can replay a single-pass input"
+
+(* ------------------------------------------------------------------ *)
+(* Observability overhead + artifacts                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Writes the observability artifacts next to the --json output: an
+   armed Chrome trace of a Parallel sweep (BENCH_trace.json — load it
+   in about://tracing or Perfetto, one row per domain) and a Prometheus
+   exposition of a profiled run (BENCH_metrics.txt). *)
+let write_obs_artifacts cfg =
+  match cfg.json with
+  | None -> ()
+  | Some json_path ->
+      let dir = Filename.dirname json_path in
+      if dir <> "." then mkdir_p dir;
+      let n = min cfg.max_size 16_384 in
+      let sp = spec ~n ~long:0. ~seed:1 in
+      let random = Workload.Generate.random_intervals sp in
+      (* Trace: one armed Parallel run, one shard span per domain. *)
+      Obs.Trace.arm ();
+      ignore
+        (Tempagg.Engine.eval
+           (Tempagg.Engine.Parallel { domains = 4; inner = Tempagg.Engine.Sweep })
+           Tempagg.Monoid.count (count_data random));
+      Obs.Trace.disarm ();
+      let trace_path = Filename.concat dir "BENCH_trace.json" in
+      Out_channel.with_open_text trace_path (fun oc ->
+          output_string oc (Obs.Trace.export_chrome ()));
+      Printf.printf "(trace written to %s: %d spans)\n" trace_path
+        (List.length (Obs.Trace.spans ()));
+      (* Metrics: a profiled robust run folded into a registry. *)
+      let registry = Obs.Metrics.create () in
+      let profile = Obs.Profile.create () in
+      (match
+         Tempagg.Engine.eval_robust ~profile Tempagg.Engine.Sweep
+           Tempagg.Monoid.count (count_data random)
+       with
+      | Ok (_, degradations) ->
+          Tempagg.Engine.degradations_to_metrics registry degradations
+      | Error _ -> ());
+      Obs.Profile.to_metrics registry profile;
+      let metrics_path = Filename.concat dir "BENCH_metrics.txt" in
+      Out_channel.with_open_text metrics_path (fun oc ->
+          output_string oc (Obs.Metrics.expose registry));
+      Printf.printf "(metrics written to %s)\n" metrics_path
+
+(* Tracing must cost nothing when disarmed: an instrumented hot path —
+   [Engine.eval] over the sweep — checks one atomic flag and otherwise
+   calls straight through, so it must stay within measurement noise
+   (<3%) of calling [Sweep.eval] directly.  The armed column (span
+   record per eval, incl. the arm/disarm pair the closure performs to
+   keep buffers from accumulating) is context, not a bar. *)
+let obs_bench cfg =
+  banner "obs" "tracing overhead on the sweep hot path";
+  let n = min cfg.max_size 16_384 in
+  let sp = spec ~n ~long:0. ~seed:1 in
+  let random = Workload.Generate.random_intervals sp in
+  let sorted = Workload.Generate.sorted_intervals sp in
+  let worst_disarmed = ref neg_infinity in
+  let rows =
+    List.map
+      (fun (what, arr) ->
+        let variants =
+          [
+            (fun () -> Tempagg.Sweep.eval Tempagg.Monoid.count (count_data arr));
+            (fun () ->
+              Tempagg.Engine.eval Tempagg.Engine.Sweep Tempagg.Monoid.count
+                (count_data arr));
+            (fun () ->
+              Obs.Trace.arm ();
+              let r =
+                Tempagg.Engine.eval Tempagg.Engine.Sweep Tempagg.Monoid.count
+                  (count_data arr)
+              in
+              Obs.Trace.disarm ();
+              r);
+          ]
+        in
+        match measure_paired variants with
+        | [ (plain, _); disarmed; armed ] ->
+            let cell (t, pct) = Printf.sprintf "%.4f (%+.1f%%)" t pct in
+            worst_disarmed := Float.max !worst_disarmed (snd disarmed);
+            record_point ~section:"obs" ~name:what ~n ~algorithm:"sweep"
+              ~median_ns:(plain *. 1e9) ();
+            [ what; Printf.sprintf "%.4f" plain; cell disarmed; cell armed ]
+        | _ -> assert false)
+      [ ("sweep, random input", random); ("sweep, sorted input", sorted) ]
+  in
+  Printf.printf
+    "n = %d tuples, COUNT, seconds per evaluation (median of %d paired \
+     rounds)\n"
+    n paired_rounds;
+  Report.Table.print
+    ~headers:[ "workload"; "bare Sweep.eval"; "disarmed trace"; "armed trace" ]
+    rows;
+  Printf.printf
+    "worst disarmed-trace overhead: %+.1f%% (bar: within noise, < 3%%)\n"
+    !worst_disarmed;
+  print_endline
+    "expectation: disarmed tracing is one atomic load per eval; armed \
+     tracing records one span per eval (plus the arm/disarm epoch bump \
+     the measurement loop performs to keep span buffers bounded)";
+  write_obs_artifacts cfg
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
@@ -1317,6 +1428,7 @@ let () =
   run "live" (fun () -> live_bench cfg);
   run "optimizer" optimizer;
   run "guard" (fun () -> guard_bench cfg);
+  run "obs" (fun () -> obs_bench cfg);
   run "ablation_balanced" (fun () -> ablation_balanced cfg);
   run "ablation_span" (fun () -> ablation_span cfg);
   run "ablation_unique" (fun () -> ablation_unique cfg);

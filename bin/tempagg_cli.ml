@@ -15,9 +15,11 @@
 open Cmdliner
 
 (* CSV or heap file, by extension. *)
-let load_relation ?fault ?on_corrupt path =
+let load_relation ?fault ?on_corrupt ?stats path =
   if Filename.check_suffix path ".heap" then begin
-    let stats = Storage.Io_stats.create () in
+    let stats =
+      match stats with Some s -> s | None -> Storage.Io_stats.create ()
+    in
     match Storage.Heap_file.read_relation ?fault ?on_corrupt ~stats path with
     | rel ->
         (* Recovery is never silent: report retried and skipped pages. *)
@@ -56,14 +58,14 @@ let parse_binding spec =
         String.sub spec (i + 1) (String.length spec - i - 1) )
   | None -> (Filename.remove_extension (Filename.basename spec), spec)
 
-let build_catalog ?fault ?on_corrupt bindings =
+let build_catalog ?fault ?on_corrupt ?stats bindings =
   List.fold_left
     (fun acc spec ->
       Result.bind acc (fun catalog ->
           let name, path = parse_binding spec in
           Result.map
             (fun rel -> Tsql.Catalog.add catalog name rel)
-            (load_relation ?fault ?on_corrupt path)))
+            (load_relation ?fault ?on_corrupt ?stats path)))
     (Ok (Tsql.Catalog.with_builtins ()))
     bindings
 
@@ -155,8 +157,39 @@ let faults_arg =
            $(b,torn), $(b,bitflip) (per-page probabilities) and \
            $(b,seed).  For testing the recovery paths.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record tracing spans for the whole run (catalog load through \
+           evaluation) and write them to FILE as Chrome trace_event JSON \
+           — load it in about://tracing or Perfetto.  Parallel plans get \
+           one span per shard.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "After the run, print a Prometheus-style metrics exposition \
+           (I/O counters, degradations, and profile gauges with \
+           $(b,--profile)) on stdout.")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Run the query with an EXPLAIN-ANALYZE profile: algorithm and \
+           rationale, k estimate, every evaluation attempt with its node \
+           allocations and peak bytes (aborted fallback attempts \
+           included), phase timings and output size.  Printed after the \
+           result.  Query command only.")
+
 let exec kind bindings algorithm domains on_error memory_budget deadline_ms
-    faults q =
+    faults trace metrics profile q =
   let parsed_algorithm =
     match algorithm with
     | None -> Ok None
@@ -172,7 +205,36 @@ let exec kind bindings algorithm domains on_error memory_budget deadline_ms
     | None -> Ok None
     | Some spec -> Result.map Option.some (Storage.Fault.of_string spec)
   in
-  match
+  (* Arm tracing before the catalog loads so storage spans (heap reads,
+     external sorts) land in the same timeline as the evaluation. *)
+  if trace <> None then Obs.Trace.arm ();
+  let io_stats = Storage.Io_stats.create () in
+  let write_trace () =
+    match trace with
+    | None -> ()
+    | Some path ->
+        Obs.Trace.disarm ();
+        let spans = Obs.Trace.spans () in
+        Out_channel.with_open_text path (fun oc ->
+            output_string oc (Obs.Trace.to_chrome_json spans));
+        Printf.eprintf "trace: wrote %d span(s) to %s\n%!" (List.length spans)
+          path
+  in
+  let print_metrics ?profile_report degradations =
+    if metrics then begin
+      let registry = Obs.Metrics.create () in
+      Storage.Io_stats.to_metrics registry io_stats;
+      Tempagg.Engine.degradations_to_metrics registry degradations;
+      Option.iter (Obs.Profile.to_metrics registry) profile_report;
+      print_string (Obs.Metrics.expose registry)
+    end
+  in
+  let print_degradations =
+    List.iter (fun d ->
+        Printf.eprintf "degraded: %s\n%!"
+          (Tempagg.Engine.degradation_to_string d))
+  in
+  let outcome =
     Result.bind parsed_algorithm (fun algorithm ->
         Result.bind checked_domains (fun domains ->
             Result.bind parsed_faults (fun fault ->
@@ -184,11 +246,17 @@ let exec kind bindings algorithm domains on_error memory_budget deadline_ms
                       `Skip
                   | Some Tempagg.Engine.Fail | None -> `Fail
                 in
-                Result.bind (build_catalog ?fault ~on_corrupt bindings)
+                Result.bind
+                  (build_catalog ?fault ~on_corrupt ~stats:io_stats bindings)
                   (fun catalog ->
                     match kind with
                     | `Run ->
-                        if
+                        if profile then
+                          Result.map
+                            (fun r -> `Profiled r)
+                            (Tsql.Eval.query_profiled ?algorithm ?domains
+                               ?on_error ?memory_budget ?deadline_ms catalog q)
+                        else if
                           on_error = None && memory_budget = None
                           && deadline_ms = None
                         then
@@ -205,20 +273,27 @@ let exec kind bindings algorithm domains on_error memory_budget deadline_ms
                           (fun s -> `Text s)
                           (Tsql.Eval.explain ?algorithm ?domains ?on_error
                              catalog q)))))
-  with
+  in
+  write_trace ();
+  match outcome with
   | Ok (`Rel result) ->
       Tsql.Pretty.print_result result;
+      print_metrics [];
       `Ok ()
   | Ok (`Robust { Tsql.Eval.result; degradations }) ->
       Tsql.Pretty.print_result result;
-      List.iter
-        (fun d ->
-          Printf.eprintf "degraded: %s\n%!"
-            (Tempagg.Engine.degradation_to_string d))
-        degradations;
+      print_degradations degradations;
+      print_metrics degradations;
+      `Ok ()
+  | Ok (`Profiled { Tsql.Eval.result; profile; degradations }) ->
+      Tsql.Pretty.print_result result;
+      print_degradations degradations;
+      print_string (Obs.Profile.to_string profile);
+      print_metrics ~profile_report:profile degradations;
       `Ok ()
   | Ok (`Text text) ->
       print_endline text;
+      print_metrics [];
       `Ok ()
   | Error msg -> `Error (false, msg)
 
@@ -230,7 +305,7 @@ let query_cmd =
       ret
         (const (exec `Run) $ relations_arg $ algorithm_arg $ domains_arg
        $ on_error_arg $ memory_budget_arg $ deadline_arg $ faults_arg
-       $ query_arg))
+       $ trace_arg $ metrics_arg $ profile_arg $ query_arg))
 
 let explain_cmd =
   let doc = "show the evaluation plan for a query" in
@@ -240,7 +315,7 @@ let explain_cmd =
       ret
         (const (exec `Explain) $ relations_arg $ algorithm_arg $ domains_arg
        $ on_error_arg $ memory_budget_arg $ deadline_arg $ faults_arg
-       $ query_arg))
+       $ trace_arg $ metrics_arg $ profile_arg $ query_arg))
 
 (* generate *)
 
@@ -442,7 +517,19 @@ let extsort_cmd =
 
 (* serve *)
 
-let serve bindings cache_capacity echo script =
+let serve bindings cache_capacity echo metrics_every trace script =
+  if trace <> None then Obs.Trace.arm ();
+  let write_trace () =
+    match trace with
+    | None -> ()
+    | Some path ->
+        Obs.Trace.disarm ();
+        let spans = Obs.Trace.spans () in
+        Out_channel.with_open_text path (fun oc ->
+            output_string oc (Obs.Trace.to_chrome_json spans));
+        Printf.eprintf "trace: wrote %d span(s) to %s\n%!" (List.length spans)
+          path
+  in
   match build_catalog bindings with
   | Error msg -> `Error (false, msg)
   | Ok catalog -> (
@@ -450,10 +537,11 @@ let serve bindings cache_capacity echo script =
       | exception Sys_error msg -> `Error (false, msg)
       | text -> (
           let session = Tsql.Session.create ~cache_capacity catalog in
-          match Tsql.Serve.run_script ~echo session text with
+          match Tsql.Serve.run_script ~echo ?metrics_every session text with
           | Error msg -> `Error (false, script ^ ": " ^ msg)
           | Ok report ->
               print_string (Tsql.Serve.report_to_string report);
+              write_trace ();
               `Ok ()))
 
 let serve_cmd =
@@ -488,6 +576,14 @@ let serve_cmd =
       & info [ "echo" ]
           ~doc:"Print each SELECT result and acknowledgement as it runs.")
   in
+  let metrics_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-every" ] ~docv:"N"
+          ~doc:
+            "Dump a Prometheus metrics exposition every $(docv) statements.")
+  in
   let script =
     Arg.(
       required
@@ -496,7 +592,10 @@ let serve_cmd =
           ~doc:"Statement script to execute (required).")
   in
   Cmd.v (Cmd.info "serve" ~doc ~man)
-    Term.(ret (const serve $ relations_arg $ cache $ echo $ script))
+    Term.(
+      ret
+        (const serve $ relations_arg $ cache $ echo $ metrics_every $ trace_arg
+       $ script))
 
 let sort_cmd =
   let doc = "sort a relation by valid time (start, then stop)" in

@@ -106,22 +106,31 @@ let rec eval : type v s r.
     (Interval.t * v) Seq.t ->
     r Timeline.t =
  fun ?origin ?horizon ?instrument algorithm monoid data ->
-  match algorithm with
-  | Linked_list -> Linked_list.eval ?origin ?horizon ?instrument monoid data
-  | Aggregation_tree -> Agg_tree.eval ?origin ?horizon ?instrument monoid data
-  | Korder_tree { k } ->
-      Korder_tree.eval ?origin ?horizon ?instrument ~k monoid data
-  | Balanced_tree -> Balanced_tree.eval ?origin ?horizon ?instrument monoid data
-  | Two_scan -> Two_scan.eval ?origin ?horizon ?instrument monoid data
-  | Sweep -> Sweep.eval ?origin ?horizon ?instrument monoid data
-  | Parallel { domains; inner } ->
-      (* Shards evaluate to state timelines (output deferred) so that the
-         pairwise merge can run under the monoid's combine. *)
-      let state_monoid = { monoid with Monoid.output = Fun.id } in
-      Parallel.eval ?instrument ~domains
-        ~eval_shard:(fun ~instrument shard ->
-          eval ?origin ?horizon ?instrument inner state_monoid shard)
-        monoid data
+  let run () =
+    match algorithm with
+    | Linked_list -> Linked_list.eval ?origin ?horizon ?instrument monoid data
+    | Aggregation_tree -> Agg_tree.eval ?origin ?horizon ?instrument monoid data
+    | Korder_tree { k } ->
+        Korder_tree.eval ?origin ?horizon ?instrument ~k monoid data
+    | Balanced_tree ->
+        Balanced_tree.eval ?origin ?horizon ?instrument monoid data
+    | Two_scan -> Two_scan.eval ?origin ?horizon ?instrument monoid data
+    | Sweep -> Sweep.eval ?origin ?horizon ?instrument monoid data
+    | Parallel { domains; inner } ->
+        (* Shards evaluate to state timelines (output deferred) so that the
+           pairwise merge can run under the monoid's combine. *)
+        let state_monoid = { monoid with Monoid.output = Fun.id } in
+        Parallel.eval ?instrument ~domains
+          ~eval_shard:(fun ~instrument shard ->
+            eval ?origin ?horizon ?instrument inner state_monoid shard)
+          monoid data
+  in
+  (* Armed check here rather than inside [with_span], so the disarmed
+     cost on the hot path is one atomic load and no closure capture of
+     the attrs list. *)
+  if Obs.Trace.is_armed () then
+    Obs.Trace.with_span ~attrs:[ ("algorithm", name algorithm) ] "eval" run
+  else run ()
 
 let eval_with_stats ?origin ?horizon algorithm monoid data =
   let inst = Instrument.create ~node_bytes:(node_bytes algorithm) () in
@@ -158,6 +167,16 @@ type error =
   | Budget_exhausted of { budget_bytes : int; used_bytes : int }
   | Deadline_exhausted of { deadline_ms : float; elapsed_ms : float }
   | Eval_failed of string
+
+let degradations_to_metrics registry ds =
+  List.iter
+    (fun { stage; _ } ->
+      Obs.Metrics.inc
+        (Obs.Metrics.counter registry
+           ~help:"Recovery events taken by robust evaluation, by failed stage"
+           ~labels:[ ("stage", stage) ]
+           "tempagg_degradations_total"))
+    ds
 
 let error_to_string = function
   | Not_k_ordered { position } ->
@@ -229,68 +248,118 @@ let eval_robust : type v s r.
     ?on_error:on_error ->
     ?memory_budget:int ->
     ?deadline_ms:float ->
+    ?profile:Obs.Profile.t ->
     algorithm ->
     (v, s, r) Monoid.t ->
     (Interval.t * v) Seq.t ->
     (r Timeline.t * degradation list, error) result =
  fun ?origin ?horizon ?(on_error = Fallback) ?memory_budget ?deadline_ms
-     algorithm monoid data ->
+     ?profile algorithm monoid data ->
   (* Materialize once so every retry sees the same tuples even if the
      caller's Seq is ephemeral (e.g. a single-pass storage scan). *)
+  let mat_t0 = Unix.gettimeofday () in
   let tuples = Array.of_seq data in
+  Option.iter
+    (fun p ->
+      Obs.Profile.set_tuples p (Array.length tuples);
+      Obs.Profile.add_phase p "materialize"
+        ((Unix.gettimeofday () -. mat_t0) *. 1000.))
+    profile;
   let data = Array.to_seq tuples in
   let guard = Guard.create ?memory_budget ?deadline_ms () in
   let degradations = ref [] in
   let note ~stage ~reason ~action =
-    degradations := { stage; reason; action } :: !degradations
+    let d = { stage; reason; action } in
+    degradations := d :: !degradations;
+    Option.iter
+      (fun p -> Obs.Profile.note_degradation p (degradation_to_string d))
+      profile
   in
   (* One attempt with algorithm [alg], under [guard].  Raises on failure;
      the caller decides whether the policy and chain allow a retry. *)
   let attempt alg =
-    (* With no limits configured, skip the instrument entirely so the
-       happy path costs exactly what a plain [eval] does (the <3%
-       guard-overhead bar in the bench's [guard] section). *)
+    let attempt_t0 = Unix.gettimeofday () in
+    (* With no limits configured and no profile requested, skip the
+       instrument entirely so the happy path costs exactly what a plain
+       [eval] does (the <3% guard-overhead bar in the bench's [guard]
+       section). *)
     let inst =
-      if Guard.unlimited guard then None
+      if Guard.unlimited guard && profile = None then None
       else begin
         let i = Instrument.create ~node_bytes:(node_bytes alg) () in
-        Guard.attach guard i;
+        if not (Guard.unlimited guard) then Guard.attach guard i;
         Some i
       end
     in
     let data () = Guard.wrap_seq guard data in
-    match (alg, on_error) with
-    | Korder_tree { k }, Skip ->
-        (* Skip mode: drop (and count) each misordered tuple instead of
-           abandoning the k-ordered tree. *)
-        let t = Korder_tree.create ?origin ?horizon ?instrument:inst ~k monoid in
-        let skipped = ref 0 in
-        Seq.iter
-          (fun (iv, v) ->
-            match Korder_tree.insert t iv v with
-            | () -> ()
-            | exception Korder_tree.Order_violation _ -> incr skipped)
-          (data ());
-        let timeline = Korder_tree.finish t in
-        if !skipped > 0 then
-          note ~stage:(name alg) ~reason:"input not k-ordered"
-            ~action:(Printf.sprintf "skipped %d misordered tuples" !skipped);
+    let body () =
+      match (alg, on_error) with
+      | Korder_tree { k }, Skip ->
+          (* Skip mode: drop (and count) each misordered tuple instead of
+             abandoning the k-ordered tree. *)
+          let t =
+            Korder_tree.create ?origin ?horizon ?instrument:inst ~k monoid
+          in
+          let skipped = ref 0 in
+          Seq.iter
+            (fun (iv, v) ->
+              match Korder_tree.insert t iv v with
+              | () -> ()
+              | exception Korder_tree.Order_violation _ -> incr skipped)
+            (data ());
+          let timeline = Korder_tree.finish t in
+          if !skipped > 0 then
+            note ~stage:(name alg) ~reason:"input not k-ordered"
+              ~action:(Printf.sprintf "skipped %d misordered tuples" !skipped);
+          timeline
+      | Parallel { domains; inner }, (Fallback | Skip) ->
+          let state_monoid = { monoid with Monoid.output = Fun.id } in
+          let fallback_shard ~shard ~exn ~instrument shard_data =
+            let fb = shard_fallback_algorithm exn in
+            note
+              ~stage:(Printf.sprintf "%s shard %d" (name inner) shard)
+              ~reason:(reason_of_exn exn)
+              ~action:(Printf.sprintf "re-evaluated inline with %s" (name fb));
+            eval ?origin ?horizon ?instrument fb state_monoid shard_data
+          in
+          Parallel.eval ?instrument:inst ~fallback_shard ~domains
+            ~eval_shard:(fun ~instrument shard ->
+              eval ?origin ?horizon ?instrument inner state_monoid shard)
+            monoid (data ())
+      | _ -> eval ?origin ?horizon ?instrument:inst alg monoid (data ())
+    in
+    let body () =
+      if Obs.Trace.is_armed () then
+        Obs.Trace.with_span ~attrs:[ ("algorithm", name alg) ] "attempt" body
+      else body ()
+    in
+    (* Record the attempt in the profile whether it succeeded or not:
+       a failed attempt's instrument snapshot used to vanish with the
+       exception, under-reporting peak memory for fallback chains. *)
+    let record outcome =
+      Option.iter
+        (fun p ->
+          let elapsed_ms = (Unix.gettimeofday () -. attempt_t0) *. 1000. in
+          match inst with
+          | Some i ->
+              let s = Instrument.snapshot i in
+              Obs.Profile.add_attempt p ~algorithm:(name alg) ~outcome
+                ~allocated_nodes:s.Instrument.allocated
+                ~peak_live:s.Instrument.peak_live
+                ~node_bytes:s.Instrument.node_bytes
+                ~peak_bytes:s.Instrument.peak_bytes ~elapsed_ms ()
+          | None ->
+              Obs.Profile.add_attempt p ~algorithm:(name alg) ~outcome
+                ~elapsed_ms ())
+        profile
+    in
+    match body () with
+    | timeline ->
+        record "ok";
         timeline
-    | Parallel { domains; inner }, (Fallback | Skip) ->
-        let state_monoid = { monoid with Monoid.output = Fun.id } in
-        let fallback_shard ~shard ~exn ~instrument shard_data =
-          let fb = shard_fallback_algorithm exn in
-          note
-            ~stage:(Printf.sprintf "%s shard %d" (name inner) shard)
-            ~reason:(reason_of_exn exn)
-            ~action:(Printf.sprintf "re-evaluated inline with %s" (name fb));
-          eval ?origin ?horizon ?instrument fb state_monoid shard_data
-        in
-        Parallel.eval ?instrument:inst ~fallback_shard ~domains
-          ~eval_shard:(fun ~instrument shard ->
-            eval ?origin ?horizon ?instrument inner state_monoid shard)
-          monoid (data ())
-    | _ -> eval ?origin ?horizon ?instrument:inst alg monoid (data ())
+    | exception e ->
+        record (reason_of_exn e);
+        raise e
   in
   let error_of_exn = function
     | Korder_tree.Order_violation { position; _ } -> Not_k_ordered { position }
@@ -312,4 +381,18 @@ let eval_robust : type v s r.
             go alg'
         | _ -> Error (error_of_exn e))
   in
-  go algorithm
+  let run () =
+    let eval_t0 = Unix.gettimeofday () in
+    let result = go algorithm in
+    Option.iter
+      (fun p ->
+        Obs.Profile.add_phase p "evaluate"
+          ((Unix.gettimeofday () -. eval_t0) *. 1000.))
+      profile;
+    result
+  in
+  if Obs.Trace.is_armed () then
+    Obs.Trace.with_span
+      ~attrs:[ ("algorithm", name algorithm) ]
+      "eval-robust" run
+  else run ()

@@ -89,6 +89,10 @@ type degradation = { stage : string; reason : string; action : string }
 
 val degradation_to_string : degradation -> string
 
+val degradations_to_metrics : Obs.Metrics.t -> degradation list -> unit
+(** Count each degradation into the [tempagg_degradations_total] counter,
+    labelled by the stage that failed. *)
+
 type error =
   | Not_k_ordered of { position : int }
   | Budget_exhausted of { budget_bytes : int; used_bytes : int }
@@ -103,6 +107,7 @@ val eval_robust :
   ?on_error:on_error ->
   ?memory_budget:int ->
   ?deadline_ms:float ->
+  ?profile:Obs.Profile.t ->
   algorithm ->
   ('v, 's, 'r) Monoid.t ->
   (Interval.t * 'v) Seq.t ->
@@ -114,4 +119,10 @@ val eval_robust :
     materialized once up front so retries replay identical tuples even
     from an ephemeral (single-pass) sequence.  Degradations are listed
     oldest first.  Exceptions that the chain cannot interpret (genuine
-    bugs) propagate unchanged. *)
+    bugs) propagate unchanged.
+
+    When [profile] is given, every attempt — including ones a fallback
+    aborted — is recorded into it with its instrument snapshot, along
+    with input size, degradations and materialize/evaluate phase times.
+    Profiling forces per-attempt instrumentation even without budgets,
+    so it costs what [eval_with_stats] costs. *)

@@ -11,10 +11,18 @@ let eval ?instrument ?fallback_shard ~domains ~eval_shard monoid data =
   let tuples = Array.of_seq data in
   let n = Array.length tuples in
   let d = if n = 0 then 1 else min domains n in
+  (* Spawned domains start with an empty span stack, so capture the
+     parent span here and attach each shard span to it explicitly. *)
+  let span_parent = Obs.Trace.current () in
+  let shard_span i f =
+    Obs.Trace.with_span ?parent:span_parent
+      ~attrs:[ ("shard", string_of_int i) ]
+      "shard" f
+  in
   if d = 1 then
     (* No parallelism to extract: evaluate inline, no domain overhead. *)
     Timeline.map monoid.Monoid.output
-      (eval_shard ~instrument (Array.to_seq tuples))
+      (shard_span 0 (fun () -> eval_shard ~instrument (Array.to_seq tuples)))
   else begin
     let node_bytes =
       match instrument with
@@ -36,7 +44,10 @@ let eval ?instrument ?fallback_shard ~domains ~eval_shard monoid data =
       let lo, hi = shard_bounds ~shards:d n i in
       Array.to_seq (Array.sub tuples lo (hi - lo))
     in
-    let run i = eval_shard ~instrument:shard_instruments.(i) (shard_seq i) in
+    let run i =
+      shard_span i (fun () ->
+          eval_shard ~instrument:shard_instruments.(i) (shard_seq i))
+    in
     let handles =
       Array.init (d - 1) (fun i -> Domain.spawn (fun () -> run (i + 1)))
     in

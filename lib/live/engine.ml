@@ -1,25 +1,58 @@
-let eval_live ?origin ?horizon ?memory_budget ?deadline_ms ?stats monoid data =
-  let guard = Tempagg.Guard.create ?memory_budget ?deadline_ms () in
-  let instrument =
-    if Tempagg.Guard.unlimited guard then None
-    else begin
-      let i = Tempagg.Instrument.create () in
-      Tempagg.Guard.attach guard i;
-      Some i
-    end
+let eval_live ?origin ?horizon ?memory_budget ?deadline_ms ?stats ?profile
+    monoid data =
+  let run () =
+    let t0 = Unix.gettimeofday () in
+    let guard = Tempagg.Guard.create ?memory_budget ?deadline_ms () in
+    let instrument =
+      if Tempagg.Guard.unlimited guard && profile = None then None
+      else begin
+        let i = Tempagg.Instrument.create () in
+        if not (Tempagg.Guard.unlimited guard) then
+          Tempagg.Guard.attach guard i;
+        Some i
+      end
+    in
+    (* Record the attempt — successful or aborted — so a profiled live
+       evaluation reports its peak memory like the batch engine does. *)
+    let record outcome =
+      Option.iter
+        (fun p ->
+          let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+          match instrument with
+          | Some i ->
+              let s = Tempagg.Instrument.snapshot i in
+              Obs.Profile.add_attempt p ~algorithm:"live-view" ~outcome
+                ~allocated_nodes:s.Tempagg.Instrument.allocated
+                ~peak_live:s.Tempagg.Instrument.peak_live
+                ~node_bytes:s.Tempagg.Instrument.node_bytes
+                ~peak_bytes:s.Tempagg.Instrument.peak_bytes ~elapsed_ms ()
+          | None ->
+              Obs.Profile.add_attempt p ~algorithm:"live-view" ~outcome
+                ~elapsed_ms ())
+        profile
+    in
+    (* Everything that can tick the guard — including the view's own
+       initial segment and any rebuild forced by the final snapshot — runs
+       inside the one guarded region. *)
+    match
+      let view = View.create ?origin ?horizon ?instrument ?stats monoid in
+      Seq.iter
+        (fun (iv, v) -> ignore (View.insert view iv v))
+        (Tempagg.Guard.wrap_seq guard data);
+      View.snapshot view
+    with
+    | snapshot ->
+        record "ok";
+        Ok snapshot
+    | exception Tempagg.Guard.Budget_exceeded { budget_bytes; used_bytes } ->
+        record
+          (Printf.sprintf "memory budget exceeded (%d of %d bytes)" used_bytes
+             budget_bytes);
+        Error (Tempagg.Engine.Budget_exhausted { budget_bytes; used_bytes })
+    | exception Tempagg.Guard.Deadline_exceeded { deadline_ms; elapsed_ms } ->
+        record
+          (Printf.sprintf "deadline exceeded (%.1f of %.1f ms)" elapsed_ms
+             deadline_ms);
+        Error (Tempagg.Engine.Deadline_exhausted { deadline_ms; elapsed_ms })
   in
-  (* Everything that can tick the guard — including the view's own
-     initial segment and any rebuild forced by the final snapshot — runs
-     inside the one guarded region. *)
-  match
-    let view = View.create ?origin ?horizon ?instrument ?stats monoid in
-    Seq.iter
-      (fun (iv, v) -> ignore (View.insert view iv v))
-      (Tempagg.Guard.wrap_seq guard data);
-    View.snapshot view
-  with
-  | snapshot -> Ok snapshot
-  | exception Tempagg.Guard.Budget_exceeded { budget_bytes; used_bytes } ->
-      Error (Tempagg.Engine.Budget_exhausted { budget_bytes; used_bytes })
-  | exception Tempagg.Guard.Deadline_exceeded { deadline_ms; elapsed_ms } ->
-      Error (Tempagg.Engine.Deadline_exhausted { deadline_ms; elapsed_ms })
+  if Obs.Trace.is_armed () then Obs.Trace.with_span "eval-live" run else run ()

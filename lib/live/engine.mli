@@ -17,6 +17,10 @@ val eval_live :
   ?memory_budget:int ->
   ?deadline_ms:float ->
   ?stats:Stats.t ->
+  ?profile:Obs.Profile.t ->
   ('v, 's, 'r) Tempagg.Monoid.t ->
   (Interval.t * 'v) Seq.t ->
   ('r Timeline.t, Tempagg.Engine.error) result
+(** When [profile] is given, the evaluation is recorded into it as a
+    ["live-view"] attempt with its instrument snapshot (instrumentation
+    is forced on, as in {!Tempagg.Engine.eval_robust}). *)

@@ -47,3 +47,21 @@ let to_string t =
     t.cache_evictions
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let to_metrics registry t =
+  let g name help v =
+    Obs.Metrics.set_int (Obs.Metrics.gauge registry ~help name) v
+  in
+  g "tempagg_live_inserts" "Tuples inserted into live views" t.inserts;
+  g "tempagg_live_deletes" "Tuples deleted from live views" t.deletes;
+  g "tempagg_live_patched_segments" "Segments patched in place"
+    t.patched_segments;
+  g "tempagg_live_rebuilds" "Full timeline rebuilds" t.rebuilds;
+  g "tempagg_live_pending_tombstones" "Deletes awaiting a rebuild"
+    t.pending_tombstones;
+  g "tempagg_live_snapshots" "Snapshots taken" t.snapshots;
+  g "tempagg_live_cache_hits" "Snapshot cache hits" t.cache_hits;
+  g "tempagg_live_cache_misses" "Snapshot cache misses" t.cache_misses;
+  g "tempagg_live_cache_invalidations" "Snapshot cache invalidations"
+    t.cache_invalidations;
+  g "tempagg_live_cache_evictions" "Snapshot cache evictions" t.cache_evictions

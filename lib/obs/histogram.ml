@@ -1,0 +1,105 @@
+(* Log-bucketed histogram: bucket i covers (gamma^(i-1), gamma^i] (after
+   shifting by the configured floor), so any recorded value is within a
+   factor gamma of its bucket's upper bound.  Percentile queries walk the
+   cumulative counts to the requested rank and report that bucket's upper
+   bound clamped into [min, max] — a bounded-relative-error estimate from
+   O(log(max/min) / log gamma) integers, instead of the O(n) floats a
+   sorted-array percentile needs. *)
+
+type t = {
+  gamma : float;
+  log_gamma : float;
+  floor : float;  (* values at or below the floor share bucket 0 *)
+  counts : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create ?(gamma = 1.05) ?(floor = 1e-9) ?(ceiling = 1e12) () =
+  if gamma <= 1. then invalid_arg "Histogram.create: gamma must exceed 1";
+  if floor <= 0. || ceiling <= floor then
+    invalid_arg "Histogram.create: need 0 < floor < ceiling";
+  let log_gamma = log gamma in
+  let buckets = 2 + int_of_float (ceil (log (ceiling /. floor) /. log_gamma)) in
+  {
+    gamma;
+    log_gamma;
+    floor;
+    counts = Array.make buckets 0;
+    count = 0;
+    sum = 0.;
+    min_v = infinity;
+    max_v = neg_infinity;
+  }
+
+let gamma t = t.gamma
+
+let bucket_index t v =
+  if v <= t.floor then 0
+  else
+    let i = 1 + int_of_float (Float.ceil (log (v /. t.floor) /. t.log_gamma)) in
+    min i (Array.length t.counts - 1)
+
+(* Upper bound of bucket [i] — the representative a percentile reports
+   (before clamping to the observed range). *)
+let bucket_bound t i =
+  if i = 0 then t.floor else t.floor *. (t.gamma ** float_of_int (i - 1))
+
+let observe t v =
+  let i = bucket_index t v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.count
+let sum t = t.sum
+let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+let min_value t = if t.count = 0 then 0. else t.min_v
+let max_value t = if t.count = 0 then 0. else t.max_v
+
+(* Nearest-rank percentile, mirroring the rounding a sorted array's
+   [a.(round (p * (n-1)))] uses, so estimates land in the same bucket as
+   that oracle's sample. *)
+let percentile t p =
+  if t.count = 0 then 0.
+  else if p <= 0. then t.min_v
+  else begin
+    let rank =
+      let r = int_of_float ((p *. float_of_int (t.count - 1)) +. 0.5) in
+      min (t.count - 1) (max 0 r)
+    in
+    let i = ref 0 and seen = ref 0 in
+    (* Find the bucket holding the rank-th smallest observation. *)
+    while !seen + t.counts.(!i) <= rank do
+      seen := !seen + t.counts.(!i);
+      incr i
+    done;
+    Float.min t.max_v (Float.max t.min_v (bucket_bound t !i))
+  end
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.count <- 0;
+  t.sum <- 0.;
+  t.min_v <- infinity;
+  t.max_v <- neg_infinity
+
+let merge_into ~into t =
+  if Array.length into.counts <> Array.length t.counts || into.gamma <> t.gamma
+  then invalid_arg "Histogram.merge_into: differently shaped histograms";
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) t.counts;
+  into.count <- into.count + t.count;
+  into.sum <- into.sum +. t.sum;
+  if t.min_v < into.min_v then into.min_v <- t.min_v;
+  if t.max_v > into.max_v then into.max_v <- t.max_v
+
+let nonempty_buckets t =
+  let acc = ref [] in
+  for i = Array.length t.counts - 1 downto 0 do
+    if t.counts.(i) > 0 then acc := (bucket_bound t i, t.counts.(i)) :: !acc
+  done;
+  !acc

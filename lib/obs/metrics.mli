@@ -1,0 +1,49 @@
+(** Registry of named counters, gauges and histograms with a
+    Prometheus-style text exposition.
+
+    Metrics are identified by (name, label set); re-registering an
+    existing pair returns the same cell, so adapters that fold external
+    stats into the registry can run repeatedly to refresh values.
+    Registries are not thread-safe — mutate from one domain (spans are
+    the cross-domain instrument; see {!Trace}). *)
+
+type t
+type counter
+type gauge
+
+val create : unit -> t
+
+val counter : t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+(** @raise Invalid_argument on a malformed name or if [name] was already
+    registered with a different metric kind. *)
+
+val gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+
+val histogram :
+  t ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?gamma:float ->
+  string ->
+  Histogram.t
+(** The returned histogram is live: observations made through it are
+    visible to {!expose} as cumulative [_bucket]/[_sum]/[_count] series. *)
+
+val inc : counter -> unit
+
+val add : counter -> float -> unit
+(** @raise Invalid_argument on a negative increment. *)
+
+val set : gauge -> float -> unit
+val set_int : gauge -> int -> unit
+val counter_value : counter -> float
+val gauge_value : gauge -> float
+
+val value : t -> ?labels:(string * string) list -> string -> float option
+(** Current value of a registered counter or gauge ([None] for missing
+    names and histograms). *)
+
+val expose : t -> string
+(** Prometheus text exposition: metrics sorted by name then labels, one
+    [# HELP]/[# TYPE] header per name, integral values printed without a
+    decimal point. *)

@@ -1,0 +1,52 @@
+(** Hierarchical tracing spans over a shared monotonic clock.
+
+    Tracing is globally armed/disarmed; disarmed, an instrumented code
+    path costs a single atomic load.  Armed, each domain records into
+    its own buffer (no locks on the recording path), so [Parallel]
+    shards running on separate domains trace concurrently.  Completed
+    spans export as Chrome [trace_event] JSON that loads in
+    [about://tracing] or Perfetto, one timeline row per domain. *)
+
+type span = {
+  id : int;
+  parent : int option;
+  label : string;
+  domain : int;  (** id of the domain that recorded the span *)
+  start_us : int;  (** microseconds since process-local epoch *)
+  mutable stop_us : int;
+  attrs : (string * string) list;
+}
+
+val arm : unit -> unit
+(** Start recording.  Spans from any previous arming are discarded. *)
+
+val disarm : unit -> unit
+(** Stop recording.  Already-recorded spans stay available to {!spans}. *)
+
+val is_armed : unit -> bool
+
+val with_span :
+  ?attrs:(string * string) list -> ?parent:int -> string -> (unit -> 'a) -> 'a
+(** [with_span label f] runs [f] inside a new span when tracing is
+    armed, and is a transparent call-through when disarmed.  The parent
+    defaults to the innermost open span on the calling domain; pass
+    [?parent] explicitly when crossing domains (a spawned domain has no
+    open spans of its own).  The span closes even if [f] raises. *)
+
+val current : unit -> int option
+(** Id of the innermost open span on this domain, for handing to a
+    child domain's [with_span ?parent].  [None] when disarmed. *)
+
+val spans : unit -> span list
+(** All completed spans from the current arming, ordered by start time. *)
+
+val clear : unit -> unit
+(** Drop recorded spans without changing the armed state. *)
+
+val to_chrome_json : span list -> string
+(** Chrome [trace_event] JSON ([{"traceEvents": [...]}]): one complete
+    ("ph":"X") event per span with ts/dur in microseconds, tid = domain
+    id, attrs as event args, plus thread-name metadata per domain. *)
+
+val export_chrome : unit -> string
+(** [to_chrome_json (spans ())]. *)

@@ -158,6 +158,7 @@ let sort ?(memory_tuples = 4096) ?(fan_in = 16) ~stats ~src ~dst () =
   let page_size = Heap_file.page_size reader in
   let slot_bytes = Heap_file.slot_bytes reader in
   let runs =
+    Obs.Trace.with_span "extsort:runs" @@ fun () ->
     Fun.protect
       ~finally:(fun () -> Heap_file.close_reader reader)
       (fun () ->
@@ -182,4 +183,7 @@ let sort ?(memory_tuples = 4096) ?(fan_in = 16) ~stats ~src ~dst () =
         spill ();
         List.rev !runs)
   in
-  merge_passes ~stats ~page_size ~slot_bytes ~fan_in schema runs dst
+  Obs.Trace.with_span
+    ~attrs:[ ("runs", string_of_int (List.length runs)) ]
+    "extsort:merge"
+    (fun () -> merge_passes ~stats ~page_size ~slot_bytes ~fan_in schema runs dst)

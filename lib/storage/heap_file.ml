@@ -305,13 +305,21 @@ let close_reader r =
 (* ------------------------------------------------------------------ *)
 
 let write_relation ?page_size ?slot_bytes ~stats path rel =
-  let w = create ?page_size ?slot_bytes ~stats path (Trel.schema rel) in
-  Fun.protect
-    ~finally:(fun () -> close_writer w)
-    (fun () -> Trel.iter (append w) rel)
+  Obs.Trace.with_span
+    ~attrs:[ ("path", path) ]
+    "heap:write-relation"
+    (fun () ->
+      let w = create ?page_size ?slot_bytes ~stats path (Trel.schema rel) in
+      Fun.protect
+        ~finally:(fun () -> close_writer w)
+        (fun () -> Trel.iter (append w) rel))
 
 let read_relation ?fault ?on_corrupt ~stats path =
-  let r = open_reader ?fault ~stats path in
-  Fun.protect
-    ~finally:(fun () -> close_reader r)
-    (fun () -> Trel.create (schema r) (List.of_seq (scan ?on_corrupt r)))
+  Obs.Trace.with_span
+    ~attrs:[ ("path", path) ]
+    "heap:read-relation"
+    (fun () ->
+      let r = open_reader ?fault ~stats path in
+      Fun.protect
+        ~finally:(fun () -> close_reader r)
+        (fun () -> Trel.create (schema r) (List.of_seq (scan ?on_corrupt r))))

@@ -97,6 +97,7 @@ let to_string q =
 
 type statement =
   | Select of query
+  | Explain_analyze of query
   | Create_view of { name : string; definition : query }
   | Refresh_view of string
   | Drop_view of string
@@ -109,6 +110,7 @@ let window_to_string { w_start; w_stop } =
 
 let statement_to_string = function
   | Select q -> to_string q
+  | Explain_analyze q -> "EXPLAIN ANALYZE " ^ to_string q
   | Create_view { name; definition } ->
       Printf.sprintf "CREATE VIEW %s AS %s" name (to_string definition)
   | Refresh_view name -> "REFRESH VIEW " ^ name

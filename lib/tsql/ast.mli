@@ -73,6 +73,7 @@ type query = {
 
     {v
     stmt ::= query
+           | EXPLAIN ANALYZE query
            | CREATE VIEW ident AS query
            | REFRESH VIEW ident
            | DROP VIEW ident
@@ -82,6 +83,8 @@ type query = {
     v} *)
 type statement =
   | Select of query
+  | Explain_analyze of query
+      (** Execute the query and report an {!Obs.Profile} instead of rows. *)
   | Create_view of { name : string; definition : query }
   | Refresh_view of string
   | Drop_view of string

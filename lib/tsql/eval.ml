@@ -19,6 +19,7 @@ type robust_ctx = {
   memory_budget : int option;
   deadline_ms : float option;
   mutable events : Tempagg.Engine.degradation list;
+  profile : Obs.Profile.t option;
 }
 
 (* Carries a structured engine error out of the evaluation loops;
@@ -47,12 +48,12 @@ let run_engine ?robust (plan : Semant.plan) monoid data =
             Tempagg.Span.eval_robust ~origin ~horizon
               ~algorithm:plan.Semant.algorithm ~on_error:plan.Semant.on_error
               ?memory_budget:ctx.memory_budget ?deadline_ms:ctx.deadline_ms
-              ~granule monoid data
+              ?profile:ctx.profile ~granule monoid data
         | None ->
             Tempagg.Engine.eval_robust ~origin ~horizon
               ~on_error:plan.Semant.on_error
               ?memory_budget:ctx.memory_budget ?deadline_ms:ctx.deadline_ms
-              plan.Semant.algorithm monoid data
+              ?profile:ctx.profile plan.Semant.algorithm monoid data
       in
       match result with
       | Ok (timeline, degradations) ->
@@ -289,9 +290,48 @@ let query_robust ?algorithm ?domains ?on_error ?memory_budget ?deadline_ms
   let* ast = Parser.parse text in
   let* plan = Semant.analyze catalog ast in
   let plan = apply_overrides ?algorithm ?domains ?on_error plan in
-  let ctx = { memory_budget; deadline_ms; events = [] } in
+  let ctx = { memory_budget; deadline_ms; events = []; profile = None } in
   match run_aux ~robust:ctx plan with
   | rel -> Ok { result = rel; degradations = ctx.events }
+  | exception Robust_error e ->
+      Error ("evaluation failed: " ^ Tempagg.Engine.error_to_string e)
+  | exception Invalid_argument msg -> Error ("evaluation failed: " ^ msg)
+
+type profiled_report = {
+  result : Trel.t;
+  profile : Obs.Profile.t;
+  degradations : Tempagg.Engine.degradation list;
+}
+
+let query_profiled ?algorithm ?domains ?on_error ?memory_budget ?deadline_ms
+    catalog text =
+  let profile = Obs.Profile.create () in
+  let t0 = Unix.gettimeofday () in
+  let* ast = Parser.parse text in
+  let* plan = Semant.analyze catalog ast in
+  let plan = apply_overrides ?algorithm ?domains ?on_error plan in
+  Obs.Profile.set_query profile (Ast.to_string ast);
+  Obs.Profile.set_plan profile
+    ~algorithm:(Tempagg.Engine.name plan.Semant.algorithm)
+    ~rationale:plan.Semant.rationale;
+  (* The k the optimizer (or an override) settled on, when a k-ordered
+     tree is anywhere in the plan. *)
+  let rec k_of = function
+    | Tempagg.Engine.Korder_tree { k } -> Some k
+    | Tempagg.Engine.Parallel { inner; _ } -> k_of inner
+    | _ -> None
+  in
+  Option.iter (Obs.Profile.set_k_estimate profile) (k_of plan.Semant.algorithm);
+  Obs.Profile.add_phase profile "parse+analyze"
+    ((Unix.gettimeofday () -. t0) *. 1000.);
+  let ctx =
+    { memory_budget; deadline_ms; events = []; profile = Some profile }
+  in
+  match run_aux ~robust:ctx plan with
+  | rel ->
+      Obs.Profile.set_segments profile (Trel.cardinality rel);
+      Obs.Profile.set_total_ms profile ((Unix.gettimeofday () -. t0) *. 1000.);
+      Ok { result = rel; profile; degradations = ctx.events }
   | exception Robust_error e ->
       Error ("evaluation failed: " ^ Tempagg.Engine.error_to_string e)
   | exception Invalid_argument msg -> Error ("evaluation failed: " ^ msg)

@@ -69,6 +69,28 @@ val query_robust :
     never applied silently.  [Error _] carries the rendered structured
     error when recovery is impossible or disallowed. *)
 
+type profiled_report = {
+  result : Relation.Trel.t;
+  profile : Obs.Profile.t;
+      (** Plan, rationale, k estimate, every attempt (aborted ones
+          included), degradations, phase timings and output size. *)
+  degradations : Tempagg.Engine.degradation list;
+}
+
+val query_profiled :
+  ?algorithm:Tempagg.Engine.algorithm ->
+  ?domains:int ->
+  ?on_error:Tempagg.Engine.on_error ->
+  ?memory_budget:int ->
+  ?deadline_ms:float ->
+  Catalog.t ->
+  string ->
+  (profiled_report, string) result
+(** {!query_robust} with an {!Obs.Profile} threaded through every engine
+    evaluation — the implementation behind [EXPLAIN ANALYZE] and the
+    CLI's [--profile].  Profiling forces instrumentation, so the run
+    costs what {!Tempagg.Engine.eval_with_stats} costs. *)
+
 val explain :
   ?algorithm:Tempagg.Engine.algorithm ->
   ?domains:int ->

@@ -21,6 +21,8 @@ type token =
   | INTO
   | VALUES
   | DELETE
+  | EXPLAIN
+  | ANALYZE
   | IDENT of string
   | INT of int
   | FLOAT of float
@@ -63,6 +65,8 @@ let token_to_string = function
   | INTO -> "INTO"
   | VALUES -> "VALUES"
   | DELETE -> "DELETE"
+  | EXPLAIN -> "EXPLAIN"
+  | ANALYZE -> "ANALYZE"
   | IDENT s -> s
   | INT n -> string_of_int n
   | FLOAT f -> Printf.sprintf "%g" f
@@ -105,6 +109,8 @@ let keyword_of = function
   | "into" -> Some INTO
   | "values" -> Some VALUES
   | "delete" -> Some DELETE
+  | "explain" -> Some EXPLAIN
+  | "analyze" -> Some ANALYZE
   | _ -> None
 
 let is_ident_start = function

@@ -28,6 +28,8 @@ type token =
   | INTO
   | VALUES
   | DELETE
+  | EXPLAIN
+  | ANALYZE
   | IDENT of string
   | INT of int
   | FLOAT of float

@@ -224,6 +224,10 @@ let query_body st =
 let statement st =
   match peek st with
   | Lexer.SELECT -> Ast.Select (query_body st)
+  | Lexer.EXPLAIN ->
+      advance st;
+      expect st Lexer.ANALYZE "ANALYZE";
+      Ast.Explain_analyze (query_body st)
   | Lexer.CREATE ->
       advance st;
       expect st Lexer.VIEW "VIEW";
@@ -261,7 +265,10 @@ let statement st =
         else []
       in
       Ast.Delete_from { relation; where }
-  | _ -> fail st "a statement (SELECT, CREATE, REFRESH, DROP, INSERT, DELETE)"
+  | _ ->
+      fail st
+        "a statement (SELECT, EXPLAIN ANALYZE, CREATE, REFRESH, DROP, INSERT, \
+         DELETE)"
 
 let run_parser text parse_fn =
   match Lexer.tokenize text with

@@ -14,10 +14,12 @@ type report = {
   elapsed_s : float;
   per_kind : (string * op_stats) list;
   session_stats : Live.Stats.t;
+  metrics : Obs.Metrics.t;
 }
 
 let kind_of = function
   | Ast.Select _ -> "select"
+  | Ast.Explain_analyze _ -> "explain-analyze"
   | Ast.Create_view _ -> "create-view"
   | Ast.Refresh_view _ -> "refresh-view"
   | Ast.Drop_view _ -> "drop-view"
@@ -26,53 +28,56 @@ let kind_of = function
 
 (* Kinds in a stable display order. *)
 let kind_order =
-  [ "select"; "insert"; "delete"; "create-view"; "refresh-view"; "drop-view" ]
+  [ "select"; "insert"; "delete"; "create-view"; "refresh-view"; "drop-view";
+    "explain-analyze" ]
 
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then 0.
-  else
-    let idx = int_of_float ((p *. float_of_int (n - 1)) +. 0.5) in
-    sorted.(min (n - 1) (max 0 idx))
-
-let summarize samples errors =
-  let sorted = Array.of_list samples in
-  Array.sort Float.compare sorted;
-  let n = Array.length sorted in
-  let mean =
-    if n = 0 then 0. else Array.fold_left ( +. ) 0. sorted /. float_of_int n
-  in
+(* Latencies live in per-kind log-bucketed histograms (gamma 1.05, a 5%
+   relative error bound on percentiles) instead of raw sample arrays:
+   count/mean/max stay exact, and the same histograms feed the registry's
+   Prometheus exposition. *)
+let stats_of_histogram h errors =
   {
-    ops = n;
+    ops = Obs.Histogram.count h;
     errors;
-    mean_us = mean;
-    p50_us = percentile sorted 0.5;
-    p90_us = percentile sorted 0.9;
-    p99_us = percentile sorted 0.99;
-    max_us = (if n = 0 then 0. else sorted.(n - 1));
+    mean_us = Obs.Histogram.mean h;
+    p50_us = Obs.Histogram.percentile h 0.5;
+    p90_us = Obs.Histogram.percentile h 0.9;
+    p99_us = Obs.Histogram.percentile h 0.99;
+    max_us = Obs.Histogram.max_value h;
   }
 
-let run ?(echo = false) ?(out = print_string) session statements =
-  let samples : (string, float list ref) Hashtbl.t = Hashtbl.create 8 in
-  let errors : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
-  let bucket tbl zero k =
-    match Hashtbl.find_opt tbl k with
-    | Some r -> r
-    | None ->
-        let r = ref zero in
-        Hashtbl.replace tbl k r;
-        r
+let refresh_session_metrics registry session =
+  Live.Stats.to_metrics registry (Session.stats session)
+
+let run ?(echo = false) ?(out = print_string) ?metrics_every session statements
+    =
+  let registry = Obs.Metrics.create () in
+  let latency kind =
+    Obs.Metrics.histogram registry
+      ~help:"Statement latency in microseconds, by statement kind"
+      ~labels:[ ("kind", kind) ]
+      "tempagg_serve_latency_us"
+  in
+  let errors kind =
+    Obs.Metrics.counter registry ~help:"Failed statements by kind"
+      ~labels:[ ("kind", kind) ]
+      "tempagg_serve_errors_total"
+  in
+  let seen_kinds = ref [] in
+  let note_kind k =
+    if not (List.mem k !seen_kinds) then seen_kinds := k :: !seen_kinds
   in
   let started = Unix.gettimeofday () in
+  let executed = ref 0 in
   List.iter
     (fun stmt ->
       let kind = kind_of stmt in
+      note_kind kind;
       let t0 = Unix.gettimeofday () in
       let result = Session.exec_statement session stmt in
       let dt_us = (Unix.gettimeofday () -. t0) *. 1e6 in
-      let s = bucket samples [] kind in
-      s := dt_us :: !s;
-      match result with
+      Obs.Histogram.observe (latency kind) dt_us;
+      (match result with
       | Ok (Session.Rows rel) ->
           if echo then
             let text = Pretty.result_to_string rel in
@@ -82,42 +87,48 @@ let run ?(echo = false) ?(out = print_string) session statements =
                else text ^ "\n")
       | Ok (Session.Ack msg) -> if echo then out (msg ^ "\n")
       | Error msg ->
-          incr (bucket errors 0 kind);
-          out (Printf.sprintf "error: %s\n" msg))
+          Obs.Metrics.inc (errors kind);
+          out (Printf.sprintf "error: %s\n" msg));
+      incr executed;
+      match metrics_every with
+      | Some every when every > 0 && !executed mod every = 0 ->
+          refresh_session_metrics registry session;
+          out
+            (Printf.sprintf "-- metrics after %d statement(s) --\n%s" !executed
+               (Obs.Metrics.expose registry))
+      | _ -> ())
     statements;
   let elapsed_s = Unix.gettimeofday () -. started in
+  refresh_session_metrics registry session;
+  let present = List.rev !seen_kinds in
   let kinds =
-    let present = Hashtbl.fold (fun k _ acc -> k :: acc) samples [] in
     List.filter (fun k -> List.mem k present) kind_order
     @ List.filter (fun k -> not (List.mem k kind_order)) present
   in
   let per_kind =
     List.map
       (fun k ->
-        let s = match Hashtbl.find_opt samples k with
-          | Some r -> !r
-          | None -> []
-        in
-        let e = match Hashtbl.find_opt errors k with
-          | Some r -> !r
-          | None -> 0
-        in
-        (k, summarize s e))
+        ( k,
+          stats_of_histogram (latency k)
+            (int_of_float (Obs.Metrics.counter_value (errors k))) ))
       kinds
   in
   {
     total = List.length statements;
     total_errors =
-      Hashtbl.fold (fun _ r acc -> acc + !r) errors 0;
+      List.fold_left
+        (fun acc k -> acc + int_of_float (Obs.Metrics.counter_value (errors k)))
+        0 kinds;
     elapsed_s;
     per_kind;
     session_stats = Session.stats session;
+    metrics = registry;
   }
 
-let run_script ?echo ?out session text =
+let run_script ?echo ?out ?metrics_every session text =
   match Parser.parse_script text with
   | Error msg -> Error msg
-  | Ok statements -> Ok (run ?echo ?out session statements)
+  | Ok statements -> Ok (run ?echo ?out ?metrics_every session statements)
 
 let report_to_string r =
   let buf = Buffer.create 512 in

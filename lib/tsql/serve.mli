@@ -1,10 +1,15 @@
 (** The serve loop: execute a stream of interleaved statements against a
     {!Session} and report per-operation latency percentiles.
 
-    Latency is wall-clock time around {!Session.exec_statement}, bucketed
-    by statement kind (select / insert / delete / view DDL); percentiles
-    are computed over each bucket.  Errors are reported inline, counted,
-    and do not stop the stream — a serve loop keeps serving. *)
+    Latency is wall-clock time around {!Session.exec_statement}, recorded
+    into a per-kind {!Obs.Histogram} (select / insert / delete / view
+    DDL / explain-analyze); percentiles come from the histogram (5%
+    relative error at the default gamma), while count, mean and max stay
+    exact.  The same histograms and error counters live in an
+    {!Obs.Metrics} registry returned with the report, so the loop can
+    periodically dump a Prometheus exposition.  Errors are reported
+    inline, counted, and do not stop the stream — a serve loop keeps
+    serving. *)
 
 type op_stats = {
   ops : int;
@@ -22,17 +27,30 @@ type report = {
   elapsed_s : float;
   per_kind : (string * op_stats) list;  (** Stable display order. *)
   session_stats : Live.Stats.t;  (** The session's live counters. *)
+  metrics : Obs.Metrics.t;
+      (** Latency histograms, error counters and the session's live
+          gauges, ready for {!Obs.Metrics.expose}. *)
 }
 
 val run :
-  ?echo:bool -> ?out:(string -> unit) -> Session.t -> Ast.statement list ->
+  ?echo:bool ->
+  ?out:(string -> unit) ->
+  ?metrics_every:int ->
+  Session.t ->
+  Ast.statement list ->
   report
 (** Execute the statements in order.  [echo] (default false) prints each
     SELECT result and acknowledgement through [out] (default
-    [print_string]); errors always print. *)
+    [print_string]); errors always print.  [metrics_every] (off by
+    default) dumps the Prometheus exposition through [out] every that
+    many statements. *)
 
 val run_script :
-  ?echo:bool -> ?out:(string -> unit) -> Session.t -> string ->
+  ?echo:bool ->
+  ?out:(string -> unit) ->
+  ?metrics_every:int ->
+  Session.t ->
+  string ->
   (report, string) result
 (** {!Parser.parse_script} then {!run}.  [Error _] only on a parse
     failure — execution errors are counted in the report. *)

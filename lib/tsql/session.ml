@@ -457,8 +457,23 @@ let select t (q : Ast.query) =
       let* rel = run_plan plan in
       Ok (Rows rel)
 
+let explain_analyze t (q : Ast.query) =
+  match Hashtbl.find_opt t.views (fold q.Ast.from) with
+  | Some v ->
+      Error
+        (Printf.sprintf
+           "EXPLAIN ANALYZE targets a base relation; %S is a view (its \
+            answers come from a materialized timeline, not a fresh \
+            evaluation)"
+           v.vname)
+  | None -> (
+      match Eval.query_profiled (catalog t) (Ast.to_string q) with
+      | Ok { Eval.profile; _ } -> Ok (Ack (Obs.Profile.to_string profile))
+      | Error _ as e -> e)
+
 let exec_statement t = function
   | Ast.Select q -> select t q
+  | Ast.Explain_analyze q -> explain_analyze t q
   | Ast.Create_view { name; definition } -> create_view t name definition
   | Ast.Refresh_view name -> refresh_view t name
   | Ast.Drop_view name -> drop_view t name

@@ -95,6 +95,39 @@ let test_live_section_json () =
           "\"n\":";
         ])
 
+(* The obs section must defend its <3% disarmed-tracing bar and write
+   the two observability artifacts next to the --json output: a Chrome
+   trace that names the shard timelines and a Prometheus exposition. *)
+let test_obs_section_artifacts () =
+  let dir = Filename.temp_file "tempagg_bench" "" in
+  Sys.remove dir;
+  let json = Filename.concat dir "BENCH_results.json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      let code, out = run [ "--smoke"; "--sections"; "obs"; "--json"; json ] in
+      Alcotest.(check int) "exit 0" 0 code;
+      Alcotest.(check bool) "prints the obs banner" true (contains out "obs:");
+      Alcotest.(check bool) "prints the overhead bar" true
+        (contains out "worst disarmed-trace overhead:");
+      let trace = Filename.concat dir "BENCH_trace.json" in
+      Alcotest.(check bool) "trace written" true (Sys.file_exists trace);
+      let trace_text = In_channel.with_open_text trace In_channel.input_all in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) needle true (contains trace_text needle))
+        [ "{\"traceEvents\":["; "\"ph\":\"X\""; "\"name\":\"shard\"";
+          "thread_name" ];
+      let metrics = Filename.concat dir "BENCH_metrics.txt" in
+      Alcotest.(check bool) "metrics written" true (Sys.file_exists metrics);
+      let metrics_text =
+        In_channel.with_open_text metrics In_channel.input_all
+      in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) needle true (contains metrics_text needle))
+        [ "# TYPE tempagg_profile_peak_bytes gauge"; "tempagg_profile_attempts" ])
+
 let () =
   Alcotest.run "bench-smoke"
     [
@@ -104,5 +137,7 @@ let () =
             test_sweep_section;
           Alcotest.test_case "live section + json records" `Quick
             test_live_section_json;
+          Alcotest.test_case "obs section + artifacts" `Slow
+            test_obs_section_artifacts;
         ] );
     ]

@@ -276,6 +276,51 @@ let test_serve_parse_error () =
       let code, _ = run [ "serve"; "--script"; script ] in
       Alcotest.(check bool) "nonzero exit" true (code <> 0))
 
+(* The observability flags on query: --profile prints the EXPLAIN
+   ANALYZE report, --metrics a Prometheus exposition, --trace a Chrome
+   trace file with one complete event per span. *)
+let test_query_observability_flags () =
+  with_tempdir (fun dir ->
+      let trace = Filename.concat dir "trace.json" in
+      let code, out =
+        run
+          [
+            "query"; "--profile"; "--metrics"; "--trace"; trace;
+            "--algorithm"; "parallel(2,sweep)";
+            "SELECT COUNT(Name) FROM Employed";
+          ]
+      in
+      Alcotest.(check int) "exit 0" 0 code;
+      (* The result still prints first. *)
+      check_contains out "| [18,20] |";
+      check_contains out "query: SELECT COUNT(Name) FROM Employed";
+      check_contains out "plan: parallel(2,sweep)";
+      check_contains out "attempts:";
+      check_contains out "memory: allocated_nodes=";
+      check_contains out "# TYPE tempagg_profile_peak_bytes gauge";
+      check_contains out "tempagg_io_pages_read";
+      Alcotest.(check bool) "trace file written" true (Sys.file_exists trace);
+      let json = In_channel.with_open_text trace In_channel.input_all in
+      check_contains json "{\"traceEvents\":[";
+      check_contains json "\"name\":\"shard\"")
+
+let test_serve_metrics_every () =
+  with_tempdir (fun dir ->
+      let script = Filename.concat dir "ops.tsql" in
+      Out_channel.with_open_text script (fun oc ->
+          output_string oc
+            "SELECT COUNT(Name) FROM Employed;\n\
+             EXPLAIN ANALYZE SELECT COUNT(Name) FROM Employed;\n\
+             SELECT COUNT(Name) FROM Employed DURING [8,20]\n");
+      let code, out =
+        run [ "serve"; "--metrics-every"; "2"; "--script"; script ]
+      in
+      Alcotest.(check int) "exit 0" 0 code;
+      check_contains out "-- metrics after 2 statement(s) --";
+      check_contains out "tempagg_serve_latency_us_bucket";
+      check_contains out "explain-analyze";
+      check_contains out "serve: 3 op(s)")
+
 let quick name f = Alcotest.test_case name `Quick f
 
 let () =
@@ -299,5 +344,8 @@ let () =
           quick "serve script" test_serve_script;
           quick "serve missing script" test_serve_missing_script;
           quick "serve parse error" test_serve_parse_error;
+          quick "query --profile/--metrics/--trace"
+            test_query_observability_flags;
+          quick "serve --metrics-every" test_serve_metrics_every;
         ] );
     ]

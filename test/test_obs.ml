@@ -1,0 +1,629 @@
+(* Tests for the observability subsystem: log-bucketed histograms
+   against a sorted-array oracle, span-tree well-formedness under
+   Parallel evaluation, the Prometheus exposition, the stats adapters,
+   EXPLAIN ANALYZE profiles (aborted fallback attempts included), and
+   the "disarmed tracing is free" overhead bar. *)
+
+open Tempagg
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let check_contains what hay needle =
+  if not (contains hay needle) then
+    Alcotest.fail (Printf.sprintf "%s: %S not found in:\n%s" what needle hay)
+
+let count_data arr = Array.to_seq (Array.map (fun (iv, _) -> (iv, ())) arr)
+
+let random_data ?(n = 2000) ?(seed = 11) () =
+  Workload.Generate.random_intervals
+    (Workload.Spec.make ~n ~lifespan:50_000 ~seed ())
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The same nearest-rank the histogram implements, on the raw samples. *)
+let oracle_percentile sorted p =
+  let n = Array.length sorted in
+  let rank = int_of_float ((p *. float_of_int (n - 1)) +. 0.5) in
+  sorted.(max 0 (min (n - 1) rank))
+
+let test_histogram_oracle () =
+  let gen =
+    QCheck.make ~print:QCheck.Print.(list float)
+      QCheck.Gen.(list_size (int_range 1 400) (float_range 0.05 2e6))
+  in
+  let prop values =
+    let h = Obs.Histogram.create () in
+    List.iter (Obs.Histogram.observe h) values;
+    let sorted = Array.of_list values in
+    Array.sort compare sorted;
+    let n = Array.length sorted in
+    let exact_sum = List.fold_left ( +. ) 0. values in
+    let gamma = Obs.Histogram.gamma h in
+    Obs.Histogram.count h = n
+    && abs_float (Obs.Histogram.sum h -. exact_sum)
+       <= 1e-9 *. (1. +. abs_float exact_sum)
+    && Obs.Histogram.min_value h = sorted.(0)
+    && Obs.Histogram.max_value h = sorted.(n - 1)
+    && abs_float (Obs.Histogram.mean h -. (exact_sum /. float_of_int n))
+       <= 1e-9 *. (1. +. abs_float exact_sum)
+    && List.for_all
+         (fun p ->
+           let v = oracle_percentile sorted p in
+           let est = Obs.Histogram.percentile h p in
+           (* The estimate is the upper bound of the oracle value's
+              bucket, clamped into [min, max]: within a factor gamma
+              above the exact answer, never below it by more than the
+              clamp. *)
+           est >= v -. 1e-9 && est <= (v *. gamma) +. 1e-9)
+         [ 0.; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1. ]
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:200 ~name:"histogram vs sorted-array oracle" gen
+       prop)
+
+let test_histogram_basics () =
+  let h = Obs.Histogram.create () in
+  Alcotest.(check (float 0.)) "empty percentile" 0. (Obs.Histogram.percentile h 0.5);
+  Alcotest.(check int) "empty count" 0 (Obs.Histogram.count h);
+  List.iter (Obs.Histogram.observe h) [ 3.; 1.; 2.; 8.; 5. ];
+  Alcotest.(check (float 0.)) "p0 = min" 1. (Obs.Histogram.percentile h 0.);
+  Alcotest.(check (float 0.)) "p1 = max" 8. (Obs.Histogram.percentile h 1.);
+  let last = ref neg_infinity in
+  List.iter
+    (fun p ->
+      let v = Obs.Histogram.percentile h p in
+      Alcotest.(check bool) "monotone in p" true (v >= !last);
+      last := v)
+    [ 0.; 0.25; 0.5; 0.75; 1. ];
+  (* Out-of-range values clamp into the edge buckets; exact min and max
+     still remember them, and percentiles stay inside [min, max]. *)
+  let e = Obs.Histogram.create ~floor:1.0 ~ceiling:100. () in
+  Obs.Histogram.observe e 1e-6;
+  Obs.Histogram.observe e 1e9;
+  Alcotest.(check (float 0.)) "exact min survives clamp" 1e-6
+    (Obs.Histogram.min_value e);
+  Alcotest.(check (float 0.)) "exact max survives clamp" 1e9
+    (Obs.Histogram.max_value e);
+  let p50 = Obs.Histogram.percentile e 0.5 in
+  Alcotest.(check bool) "clamped percentile in range" true
+    (p50 >= 1e-6 && p50 <= 1e9);
+  Obs.Histogram.reset h;
+  Alcotest.(check int) "reset empties" 0 (Obs.Histogram.count h)
+
+let test_histogram_merge () =
+  let a = Obs.Histogram.create () and b = Obs.Histogram.create () in
+  List.iter (Obs.Histogram.observe a) [ 1.; 10. ];
+  List.iter (Obs.Histogram.observe b) [ 100.; 1000.; 5. ];
+  Obs.Histogram.merge_into ~into:a b;
+  Alcotest.(check int) "merged count" 5 (Obs.Histogram.count a);
+  Alcotest.(check (float 1e-6)) "merged sum" 1116. (Obs.Histogram.sum a);
+  Alcotest.(check (float 0.)) "merged max" 1000. (Obs.Histogram.max_value a);
+  let other = Obs.Histogram.create ~gamma:2. () in
+  Alcotest.(check bool) "shape mismatch raises" true
+    (match Obs.Histogram.merge_into ~into:a other with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_disarmed_passthrough () =
+  Obs.Trace.disarm ();
+  Obs.Trace.clear ();
+  let r = Obs.Trace.with_span "ignored" (fun () -> 42) in
+  Alcotest.(check int) "value passes through" 42 r;
+  Alcotest.(check bool) "no open span" true (Obs.Trace.current () = None);
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Obs.Trace.spans ()))
+
+(* Arm, evaluate a 4-domain Parallel sweep, and check the span tree:
+   one shard span per domain, every recorded parent id resolvable, and
+   proper nesting (stack discipline) within each domain's timeline. *)
+let test_trace_parallel_span_tree () =
+  let data = random_data () in
+  Obs.Trace.arm ();
+  let tl =
+    Engine.eval
+      (Engine.Parallel { domains = 4; inner = Engine.Sweep })
+      Monoid.count (count_data data)
+  in
+  Obs.Trace.disarm ();
+  ignore (Sys.opaque_identity tl);
+  let spans = Obs.Trace.spans () in
+  let ids = List.map (fun (s : Obs.Trace.span) -> s.id) spans in
+  let shards =
+    List.filter (fun (s : Obs.Trace.span) -> s.label = "shard") spans
+  in
+  Alcotest.(check int) "one span per shard" 4 (List.length shards);
+  List.iter
+    (fun (s : Obs.Trace.span) ->
+      Alcotest.(check bool) "span is closed" true (s.stop_us >= s.start_us);
+      match s.parent with
+      | None -> ()
+      | Some p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "parent %d of span %d exists" p s.id)
+            true (List.mem p ids))
+    spans;
+  (* Shards hang off the outer eval span even though they ran on
+     spawned domains with empty span stacks of their own. *)
+  let outer =
+    List.find (fun (s : Obs.Trace.span) -> s.label = "eval") spans
+  in
+  List.iter
+    (fun (s : Obs.Trace.span) ->
+      Alcotest.(check bool) "shard parented to eval" true
+        (s.parent = Some outer.id))
+    shards;
+  (* Per-domain stack discipline: two spans recorded by one domain are
+     either disjoint in time or properly nested, never interleaved. *)
+  let by_domain = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Obs.Trace.span) ->
+      Hashtbl.replace by_domain s.domain
+        (s :: (Option.value ~default:[] (Hashtbl.find_opt by_domain s.domain))))
+    spans;
+  Hashtbl.iter
+    (fun _ ds ->
+      List.iter
+        (fun (a : Obs.Trace.span) ->
+          List.iter
+            (fun (b : Obs.Trace.span) ->
+              if a.id <> b.id && a.start_us <= b.start_us then
+                Alcotest.(check bool)
+                  (Printf.sprintf "spans %d and %d nest or are disjoint" a.id
+                     b.id)
+                  true
+                  (b.start_us >= a.stop_us || b.stop_us <= a.stop_us))
+            ds)
+        ds)
+    by_domain
+
+let test_trace_chrome_export () =
+  let data = random_data ~n:500 () in
+  Obs.Trace.arm ();
+  ignore
+    (Engine.eval
+       (Engine.Parallel { domains = 2; inner = Engine.Sweep })
+       Monoid.count (count_data data));
+  Obs.Trace.disarm ();
+  let json = Obs.Trace.export_chrome () in
+  check_contains "envelope" json "{\"traceEvents\":[";
+  check_contains "complete events" json "\"ph\":\"X\"";
+  check_contains "thread names" json "\"name\":\"thread_name\"";
+  check_contains "shard span" json "\"name\":\"shard\"";
+  check_contains "shard attr" json "\"shard\":\"0\"";
+  check_contains "parent link" json "\"parent\":";
+  Alcotest.(check bool) "closes the envelope" true
+    (String.ends_with ~suffix:"]}\n" json);
+  (* Re-arming discards the previous recording. *)
+  Obs.Trace.arm ();
+  Alcotest.(check int) "arm clears" 0 (List.length (Obs.Trace.spans ()));
+  Obs.Trace.disarm ()
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_registry () =
+  let r = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter r ~help:"h" "c_total" in
+  Obs.Metrics.inc c;
+  Obs.Metrics.add c 2.5;
+  Alcotest.(check (float 0.)) "counter" 3.5 (Obs.Metrics.counter_value c);
+  (* Re-registration returns the same cell (adapters refresh in place). *)
+  let c' = Obs.Metrics.counter r "c_total" in
+  Obs.Metrics.inc c';
+  Alcotest.(check (float 0.)) "same cell" 4.5 (Obs.Metrics.counter_value c);
+  Alcotest.(check bool) "negative add raises" true
+    (match Obs.Metrics.add c (-1.) with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "kind clash raises" true
+    (match Obs.Metrics.gauge r "c_total" with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad name raises" true
+    (match Obs.Metrics.counter r "not a name" with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  let g = Obs.Metrics.gauge r ~labels:[ ("k", "v") ] "g" in
+  Obs.Metrics.set_int g 7;
+  Alcotest.(check (option (float 0.)))
+    "value lookup" (Some 7.)
+    (Obs.Metrics.value r ~labels:[ ("k", "v") ] "g");
+  Alcotest.(check (option (float 0.)))
+    "missing lookup" None (Obs.Metrics.value r "nope")
+
+let test_metrics_exposition_golden () =
+  let r = Obs.Metrics.create () in
+  let selects =
+    Obs.Metrics.counter r ~help:"Requests served"
+      ~labels:[ ("kind", "select") ]
+      "app_requests_total"
+  in
+  Obs.Metrics.inc selects;
+  Obs.Metrics.inc selects;
+  Obs.Metrics.inc selects;
+  Obs.Metrics.inc
+    (Obs.Metrics.counter r ~help:"Requests served"
+       ~labels:[ ("kind", "delete") ]
+       "app_requests_total");
+  Obs.Metrics.set (Obs.Metrics.gauge r ~help:"Queue depth" "app_queue_depth") 7.;
+  let expected =
+    String.concat "\n"
+      [
+        "# HELP app_queue_depth Queue depth";
+        "# TYPE app_queue_depth gauge";
+        "app_queue_depth 7";
+        "# HELP app_requests_total Requests served";
+        "# TYPE app_requests_total counter";
+        "app_requests_total{kind=\"delete\"} 1";
+        "app_requests_total{kind=\"select\"} 3";
+        "";
+      ]
+  in
+  Alcotest.(check string) "golden exposition" expected (Obs.Metrics.expose r)
+
+let test_metrics_histogram_exposition () =
+  let r = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram r ~help:"Latency" "lat_us" in
+  List.iter (Obs.Histogram.observe h) [ 3.; 100.; 250_000. ];
+  let text = Obs.Metrics.expose r in
+  check_contains "type line" text "# TYPE lat_us histogram";
+  check_contains "+Inf bucket" text "lat_us_bucket{le=\"+Inf\"} 3";
+  check_contains "count" text "lat_us_count 3";
+  check_contains "sum" text "lat_us_sum 250103";
+  (* Bucket counts must be cumulative: extract the trailing integer of
+     every _bucket line and check it never decreases. *)
+  let counts =
+    List.filter_map
+      (fun line ->
+        if contains line "lat_us_bucket" then
+          int_of_string_opt
+            (String.sub line
+               (String.rindex line ' ' + 1)
+               (String.length line - String.rindex line ' ' - 1))
+        else None)
+      (String.split_on_char '\n' text)
+  in
+  Alcotest.(check bool) "at least three bucket lines" true
+    (List.length counts >= 3);
+  ignore
+    (List.fold_left
+       (fun prev c ->
+         Alcotest.(check bool) "cumulative" true (c >= prev);
+         c)
+       0 counts)
+
+(* ------------------------------------------------------------------ *)
+(* Adapters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_adapters () =
+  let r = Obs.Metrics.create () in
+  (* Engine instrumentation. *)
+  let inst = Instrument.create () in
+  for _ = 1 to 5 do
+    Instrument.alloc inst
+  done;
+  Instrument.free inst;
+  Instrument.snapshot_to_metrics r (Instrument.snapshot inst);
+  Alcotest.(check (option (float 0.)))
+    "allocated nodes" (Some 5.)
+    (Obs.Metrics.value r "tempagg_engine_allocated_nodes");
+  Alcotest.(check (option (float 0.)))
+    "peak live" (Some 5.)
+    (Obs.Metrics.value r "tempagg_engine_peak_live_nodes");
+  (* Storage I/O counters, refreshed in place on a second fold. *)
+  let io = Storage.Io_stats.create () in
+  Storage.Io_stats.read_page io;
+  Storage.Io_stats.read_page io;
+  Storage.Io_stats.retry io;
+  Storage.Io_stats.to_metrics r io;
+  Storage.Io_stats.read_page io;
+  Storage.Io_stats.to_metrics r io;
+  Alcotest.(check (option (float 0.)))
+    "pages read refreshes" (Some 3.)
+    (Obs.Metrics.value r "tempagg_io_pages_read");
+  Alcotest.(check (option (float 0.)))
+    "retries" (Some 1.)
+    (Obs.Metrics.value r "tempagg_io_retries");
+  (* Live view counters. *)
+  Live.Stats.to_metrics r (Live.Stats.create ());
+  check_contains "live gauges exposed" (Obs.Metrics.expose r) "tempagg_live_";
+  (* Degradation events count by stage. *)
+  Engine.degradations_to_metrics r
+    [
+      { Engine.stage = "eval"; reason = "a"; action = "retry" };
+      { Engine.stage = "eval"; reason = "b"; action = "retry" };
+      { Engine.stage = "shard 1"; reason = "c"; action = "inline" };
+    ];
+  Alcotest.(check (option (float 0.)))
+    "eval degradations" (Some 2.)
+    (Obs.Metrics.value r
+       ~labels:[ ("stage", "eval") ]
+       "tempagg_degradations_total")
+
+(* ------------------------------------------------------------------ *)
+(* Profile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A k=1 tree over random input violates the order check, so the chain
+   retries with doubled k and finally concedes to the aggregation tree.
+   Every aborted attempt must appear in the profile with its memory
+   numbers — the silent-stats-loss fix. *)
+let test_profile_covers_aborted_attempts () =
+  let data = random_data () in
+  let profile = Obs.Profile.create () in
+  (match
+     Engine.eval_robust ~profile (Engine.Korder_tree { k = 1 }) Monoid.count
+       (count_data data)
+   with
+  | Ok (_, degradations) ->
+      Alcotest.(check bool) "degraded" true (degradations <> [])
+  | Error e -> Alcotest.fail (Engine.error_to_string e));
+  let attempts = Obs.Profile.attempts profile in
+  Alcotest.(check bool) "several attempts" true (List.length attempts >= 2);
+  Alcotest.(check bool) "a failed attempt is recorded" true
+    (List.exists (fun (a : Obs.Profile.attempt) -> a.outcome <> "ok") attempts);
+  Alcotest.(check bool) "the last attempt succeeded" true
+    ((List.nth attempts (List.length attempts - 1)).outcome = "ok");
+  (* Aggregates fold the attempts as sequential retries. *)
+  Alcotest.(check int) "allocations sum"
+    (List.fold_left
+       (fun acc (a : Obs.Profile.attempt) -> acc + a.allocated_nodes)
+       0 attempts)
+    (Obs.Profile.allocated_nodes profile);
+  Alcotest.(check int) "peak is the max"
+    (List.fold_left
+       (fun acc (a : Obs.Profile.attempt) -> max acc a.peak_bytes)
+       0 attempts)
+    (Obs.Profile.peak_bytes profile);
+  Alcotest.(check bool) "degradations mirrored" true
+    (Obs.Profile.degradations profile <> []);
+  let text = Obs.Profile.to_string profile in
+  check_contains "attempts section" text "attempts:";
+  check_contains "memory line" text "memory: allocated_nodes="
+
+(* On a clean single-attempt run the profile's peak_bytes must equal
+   what eval_with_stats reports for the same evaluation, exactly.  The
+   sweep case runs at the acceptance scale (100k tuples). *)
+let test_profile_peak_bytes_exact () =
+  List.iter
+    (fun (n, algorithm) ->
+      let data = random_data ~n ~seed:4 () in
+      let profile = Obs.Profile.create () in
+      (match
+         Engine.eval_robust ~profile algorithm Monoid.count (count_data data)
+       with
+      | Ok (_, []) -> ()
+      | Ok (_, _ :: _) -> Alcotest.fail "unexpected degradation"
+      | Error e -> Alcotest.fail (Engine.error_to_string e));
+      let _, stats =
+        Engine.eval_with_stats algorithm Monoid.count (count_data data)
+      in
+      Alcotest.(check int)
+        (Engine.name algorithm ^ " peak bytes")
+        stats.Instrument.peak_bytes
+        (Obs.Profile.peak_bytes profile);
+      Alcotest.(check int)
+        (Engine.name algorithm ^ " allocated")
+        stats.Instrument.allocated
+        (Obs.Profile.allocated_nodes profile))
+    [ (100_000, Engine.Sweep); (3000, Engine.Aggregation_tree) ]
+
+let test_profile_report_fields () =
+  let p = Obs.Profile.create () in
+  Obs.Profile.set_query p "SELECT COUNT(*) FROM r";
+  Obs.Profile.set_plan p ~algorithm:"sweep" ~rationale:"because";
+  Obs.Profile.set_k_estimate p 8;
+  Obs.Profile.set_tuples p 100;
+  Obs.Profile.set_segments p 42;
+  Obs.Profile.set_io p ~pages_read:3 ~pages_written:0 ~retries:1
+    ~corrupt_pages:0;
+  Obs.Profile.add_phase p "evaluate" 1.5;
+  Obs.Profile.add_phase p "evaluate" 0.5;
+  Obs.Profile.set_total_ms p 2.5;
+  let text = Obs.Profile.to_string p in
+  List.iter
+    (fun needle -> check_contains "report" text needle)
+    [
+      "query: SELECT COUNT(*) FROM r";
+      "plan: sweep";
+      "why: because";
+      "k estimate: 8";
+      "input: 100 tuple(s)";
+      "output: 42 segment(s)";
+      "evaluate";
+      "2.000 ms";
+      "io: pages_read=3";
+      "total: 2.500 ms";
+    ];
+  let r = Obs.Metrics.create () in
+  Obs.Profile.to_metrics r p;
+  Alcotest.(check (option (float 0.)))
+    "segments gauge" (Some 42.)
+    (Obs.Metrics.value r "tempagg_profile_segments")
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE and the serve loop                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_explain_analyze () =
+  (match Tsql.Parser.parse_statement "EXPLAIN ANALYZE SELECT COUNT(Name) FROM Employed" with
+  | Ok (Tsql.Ast.Explain_analyze _ as stmt) ->
+      Alcotest.(check string) "roundtrip"
+        "EXPLAIN ANALYZE SELECT COUNT(Name) FROM Employed"
+        (Tsql.Ast.statement_to_string stmt)
+  | Ok other ->
+      Alcotest.fail ("parsed to " ^ Tsql.Ast.statement_to_string other)
+  | Error msg -> Alcotest.fail msg);
+  let s = Tsql.Session.create (Tsql.Catalog.with_builtins ()) in
+  (match Tsql.Session.exec s "EXPLAIN ANALYZE SELECT COUNT(Name) FROM Employed" with
+  | Ok (Tsql.Session.Ack report) ->
+      List.iter
+        (fun needle -> check_contains "profile report" report needle)
+        [ "query:"; "plan:"; "why:"; "attempts:"; "memory: allocated_nodes=";
+          "output:"; "total:" ]
+  | Ok (Tsql.Session.Rows _) -> Alcotest.fail "expected an Ack"
+  | Error msg -> Alcotest.fail msg);
+  (* Views answer from materialized timelines, so there is nothing to
+     profile: EXPLAIN ANALYZE on one must say so. *)
+  (match
+     Tsql.Session.exec s
+       "CREATE VIEW ea AS SELECT COUNT(Name) FROM Employed GROUP BY INSTANT"
+   with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  match Tsql.Session.exec s "EXPLAIN ANALYZE SELECT COUNT(*) FROM ea" with
+  | Ok _ -> Alcotest.fail "EXPLAIN ANALYZE on a view should fail"
+  | Error msg -> check_contains "view error" msg "is a view"
+
+let test_serve_metrics () =
+  let s = Tsql.Session.create (Tsql.Catalog.with_builtins ()) in
+  let buf = Buffer.create 256 in
+  let script =
+    "SELECT COUNT(Name) FROM Employed; SELECT COUNT(Name) FROM Employed; \
+     EXPLAIN ANALYZE SELECT COUNT(Name) FROM Employed; SELECT nope FROM \
+     missing;"
+  in
+  match
+    Tsql.Serve.run_script ~out:(Buffer.add_string buf) ~metrics_every:2 s
+      script
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok report ->
+      Alcotest.(check int) "ops" 4 report.Tsql.Serve.total;
+      Alcotest.(check int) "errors" 1 report.Tsql.Serve.total_errors;
+      let ea = List.assoc "explain-analyze" report.Tsql.Serve.per_kind in
+      Alcotest.(check int) "explain-analyze counted" 1 ea.Tsql.Serve.ops;
+      let selects = List.assoc "select" report.Tsql.Serve.per_kind in
+      Alcotest.(check bool) "percentiles ordered" true
+        (selects.Tsql.Serve.p50_us <= selects.Tsql.Serve.p99_us
+        && selects.Tsql.Serve.p99_us <= selects.Tsql.Serve.max_us);
+      (* The periodic dump went through [out]... *)
+      let streamed = Buffer.contents buf in
+      check_contains "periodic dump" streamed
+        "-- metrics after 2 statement(s) --";
+      check_contains "latency histogram" streamed "tempagg_serve_latency_us";
+      (* ...and the report carries the registry for a final exposition. *)
+      let final = Obs.Metrics.expose report.Tsql.Serve.metrics in
+      check_contains "error counter" final
+        "tempagg_serve_errors_total{kind=\"select\"} 1";
+      check_contains "live gauges" final "tempagg_live_";
+      let text = Tsql.Serve.report_to_string report in
+      check_contains "report header" text "serve: 4 op(s)";
+      check_contains "report error count" text "(1 error(s))";
+      check_contains "report kind row" text "explain-analyze"
+
+(* ------------------------------------------------------------------ *)
+(* Overhead                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Disarmed tracing on the sweep hot path is one atomic load per eval:
+   Engine.eval through the span check must stay within 3% of calling
+   Sweep.eval directly.  Paired rounds with a shared rep count cancel
+   GC drift; the bar is checked on the best of three tries so one noisy
+   CI neighbour cannot fail the suite, but a real regression (a span
+   allocated while disarmed, say) fails all three. *)
+let test_disarmed_overhead () =
+  Obs.Trace.disarm ();
+  let data = random_data ~n:4096 ~seed:2 () in
+  let bare () = Sweep.eval Monoid.count (count_data data) in
+  let routed () = Engine.eval Engine.Sweep Monoid.count (count_data data) in
+  let calibrate f =
+    let rec go reps =
+      let t0 = Sys.time () in
+      for _ = 1 to reps do
+        ignore (Sys.opaque_identity (f ()))
+      done;
+      if Sys.time () -. t0 >= 0.05 || reps >= 4096 then reps else go (reps * 2)
+    in
+    go 1
+  in
+  let timed reps f =
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    Sys.time () -. t0
+  in
+  let median_ratio () =
+    let reps = calibrate bare in
+    let rounds = 5 in
+    let ratios =
+      Array.init rounds (fun _ ->
+          Gc.compact ();
+          let tb = timed reps bare in
+          let tr = timed reps routed in
+          tr /. tb)
+    in
+    Array.sort compare ratios;
+    ratios.(rounds / 2)
+  in
+  let rec attempt tries best =
+    let r = median_ratio () in
+    let best = Float.min best r in
+    if best < 1.03 then best
+    else if tries > 1 then attempt (tries - 1) best
+    else best
+  in
+  let best = attempt 3 infinity in
+  if best >= 1.03 then
+    Alcotest.fail
+      (Printf.sprintf
+         "disarmed tracing costs %.1f%% on the sweep hot path (bar: <3%%)"
+         ((best -. 1.) *. 100.))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "vs sorted-array oracle" `Quick
+            test_histogram_oracle;
+          Alcotest.test_case "basics" `Quick test_histogram_basics;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disarmed passthrough" `Quick
+            test_trace_disarmed_passthrough;
+          Alcotest.test_case "parallel span tree" `Quick
+            test_trace_parallel_span_tree;
+          Alcotest.test_case "chrome export" `Quick test_trace_chrome_export;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "exposition golden" `Quick
+            test_metrics_exposition_golden;
+          Alcotest.test_case "histogram exposition" `Quick
+            test_metrics_histogram_exposition;
+          Alcotest.test_case "adapters" `Quick test_adapters;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "covers aborted attempts" `Quick
+            test_profile_covers_aborted_attempts;
+          Alcotest.test_case "peak bytes exact" `Quick
+            test_profile_peak_bytes_exact;
+          Alcotest.test_case "report fields" `Quick test_profile_report_fields;
+        ] );
+      ( "tsql",
+        [
+          Alcotest.test_case "explain analyze" `Quick test_explain_analyze;
+          Alcotest.test_case "serve metrics" `Quick test_serve_metrics;
+        ] );
+      ( "overhead",
+        [
+          Alcotest.test_case "disarmed tracing < 3%" `Slow
+            test_disarmed_overhead;
+        ] );
+    ]
