@@ -9,14 +9,20 @@
      dune exec bench/main.exe -- --help
 
    Sections: table1 table2 table3 fig6 fig7 fig8 fig9 fig9_longlived
-   sweep live optimizer guard obs ablation_balanced ablation_span
-   ablation_unique ablation_paged ablation_pagerand storage_io micro.
-   The obs section also writes BENCH_trace.json (Chrome trace_event,
-   loads in Perfetto) and BENCH_metrics.txt (Prometheus exposition)
-   next to the --json output when one is requested.
+   sweep live optimizer guard obs adaptive ablation_balanced
+   ablation_span ablation_unique ablation_paged ablation_pagerand
+   storage_io micro.  The obs section also writes BENCH_trace.json
+   (Chrome trace_event, loads in Perfetto) and BENCH_metrics.txt
+   (Prometheus exposition) next to the --json output when one is
+   requested.
 
    --smoke shrinks every size for CI (seconds, not minutes); --json PATH
-   writes every measured point as a machine-readable JSON array.
+   writes every measured point, plus run-identity metadata (git sha,
+   timestamp, sizes), as machine-readable JSON.  --compare OLD.json
+   checks this run's points against a previous file and exits non-zero
+   when any regresses past --compare-threshold percent (default 10);
+   --compare-only compares two existing files (--json NEW --compare OLD)
+   without running anything.
 
    Absolute numbers differ from the paper's 1995 SPARCstation, but the
    shapes it reports are checked and recorded in EXPERIMENTS.md: who
@@ -39,6 +45,9 @@ type config = {
   csv_dir : string option;
   smoke : bool;
   json : string option;
+  compare_with : string option;
+  compare_only : bool;
+  compare_threshold : float;
 }
 
 let default_config =
@@ -50,12 +59,16 @@ let default_config =
     csv_dir = None;
     smoke = false;
     json = None;
+    compare_with = None;
+    compare_only = false;
+    compare_threshold = 10.;
   }
 
 let usage () =
   print_endline
     "usage: main.exe [--full] [--smoke] [--max-size N] [--cap-quadratic N] \
-     [--repeats N] [--sections a,b,c] [--csv DIR] [--json PATH]";
+     [--repeats N] [--sections a,b,c] [--csv DIR] [--json PATH] \
+     [--compare OLD.json] [--compare-only] [--compare-threshold PCT]";
   exit 0
 
 let parse_args () =
@@ -94,6 +107,15 @@ let parse_args () =
         go rest
     | "--csv" :: dir :: rest ->
         cfg := { !cfg with csv_dir = Some dir };
+        go rest
+    | "--compare" :: path :: rest ->
+        cfg := { !cfg with compare_with = Some path };
+        go rest
+    | "--compare-only" :: rest ->
+        cfg := { !cfg with compare_only = true };
+        go rest
+    | "--compare-threshold" :: pct :: rest ->
+        cfg := { !cfg with compare_threshold = float_of_string pct };
         go rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %s\n" arg;
@@ -171,6 +193,37 @@ let json_number v =
   if Float.is_nan v || Float.is_integer v then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.3f" v
 
+(* Run identity, stamped into the JSON so two result files can be told
+   apart (and compared) after the fact. *)
+let git_sha () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let iso8601 t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let meta_to_string cfg =
+  Printf.sprintf
+    "{\"git_sha\": \"%s\", \"timestamp\": \"%s\", \"n\": %d, \"domains\": \
+     %d, \"smoke\": %b, \"sections\": \"%s\"}"
+    (json_escape (git_sha ()))
+    (iso8601 (Unix.gettimeofday ()))
+    cfg.max_size
+    (Domain.recommended_domain_count ())
+    cfg.smoke
+    (json_escape
+       (match cfg.sections with
+       | None -> "all"
+       | Some l -> String.concat "," l))
+
 let write_json cfg =
   match cfg.json with
   | None -> ()
@@ -186,13 +239,152 @@ let write_json cfg =
           (json_escape r.jr_algorithm) (opt r.jr_median_ns) (opt r.jr_allocs)
       in
       Out_channel.with_open_text path (fun oc ->
-          output_string oc "[\n";
+          output_string oc "{\"meta\": ";
+          output_string oc (meta_to_string cfg);
+          output_string oc ",\n \"results\": [\n";
           output_string oc
             (String.concat ",\n"
                (List.rev_map record_to_string !json_records));
-          output_string oc "\n]\n");
+          output_string oc "\n]}\n");
       Printf.printf "(json written to %s: %d records)\n" path
         (List.length !json_records)
+
+(* ------------------------------------------------------------------ *)
+(* Result comparison (--compare)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Reads a results file back into (section, name, n, algorithm) ->
+   median_ns.  The scanner only understands the flat one-record-per-line
+   layout this harness writes (both the current {"meta":..,"results":[..]}
+   shape and the older bare array), which keeps it dependency-free: any
+   line carrying a "section" field is a record, and fields are extracted
+   by key. *)
+let scan_string_field line key =
+  let pat = Printf.sprintf "\"%s\": \"" key in
+  let plen = String.length pat and llen = String.length line in
+  let rec find i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start -> (
+      match String.index_from_opt line start '"' with
+      | None -> None
+      | Some stop -> Some (String.sub line start (stop - start)))
+
+let scan_number_field line key =
+  let pat = Printf.sprintf "\"%s\": " key in
+  let plen = String.length pat and llen = String.length line in
+  let rec find i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let stop = ref start in
+      while
+        !stop < llen
+        && (match line.[!stop] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr stop
+      done;
+      if !stop = start then None
+      else float_of_string_opt (String.sub line start (!stop - start))
+
+let load_results path =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun line ->
+      match scan_string_field line "section" with
+      | None -> ()
+      | Some section -> (
+          match
+            ( scan_string_field line "name",
+              scan_number_field line "n",
+              scan_string_field line "algorithm" )
+          with
+          | Some name, Some n, Some algorithm ->
+              Hashtbl.replace tbl
+                (section, name, int_of_float n, algorithm)
+                (scan_number_field line "median_ns")
+          | _ -> ()))
+    (String.split_on_char '\n' text);
+  tbl
+
+(* Compares this run's records (or a second file) against a previous
+   results file: per-section counts and worst delta, every point past
+   the threshold listed, and the number of regressions returned so main
+   can turn it into the exit code. *)
+let compare_results ~threshold ~old_path new_records =
+  let old_tbl = load_results old_path in
+  Printf.printf
+    "\n==============================================================\n";
+  Printf.printf "compare: this run vs %s (threshold %.1f%%)\n" old_path
+    threshold;
+  Printf.printf
+    "==============================================================\n";
+  let per_section : (string, int * int * float * string) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let regressions = ref 0 and matched = ref 0 in
+  List.iter
+    (fun (((section, name, n, algorithm) as key), new_ns) ->
+      match (new_ns, Hashtbl.find_opt old_tbl key) with
+      | Some new_ns, Some (Some old_ns) when old_ns > 0. ->
+          incr matched;
+          let delta = (new_ns -. old_ns) /. old_ns *. 100. in
+          let cnt, reg, worst, worst_what =
+            Option.value
+              (Hashtbl.find_opt per_section section)
+              ~default:(0, 0, neg_infinity, "")
+          in
+          let what = Printf.sprintf "%s/%s n=%d" name algorithm n in
+          let is_reg = delta > threshold in
+          if is_reg then begin
+            incr regressions;
+            Printf.printf "  REGRESSION %-12s %-40s %+8.1f%%\n" section what
+              delta
+          end;
+          Hashtbl.replace per_section section
+            ( cnt + 1,
+              (reg + if is_reg then 1 else 0),
+              Float.max worst delta,
+              (if delta > worst then what else worst_what) )
+      | _ -> ())
+    new_records;
+  let sections =
+    List.sort_uniq compare
+      (Hashtbl.fold (fun s _ acc -> s :: acc) per_section [])
+  in
+  Report.Table.print
+    ~headers:[ "section"; "points"; "regressions"; "worst delta"; "at" ]
+    (List.map
+       (fun s ->
+         let cnt, reg, worst, what = Hashtbl.find per_section s in
+         [
+           s;
+           string_of_int cnt;
+           string_of_int reg;
+           Printf.sprintf "%+.1f%%" worst;
+           what;
+         ])
+       sections);
+  Printf.printf
+    "%d comparable point(s); %d regression(s) past %.1f%% (negative deltas \
+     are improvements)\n"
+    !matched !regressions threshold;
+  if !matched = 0 then
+    print_endline
+      "warning: no comparable points — sections, sizes or names differ \
+       between the two runs";
+  !regressions
 
 (* Saves a series as CSV (under --csv) and records every point for
    --json.  [kind] says what the series' floats are: seconds (recorded
@@ -1052,6 +1244,93 @@ let obs_bench cfg =
   write_obs_artifacts cfg
 
 (* ------------------------------------------------------------------ *)
+(* Adaptive planning overhead                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The stats-driven planner must not tax queries whose metadata was
+   already right: end-to-end TSQL evaluation with [~adaptive:true]
+   (statistics-store lookup + [Optimizer.choose_observed], store warmed
+   by prior runs of the same query) must stay within noise (<3%) of
+   [~adaptive:false] planning from declared metadata alone.  Measured on
+   both a sorted and a shuffled relation so the bar covers the ktree and
+   sweep plans alike.  Recording outcomes happens in both variants —
+   that is unconditional by design — so the delta isolates the decision
+   path. *)
+let adaptive_bench cfg =
+  banner "adaptive" "stats-driven planning vs declared metadata";
+  let n = min cfg.max_size 8_192 in
+  let sp = spec ~n ~long:0. ~seed:1 in
+  let shuffled = Workload.Generate.relation sp in
+  let sorted = Relation.Trel.sort_by_time shuffled in
+  let sql = "SELECT COUNT(Name) FROM R" in
+  (* The algorithm each variant planned, lifted off the explain text
+     ("... using <algorithm>[; on error: ...]"). *)
+  let planned catalog ~adaptive =
+    match Tsql.Eval.explain ~adaptive catalog sql with
+    | Error e -> "error: " ^ e
+    | Ok text ->
+        let first = List.hd (String.split_on_char '\n' text) in
+        let pat = " using " in
+        let plen = String.length pat in
+        let rec find i =
+          if i + plen > String.length first then first
+          else if String.sub first i plen = pat then
+            String.sub first (i + plen) (String.length first - i - plen)
+          else find (i + 1)
+        in
+        find 0
+  in
+  let worst = ref neg_infinity in
+  let rows =
+    List.map
+      (fun (what, rel) ->
+        let catalog = Tsql.Catalog.add (Tsql.Catalog.create ()) "R" rel in
+        let eval ~adaptive () =
+          match Tsql.Eval.query ~adaptive catalog sql with
+          | Ok r -> r
+          | Error e -> failwith e
+        in
+        (* Warm the store: the steady state being defended is "adaptive
+           planning with observations present". *)
+        ignore (eval ~adaptive:true ());
+        match
+          measure_paired
+            [ (fun () -> eval ~adaptive:false ());
+              (fun () -> eval ~adaptive:true ()) ]
+        with
+        | [ (declared, _); (adaptive_t, pct) ] ->
+            worst := Float.max !worst pct;
+            record_point ~section:"adaptive" ~name:what ~n
+              ~algorithm:"declared" ~median_ns:(declared *. 1e9) ();
+            record_point ~section:"adaptive" ~name:what ~n
+              ~algorithm:"adaptive" ~median_ns:(adaptive_t *. 1e9) ();
+            [
+              what;
+              Printf.sprintf "%.4f" declared;
+              Printf.sprintf "%.4f (%+.1f%%)" adaptive_t pct;
+              planned catalog ~adaptive:false;
+              planned catalog ~adaptive:true;
+            ]
+        | _ -> assert false)
+      [ ("sorted input", sorted); ("shuffled input", shuffled) ]
+  in
+  Printf.printf
+    "n = %d tuples, COUNT via TSQL, seconds per query (median of %d paired \
+     rounds)\n"
+    n paired_rounds;
+  Report.Table.print
+    ~headers:
+      [ "workload"; "declared"; "adaptive"; "declared plan"; "adaptive plan" ]
+    rows;
+  Printf.printf
+    "worst adaptive-planning overhead: %+.1f%% (bar: within noise, < 3%%)\n"
+    !worst;
+  print_endline
+    "expectation: the adaptive path adds one store lookup and a metadata \
+     merge per plan — nothing per tuple — so end-to-end cost is unchanged \
+     when declared metadata was already right"
+
+(* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1409,6 +1688,25 @@ let micro () =
 
 let () =
   let cfg = parse_args () in
+  if cfg.compare_only then begin
+    (* Compare two existing result files without running anything:
+       --json NEW --compare OLD --compare-only. *)
+    match (cfg.json, cfg.compare_with) with
+    | Some new_path, Some old_path ->
+        let new_records =
+          Hashtbl.fold
+            (fun key v acc -> (key, v) :: acc)
+            (load_results new_path) []
+        in
+        let regressions =
+          compare_results ~threshold:cfg.compare_threshold ~old_path
+            new_records
+        in
+        exit (if regressions > 0 then 3 else 0)
+    | _ ->
+        prerr_endline "--compare-only needs both --json NEW and --compare OLD";
+        exit 2
+  end;
   Printf.printf "tempagg bench — reproduction of Kline & Snodgrass (ICDE 1995)\n";
   Printf.printf
     "sizes up to %d tuples, quadratic algorithms capped at %d, %d seed(s) \
@@ -1429,6 +1727,7 @@ let () =
   run "optimizer" optimizer;
   run "guard" (fun () -> guard_bench cfg);
   run "obs" (fun () -> obs_bench cfg);
+  run "adaptive" (fun () -> adaptive_bench cfg);
   run "ablation_balanced" (fun () -> ablation_balanced cfg);
   run "ablation_span" (fun () -> ablation_span cfg);
   run "ablation_unique" (fun () -> ablation_unique cfg);
@@ -1437,4 +1736,17 @@ let () =
   run "storage_io" (fun () -> storage_io cfg);
   run "micro" micro;
   write_json cfg;
-  Printf.printf "\ntotal CPU time: %.1fs\n" (Sys.time () -. t0)
+  Printf.printf "\ntotal CPU time: %.1fs\n" (Sys.time () -. t0);
+  match cfg.compare_with with
+  | None -> ()
+  | Some old_path ->
+      let new_records =
+        List.rev_map
+          (fun r ->
+            ((r.jr_section, r.jr_name, r.jr_n, r.jr_algorithm), r.jr_median_ns))
+          !json_records
+      in
+      let regressions =
+        compare_results ~threshold:cfg.compare_threshold ~old_path new_records
+      in
+      if regressions > 0 then exit 3

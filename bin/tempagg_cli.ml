@@ -188,8 +188,18 @@ let profile_arg =
            included), phase timings and output size.  Printed after the \
            result.  Query command only.")
 
+let no_adaptive_arg =
+  Arg.(
+    value & flag
+    & info [ "no-adaptive" ]
+        ~doc:
+          "Plan from declared metadata only, ignoring the per-relation \
+           statistics store (observed k bounds, measured result sizes).  \
+           Outcomes are still recorded for later adaptive runs.")
+
 let exec kind bindings algorithm domains on_error memory_budget deadline_ms
-    faults trace metrics profile q =
+    faults trace metrics profile no_adaptive q =
+  let adaptive = not no_adaptive in
   let parsed_algorithm =
     match algorithm with
     | None -> Ok None
@@ -254,25 +264,28 @@ let exec kind bindings algorithm domains on_error memory_budget deadline_ms
                         if profile then
                           Result.map
                             (fun r -> `Profiled r)
-                            (Tsql.Eval.query_profiled ?algorithm ?domains
-                               ?on_error ?memory_budget ?deadline_ms catalog q)
+                            (Tsql.Eval.query_profiled ~adaptive ?algorithm
+                               ?domains ?on_error ?memory_budget ?deadline_ms
+                               catalog q)
                         else if
                           on_error = None && memory_budget = None
                           && deadline_ms = None
                         then
                           Result.map
                             (fun r -> `Rel r)
-                            (Tsql.Eval.query ?algorithm ?domains catalog q)
+                            (Tsql.Eval.query ~adaptive ?algorithm ?domains
+                               catalog q)
                         else
                           Result.map
                             (fun r -> `Robust r)
-                            (Tsql.Eval.query_robust ?algorithm ?domains
-                               ?on_error ?memory_budget ?deadline_ms catalog q)
+                            (Tsql.Eval.query_robust ~adaptive ?algorithm
+                               ?domains ?on_error ?memory_budget ?deadline_ms
+                               catalog q)
                     | `Explain ->
                         Result.map
                           (fun s -> `Text s)
-                          (Tsql.Eval.explain ?algorithm ?domains ?on_error
-                             catalog q)))))
+                          (Tsql.Eval.explain ~adaptive ?algorithm ?domains
+                             ?on_error catalog q)))))
   in
   write_trace ();
   match outcome with
@@ -305,7 +318,7 @@ let query_cmd =
       ret
         (const (exec `Run) $ relations_arg $ algorithm_arg $ domains_arg
        $ on_error_arg $ memory_budget_arg $ deadline_arg $ faults_arg
-       $ trace_arg $ metrics_arg $ profile_arg $ query_arg))
+       $ trace_arg $ metrics_arg $ profile_arg $ no_adaptive_arg $ query_arg))
 
 let explain_cmd =
   let doc = "show the evaluation plan for a query" in
@@ -315,7 +328,7 @@ let explain_cmd =
       ret
         (const (exec `Explain) $ relations_arg $ algorithm_arg $ domains_arg
        $ on_error_arg $ memory_budget_arg $ deadline_arg $ faults_arg
-       $ trace_arg $ metrics_arg $ profile_arg $ query_arg))
+       $ trace_arg $ metrics_arg $ profile_arg $ no_adaptive_arg $ query_arg))
 
 (* generate *)
 
@@ -517,7 +530,8 @@ let extsort_cmd =
 
 (* serve *)
 
-let serve bindings cache_capacity echo metrics_every trace script =
+let serve bindings cache_capacity echo metrics_every trace no_adaptive
+    slowlog_ms slowlog_out script =
   if trace <> None then Obs.Trace.arm ();
   let write_trace () =
     match trace with
@@ -536,11 +550,34 @@ let serve bindings cache_capacity echo metrics_every trace script =
       match In_channel.with_open_text script In_channel.input_all with
       | exception Sys_error msg -> `Error (false, msg)
       | text -> (
-          let session = Tsql.Session.create ~cache_capacity catalog in
-          match Tsql.Serve.run_script ~echo ?metrics_every session text with
+          let session =
+            Tsql.Session.create ~cache_capacity ~adaptive:(not no_adaptive)
+              catalog
+          in
+          (* --slowlog-out alone means "log everything": threshold 0. *)
+          let slowlog =
+            match (slowlog_ms, slowlog_out) with
+            | None, None -> None
+            | ms, _ ->
+                Some
+                  (Obs.Slowlog.create
+                     ~threshold_ms:(Option.value ms ~default:0.)
+                     ())
+          in
+          match
+            Tsql.Serve.run_script ~echo ?metrics_every ?slowlog session text
+          with
           | Error msg -> `Error (false, script ^ ": " ^ msg)
           | Ok report ->
               print_string (Tsql.Serve.report_to_string report);
+              (match (slowlog, slowlog_out) with
+              | Some log, Some path ->
+                  Out_channel.with_open_text path (fun oc ->
+                      output_string oc (Obs.Slowlog.to_json log));
+                  Printf.eprintf "slowlog: wrote %d entry(ies) to %s\n%!"
+                    (List.length (Obs.Slowlog.entries log))
+                    path
+              | _ -> ());
               write_trace ();
               `Ok ()))
 
@@ -591,11 +628,31 @@ let serve_cmd =
       & info [ "script" ] ~docv:"PATH"
           ~doc:"Statement script to execute (required).")
   in
+  let slowlog_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slowlog-ms" ] ~docv:"MS"
+          ~doc:
+            "Capture statements taking at least $(docv) milliseconds into \
+             the slow-query log (0 captures everything).  Slow SELECTs \
+             against base relations are re-profiled so the entry carries \
+             the full EXPLAIN ANALYZE report.")
+  in
+  let slowlog_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slowlog-out" ] ~docv:"PATH"
+          ~doc:
+            "Write the slow-query log as JSON to $(docv) after the run.  \
+             Implies --slowlog-ms 0 when that is not given.")
+  in
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(
       ret
         (const serve $ relations_arg $ cache $ echo $ metrics_every $ trace_arg
-       $ script))
+       $ no_adaptive_arg $ slowlog_ms $ slowlog_out $ script))
 
 let sort_cmd =
   let doc = "sort a relation by valid time (start, then stop)" in

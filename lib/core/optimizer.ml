@@ -22,6 +22,7 @@ type choice = {
   sort_first : bool;
   on_error : Engine.on_error;
   rationale : string;
+  stats_source : string;
 }
 
 let estimated_tree_bytes ~cardinality = ((4 * cardinality) + 1) * 16
@@ -45,6 +46,7 @@ let choose md =
             "expected result of ~%d constant intervals is tiny relative to \
              %d tuples; the linked list is adequate and cheapest in memory"
             m md.cardinality;
+          stats_source = "declared metadata";
       }
   | _ -> (
       if md.time_ordered then
@@ -57,6 +59,7 @@ let choose md =
           rationale =
             "relation already sorted by time: k-ordered aggregation tree \
              with k=1 gives the best time and memory";
+          stats_source = "declared metadata";
         }
       else
         match md.retroactive_bound with
@@ -70,6 +73,7 @@ let choose md =
                   "relation declared retroactively bounded (k=%d): k-ordered \
                    aggregation tree applies directly, no sorting required"
                   k;
+          stats_source = "declared metadata";
             }
         | None -> (
             let tree_bytes = estimated_tree_bytes ~cardinality:md.cardinality in
@@ -88,6 +92,7 @@ let choose md =
                        bytes exceed the %d-byte budget: sort first, then \
                        k-ordered tree with k=1"
                       tree_bytes budget;
+          stats_source = "declared metadata";
                 }
             | Some _ | None ->
                 if md.invertible_aggregate then
@@ -101,6 +106,7 @@ let choose md =
                        single cache-friendly O(n log n) pass over sorted \
                        endpoint events (its ~4n+1 flat cells fit the same \
                        budget as the tree's nodes)";
+          stats_source = "declared metadata";
                   }
                 else
                   {
@@ -113,7 +119,72 @@ let choose md =
                        the pointer-based algorithms, and the aggregate is \
                        not invertible, ruling out the delta-sweep's fast \
                        path";
+          stats_source = "declared metadata";
                   }))
+
+(* Merging observed statistics over declared metadata.
+
+   Only properties the store actually proved are taken, and only where
+   they beat what was declared: an observed sort order (ANALYZE k
+   estimate of 0, or a clean k=0 run) upgrades [time_ordered]; an
+   observed k bound fills a *missing* retroactive bound, but only when
+   the bound is profitable — a k near n makes the k-ordered tree
+   degenerate, so we require k <= max(1, n/4); a measured constant-
+   interval count replaces the declared estimate.  Declared metadata is
+   never overridden towards pessimism, and the exact cardinality (the
+   planner reads it off the relation) is always trusted over the store.
+
+   Whenever the plan leans on an observed ordering claim the recovery
+   policy is forced to [Fallback]: statistics describe the past, and a
+   write since the last ANALYZE could void them (stores invalidate on
+   writes, but the policy must hold even for stale summaries). *)
+let choose_observed (s : Obs.Stats.summary) md =
+  if s.observations = 0 && not s.analyzed then choose md
+  else begin
+    let notes = ref [] in
+    let note fmt = Printf.ksprintf (fun m -> notes := m :: !notes) fmt in
+    let observed_sorted =
+      (match s.time_ordered with Some b -> b | None -> false)
+      || match s.k_upper with Some 0 -> true | _ -> false
+    in
+    let ordering_claim = ref false in
+    let md =
+      if observed_sorted && not md.time_ordered then begin
+        ordering_claim := true;
+        note "observed time-ordered (k estimate 0)";
+        { md with time_ordered = true }
+      end
+      else md
+    in
+    let md =
+      match (md.time_ordered, md.retroactive_bound, s.k_upper) with
+      | false, None, Some k when k > 0 && k <= Stdlib.max 1 (md.cardinality / 4)
+        ->
+          ordering_claim := true;
+          note "observed k<=%d over %d tuples" k md.cardinality;
+          { md with retroactive_bound = Some k }
+      | _ -> md
+    in
+    let md =
+      match s.constant_intervals with
+      | Some m when md.expected_constant_intervals = None ->
+          note "observed ~%d constant interval(s)" m;
+          { md with expected_constant_intervals = Some m }
+      | _ -> md
+    in
+    let c = choose md in
+    match !notes with
+    | [] -> c
+    | notes ->
+        {
+          c with
+          rationale =
+            Printf.sprintf "%s [stats: %s]" c.rationale
+              (String.concat "; " (List.rev notes));
+          on_error = (if !ordering_claim then Engine.Fallback else c.on_error);
+          stats_source = Printf.sprintf "observed (%s)" s.source;
+        }
+  end
 
 let pp_choice ppf c =
   Format.fprintf ppf "%s%s%s — %s"

@@ -49,9 +49,23 @@ type choice = {
           [Fail] when the algorithm cannot fail recoverably.  A TSQL
           [ON ERROR] clause overrides it. *)
   rationale : string;  (** Human-readable summary of the applied rule. *)
+  stats_source : string;
+      (** Where the decisive inputs came from: ["declared metadata"], or
+          ["observed (...)"] when {!choose_observed} folded statistics
+          from the store into the decision. *)
 }
 
 val choose : metadata -> choice
+
+val choose_observed : Obs.Stats.summary -> metadata -> choice
+(** [choose] with observed statistics merged over the declared metadata:
+    an observed sort order upgrades [time_ordered]; an observed k bound
+    fills a missing [retroactive_bound] when profitable
+    ([k <= max 1 (n/4)]); a measured constant-interval count replaces a
+    missing estimate.  When an observed ordering claim is load-bearing
+    the recovery policy is forced to [Fallback] (statistics can be
+    stale).  The rationale gains a ["[stats: ...]"] suffix citing what
+    was used; with an empty summary this is exactly [choose]. *)
 
 val estimated_tree_bytes : cardinality:int -> int
 (** Upper bound on aggregation-tree memory for an n-tuple relation: up to

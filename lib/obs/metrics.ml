@@ -52,6 +52,17 @@ let register t ~name ~labels ~help ~kind ~make =
       if help <> "" then m.help <- help;
       m
   | None ->
+      (* The kind is a property of the whole metric family: a second
+         label set may not change it (the exposition prints one # TYPE
+         line per name, which must hold for every series under it). *)
+      Hashtbl.iter
+        (fun (n, _) m ->
+          if String.equal n name && m.kind <> kind then
+            invalid_arg
+              (Printf.sprintf
+                 "Metrics: %s already registered as a %s (under other labels)"
+                 name (kind_name m.kind)))
+        t.tbl;
       let m = { name; labels; help; kind; cell = make () } in
       Hashtbl.replace t.tbl (name, labels) m;
       m
@@ -130,13 +141,23 @@ let expose t =
            | c -> c)
   in
   let buf = Buffer.create 1024 in
+  (* # HELP / # TYPE are per metric family: emitted once per name, even
+     when the family spans several label sets.  The help text may be
+     attached to any member, so take the first non-empty one. *)
+  let family_help name =
+    List.fold_left
+      (fun acc m ->
+        if acc = "" && String.equal m.name name then m.help else acc)
+      "" metrics
+  in
   let last_name = ref "" in
   List.iter
     (fun m ->
       if m.name <> !last_name then begin
         last_name := m.name;
-        if m.help <> "" then
-          Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" m.name m.help);
+        let help = family_help m.name in
+        if help <> "" then
+          Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" m.name help);
         Buffer.add_string buf
           (Printf.sprintf "# TYPE %s %s\n" m.name (kind_name m.kind))
       end;

@@ -30,6 +30,7 @@ type t = {
   mutable query : string option;
   mutable algorithm : string option;
   mutable rationale : string option;
+  mutable stats_source : string option;
   mutable k_estimate : int option;
   mutable tuples : int option;
   mutable attempts_rev : attempt list;
@@ -49,6 +50,7 @@ let create () =
     query = None;
     algorithm = None;
     rationale = None;
+    stats_source = None;
     k_estimate = None;
     tuples = None;
     attempts_rev = [];
@@ -69,6 +71,8 @@ let set_plan t ~algorithm ~rationale =
   t.algorithm <- Some algorithm;
   t.rationale <- Some rationale
 
+let set_stats_source t s = t.stats_source <- Some s
+let stats_source t = t.stats_source
 let set_k_estimate t k = t.k_estimate <- Some k
 let set_tuples t n = t.tuples <- Some n
 let set_segments t n = t.segments <- Some n
@@ -120,6 +124,7 @@ let to_string t =
   Option.iter (fun q -> line "query: %s" q) t.query;
   Option.iter (fun a -> line "plan: %s" a) t.algorithm;
   Option.iter (fun r -> line "  why: %s" r) t.rationale;
+  Option.iter (fun s -> line "  stats: %s" s) t.stats_source;
   Option.iter (fun k -> line "  k estimate: %d" k) t.k_estimate;
   Option.iter (fun n -> line "input: %d tuple(s)" n) t.tuples;
   (match attempts t with

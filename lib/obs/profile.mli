@@ -32,6 +32,13 @@ type io = {
 val create : unit -> t
 val set_query : t -> string -> unit
 val set_plan : t -> algorithm:string -> rationale:string -> unit
+
+val set_stats_source : t -> string -> unit
+(** Where the plan's inputs came from: ["declared metadata"] or
+    ["observed (...)"] when the optimizer leaned on the statistics
+    store. *)
+
+val stats_source : t -> string option
 val set_k_estimate : t -> int -> unit
 val set_tuples : t -> int -> unit
 val set_segments : t -> int -> unit

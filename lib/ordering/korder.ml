@@ -36,6 +36,116 @@ let percentage ~compare ~k a =
     float_of_int sum /. float_of_int (k * n)
   end
 
+(* ---- streaming estimation ----
+
+   The estimator maintains the strict left-to-right maxima of the
+   stream as (position, value) records, strictly increasing in both.
+   For each arriving element x at position j it reports the distance
+   to the earliest recorded element strictly greater than x; the
+   maximum such distance M satisfies  k_of <= M <= 2*k_of - 1:
+
+   - every element displaced by d leftwards arrives after a strictly
+     greater prefix maximum at least d positions earlier, and every
+     element displaced by d rightwards is itself a prefix maximum
+     strictly greater than some element arriving at least d positions
+     later, so M >= k_of;
+   - conversely each reported distance is the span of an inversion,
+     and an inversion of span s forces a displacement of at least
+     (s+1)/2 on one of its endpoints, so M <= 2*k_of - 1 (and M = 0
+     exactly when the stream is sorted).
+
+   Bounded memory: past [capacity] records, adjacent record pairs are
+   merged (keeping the earlier position and the larger value), which
+   can only move an answer position earlier — the upper-bound
+   guarantee survives, while the over-estimate is bounded by the
+   merged records' position span, tracked exactly as [slack]. *)
+
+type 'a estimator = {
+  compare : 'a -> 'a -> int;
+  capacity : int;
+  mutable recs : (int * int * 'a) array;  (* (pos, last_pos, value) *)
+  mutable len : int;
+  mutable n : int;
+  mutable best : int;
+  mutable slack : int;
+}
+
+let default_capacity = 512
+
+let estimator ?(capacity = default_capacity) ~compare () =
+  if capacity < 2 then invalid_arg "Korder.estimator: capacity must be >= 2";
+  { compare; capacity; recs = [||]; len = 0; n = 0; best = 0; slack = 0 }
+
+(* Leftmost record whose value is strictly greater than [x], or len. *)
+let search est x =
+  let lo = ref 0 and hi = ref est.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let _, _, v = est.recs.(mid) in
+    if est.compare v x > 0 then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* Merge adjacent pairs in place, halving the record count.  The new
+   span (last_pos - pos) of each merged record bounds how far an
+   answer position can drift from the true earliest exceeding record. *)
+let compact est =
+  let kept = ref 0 in
+  let i = ref 0 in
+  while !i < est.len do
+    (if !i + 1 < est.len then begin
+       let p, _, _ = est.recs.(!i) and _, l', v' = est.recs.(!i + 1) in
+       est.recs.(!kept) <- (p, l', v');
+       est.slack <- Stdlib.max est.slack (l' - p)
+     end
+     else est.recs.(!kept) <- est.recs.(!i));
+    incr kept;
+    i := !i + 2
+  done;
+  est.len <- !kept
+
+let observe est x =
+  let j = est.n in
+  est.n <- j + 1;
+  let i = search est x in
+  if i < est.len then begin
+    let p, _, _ = est.recs.(i) in
+    est.best <- Stdlib.max est.best (j - p)
+  end;
+  (* New strict prefix maximum: record it. *)
+  let is_new_max =
+    est.len = 0
+    ||
+    let _, _, last = est.recs.(est.len - 1) in
+    est.compare x last > 0
+  in
+  if is_new_max then begin
+    if Array.length est.recs = 0 then
+      est.recs <- Array.make (est.capacity + 1) (j, j, x);
+    if est.len >= est.capacity then compact est;
+    est.recs.(est.len) <- (j, j, x);
+    est.len <- est.len + 1
+  end
+
+let estimate est = est.best
+let slack est = est.slack
+let observed est = est.n
+
+let estimate_seq ?capacity ~compare seq =
+  let est = estimator ?capacity ~compare () in
+  Seq.iter (observe est) seq;
+  est
+
+let estimate_array ?capacity ~compare a =
+  estimate (estimate_seq ?capacity ~compare (Array.to_seq a))
+
+let relation_estimator ?capacity rel =
+  estimate_seq ?capacity ~compare:Relation.Tuple.compare_by_time
+    (Relation.Trel.to_seq rel)
+
+let estimate_relation ?capacity rel =
+  estimate (relation_estimator ?capacity rel)
+
 let tuples_array rel = Array.of_list (Relation.Trel.tuples rel)
 
 let relation_displacements rel =

@@ -29,9 +29,58 @@ val percentage : compare:('a -> 'a -> int) -> k:int -> 'a array -> float
     for this [k] (some displacement exceeds [k], making the ratio
     meaningless). *)
 
+(** {2 Streaming estimation}
+
+    A bounded-memory, single-pass upper-bound estimator for {!k_of},
+    built on the stream's strict left-to-right maxima: each arriving
+    element reports its distance to the earliest strictly-greater
+    record, and the running maximum [M] of those distances brackets the
+    true k-orderedness:
+
+    {v k_of <= estimate <= 2 * k_of - 1 + slack v}
+
+    (and [estimate = 0] exactly when the stream is sorted).  [slack] is
+    0 until the record table exceeds [capacity]; past that, adjacent
+    records merge pairwise — merging keeps the earlier position and the
+    larger value, so answers can only move {e earlier} and the result
+    stays an upper bound, while [slack] tracks exactly how much the
+    merges may have inflated it (the widest merged position span).
+    Memory is O(capacity); time is O(log capacity) per element. *)
+
+type 'a estimator
+
+val estimator :
+  ?capacity:int -> compare:('a -> 'a -> int) -> unit -> 'a estimator
+(** Fresh estimator (default capacity 512 records).
+    @raise Invalid_argument if [capacity < 2]. *)
+
+val observe : 'a estimator -> 'a -> unit
+(** Feed the next element of the stream, in physical order. *)
+
+val estimate : 'a estimator -> int
+(** Current upper bound on {!k_of} of the elements observed so far. *)
+
+val slack : 'a estimator -> int
+(** Over-estimation bound introduced by record merging: the estimate is
+    at most [2 * k_of - 1 + slack].  0 while the distinct prefix maxima
+    fit the capacity. *)
+
+val observed : 'a estimator -> int
+(** Elements observed so far. *)
+
+val estimate_array : ?capacity:int -> compare:('a -> 'a -> int) -> 'a array -> int
+(** One-shot: feed a whole array and return the estimate. *)
+
 (** The same metrics over a relation's physical tuple order, compared by
     valid time (start, then stop). *)
 
 val relation_displacements : Relation.Trel.t -> int array
 val k_of_relation : Relation.Trel.t -> int
 val relation_percentage : k:int -> Relation.Trel.t -> float
+
+val relation_estimator :
+  ?capacity:int -> Relation.Trel.t -> Relation.Tuple.t estimator
+(** Run the streaming estimator over a relation's tuples in physical
+    order (one pass over {!Relation.Trel.to_seq}). *)
+
+val estimate_relation : ?capacity:int -> Relation.Trel.t -> int

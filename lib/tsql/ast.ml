@@ -103,6 +103,8 @@ type statement =
   | Drop_view of string
   | Insert_into of { relation : string; values : literal list; window : window }
   | Delete_from of { relation : string; where : predicate list }
+  | Analyze of string  (* one sampled scan refreshing the relation's stats *)
+  | Show_stats
 
 let window_to_string { w_start; w_stop } =
   Printf.sprintf "[%d,%s]" w_start
@@ -110,6 +112,8 @@ let window_to_string { w_start; w_stop } =
 
 let statement_to_string = function
   | Select q -> to_string q
+  | Analyze name -> "ANALYZE " ^ name
+  | Show_stats -> "SHOW STATS"
   | Explain_analyze q -> "EXPLAIN ANALYZE " ^ to_string q
   | Create_view { name; definition } ->
       Printf.sprintf "CREATE VIEW %s AS %s" name (to_string definition)

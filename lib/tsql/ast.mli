@@ -80,6 +80,8 @@ type query = {
            | INSERT INTO ident VALUES '(' literal {, literal} ')'
              DURING '[' int ',' stop ']'
            | DELETE FROM ident [WHERE pred {AND pred}]
+           | ANALYZE ident
+           | SHOW STATS
     v} *)
 type statement =
   | Select of query
@@ -90,6 +92,10 @@ type statement =
   | Drop_view of string
   | Insert_into of { relation : string; values : literal list; window : window }
   | Delete_from of { relation : string; where : predicate list }
+  | Analyze of string
+      (** One sampled scan of the named relation, refreshing its entry in
+          the statistics store. *)
+  | Show_stats  (** Print the statistics store, one line per relation. *)
 
 val agg_fun_to_string : agg_fun -> string
 val op_to_string : comparison_op -> string

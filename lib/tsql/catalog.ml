@@ -1,16 +1,40 @@
 module Names = Map.Make (String)
 
-type t = (string * Relation.Trel.t) Names.t
-(* Keyed by the case-folded name; the original spelling is kept for
-   listings. *)
+type t = {
+  names : (string * Relation.Trel.t) Names.t;
+      (* Keyed by the case-folded name; the original spelling is kept
+         for listings. *)
+  store : Obs.Stats.store;
+      (* Shared mutable statistics, surviving the functional updates of
+         [add]: every catalog derived from this one sees (and feeds)
+         the same store. *)
+}
 
-let empty = Names.empty
+(* [empty] is a value, so it cannot allocate a store per use; all
+   catalogs built from it share this process-global one.  Code that
+   needs isolated statistics (tests, sessions) starts from [create ()]
+   or [with_builtins ()] instead. *)
+let global_store = Obs.Stats.create_store ()
+let empty = { names = Names.empty; store = global_store }
+let create () = { names = Names.empty; store = Obs.Stats.create_store () }
+let of_store store = { names = Names.empty; store }
+let with_store t store = { t with store }
+let store t = t.store
 let fold_name = String.lowercase_ascii
-let add t name rel = Names.add (fold_name name) (name, rel) t
-let find t name = Option.map snd (Names.find_opt (fold_name name) t)
+let add t name rel = { t with names = Names.add (fold_name name) (name, rel) t.names }
+let find t name = Option.map snd (Names.find_opt (fold_name name) t.names)
 
 let names t =
   List.sort String.compare
-    (List.map (fun (_, (name, _)) -> name) (Names.bindings t))
+    (List.map (fun (_, (name, _)) -> name) (Names.bindings t.names))
 
-let with_builtins () = add empty "Employed" (Relation.Fixtures.employed ())
+let stats t name = Obs.Stats.store_get t.store name
+let stats_find t name = Obs.Stats.store_find t.store name
+
+let stats_summary t name =
+  match stats_find t name with
+  | Some s -> Obs.Stats.summary s
+  | None -> Obs.Stats.empty_summary
+
+let with_builtins () =
+  add (create ()) "Employed" (Relation.Fixtures.employed ())

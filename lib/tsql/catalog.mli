@@ -1,18 +1,49 @@
-(** Named temporal relations available to queries.
+(** Named temporal relations available to queries, plus the per-relation
+    statistics store feeding the observed optimizer path.
 
-    Relation names are case-insensitive, as in SQL. *)
+    Relation names are case-insensitive, as in SQL.
+
+    Name bindings are functional ([add] returns a new catalog); the
+    statistics store is shared mutable state carried along — catalogs
+    are rebuilt per statement, statistics must survive that. *)
 
 type t
 
 val empty : t
+(** No bindings, sharing one process-global statistics store.  Prefer
+    {!create} when statistics isolation matters (tests, sessions). *)
+
+val create : unit -> t
+(** No bindings, fresh private statistics store. *)
+
+val of_store : Obs.Stats.store -> t
+(** No bindings, attached to an existing store. *)
+
+val with_store : t -> Obs.Stats.store -> t
+(** Same bindings, different store. *)
+
+val store : t -> Obs.Stats.store
 
 val add : t -> string -> Relation.Trel.t -> t
-(** Replaces any previous binding of the same (case-folded) name. *)
+(** Replaces any previous binding of the same (case-folded) name.  The
+    statistics store is carried over unchanged — note that [add] does
+    {e not} invalidate statistics; callers replacing a relation's
+    contents (as opposed to naming a new one) should
+    [Obs.Stats.store_invalidate] themselves. *)
 
 val find : t -> string -> Relation.Trel.t option
 
 val names : t -> string list
 (** Bound names (as given at {!add}), sorted. *)
 
+val stats : t -> string -> Obs.Stats.t
+(** Find-or-create the named relation's statistics entry. *)
+
+val stats_find : t -> string -> Obs.Stats.t option
+
+val stats_summary : t -> string -> Obs.Stats.summary
+(** [Obs.Stats.empty_summary] when nothing was ever recorded. *)
+
 val with_builtins : unit -> t
-(** A catalog containing the paper's [Employed] relation. *)
+(** A catalog containing the paper's [Employed] relation, on a fresh
+    statistics store. *)

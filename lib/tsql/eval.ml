@@ -252,6 +252,7 @@ let apply_overrides ?algorithm ?domains ?on_error plan =
           Semant.algorithm = a;
           rationale =
             Printf.sprintf "--algorithm override: %s" (Tempagg.Engine.name a);
+          stats_source = "--algorithm override";
         }
   in
   match domains with
@@ -266,12 +267,58 @@ let apply_overrides ?algorithm ?domains ?on_error plan =
       }
   | _ -> plan
 
-let query ?algorithm ?domains catalog text =
+(* Harvest one outcome record into the statistics store after a
+   successful run: what ran, how long it took, and — only when the plan
+   was a plain scan of the relation — what the run proved about the
+   relation itself.  A k-ordered tree completing without an order
+   violation proves the evaluated stream k-ordered; that transfers to
+   the relation only when the stream was the relation (bare tree, not a
+   parallel shard whose per-shard success says nothing globally) and
+   every aggregate consumed every tuple (a column aggregate skips SQL
+   NULLs, and a subsequence can be *worse*-ordered than its source). *)
+let record_outcome ?profile catalog (plan : Semant.plan) ~elapsed_ms
+    ~degradations result =
+  let bare_korder = function
+    | Tempagg.Engine.Korder_tree { k } -> Some k
+    | _ -> None
+  in
+  let full_streams =
+    List.for_all
+      (fun (s : Semant.agg_spec) -> s.Semant.column = None)
+      plan.Semant.aggregates
+  in
+  let k_observed =
+    if plan.Semant.plain_scan && degradations = 0 && full_streams then
+      bare_korder plan.Semant.algorithm
+    else None
+  in
+  let segments =
+    if plan.Semant.plain_scan then Some (Trel.cardinality result) else None
+  in
+  Obs.Stats.record
+    (Catalog.stats catalog plan.Semant.source_name)
+    {
+      Obs.Stats.cardinality = Trel.cardinality plan.Semant.relation;
+      algorithm = Tempagg.Engine.name plan.Semant.algorithm;
+      elapsed_ms;
+      peak_bytes =
+        (match profile with Some p -> Obs.Profile.peak_bytes p | None -> 0);
+      k_observed;
+      segments;
+      degradations;
+    }
+
+let query ?(adaptive = true) ?algorithm ?domains catalog text =
+  let t0 = Unix.gettimeofday () in
   let* ast = Parser.parse text in
-  let* plan = Semant.analyze catalog ast in
+  let* plan = Semant.analyze ~adaptive catalog ast in
   let plan = apply_overrides ?algorithm ?domains plan in
   match run plan with
-  | rel -> Ok rel
+  | rel ->
+      record_outcome catalog plan
+        ~elapsed_ms:((Unix.gettimeofday () -. t0) *. 1000.)
+        ~degradations:0 rel;
+      Ok rel
   | exception Invalid_argument msg -> Error ("evaluation failed: " ^ msg)
   | exception Tempagg.Korder_tree.Order_violation { position; _ } ->
       Error
@@ -285,14 +332,20 @@ type robust_report = {
   degradations : Tempagg.Engine.degradation list;
 }
 
-let query_robust ?algorithm ?domains ?on_error ?memory_budget ?deadline_ms
-    catalog text =
+let query_robust ?(adaptive = true) ?algorithm ?domains ?on_error
+    ?memory_budget ?deadline_ms catalog text =
+  let t0 = Unix.gettimeofday () in
   let* ast = Parser.parse text in
-  let* plan = Semant.analyze catalog ast in
+  let* plan = Semant.analyze ~adaptive catalog ast in
   let plan = apply_overrides ?algorithm ?domains ?on_error plan in
   let ctx = { memory_budget; deadline_ms; events = []; profile = None } in
   match run_aux ~robust:ctx plan with
-  | rel -> Ok { result = rel; degradations = ctx.events }
+  | rel ->
+      record_outcome catalog plan
+        ~elapsed_ms:((Unix.gettimeofday () -. t0) *. 1000.)
+        ~degradations:(List.length ctx.events)
+        rel;
+      Ok { result = rel; degradations = ctx.events }
   | exception Robust_error e ->
       Error ("evaluation failed: " ^ Tempagg.Engine.error_to_string e)
   | exception Invalid_argument msg -> Error ("evaluation failed: " ^ msg)
@@ -303,17 +356,18 @@ type profiled_report = {
   degradations : Tempagg.Engine.degradation list;
 }
 
-let query_profiled ?algorithm ?domains ?on_error ?memory_budget ?deadline_ms
-    catalog text =
+let query_profiled ?(adaptive = true) ?algorithm ?domains ?on_error
+    ?memory_budget ?deadline_ms catalog text =
   let profile = Obs.Profile.create () in
   let t0 = Unix.gettimeofday () in
   let* ast = Parser.parse text in
-  let* plan = Semant.analyze catalog ast in
+  let* plan = Semant.analyze ~adaptive catalog ast in
   let plan = apply_overrides ?algorithm ?domains ?on_error plan in
   Obs.Profile.set_query profile (Ast.to_string ast);
   Obs.Profile.set_plan profile
     ~algorithm:(Tempagg.Engine.name plan.Semant.algorithm)
     ~rationale:plan.Semant.rationale;
+  Obs.Profile.set_stats_source profile plan.Semant.stats_source;
   (* The k the optimizer (or an override) settled on, when a k-ordered
      tree is anywhere in the plan. *)
   let rec k_of = function
@@ -330,15 +384,19 @@ let query_profiled ?algorithm ?domains ?on_error ?memory_budget ?deadline_ms
   match run_aux ~robust:ctx plan with
   | rel ->
       Obs.Profile.set_segments profile (Trel.cardinality rel);
-      Obs.Profile.set_total_ms profile ((Unix.gettimeofday () -. t0) *. 1000.);
+      let total_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      Obs.Profile.set_total_ms profile total_ms;
+      record_outcome ~profile catalog plan ~elapsed_ms:total_ms
+        ~degradations:(List.length ctx.events)
+        rel;
       Ok { result = rel; profile; degradations = ctx.events }
   | exception Robust_error e ->
       Error ("evaluation failed: " ^ Tempagg.Engine.error_to_string e)
   | exception Invalid_argument msg -> Error ("evaluation failed: " ^ msg)
 
-let explain ?algorithm ?domains ?on_error catalog text =
+let explain ?(adaptive = true) ?algorithm ?domains ?on_error catalog text =
   let* ast = Parser.parse text in
-  let* plan = Semant.analyze catalog ast in
+  let* plan = Semant.analyze ~adaptive catalog ast in
   let plan = apply_overrides ?algorithm ?domains ?on_error plan in
   let grouping =
     match plan.Semant.granule with
@@ -373,4 +431,5 @@ let explain ?algorithm ?domains ?on_error catalog text =
        | p ->
            Printf.sprintf " (on error: %s)"
              (Tempagg.Engine.on_error_to_string p))
-       plan.Semant.rationale)
+       plan.Semant.rationale
+     ^ Printf.sprintf "\n  stats: %s" plan.Semant.stats_source)

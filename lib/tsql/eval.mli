@@ -34,16 +34,36 @@ val zip_timelines :
     timeline of value lists (in input order). *)
 
 val query :
+  ?adaptive:bool ->
   ?algorithm:Tempagg.Engine.algorithm ->
   ?domains:int ->
   Catalog.t ->
   string ->
   (Relation.Trel.t, string) result
-(** Parse, analyze and run: the whole pipeline.  [?algorithm] overrides
-    the planned evaluation algorithm (the CLI's [--algorithm]);
-    [?domains] with a value above 1 wraps the planned algorithm in
-    {!Tempagg.Engine.Parallel} over that many OCaml domains (the CLI's
-    [--domains]). *)
+(** Parse, analyze and run: the whole pipeline.  [?adaptive] (default
+    true) lets the planner consult the catalog's statistics store, and
+    every successful run feeds an outcome record back into it —
+    the CLI's [--no-adaptive] turns the planning half off (outcomes are
+    still recorded).  [?algorithm] overrides the planned evaluation
+    algorithm (the CLI's [--algorithm]); [?domains] with a value above 1
+    wraps the planned algorithm in {!Tempagg.Engine.Parallel} over that
+    many OCaml domains (the CLI's [--domains]). *)
+
+val record_outcome :
+  ?profile:Obs.Profile.t ->
+  Catalog.t ->
+  Semant.plan ->
+  elapsed_ms:float ->
+  degradations:int ->
+  Relation.Trel.t ->
+  unit
+(** Feed one successful run into the catalog's statistics store: input
+    cardinality, algorithm, latency, peak bytes (when profiled), and —
+    only for a plain scan — the result's constant-interval count and
+    any k bound the run proved (a bare k-ordered tree completing with
+    every aggregate consuming every tuple).  The query entry points call
+    this themselves; it is exposed for {!Session}'s view-recompute
+    path. *)
 
 type robust_report = {
   result : Relation.Trel.t;
@@ -53,6 +73,7 @@ type robust_report = {
 }
 
 val query_robust :
+  ?adaptive:bool ->
   ?algorithm:Tempagg.Engine.algorithm ->
   ?domains:int ->
   ?on_error:Tempagg.Engine.on_error ->
@@ -78,6 +99,7 @@ type profiled_report = {
 }
 
 val query_profiled :
+  ?adaptive:bool ->
   ?algorithm:Tempagg.Engine.algorithm ->
   ?domains:int ->
   ?on_error:Tempagg.Engine.on_error ->
@@ -92,6 +114,7 @@ val query_profiled :
     costs what {!Tempagg.Engine.eval_with_stats} costs. *)
 
 val explain :
+  ?adaptive:bool ->
   ?algorithm:Tempagg.Engine.algorithm ->
   ?domains:int ->
   ?on_error:Tempagg.Engine.on_error ->

@@ -23,6 +23,8 @@ type token =
   | DELETE
   | EXPLAIN
   | ANALYZE
+  | SHOW
+  | STATS
   | IDENT of string
   | INT of int
   | FLOAT of float
@@ -67,6 +69,8 @@ let token_to_string = function
   | DELETE -> "DELETE"
   | EXPLAIN -> "EXPLAIN"
   | ANALYZE -> "ANALYZE"
+  | SHOW -> "SHOW"
+  | STATS -> "STATS"
   | IDENT s -> s
   | INT n -> string_of_int n
   | FLOAT f -> Printf.sprintf "%g" f
@@ -111,6 +115,8 @@ let keyword_of = function
   | "delete" -> Some DELETE
   | "explain" -> Some EXPLAIN
   | "analyze" -> Some ANALYZE
+  | "show" -> Some SHOW
+  | "stats" -> Some STATS
   | _ -> None
 
 let is_ident_start = function

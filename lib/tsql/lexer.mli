@@ -30,6 +30,8 @@ type token =
   | DELETE
   | EXPLAIN
   | ANALYZE
+  | SHOW
+  | STATS
   | IDENT of string
   | INT of int
   | FLOAT of float

@@ -228,6 +228,13 @@ let statement st =
       advance st;
       expect st Lexer.ANALYZE "ANALYZE";
       Ast.Explain_analyze (query_body st)
+  | Lexer.ANALYZE ->
+      advance st;
+      Ast.Analyze (ident st)
+  | Lexer.SHOW ->
+      advance st;
+      expect st Lexer.STATS "STATS";
+      Ast.Show_stats
   | Lexer.CREATE ->
       advance st;
       expect st Lexer.VIEW "VIEW";
@@ -268,7 +275,7 @@ let statement st =
   | _ ->
       fail st
         "a statement (SELECT, EXPLAIN ANALYZE, CREATE, REFRESH, DROP, INSERT, \
-         DELETE)"
+         DELETE, ANALYZE, SHOW STATS)"
 
 let run_parser text parse_fn =
   match Lexer.tokenize text with

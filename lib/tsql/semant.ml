@@ -22,6 +22,15 @@ type plan = {
   window : Temporal.Interval.t option;
   out_schema : Schema.t;
   rationale : string;
+  stats_source : string;
+      (* Where the plan's decisive inputs came from (declared metadata,
+         observed statistics, or an explicit USING hint). *)
+  plain_scan : bool;
+      (* The evaluated stream is the relation in its physical order:
+         no filter, no clipping, no grouping, no DISTINCT re-sort, no
+         granule, no pre-sort.  Only then do run-time ordering
+         observations (a k-ordered tree completing cleanly) say
+         anything about the relation itself. *)
 }
 
 let ( let* ) = Result.bind
@@ -185,7 +194,8 @@ let all_invertible aggregates =
       | Ast.Min | Ast.Max -> false)
     aggregates
 
-let choose_algorithm relation (q : Ast.query) ~invertible granule window =
+let choose_algorithm catalog relation (q : Ast.query) ~invertible ~adaptive
+    granule window =
   match q.Ast.using with
   | Some hint ->
       let* algorithm = Tempagg.Engine.of_string hint in
@@ -194,7 +204,12 @@ let choose_algorithm relation (q : Ast.query) ~invertible granule window =
       let on_error =
         Option.value q.Ast.on_error ~default:Tempagg.Engine.Fail
       in
-      Ok (algorithm, false, on_error, Printf.sprintf "USING hint: %s" hint)
+      Ok
+        ( algorithm,
+          false,
+          on_error,
+          Printf.sprintf "USING hint: %s" hint,
+          "USING hint" )
   | None ->
       let expected_constant_intervals =
         (* Upper bounds on the result size: the number of spans under
@@ -230,15 +245,22 @@ let choose_algorithm relation (q : Ast.query) ~invertible granule window =
           invertible_aggregate = invertible;
         }
       in
-      let choice = Tempagg.Optimizer.choose metadata in
+      let choice =
+        if adaptive then
+          Tempagg.Optimizer.choose_observed
+            (Catalog.stats_summary catalog q.Ast.from)
+            metadata
+        else Tempagg.Optimizer.choose metadata
+      in
       Ok
         ( choice.Tempagg.Optimizer.algorithm,
           choice.Tempagg.Optimizer.sort_first,
           Option.value q.Ast.on_error
             ~default:choice.Tempagg.Optimizer.on_error,
-          choice.Tempagg.Optimizer.rationale )
+          choice.Tempagg.Optimizer.rationale,
+          choice.Tempagg.Optimizer.stats_source )
 
-let analyze catalog (q : Ast.query) =
+let analyze ?(adaptive = true) catalog (q : Ast.query) =
   let* relation =
     match Catalog.find catalog q.Ast.from with
     | Some rel -> Ok rel
@@ -300,9 +322,15 @@ let analyze catalog (q : Ast.query) =
           | None -> Temporal.Chronon.forever))
       q.Ast.during
   in
-  let* algorithm, sort_first, on_error, rationale =
-    choose_algorithm relation q ~invertible:(all_invertible aggregates)
-      granule window
+  let* algorithm, sort_first, on_error, rationale, stats_source =
+    choose_algorithm catalog relation q
+      ~invertible:(all_invertible aggregates)
+      ~adaptive granule window
+  in
+  let plain_scan =
+    q.Ast.where = [] && q.Ast.group_by = [] && window = None && granule = None
+    && (not sort_first)
+    && not (List.exists (fun spec -> spec.distinct) aggregates)
   in
   let group_cols_schema =
     List.map
@@ -339,4 +367,6 @@ let analyze catalog (q : Ast.query) =
       window;
       out_schema;
       rationale;
+      stats_source;
+      plain_scan;
     }

@@ -12,10 +12,14 @@
     - a USING hint must name a known algorithm.
 
     When no USING hint is given, the algorithm is chosen by
-    {!Tempagg.Optimizer.choose} from what is known about the relation
-    (cardinality, physical time-orderedness, expected result size under
-    span grouping) and about the query (whether every selected aggregate
-    is invertible — COUNT/SUM/AVG — which enables the delta-sweep). *)
+    {!Tempagg.Optimizer.choose_observed} from what is known about the
+    relation (cardinality, physical time-orderedness, expected result
+    size under span grouping), about the query (whether every selected
+    aggregate is invertible — COUNT/SUM/AVG — which enables the
+    delta-sweep), and from the catalog's statistics store (observed k
+    bounds, measured result sizes).  Passing [~adaptive:false] ignores
+    the store and plans from declared metadata alone
+    ({!Tempagg.Optimizer.choose}). *)
 
 type agg_spec = {
   fn : Ast.agg_fun;
@@ -44,9 +48,18 @@ type plan = {
       (** DURING window: evaluation is restricted to these instants. *)
   out_schema : Relation.Schema.t;
   rationale : string;  (** Why this algorithm (hint or optimizer rule). *)
+  stats_source : string;
+      (** Provenance of the decisive planner inputs: ["declared
+          metadata"], ["observed (...)"], or ["USING hint"]. *)
+  plain_scan : bool;
+      (** The evaluated stream is exactly the relation in physical
+          order (no filter/clip/group/distinct/granule/pre-sort), so
+          run-time ordering observations transfer to the relation. *)
 }
 
-val analyze : Catalog.t -> Ast.query -> (plan, string) result
+val analyze : ?adaptive:bool -> Catalog.t -> Ast.query -> (plan, string) result
+(** [adaptive] (default true) lets the planner consult the catalog's
+    statistics store. *)
 
 val predicate_filter :
   Relation.Schema.t ->

@@ -15,6 +15,7 @@ type report = {
   per_kind : (string * op_stats) list;
   session_stats : Live.Stats.t;
   metrics : Obs.Metrics.t;
+  slowlog : Obs.Slowlog.t option;
 }
 
 let kind_of = function
@@ -25,11 +26,13 @@ let kind_of = function
   | Ast.Drop_view _ -> "drop-view"
   | Ast.Insert_into _ -> "insert"
   | Ast.Delete_from _ -> "delete"
+  | Ast.Analyze _ -> "analyze"
+  | Ast.Show_stats -> "show-stats"
 
 (* Kinds in a stable display order. *)
 let kind_order =
   [ "select"; "insert"; "delete"; "create-view"; "refresh-view"; "drop-view";
-    "explain-analyze" ]
+    "explain-analyze"; "analyze"; "show-stats" ]
 
 (* Latencies live in per-kind log-bucketed histograms (gamma 1.05, a 5%
    relative error bound on percentiles) instead of raw sample arrays:
@@ -47,10 +50,30 @@ let stats_of_histogram h errors =
   }
 
 let refresh_session_metrics registry session =
-  Live.Stats.to_metrics registry (Session.stats session)
+  Live.Stats.to_metrics registry (Session.stats session);
+  Obs.Stats.store_to_metrics registry (Session.store session)
 
-let run ?(echo = false) ?(out = print_string) ?metrics_every session statements
-    =
+(* A slow SELECT against a base relation is re-run under
+   [Eval.query_profiled] to attach the full profile to its slowlog
+   entry.  The re-run reads the same immutable snapshot the statement
+   just read (the serve loop is single-threaded, and nothing ran in
+   between), so it is safe; it does cost a second evaluation, which is
+   the price of capturing attempt-level detail only for statements that
+   already proved slow. *)
+let slow_detail session stmt =
+  match stmt with
+  | Ast.Select q
+    when not
+           (List.exists
+              (fun v -> String.lowercase_ascii v = String.lowercase_ascii q.Ast.from)
+              (Session.view_names session)) -> (
+      match Eval.query_profiled (Session.catalog session) (Ast.to_string q) with
+      | Ok { Eval.profile; _ } -> Some (Obs.Profile.to_string profile)
+      | Error _ -> None)
+  | _ -> None
+
+let run ?(echo = false) ?(out = print_string) ?metrics_every ?slowlog session
+    statements =
   let registry = Obs.Metrics.create () in
   let latency kind =
     Obs.Metrics.histogram registry
@@ -73,10 +96,31 @@ let run ?(echo = false) ?(out = print_string) ?metrics_every session statements
     (fun stmt ->
       let kind = kind_of stmt in
       note_kind kind;
+      let spans_before =
+        if Obs.Trace.is_armed () then List.length (Obs.Trace.spans ()) else 0
+      in
       let t0 = Unix.gettimeofday () in
       let result = Session.exec_statement session stmt in
       let dt_us = (Unix.gettimeofday () -. t0) *. 1e6 in
       Obs.Histogram.observe (latency kind) dt_us;
+      (match slowlog with
+      | Some log when dt_us /. 1000. >= Obs.Slowlog.threshold_ms log ->
+          let span_labels =
+            if Obs.Trace.is_armed () then
+              List.filteri
+                (fun i _ -> i >= spans_before)
+                (Obs.Trace.spans ())
+              |> List.map (fun (sp : Obs.Trace.span) -> sp.Obs.Trace.label)
+            else []
+          in
+          let detail =
+            if Result.is_ok result then slow_detail session stmt else None
+          in
+          ignore
+            (Obs.Slowlog.observe log ~kind
+               ~statement:(Ast.statement_to_string stmt)
+               ~elapsed_ms:(dt_us /. 1000.) ?detail ~span_labels ())
+      | _ -> ());
       (match result with
       | Ok (Session.Rows rel) ->
           if echo then
@@ -123,12 +167,14 @@ let run ?(echo = false) ?(out = print_string) ?metrics_every session statements
     per_kind;
     session_stats = Session.stats session;
     metrics = registry;
+    slowlog;
   }
 
-let run_script ?echo ?out ?metrics_every session text =
+let run_script ?echo ?out ?metrics_every ?slowlog session text =
   match Parser.parse_script text with
   | Error msg -> Error msg
-  | Ok statements -> Ok (run ?echo ?out ?metrics_every session statements)
+  | Ok statements ->
+      Ok (run ?echo ?out ?metrics_every ?slowlog session statements)
 
 let report_to_string r =
   let buf = Buffer.create 512 in
@@ -148,4 +194,21 @@ let report_to_string r =
     r.per_kind;
   Buffer.add_string buf
     ("  live: " ^ Live.Stats.to_string r.session_stats ^ "\n");
+  (match r.slowlog with
+  | None -> ()
+  | Some log ->
+      Buffer.add_string buf
+        (match Obs.Slowlog.worst log with
+        | None ->
+            Printf.sprintf "  slowlog: 0 hit(s) at >= %.1f ms\n"
+              (Obs.Slowlog.threshold_ms log)
+        | Some w ->
+            Printf.sprintf
+              "  slowlog: %d hit(s) at >= %.1f ms; worst: %s (%.3f ms%s)\n"
+              (Obs.Slowlog.hits log)
+              (Obs.Slowlog.threshold_ms log)
+              w.Obs.Slowlog.statement w.Obs.Slowlog.elapsed_ms
+              (match List.assoc_opt w.Obs.Slowlog.kind r.per_kind with
+              | Some s -> Printf.sprintf ", %s p99 %.1f us" w.Obs.Slowlog.kind s.p99_us
+              | None -> "")));
   Buffer.contents buf

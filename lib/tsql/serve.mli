@@ -28,14 +28,18 @@ type report = {
   per_kind : (string * op_stats) list;  (** Stable display order. *)
   session_stats : Live.Stats.t;  (** The session's live counters. *)
   metrics : Obs.Metrics.t;
-      (** Latency histograms, error counters and the session's live
-          gauges, ready for {!Obs.Metrics.expose}. *)
+      (** Latency histograms, error counters, the session's live gauges
+          and the per-relation statistics gauges, ready for
+          {!Obs.Metrics.expose}. *)
+  slowlog : Obs.Slowlog.t option;
+      (** The slow-query log the loop fed, when one was passed in. *)
 }
 
 val run :
   ?echo:bool ->
   ?out:(string -> unit) ->
   ?metrics_every:int ->
+  ?slowlog:Obs.Slowlog.t ->
   Session.t ->
   Ast.statement list ->
   report
@@ -43,12 +47,17 @@ val run :
     SELECT result and acknowledgement through [out] (default
     [print_string]); errors always print.  [metrics_every] (off by
     default) dumps the Prometheus exposition through [out] every that
-    many statements. *)
+    many statements.  [slowlog] (off by default) captures every
+    statement at or over its threshold; a slow SELECT against a base
+    relation is re-run under {!Eval.query_profiled} to attach the full
+    profile text, and when tracing is armed the entry carries the labels
+    of spans recorded during the statement. *)
 
 val run_script :
   ?echo:bool ->
   ?out:(string -> unit) ->
   ?metrics_every:int ->
+  ?slowlog:Obs.Slowlog.t ->
   Session.t ->
   string ->
   (report, string) result

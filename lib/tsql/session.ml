@@ -51,6 +51,11 @@ type t = {
   views : (string, view) Hashtbl.t;
   cache : Trel.t Live.Cache.t;
   stats : Live.Stats.t;
+  store : Obs.Stats.store;
+      (* Per-relation statistics, inherited from the source catalog so
+         observations made before the session carry over; every catalog
+         the session materializes is attached to this same store. *)
+  adaptive : bool;
 }
 
 let materialize base =
@@ -66,7 +71,7 @@ let materialize base =
 let catalog t =
   Hashtbl.fold
     (fun _ base acc -> Catalog.add acc base.bname (materialize base))
-    t.bases Catalog.empty
+    t.bases (Catalog.of_store t.store)
 
 let add_base t name rel =
   let ids = Hashtbl.create (max 16 (Trel.cardinality rel)) in
@@ -80,7 +85,7 @@ let add_base t name rel =
       cached = Some rel;
     }
 
-let create ?(cache_capacity = 128) source =
+let create ?(cache_capacity = 128) ?(adaptive = true) source =
   let stats = Live.Stats.create () in
   let t =
     {
@@ -88,6 +93,8 @@ let create ?(cache_capacity = 128) source =
       views = Hashtbl.create 8;
       cache = Live.Cache.create ~capacity:cache_capacity stats;
       stats;
+      store = Catalog.store source;
+      adaptive;
     }
   in
   List.iter
@@ -97,6 +104,7 @@ let create ?(cache_capacity = 128) source =
 
 let stats t = t.stats
 let cache_length t = Live.Cache.length t.cache
+let store t = t.store
 
 let relation t name =
   Option.map materialize (Hashtbl.find_opt t.bases (fold name))
@@ -246,9 +254,14 @@ let interval_of_window { Ast.w_start; w_stop } =
   Interval.make (Chronon.of_int w_start)
     (match w_stop with Some e -> Chronon.of_int e | None -> Chronon.forever)
 
-let run_plan plan =
+let run_plan t plan =
+  let t0 = Unix.gettimeofday () in
   match Eval.run plan with
-  | rel -> Ok rel
+  | rel ->
+      Eval.record_outcome (catalog t) plan
+        ~elapsed_ms:((Unix.gettimeofday () -. t0) *. 1000.)
+        ~degradations:0 rel;
+      Ok rel
   | exception Invalid_argument msg -> Error ("evaluation failed: " ^ msg)
   | exception Tempagg.Korder_tree.Order_violation { position; _ } ->
       Error
@@ -269,14 +282,14 @@ let create_view t name definition =
   else if Hashtbl.mem t.views (fold definition.Ast.from) then
     Error "views cannot be defined over views"
   else
-    let* plan = Semant.analyze (catalog t) definition in
+    let* plan = Semant.analyze ~adaptive:t.adaptive (catalog t) definition in
     let source = fold definition.Ast.from in
     let base = Hashtbl.find t.bases source in
     let* strategy =
       if incremental_capable definition plan then
         Ok (Incremental (build_incremental t plan base))
       else
-        let* rel = run_plan plan in
+        let* rel = run_plan t plan in
         Ok (Recompute { rel; stale = false })
     in
     let replaced = Hashtbl.mem t.views key in
@@ -304,13 +317,13 @@ let refresh_view t name =
   match Hashtbl.find_opt t.views (fold name) with
   | None -> Error (Printf.sprintf "unknown view %S" name)
   | Some v ->
-      let* plan = Semant.analyze (catalog t) v.definition in
+      let* plan = Semant.analyze ~adaptive:t.adaptive (catalog t) v.definition in
       let base = Hashtbl.find t.bases v.source in
       let* strategy =
         match v.strategy with
         | Incremental _ -> Ok (Incremental (build_incremental t plan base))
         | Recompute _ ->
-            let* rel = run_plan plan in
+            let* rel = run_plan t plan in
             t.stats.Live.Stats.rebuilds <- t.stats.Live.Stats.rebuilds + 1;
             Ok (Recompute { rel; stale = false })
       in
@@ -340,6 +353,7 @@ let insert_into t rel_name values window =
         base.next_id <- id + 1;
         Hashtbl.replace base.ids id tuple;
         base.cached <- None;
+        Obs.Stats.store_invalidate t.store key;
         touch_views t key (fun incr -> insert_tuple incr id tuple);
         ignore (Live.Cache.invalidate t.cache ~scope:key ~interval:iv);
         Ok (Ack (Printf.sprintf "inserted 1 tuple into %s" base.bname))
@@ -366,7 +380,10 @@ let delete_from t rel_name where =
               (Live.Cache.invalidate t.cache ~scope:key
                  ~interval:(Tuple.valid tu)))
           victims;
-        if victims <> [] then base.cached <- None;
+        if victims <> [] then begin
+          base.cached <- None;
+          Obs.Stats.store_invalidate t.store key
+        end;
         Ok
           (Ack
              (Printf.sprintf "deleted %d tuple(s) from %s"
@@ -409,8 +426,10 @@ let compute_view_rows t v window =
   | Recompute r ->
       let* () =
         if r.stale then begin
-          let* plan = Semant.analyze (catalog t) v.definition in
-          let* rel = run_plan plan in
+          let* plan =
+            Semant.analyze ~adaptive:t.adaptive (catalog t) v.definition
+          in
+          let* rel = run_plan t plan in
           r.rel <- rel;
           r.stale <- false;
           t.stats.Live.Stats.rebuilds <- t.stats.Live.Stats.rebuilds + 1;
@@ -453,8 +472,8 @@ let select t (q : Ast.query) =
   match Hashtbl.find_opt t.views (fold q.Ast.from) with
   | Some v -> select_view t v q
   | None ->
-      let* plan = Semant.analyze (catalog t) q in
-      let* rel = run_plan plan in
+      let* plan = Semant.analyze ~adaptive:t.adaptive (catalog t) q in
+      let* rel = run_plan t plan in
       Ok (Rows rel)
 
 let explain_analyze t (q : Ast.query) =
@@ -467,13 +486,76 @@ let explain_analyze t (q : Ast.query) =
             evaluation)"
            v.vname)
   | None -> (
-      match Eval.query_profiled (catalog t) (Ast.to_string q) with
+      match
+        Eval.query_profiled ~adaptive:t.adaptive (catalog t) (Ast.to_string q)
+      with
       | Ok { Eval.profile; _ } -> Ok (Ack (Obs.Profile.to_string profile))
       | Error _ as e -> e)
+
+(* ANALYZE: one pass over the relation in physical order, feeding the
+   streaming k estimator and the distinct-endpoint sketch; the exact
+   k-ordered-percentage at the estimated k is affordable because the
+   relation is already in memory.  Results land in the statistics store
+   under the relation's name, replacing any previous analysis. *)
+let analyze_relation t name =
+  let key = fold name in
+  if Hashtbl.mem t.views key then
+    Error
+      (Printf.sprintf
+         "ANALYZE targets a base relation; %S is a view (its materialized \
+          timeline is not what queries scan)"
+         name)
+  else
+    match Hashtbl.find_opt t.bases key with
+    | None -> Error (Printf.sprintf "unknown relation %S" name)
+    | Some base ->
+        let rel = materialize base in
+        let est = Ordering.Korder.relation_estimator rel in
+        let sketch = Obs.Stats.Distinct.sketch () in
+        List.iter
+          (fun tu ->
+            let iv = Tuple.valid tu in
+            Obs.Stats.Distinct.add sketch (Chronon.to_int (Interval.start iv));
+            Obs.Stats.Distinct.add sketch (Chronon.to_int (Interval.stop iv)))
+          (Trel.tuples rel);
+        let k = Ordering.Korder.estimate est in
+        let slack = Ordering.Korder.slack est in
+        let percentage =
+          if k = 0 then None
+          else Some (Ordering.Korder.relation_percentage ~k rel)
+        in
+        let analysis =
+          {
+            Obs.Stats.an_cardinality = Trel.cardinality rel;
+            an_k = k;
+            an_slack = slack;
+            an_percentage = percentage;
+            an_time_ordered = k = 0;
+            an_distinct_endpoints = Obs.Stats.Distinct.estimate sketch;
+          }
+        in
+        Obs.Stats.set_analysis (Obs.Stats.store_get t.store key) analysis;
+        Ok
+          (Ack
+             (Printf.sprintf
+                "analyzed %s: %d tuple(s), k<=%d%s%s, %s, ~%d distinct \
+                 endpoint(s)"
+                base.bname analysis.Obs.Stats.an_cardinality k
+                (if slack > 0 then Printf.sprintf " (+%d merge slack)" slack
+                 else "")
+                (match percentage with
+                | Some p -> Printf.sprintf " (%.1f%% of the k budget)" (100. *. p)
+                | None -> "")
+                (if k = 0 then "sorted by time" else "not time-ordered")
+                analysis.Obs.Stats.an_distinct_endpoints))
+
+let show_stats t = Ok (Ack (Obs.Stats.store_to_string t.store))
 
 let exec_statement t = function
   | Ast.Select q -> select t q
   | Ast.Explain_analyze q -> explain_analyze t q
+  | Ast.Analyze name -> analyze_relation t name
+  | Ast.Show_stats -> show_stats t
   | Ast.Create_view { name; definition } -> create_view t name definition
   | Ast.Refresh_view name -> refresh_view t name
   | Ast.Drop_view name -> drop_view t name

@@ -29,10 +29,14 @@ type outcome =
   | Rows of Relation.Trel.t  (** A SELECT's result relation. *)
   | Ack of string  (** DDL / DML acknowledgement. *)
 
-val create : ?cache_capacity:int -> Catalog.t -> t
+val create : ?cache_capacity:int -> ?adaptive:bool -> Catalog.t -> t
 (** A session whose base relations are the catalog's bindings (snapshot:
     later catalog changes are not seen).  [cache_capacity] bounds the
-    query cache (default 128 entries). *)
+    query cache (default 128 entries).  The catalog's statistics store
+    is inherited (shared, mutable); [adaptive] (default true) lets the
+    planner consult it — turned off by the CLI's [--no-adaptive].
+    Writes to a base relation invalidate its ordering statistics either
+    way. *)
 
 val exec : t -> string -> (outcome, string) result
 (** Parse and execute one statement. *)
@@ -57,3 +61,7 @@ val view_strategy : t -> string -> string option
 
 val stats : t -> Live.Stats.t
 val cache_length : t -> int
+
+val store : t -> Obs.Stats.store
+(** The session's per-relation statistics store (shared with every
+    catalog it materializes). *)

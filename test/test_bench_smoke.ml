@@ -78,22 +78,38 @@ let test_live_section_json () =
         (contains out "headline (1% writes");
       Alcotest.(check bool) "json written" true (Sys.file_exists json);
       let contents = In_channel.with_open_text json In_channel.input_all in
-      (* Superficial JSON shape: an array of flat records carrying the
-         fields the CI artifact consumers key on. *)
-      Alcotest.(check bool) "array" true
+      (* Superficial JSON shape: run-identity metadata followed by an
+         array of flat records carrying the fields the CI artifact
+         consumers key on. *)
+      Alcotest.(check bool) "object with meta and results" true
         (String.length contents > 2
-        && contents.[0] = '['
-        && String.ends_with ~suffix:"]\n" contents);
+        && contents.[0] = '{'
+        && String.ends_with ~suffix:"]}\n" contents);
       List.iter
         (fun needle ->
           Alcotest.(check bool) needle true (contains contents needle))
         [
+          "\"meta\": {";
+          "\"git_sha\": \"";
+          "\"timestamp\": \"";
+          "\"smoke\": true";
+          "\"results\": [";
           "\"section\": \"live\"";
           "\"algorithm\": \"incremental\"";
           "\"algorithm\": \"reeval\"";
           "\"median_ns\":";
           "\"n\":";
-        ])
+        ];
+      (* A results file must compare cleanly against itself: every point
+         matches, zero regressions, exit 0. *)
+      let code, out =
+        run [ "--compare-only"; "--json"; json; "--compare"; json ]
+      in
+      Alcotest.(check int) "self-compare exit 0" 0 code;
+      Alcotest.(check bool) "self-compare finds the points" true
+        (contains out "comparable point(s)");
+      Alcotest.(check bool) "self-compare is clean" true
+        (contains out "0 regression(s)"))
 
 (* The obs section must defend its <3% disarmed-tracing bar and write
    the two observability artifacts next to the --json output: a Chrome

@@ -301,6 +301,34 @@ let test_metrics_histogram_exposition () =
          c)
        0 counts)
 
+(* Prometheus family semantics: HELP and TYPE belong to the metric name
+   (the family), not to one label set.  Exposition must emit each once
+   even when several label sets registered separately — and with the
+   help string attached to only some of them — and a second label set
+   cannot re-register the family under a different kind. *)
+let test_metrics_family_semantics () =
+  let r = Obs.Metrics.create () in
+  Obs.Metrics.inc (Obs.Metrics.counter r ~labels:[ ("kind", "a") ] "fam_total");
+  Obs.Metrics.inc
+    (Obs.Metrics.counter r ~help:"Family help"
+       ~labels:[ ("kind", "b") ]
+       "fam_total");
+  Obs.Metrics.inc (Obs.Metrics.counter r ~labels:[ ("kind", "c") ] "fam_total");
+  let text = Obs.Metrics.expose r in
+  let count_lines needle =
+    List.length
+      (List.filter (fun l -> contains l needle) (String.split_on_char '\n' text))
+  in
+  Alcotest.(check int) "one HELP line" 1 (count_lines "# HELP fam_total");
+  Alcotest.(check int) "one TYPE line" 1 (count_lines "# TYPE fam_total");
+  check_contains "family help from any label set" text
+    "# HELP fam_total Family help";
+  Alcotest.(check int) "all three samples" 3 (count_lines "fam_total{kind=");
+  Alcotest.(check bool) "cross-label kind clash raises" true
+    (match Obs.Metrics.gauge r ~labels:[ ("kind", "d") ] "fam_total" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 (* ------------------------------------------------------------------ *)
 (* Adapters                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -606,6 +634,8 @@ let () =
             test_metrics_exposition_golden;
           Alcotest.test_case "histogram exposition" `Quick
             test_metrics_histogram_exposition;
+          Alcotest.test_case "family semantics" `Quick
+            test_metrics_family_semantics;
           Alcotest.test_case "adapters" `Quick test_adapters;
         ] );
       ( "profile",

@@ -199,6 +199,99 @@ let test_relation_metrics () =
   Alcotest.(check bool) "unsorted percentage positive" true
     (Korder.relation_percentage ~k:3 employed > 0.)
 
+(* ------------------------------------------------------------------ *)
+(* Streaming estimator vs the exact oracle                             *)
+(* ------------------------------------------------------------------ *)
+
+let estimate_with_slack ?capacity a =
+  let est = Korder.estimator ?capacity ~compare:Int.compare () in
+  Array.iter (Korder.observe est) a;
+  (Korder.estimate est, Korder.slack est)
+
+let test_estimator_sorted_is_zero () =
+  (* Compaction may accrue slack (a potential over-estimate) even on
+     sorted input, but the estimate itself must stay 0: it doubles as
+     the ANALYZE time-ordered detector. *)
+  let e, _ = estimate_with_slack (sorted 1000) in
+  Alcotest.(check int) "estimate" 0 e;
+  let e, s = estimate_with_slack ~capacity:1000 (sorted 1000) in
+  Alcotest.(check int) "estimate uncompacted" 0 e;
+  Alcotest.(check int) "slack uncompacted" 0 s;
+  (* ... even under heavy compaction. *)
+  let e, _ = estimate_with_slack ~capacity:2 (sorted 1000) in
+  Alcotest.(check int) "estimate at capacity 2" 0 e
+
+let test_estimator_detects_single_swap () =
+  let a = swap (sorted 100) 10 60 in
+  let e, _ = estimate_with_slack a in
+  Alcotest.(check bool) "positive" true (e > 0);
+  Alcotest.(check bool) "upper bound holds" true
+    (e >= Korder.k_of ~compare:Int.compare a)
+
+let test_estimator_relation () =
+  let employed = Relation.Fixtures.employed () in
+  Alcotest.(check bool) "employed estimate >= exact k (3)" true
+    (Korder.estimate_relation employed >= 3);
+  Alcotest.(check int) "sorted relation estimates 0" 0
+    (Korder.estimate_relation (Relation.Trel.sort_by_time employed))
+
+let test_estimator_rejects_tiny_capacity () =
+  Alcotest.(check bool) "capacity 1 rejected" true
+    (match Korder.estimator ~capacity:1 ~compare:Int.compare () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* A generator covering the estimator's interesting regimes: sorted,
+   lightly and heavily perturbed, at sizes above and below the sketch
+   capacity used in the bounded-memory property. *)
+let perturbed_gen =
+  QCheck2.Gen.(
+    triple (int_range 1 40)
+      (map (fun x -> float_of_int x /. 100.) (int_bound 14))
+      (int_range 100 3000)
+    |> map (fun (k, p, n) ->
+           Perturb.k_ordered ~rand:(mk_rand (k + n)) ~k ~percentage:p
+             (sorted n)))
+
+(* The estimator never under-reports: its whole point is that a plan
+   trusting [estimate] as a retroactive bound is always sound. *)
+let prop_estimate_is_upper_bound =
+  QCheck2.Test.make ~name:"estimate >= exact k (always)" ~count:100
+    perturbed_gen (fun a ->
+      let e, _ = estimate_with_slack ~capacity:64 a in
+      e >= Korder.k_of ~compare:Int.compare a)
+
+(* ... and it does not over-report past the documented factor: at most
+   2k-1 plus whatever compaction slack the bounded sketch accrued. *)
+let prop_estimate_within_documented_factor =
+  QCheck2.Test.make ~name:"estimate <= 2k-1 + slack" ~count:100 perturbed_gen
+    (fun a ->
+      let e, s = estimate_with_slack ~capacity:64 a in
+      let k = Korder.k_of ~compare:Int.compare a in
+      e <= max 0 ((2 * k) - 1) + s)
+
+(* With capacity >= n nothing is ever compacted: slack is 0 and the
+   factor-2 bound is exact. *)
+let prop_estimate_uncompacted =
+  QCheck2.Test.make ~name:"slack 0 and factor 2 when capacity >= n"
+    ~count:100 perturbed_gen (fun a ->
+      let e, s = estimate_with_slack ~capacity:(Array.length a) a in
+      let k = Korder.k_of ~compare:Int.compare a in
+      s = 0 && e <= max 0 ((2 * k) - 1) && e >= k)
+
+let prop_estimate_zero_iff_sorted =
+  QCheck2.Test.make ~name:"estimate = 0 iff sorted" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 200) (int_bound 50))
+    (fun l ->
+      let a = Array.of_list l in
+      let e, _ = estimate_with_slack ~capacity:16 a in
+      let is_sorted =
+        let ok = ref true in
+        Array.iteri (fun i x -> if i > 0 && a.(i - 1) > x then ok := false) a;
+        !ok
+      in
+      e = 0 = is_sorted)
+
 (* Property: perturbation with target k never exceeds k, and measured
    percentage stays within tolerance of the target. *)
 let prop_perturb_within_k =
@@ -265,8 +358,22 @@ let () =
           quick "realize validates" test_realize_displacements_validates;
           quick "relation metrics" test_relation_metrics;
         ] );
+      ( "estimator",
+        [
+          quick "sorted estimates 0" test_estimator_sorted_is_zero;
+          quick "detects a single swap" test_estimator_detects_single_swap;
+          quick "relation estimators" test_estimator_relation;
+          quick "rejects capacity < 2" test_estimator_rejects_tiny_capacity;
+        ] );
       ( "properties",
         List.map
           (QCheck_alcotest.to_alcotest ~long:false)
-          [ prop_perturb_within_k; prop_displacement_symmetry ] );
+          [
+            prop_perturb_within_k;
+            prop_displacement_symmetry;
+            prop_estimate_is_upper_bound;
+            prop_estimate_within_documented_factor;
+            prop_estimate_uncompacted;
+            prop_estimate_zero_iff_sorted;
+          ] );
     ]
