@@ -58,14 +58,40 @@ let parse_binding spec =
         String.sub spec (i + 1) (String.length spec - i - 1) )
   | None -> (Filename.remove_extension (Filename.basename spec), spec)
 
+(* A partition directory binds as a relation with its shard layout
+   attached, so the planner can prune shards and pin parallel plans to
+   them. *)
+let load_partition ?fault ?on_corrupt path =
+  match
+    let p = Storage.Partition.load ?fault path in
+    (p, Storage.Partition.materialize ?on_corrupt p)
+  with
+  | pair -> Ok pair
+  | exception Invalid_argument msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | exception Storage.Heap_file.Corrupt_page { page; _ } ->
+      Error
+        (Printf.sprintf
+           "%s: a shard page (%d) failed its checksum (repair the shard, or \
+            pass --on-error fallback/skip to scan around it)"
+           path page)
+
 let build_catalog ?fault ?on_corrupt ?stats bindings =
   List.fold_left
     (fun acc spec ->
       Result.bind acc (fun catalog ->
           let name, path = parse_binding spec in
-          Result.map
-            (fun rel -> Tsql.Catalog.add catalog name rel)
-            (load_relation ?fault ?on_corrupt ?stats path)))
+          if Storage.Partition.is_partition_dir path then
+            Result.map
+              (fun (p, rel) ->
+                Tsql.Catalog.with_layout
+                  (Tsql.Catalog.add catalog name rel)
+                  name
+                  (Storage.Partition.shard_layout p))
+              (load_partition ?fault ?on_corrupt path)
+          else
+            Result.map
+              (fun rel -> Tsql.Catalog.add catalog name rel)
+              (load_relation ?fault ?on_corrupt ?stats path)))
     (Ok (Tsql.Catalog.with_builtins ()))
     bindings
 
@@ -74,9 +100,12 @@ let relations_arg =
     value & opt_all string []
     & info [ "r"; "relation" ] ~docv:"NAME=PATH"
         ~doc:
-          "Bind a CSV relation for use in queries (repeatable).  A bare \
-           PATH binds the file's basename.  The paper's $(i,Employed) \
-           relation is always available.")
+          "Bind a relation for use in queries (repeatable): a CSV file, a \
+           .heap file, or a partition directory (created by $(b,CREATE \
+           TABLE ... PARTITION BY RANGE (vt)) under serve's --data-dir), \
+           whose shard layout then drives partition pruning.  A bare PATH \
+           binds the file's basename.  The paper's $(i,Employed) relation \
+           is always available.")
 
 let query_arg =
   Arg.(
@@ -531,7 +560,7 @@ let extsort_cmd =
 (* serve *)
 
 let serve bindings cache_capacity echo metrics_every trace no_adaptive
-    slowlog_ms slowlog_out script =
+    slowlog_ms slowlog_out data_dir split_threshold script =
   if trace <> None then Obs.Trace.arm ();
   let write_trace () =
     match trace with
@@ -544,7 +573,16 @@ let serve bindings cache_capacity echo metrics_every trace no_adaptive
         Printf.eprintf "trace: wrote %d span(s) to %s\n%!" (List.length spans)
           path
   in
-  match build_catalog bindings with
+  (* Partition-directory bindings become live partitioned bases (writes
+     and ANALYZE maintain them on disk); plain files go through the
+     catalog as immutable seeds. *)
+  let partition_bindings, file_bindings =
+    List.partition
+      (fun spec ->
+        Storage.Partition.is_partition_dir (snd (parse_binding spec)))
+      bindings
+  in
+  match build_catalog file_bindings with
   | Error msg -> `Error (false, msg)
   | Ok catalog -> (
       match In_channel.with_open_text script In_channel.input_all with
@@ -552,8 +590,18 @@ let serve bindings cache_capacity echo metrics_every trace no_adaptive
       | text -> (
           let session =
             Tsql.Session.create ~cache_capacity ~adaptive:(not no_adaptive)
-              catalog
+              ?data_dir ?split_threshold catalog
           in
+          match
+            List.iter
+              (fun spec ->
+                let name, path = parse_binding spec in
+                Tsql.Session.add_partition session name
+                  (Storage.Partition.load path))
+              partition_bindings
+          with
+          | exception Invalid_argument msg -> `Error (false, msg)
+          | () -> (
           (* --slowlog-out alone means "log everything": threshold 0. *)
           let slowlog =
             match (slowlog_ms, slowlog_out) with
@@ -579,7 +627,7 @@ let serve bindings cache_capacity echo metrics_every trace no_adaptive
                     path
               | _ -> ());
               write_trace ();
-              `Ok ()))
+              `Ok ())))
 
 let serve_cmd =
   let doc =
@@ -648,11 +696,33 @@ let serve_cmd =
             "Write the slow-query log as JSON to $(docv) after the run.  \
              Implies --slowlog-ms 0 when that is not given.")
   in
+  let data_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory where $(b,CREATE TABLE ... PARTITION BY RANGE (vt)) \
+             places partition directories (one per table).  Defaults to a \
+             fresh temporary directory; pass an existing DIR to keep the \
+             partitions across runs (re-bind them with \
+             $(b,-r NAME=DIR/name)).")
+  in
+  let split_threshold =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "split-threshold" ] ~docv:"N"
+          ~doc:
+            "Maximum tuples a partition shard may hold before a write \
+             splits it at its median start instant (default 8192).")
+  in
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(
       ret
         (const serve $ relations_arg $ cache $ echo $ metrics_every $ trace_arg
-       $ no_adaptive_arg $ slowlog_ms $ slowlog_out $ script))
+       $ no_adaptive_arg $ slowlog_ms $ slowlog_out $ data_dir
+       $ split_threshold $ script))
 
 let sort_cmd =
   let doc = "sort a relation by valid time (start, then stop)" in

@@ -101,11 +101,12 @@ let rec eval : type v s r.
     ?origin:Chronon.t ->
     ?horizon:Chronon.t ->
     ?instrument:Instrument.t ->
+    ?shard_offsets:int array ->
     algorithm ->
     (v, s, r) Monoid.t ->
     (Interval.t * v) Seq.t ->
     r Timeline.t =
- fun ?origin ?horizon ?instrument algorithm monoid data ->
+ fun ?origin ?horizon ?instrument ?shard_offsets algorithm monoid data ->
   let run () =
     match algorithm with
     | Linked_list -> Linked_list.eval ?origin ?horizon ?instrument monoid data
@@ -118,9 +119,12 @@ let rec eval : type v s r.
     | Sweep -> Sweep.eval ?origin ?horizon ?instrument monoid data
     | Parallel { domains; inner } ->
         (* Shards evaluate to state timelines (output deferred) so that the
-           pairwise merge can run under the monoid's combine. *)
+           pairwise merge can run under the monoid's combine.
+           [shard_offsets] applies to this outermost parallel level only:
+           it aligns evaluation shards with a partitioned relation's
+           storage shards; a nested Parallel re-slices its own shard. *)
         let state_monoid = { monoid with Monoid.output = Fun.id } in
-        Parallel.eval ?instrument ~domains
+        Parallel.eval ?instrument ?offsets:shard_offsets ~domains
           ~eval_shard:(fun ~instrument shard ->
             eval ?origin ?horizon ?instrument inner state_monoid shard)
           monoid data
@@ -132,9 +136,11 @@ let rec eval : type v s r.
     Obs.Trace.with_span ~attrs:[ ("algorithm", name algorithm) ] "eval" run
   else run ()
 
-let eval_with_stats ?origin ?horizon algorithm monoid data =
+let eval_with_stats ?origin ?horizon ?shard_offsets algorithm monoid data =
   let inst = Instrument.create ~node_bytes:(node_bytes algorithm) () in
-  let timeline = eval ?origin ?horizon ~instrument:inst algorithm monoid data in
+  let timeline =
+    eval ?origin ?horizon ~instrument:inst ?shard_offsets algorithm monoid data
+  in
   (timeline, Instrument.snapshot inst)
 
 (* ------------------------------------------------------------------ *)
@@ -249,12 +255,13 @@ let eval_robust : type v s r.
     ?memory_budget:int ->
     ?deadline_ms:float ->
     ?profile:Obs.Profile.t ->
+    ?shard_offsets:int array ->
     algorithm ->
     (v, s, r) Monoid.t ->
     (Interval.t * v) Seq.t ->
     (r Timeline.t * degradation list, error) result =
  fun ?origin ?horizon ?(on_error = Fallback) ?memory_budget ?deadline_ms
-     ?profile algorithm monoid data ->
+     ?profile ?shard_offsets algorithm monoid data ->
   (* Materialize once so every retry sees the same tuples even if the
      caller's Seq is ephemeral (e.g. a single-pass storage scan). *)
   let mat_t0 = Unix.gettimeofday () in
@@ -287,7 +294,24 @@ let eval_robust : type v s r.
       if Guard.unlimited guard && profile = None then None
       else begin
         let i = Instrument.create ~node_bytes:(node_bytes alg) () in
-        if not (Guard.unlimited guard) then Guard.attach guard i;
+        if not (Guard.unlimited guard) then begin
+          (* Parallel shards inherit this instrument's hook and run
+             concurrently, so each shard is held to an equal split of
+             the memory budget (their live bytes add up); the deadline
+             clock is shared. *)
+          let g =
+            match alg with
+            | Parallel { domains; _ } ->
+                let ways =
+                  match shard_offsets with
+                  | Some o -> Stdlib.max 1 (Array.length o - 1)
+                  | None -> domains
+                in
+                Guard.split guard ways
+            | _ -> guard
+          in
+          Guard.attach g i
+        end;
         Some i
       end
     in
@@ -322,11 +346,14 @@ let eval_robust : type v s r.
               ~action:(Printf.sprintf "re-evaluated inline with %s" (name fb));
             eval ?origin ?horizon ?instrument fb state_monoid shard_data
           in
-          Parallel.eval ?instrument:inst ~fallback_shard ~domains
+          Parallel.eval ?instrument:inst ~fallback_shard ?offsets:shard_offsets
+            ~domains
             ~eval_shard:(fun ~instrument shard ->
               eval ?origin ?horizon ?instrument inner state_monoid shard)
             monoid (data ())
-      | _ -> eval ?origin ?horizon ?instrument:inst alg monoid (data ())
+      | _ ->
+          eval ?origin ?horizon ?instrument:inst ?shard_offsets alg monoid
+            (data ())
     in
     let body () =
       if Obs.Trace.is_armed () then

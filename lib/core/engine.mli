@@ -38,17 +38,25 @@ val eval :
   ?origin:Chronon.t ->
   ?horizon:Chronon.t ->
   ?instrument:Instrument.t ->
+  ?shard_offsets:int array ->
   algorithm ->
   ('v, 's, 'r) Monoid.t ->
   (Interval.t * 'v) Seq.t ->
   'r Timeline.t
 (** Run the chosen algorithm.
+
+    [shard_offsets] (meaningful only when [algorithm] is [Parallel _])
+    pins the outermost parallel level's shard boundaries to explicit
+    indices of the input — see {!Parallel.eval}'s [offsets].  A
+    time-partitioned relation passes its shard joints here so each
+    storage shard is evaluated by exactly one domain.
     @raise Korder_tree.Order_violation from [Korder_tree _] when the input
     is not k-ordered for the configured k. *)
 
 val eval_with_stats :
   ?origin:Chronon.t ->
   ?horizon:Chronon.t ->
+  ?shard_offsets:int array ->
   algorithm ->
   ('v, 's, 'r) Monoid.t ->
   (Interval.t * 'v) Seq.t ->
@@ -108,6 +116,7 @@ val eval_robust :
   ?memory_budget:int ->
   ?deadline_ms:float ->
   ?profile:Obs.Profile.t ->
+  ?shard_offsets:int array ->
   algorithm ->
   ('v, 's, 'r) Monoid.t ->
   (Interval.t * 'v) Seq.t ->
@@ -120,6 +129,12 @@ val eval_robust :
     from an ephemeral (single-pass) sequence.  Degradations are listed
     oldest first.  Exceptions that the chain cannot interpret (genuine
     bugs) propagate unchanged.
+
+    [shard_offsets] aligns a [Parallel _] plan's shards with a
+    partitioned relation's storage shards (see {!eval}); under a
+    [Parallel _] plan the memory budget is additionally {e split} evenly
+    across the concurrent shards ({!Guard.split}), since their live
+    bytes accumulate at the same time.
 
     When [profile] is given, every attempt — including ones a fallback
     aborted — is recorded into it with its instrument snapshot, along

@@ -45,6 +45,20 @@ let create ?memory_budget ?deadline_ms () =
 
 let unlimited t = t.budget_bytes = None && t.deadline_ms = None
 
+(* A shard-local view of the same guard: the memory budget is divided
+   [ways] (shards run concurrently, so their live bytes add up against
+   the query's cap), while the deadline fields alias the parent's wall
+   clock — ticks on the split still race benignly on the parent's
+   counter because the split shares [started_at]/[deadline_at] and each
+   shard keeps its own tick counter. *)
+let split t ways =
+  if ways < 1 then invalid_arg "Guard.split: ways must be >= 1";
+  {
+    t with
+    budget_bytes = Option.map (fun b -> b / ways) t.budget_bytes;
+    ticks = 0;
+  }
+
 let check t =
   match t.deadline_ms with
   | None -> ()

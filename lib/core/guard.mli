@@ -40,6 +40,13 @@ val create : ?memory_budget:int -> ?deadline_ms:float -> unit -> t
 val unlimited : t -> bool
 (** No limit was configured: every check is a no-op. *)
 
+val split : t -> int -> t
+(** [split t ways] is a shard-local guard for one of [ways] concurrent
+    shards of the same evaluation: the memory budget is divided by
+    [ways] (concurrent shards' live bytes add up against the query's
+    cap), the deadline clock is shared with [t] (it keeps counting from
+    the original start).  @raise Invalid_argument if [ways < 1]. *)
+
 val check : t -> unit
 (** One cooperative tick.  Cheap (a masked compare); samples the wall
     clock every 256th tick (and on the first).

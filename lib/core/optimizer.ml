@@ -5,6 +5,8 @@ type metadata = {
   memory_budget : int option;
   expected_constant_intervals : int option;
   invertible_aggregate : bool;
+  shard_spans : Temporal.Interval.t list;
+  query_window : Temporal.Interval.t option;
 }
 
 let default_metadata ~cardinality =
@@ -15,6 +17,8 @@ let default_metadata ~cardinality =
     memory_budget = None;
     expected_constant_intervals = None;
     invertible_aggregate = false;
+    shard_spans = [];
+    query_window = None;
   }
 
 type choice = {
@@ -23,7 +27,15 @@ type choice = {
   on_error : Engine.on_error;
   rationale : string;
   stats_source : string;
+  scanned_shards : int;
+  pruned_shards : int;
 }
+
+(* Evaluation shards spawn one domain each; past the core count the
+   merge tax outweighs the parallelism, so surviving storage shards are
+   grouped down to this many evaluation shards. *)
+let max_eval_shards =
+  Stdlib.max 2 (Stdlib.min 8 (Domain.recommended_domain_count ()))
 
 let estimated_tree_bytes ~cardinality = ((4 * cardinality) + 1) * 16
 
@@ -32,7 +44,7 @@ let estimated_tree_bytes ~cardinality = ((4 * cardinality) + 1) * 16
    example). *)
 let few_intervals_factor = 100
 
-let choose md =
+let choose_unsharded md =
   match md.expected_constant_intervals with
   | Some m
     when md.cardinality >= few_intervals_factor
@@ -47,6 +59,8 @@ let choose md =
              %d tuples; the linked list is adequate and cheapest in memory"
             m md.cardinality;
           stats_source = "declared metadata";
+          scanned_shards = 0;
+          pruned_shards = 0;
       }
   | _ -> (
       if md.time_ordered then
@@ -60,6 +74,8 @@ let choose md =
             "relation already sorted by time: k-ordered aggregation tree \
              with k=1 gives the best time and memory";
           stats_source = "declared metadata";
+          scanned_shards = 0;
+          pruned_shards = 0;
         }
       else
         match md.retroactive_bound with
@@ -74,6 +90,8 @@ let choose md =
                    aggregation tree applies directly, no sorting required"
                   k;
           stats_source = "declared metadata";
+          scanned_shards = 0;
+          pruned_shards = 0;
             }
         | None -> (
             let tree_bytes = estimated_tree_bytes ~cardinality:md.cardinality in
@@ -93,6 +111,8 @@ let choose md =
                        k-ordered tree with k=1"
                       tree_bytes budget;
           stats_source = "declared metadata";
+          scanned_shards = 0;
+          pruned_shards = 0;
                 }
             | Some _ | None ->
                 if md.invertible_aggregate then
@@ -107,6 +127,8 @@ let choose md =
                        endpoint events (its ~4n+1 flat cells fit the same \
                        budget as the tree's nodes)";
           stats_source = "declared metadata";
+          scanned_shards = 0;
+          pruned_shards = 0;
                   }
                 else
                   {
@@ -120,7 +142,64 @@ let choose md =
                        not invertible, ruling out the delta-sweep's fast \
                        path";
           stats_source = "declared metadata";
+          scanned_shards = 0;
+          pruned_shards = 0;
                   }))
+
+(* Shard pruning over a partitioned relation: only shards whose time
+   range overlaps the query window can contribute to the answer, so the
+   plan clips to those and — when more than one survives — evaluates
+   them shard-parallel (one evaluation shard per surviving storage
+   shard, grouped down to [max_eval_shards] domains; the evaluation
+   layer aligns the parallel slices with the shard joints via
+   [Engine.eval]'s [shard_offsets]). *)
+let apply_shards md c =
+  match md.shard_spans with
+  | [] -> c
+  | spans ->
+      let total = List.length spans in
+      let surviving =
+        match md.query_window with
+        | None -> total
+        | Some w ->
+            List.length
+              (List.filter (fun s -> Temporal.Interval.overlaps s w) spans)
+      in
+      let pruned = total - surviving in
+      let c =
+        if surviving > 1 then
+          {
+            c with
+            algorithm =
+              Engine.Parallel
+                {
+                  domains = Stdlib.min surviving max_eval_shards;
+                  inner = c.algorithm;
+                };
+            (* One failed shard must degrade, not abort, the others'
+               work: [Fail] would discard every shard's result, so the
+               sharded plan falls back per shard instead.  An explicit
+               [Skip] keeps its stronger meaning. *)
+            on_error =
+              (match c.on_error with
+              | Engine.Fail -> Engine.Fallback
+              | p -> p);
+          }
+        else c
+      in
+      {
+        c with
+        scanned_shards = surviving;
+        pruned_shards = pruned;
+        rationale =
+          Printf.sprintf
+            "%s; partition pruning kept %d of %d shard(s), pruned %d%s"
+            c.rationale surviving total pruned
+            (if surviving > 1 then "; surviving shards run in parallel"
+             else "");
+      }
+
+let choose md = apply_shards md (choose_unsharded md)
 
 (* Merging observed statistics over declared metadata.
 

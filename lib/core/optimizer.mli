@@ -31,6 +31,13 @@ type metadata = {
       (** The aggregate monoid has an inverse ({!Monoid.invertible}):
           count/sum/avg/variance but not min/max.  Enables the
           delta-sweep's O(n log n) fast path. *)
+  shard_spans : Temporal.Interval.t list;
+      (** Time ranges of a partitioned relation's storage shards, in
+          shard order; [[]] for an unpartitioned relation.  Enables
+          shard pruning and shard-parallel evaluation. *)
+  query_window : Temporal.Interval.t option;
+      (** The query's valid-time clip window (TSQL [DURING] /
+          [WHERE vt OVERLAPS]); shards disjoint from it are pruned. *)
 }
 
 val default_metadata : cardinality:int -> metadata
@@ -53,9 +60,28 @@ type choice = {
       (** Where the decisive inputs came from: ["declared metadata"], or
           ["observed (...)"] when {!choose_observed} folded statistics
           from the store into the decision. *)
+  scanned_shards : int;
+      (** Shards the plan actually scans (those overlapping the query
+          window).  0 for an unpartitioned relation. *)
+  pruned_shards : int;
+      (** Shards skipped outright because their time range misses the
+          query window.  0 for an unpartitioned relation. *)
 }
 
+val max_eval_shards : int
+(** Cap on concurrent evaluation shards for a sharded plan (surviving
+    storage shards are grouped down to at most this many domains):
+    [max 2 (min 8 (Domain.recommended_domain_count ()))]. *)
+
 val choose : metadata -> choice
+(** Apply the Section 6.3 rules, then — for a partitioned relation
+    ([shard_spans <> []]) — shard pruning: only shards overlapping
+    [query_window] are scanned, and when more than one survives the
+    chosen algorithm is wrapped in {!Engine.Parallel} (one evaluation
+    shard per surviving storage shard, at most {!max_eval_shards}
+    domains) with the recovery policy upgraded from [Fail] to
+    [Fallback] so a failed shard degrades instead of aborting the rest.
+    The rationale cites kept/pruned shard counts. *)
 
 val choose_observed : Obs.Stats.summary -> metadata -> choice
 (** [choose] with observed statistics merged over the declared metadata:

@@ -6,11 +6,35 @@ open Temporal
    inner algorithm. *)
 let shard_bounds ~shards n i = (i * n / shards, (i + 1) * n / shards)
 
-let eval ?instrument ?fallback_shard ~domains ~eval_shard monoid data =
+let eval ?instrument ?fallback_shard ?offsets ~domains ~eval_shard monoid data
+    =
   if domains < 1 then invalid_arg "Parallel.eval: domains must be >= 1";
   let tuples = Array.of_seq data in
   let n = Array.length tuples in
-  let d = if n = 0 then 1 else min domains n in
+  (* Explicit shard boundaries (e.g. a time-partitioned relation's shard
+     joints) override the default equal-count slicing; each offsets
+     window [o(i), o(i+1)) is one shard, empty shards allowed. *)
+  (match offsets with
+  | None -> ()
+  | Some o ->
+      let ok =
+        Array.length o >= 2
+        && o.(0) = 0
+        && o.(Array.length o - 1) = n
+        && Array.for_all Fun.id (Array.init (Array.length o - 1)
+             (fun i -> o.(i) <= o.(i + 1)))
+      in
+      if not ok then
+        invalid_arg
+          (Printf.sprintf
+             "Parallel.eval: offsets must rise from 0 to %d (the input \
+              length)"
+             n));
+  let d =
+    match offsets with
+    | Some o -> Array.length o - 1
+    | None -> if n = 0 then 1 else min domains n
+  in
   (* Spawned domains start with an empty span stack, so capture the
      parent span here and attach each shard span to it explicitly. *)
   let span_parent = Obs.Trace.current () in
@@ -41,7 +65,11 @@ let eval ?instrument ?fallback_shard ~domains ~eval_shard monoid data =
             instrument)
     in
     let shard_seq i =
-      let lo, hi = shard_bounds ~shards:d n i in
+      let lo, hi =
+        match offsets with
+        | Some o -> (o.(i), o.(i + 1))
+        | None -> shard_bounds ~shards:d n i
+      in
       Array.to_seq (Array.sub tuples lo (hi - lo))
     in
     let run i =

@@ -27,6 +27,7 @@ val eval :
     instrument:Instrument.t option ->
     (Interval.t * 'v) Seq.t ->
     's Timeline.t) ->
+  ?offsets:int array ->
   domains:int ->
   eval_shard:
     (instrument:Instrument.t option ->
@@ -49,6 +50,16 @@ val eval :
 
     With [domains = 1] (or fewer tuples than domains beyond a point) the
     evaluation runs inline with no domain overhead.
+
+    [offsets], when given, fixes the shard boundaries explicitly instead
+    of the default equal-count slicing: an array [[|0; o1; ...; n|]] of
+    nondecreasing indices into the materialized input, one shard per
+    adjacent pair (empty shards allowed) — how a time-partitioned
+    relation keeps its evaluation shards aligned with its storage
+    shards.  [domains] is ignored for slicing when [offsets] is present
+    (one domain runs per shard).
+    @raise Invalid_argument if [offsets] does not rise from [0] to the
+    input length.
 
     @raise Invalid_argument if [domains < 1].  Without [fallback_shard],
     exceptions raised by a shard (e.g. {!Korder_tree.Order_violation})

@@ -192,10 +192,14 @@ let to_string name t =
    |kept| * 2^level, unbiased with relative error ~1/sqrt(capacity). *)
 
 module Distinct = struct
+  (* [kept] maps each sampled hash to the raw value that produced it, so
+     the sketch doubles as a uniform sample of the distinct values
+     (feeding e.g. partition-boundary selection) at no extra memory
+     class. *)
   type sketch = {
     d_capacity : int;
     mutable level : int;
-    kept : (int, unit) Hashtbl.t;
+    kept : (int, int) Hashtbl.t;
   }
 
   (* Multiply-xorshift finalizer (constants fit OCaml's 63-bit int);
@@ -216,20 +220,23 @@ module Distinct = struct
   let add s x =
     let h = hash x in
     if sampled s h && not (Hashtbl.mem s.kept h) then begin
-      Hashtbl.add s.kept h ();
+      Hashtbl.add s.kept h x;
       if Hashtbl.length s.kept > s.d_capacity then begin
         s.level <- s.level + 1;
         let survivors =
           Hashtbl.fold
-            (fun h () acc -> if sampled s h then h :: acc else acc)
+            (fun h x acc -> if sampled s h then (h, x) :: acc else acc)
             s.kept []
         in
         Hashtbl.reset s.kept;
-        List.iter (fun h -> Hashtbl.add s.kept h ()) survivors
+        List.iter (fun (h, x) -> Hashtbl.add s.kept h x) survivors
       end
     end
 
   let estimate s = Hashtbl.length s.kept lsl s.level
+
+  let sample s =
+    List.sort Int.compare (Hashtbl.fold (fun _ x acc -> x :: acc) s.kept [])
 end
 
 (* ---- store ---- *)

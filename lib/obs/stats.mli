@@ -85,6 +85,11 @@ module Distinct : sig
 
   val add : sketch -> int -> unit
   val estimate : sketch -> int
+
+  val sample : sketch -> int list
+  (** The kept values, sorted ascending — a uniform hash-based sample of
+      the distinct values seen (at most the sketch's capacity).  Feeds
+      equi-depth partition-boundary selection. *)
 end
 
 type store

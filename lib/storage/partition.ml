@@ -1,0 +1,476 @@
+(* Time-partitioned relations: one heap-file shard per disjoint
+   valid-time range, routed by the start instant of each tuple's valid
+   interval, plus a small manifest tying the directory together.
+
+   Pruning soundness: tuples are routed by START, so a tuple owned by
+   shard i may extend past i's range (an overhang).  Pruning therefore
+   tests the query window against each shard's EXTENT — [lo, max stop
+   seen] — never against the owned range alone: if the extent misses
+   the window, every tuple in the shard does too (starts >= lo, stops
+   <= max stop), so dropping the shard cannot change the answer. *)
+
+open Temporal
+open Relation
+
+type shard = {
+  file : string;  (* filename within the partition directory *)
+  lo : int;  (* owned range start, inclusive *)
+  hi : int option;  (* owned range end, exclusive; None = infinity *)
+  io : Io_stats.t;
+  mutable count : int;  (* durable tuples on disk *)
+  mutable max_stop : int;  (* extent end; max_int = forever, -1 = empty *)
+  mutable pending : Tuple.t list;  (* buffered inserts, newest first *)
+}
+
+type t = {
+  dir : string;
+  schema : Schema.t;
+  split_threshold : int;
+  fault : Fault.t option;
+  mutable shards : shard array;  (* ascending by [lo], ranges tiling *)
+  mutable next_id : int;  (* shard filename counter, never reused *)
+  mutable q_queries : int;
+  mutable q_scanned : int;
+  mutable q_pruned : int;
+}
+
+let manifest_file = "PARTITION"
+let default_split_threshold = 8192
+
+let manifest_path dir = Filename.concat dir manifest_file
+let shard_path t sh = Filename.concat t.dir sh.file
+
+let is_partition_dir dir =
+  Sys.file_exists dir && Sys.is_directory dir
+  && Sys.file_exists (manifest_path dir)
+
+let dir t = t.dir
+let schema t = t.schema
+let split_threshold t = t.split_threshold
+let shard_count t = Array.length t.shards
+
+let shard_total sh = sh.count + List.length sh.pending
+
+let cardinality t =
+  Array.fold_left (fun acc sh -> acc + shard_total sh) 0 t.shards
+
+let boundaries t =
+  List.filteri (fun i _ -> i > 0) (Array.to_list t.shards)
+  |> List.map (fun sh -> sh.lo)
+
+let start_of tu = Chronon.to_int (Interval.start (Tuple.valid tu))
+let stop_of tu = Chronon.to_int (Interval.stop (Tuple.valid tu))
+
+let stop_chronon n = if n = max_int then Chronon.forever else Chronon.of_int n
+
+(* The owned range as a closed interval: [lo, hi). *)
+let owned_range sh =
+  Interval.make (Chronon.of_int sh.lo)
+    (match sh.hi with
+    | Some h -> Chronon.of_int (h - 1)
+    | None -> Chronon.forever)
+
+(* The pruning extent: owned start through the latest stop of any tuple
+   routed here (overhang included).  An empty shard falls back to its
+   owned range — conservative but trivially sound. *)
+let extent sh =
+  if sh.max_stop < sh.lo then owned_range sh
+  else Interval.make (Chronon.of_int sh.lo) (stop_chronon sh.max_stop)
+
+type shard_info = {
+  si_index : int;
+  si_file : string;
+  si_cover : Interval.t;
+  si_cardinality : int;
+  si_io : Io_stats.snapshot;
+}
+
+let shard_infos t =
+  Array.to_list
+    (Array.mapi
+       (fun i sh ->
+         {
+           si_index = i;
+           si_file = sh.file;
+           si_cover = owned_range sh;
+           si_cardinality = shard_total sh;
+           si_io = Io_stats.snapshot sh.io;
+         })
+       t.shards)
+
+let shard_layout t =
+  Array.to_list (Array.map (fun sh -> (extent sh, shard_total sh)) t.shards)
+
+(* ------------------------------------------------------------------ *)
+(* Manifest                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let bound_to_string = function
+  | n when n = max_int -> "inf"
+  | n when n < 0 -> "-"
+  | n -> string_of_int n
+
+let bound_of_string path = function
+  | "inf" -> max_int
+  | "-" -> -1
+  | s -> (
+      match int_of_string_opt s with
+      | Some n -> n
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Partition: malformed manifest %s: bad bound %S"
+               path s))
+
+(* Write-then-rename so a crash mid-write never leaves a torn manifest
+   pointing at the shards. *)
+let write_manifest t =
+  let tmp = manifest_path t.dir ^ ".tmp" in
+  let oc = open_out tmp in
+  Printf.fprintf oc "tempagg-partition 1\n";
+  Printf.fprintf oc "split-threshold %d\n" t.split_threshold;
+  Printf.fprintf oc "next-id %d\n" t.next_id;
+  Array.iter
+    (fun sh ->
+      Printf.fprintf oc "shard %s %d %s %s %d\n" sh.file sh.lo
+        (match sh.hi with Some h -> string_of_int h | None -> "inf")
+        (bound_to_string sh.max_stop)
+        sh.count)
+    t.shards;
+  close_out oc;
+  Sys.rename tmp (manifest_path t.dir)
+
+let fresh_shard t ~lo ~hi =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  {
+    file = Printf.sprintf "shard-%04d.heap" id;
+    lo;
+    hi;
+    io = Io_stats.create ();
+    count = 0;
+    max_stop = -1;
+    pending = [];
+  }
+
+let check_boundaries bs =
+  let rec ok prev = function
+    | [] -> true
+    | b :: rest -> b > prev && ok b rest
+  in
+  if not (ok 0 bs) then
+    invalid_arg
+      "Partition: boundaries must be strictly increasing and positive"
+
+(* Shards for boundaries [b1 < ... < bk]: [0,b1), [b1,b2), ..., [bk,oo). *)
+let shards_of_boundaries t bs =
+  let rec build lo = function
+    | [] -> [ fresh_shard t ~lo ~hi:None ]
+    | b :: rest -> fresh_shard t ~lo ~hi:(Some b) :: build b rest
+  in
+  build 0 bs
+
+(* ------------------------------------------------------------------ *)
+(* Shard I/O                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rewrite_shard t sh tuples =
+  let w = Heap_file.create ~stats:sh.io (shard_path t sh) t.schema in
+  Fun.protect
+    ~finally:(fun () -> Heap_file.close_writer w)
+    (fun () -> List.iter (Heap_file.append w) tuples);
+  sh.count <- List.length tuples;
+  sh.max_stop <- List.fold_left (fun acc tu -> Stdlib.max acc (stop_of tu)) (-1) tuples
+
+let durable ?on_corrupt t sh =
+  let r = Heap_file.open_reader ?fault:t.fault ~stats:sh.io (shard_path t sh) in
+  Fun.protect
+    ~finally:(fun () -> Heap_file.close_reader r)
+    (fun () -> List.of_seq (Heap_file.scan ?on_corrupt r))
+
+let shard_tuples_of ?on_corrupt t sh =
+  durable ?on_corrupt t sh @ List.rev sh.pending
+
+let shard_tuples ?on_corrupt t i =
+  if i < 0 || i >= Array.length t.shards then
+    invalid_arg "Partition.shard_tuples: shard index out of range";
+  shard_tuples_of ?on_corrupt t t.shards.(i)
+
+let materialize ?on_corrupt t =
+  Trel.create t.schema
+    (List.concat_map (shard_tuples_of ?on_corrupt t) (Array.to_list t.shards))
+
+(* ------------------------------------------------------------------ *)
+(* Creation and loading                                                *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(split_threshold = default_split_threshold) ?fault ~boundaries ~dir
+    schema =
+  if split_threshold < 2 then
+    invalid_arg "Partition.create: split_threshold must be >= 2";
+  check_boundaries boundaries;
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Partition.create: %s is not a directory" dir);
+  (* Clear stale shard files from any previous incarnation. *)
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".heap" then
+        try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  let t =
+    {
+      dir;
+      schema;
+      split_threshold;
+      fault;
+      shards = [||];
+      next_id = 0;
+      q_queries = 0;
+      q_scanned = 0;
+      q_pruned = 0;
+    }
+  in
+  t.shards <- Array.of_list (shards_of_boundaries t boundaries);
+  Array.iter (fun sh -> rewrite_shard t sh []) t.shards;
+  write_manifest t;
+  t
+
+let load ?fault dir =
+  if not (is_partition_dir dir) then
+    invalid_arg
+      (Printf.sprintf "Partition.load: %s has no %s manifest" dir manifest_file);
+  let path = manifest_path dir in
+  let ic = open_in path in
+  let lines =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec all acc =
+          match input_line ic with
+          | line -> all (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        all [])
+  in
+  let malformed why =
+    invalid_arg (Printf.sprintf "Partition.load: malformed manifest %s: %s" path why)
+  in
+  let split_threshold = ref default_split_threshold in
+  let next_id = ref 0 in
+  let shards = ref [] in
+  List.iter
+    (fun line ->
+      match String.split_on_char ' ' (String.trim line) with
+      | [ "" ] -> ()
+      | [ "tempagg-partition"; "1" ] -> ()
+      | [ "tempagg-partition"; v ] -> malformed ("unsupported version " ^ v)
+      | [ "split-threshold"; n ] ->
+          split_threshold := bound_of_string path n
+      | [ "next-id"; n ] -> next_id := bound_of_string path n
+      | [ "shard"; file; lo; hi; max_stop; count ] ->
+          shards :=
+            {
+              file;
+              lo = bound_of_string path lo;
+              hi =
+                (match bound_of_string path hi with
+                | h when h = max_int -> None
+                | h -> Some h);
+              io = Io_stats.create ();
+              count = bound_of_string path count;
+              max_stop = bound_of_string path max_stop;
+              pending = [];
+            }
+            :: !shards
+      | _ -> malformed (Printf.sprintf "unrecognized line %S" line))
+    lines;
+  let shards = List.rev !shards in
+  (match shards with
+  | [] -> malformed "no shards"
+  | first :: _ -> if first.lo <> 0 then malformed "first shard must start at 0");
+  let rec contiguous = function
+    | { hi = Some h; _ } :: ({ lo; _ } :: _ as rest) ->
+        if h <> lo then malformed "shard ranges must tile the time-line";
+        contiguous rest
+    | [ { hi = Some _; _ } ] -> malformed "last shard must be unbounded"
+    | { hi = None; _ } :: _ :: _ -> malformed "only the last shard is unbounded"
+    | [ { hi = None; _ } ] | [] -> ()
+  in
+  contiguous shards;
+  let first = List.hd shards in
+  let schema =
+    let io = Io_stats.create () in
+    let r = Heap_file.open_reader ?fault ~stats:io (Filename.concat dir first.file) in
+    Fun.protect
+      ~finally:(fun () -> Heap_file.close_reader r)
+      (fun () -> Heap_file.schema r)
+  in
+  {
+    dir;
+    schema;
+    split_threshold = !split_threshold;
+    fault;
+    shards = Array.of_list shards;
+    next_id = !next_id;
+    q_queries = 0;
+    q_scanned = 0;
+    q_pruned = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Writes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The owning shard: the last one whose range start is <= the tuple's
+   start.  Ranges tile [0, oo), so it always exists. *)
+let owner t s =
+  let best = ref t.shards.(0) in
+  Array.iter (fun sh -> if sh.lo <= s then best := sh) t.shards;
+  !best
+
+let insert t tu =
+  if Array.length (Tuple.values tu) <> Schema.arity t.schema then
+    invalid_arg "Partition.insert: tuple arity disagrees with the schema";
+  let sh = owner t (start_of tu) in
+  sh.pending <- tu :: sh.pending;
+  sh.max_stop <- Stdlib.max sh.max_stop (stop_of tu)
+
+let flush_shard t sh =
+  if sh.pending <> [] then begin
+    let all = durable t sh @ List.rev sh.pending in
+    sh.pending <- [];
+    rewrite_shard t sh all
+  end
+
+(* Split an oversized shard at (roughly) the median distinct start
+   strictly inside its range; recurse until every piece fits or no
+   interior start remains (all tuples share one start: unsplittable). *)
+let rec split_shard t sh =
+  if sh.count <= t.split_threshold then [ sh ]
+  else begin
+    let tuples = durable t sh in
+    let starts = List.sort_uniq Int.compare (List.map start_of tuples) in
+    let candidates =
+      List.filter
+        (fun v ->
+          v > sh.lo && match sh.hi with Some h -> v < h | None -> true)
+        starts
+    in
+    match candidates with
+    | [] -> [ sh ]
+    | _ ->
+        let arr = Array.of_list candidates in
+        let m = arr.(Array.length arr / 2) in
+        let left = fresh_shard t ~lo:sh.lo ~hi:(Some m) in
+        let right = fresh_shard t ~lo:m ~hi:sh.hi in
+        rewrite_shard t left (List.filter (fun tu -> start_of tu < m) tuples);
+        rewrite_shard t right (List.filter (fun tu -> start_of tu >= m) tuples);
+        (try Sys.remove (shard_path t sh) with Sys_error _ -> ());
+        split_shard t left @ split_shard t right
+  end
+
+let flush t =
+  Array.iter (flush_shard t) t.shards;
+  t.shards <-
+    Array.of_list
+      (List.concat_map (split_shard t) (Array.to_list t.shards));
+  write_manifest t
+
+let delete t pred =
+  flush t;
+  let removed = ref 0 in
+  Array.iter
+    (fun sh ->
+      let tuples = durable t sh in
+      let keep = List.filter (fun tu -> not (pred tu)) tuples in
+      let r = List.length tuples - List.length keep in
+      if r > 0 then begin
+        removed := !removed + r;
+        rewrite_shard t sh keep
+      end)
+    t.shards;
+  if !removed > 0 then write_manifest t;
+  !removed
+
+(* ------------------------------------------------------------------ *)
+(* Pruning                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let prune t window =
+  let idxs = List.init (Array.length t.shards) Fun.id in
+  match window with
+  | None -> idxs
+  | Some w ->
+      List.filter (fun i -> Interval.overlaps (extent t.shards.(i)) w) idxs
+
+let record_pruning t ~scanned ~pruned =
+  t.q_queries <- t.q_queries + 1;
+  t.q_scanned <- t.q_scanned + scanned;
+  t.q_pruned <- t.q_pruned + pruned
+
+let pruning_totals t = (t.q_queries, t.q_scanned, t.q_pruned)
+
+let io_totals t =
+  Array.fold_left
+    (fun (acc : Io_stats.snapshot) sh ->
+      let s = Io_stats.snapshot sh.io in
+      {
+        Io_stats.pages_read = acc.pages_read + s.pages_read;
+        pages_written = acc.pages_written + s.pages_written;
+        retries = acc.retries + s.retries;
+        corrupt_pages = acc.corrupt_pages + s.corrupt_pages;
+      })
+    { Io_stats.pages_read = 0; pages_written = 0; retries = 0; corrupt_pages = 0 }
+    t.shards
+
+(* ------------------------------------------------------------------ *)
+(* Boundary selection and repartitioning                               *)
+(* ------------------------------------------------------------------ *)
+
+let choose_boundaries ~shards ~lifespan:(lo, hi) sample =
+  if shards < 1 then invalid_arg "Partition.choose_boundaries: shards must be >= 1";
+  if shards = 1 || hi <= lo then []
+  else
+    let in_range b = b > lo && b <= hi in
+    let equi_depth =
+      let arr = Array.of_list (List.sort_uniq Int.compare sample) in
+      let n = Array.length arr in
+      if n < 2 * shards then None
+      else
+        Some
+          (List.init (shards - 1) (fun i -> arr.((i + 1) * n / shards))
+          |> List.filter in_range
+          |> List.sort_uniq Int.compare)
+    in
+    match equi_depth with
+    | Some (_ :: _ as bs) -> bs
+    | _ ->
+        let width = Stdlib.max 1 ((hi - lo + shards) / shards) in
+        List.init (shards - 1) (fun i -> lo + (width * (i + 1)))
+        |> List.filter in_range
+        |> List.sort_uniq Int.compare
+
+let repartition t bs =
+  check_boundaries bs;
+  flush t;
+  let all = List.concat_map (durable t) (Array.to_list t.shards) in
+  let old = Array.to_list t.shards in
+  let fresh = shards_of_boundaries t bs in
+  let fresh_arr = Array.of_list fresh in
+  List.iter
+    (fun tu ->
+      let s = start_of tu in
+      let best = ref fresh_arr.(0) in
+      Array.iter (fun sh -> if sh.lo <= s then best := sh) fresh_arr;
+      !best.pending <- tu :: !best.pending)
+    all;
+  List.iter
+    (fun sh ->
+      rewrite_shard t sh (List.rev sh.pending);
+      sh.pending <- [])
+    fresh;
+  t.shards <- fresh_arr;
+  List.iter
+    (fun sh -> try Sys.remove (shard_path t sh) with Sys_error _ -> ())
+    old;
+  write_manifest t

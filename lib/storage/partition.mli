@@ -1,0 +1,139 @@
+(** Time-partitioned relations: a set of independent heap-file shards,
+    each covering a disjoint valid-time range.
+
+    A partition lives in a directory holding one {!Heap_file} per shard
+    plus a small manifest listing each shard's file, time range and
+    cardinality.  Shard ranges tile the time-line: boundaries
+    [b1 < b2 < ... < bk] yield shards [[0, b1)], [[b1, b2)], ...,
+    [[bk, oo)] — every tuple is routed to the unique shard whose range
+    contains the {e start} of its valid interval, so a shard can only
+    contribute to queries whose window overlaps its range (plus the
+    overhang of tuples starting inside it; see {!materialize}'s clip
+    note in DESIGN.md).
+
+    Each shard carries its own {!Io_stats}, and every read goes through
+    the heap format's CRC verification and optional deterministic
+    {!Fault} injection — a corrupt or faulty shard fails (or skips)
+    independently of its siblings.
+
+    Tuple order within a shard is physical file order (insertion
+    order); {!materialize} concatenates shards in time order, so the
+    per-shard cardinalities double as the evaluation-shard offsets an
+    [Engine.Parallel] plan pins via [shard_offsets]. *)
+
+open Temporal
+open Relation
+
+type t
+
+val manifest_file : string
+(** ["PARTITION"], the manifest's filename within the directory. *)
+
+val is_partition_dir : string -> bool
+(** Does the directory exist and contain a manifest? *)
+
+val create :
+  ?split_threshold:int ->
+  ?fault:Fault.t ->
+  boundaries:int list ->
+  dir:string ->
+  Schema.t ->
+  t
+(** Create a fresh partition (the directory is created if missing;
+    existing shard files and manifest are overwritten).  [boundaries]
+    are the interior range starts, strictly increasing and positive;
+    [[]] makes a single shard covering all of time.  [split_threshold]
+    (default 8192) bounds a shard's cardinality: a {!flush} that leaves
+    a splittable shard above it splits that shard at its median start.
+    [fault] installs the injector on every subsequent shard read.
+    @raise Invalid_argument on unsorted or non-positive boundaries. *)
+
+val load : ?fault:Fault.t -> string -> t
+(** Open an existing partition directory; the schema is read from the
+    first shard's heap header.
+    @raise Invalid_argument on a missing or malformed manifest. *)
+
+val dir : t -> string
+val schema : t -> Schema.t
+val split_threshold : t -> int
+val shard_count : t -> int
+
+val cardinality : t -> int
+(** Total tuples across shards, buffered inserts included. *)
+
+val boundaries : t -> int list
+(** Interior boundaries, ascending — [create]'s input normal form. *)
+
+type shard_info = {
+  si_index : int;
+  si_file : string;  (** Filename within the directory. *)
+  si_cover : Interval.t;  (** Closed time range the shard owns. *)
+  si_cardinality : int;
+  si_io : Io_stats.snapshot;
+}
+
+val shard_infos : t -> shard_info list
+(** One entry per shard, in time order — the [SHOW PARTITIONS] rows. *)
+
+val shard_layout : t -> (Interval.t * int) list
+(** (cover, cardinality) per shard in time order — what the optimizer's
+    [shard_spans] and the evaluation offsets are built from. *)
+
+val insert : t -> Tuple.t -> unit
+(** Route the tuple to the shard owning its start instant and buffer
+    it there; {!flush} makes it durable.
+    @raise Invalid_argument if the tuple disagrees with the schema. *)
+
+val flush : t -> unit
+(** Rewrite every shard with buffered inserts (heap files are immutable,
+    so an append is a read-modify-rewrite of that shard only), then
+    split any shard whose cardinality exceeds the threshold at its
+    median start instant, and rewrite the manifest.  Idempotent. *)
+
+val delete : t -> (Tuple.t -> bool) -> int
+(** Remove tuples satisfying the predicate, rewriting only the shards
+    that changed; flushes first.  Returns the number removed. *)
+
+val shard_tuples :
+  ?on_corrupt:[ `Fail | `Skip ] -> t -> int -> Tuple.t list
+(** The tuples of shard [i] in physical order (durable then buffered),
+    read through the shard's {!Io_stats} and the partition's fault
+    injector.
+    @raise Heap_file.Corrupt_page under [`Fail] (the default). *)
+
+val materialize : ?on_corrupt:[ `Fail | `Skip ] -> t -> Trel.t
+(** All shards concatenated in time order.  The contiguous-slice
+    property this guarantees — shard [i]'s tuples occupy one contiguous
+    index range — is what lets a parallel plan pin evaluation shards to
+    storage shards. *)
+
+val prune : t -> Interval.t option -> int list
+(** Indices of shards whose cover overlaps the window ([None] keeps
+    all), in time order.  Pure — telemetry is {!record_pruning}. *)
+
+val record_pruning : t -> scanned:int -> pruned:int -> unit
+(** Count one planned query's pruning outcome (feeds the serve-loop
+    gauges). *)
+
+val pruning_totals : t -> int * int * int
+(** [(queries, shards scanned, shards pruned)] since load. *)
+
+val io_totals : t -> Io_stats.snapshot
+(** Counters summed across shards. *)
+
+val choose_boundaries :
+  shards:int -> lifespan:int * int -> int list -> int list
+(** Boundary selection for [shards] target shards over a relation whose
+    start instants span [lifespan] (inclusive ints): equi-depth
+    quantiles of the sample (an {!Obs.Stats.Distinct} endpoint sample
+    from ANALYZE) when it is dense enough (>= 2 values per shard), else
+    fixed-width ranges over the lifespan.  Always sorted, deduplicated
+    and within the lifespan; may yield fewer than [shards - 1]
+    boundaries when values collide.
+    @raise Invalid_argument if [shards < 1]. *)
+
+val repartition : t -> int list -> unit
+(** Rewrite the partition under new boundaries: flushes, re-routes every
+    tuple (global time order preserved within each new shard), replaces
+    the shard files and manifest.
+    @raise Invalid_argument as {!create} on bad boundaries. *)

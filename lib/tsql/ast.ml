@@ -101,19 +101,41 @@ type statement =
   | Create_view of { name : string; definition : query }
   | Refresh_view of string
   | Drop_view of string
+  | Create_table of {
+      name : string;
+      columns : (string * Relation.Value.ty) list;
+      boundaries : int list;
+          (* interior PARTITION BY RANGE starts; [] = one shard *)
+    }
   | Insert_into of { relation : string; values : literal list; window : window }
   | Delete_from of { relation : string; where : predicate list }
   | Analyze of string  (* one sampled scan refreshing the relation's stats *)
   | Show_stats
+  | Show_partitions
 
 let window_to_string { w_start; w_stop } =
   Printf.sprintf "[%d,%s]" w_start
     (match w_stop with Some e -> string_of_int e | None -> "oo")
 
+let ty_to_string ty =
+  String.uppercase_ascii (Relation.Value.ty_to_string ty)
+
 let statement_to_string = function
   | Select q -> to_string q
   | Analyze name -> "ANALYZE " ^ name
   | Show_stats -> "SHOW STATS"
+  | Show_partitions -> "SHOW PARTITIONS"
+  | Create_table { name; columns; boundaries } ->
+      Printf.sprintf "CREATE TABLE %s (%s) PARTITION BY RANGE (vt)%s" name
+        (String.concat ", "
+           (List.map
+              (fun (col, ty) -> Printf.sprintf "%s %s" col (ty_to_string ty))
+              columns))
+        (match boundaries with
+        | [] -> ""
+        | bs ->
+            Printf.sprintf " (%s)"
+              (String.concat ", " (List.map string_of_int bs)))
   | Explain_analyze q -> "EXPLAIN ANALYZE " ^ to_string q
   | Create_view { name; definition } ->
       Printf.sprintf "CREATE VIEW %s AS %s" name (to_string definition)

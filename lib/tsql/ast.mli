@@ -77,11 +77,15 @@ type query = {
            | CREATE VIEW ident AS query
            | REFRESH VIEW ident
            | DROP VIEW ident
+           | CREATE TABLE ident '(' col {, col} ')'
+             PARTITION BY RANGE '(' vt ')' ['(' int {, int} ')']
            | INSERT INTO ident VALUES '(' literal {, literal} ')'
              DURING '[' int ',' stop ']'
            | DELETE FROM ident [WHERE pred {AND pred}]
            | ANALYZE ident
            | SHOW STATS
+           | SHOW PARTITIONS
+    col  ::= ident ty ; ty in INT | FLOAT | STRING (and synonyms)
     v} *)
 type statement =
   | Select of query
@@ -90,12 +94,24 @@ type statement =
   | Create_view of { name : string; definition : query }
   | Refresh_view of string
   | Drop_view of string
+  | Create_table of {
+      name : string;
+      columns : (string * Relation.Value.ty) list;
+      boundaries : int list;
+          (** Interior [PARTITION BY RANGE (vt)] shard starts, strictly
+              increasing; [[]] creates a single shard (later splits and
+              [ANALYZE] repartitioning refine it). *)
+    }
   | Insert_into of { relation : string; values : literal list; window : window }
   | Delete_from of { relation : string; where : predicate list }
   | Analyze of string
       (** One sampled scan of the named relation, refreshing its entry in
-          the statistics store. *)
+          the statistics store — and, for a partitioned relation,
+          recomputing shard boundaries from the endpoint sketch. *)
   | Show_stats  (** Print the statistics store, one line per relation. *)
+  | Show_partitions
+      (** Print every partitioned relation's shard layout: ranges,
+          cardinalities, I/O counters and pruning totals. *)
 
 val agg_fun_to_string : agg_fun -> string
 val op_to_string : comparison_op -> string

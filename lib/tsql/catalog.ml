@@ -4,6 +4,10 @@ type t = {
   names : (string * Relation.Trel.t) Names.t;
       (* Keyed by the case-folded name; the original spelling is kept
          for listings. *)
+  layouts : (Temporal.Interval.t * int) list Names.t;
+      (* Shard layout of a time-partitioned relation — (time span,
+         cardinality) per shard, in the order the relation's tuples are
+         materialized.  Absent for unpartitioned relations. *)
   store : Obs.Stats.store;
       (* Shared mutable statistics, surviving the functional updates of
          [add]: every catalog derived from this one sees (and feeds)
@@ -15,14 +19,32 @@ type t = {
    needs isolated statistics (tests, sessions) starts from [create ()]
    or [with_builtins ()] instead. *)
 let global_store = Obs.Stats.create_store ()
-let empty = { names = Names.empty; store = global_store }
-let create () = { names = Names.empty; store = Obs.Stats.create_store () }
-let of_store store = { names = Names.empty; store }
+let empty = { names = Names.empty; layouts = Names.empty; store = global_store }
+
+let create () =
+  { names = Names.empty; layouts = Names.empty; store = Obs.Stats.create_store () }
+
+let of_store store = { names = Names.empty; layouts = Names.empty; store }
 let with_store t store = { t with store }
 let store t = t.store
 let fold_name = String.lowercase_ascii
-let add t name rel = { t with names = Names.add (fold_name name) (name, rel) t.names }
+
+let add t name rel =
+  {
+    t with
+    names = Names.add (fold_name name) (name, rel) t.names;
+    (* A plain re-bind voids any previous shard layout: the new contents
+       need not line up with the old shards. *)
+    layouts = Names.remove (fold_name name) t.layouts;
+  }
+
 let find t name = Option.map snd (Names.find_opt (fold_name name) t.names)
+
+let with_layout t name layout =
+  { t with layouts = Names.add (fold_name name) layout t.layouts }
+
+let layout t name =
+  Option.value (Names.find_opt (fold_name name) t.layouts) ~default:[]
 
 let names t =
   List.sort String.compare

@@ -33,6 +33,17 @@ val add : t -> string -> Relation.Trel.t -> t
 
 val find : t -> string -> Relation.Trel.t option
 
+val with_layout : t -> string -> (Temporal.Interval.t * int) list -> t
+(** Attach a time-partitioned relation's shard layout — (time span,
+    cardinality) per shard, in the order {!find}'s relation materializes
+    its tuples.  The planner uses it for shard pruning and
+    shard-parallel evaluation; the spans must be {e sound} (every tuple
+    of shard [i] falls inside span [i]) and the cardinalities must sum
+    to the relation's.  Re-{!add}ing the name drops the layout. *)
+
+val layout : t -> string -> (Temporal.Interval.t * int) list
+(** [[]] for an unpartitioned (or unknown) relation. *)
+
 val names : t -> string list
 (** Bound names (as given at {!add}), sorted. *)
 

@@ -26,7 +26,7 @@ type robust_ctx = {
    intercepted in [query_robust], never escapes this module. *)
 exception Robust_error of Tempagg.Engine.error
 
-let run_engine ?robust (plan : Semant.plan) monoid data =
+let run_engine ?robust ?shard_offsets (plan : Semant.plan) monoid data =
   let origin, horizon =
     match plan.Semant.window with
     | Some w -> (Interval.start w, Interval.stop w)
@@ -39,8 +39,8 @@ let run_engine ?robust (plan : Semant.plan) monoid data =
           Tempagg.Span.eval ~origin ~horizon ~algorithm:plan.Semant.algorithm
             ~granule monoid data
       | None ->
-          Tempagg.Engine.eval ~origin ~horizon plan.Semant.algorithm monoid
-            data)
+          Tempagg.Engine.eval ~origin ~horizon ?shard_offsets
+            plan.Semant.algorithm monoid data)
   | Some ctx -> (
       let result =
         match plan.Semant.granule with
@@ -53,7 +53,8 @@ let run_engine ?robust (plan : Semant.plan) monoid data =
             Tempagg.Engine.eval_robust ~origin ~horizon
               ~on_error:plan.Semant.on_error
               ?memory_budget:ctx.memory_budget ?deadline_ms:ctx.deadline_ms
-              ?profile:ctx.profile plan.Semant.algorithm monoid data
+              ?profile:ctx.profile ?shard_offsets plan.Semant.algorithm monoid
+              data
       in
       match result with
       | Ok (timeline, degradations) ->
@@ -96,8 +97,52 @@ let monoid_of_spec (spec : Semant.agg_spec) =
   | Ast.Max, _ ->
       Value_monoid (M.map_output option_value (M.maximum ~compare:Value.compare))
 
-let agg_timeline ?robust plan tuples (spec : Semant.agg_spec) =
-  let data = data_for tuples spec in
+(* Merge per-storage-shard stream sizes into at most [target] evaluation
+   shards of roughly equal tuple count, as cut offsets into the
+   concatenated stream ([0; ...; total]).  Adjacent storage shards stay
+   adjacent, so each evaluation shard still covers a contiguous slice. *)
+let group_offsets ~target sizes =
+  let total = List.fold_left ( + ) 0 sizes in
+  let per = Stdlib.max 1 ((total + Stdlib.max 1 target - 1) / Stdlib.max 1 target) in
+  let cuts = ref [] in
+  let pos = ref 0 in
+  let last = ref 0 in
+  List.iter
+    (fun s ->
+      pos := !pos + s;
+      if !pos - !last >= per && !pos < total then begin
+        cuts := !pos :: !cuts;
+        last := !pos
+      end)
+    sizes;
+  Array.of_list ((0 :: List.rev !cuts) @ [ total ])
+
+let agg_timeline ?robust ?shard_blocks plan tuples (spec : Semant.agg_spec) =
+  (* A partitioned plan under a Parallel algorithm evaluates each
+     storage shard's slice in its own evaluation shard: the per-shard
+     streams (after this aggregate's NULL filtering) give the explicit
+     offsets [Engine.eval] pins the parallel split to.  DISTINCT
+     re-sorts by value and span grouping goes through [Span.eval], so
+     both keep the unpinned path. *)
+  let sharded =
+    match (shard_blocks, plan.Semant.algorithm, plan.Semant.granule) with
+    | Some blocks, Tempagg.Engine.Parallel { domains; _ }, None
+      when not spec.Semant.distinct ->
+        Some (blocks, domains)
+    | _ -> None
+  in
+  let data, shard_offsets =
+    match sharded with
+    | Some (blocks, domains) ->
+        let data_blocks =
+          List.map (fun b -> List.of_seq (data_for b spec)) blocks
+        in
+        ( List.to_seq (List.concat data_blocks),
+          Some
+            (group_offsets ~target:domains
+               (List.map List.length data_blocks)) )
+    | None -> (data_for tuples spec, None)
+  in
   let data =
     (* Duplicate elimination happens before the relation is processed
        (paper Section 7); the prepared stream is value-ordered. *)
@@ -125,7 +170,7 @@ let agg_timeline ?robust plan tuples (spec : Semant.agg_spec) =
     else plan
   in
   match monoid_of_spec spec with
-  | Value_monoid monoid -> run_engine ?robust plan monoid data
+  | Value_monoid monoid -> run_engine ?robust ?shard_offsets plan monoid data
 
 (* Pair up the per-aggregate timelines into one timeline of value lists.
    All of them cover the full [origin,horizon], so refine never fails. *)
@@ -170,32 +215,78 @@ let partitions (plan : Semant.plan) tuples =
            !order)
 
 let run_aux ?robust (plan : Semant.plan) =
-  let tuples =
-    List.filter plan.Semant.filter (Trel.tuples plan.Semant.relation)
+  let clip_tuple w t =
+    Option.map
+      (fun clipped -> Tuple.with_valid t clipped)
+      (Interval.intersect (Tuple.valid t) w)
   in
-  (* DURING window: keep only the overlapping part of each tuple. *)
+  (* Partitioned relation: the physical tuple list is the shards
+     concatenated in order, so walk it block by block.  A shard whose
+     time span misses the DURING window is skipped wholesale — its
+     tuples are never filtered, clipped or even looked at, which is
+     where partition pruning actually saves work on the batch path. *)
+  let blocks =
+    match plan.Semant.shard_layout with
+    | [] -> None
+    | layout ->
+        let rec take n acc rest =
+          if n = 0 then (List.rev acc, rest)
+          else
+            match rest with
+            | [] -> (List.rev acc, [])
+            | x :: tl -> take (n - 1) (x :: acc) tl
+        in
+        let rec split tuples = function
+          | [] -> []
+          | (span, count) :: rest ->
+              let block, tail = take count [] tuples in
+              let kept =
+                match plan.Semant.window with
+                | Some w when not (Interval.overlaps span w) -> []
+                | Some w ->
+                    List.filter_map
+                      (fun t ->
+                        if plan.Semant.filter t then clip_tuple w t else None)
+                      block
+                | None -> List.filter plan.Semant.filter block
+              in
+              kept :: split tail rest
+        in
+        Some (split (Trel.tuples plan.Semant.relation) layout)
+  in
   let tuples =
-    match plan.Semant.window with
-    | None -> tuples
-    | Some w ->
-        List.filter_map
-          (fun t ->
-            Option.map
-              (fun clipped -> Tuple.with_valid t clipped)
-              (Interval.intersect (Tuple.valid t) w))
-          tuples
+    match blocks with
+    | Some bs -> List.concat bs
+    | None ->
+        let tuples =
+          List.filter plan.Semant.filter (Trel.tuples plan.Semant.relation)
+        in
+        (* DURING window: keep only the overlapping part of each tuple. *)
+        (match plan.Semant.window with
+        | None -> tuples
+        | Some w -> List.filter_map (clip_tuple w) tuples)
   in
   let tuples =
     if plan.Semant.sort_first then
       List.stable_sort Tuple.compare_by_time tuples
     else tuples
   in
+  (* Shard blocks stay usable as evaluation-shard boundaries only while
+     the concatenation order is untouched: a pre-sort reorders across
+     blocks, and grouping partitions the tuples by value. *)
+  let shard_blocks =
+    match blocks with
+    | Some bs
+      when plan.Semant.group_columns = [] && not plan.Semant.sort_first ->
+        Some bs
+    | _ -> None
+  in
   let grouped = plan.Semant.group_columns <> [] in
   let rows =
     List.concat_map
       (fun (key, group_tuples) ->
         let timelines =
-          List.map (agg_timeline ?robust plan group_tuples)
+          List.map (agg_timeline ?robust ?shard_blocks plan group_tuples)
             plan.Semant.aggregates
         in
         let zipped =
@@ -411,9 +502,16 @@ let explain ?(adaptive = true) ?algorithm ?domains ?on_error catalog text =
        \  why: %s"
        plan.Semant.source_name
        (Trel.cardinality plan.Semant.relation)
-       (match plan.Semant.window with
-       | Some w -> Printf.sprintf " during %s" (Interval.to_string w)
-       | None -> "")
+       ((match plan.Semant.window with
+        | Some w -> Printf.sprintf " during %s" (Interval.to_string w)
+        | None -> "")
+       ^
+       match plan.Semant.shard_layout with
+       | [] -> ""
+       | layout ->
+           Printf.sprintf " [%d shard(s): %d scanned, %d pruned]"
+             (List.length layout) plan.Semant.scanned_shards
+             plan.Semant.pruned_shards)
        (if plan.Semant.sort_first then ", sort by time" else "")
        (String.concat ", "
           (List.map

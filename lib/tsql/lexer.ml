@@ -25,6 +25,10 @@ type token =
   | ANALYZE
   | SHOW
   | STATS
+  | TABLE
+  | PARTITION
+  | PARTITIONS
+  | RANGE
   | IDENT of string
   | INT of int
   | FLOAT of float
@@ -71,6 +75,10 @@ let token_to_string = function
   | ANALYZE -> "ANALYZE"
   | SHOW -> "SHOW"
   | STATS -> "STATS"
+  | TABLE -> "TABLE"
+  | PARTITION -> "PARTITION"
+  | PARTITIONS -> "PARTITIONS"
+  | RANGE -> "RANGE"
   | IDENT s -> s
   | INT n -> string_of_int n
   | FLOAT f -> Printf.sprintf "%g" f
@@ -117,6 +125,10 @@ let keyword_of = function
   | "analyze" -> Some ANALYZE
   | "show" -> Some SHOW
   | "stats" -> Some STATS
+  | "table" -> Some TABLE
+  | "partition" -> Some PARTITION
+  | "partitions" -> Some PARTITIONS
+  | "range" -> Some RANGE
   | _ -> None
 
 let is_ident_start = function

@@ -32,6 +32,10 @@ type token =
   | ANALYZE
   | SHOW
   | STATS
+  | TABLE
+  | PARTITION
+  | PARTITIONS
+  | RANGE
   | IDENT of string
   | INT of int
   | FLOAT of float

@@ -221,6 +221,63 @@ let query_body st =
   in
   { Ast.select; from; during; where; group_by; grouping; using; on_error }
 
+(* Column types for CREATE TABLE, with the usual SQL synonyms. *)
+let column_ty_of_ident name =
+  match String.lowercase_ascii name with
+  | "int" | "integer" -> Some Relation.Value.Tint
+  | "float" | "real" | "double" -> Some Relation.Value.Tfloat
+  | "string" | "text" | "varchar" -> Some Relation.Value.Tstring
+  | _ -> None
+
+let column_decl st =
+  let name = ident st in
+  let ty_name = ident st in
+  match column_ty_of_ident ty_name with
+  | Some ty -> (name, ty)
+  | None ->
+      raise
+        (Syntax_error
+           (Printf.sprintf "unknown column type %S (INT, FLOAT or STRING)"
+              ty_name))
+
+(* CREATE TABLE name (col TYPE, ...) PARTITION BY RANGE (vt) [(b1, ...)] *)
+let create_table st =
+  let name = ident st in
+  expect st Lexer.LPAREN "'('";
+  let columns = comma_separated st column_decl in
+  expect st Lexer.RPAREN "')'";
+  expect st Lexer.PARTITION "PARTITION BY RANGE (vt)";
+  expect st Lexer.BY "BY";
+  expect st Lexer.RANGE "RANGE";
+  expect st Lexer.LPAREN "'('";
+  (match peek st with
+  | Lexer.IDENT key when String.lowercase_ascii key = "vt" -> advance st
+  | _ -> fail st "the partitioning key vt");
+  expect st Lexer.RPAREN "')'";
+  let boundaries =
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      let bs =
+        comma_separated st (fun st ->
+            match peek st with
+            | Lexer.INT n -> advance st; n
+            | _ -> fail st "a boundary instant")
+      in
+      expect st Lexer.RPAREN "')'";
+      let rec ascending prev = function
+        | [] -> true
+        | b :: rest -> b > prev && ascending b rest
+      in
+      if not (ascending 0 bs) then
+        raise
+          (Syntax_error
+             "partition boundaries must be positive and strictly increasing");
+      bs
+    end
+    else []
+  in
+  Ast.Create_table { name; columns; boundaries }
+
 let statement st =
   match peek st with
   | Lexer.SELECT -> Ast.Select (query_body st)
@@ -231,16 +288,28 @@ let statement st =
   | Lexer.ANALYZE ->
       advance st;
       Ast.Analyze (ident st)
-  | Lexer.SHOW ->
+  | Lexer.SHOW -> (
       advance st;
-      expect st Lexer.STATS "STATS";
-      Ast.Show_stats
-  | Lexer.CREATE ->
+      match peek st with
+      | Lexer.STATS ->
+          advance st;
+          Ast.Show_stats
+      | Lexer.PARTITIONS ->
+          advance st;
+          Ast.Show_partitions
+      | _ -> fail st "STATS or PARTITIONS")
+  | Lexer.CREATE -> (
       advance st;
-      expect st Lexer.VIEW "VIEW";
-      let name = ident st in
-      expect st Lexer.AS "AS";
-      Ast.Create_view { name; definition = query_body st }
+      match peek st with
+      | Lexer.TABLE ->
+          advance st;
+          create_table st
+      | Lexer.VIEW ->
+          advance st;
+          let name = ident st in
+          expect st Lexer.AS "AS";
+          Ast.Create_view { name; definition = query_body st }
+      | _ -> fail st "VIEW or TABLE")
   | Lexer.REFRESH ->
       advance st;
       expect st Lexer.VIEW "VIEW";
@@ -275,7 +344,7 @@ let statement st =
   | _ ->
       fail st
         "a statement (SELECT, EXPLAIN ANALYZE, CREATE, REFRESH, DROP, INSERT, \
-         DELETE, ANALYZE, SHOW STATS)"
+         DELETE, ANALYZE, SHOW STATS, SHOW PARTITIONS)"
 
 let run_parser text parse_fn =
   match Lexer.tokenize text with

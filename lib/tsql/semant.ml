@@ -31,6 +31,13 @@ type plan = {
          granule, no pre-sort.  Only then do run-time ordering
          observations (a k-ordered tree completing cleanly) say
          anything about the relation itself. *)
+  shard_layout : (Temporal.Interval.t * int) list;
+      (* The relation's storage-shard layout ([] = unpartitioned):
+         (time span, cardinality) per shard, in materialization order.
+         Lets the evaluator skip whole shards outside the DURING window
+         and pin parallel evaluation shards to storage shards. *)
+  scanned_shards : int;  (* shards overlapping the window; 0 unsharded *)
+  pruned_shards : int;  (* shards skipped outright; 0 unsharded *)
 }
 
 let ( let* ) = Result.bind
@@ -195,7 +202,7 @@ let all_invertible aggregates =
     aggregates
 
 let choose_algorithm catalog relation (q : Ast.query) ~invertible ~adaptive
-    granule window =
+    ~shard_layout granule window =
   match q.Ast.using with
   | Some hint ->
       let* algorithm = Tempagg.Engine.of_string hint in
@@ -243,6 +250,8 @@ let choose_algorithm catalog relation (q : Ast.query) ~invertible ~adaptive
           Tempagg.Optimizer.time_ordered = Trel.is_time_ordered relation;
           expected_constant_intervals;
           invertible_aggregate = invertible;
+          shard_spans = List.map fst shard_layout;
+          query_window = window;
         }
       in
       let choice =
@@ -322,10 +331,34 @@ let analyze ?(adaptive = true) catalog (q : Ast.query) =
           | None -> Temporal.Chronon.forever))
       q.Ast.during
   in
+  let shard_layout =
+    (* Trust the layout only when it demonstrably describes this
+       relation (a stale layout after an unmirrored write would
+       misalign shard skipping with the physical tuples). *)
+    let l = Catalog.layout catalog q.Ast.from in
+    if List.fold_left (fun acc (_, c) -> acc + c) 0 l = Trel.cardinality relation
+    then l
+    else []
+  in
   let* algorithm, sort_first, on_error, rationale, stats_source =
     choose_algorithm catalog relation q
       ~invertible:(all_invertible aggregates)
-      ~adaptive granule window
+      ~adaptive ~shard_layout granule window
+  in
+  let scanned_shards, pruned_shards =
+    match shard_layout with
+    | [] -> (0, 0)
+    | layout -> (
+        match window with
+        | None -> (List.length layout, 0)
+        | Some w ->
+            let scanned =
+              List.length
+                (List.filter
+                   (fun (span, _) -> Temporal.Interval.overlaps span w)
+                   layout)
+            in
+            (scanned, List.length layout - scanned))
   in
   let plain_scan =
     q.Ast.where = [] && q.Ast.group_by = [] && window = None && granule = None
@@ -369,4 +402,7 @@ let analyze ?(adaptive = true) catalog (q : Ast.query) =
       rationale;
       stats_source;
       plain_scan;
+      shard_layout;
+      scanned_shards;
+      pruned_shards;
     }

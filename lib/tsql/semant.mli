@@ -55,6 +55,18 @@ type plan = {
       (** The evaluated stream is exactly the relation in physical
           order (no filter/clip/group/distinct/granule/pre-sort), so
           run-time ordering observations transfer to the relation. *)
+  shard_layout : (Temporal.Interval.t * int) list;
+      (** The relation's storage-shard layout from
+          {!Catalog.layout} ([[]] = unpartitioned), kept only when its
+          cardinalities sum to the relation's.  {!Eval} uses it to skip
+          shards outside the DURING window without touching their
+          tuples, and to pin a [Parallel] plan's evaluation shards to
+          storage shards. *)
+  scanned_shards : int;
+      (** Shards overlapping the window (all of them without a window);
+          0 for an unpartitioned relation. *)
+  pruned_shards : int;
+      (** Shards skipped outright; 0 for an unpartitioned relation. *)
 }
 
 val analyze : ?adaptive:bool -> Catalog.t -> Ast.query -> (plan, string) result

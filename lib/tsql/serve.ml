@@ -28,11 +28,14 @@ let kind_of = function
   | Ast.Delete_from _ -> "delete"
   | Ast.Analyze _ -> "analyze"
   | Ast.Show_stats -> "show-stats"
+  | Ast.Create_table _ -> "create-table"
+  | Ast.Show_partitions -> "show-partitions"
 
 (* Kinds in a stable display order. *)
 let kind_order =
-  [ "select"; "insert"; "delete"; "create-view"; "refresh-view"; "drop-view";
-    "explain-analyze"; "analyze"; "show-stats" ]
+  [ "select"; "insert"; "delete"; "create-table"; "create-view";
+    "refresh-view"; "drop-view"; "explain-analyze"; "analyze"; "show-stats";
+    "show-partitions" ]
 
 (* Latencies live in per-kind log-bucketed histograms (gamma 1.05, a 5%
    relative error bound on percentiles) instead of raw sample arrays:
@@ -51,7 +54,42 @@ let stats_of_histogram h errors =
 
 let refresh_session_metrics registry session =
   Live.Stats.to_metrics registry (Session.stats session);
-  Obs.Stats.store_to_metrics registry (Session.store session)
+  Obs.Stats.store_to_metrics registry (Session.store session);
+  (* Partitioned-storage gauges, one set per partitioned relation.
+     Registering the same (name, labels) pair on every refresh returns
+     the existing gauge, so this is idempotent. *)
+  List.iter
+    (fun (name, p) ->
+      let labels = [ ("relation", name) ] in
+      Obs.Metrics.set_int
+        (Obs.Metrics.gauge registry
+           ~help:"Storage shards per partitioned relation" ~labels
+           "tempagg_partition_shards")
+        (Storage.Partition.shard_count p);
+      let queries, scanned, pruned = Storage.Partition.pruning_totals p in
+      Obs.Metrics.set_int
+        (Obs.Metrics.gauge registry
+           ~help:"Planned queries against the partitioned relation" ~labels
+           "tempagg_partition_queries")
+        queries;
+      Obs.Metrics.set_int
+        (Obs.Metrics.gauge registry
+           ~help:"Shards scanned by planned queries" ~labels
+           "tempagg_partition_shards_scanned")
+        scanned;
+      Obs.Metrics.set_int
+        (Obs.Metrics.gauge registry
+           ~help:"Shards pruned by planned queries" ~labels
+           "tempagg_partition_shards_pruned")
+        pruned;
+      Obs.Metrics.set
+        (Obs.Metrics.gauge registry
+           ~help:
+             "Fraction of candidate shards pruned across planned queries"
+           ~labels "tempagg_partition_pruning_ratio")
+        (if scanned + pruned = 0 then 0.
+         else float_of_int pruned /. float_of_int (scanned + pruned)))
+    (Session.partitions session)
 
 (* A slow SELECT against a base relation is re-run under
    [Eval.query_profiled] to attach the full profile to its slowlog

@@ -15,6 +15,11 @@ type base = {
   ids : (int, Tuple.t) Hashtbl.t;
   mutable next_id : int;
   mutable cached : Trel.t option;
+  part : Storage.Partition.t option;
+      (* Time-partitioned backing store.  Writes go to both the id table
+         (which the incremental views key their handles on) and the
+         partition; reads materialize from the partition so the tuple
+         order matches the shard layout handed to the planner. *)
 }
 
 type agg_view =
@@ -56,24 +61,42 @@ type t = {
          observations made before the session carry over; every catalog
          the session materializes is attached to this same store. *)
   adaptive : bool;
+  mutable data_dir : string option;
+      (* Where CREATE TABLE places partition directories; a temp dir is
+         made on first use when none was given. *)
+  split_threshold : int option;  (* Partition shard-split threshold. *)
 }
 
 let materialize base =
   match base.cached with
   | Some rel -> rel
   | None ->
-      let rows = Hashtbl.fold (fun id tu acc -> (id, tu) :: acc) base.ids [] in
-      let rows = List.sort (fun (a, _) (b, _) -> Int.compare a b) rows in
-      let rel = Trel.create base.schema (List.map snd rows) in
+      let rel =
+        match base.part with
+        | Some p -> Storage.Partition.materialize p
+        | None ->
+            let rows =
+              Hashtbl.fold (fun id tu acc -> (id, tu) :: acc) base.ids []
+            in
+            let rows =
+              List.sort (fun (a, _) (b, _) -> Int.compare a b) rows
+            in
+            Trel.create base.schema (List.map snd rows)
+      in
       base.cached <- Some rel;
       rel
 
 let catalog t =
   Hashtbl.fold
-    (fun _ base acc -> Catalog.add acc base.bname (materialize base))
+    (fun _ base acc ->
+      let acc = Catalog.add acc base.bname (materialize base) in
+      match base.part with
+      | Some p ->
+          Catalog.with_layout acc base.bname (Storage.Partition.shard_layout p)
+      | None -> acc)
     t.bases (Catalog.of_store t.store)
 
-let add_base t name rel =
+let add_base ?part t name rel =
   let ids = Hashtbl.create (max 16 (Trel.cardinality rel)) in
   List.iteri (fun i tu -> Hashtbl.replace ids i tu) (Trel.tuples rel);
   Hashtbl.replace t.bases (fold name)
@@ -83,9 +106,11 @@ let add_base t name rel =
       ids;
       next_id = Trel.cardinality rel;
       cached = Some rel;
+      part;
     }
 
-let create ?(cache_capacity = 128) ?(adaptive = true) source =
+let create ?(cache_capacity = 128) ?(adaptive = true) ?data_dir
+    ?split_threshold source =
   let stats = Live.Stats.create () in
   let t =
     {
@@ -95,12 +120,35 @@ let create ?(cache_capacity = 128) ?(adaptive = true) source =
       stats;
       store = Catalog.store source;
       adaptive;
+      data_dir;
+      split_threshold;
     }
   in
   List.iter
     (fun name -> add_base t name (Option.get (Catalog.find source name)))
     (Catalog.names source);
   t
+
+let ensure_data_dir t =
+  match t.data_dir with
+  | Some dir ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      dir
+  | None ->
+      let dir = Filename.temp_dir "tempagg-session" "" in
+      t.data_dir <- Some dir;
+      dir
+
+let add_partition t name p =
+  add_base ~part:p t name (Storage.Partition.materialize p)
+
+let partitions t =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold
+       (fun _ b acc ->
+         match b.part with Some p -> (b.bname, p) :: acc | None -> acc)
+       t.bases [])
 
 let stats t = t.stats
 let cache_length t = Live.Cache.length t.cache
@@ -352,6 +400,11 @@ let insert_into t rel_name values window =
         let id = base.next_id in
         base.next_id <- id + 1;
         Hashtbl.replace base.ids id tuple;
+        (match base.part with
+        | Some p ->
+            Storage.Partition.insert p tuple;
+            Storage.Partition.flush p
+        | None -> ());
         base.cached <- None;
         Obs.Stats.store_invalidate t.store key;
         touch_views t key (fun incr -> insert_tuple incr id tuple);
@@ -381,6 +434,9 @@ let delete_from t rel_name where =
                  ~interval:(Tuple.valid tu)))
           victims;
         if victims <> [] then begin
+          (match base.part with
+          | Some p -> ignore (Storage.Partition.delete p filter)
+          | None -> ());
           base.cached <- None;
           Obs.Stats.store_invalidate t.store key
         end;
@@ -388,6 +444,81 @@ let delete_from t rel_name where =
           (Ack
              (Printf.sprintf "deleted %d tuple(s) from %s"
                 (List.length victims) base.bname))
+
+let create_table t name columns boundaries =
+  let key = fold name in
+  if Hashtbl.mem t.views key then
+    Error (Printf.sprintf "%S is a view" name)
+  else if Hashtbl.mem t.bases key then
+    Error (Printf.sprintf "relation %S already exists" name)
+  else
+    match Schema.of_pairs columns with
+    | exception Invalid_argument msg -> Error ("invalid schema: " ^ msg)
+    | schema -> (
+        let dir = Filename.concat (ensure_data_dir t) key in
+        match
+          Storage.Partition.create ?split_threshold:t.split_threshold
+            ~boundaries ~dir schema
+        with
+        | exception Invalid_argument msg ->
+            Error ("CREATE TABLE failed: " ^ msg)
+        | p ->
+            Hashtbl.replace t.bases key
+              {
+                bname = name;
+                schema;
+                ids = Hashtbl.create 16;
+                next_id = 0;
+                cached = None;
+                part = Some p;
+              };
+            Ok
+              (Ack
+                 (Printf.sprintf "table %s created: %d shard(s) in %s" name
+                    (Storage.Partition.shard_count p)
+                    dir)))
+
+let show_partitions t =
+  match partitions t with
+  | [] -> Ok (Ack "no partitioned relations")
+  | parts ->
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun (name, p) ->
+          let module P = Storage.Partition in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "partition %s: %d shard(s), %d tuple(s), split threshold %d, \
+                dir %s\n"
+               name (P.shard_count p) (P.cardinality p) (P.split_threshold p)
+               (P.dir p));
+          List.iter
+            (fun (i : P.shard_info) ->
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "  shard %d: %s  %s  %d tuple(s)  io: %dr/%dw/%dretry/%dbad\n"
+                   i.P.si_index i.P.si_file
+                   (Interval.to_string i.P.si_cover)
+                   i.P.si_cardinality i.P.si_io.Storage.Io_stats.pages_read
+                   i.P.si_io.Storage.Io_stats.pages_written
+                   i.P.si_io.Storage.Io_stats.retries
+                   i.P.si_io.Storage.Io_stats.corrupt_pages))
+            (P.shard_infos p);
+          let queries, scanned, pruned = P.pruning_totals p in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  pruning: %d quer%s planned, %d shard(s) scanned, %d pruned%s\n"
+               queries
+               (if queries = 1 then "y" else "ies")
+               scanned pruned
+               (if scanned + pruned = 0 then ""
+                else
+                  Printf.sprintf " (%.1f%% pruned)"
+                    (100.
+                    *. float_of_int pruned
+                    /. float_of_int (scanned + pruned)))))
+        parts;
+      Ok (Ack (String.trim (Buffer.contents buf)))
 
 (* ---- queries ---- *)
 
@@ -473,6 +604,13 @@ let select t (q : Ast.query) =
   | Some v -> select_view t v q
   | None ->
       let* plan = Semant.analyze ~adaptive:t.adaptive (catalog t) q in
+      (if plan.Semant.shard_layout <> [] then
+         match Hashtbl.find_opt t.bases (fold q.Ast.from) with
+         | Some { part = Some p; _ } ->
+             Storage.Partition.record_pruning p
+               ~scanned:plan.Semant.scanned_shards
+               ~pruned:plan.Semant.pruned_shards
+         | _ -> ());
       let* rel = run_plan t plan in
       Ok (Rows rel)
 
@@ -535,11 +673,75 @@ let analyze_relation t name =
           }
         in
         Obs.Stats.set_analysis (Obs.Stats.store_get t.store key) analysis;
+        (* A partitioned base additionally gets its shard boundaries
+           re-derived from the endpoint sketch (equi-depth over the
+           sampled instants) and one statistics entry per shard, so the
+           planner and SHOW STATS see the post-ANALYZE layout. *)
+        let repartition_note =
+          match base.part with
+          | None -> ""
+          | Some _ when Trel.cardinality rel = 0 -> ""
+          | Some p ->
+              let starts =
+                List.map
+                  (fun tu -> Chronon.to_int (Interval.start (Tuple.valid tu)))
+                  (Trel.tuples rel)
+              in
+              let lo = List.fold_left min max_int starts in
+              let hi = List.fold_left max 0 starts in
+              let shards =
+                max
+                  (Storage.Partition.shard_count p)
+                  Tempagg.Optimizer.max_eval_shards
+              in
+              let boundaries =
+                Storage.Partition.choose_boundaries ~shards ~lifespan:(lo, hi)
+                  (Obs.Stats.Distinct.sample sketch)
+              in
+              Storage.Partition.repartition p boundaries;
+              base.cached <- None;
+              List.iter
+                (fun (i : Storage.Partition.shard_info) ->
+                  let tuples =
+                    Storage.Partition.shard_tuples p i.Storage.Partition.si_index
+                  in
+                  let sest =
+                    Ordering.Korder.estimator ~compare:Int.compare ()
+                  in
+                  let ssketch = Obs.Stats.Distinct.sketch () in
+                  List.iter
+                    (fun tu ->
+                      let iv = Tuple.valid tu in
+                      Ordering.Korder.observe sest
+                        (Chronon.to_int (Interval.start iv));
+                      Obs.Stats.Distinct.add ssketch
+                        (Chronon.to_int (Interval.start iv));
+                      Obs.Stats.Distinct.add ssketch
+                        (Chronon.to_int (Interval.stop iv)))
+                    tuples;
+                  let sk = Ordering.Korder.estimate sest in
+                  Obs.Stats.set_analysis
+                    (Obs.Stats.store_get t.store
+                       (Printf.sprintf "%s/shard-%d" key
+                          i.Storage.Partition.si_index))
+                    {
+                      Obs.Stats.an_cardinality = List.length tuples;
+                      an_k = sk;
+                      an_slack = Ordering.Korder.slack sest;
+                      an_percentage = None;
+                      an_time_ordered = sk = 0;
+                      an_distinct_endpoints =
+                        Obs.Stats.Distinct.estimate ssketch;
+                    })
+                (Storage.Partition.shard_infos p);
+              Printf.sprintf ", repartitioned into %d shard(s)"
+                (Storage.Partition.shard_count p)
+        in
         Ok
           (Ack
              (Printf.sprintf
                 "analyzed %s: %d tuple(s), k<=%d%s%s, %s, ~%d distinct \
-                 endpoint(s)"
+                 endpoint(s)%s"
                 base.bname analysis.Obs.Stats.an_cardinality k
                 (if slack > 0 then Printf.sprintf " (+%d merge slack)" slack
                  else "")
@@ -547,7 +749,7 @@ let analyze_relation t name =
                 | Some p -> Printf.sprintf " (%.1f%% of the k budget)" (100. *. p)
                 | None -> "")
                 (if k = 0 then "sorted by time" else "not time-ordered")
-                analysis.Obs.Stats.an_distinct_endpoints))
+                analysis.Obs.Stats.an_distinct_endpoints repartition_note))
 
 let show_stats t = Ok (Ack (Obs.Stats.store_to_string t.store))
 
@@ -562,6 +764,9 @@ let exec_statement t = function
   | Ast.Insert_into { relation; values; window } ->
       insert_into t relation values window
   | Ast.Delete_from { relation; where } -> delete_from t relation where
+  | Ast.Create_table { name; columns; boundaries } ->
+      create_table t name columns boundaries
+  | Ast.Show_partitions -> show_partitions t
 
 let exec t text =
   let* stmt = Parser.parse_statement text in

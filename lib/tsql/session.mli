@@ -29,14 +29,25 @@ type outcome =
   | Rows of Relation.Trel.t  (** A SELECT's result relation. *)
   | Ack of string  (** DDL / DML acknowledgement. *)
 
-val create : ?cache_capacity:int -> ?adaptive:bool -> Catalog.t -> t
+val create :
+  ?cache_capacity:int ->
+  ?adaptive:bool ->
+  ?data_dir:string ->
+  ?split_threshold:int ->
+  Catalog.t ->
+  t
 (** A session whose base relations are the catalog's bindings (snapshot:
     later catalog changes are not seen).  [cache_capacity] bounds the
     query cache (default 128 entries).  The catalog's statistics store
     is inherited (shared, mutable); [adaptive] (default true) lets the
     planner consult it — turned off by the CLI's [--no-adaptive].
     Writes to a base relation invalidate its ordering statistics either
-    way. *)
+    way.
+
+    [data_dir] is where [CREATE TABLE ... PARTITION BY RANGE (vt)]
+    places partition directories (a temp dir is made on first use when
+    absent); [split_threshold] caps a partition shard's cardinality
+    before it splits (defaulting to {!Storage.Partition}'s). *)
 
 val exec : t -> string -> (outcome, string) result
 (** Parse and execute one statement. *)
@@ -65,3 +76,13 @@ val cache_length : t -> int
 val store : t -> Obs.Stats.store
 (** The session's per-relation statistics store (shared with every
     catalog it materializes). *)
+
+val add_partition : t -> string -> Storage.Partition.t -> unit
+(** Register an opened {!Storage.Partition} as a base relation
+    (replacing any same-named one): queries see its materialized tuples
+    with the shard layout attached for pruning and shard-parallel
+    plans, and INSERT/DELETE/ANALYZE maintain the partition on disk. *)
+
+val partitions : t -> (string * Storage.Partition.t) list
+(** The partitioned base relations, sorted by name — the [SHOW
+    PARTITIONS] rows and the serve loop's per-relation shard gauges. *)

@@ -1,0 +1,446 @@
+(* Property tests for time-partitioned storage: a sharded partition must
+   be indistinguishable from a single heap — same tuples, same aggregate
+   timelines under any clip window and any boundary choice — while
+   pruning, splitting, repartitioning and shard faults happen around it.
+
+   The load-bearing property is [sharded_equals_single ~monoid]: route
+   random tuples through random boundaries, prune against a random
+   window, evaluate the surviving shard blocks shard-parallel with the
+   storage joints pinned via [shard_offsets], and demand the exact
+   brute-force timeline.  A pruning rule that used the owned range
+   instead of the extent (dropping tuples that start in one shard but
+   overhang into the window) fails this immediately. *)
+
+open Temporal
+open Relation
+open Storage
+
+let iv = Interval.of_ints
+let schema = Schema.of_pairs [ ("v", Value.Tint) ]
+let tuple_of (ivl, v) = Tuple.make [| Value.Int v |] ivl
+
+let value_of t =
+  match Tuple.value t 0 with Value.Int v -> v | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Temp-dir plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let with_partition ?split_threshold ?fault ~boundaries tuples f =
+  let dir = Filename.temp_file "tempagg_part" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let p = Partition.create ?split_threshold ?fault ~boundaries ~dir schema in
+      List.iter (fun d -> Partition.insert p (tuple_of d)) tuples;
+      Partition.flush p;
+      f p)
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let max_time = 200
+
+(* Bounded intervals over a small domain, so boundary collisions and
+   shard-straddling overhangs are common. *)
+let gen_data =
+  QCheck2.Gen.(
+    let gen_tuple =
+      let* s = int_bound (max_time - 1) in
+      let* len = int_bound 60 in
+      let* v = int_range 1 100 in
+      return (iv s (min (max_time - 1) (s + len)), v)
+    in
+    list_size (int_range 0 40) gen_tuple)
+
+let gen_boundaries =
+  QCheck2.Gen.(
+    let* bs = list_size (int_range 0 6) (int_range 1 (max_time - 1)) in
+    return (List.sort_uniq Int.compare bs))
+
+let gen_window =
+  QCheck2.Gen.(
+    let* none = map (fun n -> n = 0) (int_bound 4) in
+    if none then return None
+    else
+      let* lo = int_bound (max_time - 1) in
+      let* len = int_bound 80 in
+      return (Some (iv lo (min (max_time - 1) (lo + len)))))
+
+let gen_case = QCheck2.Gen.triple gen_data gen_boundaries gen_window
+
+let print_case (data, boundaries, window) =
+  Printf.sprintf "data=[%s] boundaries=[%s] window=%s"
+    (String.concat "; "
+       (List.map
+          (fun (ivl, v) -> Printf.sprintf "%s=%d" (Interval.to_string ivl) v)
+          data))
+    (String.concat "," (List.map string_of_int boundaries))
+    (match window with None -> "none" | Some w -> Interval.to_string w)
+
+(* ------------------------------------------------------------------ *)
+(* The sharded evaluation path, as the TSQL layer drives it            *)
+(* ------------------------------------------------------------------ *)
+
+let clip window ivl =
+  match window with None -> Some ivl | Some w -> Interval.intersect ivl w
+
+let eval_sharded p window monoid =
+  let keep = Partition.prune p window in
+  let blocks =
+    List.map
+      (fun i ->
+        List.filter_map
+          (fun t ->
+            Option.map (fun ivl -> (ivl, value_of t)) (clip window (Tuple.valid t)))
+          (Partition.shard_tuples p i))
+      keep
+  in
+  let offsets = Array.make (List.length blocks + 1) 0 in
+  List.iteri (fun i b -> offsets.(i + 1) <- offsets.(i) + List.length b) blocks;
+  let data = List.to_seq (List.concat blocks) in
+  match blocks with
+  | [] | [ _ ] -> Tempagg.Engine.eval Tempagg.Engine.Sweep monoid data
+  | _ ->
+      Tempagg.Engine.eval ~shard_offsets:offsets
+        (Tempagg.Engine.Parallel
+           { domains = List.length blocks; inner = Tempagg.Engine.Sweep })
+        monoid data
+
+let reference window monoid data =
+  Tempagg.Reference.eval monoid
+    (List.filter_map
+       (fun (ivl, v) -> Option.map (fun w -> (w, v)) (clip window ivl))
+       data)
+
+let sharded_equals_single ~name ~monoid ~equal_r =
+  QCheck2.Test.make ~name ~count:120 ~print:print_case gen_case
+    (fun (data, boundaries, window) ->
+      with_partition ~boundaries data (fun p ->
+          Timeline.equal equal_r
+            (reference window monoid data)
+            (eval_sharded p window monoid)))
+
+let count_sharded =
+  sharded_equals_single ~name:"COUNT: sharded = single heap"
+    ~monoid:Tempagg.Monoid.count ~equal_r:Int.equal
+
+let sum_sharded =
+  sharded_equals_single ~name:"SUM: sharded = single heap"
+    ~monoid:Tempagg.Monoid.sum_int ~equal_r:Int.equal
+
+let min_sharded =
+  sharded_equals_single ~name:"MIN: sharded = single heap"
+    ~monoid:Tempagg.Monoid.min_int ~equal_r:(Option.equal Int.equal)
+
+let max_sharded =
+  sharded_equals_single ~name:"MAX: sharded = single heap"
+    ~monoid:Tempagg.Monoid.max_int ~equal_r:(Option.equal Int.equal)
+
+let avg_sharded =
+  sharded_equals_single ~name:"AVG: sharded = single heap"
+    ~monoid:Tempagg.Monoid.avg_int
+    ~equal_r:
+      (Option.equal (fun a b ->
+           Float.abs (a -. b) <= 1e-9 *. Float.max 1. (Float.abs a)))
+
+(* ------------------------------------------------------------------ *)
+(* Structural invariants                                               *)
+(* ------------------------------------------------------------------ *)
+
+let multiset tuples =
+  List.sort String.compare
+    (List.map
+       (fun t ->
+         Printf.sprintf "%s=%d" (Interval.to_string (Tuple.valid t)) (value_of t))
+       tuples)
+
+let input_multiset data = multiset (List.map tuple_of data)
+
+let materialize_preserves_tuples =
+  QCheck2.Test.make ~name:"materialize: multiset preserved, layout sums"
+    ~count:120 ~print:print_case gen_case
+    (fun (data, boundaries, _) ->
+      with_partition ~boundaries data (fun p ->
+          let rel = Partition.materialize p in
+          let layout = Partition.shard_layout p in
+          input_multiset data = multiset (Trel.tuples rel)
+          && List.fold_left (fun a (_, n) -> a + n) 0 layout
+             = List.length data
+          && Partition.cardinality p = List.length data))
+
+(* A shard's layout cardinalities are the joints of [materialize]'s
+   order: slicing the materialized tuple list by them recovers exactly
+   each shard's own tuples (the contiguous-slice property the parallel
+   plan relies on). *)
+let contiguous_slices =
+  QCheck2.Test.make ~name:"materialize: shards are contiguous slices"
+    ~count:120 ~print:print_case gen_case
+    (fun (data, boundaries, _) ->
+      with_partition ~boundaries data (fun p ->
+          let all = Trel.tuples (Partition.materialize p) in
+          let rec slices tuples = function
+            | [] -> tuples = []
+            | (_, n) :: rest ->
+                let rec take k acc rem =
+                  if k = 0 then (List.rev acc, rem)
+                  else
+                    match rem with
+                    | [] -> (List.rev acc, [])
+                    | x :: xs -> take (k - 1) (x :: acc) xs
+                in
+                let block, rem = take n [] tuples in
+                List.length block = n && slices rem rest
+          in
+          slices all (Partition.shard_layout p)
+          && List.concat
+               (List.map
+                  (fun i -> Partition.shard_tuples p i)
+                  (List.init (Partition.shard_count p) Fun.id))
+             |> multiset = multiset all))
+
+let split_respects_threshold =
+  QCheck2.Test.make ~name:"flush: splits keep results intact" ~count:80
+    ~print:print_case gen_case
+    (fun (data, boundaries, window) ->
+      with_partition ~split_threshold:4 ~boundaries data (fun p ->
+          input_multiset data = multiset (Trel.tuples (Partition.materialize p))
+          && Timeline.equal Int.equal
+               (reference window Tempagg.Monoid.count data)
+               (eval_sharded p window Tempagg.Monoid.count)))
+
+let repartition_preserves =
+  QCheck2.Test.make ~name:"repartition: contents and timelines survive"
+    ~count:80
+    ~print:(fun (case, bs) ->
+      Printf.sprintf "%s then [%s]" (print_case case)
+        (String.concat "," (List.map string_of_int bs)))
+    QCheck2.Gen.(pair gen_case gen_boundaries)
+    (fun ((data, boundaries, window), boundaries') ->
+      with_partition ~boundaries data (fun p ->
+          Partition.repartition p boundaries';
+          Partition.boundaries p = boundaries'
+          && input_multiset data = multiset (Trel.tuples (Partition.materialize p))
+          && Timeline.equal Int.equal
+               (reference window Tempagg.Monoid.count data)
+               (eval_sharded p window Tempagg.Monoid.count)))
+
+let load_roundtrip =
+  QCheck2.Test.make ~name:"load: layout and tuples survive reopen" ~count:60
+    ~print:print_case gen_case
+    (fun (data, boundaries, _) ->
+      with_partition ~boundaries data (fun p ->
+          let q = Partition.load (Partition.dir p) in
+          Partition.boundaries q = Partition.boundaries p
+          && Partition.shard_layout q = Partition.shard_layout p
+          && multiset (Trel.tuples (Partition.materialize q))
+             = multiset (Trel.tuples (Partition.materialize p))))
+
+let choose_boundaries_well_formed =
+  QCheck2.Test.make ~name:"choose_boundaries: sorted, in range, bounded"
+    ~count:200
+    ~print:(fun (shards, sample) ->
+      Printf.sprintf "shards=%d sample=[%s]" shards
+        (String.concat "," (List.map string_of_int sample)))
+    QCheck2.Gen.(
+      pair (int_range 1 10) (list_size (int_bound 60) (int_bound (max_time - 1))))
+    (fun (shards, sample) ->
+      let bs =
+        Partition.choose_boundaries ~shards ~lifespan:(0, max_time - 1) sample
+      in
+      let rec strictly_increasing = function
+        | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+        | _ -> true
+      in
+      strictly_increasing bs
+      && List.length bs <= shards - 1
+      && List.for_all (fun b -> b > 0 && b <= max_time - 1) bs)
+
+(* ------------------------------------------------------------------ *)
+(* Faults: per-shard failure, skip, retry and the parallel fallback    *)
+(* ------------------------------------------------------------------ *)
+
+let spread_data n =
+  List.init n (fun i -> (iv (i * 4 mod max_time) ((i * 4 mod max_time) + 3), i + 1))
+
+(* Transient read faults on every page: the heap layer's bounded retry
+   absorbs all of them, so the partition still reads back whole. *)
+let test_transient_faults_recovered () =
+  let fault = Fault.create ~transient:1.0 () in
+  let data = spread_data 120 in
+  with_partition ~fault ~boundaries:[ 50; 100; 150 ] data (fun p ->
+      Alcotest.(check bool)
+        "tuples survive" true
+        (input_multiset data = multiset (Trel.tuples (Partition.materialize p)));
+      let io = Partition.io_totals p in
+      Alcotest.(check bool) "retries recorded" true (io.Io_stats.retries > 0))
+
+(* Corrupt one shard's file on disk: that shard fails alone under
+   [`Fail], reads as a subset under [`Skip], and its siblings are
+   untouched either way. *)
+let test_corrupt_shard_is_isolated () =
+  let data = spread_data 120 in
+  with_partition ~boundaries:[ 50; 100; 150 ] data (fun p ->
+      let victim = List.hd (Partition.shard_infos p) in
+      let path =
+        Filename.concat (Partition.dir p) victim.Partition.si_file
+      in
+      (* Flip a byte inside the first data page, past the header page. *)
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+      ignore (Unix.lseek fd 8200 Unix.SEEK_SET);
+      let b = Bytes.create 1 in
+      ignore (Unix.read fd b 0 1);
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x40));
+      ignore (Unix.lseek fd 8200 Unix.SEEK_SET);
+      ignore (Unix.write fd b 0 1);
+      Unix.close fd;
+      Alcotest.(check bool) "corrupt shard fails" true
+        (match Partition.shard_tuples p victim.Partition.si_index with
+        | _ -> false
+        | exception Heap_file.Corrupt_page _ -> true);
+      Alcotest.(check bool) "sibling shard unaffected" true
+        (match Partition.shard_tuples p (victim.Partition.si_index + 1) with
+        | tuples -> tuples <> []
+        | exception Heap_file.Corrupt_page _ -> false);
+      let skipped = Partition.shard_tuples ~on_corrupt:`Skip p
+          victim.Partition.si_index in
+      Alcotest.(check bool) "skip drops only the bad page" true
+        (List.length skipped < victim.Partition.si_cardinality);
+      let rel = Partition.materialize ~on_corrupt:`Skip p in
+      Alcotest.(check bool) "materialize skips, others whole" true
+        (Trel.cardinality rel
+         = List.length data
+           - (victim.Partition.si_cardinality - List.length skipped)))
+
+(* The shard-parallel fallback: pin evaluation shards to storage joints,
+   make one shard's k-ordered tree blow up (k = 0 over misordered
+   tuples), and the robust engine must re-evaluate just that shard with
+   the order-oblivious tree — right answer, degradation recorded. *)
+let test_failed_shard_falls_back () =
+  (* Shard 2 receives starts 60, 70, 55, 90 in that order: with k = 0
+     the tree's frontier reaches 60 before 55 arrives, a hard order
+     violation.  Shard 1 stays sorted and must not be re-evaluated. *)
+  let data =
+    [
+      (iv 0 5, 1);
+      (iv 60 80, 2);
+      (iv 10 20, 3);
+      (iv 70 90, 4);
+      (iv 55 65, 5);
+      (iv 90 99, 6);
+    ]
+  in
+  with_partition ~boundaries:[ 50 ] data (fun p ->
+      let keep = Partition.prune p None in
+      let blocks =
+        List.map
+          (fun i ->
+            List.map
+              (fun t -> (Tuple.valid t, value_of t))
+              (Partition.shard_tuples p i))
+          keep
+      in
+      let offsets = Array.make (List.length blocks + 1) 0 in
+      List.iteri
+        (fun i b -> offsets.(i + 1) <- offsets.(i) + List.length b)
+        blocks;
+      let expected = Tempagg.Reference.eval Tempagg.Monoid.count data in
+      match
+        Tempagg.Engine.eval_robust ~shard_offsets:offsets
+          (Tempagg.Engine.Parallel
+             {
+               domains = List.length blocks;
+               inner = Tempagg.Engine.Korder_tree { k = 0 };
+             })
+          Tempagg.Monoid.count
+          (List.to_seq (List.concat blocks))
+      with
+      | Error e -> Alcotest.fail (Tempagg.Engine.error_to_string e)
+      | Ok (tl, degradations) ->
+          Alcotest.(check bool) "timeline correct" true
+            (Timeline.equal Int.equal expected tl);
+          Alcotest.(check bool) "shard degradation recorded" true
+            (degradations <> []))
+
+let test_bad_boundaries_rejected () =
+  let dir = Filename.temp_file "tempagg_part" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      List.iter
+        (fun bs ->
+          Alcotest.(check bool)
+            (Printf.sprintf "[%s] rejected"
+               (String.concat "," (List.map string_of_int bs)))
+            true
+            (match Partition.create ~boundaries:bs ~dir schema with
+            | _ -> false
+            | exception Invalid_argument _ -> true))
+        [ [ 10; 10 ]; [ 20; 10 ]; [ 0 ]; [ -5 ] ])
+
+let test_prune_uses_extents () =
+  (* Shard extents: 0 -> [0,5]; 1 (owns [50,100)) -> [50,130] via the
+     overhanging tuple; 2 (owns [100,150)) empty -> its owned range,
+     conservatively; 3 -> [150,199]. *)
+  let data = [ (iv 0 5, 1); (iv 90 130, 3); (iv 150 199, 2) ] in
+  with_partition ~boundaries:[ 50; 100; 150 ] data (fun p ->
+      Alcotest.(check (list int)) "gap window prunes everything" []
+        (Partition.prune p (Some (iv 10 40)));
+      (* [90,130] starts in shard 1, so shard 1's extent reaches 130: a
+         window inside shard 2's owned range must still scan shard 1
+         (the overhang-soundness case) along with the empty shard 2. *)
+      Alcotest.(check (list int)) "overhang keeps the owning shard"
+        [ 1; 2 ]
+        (Partition.prune p (Some (iv 110 120)));
+      Alcotest.(check int) "all kept without a window" 4
+        (List.length (Partition.prune p None)))
+
+let quick name f = Alcotest.test_case name `Quick f
+let prop = QCheck_alcotest.to_alcotest ~long:false
+
+let () =
+  (* Some cases route through [Engine.Parallel]'s domains; keep the
+     fault seed stable regardless of the environment. *)
+  Alcotest.run "partition"
+    [
+      ( "sharded-vs-single",
+        List.map prop
+          [
+            count_sharded;
+            sum_sharded;
+            min_sharded;
+            max_sharded;
+            avg_sharded;
+          ] );
+      ( "invariants",
+        List.map prop
+          [
+            materialize_preserves_tuples;
+            contiguous_slices;
+            split_respects_threshold;
+            repartition_preserves;
+            load_roundtrip;
+            choose_boundaries_well_formed;
+          ] );
+      ( "faults",
+        [
+          quick "transient faults recovered by retry"
+            test_transient_faults_recovered;
+          quick "corrupt shard fails alone; skip drops only it"
+            test_corrupt_shard_is_isolated;
+          quick "failed shard falls back without aborting"
+            test_failed_shard_falls_back;
+          quick "bad boundaries rejected" test_bad_boundaries_rejected;
+          quick "pruning uses extents, overhang included"
+            test_prune_uses_extents;
+        ] );
+    ]
