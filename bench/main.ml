@@ -1797,6 +1797,281 @@ let shard_bench cfg =
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* net: the TCP server under concurrent client processes               *)
+(* ------------------------------------------------------------------ *)
+
+(* Exact percentile over a sorted latency array (µs). *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+let net_statement_of_op next_id op =
+  let iv_ints iv =
+    ( Temporal.Chronon.to_int (Temporal.Interval.start iv),
+      Temporal.Chronon.to_int (Temporal.Interval.stop iv) )
+  in
+  match op with
+  | Workload.Generate.Insert (iv, v) ->
+      let id = !next_id in
+      incr next_id;
+      let a, b = iv_ints iv in
+      Printf.sprintf "INSERT INTO t VALUES (%d, %d) DURING [%d,%d]" id v a b
+  | Workload.Generate.Delete id ->
+      Printf.sprintf "DELETE FROM t WHERE id = %d" id
+  | Workload.Generate.Query_point c ->
+      let c = Temporal.Chronon.to_int c in
+      Printf.sprintf "SELECT COUNT(id) FROM t DURING [%d,%d]" c c
+  | Workload.Generate.Query_range iv ->
+      let a, b = iv_ints iv in
+      Printf.sprintf "SELECT COUNT(id) FROM t DURING [%d,%d]" a b
+
+(* The body of one forked client process: replay a trace of [ops_len]
+   operations as protocol statements, one outstanding at a time, and
+   log "<status> <latency_us>" per request to [file]. *)
+let net_client_body ~port ~seed ~initial_n ~ops_len ~file =
+  let _, ops =
+    Workload.Generate.trace
+      (Workload.Spec.ops
+         ~base:(Workload.Spec.make ~n:initial_n ~seed ())
+         ~initial:initial_n ~length:ops_len ())
+  in
+  let oc = open_out file in
+  let rec connect tries =
+    try Net.Client.connect ~port ()
+    with Unix.Unix_error _ when tries > 0 ->
+      Unix.sleepf 0.05;
+      connect (tries - 1)
+  in
+  let c = connect 40 in
+  let next_id = ref initial_n in
+  Array.iter
+    (fun op ->
+      let stmt = net_statement_of_op next_id op in
+      let t0 = Unix.gettimeofday () in
+      let status =
+        match Net.Client.request c stmt with
+        | Ok (Net.Protocol.Ok_reply { degraded = true; _ }) -> "degraded"
+        | Ok (Net.Protocol.Ok_reply _) -> "ok"
+        | Ok (Net.Protocol.Err _) -> "err"
+        | Ok (Net.Protocol.Busy _) -> "busy"
+        | Ok _ | Error _ -> "violation"
+      in
+      Printf.fprintf oc "%s %.0f\n" status ((Unix.gettimeofday () -. t0) *. 1e6))
+    ops;
+  ignore (Net.Client.request c "QUIT");
+  Net.Client.close c;
+  close_out oc
+
+type net_round_result = {
+  nr_admitted : int;
+  nr_degraded : int;
+  nr_err : int;
+  nr_busy : int;
+  nr_violations : int;
+  nr_rps : float;
+  nr_p50_us : float;
+  nr_p99_us : float;
+  nr_p999_us : float;
+  nr_drained : bool;
+  nr_client_failures : int;
+}
+
+let net_round ~tag ~clients ~domains ~queue_depth ~watermark ~initial_n
+    ~ops_len () =
+  (* The initial relation is shared through the catalog; each
+     connection's writes stay session-local, which is exactly what a
+     load test wants (no cross-client interference). *)
+  (* length 1 because a trace must be non-empty; only the preload is
+     used here. *)
+  let initial, _ =
+    Workload.Generate.trace
+      (Workload.Spec.ops
+         ~base:(Workload.Spec.make ~n:initial_n ~seed:11 ())
+         ~initial:initial_n ~length:1 ())
+  in
+  let schema =
+    Relation.Schema.of_pairs
+      [ ("id", Relation.Value.Tint); ("v", Relation.Value.Tint) ]
+  in
+  let rel =
+    Relation.Trel.of_array schema
+      (Array.mapi
+         (fun i (iv, v) ->
+           Relation.Tuple.make
+             [| Relation.Value.Int i; Relation.Value.Int v |]
+             iv)
+         initial)
+  in
+  let catalog = Tsql.Catalog.add (Tsql.Catalog.create ()) "t" rel in
+  let config =
+    {
+      Net.Server.default_config with
+      Net.Server.transport = Net.Server.Tcp 0;
+      domains;
+      queue_depth;
+      degrade_watermark = watermark;
+      drain_timeout_ms = 10_000;
+      idle_timeout_ms = 120_000;
+    }
+  in
+  let srv = Net.Server.create ~config catalog in
+  let port = Option.get (Net.Server.port srv) in
+  let files =
+    List.init clients (fun i ->
+        Filename.temp_file "tempagg-net-lat" (Printf.sprintf ".%s.%d" tag i))
+  in
+  (* The server and every client run as forked processes — the parent
+     never spawns a domain (the OCaml 5 runtime refuses to fork once
+     any domain has ever been created, so all Domain.spawn happens in
+     the server child).  Children exit with [_exit] so inherited
+     channel buffers are not re-flushed.  The server child's exit code
+     reports the drain: 0 iff SIGTERM drained it cleanly — which makes
+     the round a real end-to-end signal-handling check. *)
+  flush stdout;
+  flush stderr;
+  let server_pid =
+    match Unix.fork () with
+    | 0 ->
+        let code =
+          try
+            let report = Net.Server.run ~signals:true srv in
+            if report.Net.Server.drained then 0 else 2
+          with _ -> 3
+        in
+        Unix._exit code
+    | pid -> pid
+  in
+  let t_start = Unix.gettimeofday () in
+  let pids =
+    List.mapi
+      (fun i file ->
+        match Unix.fork () with
+        | 0 ->
+            let status =
+              try
+                net_client_body ~port ~seed:(101 + i) ~initial_n ~ops_len ~file;
+                0
+              with _ -> 1
+            in
+            Unix._exit status
+        | pid -> pid)
+      files
+  in
+  let client_failures =
+    List.fold_left
+      (fun acc pid ->
+        match Unix.waitpid [] pid with
+        | _, Unix.WEXITED 0 -> acc
+        | _ -> acc + 1)
+      0 pids
+  in
+  let wall = Unix.gettimeofday () -. t_start in
+  Unix.kill server_pid Sys.sigterm;
+  let drained =
+    match Unix.waitpid [] server_pid with
+    | _, Unix.WEXITED 0 -> true
+    | _ -> false
+  in
+  let admitted_lat = ref [] in
+  let degraded = ref 0
+  and err = ref 0
+  and busy = ref 0
+  and violations = ref 0 in
+  List.iter
+    (fun file ->
+      In_channel.with_open_text file (fun ic ->
+          let rec go () =
+            match In_channel.input_line ic with
+            | None -> ()
+            | Some line ->
+                (match String.split_on_char ' ' line with
+                | [ status; us ] -> (
+                    let us = float_of_string_opt us in
+                    match (status, us) with
+                    | "ok", Some us -> admitted_lat := us :: !admitted_lat
+                    | "degraded", Some us ->
+                        incr degraded;
+                        admitted_lat := us :: !admitted_lat
+                    | "err", Some us ->
+                        incr err;
+                        admitted_lat := us :: !admitted_lat
+                    | "busy", Some _ -> incr busy
+                    | _ -> incr violations)
+                | _ -> incr violations);
+                go ()
+          in
+          go ());
+      Sys.remove file)
+    files;
+  let sorted = Array.of_list !admitted_lat in
+  Array.sort compare sorted;
+  {
+    nr_admitted = Array.length sorted;
+    nr_degraded = !degraded;
+    nr_err = !err;
+    nr_busy = !busy;
+    nr_violations = !violations;
+    nr_rps = float_of_int (Array.length sorted) /. Float.max 1e-9 wall;
+    nr_p50_us = percentile sorted 0.50;
+    nr_p99_us = percentile sorted 0.99;
+    nr_p999_us = percentile sorted 0.999;
+    nr_drained = drained;
+    nr_client_failures = client_failures;
+  }
+
+let net_bench cfg =
+  banner "net"
+    "multi-client TCP server: load shedding and latency under saturation";
+  let initial_n = if cfg.smoke then 2_048 else 16_384 in
+  let ops_len = if cfg.smoke then 120 else 500 in
+  let show tag clients r =
+    Printf.printf
+      "  %-10s %d client(s): %6d admitted (%d degraded, %d err), %5d BUSY, \
+       %d violation(s); %7.0f req/s; p50 %6.2f ms  p99 %6.2f ms  p999 %6.2f \
+       ms  drain %s\n\
+       %!"
+      tag clients r.nr_admitted r.nr_degraded r.nr_err r.nr_busy
+      r.nr_violations r.nr_rps (r.nr_p50_us /. 1e3) (r.nr_p99_us /. 1e3)
+      (r.nr_p999_us /. 1e3)
+      (if r.nr_drained then "clean" else "FORCED");
+    List.iter
+      (fun (what, us) ->
+        record_point ~section:"net"
+          ~name:(tag ^ "-" ^ what)
+          ~n:clients ~algorithm:tag ~median_ns:(us *. 1e3) ())
+      [ ("p50", r.nr_p50_us); ("p99", r.nr_p99_us); ("p999", r.nr_p999_us) ]
+  in
+  (* Baseline: enough workers for every client, nothing queues. *)
+  let base =
+    net_round ~tag:"1x" ~clients:2 ~domains:2 ~queue_depth:8 ~watermark:None
+      ~initial_n ~ops_len ()
+  in
+  show "1x" 2 base;
+  (* 2x saturation: 8 synchronous clients against a capacity of 4
+     (2 domains in flight + 2 queued).  The server must shed the excess
+     with BUSY while admitted latency stays bounded. *)
+  let sat =
+    net_round ~tag:"2x" ~clients:8 ~domains:2 ~queue_depth:2
+      ~watermark:(Some 1) ~initial_n ~ops_len ()
+  in
+  show "2x" 8 sat;
+  let verdict ok msg = Printf.printf "  %s: %s\n" (if ok then "PASS" else "WARN") msg in
+  verdict (sat.nr_busy > 0)
+    (Printf.sprintf "saturated server sheds with BUSY (%d shed)" sat.nr_busy);
+  let ratio = sat.nr_p99_us /. Float.max 1e-9 base.nr_p99_us in
+  verdict (ratio <= 3.)
+    (Printf.sprintf "admitted p99 at 2x is %.2fx the unsaturated p99 (<= 3x)"
+       ratio);
+  verdict
+    (base.nr_drained && sat.nr_drained)
+    "both rounds drained cleanly on shutdown";
+  verdict
+    (base.nr_violations + sat.nr_violations = 0
+    && base.nr_client_failures + sat.nr_client_failures = 0)
+    "no protocol violations or client failures"
+
 let micro () =
   banner "micro" "bechamel micro-benchmarks (4096 tuples, ns per evaluation)";
   let open Bechamel in
@@ -1910,6 +2185,7 @@ let () =
   run "ablation_pagerand" (fun () -> ablation_pagerand cfg);
   run "storage_io" (fun () -> storage_io cfg);
   run "shard" (fun () -> shard_bench cfg);
+  run "net" (fun () -> net_bench cfg);
   run "micro" micro;
   write_json cfg;
   Printf.printf "\ntotal CPU time: %.1fs\n" (Sys.time () -. t0);

@@ -4,7 +4,9 @@
      query     run a TSQL2-subset query over CSV relations
      explain   show the evaluation plan without running the query
      serve     execute a script of interleaved DDL/DML/queries against
-               live incrementally-maintained views
+               live incrementally-maintained views, or (--listen) serve
+               many TCP clients with admission control + graceful drain
+     client    replay a statement script against a running server
      generate  write a synthetic relation (paper Section 6 methodology)
      metrics   report k-orderedness / k-ordered-percentage of a relation
      sort      time-sort a relation CSV
@@ -559,7 +561,114 @@ let extsort_cmd =
 
 (* serve *)
 
-let serve bindings cache_capacity echo metrics_every trace no_adaptive
+(* --slowlog-out alone means "log everything": threshold 0. *)
+let make_slowlog slowlog_ms slowlog_out =
+  match (slowlog_ms, slowlog_out) with
+  | None, None -> None
+  | ms, _ ->
+      Some (Obs.Slowlog.create ~threshold_ms:(Option.value ms ~default:0.) ())
+
+let write_slowlog slowlog slowlog_out =
+  match (slowlog, slowlog_out) with
+  | Some log, Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc (Obs.Slowlog.to_json log));
+      Printf.eprintf "slowlog: wrote %d entry(ies) to %s\n%!"
+        (List.length (Obs.Slowlog.entries log))
+        path
+  | _ -> ()
+
+(* The network server: the same catalog/session machinery behind a TCP
+   listener (or stdin as one connection), with admission control, a
+   worker-domain pool, and graceful drain on SIGTERM/SIGINT. *)
+let serve_net bindings cache_capacity no_adaptive slowlog_ms slowlog_out
+    data_dir split_threshold listen domains queue_depth degrade_watermark
+    drain_timeout_ms idle_timeout_ms max_connections memory_budget deadline_ms
+    on_error metrics_out =
+  let transport =
+    if String.lowercase_ascii listen = "stdin" then Ok Net.Server.Stdio
+    else
+      match int_of_string_opt listen with
+      | Some p when p >= 0 && p < 65536 -> Ok (Net.Server.Tcp p)
+      | _ ->
+          Error
+            (Printf.sprintf "--listen expects a port number or 'stdin', got %S"
+               listen)
+  in
+  match transport with
+  | Error msg -> `Error (false, msg)
+  | Ok transport -> (
+      if domains < 1 then `Error (false, "--domains must be >= 1")
+      else if queue_depth < 0 then `Error (false, "--queue-depth must be >= 0")
+      else
+        let partition_bindings, file_bindings =
+          List.partition
+            (fun spec ->
+              Storage.Partition.is_partition_dir (snd (parse_binding spec)))
+            bindings
+        in
+        match build_catalog file_bindings with
+        | Error msg -> `Error (false, msg)
+        | Ok catalog ->
+            let slowlog = make_slowlog slowlog_ms slowlog_out in
+            let config =
+              {
+                Net.Server.transport;
+                domains;
+                queue_depth;
+                degrade_watermark;
+                drain_timeout_ms;
+                idle_timeout_ms;
+                max_connections;
+                memory_budget;
+                deadline_ms;
+                degrade_deadline_ms = None;
+                on_error;
+                cache_capacity;
+                adaptive = not no_adaptive;
+                data_dir;
+                partitions = List.map parse_binding partition_bindings;
+                split_threshold;
+                slowlog;
+              }
+            in
+            let srv =
+              try Ok (Net.Server.create ~config catalog)
+              with Unix.Unix_error (err, _, _) ->
+                Error
+                  (Printf.sprintf "cannot listen on %s: %s" listen
+                     (Unix.error_message err))
+            in
+            (match srv with
+            | Error msg -> `Error (false, msg)
+            | Ok srv ->
+                (* The banner goes to stderr: in stdin mode stdout is
+                   the protocol channel, and in TCP mode scripts grep
+                   stderr for the bound port. *)
+                (match Net.Server.port srv with
+                | Some p ->
+                    Printf.eprintf
+                      "tempagg: listening on port %d (%d domain(s), queue \
+                       depth %d)\n\
+                       %!"
+                      p domains queue_depth
+                | None -> Printf.eprintf "tempagg: serving stdin\n%!");
+                let report = Net.Server.run ~signals:true srv in
+                let out_report = Net.Server.report_to_string report in
+                (match transport with
+                | Net.Server.Stdio -> Printf.eprintf "%s%!" out_report
+                | Net.Server.Tcp _ -> print_string out_report);
+                (match metrics_out with
+                | None -> ()
+                | Some path ->
+                    Out_channel.with_open_text path (fun oc ->
+                        output_string oc
+                          (Obs.Metrics.expose report.Net.Server.metrics));
+                    Printf.eprintf "metrics: wrote %s\n%!" path);
+                write_slowlog slowlog slowlog_out;
+                `Ok ()))
+
+let serve_script bindings cache_capacity echo metrics_every trace no_adaptive
     slowlog_ms slowlog_out data_dir split_threshold script =
   if trace <> None then Obs.Trace.arm ();
   let write_trace () =
@@ -602,37 +711,38 @@ let serve bindings cache_capacity echo metrics_every trace no_adaptive
           with
           | exception Invalid_argument msg -> `Error (false, msg)
           | () -> (
-          (* --slowlog-out alone means "log everything": threshold 0. *)
-          let slowlog =
-            match (slowlog_ms, slowlog_out) with
-            | None, None -> None
-            | ms, _ ->
-                Some
-                  (Obs.Slowlog.create
-                     ~threshold_ms:(Option.value ms ~default:0.)
-                     ())
-          in
+          let slowlog = make_slowlog slowlog_ms slowlog_out in
           match
             Tsql.Serve.run_script ~echo ?metrics_every ?slowlog session text
           with
           | Error msg -> `Error (false, script ^ ": " ^ msg)
           | Ok report ->
               print_string (Tsql.Serve.report_to_string report);
-              (match (slowlog, slowlog_out) with
-              | Some log, Some path ->
-                  Out_channel.with_open_text path (fun oc ->
-                      output_string oc (Obs.Slowlog.to_json log));
-                  Printf.eprintf "slowlog: wrote %d entry(ies) to %s\n%!"
-                    (List.length (Obs.Slowlog.entries log))
-                    path
-              | _ -> ());
+              write_slowlog slowlog slowlog_out;
               write_trace ();
               `Ok ())))
 
+let serve bindings cache_capacity echo metrics_every trace no_adaptive
+    slowlog_ms slowlog_out data_dir split_threshold script listen domains
+    queue_depth degrade_watermark drain_timeout_ms idle_timeout_ms
+    max_connections memory_budget deadline_ms on_error metrics_out =
+  match (listen, script) with
+  | Some _, Some _ ->
+      `Error (false, "--script and --listen are mutually exclusive")
+  | None, None -> `Error (false, "one of --script or --listen is required")
+  | Some listen, None ->
+      serve_net bindings cache_capacity no_adaptive slowlog_ms slowlog_out
+        data_dir split_threshold listen domains queue_depth degrade_watermark
+        drain_timeout_ms idle_timeout_ms max_connections memory_budget
+        deadline_ms on_error metrics_out
+  | None, Some script ->
+      serve_script bindings cache_capacity echo metrics_every trace no_adaptive
+        slowlog_ms slowlog_out data_dir split_threshold script
+
 let serve_cmd =
   let doc =
-    "execute a script of interleaved statements against live views and \
-     report per-operation latencies"
+    "execute a statement script, or serve many TCP clients with admission \
+     control and graceful drain"
   in
   let man =
     [
@@ -647,6 +757,20 @@ let serve_cmd =
          incrementally on every write; others are recomputed lazily.  The \
          report gives per-statement-kind latency percentiles and the \
          session's live-maintenance counters.";
+      `P
+        "With $(b,--listen) the same session machinery serves many \
+         concurrent clients over a line protocol: one statement per line, \
+         each answered by $(b,OK n [degraded]) plus $(i,n) payload lines, \
+         $(b,ERR msg), or $(b,BUSY reason) when the bounded admission \
+         queue sheds the request.  $(b,PING)/$(b,QUIT) are answered \
+         inline ($(b,PONG)/$(b,BYE)); PING bypasses admission, so it \
+         stays a liveness probe even at saturation.  Requests queued past \
+         the degrade watermark run under an ON ERROR fallback policy and \
+         a tighter deadline.  SIGTERM/SIGINT drain gracefully: stop \
+         accepting, finish or shed queued work within \
+         $(b,--drain-timeout-ms), flush, exit 0.  $(b,--listen stdin) \
+         serves stdin/stdout as one connection behind the same \
+         dispatcher.";
     ]
   in
   let cache =
@@ -671,10 +795,76 @@ let serve_cmd =
   in
   let script =
     Arg.(
-      required
+      value
       & opt (some string) None
       & info [ "script" ] ~docv:"PATH"
-          ~doc:"Statement script to execute (required).")
+          ~doc:
+            "Statement script to execute (script mode; exclusive with \
+             $(b,--listen)).")
+  in
+  let listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"PORT"
+          ~doc:
+            "Serve the line protocol on TCP $(docv) (0 picks an ephemeral \
+             port, reported on stderr), or on stdin/stdout with \
+             $(b,--listen stdin).")
+  in
+  let domains =
+    Arg.(
+      value & opt int 4
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains executing statements (the in-flight budget).")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"Q"
+          ~doc:
+            "Admission queue bound: with every domain busy, up to $(docv) \
+             statements wait; past that they are shed with $(b,BUSY).")
+  in
+  let degrade_watermark =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "degrade-watermark" ] ~docv:"W"
+          ~doc:
+            "Queue length at which admitted statements degrade (fallback \
+             policy + tighter deadline).  Default: half the queue depth.")
+  in
+  let drain_timeout_ms =
+    Arg.(
+      value & opt int 5000
+      & info [ "drain-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "On SIGTERM/SIGINT, grace period for finishing accepted work \
+             before still-queued statements are shed and connections \
+             closed.")
+  in
+  let idle_timeout_ms =
+    Arg.(
+      value & opt int 60_000
+      & info [ "idle-timeout-ms" ] ~docv:"MS"
+          ~doc:"Reap connections with no traffic for $(docv) milliseconds.")
+  in
+  let max_connections =
+    Arg.(
+      value & opt int 1024
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:"Connections beyond $(docv) are refused with $(b,BUSY).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"PATH"
+          ~doc:
+            "After the server drains, write its Prometheus metrics \
+             exposition (accepted/active/queued/shed/timed-out plus \
+             per-kind latency histograms) to $(docv).")
   in
   let slowlog_ms =
     Arg.(
@@ -722,7 +912,136 @@ let serve_cmd =
       ret
         (const serve $ relations_arg $ cache $ echo $ metrics_every $ trace_arg
        $ no_adaptive_arg $ slowlog_ms $ slowlog_out $ data_dir
-       $ split_threshold $ script))
+       $ split_threshold $ script $ listen $ domains $ queue_depth
+       $ degrade_watermark $ drain_timeout_ms $ idle_timeout_ms
+       $ max_connections $ memory_budget_arg $ deadline_arg $ on_error_arg
+       $ metrics_out))
+
+(* client *)
+
+let client connect script strict quiet =
+  (* The server closing mid-write must surface as EPIPE, not kill us. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let host, port =
+    match String.rindex_opt connect ':' with
+    | Some i ->
+        ( String.sub connect 0 i,
+          int_of_string_opt
+            (String.sub connect (i + 1) (String.length connect - i - 1)) )
+    | None -> ("127.0.0.1", int_of_string_opt connect)
+  in
+  match port with
+  | None -> `Error (false, Printf.sprintf "cannot parse %S as HOST:PORT" connect)
+  | Some port -> (
+      let text =
+        match script with
+        | Some path -> (
+            try Ok (In_channel.with_open_text path In_channel.input_all)
+            with Sys_error msg -> Error msg)
+        | None -> Ok (In_channel.input_all In_channel.stdin)
+      in
+      match text with
+      | Error msg -> `Error (false, msg)
+      | Ok text -> (
+          match Net.Client.connect ~host ~port () with
+          | exception Unix.Unix_error (err, _, _) ->
+              `Error
+                ( false,
+                  Printf.sprintf "cannot connect to %s:%d: %s" host port
+                    (Unix.error_message err) )
+          | c ->
+              let ok = ref 0 and err = ref 0 and busy = ref 0 in
+              let violation = ref None in
+              let finished = ref false in
+              (* One request line at a time; blank lines and -- comments
+                 get no reply from the server, so skip them here too. *)
+              let lines =
+                List.filter
+                  (fun l ->
+                    l <> ""
+                    && not (String.length l >= 2 && String.sub l 0 2 = "--"))
+                  (List.map String.trim (String.split_on_char '\n' text))
+              in
+              List.iter
+                (fun line ->
+                  if !violation = None && not !finished then
+                    match Net.Client.request c line with
+                    | Ok (Net.Protocol.Ok_reply { degraded; payload }) ->
+                        incr ok;
+                        if not quiet then begin
+                          if degraded then
+                            Printf.printf "-- degraded: %s\n" line;
+                          List.iter print_endline payload
+                        end
+                    | Ok Net.Protocol.Pong -> incr ok
+                    | Ok Net.Protocol.Bye -> finished := true
+                    | Ok (Net.Protocol.Err msg) ->
+                        incr err;
+                        Printf.eprintf "ERR %s (statement: %s)\n%!" msg line
+                    | Ok (Net.Protocol.Busy reason) ->
+                        incr busy;
+                        Printf.eprintf "BUSY %s (statement: %s)\n%!" reason line
+                    | Error msg -> violation := Some msg)
+                lines;
+              if !violation = None && not !finished then begin
+                match Net.Client.request c "QUIT" with
+                | Ok Net.Protocol.Bye -> ()
+                | Ok _ -> violation := Some "QUIT answered with a non-BYE reply"
+                | Error msg -> violation := Some msg
+              end;
+              Net.Client.close c;
+              Printf.printf "client: %d ok, %d err, %d busy\n%!" !ok !err !busy;
+              (match !violation with
+              | Some msg -> `Error (false, "protocol violation: " ^ msg)
+              | None ->
+                  if strict && (!err > 0 || !busy > 0) then
+                    `Error
+                      ( false,
+                        Printf.sprintf
+                          "--strict: %d ERR / %d BUSY reply(ies)" !err !busy )
+                  else `Ok ())))
+
+let client_cmd =
+  let doc = "run a statement script against a running tempagg server" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Connects to $(b,tempagg serve --listen), sends one statement per \
+         line, and prints each reply payload.  Exits non-zero on a \
+         protocol violation (malformed reply, truncated payload, \
+         unexpected EOF); with $(b,--strict), also when any statement \
+         answered $(b,ERR) or $(b,BUSY).  A $(b,QUIT) is sent at the end \
+         when the script does not include one.";
+    ]
+  in
+  let connect =
+    Arg.(
+      value
+      & opt string "127.0.0.1:7411"
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:"Server address (a bare port means 127.0.0.1).")
+  in
+  let script =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "script" ] ~docv:"PATH"
+          ~doc:"Statement script, one per line (default: stdin).")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Fail (non-zero exit) when any reply is ERR or BUSY.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Suppress reply payloads (keep the summary).")
+  in
+  Cmd.v (Cmd.info "client" ~doc ~man)
+    Term.(ret (const client $ connect $ script $ strict $ quiet))
 
 let sort_cmd =
   let doc = "sort a relation by valid time (start, then stop)" in
@@ -740,7 +1059,7 @@ let main =
   let doc = "temporal aggregate computation (Kline & Snodgrass, ICDE 1995)" in
   Cmd.group
     (Cmd.info "tempagg" ~version:"1.0.0" ~doc)
-    [ query_cmd; explain_cmd; serve_cmd; generate_cmd; metrics_cmd; sort_cmd;
-      convert_cmd; extsort_cmd ]
+    [ query_cmd; explain_cmd; serve_cmd; client_cmd; generate_cmd; metrics_cmd;
+      sort_cmd; convert_cmd; extsort_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,126 @@
+type decision =
+  | Admitted of { degraded : bool; queued_behind : int }
+  | Shed of string
+
+type 'a t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : 'a Queue.t;
+  n_workers : int;
+  depth : int;
+  watermark : int;
+  mutable inflight : int;
+  mutable is_draining : bool;
+  mutable stopped : bool;
+  mutable drain_reason : string;
+  mutable n_admitted : int;
+  mutable n_shed : int;
+  mutable n_degraded : int;
+}
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let create ?degrade_watermark ~workers ~queue_depth () =
+  if workers < 1 then invalid_arg "Admission.create: workers must be >= 1";
+  if queue_depth < 0 then
+    invalid_arg "Admission.create: queue_depth must be >= 0";
+  let watermark =
+    match degrade_watermark with
+    | Some w when w < 0 -> invalid_arg "Admission.create: negative watermark"
+    | Some w -> w
+    | None -> max 1 (queue_depth / 2)
+  in
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    queue = Queue.create ();
+    n_workers = workers;
+    depth = queue_depth;
+    watermark;
+    inflight = 0;
+    is_draining = false;
+    stopped = false;
+    drain_reason = "draining: server is shutting down";
+    n_admitted = 0;
+    n_shed = 0;
+    n_degraded = 0;
+  }
+
+let submit t make =
+  with_lock t (fun () ->
+      if t.is_draining then begin
+        t.n_shed <- t.n_shed + 1;
+        Shed t.drain_reason
+      end
+      else
+        let len = Queue.length t.queue in
+        (* Outstanding = in flight + queued.  The queue also carries
+           requests an idle worker hasn't woken up for yet, so the admit
+           bound counts both against [workers + depth]. *)
+        if t.inflight + len >= t.n_workers + t.depth then begin
+          t.n_shed <- t.n_shed + 1;
+          Shed
+            (Printf.sprintf "queue full (%d in flight, %d queued, depth %d)"
+               t.inflight len t.depth)
+        end
+        else begin
+          (* Degraded iff the request actually has to wait behind a
+             saturated worker pool AND the backlog has reached the
+             watermark — light queueing keeps the fast path. *)
+          let waiting = t.inflight >= t.n_workers in
+          let degraded = waiting && len + 1 >= t.watermark in
+          Queue.add (make ~degraded) t.queue;
+          t.n_admitted <- t.n_admitted + 1;
+          if degraded then t.n_degraded <- t.n_degraded + 1;
+          Condition.signal t.nonempty;
+          Admitted { degraded; queued_behind = len }
+        end)
+
+let take t =
+  with_lock t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.queue) then begin
+          t.inflight <- t.inflight + 1;
+          Some (Queue.pop t.queue)
+        end
+        else if t.stopped then None
+        else begin
+          Condition.wait t.nonempty t.mutex;
+          wait ()
+        end
+      in
+      wait ())
+
+let finish t =
+  with_lock t (fun () -> t.inflight <- max 0 (t.inflight - 1))
+
+let drain ~reason t =
+  with_lock t (fun () ->
+      t.is_draining <- true;
+      t.drain_reason <- reason)
+
+let draining t = with_lock t (fun () -> t.is_draining)
+
+let shed_queued t =
+  with_lock t (fun () ->
+      let evicted = List.of_seq (Queue.to_seq t.queue) in
+      Queue.clear t.queue;
+      t.n_shed <- t.n_shed + List.length evicted;
+      evicted)
+
+let stop t =
+  with_lock t (fun () ->
+      t.is_draining <- true;
+      t.stopped <- true;
+      Condition.broadcast t.nonempty)
+
+let idle t = with_lock t (fun () -> t.inflight = 0 && Queue.is_empty t.queue)
+let in_flight t = with_lock t (fun () -> t.inflight)
+let queued t = with_lock t (fun () -> Queue.length t.queue)
+let workers t = t.n_workers
+let queue_depth t = t.depth
+let admitted_total t = with_lock t (fun () -> t.n_admitted)
+let shed_total t = with_lock t (fun () -> t.n_shed)
+let degraded_total t = with_lock t (fun () -> t.n_degraded)

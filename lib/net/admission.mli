@@ -1,0 +1,80 @@
+(** Admission control: a bounded request queue in front of a fixed pool
+    of workers, with load shedding and drain support.
+
+    The controller enforces one invariant: at most [workers] requests
+    are in flight and at most [queue_depth] more are queued, so total
+    outstanding work is bounded by [workers + queue_depth] no matter how
+    many connections submit.  Every {!submit} lands in exactly one of
+    three states:
+
+    - {b admit} — capacity is free; the request is enqueued and a
+      worker picks it up immediately (the queue was shallow).
+    - {b queue} — all workers are busy but the queue has room; the
+      request waits its turn.  A request queued at or past the degrade
+      watermark (default half the queue depth) is marked {e degraded}:
+      the worker will run it under a fallback [ON ERROR] policy and a
+      tighter deadline, trading the planned fast path for a bounded
+      answer.
+    - {b shed} — the queue is full (or the controller is draining); the
+      request is refused with a structured reason and {e never
+      executed}.  Shedding is O(1) and allocation-free on the request
+      path, which is what keeps the server responsive at 2x
+      saturation.
+
+    Workers block in {!take}; {!stop} wakes them all with [None].
+    During {!drain} no new work is admitted but already-queued work is
+    still served, so a graceful shutdown can finish what it accepted. *)
+
+type 'a t
+
+type decision =
+  | Admitted of { degraded : bool; queued_behind : int }
+      (** Enqueued; [queued_behind] is the queue length after this
+          request joined (0 = a worker can take it immediately). *)
+  | Shed of string  (** Refused with this reason; never executed. *)
+
+val create : ?degrade_watermark:int -> workers:int -> queue_depth:int -> unit -> 'a t
+(** [workers] is the in-flight budget (the worker-pool size);
+    [queue_depth] bounds waiting requests ([0] means shed as soon as
+    every worker is busy).  [degrade_watermark] (default
+    [max 1 (queue_depth / 2)]) is the queue length at which admitted
+    requests are marked degraded.
+    @raise Invalid_argument if [workers < 1] or [queue_depth < 0]. *)
+
+val submit : 'a t -> (degraded:bool -> 'a) -> decision
+(** [submit t make] decides under the controller's lock, constructs the
+    request with the decided degrade flag, and enqueues it atomically —
+    a worker can never observe a request whose flag is still unset. *)
+
+val take : 'a t -> 'a option
+(** Block until a request is available (incrementing the in-flight
+    count) or the controller is stopped ([None]).  Called by workers. *)
+
+val finish : 'a t -> unit
+(** The worker finished the request it last took. *)
+
+val drain : reason:string -> 'a t -> unit
+(** Stop admitting: every later {!submit} sheds with [reason].  Queued
+    requests are still handed to workers. *)
+
+val draining : 'a t -> bool
+
+val shed_queued : 'a t -> 'a list
+(** Forcibly empty the queue (drain-deadline expiry), returning the
+    evicted requests in submission order so the caller can answer each
+    with [BUSY]. *)
+
+val stop : 'a t -> unit
+(** Wake every blocked {!take} with [None].  Implies {!drain}. *)
+
+val idle : 'a t -> bool
+(** No queued and no in-flight requests. *)
+
+val in_flight : 'a t -> int
+val queued : 'a t -> int
+val workers : 'a t -> int
+val queue_depth : 'a t -> int
+
+val admitted_total : 'a t -> int
+val shed_total : 'a t -> int
+val degraded_total : 'a t -> int

@@ -1,0 +1,79 @@
+type reply =
+  | Ok_reply of { degraded : bool; payload : string list }
+  | Err of string
+  | Busy of string
+  | Pong
+  | Bye
+
+let clean s =
+  String.concat "; "
+    (List.filter
+       (fun part -> part <> "")
+       (String.split_on_char '\n'
+          (String.concat "" (String.split_on_char '\r' s))))
+
+let strip_request line =
+  let line =
+    if String.length line > 0 && line.[String.length line - 1] = '\r' then
+      String.sub line 0 (String.length line - 1)
+    else line
+  in
+  String.trim line
+
+let encode = function
+  | Ok_reply { degraded; payload } ->
+      let buf = Buffer.create 64 in
+      Buffer.add_string buf
+        (Printf.sprintf "OK %d%s\n" (List.length payload)
+           (if degraded then " degraded" else ""));
+      List.iter
+        (fun line ->
+          Buffer.add_string buf (clean line);
+          Buffer.add_char buf '\n')
+        payload;
+      Buffer.contents buf
+  | Err msg -> "ERR " ^ clean msg ^ "\n"
+  | Busy reason -> "BUSY " ^ clean reason ^ "\n"
+  | Pong -> "PONG\n"
+  | Bye -> "BYE\n"
+
+type header =
+  | H_ok of { count : int; degraded : bool }
+  | H_err of string
+  | H_busy of string
+  | H_pong
+  | H_bye
+
+let parse_header line =
+  let line = strip_request line in
+  let tail prefix =
+    String.sub line (String.length prefix)
+      (String.length line - String.length prefix)
+  in
+  if line = "PONG" then Ok H_pong
+  else if line = "BYE" then Ok H_bye
+  else if String.length line >= 4 && String.sub line 0 4 = "ERR " then
+    Ok (H_err (tail "ERR "))
+  else if String.length line >= 5 && String.sub line 0 5 = "BUSY " then
+    Ok (H_busy (tail "BUSY "))
+  else if String.length line >= 3 && String.sub line 0 3 = "OK " then
+    match String.split_on_char ' ' (tail "OK ") with
+    | [ n ] -> (
+        match int_of_string_opt n with
+        | Some count when count >= 0 -> Ok (H_ok { count; degraded = false })
+        | _ -> Error (Printf.sprintf "malformed OK count %S" n))
+    | [ n; "degraded" ] -> (
+        match int_of_string_opt n with
+        | Some count when count >= 0 -> Ok (H_ok { count; degraded = true })
+        | _ -> Error (Printf.sprintf "malformed OK count %S" n))
+    | _ -> Error (Printf.sprintf "malformed OK header %S" line)
+  else Error (Printf.sprintf "unrecognized reply header %S" line)
+
+let sleep_request line =
+  let line = strip_request line in
+  match String.split_on_char ' ' line with
+  | [ verb; ms ] when String.uppercase_ascii verb = "SLEEP" -> (
+      match float_of_string_opt ms with
+      | Some v when v >= 0. -> Some v
+      | _ -> None)
+  | _ -> None

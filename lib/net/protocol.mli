@@ -1,0 +1,69 @@
+(** The line protocol spoken between {!Server} and {!Client}.
+
+    {b Requests} are single lines, terminated by ['\n'] (a trailing
+    ['\r'] is stripped, so [telnet]/[nc] work).  A line is either a
+    control verb — handled by the server's event loop without touching
+    the admission controller — or a TSQL statement executed by a worker:
+
+    {v
+    request ::= PING            liveness probe; always answered, even
+                                when the server is saturated or draining
+              | QUIT            close the connection after a BYE
+              | SLEEP <ms>      hold a worker for <ms> milliseconds
+                                (diagnostic / load-testing aid; goes
+                                through admission like a statement)
+              | <statement>     any TSQL statement (see Tsql.Parser)
+    v}
+
+    {b Replies} are framed so a client never has to guess where a
+    multi-line result ends:
+
+    {v
+    reply ::= OK <n> [degraded] '\n' <n payload lines>
+            | ERR <message>     statement failed (parse, semantic or
+                                evaluation error); connection stays open
+            | BUSY <reason>     the request was shed by admission
+                                control (queue full, or draining) and
+                                was NOT executed; retry later
+            | PONG              answer to PING
+            | BYE               answer to QUIT; the server closes
+    v}
+
+    [degraded] marks a result produced under pressure: the admission
+    controller queued the request past its degrade watermark, or the
+    evaluation recovered through a fallback chain — the answer is
+    still exact, but it did not take the planned fast path. *)
+
+type reply =
+  | Ok_reply of { degraded : bool; payload : string list }
+  | Err of string
+  | Busy of string
+  | Pong
+  | Bye
+
+val clean : string -> string
+(** Make a string safe to embed in a single protocol line: newlines and
+    carriage returns become ["; "] / [""], so an error message can never
+    break the framing. *)
+
+val strip_request : string -> string
+(** Normalize one received request line: strip the trailing ['\r'] (if
+    any) and surrounding whitespace. *)
+
+val encode : reply -> string
+(** The reply's wire form, ['\n']-terminated (header line plus payload
+    lines for [Ok_reply]). *)
+
+type header =
+  | H_ok of { count : int; degraded : bool }
+  | H_err of string
+  | H_busy of string
+  | H_pong
+  | H_bye
+
+val parse_header : string -> (header, string) result
+(** Parse a reply's first line.  [Error _] describes the malformed
+    header — a protocol violation, not a server-side statement error. *)
+
+val sleep_request : string -> float option
+(** [Some ms] when the line is a [SLEEP <ms>] request. *)

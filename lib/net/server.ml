@@ -1,0 +1,729 @@
+type transport = Tcp of int | Stdio
+
+type config = {
+  transport : transport;
+  domains : int;
+  queue_depth : int;
+  degrade_watermark : int option;
+  drain_timeout_ms : int;
+  idle_timeout_ms : int;
+  max_connections : int;
+  memory_budget : int option;
+  deadline_ms : float option;
+  degrade_deadline_ms : float option;
+  on_error : Tempagg.Engine.on_error option;
+  cache_capacity : int;
+  adaptive : bool;
+  data_dir : string option;
+  partitions : (string * string) list;
+  split_threshold : int option;
+  slowlog : Obs.Slowlog.t option;
+}
+
+let default_config =
+  {
+    transport = Tcp 7411;
+    domains = 4;
+    queue_depth = 64;
+    degrade_watermark = None;
+    drain_timeout_ms = 5_000;
+    idle_timeout_ms = 60_000;
+    max_connections = 1024;
+    memory_budget = None;
+    deadline_ms = None;
+    degrade_deadline_ms = None;
+    on_error = None;
+    cache_capacity = 128;
+    adaptive = true;
+    data_dir = None;
+    partitions = [];
+    split_threshold = None;
+    slowlog = None;
+  }
+
+type report = {
+  accepted : int;
+  requests : int;
+  shed : int;
+  errors : int;
+  degraded : int;
+  timed_out : int;
+  elapsed_s : float;
+  drained : bool;
+  metrics : Obs.Metrics.t;
+}
+
+(* A statement handed to a worker. *)
+type job = {
+  j_conn : int;
+  j_line : string;
+  j_session : Tsql.Session.t;
+  j_degraded : bool;
+}
+
+(* A worker's finished reply, travelling back to the event loop. *)
+type completion = {
+  c_conn : int;
+  c_reply : Protocol.reply;
+  c_kind : string;
+  c_statement : string;
+  c_elapsed_us : int;
+}
+
+type conn = {
+  c_id : int;
+  c_fd : Unix.file_descr;  (* read side *)
+  c_wfd : Unix.file_descr;  (* write side (differs from c_fd on Stdio) *)
+  c_tcp : bool;  (* close fds on teardown *)
+  c_inbuf : Buffer.t;
+  mutable c_pending : string list;  (* complete lines awaiting dispatch *)
+  mutable c_out : string;
+  mutable c_out_off : int;
+  mutable c_outstanding : bool;  (* a worker owns this conn's request *)
+  mutable c_last_us : int;
+  mutable c_eof : bool;  (* no more input; still serving buffered lines *)
+  mutable c_closing : bool;  (* discard pending, flush output, close *)
+  c_session : Tsql.Session.t;
+}
+
+type t = {
+  cfg : config;
+  catalog : Tsql.Catalog.t;
+  listen_fd : Unix.file_descr option;
+  bound_port : int option;
+  admission : job Admission.t;
+  stop_requested : bool Atomic.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  comp_mutex : Mutex.t;
+  mutable completions : completion list;  (* newest first *)
+  conns : (int, conn) Hashtbl.t;
+  mutable next_conn_id : int;
+  registry : Obs.Metrics.t;
+}
+
+let max_line_bytes = 65_536
+
+let create ?(config = default_config) catalog =
+  let listen_fd, bound_port =
+    match config.transport with
+    | Stdio -> (None, None)
+    | Tcp port ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_any, port));
+        Unix.listen fd 128;
+        Unix.set_nonblock fd;
+        let bound =
+          match Unix.getsockname fd with
+          | Unix.ADDR_INET (_, p) -> p
+          | _ -> port
+        in
+        (Some fd, Some bound)
+  in
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  {
+    cfg = config;
+    catalog;
+    listen_fd;
+    bound_port;
+    admission =
+      Admission.create ?degrade_watermark:config.degrade_watermark
+        ~workers:config.domains ~queue_depth:config.queue_depth ();
+    stop_requested = Atomic.make false;
+    wake_r;
+    wake_w;
+    comp_mutex = Mutex.create ();
+    completions = [];
+    conns = Hashtbl.create 64;
+    next_conn_id = 0;
+    registry = Obs.Metrics.create ();
+  }
+
+let port t = t.bound_port
+
+let wake t =
+  (* Best-effort: a full pipe already guarantees a pending wakeup, and a
+     closed one means the loop is gone — neither may raise (this runs
+     from worker domains and signal handlers). *)
+  try ignore (Unix.write_substring t.wake_w "x" 0 1)
+  with Unix.Unix_error _ -> ()
+
+let shutdown t =
+  Atomic.set t.stop_requested true;
+  wake t
+
+(* ---- metrics ---- *)
+
+let counter t name help = Obs.Metrics.counter t.registry ~help name
+let gauge t name help = Obs.Metrics.gauge t.registry ~help name
+
+let m_accepted t =
+  counter t "tempagg_net_accepted_total" "Connections accepted"
+
+let m_active t = gauge t "tempagg_net_active_connections" "Open connections"
+
+let m_shed t =
+  counter t "tempagg_net_shed_total" "Requests refused with BUSY"
+
+let m_timed_out t =
+  counter t "tempagg_net_timed_out_total" "Connections reaped for idleness"
+
+let m_errors t =
+  counter t "tempagg_net_errors_total" "Statements answered with ERR"
+
+let m_degraded t =
+  counter t "tempagg_net_degraded_total" "Replies marked degraded"
+
+let m_queued t = gauge t "tempagg_net_queued" "Requests waiting in admission"
+let m_inflight t = gauge t "tempagg_net_in_flight" "Requests being executed"
+
+let m_requests t kind =
+  Obs.Metrics.counter t.registry ~help:"Admitted statements by kind"
+    ~labels:[ ("kind", kind) ]
+    "tempagg_net_requests_total"
+
+let m_latency t kind =
+  Obs.Metrics.histogram t.registry
+    ~help:"Request latency in microseconds, by statement kind"
+    ~labels:[ ("kind", kind) ]
+    "tempagg_net_latency_us"
+
+let refresh_admission_gauges t =
+  Obs.Metrics.set_int (m_queued t) (Admission.queued t.admission);
+  Obs.Metrics.set_int (m_inflight t) (Admission.in_flight t.admission)
+
+(* ---- worker domains ---- *)
+
+let payload_of_outcome = function
+  | Tsql.Session.Ack msg -> String.split_on_char '\n' msg
+  | Tsql.Session.Rows rel ->
+      let text = Tsql.Pretty.result_to_string rel in
+      List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+
+(* Execute one admitted request.  Runs on a worker domain: the only
+   shared state it touches is the job's own session (one outstanding
+   request per connection serializes access) and the completion queue. *)
+let execute t job =
+  let t0 = Obs.Trace.now_us () in
+  let kind, reply =
+    match Protocol.sleep_request job.j_line with
+    | Some ms ->
+        Unix.sleepf (ms /. 1000.);
+        ( "sleep",
+          Protocol.Ok_reply
+            {
+              degraded = job.j_degraded;
+              payload = [ Printf.sprintf "slept %g ms" ms ];
+            } )
+    | None -> (
+        match Tsql.Parser.parse_statement job.j_line with
+        | Error msg -> ("parse-error", Protocol.Err msg)
+        | Ok stmt -> (
+            let kind = Tsql.Serve.kind_of stmt in
+            (* Degraded requests trade the planned fast path for a
+               bounded one: at least a Fallback recovery policy (Skip
+               stays Skip — it is already lossier) and a tighter
+               deadline, so saturated work cannot occupy a worker
+               indefinitely. *)
+            let on_error =
+              if job.j_degraded then
+                match t.cfg.on_error with
+                | Some Tempagg.Engine.Skip -> Some Tempagg.Engine.Skip
+                | _ -> Some Tempagg.Engine.Fallback
+              else t.cfg.on_error
+            in
+            let deadline_ms =
+              if job.j_degraded then
+                match t.cfg.degrade_deadline_ms with
+                | Some d -> Some d
+                | None -> (
+                    match t.cfg.deadline_ms with
+                    | Some d -> Some (d /. 2.)
+                    | None -> Some 500.)
+              else t.cfg.deadline_ms
+            in
+            match
+              Tsql.Session.exec_statement ?memory_budget:t.cfg.memory_budget
+                ?deadline_ms ?on_error job.j_session stmt
+            with
+            | Ok outcome ->
+                let degraded =
+                  job.j_degraded
+                  || Tsql.Session.last_degradations job.j_session > 0
+                in
+                ( kind,
+                  Protocol.Ok_reply
+                    { degraded; payload = payload_of_outcome outcome } )
+            | Error msg -> (kind, Protocol.Err msg)
+            | exception e ->
+                (* A worker must never die: any stray evaluation
+                   exception becomes a structured per-statement error. *)
+                (kind, Protocol.Err ("internal error: " ^ Printexc.to_string e))
+            ))
+  in
+  {
+    c_conn = job.j_conn;
+    c_reply = reply;
+    c_kind = kind;
+    c_statement = job.j_line;
+    c_elapsed_us = Obs.Trace.now_us () - t0;
+  }
+
+let worker_loop t () =
+  let rec loop () =
+    match Admission.take t.admission with
+    | None -> ()
+    | Some job ->
+        let completion = execute t job in
+        Admission.finish t.admission;
+        Mutex.lock t.comp_mutex;
+        t.completions <- completion :: t.completions;
+        Mutex.unlock t.comp_mutex;
+        wake t;
+        loop ()
+  in
+  loop ()
+
+(* ---- connections ---- *)
+
+let conn_data_dir t id =
+  Option.map
+    (fun dir -> Filename.concat dir (Printf.sprintf "conn-%d" id))
+    t.cfg.data_dir
+
+let new_session t id =
+  (* A private statistics store per connection: worker domains then
+     share nothing mutable across connections, and ANALYZE results are
+     scoped to the connection that ran them.  Partition bindings are
+     loaded per session for the same reason — no shared handles. *)
+  let session =
+    Tsql.Session.create ~cache_capacity:t.cfg.cache_capacity
+      ~adaptive:t.cfg.adaptive
+      ?data_dir:(conn_data_dir t id)
+      ?split_threshold:t.cfg.split_threshold
+      (Tsql.Catalog.with_store t.catalog (Obs.Stats.create_store ()))
+  in
+  List.iter
+    (fun (name, dir) ->
+      Tsql.Session.add_partition session name (Storage.Partition.load dir))
+    t.cfg.partitions;
+  session
+
+let add_conn t ~tcp ~fd ~wfd =
+  let id = t.next_conn_id in
+  t.next_conn_id <- id + 1;
+  let conn =
+    {
+      c_id = id;
+      c_fd = fd;
+      c_wfd = wfd;
+      c_tcp = tcp;
+      c_inbuf = Buffer.create 256;
+      c_pending = [];
+      c_out = "";
+      c_out_off = 0;
+      c_outstanding = false;
+      c_last_us = Obs.Trace.now_us ();
+      c_eof = false;
+      c_closing = false;
+      c_session = new_session t id;
+    }
+  in
+  Hashtbl.replace t.conns id conn;
+  Obs.Metrics.inc (m_accepted t);
+  Obs.Metrics.set_int (m_active t) (Hashtbl.length t.conns);
+  conn
+
+let close_conn t conn =
+  if Hashtbl.mem t.conns conn.c_id then begin
+    Hashtbl.remove t.conns conn.c_id;
+    Obs.Metrics.set_int (m_active t) (Hashtbl.length t.conns);
+    if conn.c_tcp then try Unix.close conn.c_fd with Unix.Unix_error _ -> ()
+  end
+
+let send conn text = conn.c_out <- conn.c_out ^ text
+
+(* A connection is finished once no worker owns it, its output is
+   flushed, and it either asked to close (QUIT, oversize, reap) or hit
+   EOF with nothing left to dispatch. *)
+let maybe_close t conn =
+  if
+    Hashtbl.mem t.conns conn.c_id
+    && (not conn.c_outstanding)
+    && conn.c_out = ""
+    && (conn.c_closing || (conn.c_eof && conn.c_pending = []))
+  then close_conn t conn
+
+(* Split buffered input into complete lines; the partial tail stays. *)
+let extract_lines conn =
+  let data = Buffer.contents conn.c_inbuf in
+  match String.rindex_opt data '\n' with
+  | None -> []
+  | Some last ->
+      Buffer.clear conn.c_inbuf;
+      Buffer.add_string conn.c_inbuf
+        (String.sub data (last + 1) (String.length data - last - 1));
+      String.split_on_char '\n' (String.sub data 0 last)
+
+(* ---- dispatch ---- *)
+
+let observe_completion t (c : completion) =
+  let kind_ok =
+    match c.c_reply with
+    | Protocol.Ok_reply { degraded; _ } ->
+        if degraded then Obs.Metrics.inc (m_degraded t);
+        true
+    | Protocol.Err _ ->
+        Obs.Metrics.inc (m_errors t);
+        true
+    | _ -> false
+  in
+  if kind_ok then begin
+    Obs.Metrics.inc (m_requests t c.c_kind);
+    Obs.Histogram.observe (m_latency t c.c_kind) (float_of_int c.c_elapsed_us);
+    match t.cfg.slowlog with
+    | Some log ->
+        let elapsed_ms = float_of_int c.c_elapsed_us /. 1000. in
+        if elapsed_ms >= Obs.Slowlog.threshold_ms log then
+          ignore
+            (Obs.Slowlog.observe log ~kind:c.c_kind ~statement:c.c_statement
+               ~elapsed_ms ())
+    | None -> ()
+  end
+
+(* Dispatch a connection's buffered lines until a statement goes
+   outstanding (or the connection starts closing).  Control verbs are
+   answered inline — PING works even at full saturation, which is what
+   makes it a useful liveness probe. *)
+let rec dispatch t conn =
+  if (not conn.c_outstanding) && not conn.c_closing then
+    match conn.c_pending with
+    | [] -> ()
+    | line :: rest ->
+        conn.c_pending <- rest;
+        let line = Protocol.strip_request line in
+        if line = "" || (String.length line >= 2 && String.sub line 0 2 = "--")
+        then dispatch t conn
+        else if String.uppercase_ascii line = "PING" then begin
+          send conn (Protocol.encode Protocol.Pong);
+          dispatch t conn
+        end
+        else if String.uppercase_ascii line = "QUIT" then begin
+          send conn (Protocol.encode Protocol.Bye);
+          conn.c_closing <- true
+        end
+        else if String.length line > max_line_bytes then begin
+          send conn
+            (Protocol.encode
+               (Protocol.Err
+                  (Printf.sprintf "request exceeds %d bytes" max_line_bytes)));
+          dispatch t conn
+        end
+        else begin
+          match
+            Admission.submit t.admission (fun ~degraded ->
+                {
+                  j_conn = conn.c_id;
+                  j_line = line;
+                  j_session = conn.c_session;
+                  j_degraded = degraded;
+                })
+          with
+          | Admission.Shed reason ->
+              Obs.Metrics.inc (m_shed t);
+              send conn (Protocol.encode (Protocol.Busy reason));
+              dispatch t conn
+          | Admission.Admitted _ -> conn.c_outstanding <- true
+        end
+
+(* ---- the event loop ---- *)
+
+let now_us () = Obs.Trace.now_us ()
+
+let handle_completions t =
+  Mutex.lock t.comp_mutex;
+  let batch = List.rev t.completions in
+  t.completions <- [];
+  Mutex.unlock t.comp_mutex;
+  List.iter
+    (fun c ->
+      observe_completion t c;
+      match Hashtbl.find_opt t.conns c.c_conn with
+      | None -> ()  (* connection died while the worker ran *)
+      | Some conn ->
+          conn.c_outstanding <- false;
+          send conn (Protocol.encode c.c_reply);
+          dispatch t conn;
+          maybe_close t conn)
+    batch
+
+let drain_wake_pipe t =
+  let buf = Bytes.create 64 in
+  let rec loop () =
+    match Unix.read t.wake_r buf 0 64 with
+    | n when n > 0 -> loop ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
+  loop ()
+
+let accept_burst t fd =
+  let rec loop () =
+    match Unix.accept fd with
+    | cfd, _addr ->
+        Unix.set_nonblock cfd;
+        if Hashtbl.length t.conns >= t.cfg.max_connections then begin
+          (* Over capacity: structured refusal, then close.  Counted as
+             accepted + shed so saturation is visible in the metrics. *)
+          Obs.Metrics.inc (m_accepted t);
+          Obs.Metrics.inc (m_shed t);
+          let refusal =
+            Protocol.encode
+              (Protocol.Busy
+                 (Printf.sprintf "too many connections (max %d)"
+                    t.cfg.max_connections))
+          in
+          (try
+             ignore (Unix.write_substring cfd refusal 0 (String.length refusal))
+           with Unix.Unix_error _ -> ());
+          try Unix.close cfd with Unix.Unix_error _ -> ()
+        end
+        else ignore (add_conn t ~tcp:true ~fd:cfd ~wfd:cfd);
+        loop ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ()
+
+let read_conn t conn =
+  let buf = Bytes.create 4096 in
+  match Unix.read conn.c_fd buf 0 4096 with
+  | 0 ->
+      (* EOF: no more input, but everything already buffered (including
+         a final unterminated line) is still served before closing —
+         this is what lets a piped script run to completion in Stdio
+         mode. *)
+      conn.c_eof <- true;
+      conn.c_pending <- conn.c_pending @ extract_lines conn;
+      let tail = Buffer.contents conn.c_inbuf in
+      Buffer.clear conn.c_inbuf;
+      if String.trim tail <> "" then
+        conn.c_pending <- conn.c_pending @ [ tail ];
+      dispatch t conn;
+      maybe_close t conn
+  | n ->
+      conn.c_last_us <- now_us ();
+      Buffer.add_subbytes conn.c_inbuf buf 0 n;
+      if Buffer.length conn.c_inbuf > max_line_bytes then begin
+        send conn
+          (Protocol.encode
+             (Protocol.Err
+                (Printf.sprintf "request exceeds %d bytes" max_line_bytes)));
+        conn.c_closing <- true
+      end
+      else begin
+        conn.c_pending <- conn.c_pending @ extract_lines conn;
+        dispatch t conn
+      end
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _)
+    ->
+      close_conn t conn
+
+let write_conn t conn =
+  let len = String.length conn.c_out - conn.c_out_off in
+  if len > 0 then
+    match Unix.write_substring conn.c_wfd conn.c_out conn.c_out_off len with
+    | n ->
+        conn.c_last_us <- now_us ();
+        conn.c_out_off <- conn.c_out_off + n;
+        if conn.c_out_off >= String.length conn.c_out then begin
+          conn.c_out <- "";
+          conn.c_out_off <- 0;
+          maybe_close t conn
+        end
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+      ->
+        (* The client went away mid-reply.  SIGPIPE is ignored, so this
+           is a clean per-connection error, never process death. *)
+        close_conn t conn
+
+let run ?(signals = false) t =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  if signals then begin
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> shutdown t));
+    Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> shutdown t))
+  end;
+  let started_us = now_us () in
+  (* Touch every metric family once so a zero-traffic exposition still
+     shows the full instrument panel. *)
+  ignore (m_accepted t);
+  ignore (m_shed t);
+  ignore (m_timed_out t);
+  ignore (m_errors t);
+  ignore (m_degraded t);
+  refresh_admission_gauges t;
+  let workers =
+    Array.init t.cfg.domains (fun _ -> Domain.spawn (worker_loop t))
+  in
+  (match t.cfg.transport with
+  | Stdio -> ignore (add_conn t ~tcp:false ~fd:Unix.stdin ~wfd:Unix.stdout)
+  | Tcp _ -> ());
+  let accepting = ref (t.listen_fd <> None) in
+  let draining = ref false in
+  let drain_deadline_us = ref 0 in
+  let forced = ref false in
+  let stop_listening () =
+    if !accepting then begin
+      accepting := false;
+      Option.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        t.listen_fd
+    end
+  in
+  let begin_drain () =
+    if not !draining then begin
+      draining := true;
+      drain_deadline_us := now_us () + (t.cfg.drain_timeout_ms * 1000);
+      stop_listening ();
+      Admission.drain ~reason:"draining: server is shutting down" t.admission
+    end
+  in
+  let conn_list () = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+  let all_flushed () =
+    List.for_all
+      (fun c -> (not c.c_outstanding) && c.c_out = "" && c.c_pending = [])
+      (conn_list ())
+  in
+  let rec loop () =
+    handle_completions t;
+    refresh_admission_gauges t;
+    if Atomic.get t.stop_requested then begin_drain ();
+    (* Stdio mode drains itself once its one connection is gone. *)
+    if t.cfg.transport = Stdio && Hashtbl.length t.conns = 0 then
+      begin_drain ();
+    if !draining && Admission.idle t.admission && all_flushed () then ()
+    else if !draining && now_us () > !drain_deadline_us then begin
+      (* Past the drain deadline: shed what is still queued and force
+         the connections closed.  In-flight work finishes on its worker
+         (bounded by the guard deadline when one is configured) but its
+         reply has nowhere to go. *)
+      forced := true;
+      let evicted = Admission.shed_queued t.admission in
+      List.iter
+        (fun job ->
+          Obs.Metrics.inc (m_shed t);
+          match Hashtbl.find_opt t.conns job.j_conn with
+          | None -> ()
+          | Some conn ->
+              conn.c_outstanding <- false;
+              send conn
+                (Protocol.encode (Protocol.Busy "draining: deadline reached"));
+              write_conn t conn)
+        evicted;
+      List.iter (fun c -> close_conn t c) (conn_list ())
+    end
+    else begin
+      let now = now_us () in
+      (* Reap idle connections (never one whose reply is in flight). *)
+      let idle_cutoff = now - (t.cfg.idle_timeout_ms * 1000) in
+      List.iter
+        (fun c ->
+          if
+            c.c_tcp
+            && (not c.c_outstanding)
+            && c.c_out = ""
+            && (not c.c_closing)
+            && (not c.c_eof)
+            && c.c_last_us < idle_cutoff
+          then begin
+            Obs.Metrics.inc (m_timed_out t);
+            close_conn t c
+          end)
+        (conn_list ());
+      let reads =
+        t.wake_r
+        :: (if !accepting then Option.to_list t.listen_fd else [])
+        @ List.filter_map
+            (fun c ->
+              if c.c_outstanding || c.c_closing || c.c_eof then None
+              else Some c.c_fd)
+            (conn_list ())
+      in
+      let writes =
+        List.filter_map
+          (fun c ->
+            if String.length c.c_out > c.c_out_off then Some c.c_wfd else None)
+          (conn_list ())
+      in
+      let timeout =
+        let next_idle =
+          List.fold_left
+            (fun acc c ->
+              if c.c_outstanding || not c.c_tcp then acc
+              else min acc (c.c_last_us + (t.cfg.idle_timeout_ms * 1000)))
+            max_int (conn_list ())
+        in
+        let next =
+          if !draining then min next_idle !drain_deadline_us else next_idle
+        in
+        if next = max_int then 1.0
+        else Float.max 0.01 (Float.min 1.0 (float_of_int (next - now) /. 1e6))
+      in
+      (match Unix.select reads writes [] timeout with
+      | rs, ws, _ ->
+          if List.mem t.wake_r rs then drain_wake_pipe t;
+          (match t.listen_fd with
+          | Some fd when !accepting && List.mem fd rs -> accept_burst t fd
+          | _ -> ());
+          List.iter
+            (fun c -> if List.mem c.c_fd rs then read_conn t c)
+            (conn_list ());
+          List.iter
+            (fun c ->
+              if List.mem c.c_wfd ws && Hashtbl.mem t.conns c.c_id then
+                write_conn t c)
+            (conn_list ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+          (* A fd closed under us (e.g. a reaped connection raced the
+             select set); drop closed conns and carry on. *)
+          ());
+      loop ()
+    end
+  in
+  loop ();
+  stop_listening ();
+  List.iter (fun c -> close_conn t c) (conn_list ());
+  Admission.stop t.admission;
+  Array.iter Domain.join workers;
+  handle_completions t;
+  refresh_admission_gauges t;
+  let cval c = int_of_float (Obs.Metrics.counter_value c) in
+  {
+    accepted = cval (m_accepted t);
+    requests = Admission.admitted_total t.admission;
+    shed = cval (m_shed t);
+    errors = cval (m_errors t);
+    degraded = cval (m_degraded t);
+    timed_out = cval (m_timed_out t);
+    elapsed_s = float_of_int (now_us () - started_us) /. 1e6;
+    drained = not !forced;
+    metrics = t.registry;
+  }
+
+let report_to_string r =
+  Printf.sprintf
+    "server: %d connection(s), %d request(s) in %.3f s — %d shed, %d \
+     error(s), %d degraded, %d idle-reaped, drain %s\n"
+    r.accepted r.requests r.elapsed_s r.shed r.errors r.degraded r.timed_out
+    (if r.drained then "clean" else "forced")

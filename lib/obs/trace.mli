@@ -17,6 +17,14 @@ type span = {
   attrs : (string * string) list;
 }
 
+val now_us : unit -> int
+(** The shared clock spans are stamped with: microseconds since the
+    process-local epoch, monotonized across domains with a CAS max so
+    successive readings never run backwards even if the wall clock
+    steps.  Exposed for callers that need durations immune to clock
+    adjustments (the serve loop's latency reports, the network server's
+    timeouts). *)
+
 val arm : unit -> unit
 (** Start recording.  Spans from any previous arming are discarded. *)
 

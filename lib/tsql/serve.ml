@@ -128,7 +128,10 @@ let run ?(echo = false) ?(out = print_string) ?metrics_every ?slowlog session
   let note_kind k =
     if not (List.mem k !seen_kinds) then seen_kinds := k :: !seen_kinds
   in
-  let started = Unix.gettimeofday () in
+  (* Latencies and total elapsed time come from the monotonized clock
+     shared with [Obs.Trace], not the wall clock, so reports survive
+     clock steps and NTP adjustments mid-run. *)
+  let started_us = Obs.Trace.now_us () in
   let executed = ref 0 in
   List.iter
     (fun stmt ->
@@ -137,9 +140,9 @@ let run ?(echo = false) ?(out = print_string) ?metrics_every ?slowlog session
       let spans_before =
         if Obs.Trace.is_armed () then List.length (Obs.Trace.spans ()) else 0
       in
-      let t0 = Unix.gettimeofday () in
+      let t0_us = Obs.Trace.now_us () in
       let result = Session.exec_statement session stmt in
-      let dt_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+      let dt_us = float_of_int (Obs.Trace.now_us () - t0_us) in
       Obs.Histogram.observe (latency kind) dt_us;
       (match slowlog with
       | Some log when dt_us /. 1000. >= Obs.Slowlog.threshold_ms log ->
@@ -180,7 +183,7 @@ let run ?(echo = false) ?(out = print_string) ?metrics_every ?slowlog session
                (Obs.Metrics.expose registry))
       | _ -> ())
     statements;
-  let elapsed_s = Unix.gettimeofday () -. started in
+  let elapsed_s = float_of_int (Obs.Trace.now_us () - started_us) /. 1e6 in
   refresh_session_metrics registry session;
   let present = List.rev !seen_kinds in
   let kinds =

@@ -21,6 +21,11 @@ type op_stats = {
   max_us : float;
 }
 
+val kind_of : Ast.statement -> string
+(** The statement's display kind (["select"], ["insert"], ...) — the
+    label used by the per-kind latency histograms here and by the
+    network server's request metrics. *)
+
 type report = {
   total : int;
   total_errors : int;

@@ -65,6 +65,10 @@ type t = {
       (* Where CREATE TABLE places partition directories; a temp dir is
          made on first use when none was given. *)
   split_threshold : int option;  (* Partition shard-split threshold. *)
+  mutable last_degradations : int;
+      (* Degradations reported by the most recent statement — how the
+         network server learns a guarded SELECT survived by falling
+         back rather than completing cleanly. *)
 }
 
 let materialize base =
@@ -122,6 +126,7 @@ let create ?(cache_capacity = 128) ?(adaptive = true) ?data_dir
       adaptive;
       data_dir;
       split_threshold;
+      last_degradations = 0;
     }
   in
   List.iter
@@ -303,11 +308,11 @@ let interval_of_window { Ast.w_start; w_stop } =
     (match w_stop with Some e -> Chronon.of_int e | None -> Chronon.forever)
 
 let run_plan t plan =
-  let t0 = Unix.gettimeofday () in
+  let t0_us = Obs.Trace.now_us () in
   match Eval.run plan with
   | rel ->
       Eval.record_outcome (catalog t) plan
-        ~elapsed_ms:((Unix.gettimeofday () -. t0) *. 1000.)
+        ~elapsed_ms:(float_of_int (Obs.Trace.now_us () - t0_us) /. 1000.)
         ~degradations:0 rel;
       Ok rel
   | exception Invalid_argument msg -> Error ("evaluation failed: " ^ msg)
@@ -599,7 +604,7 @@ let select_view t v (q : Ast.query) =
           ~version:v.vversion rel;
         Ok (Rows rel)
 
-let select t (q : Ast.query) =
+let select ?memory_budget ?deadline_ms ?on_error t (q : Ast.query) =
   match Hashtbl.find_opt t.views (fold q.Ast.from) with
   | Some v -> select_view t v q
   | None ->
@@ -611,8 +616,22 @@ let select t (q : Ast.query) =
                ~scanned:plan.Semant.scanned_shards
                ~pruned:plan.Semant.pruned_shards
          | _ -> ());
-      let* rel = run_plan t plan in
-      Ok (Rows rel)
+      if memory_budget = None && deadline_ms = None && on_error = None then
+        let* rel = run_plan t plan in
+        Ok (Rows rel)
+      else
+        (* A caller-imposed budget (the network server's admission
+           controller) routes the evaluation through the robust engine:
+           blown budgets walk the fallback chain instead of failing, and
+           the degradation count is surfaced via [last_degradations]. *)
+        match
+          Eval.query_robust ~adaptive:t.adaptive ?on_error ?memory_budget
+            ?deadline_ms (catalog t) (Ast.to_string q)
+        with
+        | Ok { Eval.result; degradations } ->
+            t.last_degradations <- List.length degradations;
+            Ok (Rows result)
+        | Error _ as e -> e
 
 let explain_analyze t (q : Ast.query) =
   match Hashtbl.find_opt t.views (fold q.Ast.from) with
@@ -753,8 +772,10 @@ let analyze_relation t name =
 
 let show_stats t = Ok (Ack (Obs.Stats.store_to_string t.store))
 
-let exec_statement t = function
-  | Ast.Select q -> select t q
+let exec_statement ?memory_budget ?deadline_ms ?on_error t stmt =
+  t.last_degradations <- 0;
+  match stmt with
+  | Ast.Select q -> select ?memory_budget ?deadline_ms ?on_error t q
   | Ast.Explain_analyze q -> explain_analyze t q
   | Ast.Analyze name -> analyze_relation t name
   | Ast.Show_stats -> show_stats t
@@ -767,6 +788,8 @@ let exec_statement t = function
   | Ast.Create_table { name; columns; boundaries } ->
       create_table t name columns boundaries
   | Ast.Show_partitions -> show_partitions t
+
+let last_degradations t = t.last_degradations
 
 let exec t text =
   let* stmt = Parser.parse_statement text in

@@ -52,7 +52,27 @@ val create :
 val exec : t -> string -> (outcome, string) result
 (** Parse and execute one statement. *)
 
-val exec_statement : t -> Ast.statement -> (outcome, string) result
+val exec_statement :
+  ?memory_budget:int ->
+  ?deadline_ms:float ->
+  ?on_error:Tempagg.Engine.on_error ->
+  t ->
+  Ast.statement ->
+  (outcome, string) result
+(** Execute one parsed statement.  The optional guard budgets apply to
+    SELECTs against base relations (the statements whose cost is
+    unbounded): when any is given the evaluation runs through
+    {!Eval.query_robust}, so a blown budget walks the fallback chain
+    under the given [on_error] policy (or the query's own [ON ERROR]
+    clause) instead of failing outright, and {!last_degradations}
+    reports how many recovery events occurred.  View answers, DDL and
+    DML ignore the budgets — they are bounded by construction.  This is
+    how the network server's admission controller degrades saturated
+    queries instead of shedding them. *)
+
+val last_degradations : t -> int
+(** Number of degradations reported by the most recent statement
+    (0 for a clean run, or when the statement took the unguarded path). *)
 
 val catalog : t -> Catalog.t
 (** The current base relations, materialized as an immutable catalog. *)

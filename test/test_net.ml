@@ -1,0 +1,376 @@
+(* Tests for the network layer: protocol framing, the admission
+   controller's admit/queue/shed/degrade state machine, and end-to-end
+   client/server sessions over a real TCP socket (ephemeral port),
+   including saturation (BUSY), degradation, and graceful drain. *)
+
+let catalog = Tsql.Catalog.with_builtins ()
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_encode () =
+  Alcotest.(check string) "pong" "PONG\n" (Net.Protocol.encode Net.Protocol.Pong);
+  Alcotest.(check string) "bye" "BYE\n" (Net.Protocol.encode Net.Protocol.Bye);
+  Alcotest.(check string) "err" "ERR boom\n"
+    (Net.Protocol.encode (Net.Protocol.Err "boom"));
+  Alcotest.(check string) "busy" "BUSY queue full\n"
+    (Net.Protocol.encode (Net.Protocol.Busy "queue full"));
+  Alcotest.(check string) "ok" "OK 2\na\nb\n"
+    (Net.Protocol.encode
+       (Net.Protocol.Ok_reply { degraded = false; payload = [ "a"; "b" ] }));
+  Alcotest.(check string) "ok degraded" "OK 0 degraded\n"
+    (Net.Protocol.encode
+       (Net.Protocol.Ok_reply { degraded = true; payload = [] }))
+
+let test_protocol_clean_embedded_newlines () =
+  (* Frame integrity: payload lines and error text can never smuggle a
+     newline that would desynchronize the stream. *)
+  Alcotest.(check string) "newlines collapsed" "ERR a; b\n"
+    (Net.Protocol.encode (Net.Protocol.Err "a\nb"));
+  Alcotest.(check string) "crlf collapsed" "OK 1\nx; y\n"
+    (Net.Protocol.encode
+       (Net.Protocol.Ok_reply { degraded = false; payload = [ "x\r\ny" ] }))
+
+let test_protocol_parse_header () =
+  let ok s = match Net.Protocol.parse_header s with Ok h -> h | Error e -> Alcotest.fail e in
+  Alcotest.(check bool) "pong" true (ok "PONG" = Net.Protocol.H_pong);
+  Alcotest.(check bool) "bye" true (ok "BYE\r" = Net.Protocol.H_bye);
+  Alcotest.(check bool) "err" true (ok "ERR nope" = Net.Protocol.H_err "nope");
+  Alcotest.(check bool) "busy" true
+    (ok "BUSY draining" = Net.Protocol.H_busy "draining");
+  Alcotest.(check bool) "ok plain" true
+    (ok "OK 3" = Net.Protocol.H_ok { count = 3; degraded = false });
+  Alcotest.(check bool) "ok degraded" true
+    (ok "OK 7 degraded" = Net.Protocol.H_ok { count = 7; degraded = true });
+  let rejected s =
+    match Net.Protocol.parse_header s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "garbage" true (rejected "HELLO");
+  Alcotest.(check bool) "bad count" true (rejected "OK x");
+  Alcotest.(check bool) "negative count" true (rejected "OK -1")
+
+let test_protocol_sleep () =
+  Alcotest.(check bool) "parses" true
+    (Net.Protocol.sleep_request "SLEEP 25" = Some 25.);
+  Alcotest.(check bool) "case-insensitive" true
+    (Net.Protocol.sleep_request "sleep 1.5" = Some 1.5);
+  Alcotest.(check bool) "negative rejected" true
+    (Net.Protocol.sleep_request "SLEEP -1" = None);
+  Alcotest.(check bool) "not a sleep" true
+    (Net.Protocol.sleep_request "SELECT 1" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let submit_tag adm tag =
+  Net.Admission.submit adm (fun ~degraded -> (tag, degraded))
+
+let test_admission_bounds () =
+  (* 2 workers + depth 3: submits 1..5 admitted, 6th shed.  No worker
+     ever takes, so everything counts against the shared bound. *)
+  let adm = Net.Admission.create ~workers:2 ~queue_depth:3 () in
+  for i = 1 to 5 do
+    match submit_tag adm i with
+    | Net.Admission.Admitted _ -> ()
+    | Net.Admission.Shed r -> Alcotest.fail (Printf.sprintf "submit %d shed: %s" i r)
+  done;
+  (match submit_tag adm 6 with
+  | Net.Admission.Shed reason ->
+      Alcotest.(check bool) "reason is structured" true
+        (String.length reason > 0)
+  | Net.Admission.Admitted _ -> Alcotest.fail "6th submit must shed");
+  Alcotest.(check int) "admitted" 5 (Net.Admission.admitted_total adm);
+  Alcotest.(check int) "shed" 1 (Net.Admission.shed_total adm);
+  (* Taking moves work from queued to in flight — the shared bound is
+     unchanged, so the next submit still sheds. *)
+  (match Net.Admission.take adm with
+  | Some (1, _) -> ()
+  | _ -> Alcotest.fail "take returns the oldest submit");
+  (match submit_tag adm 7 with
+  | Net.Admission.Shed _ -> ()
+  | Net.Admission.Admitted _ ->
+      Alcotest.fail "take alone must not free an admission slot");
+  (* Only finishing the request frees the slot. *)
+  Net.Admission.finish adm;
+  (match submit_tag adm 8 with
+  | Net.Admission.Admitted _ -> ()
+  | Net.Admission.Shed _ ->
+      Alcotest.fail "finish must free an admission slot");
+  Net.Admission.stop adm
+
+let test_admission_degrade_watermark () =
+  (* 1 worker, depth 4, watermark 2.  Take one job in flight (worker
+     busy); the 1st queued submit is below the watermark, the 2nd hits
+     it and degrades. *)
+  let adm =
+    Net.Admission.create ~degrade_watermark:2 ~workers:1 ~queue_depth:4 ()
+  in
+  (match submit_tag adm 0 with
+  | Net.Admission.Admitted { degraded; _ } ->
+      Alcotest.(check bool) "idle pool never degrades" false degraded
+  | Net.Admission.Shed _ -> Alcotest.fail "must admit");
+  ignore (Net.Admission.take adm);
+  (match submit_tag adm 1 with
+  | Net.Admission.Admitted { degraded; queued_behind } ->
+      Alcotest.(check bool) "below watermark" false degraded;
+      Alcotest.(check int) "queue was empty" 0 queued_behind
+  | Net.Admission.Shed _ -> Alcotest.fail "must admit");
+  (match submit_tag adm 2 with
+  | Net.Admission.Admitted { degraded; _ } ->
+      Alcotest.(check bool) "at watermark degrades" true degraded
+  | Net.Admission.Shed _ -> Alcotest.fail "must admit");
+  Alcotest.(check int) "degraded counted" 1 (Net.Admission.degraded_total adm);
+  Alcotest.(check bool) "flag travels with the request" true
+    (match Net.Admission.take adm with Some (1, false) -> true | _ -> false);
+  Alcotest.(check bool) "degraded request carries its flag" true
+    (match Net.Admission.take adm with Some (2, true) -> true | _ -> false);
+  Net.Admission.stop adm
+
+let test_admission_drain_and_evict () =
+  let adm = Net.Admission.create ~workers:1 ~queue_depth:8 () in
+  List.iter (fun i -> ignore (submit_tag adm i)) [ 1; 2; 3 ];
+  Net.Admission.drain ~reason:"draining: test" adm;
+  (match submit_tag adm 99 with
+  | Net.Admission.Shed reason ->
+      Alcotest.(check string) "drain reason" "draining: test" reason
+  | Net.Admission.Admitted _ -> Alcotest.fail "drain must shed new work");
+  (* Queued work survives the drain... *)
+  Alcotest.(check bool) "queued still served" true
+    (match Net.Admission.take adm with Some (1, _) -> true | _ -> false);
+  (* ...until the deadline evicts it, in submission order. *)
+  let evicted = List.map fst (Net.Admission.shed_queued adm) in
+  Alcotest.(check (list int)) "evicted in order" [ 2; 3 ] evicted;
+  Net.Admission.stop adm;
+  Alcotest.(check bool) "stopped take yields None" true
+    (Net.Admission.take adm = None)
+
+let test_admission_take_blocks_until_stop () =
+  let adm = Net.Admission.create ~workers:1 ~queue_depth:1 () in
+  let taker = Domain.spawn (fun () -> Net.Admission.take adm) in
+  Unix.sleepf 0.02;
+  Net.Admission.stop adm;
+  Alcotest.(check bool) "woken with None" true (Domain.join taker = None)
+
+(* ------------------------------------------------------------------ *)
+(* Client/server end to end                                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_server ?(config = Net.Server.default_config) f =
+  let config = { config with Net.Server.transport = Net.Server.Tcp 0 } in
+  let srv = Net.Server.create ~config catalog in
+  let handle = Domain.spawn (fun () -> Net.Server.run srv) in
+  let port = Option.get (Net.Server.port srv) in
+  (* The listener is bound before [create] returns, so connecting now
+     cannot race the event loop.  [report_of] shuts the server down and
+     joins it exactly once (joining twice is an error). *)
+  let joined = ref None in
+  let report_of () =
+    match !joined with
+    | Some r -> r
+    | None ->
+        Net.Server.shutdown srv;
+        let r = Domain.join handle in
+        joined := Some r;
+        r
+  in
+  Fun.protect
+    ~finally:(fun () -> ignore (report_of ()))
+    (fun () -> f port report_of)
+
+(* (degraded, payload) of an [OK] reply; anything else fails the test. *)
+let expect_ok = function
+  | Ok (Net.Protocol.Ok_reply { degraded; payload }) -> (degraded, payload)
+  | Ok other -> Alcotest.fail ("expected OK, got " ^ Net.Protocol.encode other)
+  | Error e -> Alcotest.fail e
+
+let test_e2e_session () =
+  with_server (fun port report_of ->
+      let c = Net.Client.connect ~port () in
+      Fun.protect ~finally:(fun () -> Net.Client.close c) (fun () ->
+          (match Net.Client.request c "PING" with
+          | Ok Net.Protocol.Pong -> ()
+          | _ -> Alcotest.fail "PING must answer PONG");
+          let degraded, payload =
+            expect_ok
+              (Net.Client.request c
+                 "SELECT COUNT(name) FROM Employed DURING [5,15]")
+          in
+          Alcotest.(check bool) "rows come back" true (List.length payload > 0);
+          Alcotest.(check bool) "not degraded when idle" false degraded;
+          (match Net.Client.request c "SELEKT nope" with
+          | Ok (Net.Protocol.Err _) -> ()
+          | _ -> Alcotest.fail "parse failure must answer ERR");
+          (* The connection survives a statement error. *)
+          ignore
+            (expect_ok (Net.Client.request c "SELECT COUNT(name) FROM Employed"));
+          match Net.Client.request c "QUIT" with
+          | Ok Net.Protocol.Bye -> ()
+          | _ -> Alcotest.fail "QUIT must answer BYE");
+      let report = report_of () in
+      Alcotest.(check bool) "connection counted" true (report.Net.Server.accepted >= 1);
+      Alcotest.(check bool) "statements counted" true (report.Net.Server.requests >= 3);
+      Alcotest.(check int) "one ERR" 1 report.Net.Server.errors;
+      Alcotest.(check bool) "clean drain" true report.Net.Server.drained)
+
+let test_e2e_writes_are_connection_local () =
+  with_server (fun port _report_of ->
+      let a = Net.Client.connect ~port () in
+      let b = Net.Client.connect ~port () in
+      Fun.protect
+        ~finally:(fun () ->
+          Net.Client.close a;
+          Net.Client.close b)
+        (fun () ->
+          ignore
+            (expect_ok
+               (Net.Client.request a
+                  "INSERT INTO Employed VALUES ('Zoe', 99000) DURING [1,5]"));
+          let count c =
+            let _, payload =
+              expect_ok
+                (Net.Client.request c "SELECT COUNT(name) FROM Employed DURING [1,2]")
+            in
+            String.concat " " payload
+          in
+          (* A sees its insert; B's session still has the pristine
+             builtin relation — sessions never share mutable state. *)
+          Alcotest.(check bool) "sessions isolated" true (count a <> count b)))
+
+let saturation_config =
+  {
+    Net.Server.default_config with
+    Net.Server.domains = 1;
+    queue_depth = 0;
+    drain_timeout_ms = 3_000;
+  }
+
+let test_e2e_busy_when_saturated () =
+  with_server ~config:saturation_config (fun port _report_of ->
+      let blocker = Net.Client.connect ~port () in
+      let prober = Net.Client.connect ~port () in
+      Fun.protect
+        ~finally:(fun () ->
+          Net.Client.close blocker;
+          Net.Client.close prober)
+        (fun () ->
+          (* Park the only worker, then probe: statements shed with
+             BUSY, but PING still answers — liveness survives
+             saturation. *)
+          Net.Client.send blocker "SLEEP 400";
+          Unix.sleepf 0.1;
+          (match Net.Client.request prober "SELECT COUNT(name) FROM Employed" with
+          | Ok (Net.Protocol.Busy reason) ->
+              Alcotest.(check bool) "reason mentions the queue" true
+                (String.length reason > 0)
+          | Ok other ->
+              Alcotest.fail ("expected BUSY, got " ^ Net.Protocol.encode other)
+          | Error e -> Alcotest.fail e);
+          (match Net.Client.request prober "PING" with
+          | Ok Net.Protocol.Pong -> ()
+          | _ -> Alcotest.fail "PING must bypass admission");
+          (* The parked statement still completes normally. *)
+          match Net.Client.read_reply blocker with
+          | Ok (Net.Protocol.Ok_reply _) -> ()
+          | _ -> Alcotest.fail "blocker must get its reply"))
+
+let test_e2e_degraded_under_queueing () =
+  let config =
+    {
+      Net.Server.default_config with
+      Net.Server.domains = 1;
+      queue_depth = 4;
+      degrade_watermark = Some 1;
+      drain_timeout_ms = 3_000;
+    }
+  in
+  with_server ~config (fun port _report_of ->
+      let blocker = Net.Client.connect ~port () in
+      let queued = Net.Client.connect ~port () in
+      Fun.protect
+        ~finally:(fun () ->
+          Net.Client.close blocker;
+          Net.Client.close queued)
+        (fun () ->
+          Net.Client.send blocker "SLEEP 300";
+          Unix.sleepf 0.1;
+          (* Queued behind a saturated pool at the watermark: admitted,
+             executed, and the reply is marked degraded. *)
+          let degraded, _ =
+            expect_ok (Net.Client.request queued "SELECT COUNT(name) FROM Employed")
+          in
+          Alcotest.(check bool) "reply marked degraded" true degraded;
+          match Net.Client.read_reply blocker with
+          | Ok (Net.Protocol.Ok_reply _) -> ()
+          | _ -> Alcotest.fail "blocker must get its reply"))
+
+let test_e2e_graceful_drain_with_inflight () =
+  with_server ~config:saturation_config (fun port report_of ->
+      let c = Net.Client.connect ~port () in
+      Fun.protect ~finally:(fun () -> Net.Client.close c) (fun () ->
+          (* Shutdown with a statement in flight: the drain finishes the
+             work and flushes the reply (into the socket buffer) before
+             the server exits. *)
+          Net.Client.send c "SLEEP 200";
+          Unix.sleepf 0.05;
+          let report = report_of () in
+          (match Net.Client.read_reply c with
+          | Ok (Net.Protocol.Ok_reply _) -> ()
+          | _ -> Alcotest.fail "in-flight reply must be flushed on drain");
+          Alcotest.(check bool) "drained cleanly" true report.Net.Server.drained;
+          Alcotest.(check bool) "the request ran" true
+            (report.Net.Server.requests >= 1)))
+
+let test_e2e_report_render () =
+  with_server (fun port report_of ->
+      let c = Net.Client.connect ~port () in
+      ignore (Net.Client.request c "PING");
+      Net.Client.close c;
+      let report = report_of () in
+      let text = Net.Server.report_to_string report in
+      let contains hay needle =
+        let lh = String.length hay and ln = String.length needle in
+        let rec go i =
+          i + ln <= lh && (String.sub hay i ln = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "mentions drain" true (contains text "drain"))
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "encode" `Quick test_protocol_encode;
+          Alcotest.test_case "frame integrity" `Quick
+            test_protocol_clean_embedded_newlines;
+          Alcotest.test_case "parse_header" `Quick test_protocol_parse_header;
+          Alcotest.test_case "sleep verb" `Quick test_protocol_sleep;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "bounds admit/queue/shed" `Quick
+            test_admission_bounds;
+          Alcotest.test_case "degrade watermark" `Quick
+            test_admission_degrade_watermark;
+          Alcotest.test_case "drain and evict" `Quick
+            test_admission_drain_and_evict;
+          Alcotest.test_case "take blocks until stop" `Quick
+            test_admission_take_blocks_until_stop;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "session round trip" `Quick test_e2e_session;
+          Alcotest.test_case "writes are connection-local" `Quick
+            test_e2e_writes_are_connection_local;
+          Alcotest.test_case "BUSY at saturation, PING alive" `Quick
+            test_e2e_busy_when_saturated;
+          Alcotest.test_case "degraded under queueing" `Quick
+            test_e2e_degraded_under_queueing;
+          Alcotest.test_case "graceful drain with in-flight work" `Quick
+            test_e2e_graceful_drain_with_inflight;
+          Alcotest.test_case "report renders" `Quick test_e2e_report_render;
+        ] );
+    ]

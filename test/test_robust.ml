@@ -110,6 +110,48 @@ let test_guard_describe () =
   Alcotest.(check bool) "other exn ignored" true
     (Guard.describe Not_found = None)
 
+(* The split cap is observable through [Budget_exceeded.budget_bytes]:
+   trip a shard guard and read back the cap it was enforcing. *)
+let shard_cap ~budget ~ways =
+  let g = Guard.split (Guard.create ~memory_budget:budget ()) ways in
+  let inst = Instrument.create ~node_bytes:1 () in
+  Guard.attach g inst;
+  let rec alloc_until_trip () =
+    match Instrument.alloc inst with
+    | () -> alloc_until_trip ()
+    | exception Guard.Budget_exceeded { budget_bytes; _ } -> budget_bytes
+  in
+  alloc_until_trip ()
+
+let test_guard_split_one_way_preserves () =
+  Alcotest.(check int) "ways=1 keeps the budget" 10 (shard_cap ~budget:10 ~ways:1)
+
+let test_guard_split_zero_budget () =
+  (* A zero budget splits to zero: the very first allocation trips. *)
+  Alcotest.(check int) "zero stays zero" 0 (shard_cap ~budget:0 ~ways:4);
+  (* Splitting finer than the budget rounds down to zero too. *)
+  Alcotest.(check int) "7/8 rounds to zero" 0 (shard_cap ~budget:7 ~ways:8)
+
+let test_guard_split_rounds_down () =
+  (* 10 bytes over 3 shards: 3 each, and 3 shards * 3 bytes = 9 <= 10 —
+     concurrent shards can never overrun the parent budget in sum. *)
+  let ways = 3 and budget = 10 in
+  let caps = List.init ways (fun _ -> shard_cap ~budget ~ways) in
+  List.iter (fun cap -> Alcotest.(check int) "floor(10/3)" 3 cap) caps;
+  Alcotest.(check bool) "shards sum within parent" true
+    (List.fold_left ( + ) 0 caps <= budget)
+
+let test_guard_split_shares_deadline_clock () =
+  let parent = Guard.create ~deadline_ms:1. () in
+  Unix.sleepf 0.005;
+  (* The shard's clock starts at the parent's start, not at the split:
+     elapsed time before the split already counts. *)
+  let shard = Guard.split parent 2 in
+  Alcotest.(check bool) "shard inherits elapsed time" true
+    (match Guard.check shard with
+    | () -> false
+    | exception Guard.Deadline_exceeded { elapsed_ms; _ } -> elapsed_ms >= 1.)
+
 (* ------------------------------------------------------------------ *)
 (* Engine.of_string: round trips and validation                        *)
 (* ------------------------------------------------------------------ *)
@@ -689,6 +731,12 @@ let () =
           quick "budget trips at the crossing alloc" test_guard_budget_trips;
           quick "wrap_seq checks before each pull" test_guard_wrap_seq;
           quick "describe" test_guard_describe;
+          quick "split ways=1 preserves budget" test_guard_split_one_way_preserves;
+          quick "split of zero budget" test_guard_split_zero_budget;
+          quick "split rounds down, never oversubscribes"
+            test_guard_split_rounds_down;
+          quick "split shares the deadline clock"
+            test_guard_split_shares_deadline_clock;
         ] );
       ( "algorithm-names",
         [
