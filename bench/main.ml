@@ -11,7 +11,7 @@
    Sections: table1 table2 table3 fig6 fig7 fig8 fig9 fig9_longlived
    sweep live optimizer guard obs adaptive ablation_balanced
    ablation_span ablation_unique ablation_paged ablation_pagerand
-   storage_io shard micro.  The obs section also writes BENCH_trace.json
+   storage_io shard join net micro.  The obs section also writes BENCH_trace.json
    (Chrome trace_event, loads in Perfetto) and BENCH_metrics.txt
    (Prometheus exposition) next to the --json output when one is
    requested.
@@ -1794,6 +1794,105 @@ let shard_bench cfg =
          most shards survive pruning and the two strategies converge")
 
 (* ------------------------------------------------------------------ *)
+(* join: endpoint sweep vs nested loop                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The join subsystem's claim: on selective predicates the endpoint
+   sweep pays O((n+m) log(n+m)) radix sorting plus output-proportional
+   scans of a small active-tuple map, while the nested loop always
+   pays the full n*m compiled comparisons.  Short-lived tuples over a
+   1M-instant lifespan keep the active maps small, so at 100k tuples
+   per side the gap is orders of magnitude.  BEFORE is the sweep's
+   ordered prefix scan, but its output is itself quadratic in n, so it
+   is measured at the quadratic cap like the paper's O(n^2)
+   algorithms. *)
+let join_bench cfg =
+  banner "join"
+    "interval join: gapless-hash endpoint sweep vs nested loop";
+  let n = if cfg.smoke then 2_000 else 100_000 in
+  let mk seed = Workload.Spec.make ~n ~short_max:100 ~seed () in
+  let p =
+    Workload.Spec.pair ~overlap_density:0.01 ~left:(mk 11) ~right:(mk 12) ()
+  in
+  let left_arr, right_arr = Workload.Generate.pair_intervals p in
+  let left = Array.map fst left_arr and right = Array.map fst right_arr in
+  let preds =
+    [
+      Join.Predicate.Allen Interval.Overlaps;
+      Join.Predicate.Allen Interval.Meets;
+      Join.Predicate.Intersects;
+    ]
+  in
+  (* Same pairs both ways on a small prefix, once, before timing. *)
+  let check_n = min n 2_000 in
+  let sub a = Array.sub a 0 check_n in
+  List.iter
+    (fun pred ->
+      if
+        Join.Engine.pairs Join.Engine.Sweep pred (sub left) (sub right)
+        <> Join.Engine.pairs Join.Engine.Nested_loop pred (sub left)
+             (sub right)
+      then
+        failwith
+          ("join bench: strategies disagree on "
+          ^ Join.Predicate.to_string pred))
+    (Join.Predicate.Allen Interval.Before :: preds);
+  let count strategy pred l r () =
+    let c = ref 0 in
+    Join.Engine.run strategy pred ~left:l ~right:r (fun _ _ -> incr c);
+    !c
+  in
+  let headline = ref None in
+  let measure name pred l r point_n =
+    let t_sweep = time_run (count Join.Engine.Sweep pred l r) in
+    let t_nested = time_run (count Join.Engine.Nested_loop pred l r) in
+    let pairs = count Join.Engine.Sweep pred l r () in
+    record_point ~section:"join" ~name ~n:point_n ~algorithm:"sweep-join"
+      ~median_ns:(t_sweep *. 1e9) ();
+    record_point ~section:"join" ~name ~n:point_n
+      ~algorithm:"nested-loop-join" ~median_ns:(t_nested *. 1e9) ();
+    if name = "OVERLAPS" then headline := Some (t_nested, t_sweep);
+    [
+      name;
+      string_of_int point_n;
+      string_of_int pairs;
+      Printf.sprintf "%.4f" t_sweep;
+      Printf.sprintf "%.4f" t_nested;
+      (if t_sweep > 0. then Printf.sprintf "%.1fx" (t_nested /. t_sweep)
+       else "-");
+    ]
+  in
+  let rows =
+    List.map
+      (fun pred -> measure (Join.Predicate.to_string pred) pred left right n)
+      preds
+  in
+  let nb = min n cfg.cap_quadratic in
+  let rows =
+    rows
+    @ [
+        measure "BEFORE"
+          (Join.Predicate.Allen Interval.Before)
+          (Array.sub left 0 nb) (Array.sub right 0 nb) nb;
+      ]
+  in
+  Printf.printf
+    "%d tuples per side (BEFORE capped at %d), short-lived 1-100 over a \
+     1M-instant lifespan, overlap density %.0f%%\n"
+    n nb
+    (p.Workload.Spec.overlap_density *. 100.);
+  Report.Table.print
+    ~headers:[ "predicate"; "n/side"; "pairs"; "sweep s"; "nested s"; "speedup" ]
+    rows;
+  match !headline with
+  | Some (t_nested, t_sweep) when t_sweep > 0. ->
+      Printf.printf
+        "headline (OVERLAPS, n=%d per side): nested-loop %.4f s vs sweep \
+         %.4f s -> %.1fx (bar at n=100k: >= 5x)\n"
+        n t_nested t_sweep (t_nested /. t_sweep)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -2185,6 +2284,7 @@ let () =
   run "ablation_pagerand" (fun () -> ablation_pagerand cfg);
   run "storage_io" (fun () -> storage_io cfg);
   run "shard" (fun () -> shard_bench cfg);
+  run "join" (fun () -> join_bench cfg);
   run "net" (fun () -> net_bench cfg);
   run "micro" micro;
   write_json cfg;

@@ -137,6 +137,17 @@ let domains_arg =
            divide-and-conquer); wraps the chosen algorithm in \
            $(b,parallel(N,...)).")
 
+let join_strategy_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "join-strategy" ] ~docv:"STRATEGY"
+        ~doc:
+          "Override the planned interval-join strategy for JOIN queries: \
+           $(b,sweep) (endpoint sweep over a gapless-hash active-tuple map) \
+           or $(b,nested-loop).  Overrides the optimizer's \
+           cardinality-based choice; ignored for join-free queries.")
+
 let on_error_conv =
   Arg.conv
     ( (fun s ->
@@ -228,13 +239,18 @@ let no_adaptive_arg =
            statistics store (observed k bounds, measured result sizes).  \
            Outcomes are still recorded for later adaptive runs.")
 
-let exec kind bindings algorithm domains on_error memory_budget deadline_ms
-    faults trace metrics profile no_adaptive q =
+let exec kind bindings algorithm domains on_error join_strategy memory_budget
+    deadline_ms faults trace metrics profile no_adaptive q =
   let adaptive = not no_adaptive in
   let parsed_algorithm =
     match algorithm with
     | None -> Ok None
     | Some name -> Result.map Option.some (Tempagg.Engine.of_string name)
+  in
+  let parsed_join_strategy =
+    match join_strategy with
+    | None -> Ok None
+    | Some name -> Result.map Option.some (Join.Engine.strategy_of_string name)
   in
   let checked_domains =
     match domains with
@@ -277,6 +293,7 @@ let exec kind bindings algorithm domains on_error memory_budget deadline_ms
   in
   let outcome =
     Result.bind parsed_algorithm (fun algorithm ->
+        Result.bind parsed_join_strategy (fun join_strategy ->
         Result.bind checked_domains (fun domains ->
             Result.bind parsed_faults (fun fault ->
                 let on_corrupt =
@@ -296,8 +313,8 @@ let exec kind bindings algorithm domains on_error memory_budget deadline_ms
                           Result.map
                             (fun r -> `Profiled r)
                             (Tsql.Eval.query_profiled ~adaptive ?algorithm
-                               ?domains ?on_error ?memory_budget ?deadline_ms
-                               catalog q)
+                               ?domains ?on_error ?join_strategy ?memory_budget
+                               ?deadline_ms catalog q)
                         else if
                           on_error = None && memory_budget = None
                           && deadline_ms = None
@@ -305,18 +322,18 @@ let exec kind bindings algorithm domains on_error memory_budget deadline_ms
                           Result.map
                             (fun r -> `Rel r)
                             (Tsql.Eval.query ~adaptive ?algorithm ?domains
-                               catalog q)
+                               ?join_strategy catalog q)
                         else
                           Result.map
                             (fun r -> `Robust r)
                             (Tsql.Eval.query_robust ~adaptive ?algorithm
-                               ?domains ?on_error ?memory_budget ?deadline_ms
-                               catalog q)
+                               ?domains ?on_error ?join_strategy ?memory_budget
+                               ?deadline_ms catalog q)
                     | `Explain ->
                         Result.map
                           (fun s -> `Text s)
                           (Tsql.Eval.explain ~adaptive ?algorithm ?domains
-                             ?on_error catalog q)))))
+                             ?on_error ?join_strategy catalog q))))))
   in
   write_trace ();
   match outcome with
@@ -348,8 +365,9 @@ let query_cmd =
     Term.(
       ret
         (const (exec `Run) $ relations_arg $ algorithm_arg $ domains_arg
-       $ on_error_arg $ memory_budget_arg $ deadline_arg $ faults_arg
-       $ trace_arg $ metrics_arg $ profile_arg $ no_adaptive_arg $ query_arg))
+       $ on_error_arg $ join_strategy_arg $ memory_budget_arg $ deadline_arg
+       $ faults_arg $ trace_arg $ metrics_arg $ profile_arg $ no_adaptive_arg
+       $ query_arg))
 
 let explain_cmd =
   let doc = "show the evaluation plan for a query" in
@@ -358,8 +376,9 @@ let explain_cmd =
     Term.(
       ret
         (const (exec `Explain) $ relations_arg $ algorithm_arg $ domains_arg
-       $ on_error_arg $ memory_budget_arg $ deadline_arg $ faults_arg
-       $ trace_arg $ metrics_arg $ profile_arg $ no_adaptive_arg $ query_arg))
+       $ on_error_arg $ join_strategy_arg $ memory_budget_arg $ deadline_arg
+       $ faults_arg $ trace_arg $ metrics_arg $ profile_arg $ no_adaptive_arg
+       $ query_arg))
 
 (* generate *)
 
@@ -661,6 +680,7 @@ let serve_net bindings cache_capacity no_adaptive slowlog_ms slowlog_out
                 (match metrics_out with
                 | None -> ()
                 | Some path ->
+                    Join.Telemetry.to_metrics report.Net.Server.metrics;
                     Out_channel.with_open_text path (fun oc ->
                         output_string oc
                           (Obs.Metrics.expose report.Net.Server.metrics));

@@ -93,6 +93,28 @@ val choose_observed : Obs.Stats.summary -> metadata -> choice
     stale).  The rationale gains a ["[stats: ...]"] suffix citing what
     was used; with an empty summary this is exactly [choose]. *)
 
+type join_choice = {
+  sweep : bool;  (** Endpoint-sweep join; [false] means nested loop. *)
+  join_rationale : string;
+  join_stats_source : string;
+      (** ["declared metadata"], or ["observed (stats store)"] when a
+          statistics summary supplied a cardinality. *)
+}
+
+val choose_join :
+  ?left_stats:Obs.Stats.summary ->
+  ?right_stats:Obs.Stats.summary ->
+  left_cardinality:int ->
+  right_cardinality:int ->
+  unit ->
+  join_choice
+(** Pick the interval-join strategy: nested loop when the cross product
+    is small enough that the sweep's two radix sorts and active-map
+    bookkeeping cost more than just comparing every pair, the endpoint
+    sweep otherwise.  Cardinalities observed by the statistics store
+    take precedence over the declared ones and are cited in a
+    ["[stats: ...]"] rationale suffix, mirroring {!choose_observed}. *)
+
 val estimated_tree_bytes : cardinality:int -> int
 (** Upper bound on aggregation-tree memory for an n-tuple relation: up to
     2 unique timestamps per tuple, 2 nodes per unique timestamp plus the

@@ -27,7 +27,10 @@ let radix_sort points slots len =
   let src_p = ref points and src_s = ref slots in
   let dst_p = ref tmp_p and dst_s = ref tmp_s in
   let shift = ref 0 in
-  while !max_v asr !shift > 0 do
+  (* The shift bound matters: keys can be [max_int] (a forever stop
+     saturates there), and a hardware shift of 64 wraps to 0, so the
+     [asr] alone would never reach a zero quotient. *)
+  while !shift < Sys.int_size && !max_v asr !shift > 0 do
     Array.fill count 0 256 0;
     let sp = !src_p and ss = !src_s and dp = !dst_p and ds = !dst_s in
     for i = 0 to len - 1 do

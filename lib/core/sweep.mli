@@ -27,6 +27,15 @@
 
 open Temporal
 
+val radix_sort : int array -> int array -> int -> unit
+(** [radix_sort points slots len] sorts [points.(0 .. len-1)] (which must
+    be non-negative) ascending in place, permuting [slots] in tandem so
+    each sorted point still knows which tuple produced it.  LSD radix
+    with 8-bit digits; the number of counting passes adapts to the
+    largest value.  This is the sort under the delta-sweep's endpoint
+    stream; the interval-join sweep reuses it for its start-event
+    streams. *)
+
 val eval :
   ?origin:Chronon.t ->
   ?horizon:Chronon.t ->

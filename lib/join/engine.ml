@@ -1,0 +1,26 @@
+type strategy = Sweep | Nested_loop
+
+let strategy_to_string = function
+  | Sweep -> "sweep-join"
+  | Nested_loop -> "nested-loop-join"
+
+let strategy_of_string s =
+  match String.lowercase_ascii s with
+  | "sweep" | "sweep-join" -> Ok Sweep
+  | "nested-loop" | "nested_loop" | "nested-loop-join" -> Ok Nested_loop
+  | other ->
+      Error
+        (Printf.sprintf "unknown join strategy %S (expected sweep or \
+                         nested-loop)"
+           other)
+
+let run ?guard ?instrument strategy pred ~left ~right emit =
+  match strategy with
+  | Sweep -> Sweep_join.run ?guard ?instrument pred ~left ~right emit
+  | Nested_loop -> Nested_loop.run ?guard pred ~left ~right emit
+
+let pairs ?guard ?instrument strategy pred left right =
+  let acc = ref [] in
+  run ?guard ?instrument strategy pred ~left ~right (fun i j ->
+      acc := (i, j) :: !acc);
+  List.sort compare !acc

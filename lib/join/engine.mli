@@ -1,0 +1,38 @@
+(** Strategy dispatch for the interval join: the endpoint sweep
+    ({!Sweep_join}) or the nested-loop oracle ({!Nested_loop}). *)
+
+open Temporal
+
+type strategy = Sweep | Nested_loop
+
+val strategy_to_string : strategy -> string
+(** ["sweep-join"] / ["nested-loop-join"], the names EXPLAIN prints. *)
+
+val strategy_of_string : string -> (strategy, string) result
+(** Accepts ["sweep"], ["nested-loop"], ["nested_loop"] and the
+    {!strategy_to_string} spellings, case-insensitively. *)
+
+val run :
+  ?guard:Tempagg.Guard.t ->
+  ?instrument:Tempagg.Instrument.t ->
+  strategy ->
+  Predicate.t ->
+  left:Interval.t array ->
+  right:Interval.t array ->
+  (int -> int -> unit) ->
+  unit
+(** [emit i j] exactly once per satisfying pair; emission order depends
+    on the strategy.
+    @raise Tempagg.Guard.Budget_exceeded (sweep only)
+    @raise Tempagg.Guard.Deadline_exceeded *)
+
+val pairs :
+  ?guard:Tempagg.Guard.t ->
+  ?instrument:Tempagg.Instrument.t ->
+  strategy ->
+  Predicate.t ->
+  Interval.t array ->
+  Interval.t array ->
+  (int * int) list
+(** All satisfying index pairs, sorted lexicographically — the
+    strategy-independent form the equivalence tests compare. *)

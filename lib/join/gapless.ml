@@ -1,0 +1,62 @@
+(* The sweep's active-tuple map, after Piatov et al.'s gapless hash map:
+   all live tuples sit in a dense prefix of two flat int arrays (tuple
+   index and extended expiry), so the per-event scan is pure sequential
+   array traffic.  Deletion is lazy — nothing retires a tuple when its
+   interval ends; instead each scan evicts the expired entries it walks
+   over by overwriting them with the last live entry and shrinking
+   (swap-with-last), which keeps the prefix gapless and reuses the slot
+   on the next insert.  There is no tombstone state and no compaction
+   pass: the map is always dense.
+
+   Slots are accounted through [Tempagg.Instrument] under the same
+   16-byte node model as the aggregation algorithms, which is how a
+   [Guard] memory budget sees — and can abort — a runaway active map. *)
+
+type t = {
+  mutable idx : int array;
+  mutable expiry : int array;
+  mutable len : int;
+  inst : Tempagg.Instrument.t option;
+}
+
+let create ?instrument () =
+  { idx = Array.make 64 0; expiry = Array.make 64 0; len = 0; inst = instrument }
+
+let length t = t.len
+
+let insert t ~idx ~expiry =
+  if t.len = Array.length t.idx then begin
+    let cap = 2 * t.len in
+    let idx' = Array.make cap 0 and exp' = Array.make cap 0 in
+    Array.blit t.idx 0 idx' 0 t.len;
+    Array.blit t.expiry 0 exp' 0 t.len;
+    t.idx <- idx';
+    t.expiry <- exp'
+  end;
+  t.idx.(t.len) <- idx;
+  t.expiry.(t.len) <- expiry;
+  t.len <- t.len + 1;
+  match t.inst with Some i -> Tempagg.Instrument.alloc i | None -> ()
+
+let scan t ~now f =
+  let i = ref 0 in
+  while !i < t.len do
+    if Array.unsafe_get t.expiry !i < now then begin
+      (* Expired: swap-with-last, shrink, and re-examine the slot — the
+         entry just moved in may itself be expired. *)
+      t.len <- t.len - 1;
+      Array.unsafe_set t.idx !i (Array.unsafe_get t.idx t.len);
+      Array.unsafe_set t.expiry !i (Array.unsafe_get t.expiry t.len);
+      match t.inst with Some inst -> Tempagg.Instrument.free inst | None -> ()
+    end
+    else begin
+      f (Array.unsafe_get t.idx !i);
+      incr i
+    end
+  done
+
+let clear t =
+  (match t.inst with
+  | Some inst -> Tempagg.Instrument.free_many inst t.len
+  | None -> ());
+  t.len <- 0

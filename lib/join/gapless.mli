@@ -1,0 +1,24 @@
+(** The sweep join's active-tuple map (Piatov et al.'s gapless hash
+    map): live tuples in a dense prefix of flat int arrays, lazy
+    deletion by swap-with-last during scans, dense reuse of freed
+    slots.  Slots are counted against an optional
+    {!Tempagg.Instrument} so {!Tempagg.Guard} memory budgets apply. *)
+
+type t
+
+val create : ?instrument:Tempagg.Instrument.t -> unit -> t
+
+val length : t -> int
+(** Entries currently held, including not-yet-evicted expired ones. *)
+
+val insert : t -> idx:int -> expiry:int -> unit
+(** Append a tuple: [idx] is the caller's tuple index, [expiry] the
+    last sweep instant at which the tuple still matters (for the join:
+    stop + 1, so a tuple stays visible to events at the instant just
+    past its stop and MEETS pairs are still caught). *)
+
+val scan : t -> now:int -> (int -> unit) -> unit
+(** [scan t ~now f] calls [f] on every live entry ([expiry >= now]),
+    lazily evicting the expired entries it encounters. *)
+
+val clear : t -> unit

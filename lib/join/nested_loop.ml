@@ -1,0 +1,28 @@
+open Temporal
+
+(* The naive quadratic join: every pair, one compiled-predicate check.
+   It is the test oracle for the sweep and the fallback when a sweep
+   join trips its Guard budget — it holds no state beyond the two
+   endpoint arrays, so a memory budget that kills the active map cannot
+   kill this.  The inner loop runs over unboxed int endpoint arrays
+   with the predicate compiled once, which keeps the baseline honest in
+   the bench. *)
+
+let run ?guard pred ~(left : Interval.t array) ~(right : Interval.t array)
+    emit =
+  let holds = Predicate.compile pred in
+  let n = Array.length left and m = Array.length right in
+  let rs = Array.make (max m 1) 0 and re = Array.make (max m 1) 0 in
+  for j = 0 to m - 1 do
+    rs.(j) <- Chronon.to_int (Interval.start right.(j));
+    re.(j) <- Chronon.to_int (Interval.stop right.(j))
+  done;
+  for i = 0 to n - 1 do
+    (match guard with Some g -> Tempagg.Guard.check g | None -> ());
+    let sa = Chronon.to_int (Interval.start left.(i))
+    and ea = Chronon.to_int (Interval.stop left.(i)) in
+    for j = 0 to m - 1 do
+      if holds sa ea (Array.unsafe_get rs j) (Array.unsafe_get re j) then
+        emit i j
+    done
+  done

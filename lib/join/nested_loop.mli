@@ -1,0 +1,17 @@
+(** The naive nested-loop interval join: the sweep's test oracle and
+    its Guard-fallback path (it allocates no algorithm state, so a
+    memory budget cannot abort it; the deadline is still ticked once
+    per outer tuple). *)
+
+open Temporal
+
+val run :
+  ?guard:Tempagg.Guard.t ->
+  Predicate.t ->
+  left:Interval.t array ->
+  right:Interval.t array ->
+  (int -> int -> unit) ->
+  unit
+(** [emit i j] for every pair satisfying the predicate, in
+    left-major order.
+    @raise Tempagg.Guard.Deadline_exceeded *)

@@ -1,0 +1,153 @@
+open Temporal
+
+type t = Allen of Interval.allen | Intersects
+
+let all =
+  [
+    Allen Interval.Before;
+    Allen Interval.Meets;
+    Allen Interval.Overlaps;
+    Allen Interval.Finished_by;
+    Allen Interval.Contains;
+    Allen Interval.Starts;
+    Allen Interval.Equals;
+    Allen Interval.Started_by;
+    Allen Interval.During;
+    Allen Interval.Finishes;
+    Allen Interval.Overlapped_by;
+    Allen Interval.Met_by;
+    Allen Interval.After;
+    Intersects;
+  ]
+
+let to_string = function
+  | Intersects -> "INTERSECTS"
+  | Allen r -> (
+      match r with
+      | Interval.Before -> "BEFORE"
+      | Interval.Meets -> "MEETS"
+      | Interval.Overlaps -> "OVERLAPS"
+      | Interval.Finished_by -> "FINISHED_BY"
+      | Interval.Contains -> "CONTAINS"
+      | Interval.Starts -> "STARTS"
+      | Interval.Equals -> "EQUALS"
+      | Interval.Started_by -> "STARTED_BY"
+      | Interval.During -> "DURING"
+      | Interval.Finishes -> "FINISHES"
+      | Interval.Overlapped_by -> "OVERLAPPED_BY"
+      | Interval.Met_by -> "MET_BY"
+      | Interval.After -> "AFTER")
+
+(* sql_saga's enum spells the end relations precedes/preceded_by; both
+   spellings parse. *)
+let of_string s =
+  match String.lowercase_ascii s with
+  | "intersects" -> Ok Intersects
+  | "before" | "precedes" -> Ok (Allen Interval.Before)
+  | "meets" -> Ok (Allen Interval.Meets)
+  | "overlaps" -> Ok (Allen Interval.Overlaps)
+  | "finished_by" | "finished-by" -> Ok (Allen Interval.Finished_by)
+  | "contains" -> Ok (Allen Interval.Contains)
+  | "starts" -> Ok (Allen Interval.Starts)
+  | "equals" -> Ok (Allen Interval.Equals)
+  | "started_by" | "started-by" -> Ok (Allen Interval.Started_by)
+  | "during" -> Ok (Allen Interval.During)
+  | "finishes" -> Ok (Allen Interval.Finishes)
+  | "overlapped_by" | "overlapped-by" -> Ok (Allen Interval.Overlapped_by)
+  | "met_by" | "met-by" -> Ok (Allen Interval.Met_by)
+  | "after" | "preceded_by" | "preceded-by" -> Ok (Allen Interval.After)
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown join predicate %S (expected an Allen relation or \
+            INTERSECTS)"
+           other)
+
+(* [inverse p] holds on (b, a) exactly when [p] holds on (a, b) —
+   Allen's converse pairs.  The parser uses it to normalize an ON
+   clause written with the sides reversed. *)
+let inverse = function
+  | Intersects -> Intersects
+  | Allen r ->
+      Allen
+        (match r with
+        | Interval.Before -> Interval.After
+        | Interval.Meets -> Interval.Met_by
+        | Interval.Overlaps -> Interval.Overlapped_by
+        | Interval.Finished_by -> Interval.Finishes
+        | Interval.Contains -> Interval.During
+        | Interval.Starts -> Interval.Started_by
+        | Interval.Equals -> Interval.Equals
+        | Interval.Started_by -> Interval.Starts
+        | Interval.During -> Interval.Contains
+        | Interval.Finishes -> Interval.Finished_by
+        | Interval.Overlapped_by -> Interval.Overlaps
+        | Interval.Met_by -> Interval.Meets
+        | Interval.After -> Interval.Before)
+
+(* Each predicate compiles to a window of start/end comparisons over the
+   raw int endpoints ([Chronon.to_int]; forever is [max_int], which the
+   comparisons treat correctly because it is the absorbing maximum).
+   The adjacency relations guard [e <> max_int] before the [e + 1]
+   successor, exactly as [Interval.allen] guards [is_finite] — so for
+   every pair, [compile (Allen r) sa ea sb eb] iff [Interval.relate a b
+   = r]; the QCheck suite holds the two implementations to that. *)
+let compile p =
+  match p with
+  | Intersects -> fun sa ea sb eb -> sa <= eb && sb <= ea
+  | Allen Interval.Before -> fun _ ea sb _ -> ea <> max_int && ea + 1 < sb
+  | Allen Interval.Meets -> fun _ ea sb _ -> ea <> max_int && ea + 1 = sb
+  | Allen Interval.Overlaps -> fun sa ea sb eb -> sa < sb && sb <= ea && ea < eb
+  | Allen Interval.Finished_by -> fun sa ea sb eb -> sa < sb && ea = eb
+  | Allen Interval.Contains -> fun sa ea sb eb -> sa < sb && ea > eb
+  | Allen Interval.Starts -> fun sa ea sb eb -> sa = sb && ea < eb
+  | Allen Interval.Equals -> fun sa ea sb eb -> sa = sb && ea = eb
+  | Allen Interval.Started_by -> fun sa ea sb eb -> sa = sb && ea > eb
+  | Allen Interval.During -> fun sa ea sb eb -> sa > sb && ea < eb
+  | Allen Interval.Finishes -> fun sa ea sb eb -> sa > sb && sa <= eb && ea = eb
+  | Allen Interval.Overlapped_by ->
+      fun sa ea sb eb -> sb < sa && sa <= eb && eb < ea
+  | Allen Interval.Met_by -> fun sa _ _ eb -> eb <> max_int && eb + 1 = sa
+  | Allen Interval.After -> fun sa _ _ eb -> eb <> max_int && eb + 1 < sa
+
+let holds p a b =
+  let f = compile p in
+  f
+    (Chronon.to_int (Interval.start a))
+    (Chronon.to_int (Interval.stop a))
+    (Chronon.to_int (Interval.start b))
+    (Chronon.to_int (Interval.stop b))
+
+(* The nine relations that guarantee a shared instant; for these the
+   joined tuple's valid time is the intersection.  The adjacency and
+   ordering relations have no shared instant, so the joined tuple
+   carries the hull — the smallest interval witnessing the pair. *)
+let intersecting = function
+  | Intersects -> true
+  | Allen
+      ( Interval.Overlaps | Interval.Finished_by | Interval.Contains
+      | Interval.Starts | Interval.Equals | Interval.Started_by
+      | Interval.During | Interval.Finishes | Interval.Overlapped_by ) ->
+      true
+  | Allen (Interval.Before | Interval.Meets | Interval.Met_by | Interval.After)
+    ->
+      false
+
+let result_interval p a b =
+  if intersecting p then
+    match Interval.intersect a b with
+    | Some iv -> iv
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Predicate.result_interval: %s holds but %s and %s \
+                           are disjoint"
+             (to_string p) (Interval.to_string a) (Interval.to_string b))
+  else Interval.hull a b
+
+(* Before/After pairs never share or touch an instant, so the sweep's
+   active map (which retires a tuple one instant after its stop) can
+   never have both sides live together: those two run as an ordered
+   prefix scan instead. *)
+let ordering = function
+  | Allen (Interval.Before | Interval.After) -> true
+  | _ -> false

@@ -1,0 +1,56 @@
+(** Join predicates: Allen's thirteen interval relations plus the loose
+    SQL [INTERSECTS] (share at least one instant), each compiled to a
+    window of start/end comparisons over raw int endpoints.
+
+    The compiled forms agree exactly with {!Temporal.Interval.relate}:
+    [holds (Allen r) a b] iff [relate a b = r].  sql_saga's
+    [allen_interval_relation] enum is the naming precedent; the
+    [precedes]/[preceded_by] spellings it uses for the end relations
+    parse as aliases of [BEFORE]/[AFTER]. *)
+
+open Temporal
+
+type t = Allen of Interval.allen | Intersects
+
+val all : t list
+(** The thirteen Allen relations in definition order, then
+    [Intersects]. *)
+
+val to_string : t -> string
+(** The canonical TSQL spelling, upper case: ["OVERLAPS"],
+    ["MET_BY"], ["INTERSECTS"], ... *)
+
+val of_string : string -> (t, string) result
+(** Case-insensitive; accepts the canonical spellings, hyphenated
+    variants and sql_saga's [precedes]/[preceded_by] aliases. *)
+
+val inverse : t -> t
+(** The converse relation: [holds (inverse p) b a] iff [holds p a b].
+    [EQUALS] and [INTERSECTS] are their own converses. *)
+
+val compile : t -> int -> int -> int -> int -> bool
+(** [compile p] is the predicate as a comparison window over raw int
+    endpoints: [f sa ea sb eb] with [sa,ea] the left tuple's
+    [Chronon.to_int] start/stop and [sb,eb] the right's (forever is
+    [max_int]).  Hoist the [compile p] application out of join loops —
+    the result is a closure of a handful of int comparisons. *)
+
+val holds : t -> Interval.t -> Interval.t -> bool
+(** [compile] applied to the intervals' endpoints. *)
+
+val intersecting : t -> bool
+(** The predicate guarantees the pair shares an instant (the nine
+    non-adjacent, non-ordering relations and [Intersects]). *)
+
+val result_interval : t -> Interval.t -> Interval.t -> Interval.t
+(** Valid time of the joined tuple: the intersection for
+    {!intersecting} predicates, the hull for the adjacency and
+    ordering ones (MEETS, MET_BY, BEFORE, AFTER), whose pairs share no
+    instant.
+    @raise Invalid_argument if an intersecting predicate is applied to
+    a disjoint pair (i.e. the predicate did not actually hold). *)
+
+val ordering : t -> bool
+(** [BEFORE] or [AFTER]: the pair is separated by at least one instant,
+    so the sweep evaluates it as an ordered prefix scan rather than
+    through the active-tuple map. *)

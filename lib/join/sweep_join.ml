@@ -1,0 +1,126 @@
+open Temporal
+
+(* The endpoint-sweep interval join, after Piatov et al.: radix-sort
+   each side's tuples by start into a start-event stream, merge-walk the
+   two streams in global time order, and keep one gapless active-tuple
+   map per side.  Processing a start event from one side scans the
+   other side's map — lazily evicting tuples whose extended stop has
+   passed — and emits every surviving tuple that satisfies the compiled
+   predicate; the new tuple then joins its own side's map.  A pair is
+   found exactly once: by whichever tuple starts later, against the
+   earlier one still in the map (on equal starts, by whichever event is
+   processed second, since insertion happens after the scan).
+
+   Expiries are extended by one instant past the stop so the adjacency
+   relations (MEETS / MET_BY) still see their partner; the compiled
+   predicate then separates adjacency from genuine overlap.  BEFORE and
+   AFTER pairs are separated by at least one instant, which defeats an
+   active map, so they run as an ordered prefix scan instead
+   ([run_ordering]): walk the later side by start, keep a dense prefix
+   of the earlier side sorted by extended stop, and emit the whole
+   prefix per event — O(sort + output), which is optimal for a
+   predicate whose output is inherently quadratic. *)
+
+let guard_tick = function Some g -> Tempagg.Guard.check g | None -> ()
+
+(* Start-event stream: starts ascending, slots carrying tuple indices. *)
+let start_events (ivs : Interval.t array) =
+  let n = Array.length ivs in
+  let starts = Array.make (max n 1) 0 and slots = Array.make (max n 1) 0 in
+  for i = 0 to n - 1 do
+    starts.(i) <- Chronon.to_int (Interval.start ivs.(i));
+    slots.(i) <- i
+  done;
+  Tempagg.Sweep.radix_sort starts slots n;
+  (starts, slots)
+
+(* Extended expiry: the last sweep instant at which the tuple can still
+   pair with a newly starting one (stop + 1 covers MEETS; saturates at
+   max_int for forever). *)
+let expiry iv =
+  let e = Chronon.to_int (Interval.stop iv) in
+  if e = max_int then max_int else e + 1
+
+let endpoint_ints ivs =
+  ( Array.map (fun iv -> Chronon.to_int (Interval.start iv)) ivs,
+    Array.map (fun iv -> Chronon.to_int (Interval.stop iv)) ivs )
+
+let run_touching ?guard ?instrument pred ~left ~right emit =
+  let ls, le = endpoint_ints left and rs, re = endpoint_ints right in
+  let holds = Predicate.compile pred in
+  let lstarts, lslots = start_events left
+  and rstarts, rslots = start_events right in
+  let n = Array.length left and m = Array.length right in
+  let lmap = Gapless.create ?instrument ()
+  and rmap = Gapless.create ?instrument () in
+  let li = ref 0 and rj = ref 0 in
+  while !li < n || !rj < m do
+    guard_tick guard;
+    let take_left =
+      !rj >= m || (!li < n && lstarts.(!li) <= rstarts.(!rj))
+    in
+    if take_left then begin
+      let a = lslots.(!li) in
+      let now = lstarts.(!li) in
+      let sa = ls.(a) and ea = le.(a) in
+      Gapless.scan rmap ~now (fun b ->
+          guard_tick guard;
+          if holds sa ea rs.(b) re.(b) then emit a b);
+      Gapless.insert lmap ~idx:a ~expiry:(expiry left.(a));
+      incr li
+    end
+    else begin
+      let b = rslots.(!rj) in
+      let now = rstarts.(!rj) in
+      let sb = rs.(b) and eb = re.(b) in
+      Gapless.scan lmap ~now (fun a ->
+          guard_tick guard;
+          if holds ls.(a) le.(a) sb eb then emit a b);
+      Gapless.insert rmap ~idx:b ~expiry:(expiry right.(b));
+      incr rj
+    end
+  done;
+  Gapless.clear lmap;
+  Gapless.clear rmap
+
+(* BEFORE: every pair (a, b) with a's extended stop strictly before b's
+   start.  Sort the left side by extended stop and the right by start;
+   as the walk reaches each right tuple, the left tuples whose extended
+   stop has passed form a dense prefix ("retired"), all of which pair
+   with it.  AFTER is the same scan with the sides swapped. *)
+let run_before ?guard ?instrument ~left ~right emit =
+  let n = Array.length left and m = Array.length right in
+  let lstops = Array.make (max n 1) 0 and lslots = Array.make (max n 1) 0 in
+  for i = 0 to n - 1 do
+    lstops.(i) <- expiry left.(i);
+    lslots.(i) <- i
+  done;
+  Tempagg.Sweep.radix_sort lstops lslots n;
+  let rstarts, rslots = start_events right in
+  (* The retired prefix is the same dense-slot idea as the active map,
+     inverted: tuples enter when they expire and never leave. *)
+  let retired = Gapless.create ?instrument () in
+  let li = ref 0 in
+  for j = 0 to m - 1 do
+    guard_tick guard;
+    let b = rslots.(j) in
+    let sb = rstarts.(j) in
+    while !li < n && lstops.(!li) < sb do
+      (* stop+1 < start means at least one instant separates them. *)
+      Gapless.insert retired ~idx:lslots.(!li) ~expiry:max_int;
+      incr li
+    done;
+    Gapless.scan retired ~now:0 (fun a ->
+        guard_tick guard;
+        emit a b)
+  done;
+  Gapless.clear retired
+
+let run ?guard ?instrument pred ~left ~right emit =
+  match pred with
+  | Predicate.Allen Interval.Before ->
+      run_before ?guard ?instrument ~left ~right emit
+  | Predicate.Allen Interval.After ->
+      run_before ?guard ?instrument ~left:right ~right:left
+        (fun b a -> emit a b)
+  | _ -> run_touching ?guard ?instrument pred ~left ~right emit

@@ -1,0 +1,25 @@
+(** The endpoint-sweep interval join (Piatov et al.): radix-sorted
+    start-event streams merged in time order over per-side
+    {!Gapless} active-tuple maps.  BEFORE / AFTER run as an ordered
+    prefix scan, the other predicates through the active maps with
+    expiries extended one instant past the stop so adjacency pairs
+    (MEETS / MET_BY) are still found. *)
+
+open Temporal
+
+val run :
+  ?guard:Tempagg.Guard.t ->
+  ?instrument:Tempagg.Instrument.t ->
+  Predicate.t ->
+  left:Interval.t array ->
+  right:Interval.t array ->
+  (int -> int -> unit) ->
+  unit
+(** [run pred ~left ~right emit] calls [emit i j] exactly once for
+    every pair with [Predicate.holds pred left.(i) right.(j)].  Pairs
+    are emitted in sweep order (ascending start of the later-starting
+    tuple), not sorted.  The guard is ticked per event and per scanned
+    candidate, and active-map slots are counted against [instrument],
+    so memory budgets and deadlines abort the sweep mid-join.
+    @raise Tempagg.Guard.Budget_exceeded
+    @raise Tempagg.Guard.Deadline_exceeded *)

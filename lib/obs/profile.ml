@@ -31,6 +31,9 @@ type t = {
   mutable algorithm : string option;
   mutable rationale : string option;
   mutable stats_source : string option;
+  mutable join_strategy : string option;
+  mutable join_rationale : string option;
+  mutable join_stats_source : string option;
   mutable k_estimate : int option;
   mutable tuples : int option;
   mutable attempts_rev : attempt list;
@@ -51,6 +54,9 @@ let create () =
     algorithm = None;
     rationale = None;
     stats_source = None;
+    join_strategy = None;
+    join_rationale = None;
+    join_stats_source = None;
     k_estimate = None;
     tuples = None;
     attempts_rev = [];
@@ -73,6 +79,11 @@ let set_plan t ~algorithm ~rationale =
 
 let set_stats_source t s = t.stats_source <- Some s
 let stats_source t = t.stats_source
+
+let set_join t ~strategy ~rationale ~stats_source =
+  t.join_strategy <- Some strategy;
+  t.join_rationale <- Some rationale;
+  t.join_stats_source <- Some stats_source
 let set_k_estimate t k = t.k_estimate <- Some k
 let set_tuples t n = t.tuples <- Some n
 let set_segments t n = t.segments <- Some n
@@ -125,6 +136,9 @@ let to_string t =
   Option.iter (fun a -> line "plan: %s" a) t.algorithm;
   Option.iter (fun r -> line "  why: %s" r) t.rationale;
   Option.iter (fun s -> line "  stats: %s" s) t.stats_source;
+  Option.iter (fun s -> line "join: %s" s) t.join_strategy;
+  Option.iter (fun r -> line "  join why: %s" r) t.join_rationale;
+  Option.iter (fun s -> line "  join stats: %s" s) t.join_stats_source;
   Option.iter (fun k -> line "  k estimate: %d" k) t.k_estimate;
   Option.iter (fun n -> line "input: %d tuple(s)" n) t.tuples;
   (match attempts t with

@@ -39,6 +39,13 @@ val set_stats_source : t -> string -> unit
     store. *)
 
 val stats_source : t -> string option
+
+val set_join : t -> strategy:string -> rationale:string -> stats_source:string -> unit
+(** The plan's interval-join strategy (["sweep-join"] /
+    ["nested-loop-join"]), why it was chosen, and the provenance of the
+    cardinalities behind that choice — printed by EXPLAIN ANALYZE for
+    join queries. *)
+
 val set_k_estimate : t -> int -> unit
 val set_tuples : t -> int -> unit
 val set_segments : t -> int -> unit

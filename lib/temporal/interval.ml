@@ -86,6 +86,8 @@ let allen a b =
     else if s < 0 then Overlaps
     else Overlapped_by
 
+let relate = allen
+
 let allen_to_string = function
   | Before -> "before"
   | Meets -> "meets"

@@ -79,6 +79,11 @@ type allen =
   | After
 
 val allen : t -> t -> allen
+
+val relate : t -> t -> allen
+(** [relate a b] is the unique Allen relation holding between [a] and
+    [b] — an alias of {!allen} under the name join predicates use. *)
+
 val allen_to_string : allen -> string
 
 val to_string : t -> string

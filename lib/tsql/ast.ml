@@ -15,9 +15,15 @@ type temporal_grouping = By_instant | By_span of int
 
 type window = { w_start : int; w_stop : int option }
 
+type join_clause = { jright : string; jpred : Join.Predicate.t }
+(* [FROM from JOIN jright ON from.vt <pred> jright.vt]; the ON clause's
+   side order is fixed by the parser (left = [from]), so only the right
+   relation and the predicate need to be carried. *)
+
 type query = {
   select : select_item list;
   from : string;
+  join : join_clause option;
   during : window option;
   where : predicate list;
   group_by : string list;
@@ -60,6 +66,13 @@ let to_string q =
   Buffer.add_string buf
     (String.concat ", " (List.map select_item_to_string q.select));
   Buffer.add_string buf (" FROM " ^ q.from);
+  (match q.join with
+  | Some { jright; jpred } ->
+      Buffer.add_string buf
+        (Printf.sprintf " JOIN %s ON %s.vt %s %s.vt" jright q.from
+           (Join.Predicate.to_string jpred)
+           jright)
+  | None -> ());
   (match q.during with
   | Some { w_start; w_stop } ->
       Buffer.add_string buf

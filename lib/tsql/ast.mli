@@ -8,21 +8,28 @@
     SELECT Dept, AVG(Salary) FROM Employed GROUP BY Dept
     v}
 
-    This subset covers single-relation aggregate queries: a select list of
-    columns and aggregate calls, an optional conjunction of comparison
-    predicates, attribute grouping, temporal grouping (by instant, the
-    TSQL2 default, or by span), and an evaluation hint:
+    This subset covers aggregate queries over one relation or an
+    interval join of two: a select list of columns and aggregate calls,
+    an optional Allen-predicate JOIN, an optional conjunction of
+    comparison predicates, attribute grouping, temporal grouping (by
+    instant, the TSQL2 default, or by span), and an evaluation hint:
 
     {v
-    query  ::= SELECT items FROM ident [DURING '[' int ',' stop ']']
+    query  ::= SELECT items FROM ident
+               [JOIN ident ON ident '.' vt rel ident '.' vt]
+               [DURING '[' int ',' stop ']']
                [WHERE pred {AND pred}] [GROUP BY group {, group}]
                [USING algo] [ON ERROR policy] [;]
+    rel    ::= BEFORE | MEETS | OVERLAPS | FINISHED_BY | CONTAINS
+             | STARTS | EQUALS | STARTED_BY | DURING | FINISHES
+             | OVERLAPPED_BY | MET_BY | AFTER | INTERSECTS
     stop   ::= int | oo | forever
     items  ::= item {, item}
-    item   ::= ident | fn '(' [DISTINCT] ident ')' | COUNT '(' '*' ')'
+    item   ::= col | fn '(' [DISTINCT] col ')' | COUNT '(' '*' ')'
+    col    ::= ident ['.' ident]  ; qualified in join queries
     fn     ::= COUNT | SUM | AVG | MIN | MAX
-    pred   ::= ident op literal ; op in = <> < <= > >=
-    group  ::= ident | INSTANT | SPAN int
+    pred   ::= col op literal ; op in = <> < <= > >=
+    group  ::= col | INSTANT | SPAN int
     algo   ::= ident ['(' int [',' algo] ')']
                e.g. USING ktree(4), USING parallel(4, sweep)
     policy ::= FAIL | FALLBACK | SKIP
@@ -55,9 +62,18 @@ type window = { w_start : int; w_stop : int option }
     the Section 6.3 "only interested in the results for a single year"
     case. *)
 
+type join_clause = { jright : string; jpred : Join.Predicate.t }
+(** [FROM from JOIN jright ON from.vt <pred> jright.vt].  The ON
+    clause's side order is fixed (left operand is the FROM relation),
+    so the clause carries only the right relation and the predicate. *)
+
 type query = {
   select : select_item list;
   from : string;
+  join : join_clause option;
+      (** Interval join against a second base relation; the joined
+          tuples (valid time from {!Join.Predicate.result_interval})
+          feed the rest of the pipeline. *)
   during : window option;  (** valid-time window *)
   where : predicate list;  (** conjunction; empty = no filter *)
   group_by : string list;  (** attribute (value) grouping *)

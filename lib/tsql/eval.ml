@@ -193,6 +193,160 @@ let clip_to hull tl =
   in
   match segments with [] -> None | _ -> Some (Timeline.of_list segments)
 
+let clip_tuple w t =
+  Option.map
+    (fun clipped -> Tuple.with_valid t clipped)
+    (Interval.intersect (Tuple.valid t) w)
+
+(* Split the first [n] elements off a list. *)
+let rec take n acc rest =
+  if n = 0 then (List.rev acc, rest)
+  else
+    match rest with
+    | [] -> (List.rev acc, [])
+    | x :: tl -> take (n - 1) (x :: acc) tl
+
+(* Materialize one join side: walk its shard layout block by block,
+   skipping shards whose span misses the window wholesale, and clip
+   every kept tuple to the window.  No WHERE filtering here — a join
+   query's WHERE is compiled against the combined schema and runs on
+   the joined stream. *)
+let side_tuples ~window ~layout relation =
+  let all = Trel.tuples relation in
+  match (layout : (Interval.t * int) list) with
+  | [] -> (
+      match window with
+      | None -> all
+      | Some w -> List.filter_map (clip_tuple w) all)
+  | layout ->
+      let rec split tuples = function
+        | [] -> []
+        | (span, count) :: rest ->
+            let block, tail = take count [] tuples in
+            let kept =
+              match window with
+              | Some w when not (Interval.overlaps span w) -> []
+              | Some w -> List.filter_map (clip_tuple w) block
+              | None -> block
+            in
+            kept :: split tail rest
+      in
+      List.concat (split all layout)
+
+(* Execute the plan's interval join: materialize both sides (each
+   pruned by its own shard layout and clipped to the window), pair
+   them under the ON predicate with the planned strategy, and build
+   the joined tuples — left values then right values, valid time from
+   {!Join.Predicate.result_interval}.
+
+   The robust path runs the join under one Guard spanning both
+   attempts (a retry does not restart the deadline clock, matching
+   [Engine.eval_robust]); the sweep's active-map slots are metered
+   through an Instrument, so a sweep that blows the memory budget
+   retries as the nested loop — which keeps no per-tuple state — when
+   the recovery policy allows, recorded as a degradation and counted
+   by {!Join.Telemetry}. *)
+let joined_tuples ?robust (plan : Semant.plan) (j : Semant.join_spec) =
+  let left =
+    Array.of_list
+      (side_tuples ~window:plan.Semant.window ~layout:plan.Semant.shard_layout
+         plan.Semant.relation)
+  and right =
+    Array.of_list
+      (side_tuples ~window:plan.Semant.window
+         ~layout:j.Semant.right_shard_layout j.Semant.right_relation)
+  in
+  let livs = Array.map Tuple.valid left
+  and rivs = Array.map Tuple.valid right in
+  let pairs = ref [] in
+  let npairs = ref 0 in
+  let execute ?guard ?instrument strategy =
+    pairs := [];
+    npairs := 0;
+    Join.Engine.run ?guard ?instrument strategy j.Semant.predicate ~left:livs
+      ~right:rivs (fun l r ->
+        pairs := (l, r) :: !pairs;
+        incr npairs)
+  in
+  let span_label s = "join:" ^ Join.Engine.strategy_to_string s in
+  let used =
+    match robust with
+    | None ->
+        Obs.Trace.with_span (span_label j.Semant.strategy) (fun () ->
+            execute j.Semant.strategy);
+        j.Semant.strategy
+    | Some ctx ->
+        let run_join () =
+          let guard =
+            Tempagg.Guard.create ?memory_budget:ctx.memory_budget
+              ?deadline_ms:ctx.deadline_ms ()
+          in
+          let attempt strategy =
+            let instrument = Tempagg.Instrument.create () in
+            Tempagg.Guard.attach guard instrument;
+            Obs.Trace.with_span (span_label strategy) (fun () ->
+                execute ~guard ~instrument strategy)
+          in
+          try
+            attempt j.Semant.strategy;
+            j.Semant.strategy
+          with
+          | Tempagg.Guard.Deadline_exceeded { deadline_ms; elapsed_ms } ->
+              raise
+                (Robust_error
+                   (Tempagg.Engine.Deadline_exhausted { deadline_ms; elapsed_ms }))
+          | Tempagg.Guard.Budget_exceeded { budget_bytes; used_bytes } as e -> (
+              match (plan.Semant.on_error, j.Semant.strategy) with
+              | (Tempagg.Engine.Fallback | Tempagg.Engine.Skip), Join.Engine.Sweep
+                -> (
+                  let d =
+                    {
+                      Tempagg.Engine.stage = span_label Join.Engine.Sweep;
+                      reason =
+                        Option.value (Tempagg.Guard.describe e)
+                          ~default:"memory budget exceeded";
+                      action = "retried as nested-loop-join (no live state)";
+                    }
+                  in
+                  ctx.events <- ctx.events @ [ d ];
+                  Option.iter
+                    (fun p ->
+                      Obs.Profile.note_degradation p
+                        (Tempagg.Engine.degradation_to_string d))
+                    ctx.profile;
+                  Join.Telemetry.record_fallback ();
+                  (* Same guard: the deadline keeps counting across the
+                     retry; the nested loop allocates nothing, so the
+                     budget cannot trip again. *)
+                  try
+                    Obs.Trace.with_span (span_label Join.Engine.Nested_loop)
+                      (fun () -> execute ~guard Join.Engine.Nested_loop);
+                    Join.Engine.Nested_loop
+                  with
+                  | Tempagg.Guard.Deadline_exceeded { deadline_ms; elapsed_ms }
+                    ->
+                      raise
+                        (Robust_error
+                           (Tempagg.Engine.Deadline_exhausted
+                              { deadline_ms; elapsed_ms })))
+              | _ ->
+                  raise
+                    (Robust_error
+                       (Tempagg.Engine.Budget_exhausted
+                          { budget_bytes; used_bytes })))
+        in
+        (match ctx.profile with
+        | Some p -> Obs.Profile.time_phase p "join" run_join
+        | None -> run_join ())
+  in
+  Join.Telemetry.record ~strategy:used ~pairs:!npairs;
+  List.rev_map
+    (fun (l, r) ->
+      Tuple.make
+        (Array.append (Tuple.values left.(l)) (Tuple.values right.(r)))
+        (Join.Predicate.result_interval j.Semant.predicate livs.(l) rivs.(r)))
+    !pairs
+
 let partitions (plan : Semant.plan) tuples =
   match plan.Semant.group_columns with
   | [] -> [ ([], tuples) ]
@@ -215,27 +369,16 @@ let partitions (plan : Semant.plan) tuples =
            !order)
 
 let run_aux ?robust (plan : Semant.plan) =
-  let clip_tuple w t =
-    Option.map
-      (fun clipped -> Tuple.with_valid t clipped)
-      (Interval.intersect (Tuple.valid t) w)
-  in
   (* Partitioned relation: the physical tuple list is the shards
      concatenated in order, so walk it block by block.  A shard whose
      time span misses the DURING window is skipped wholesale — its
      tuples are never filtered, clipped or even looked at, which is
-     where partition pruning actually saves work on the batch path. *)
+     where partition pruning actually saves work on the batch path.
+     A join query does its own per-side pruning in [joined_tuples]. *)
   let blocks =
-    match plan.Semant.shard_layout with
-    | [] -> None
-    | layout ->
-        let rec take n acc rest =
-          if n = 0 then (List.rev acc, rest)
-          else
-            match rest with
-            | [] -> (List.rev acc, [])
-            | x :: tl -> take (n - 1) (x :: acc) tl
-        in
+    match (plan.Semant.join, plan.Semant.shard_layout) with
+    | Some _, _ | None, [] -> None
+    | None, layout ->
         let rec split tuples = function
           | [] -> []
           | (span, count) :: rest ->
@@ -255,9 +398,13 @@ let run_aux ?robust (plan : Semant.plan) =
         Some (split (Trel.tuples plan.Semant.relation) layout)
   in
   let tuples =
-    match blocks with
-    | Some bs -> List.concat bs
-    | None ->
+    match (plan.Semant.join, blocks) with
+    | Some j, _ ->
+        (* The joined stream is already windowed per side; WHERE runs
+           on the combined tuples. *)
+        List.filter plan.Semant.filter (joined_tuples ?robust plan j)
+    | None, Some bs -> List.concat bs
+    | None, None ->
         let tuples =
           List.filter plan.Semant.filter (Trel.tuples plan.Semant.relation)
         in
@@ -327,12 +474,31 @@ let ( let* ) = Result.bind
 (* Command-line overrides: --algorithm replaces the planned algorithm
    outright; --domains N (N > 1) wraps whatever was chosen in a parallel
    divide-and-conquer over N OCaml domains; --on-error replaces the
-   recovery policy. *)
-let apply_overrides ?algorithm ?domains ?on_error plan =
+   recovery policy; --join-strategy pins the interval-join strategy
+   (ignored for join-free queries). *)
+let apply_overrides ?algorithm ?domains ?on_error ?join_strategy plan =
   let plan =
     match on_error with
     | None -> plan
     | Some p -> { plan with Semant.on_error = p }
+  in
+  let plan =
+    match (join_strategy, plan.Semant.join) with
+    | Some s, Some j ->
+        {
+          plan with
+          Semant.join =
+            Some
+              {
+                j with
+                Semant.strategy = s;
+                join_rationale =
+                  Printf.sprintf "--join-strategy override: %s"
+                    (Join.Engine.strategy_to_string s);
+                join_stats_source = "--join-strategy override";
+              };
+        }
+    | _ -> plan
   in
   let plan =
     match algorithm with
@@ -399,11 +565,11 @@ let record_outcome ?profile catalog (plan : Semant.plan) ~elapsed_ms
       degradations;
     }
 
-let query ?(adaptive = true) ?algorithm ?domains catalog text =
+let query ?(adaptive = true) ?algorithm ?domains ?join_strategy catalog text =
   let t0 = Unix.gettimeofday () in
   let* ast = Parser.parse text in
   let* plan = Semant.analyze ~adaptive catalog ast in
-  let plan = apply_overrides ?algorithm ?domains plan in
+  let plan = apply_overrides ?algorithm ?domains ?join_strategy plan in
   match run plan with
   | rel ->
       record_outcome catalog plan
@@ -424,11 +590,11 @@ type robust_report = {
 }
 
 let query_robust ?(adaptive = true) ?algorithm ?domains ?on_error
-    ?memory_budget ?deadline_ms catalog text =
+    ?join_strategy ?memory_budget ?deadline_ms catalog text =
   let t0 = Unix.gettimeofday () in
   let* ast = Parser.parse text in
   let* plan = Semant.analyze ~adaptive catalog ast in
-  let plan = apply_overrides ?algorithm ?domains ?on_error plan in
+  let plan = apply_overrides ?algorithm ?domains ?on_error ?join_strategy plan in
   let ctx = { memory_budget; deadline_ms; events = []; profile = None } in
   match run_aux ~robust:ctx plan with
   | rel ->
@@ -448,17 +614,24 @@ type profiled_report = {
 }
 
 let query_profiled ?(adaptive = true) ?algorithm ?domains ?on_error
-    ?memory_budget ?deadline_ms catalog text =
+    ?join_strategy ?memory_budget ?deadline_ms catalog text =
   let profile = Obs.Profile.create () in
   let t0 = Unix.gettimeofday () in
   let* ast = Parser.parse text in
   let* plan = Semant.analyze ~adaptive catalog ast in
-  let plan = apply_overrides ?algorithm ?domains ?on_error plan in
+  let plan = apply_overrides ?algorithm ?domains ?on_error ?join_strategy plan in
   Obs.Profile.set_query profile (Ast.to_string ast);
   Obs.Profile.set_plan profile
     ~algorithm:(Tempagg.Engine.name plan.Semant.algorithm)
     ~rationale:plan.Semant.rationale;
   Obs.Profile.set_stats_source profile plan.Semant.stats_source;
+  Option.iter
+    (fun (j : Semant.join_spec) ->
+      Obs.Profile.set_join profile
+        ~strategy:(Join.Engine.strategy_to_string j.Semant.strategy)
+        ~rationale:j.Semant.join_rationale
+        ~stats_source:j.Semant.join_stats_source)
+    plan.Semant.join;
   (* The k the optimizer (or an override) settled on, when a k-ordered
      tree is anywhere in the plan. *)
   let rec k_of = function
@@ -485,10 +658,34 @@ let query_profiled ?(adaptive = true) ?algorithm ?domains ?on_error
       Error ("evaluation failed: " ^ Tempagg.Engine.error_to_string e)
   | exception Invalid_argument msg -> Error ("evaluation failed: " ^ msg)
 
-let explain ?(adaptive = true) ?algorithm ?domains ?on_error catalog text =
+let explain ?(adaptive = true) ?algorithm ?domains ?on_error ?join_strategy
+    catalog text =
   let* ast = Parser.parse text in
   let* plan = Semant.analyze ~adaptive catalog ast in
-  let plan = apply_overrides ?algorithm ?domains ?on_error plan in
+  let plan = apply_overrides ?algorithm ?domains ?on_error ?join_strategy plan in
+  let join_scan =
+    match plan.Semant.join with
+    | None -> ""
+    | Some j ->
+        Printf.sprintf "; %s %s (%d tuples)%s on vt %s vt"
+          (Join.Engine.strategy_to_string j.Semant.strategy)
+          j.Semant.right_name
+          (Trel.cardinality j.Semant.right_relation)
+          (match j.Semant.right_shard_layout with
+          | [] -> ""
+          | layout ->
+              Printf.sprintf " [%d shard(s): %d scanned, %d pruned]"
+                (List.length layout) j.Semant.right_scanned
+                j.Semant.right_pruned)
+          (Join.Predicate.to_string j.Semant.predicate)
+  in
+  let join_why =
+    match plan.Semant.join with
+    | None -> ""
+    | Some j ->
+        Printf.sprintf "\n  join why: %s\n  join stats: %s"
+          j.Semant.join_rationale j.Semant.join_stats_source
+  in
   let grouping =
     match plan.Semant.granule with
     | None -> "by instant"
@@ -498,7 +695,7 @@ let explain ?(adaptive = true) ?algorithm ?domains ?on_error catalog text =
   in
   Ok
     (Printf.sprintf
-       "scan %s (%d tuples)%s%s; aggregate %s grouped %s%s using %s%s\n\
+       "scan %s (%d tuples)%s%s%s; aggregate %s grouped %s%s using %s%s\n\
        \  why: %s"
        plan.Semant.source_name
        (Trel.cardinality plan.Semant.relation)
@@ -512,6 +709,7 @@ let explain ?(adaptive = true) ?algorithm ?domains ?on_error catalog text =
            Printf.sprintf " [%d shard(s): %d scanned, %d pruned]"
              (List.length layout) plan.Semant.scanned_shards
              plan.Semant.pruned_shards)
+       join_scan
        (if plan.Semant.sort_first then ", sort by time" else "")
        (String.concat ", "
           (List.map
@@ -530,4 +728,5 @@ let explain ?(adaptive = true) ?algorithm ?domains ?on_error catalog text =
            Printf.sprintf " (on error: %s)"
              (Tempagg.Engine.on_error_to_string p))
        plan.Semant.rationale
+     ^ join_why
      ^ Printf.sprintf "\n  stats: %s" plan.Semant.stats_source)

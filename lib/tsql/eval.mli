@@ -37,6 +37,7 @@ val query :
   ?adaptive:bool ->
   ?algorithm:Tempagg.Engine.algorithm ->
   ?domains:int ->
+  ?join_strategy:Join.Engine.strategy ->
   Catalog.t ->
   string ->
   (Relation.Trel.t, string) result
@@ -47,7 +48,9 @@ val query :
     still recorded).  [?algorithm] overrides the planned evaluation
     algorithm (the CLI's [--algorithm]); [?domains] with a value above 1
     wraps the planned algorithm in {!Tempagg.Engine.Parallel} over that
-    many OCaml domains (the CLI's [--domains]). *)
+    many OCaml domains (the CLI's [--domains]); [?join_strategy] pins
+    the interval-join strategy (the CLI's [--join-strategy]; ignored
+    for join-free queries). *)
 
 val record_outcome :
   ?profile:Obs.Profile.t ->
@@ -77,6 +80,7 @@ val query_robust :
   ?algorithm:Tempagg.Engine.algorithm ->
   ?domains:int ->
   ?on_error:Tempagg.Engine.on_error ->
+  ?join_strategy:Join.Engine.strategy ->
   ?memory_budget:int ->
   ?deadline_ms:float ->
   Catalog.t ->
@@ -103,6 +107,7 @@ val query_profiled :
   ?algorithm:Tempagg.Engine.algorithm ->
   ?domains:int ->
   ?on_error:Tempagg.Engine.on_error ->
+  ?join_strategy:Join.Engine.strategy ->
   ?memory_budget:int ->
   ?deadline_ms:float ->
   Catalog.t ->
@@ -118,10 +123,12 @@ val explain :
   ?algorithm:Tempagg.Engine.algorithm ->
   ?domains:int ->
   ?on_error:Tempagg.Engine.on_error ->
+  ?join_strategy:Join.Engine.strategy ->
   Catalog.t ->
   string ->
   (string, string) result
 (** Parse and analyze only; describe the chosen strategy (algorithm,
-    sorting, grouping, recovery policy when not [fail]) without running
-    the query.  Takes the same overrides as {!query} so [explain] shows
-    exactly what [query] would run. *)
+    sorting, grouping, join strategy and rationale for join queries,
+    recovery policy when not [fail]) without running the query.  Takes
+    the same overrides as {!query} so [explain] shows exactly what
+    [query] would run. *)

@@ -29,6 +29,7 @@ type token =
   | PARTITION
   | PARTITIONS
   | RANGE
+  | JOIN
   | IDENT of string
   | INT of int
   | FLOAT of float
@@ -40,6 +41,7 @@ type token =
   | RBRACKET
   | STAR
   | SEMI
+  | DOT
   | EQ
   | NEQ
   | LT
@@ -79,6 +81,7 @@ let token_to_string = function
   | PARTITION -> "PARTITION"
   | PARTITIONS -> "PARTITIONS"
   | RANGE -> "RANGE"
+  | JOIN -> "JOIN"
   | IDENT s -> s
   | INT n -> string_of_int n
   | FLOAT f -> Printf.sprintf "%g" f
@@ -90,6 +93,7 @@ let token_to_string = function
   | RBRACKET -> "]"
   | STAR -> "*"
   | SEMI -> ";"
+  | DOT -> "."
   | EQ -> "="
   | NEQ -> "<>"
   | LT -> "<"
@@ -129,6 +133,7 @@ let keyword_of = function
   | "partition" -> Some PARTITION
   | "partitions" -> Some PARTITIONS
   | "range" -> Some RANGE
+  | "join" -> Some JOIN
   | _ -> None
 
 let is_ident_start = function
@@ -154,6 +159,7 @@ let tokenize input =
       | ']' -> emit RBRACKET i; scan (i + 1)
       | '*' -> emit STAR i; scan (i + 1)
       | ';' -> emit SEMI i; scan (i + 1)
+      | '.' -> emit DOT i; scan (i + 1)
       | '=' -> emit EQ i; scan (i + 1)
       | '<' ->
           if i + 1 < n && input.[i + 1] = '>' then begin

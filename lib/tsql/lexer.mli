@@ -36,6 +36,7 @@ type token =
   | PARTITION
   | PARTITIONS
   | RANGE
+  | JOIN
   | IDENT of string
   | INT of int
   | FLOAT of float
@@ -47,6 +48,7 @@ type token =
   | RBRACKET
   | STAR
   | SEMI
+  | DOT
   | EQ
   | NEQ
   | LT

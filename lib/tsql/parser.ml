@@ -3,6 +3,12 @@ exception Syntax_error of string
 type state = { tokens : (Lexer.token * int) array; mutable pos : int }
 
 let peek st = fst st.tokens.(st.pos)
+
+(* One token of lookahead past the current one; the stream ends in EOF,
+   so peeking past the end just sees EOF again. *)
+let peek2 st =
+  fst st.tokens.(Stdlib.min (st.pos + 1) (Array.length st.tokens - 1))
+
 let offset st = snd st.tokens.(st.pos)
 let advance st = st.pos <- st.pos + 1
 
@@ -21,6 +27,17 @@ let ident st =
   | Lexer.IDENT name -> advance st; name
   | _ -> fail st "an identifier"
 
+(* A column reference, optionally qualified: [salary] or [r.salary].
+   Qualified forms appear in join queries, where the combined schema
+   names columns <relation>.<column>. *)
+let column_name st =
+  let first = ident st in
+  if peek st = Lexer.DOT then begin
+    advance st;
+    first ^ "." ^ ident st
+  end
+  else first
+
 let agg_fun_of_ident name =
   match String.lowercase_ascii name with
   | "count" -> Some Ast.Count
@@ -35,6 +52,11 @@ let select_item st =
   | Lexer.STAR ->
       advance st;
       Ast.Star
+  | Lexer.IDENT name when
+      (match peek2 st with Lexer.DOT -> true | _ -> false) ->
+      advance st;
+      advance st;
+      Ast.Column (name ^ "." ^ ident st)
   | Lexer.IDENT name -> (
       advance st;
       match (agg_fun_of_ident name, peek st) with
@@ -59,7 +81,7 @@ let select_item st =
                   raise (Syntax_error "DISTINCT requires a column argument");
                 advance st;
                 None
-            | _ -> Some (ident st)
+            | _ -> Some (column_name st)
           in
           expect st Lexer.RPAREN "')'";
           Ast.Aggregate { fn; arg; distinct }
@@ -92,7 +114,7 @@ let comparison_op st =
   | _ -> fail st "a comparison operator"
 
 let predicate st =
-  let column = ident st in
+  let column = column_name st in
   let op = comparison_op st in
   let value = literal st in
   { Ast.column; op; value }
@@ -126,7 +148,7 @@ let group_elements st =
             if n <= 0 then raise (Syntax_error "SPAN length must be positive");
             set_temporal (Ast.By_span n)
         | _ -> fail st "a span length")
-    | Lexer.IDENT name -> advance st; attrs := name :: !attrs
+    | Lexer.IDENT _ -> attrs := column_name st :: !attrs
     | _ -> fail st "a grouping element"
   in
   ignore (comma_separated st (fun st -> element st));
@@ -178,11 +200,71 @@ let during_clause st =
   expect st Lexer.RBRACKET "']'";
   { Ast.w_start; w_stop }
 
+(* [rel.vt] — the only attribute an ON clause may compare. *)
+let vt_ref st =
+  let rel = ident st in
+  expect st Lexer.DOT "'.'";
+  (match peek st with
+  | Lexer.IDENT v when String.lowercase_ascii v = "vt" -> advance st
+  | _ -> fail st "the valid-time attribute vt");
+  rel
+
+(* JOIN right ON a.vt <rel> b.vt.  DURING doubles as the Allen relation
+   of the same name, so the keyword token is accepted in predicate
+   position.  An ON clause written with the sides reversed
+   ([s.vt CONTAINS r.vt] under [FROM r JOIN s]) is normalized to the
+   converse predicate on (from, right). *)
+let join_clause st ~from =
+  let jright = ident st in
+  if String.lowercase_ascii jright = String.lowercase_ascii from then
+    raise
+      (Syntax_error
+         (Printf.sprintf
+            "self-join of %s: the two sides of a JOIN must be distinct \
+             relations"
+            from));
+  expect st Lexer.ON "ON";
+  let lref = vt_ref st in
+  let jpred =
+    match peek st with
+    | Lexer.DURING ->
+        advance st;
+        Join.Predicate.Allen Temporal.Interval.During
+    | Lexer.IDENT name -> (
+        advance st;
+        match Join.Predicate.of_string name with
+        | Ok p -> p
+        | Error msg -> raise (Syntax_error msg))
+    | _ -> fail st "an Allen relation (OVERLAPS, MEETS, CONTAINS, ...)"
+  in
+  let rref = vt_ref st in
+  let fold = String.lowercase_ascii in
+  let jpred =
+    if fold lref = fold from && fold rref = fold jright then jpred
+    else if fold lref = fold jright && fold rref = fold from then
+      Join.Predicate.inverse jpred
+    else
+      raise
+        (Syntax_error
+           (Printf.sprintf
+              "ON clause must compare %s.vt with %s.vt (found %s.vt and \
+               %s.vt)"
+              from jright lref rref))
+  in
+  { Ast.jright; jpred }
+
 let query_body st =
   expect st Lexer.SELECT "SELECT";
   let select = comma_separated st select_item in
   expect st Lexer.FROM "FROM";
   let from = ident st in
+  let join =
+    if peek st = Lexer.JOIN then begin
+      advance st;
+      Some (join_clause st ~from)
+    end
+    else None
+  in
   let during =
     if peek st = Lexer.DURING then begin
       advance st;
@@ -219,7 +301,7 @@ let query_body st =
     end
     else None
   in
-  { Ast.select; from; during; where; group_by; grouping; using; on_error }
+  { Ast.select; from; join; during; where; group_by; grouping; using; on_error }
 
 (* Column types for CREATE TABLE, with the usual SQL synonyms. *)
 let column_ty_of_ident name =

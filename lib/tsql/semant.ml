@@ -9,9 +9,31 @@ type agg_spec = {
   out_ty : Value.ty;
 }
 
+type join_spec = {
+  right_relation : Trel.t;
+  right_name : string;
+  predicate : Join.Predicate.t;
+  strategy : Join.Engine.strategy;
+  join_rationale : string;
+  join_stats_source : string;
+  right_shard_layout : (Temporal.Interval.t * int) list;
+      (* The right side's storage shards, for pruning its input scan
+         against the window; [] = unpartitioned. *)
+  right_scanned : int;
+  right_pruned : int;
+}
+
 type plan = {
   relation : Trel.t;
   source_name : string;
+  join : join_spec option;
+      (* When present, the evaluated stream is the interval join of
+         [relation] and [right_relation]: both sides clipped to the
+         window (each skipping shards the window misses), paired by
+         [predicate] under [strategy], each pair's valid time from
+         [Join.Predicate.result_interval].  The rest of the plan
+         (filter, grouping, aggregation) runs over that joined
+         stream. *)
   filter : Tuple.t -> bool;
   group_columns : (string * int) list;
   aggregates : agg_spec list;
@@ -43,24 +65,36 @@ type plan = {
 let ( let* ) = Result.bind
 
 (* SQL column references are case-insensitive; exact matches win, then a
-   unique case-folded match is accepted. *)
+   unique case-folded match is accepted.  Join schemas qualify columns
+   as <relation>.<column>; an unqualified reference resolves against
+   the part after the dot, and must be unique across both sides. *)
 let resolve_column schema name =
   match Schema.index_of schema name with
   | Some i -> Ok (i, (Schema.column schema i).Schema.ty)
   | None -> (
       let folded = String.lowercase_ascii name in
-      let candidates =
-        List.filteri
-          (fun _ c -> String.lowercase_ascii c.Schema.name = folded)
-          (Schema.columns schema)
+      let unqualified = not (String.contains name '.') in
+      let matches c =
+        let cn = String.lowercase_ascii c.Schema.name in
+        cn = folded
+        || unqualified
+           &&
+           match String.index_opt cn '.' with
+           | Some k ->
+               String.sub cn (k + 1) (String.length cn - k - 1) = folded
+           | None -> false
       in
+      let candidates = List.filter matches (Schema.columns schema) in
       match candidates with
       | [ c ] ->
           let i = Option.get (Schema.index_of schema c.Schema.name) in
           Ok (i, c.Schema.ty)
       | [] -> Error (Printf.sprintf "unknown column %S" name)
-      | _ :: _ ->
-          Error (Printf.sprintf "ambiguous column %S (case-folded)" name))
+      | cs ->
+          Error
+            (Printf.sprintf "ambiguous column %S (matches %s)" name
+               (String.concat ", "
+                  (List.map (fun c -> c.Schema.name) cs))))
 
 let numeric = function Value.Tint | Value.Tfloat -> true | Value.Tstring -> false
 
@@ -201,8 +235,8 @@ let all_invertible aggregates =
       | Ast.Min | Ast.Max -> false)
     aggregates
 
-let choose_algorithm catalog relation (q : Ast.query) ~invertible ~adaptive
-    ~shard_layout granule window =
+let choose_algorithm catalog relation (q : Ast.query) ~cardinality
+    ~time_ordered ~invertible ~adaptive ~shard_layout granule window =
   match q.Ast.using with
   | Some hint ->
       let* algorithm = Tempagg.Engine.of_string hint in
@@ -244,10 +278,8 @@ let choose_algorithm catalog relation (q : Ast.query) ~invertible ~adaptive
       in
       let metadata =
         {
-          (Tempagg.Optimizer.default_metadata
-             ~cardinality:(Trel.cardinality relation))
-          with
-          Tempagg.Optimizer.time_ordered = Trel.is_time_ordered relation;
+          (Tempagg.Optimizer.default_metadata ~cardinality) with
+          Tempagg.Optimizer.time_ordered;
           expected_constant_intervals;
           invertible_aggregate = invertible;
           shard_spans = List.map fst shard_layout;
@@ -269,13 +301,62 @@ let choose_algorithm catalog relation (q : Ast.query) ~invertible ~adaptive
           choice.Tempagg.Optimizer.rationale,
           choice.Tempagg.Optimizer.stats_source )
 
+(* The shard layout is trusted only when it demonstrably describes the
+   relation (a stale layout after an unmirrored write would misalign
+   shard skipping with the physical tuples). *)
+let trusted_layout catalog name relation =
+  let l = Catalog.layout catalog name in
+  if List.fold_left (fun acc (_, c) -> acc + c) 0 l = Trel.cardinality relation
+  then l
+  else []
+
+let shard_counts layout window =
+  match layout with
+  | [] -> (0, 0)
+  | layout -> (
+      match window with
+      | None -> (List.length layout, 0)
+      | Some w ->
+          let scanned =
+            List.length
+              (List.filter
+                 (fun (span, _) -> Temporal.Interval.overlaps span w)
+                 layout)
+          in
+          (scanned, List.length layout - scanned))
+
 let analyze ?(adaptive = true) catalog (q : Ast.query) =
   let* relation =
     match Catalog.find catalog q.Ast.from with
     | Some rel -> Ok rel
     | None -> Error (Printf.sprintf "unknown relation %S" q.Ast.from)
   in
-  let schema = Trel.schema relation in
+  let* right =
+    match q.Ast.join with
+    | None -> Ok None
+    | Some { Ast.jright; _ } -> (
+        match Catalog.find catalog jright with
+        | Some rel -> Ok (Some (jright, rel))
+        | None ->
+            Error
+              (Printf.sprintf "unknown relation %S (JOIN right side)" jright))
+  in
+  let schema =
+    (* A join's combined schema qualifies every column as
+       <relation>.<column>, left columns first; unqualified references
+       resolve through [resolve_column]'s suffix match when unique. *)
+    match right with
+    | None -> Trel.schema relation
+    | Some (jright, rrel) ->
+        let qualify rel_name s =
+          List.map
+            (fun c -> (rel_name ^ "." ^ c.Schema.name, c.Schema.ty))
+            (Schema.columns s)
+        in
+        Schema.of_pairs
+          (qualify q.Ast.from (Trel.schema relation)
+          @ qualify jright (Trel.schema rrel))
+  in
   let* group_columns =
     collect_results
       (fun name ->
@@ -331,38 +412,68 @@ let analyze ?(adaptive = true) catalog (q : Ast.query) =
           | None -> Temporal.Chronon.forever))
       q.Ast.during
   in
-  let shard_layout =
-    (* Trust the layout only when it demonstrably describes this
-       relation (a stale layout after an unmirrored write would
-       misalign shard skipping with the physical tuples). *)
-    let l = Catalog.layout catalog q.Ast.from in
-    if List.fold_left (fun acc (_, c) -> acc + c) 0 l = Trel.cardinality relation
-    then l
-    else []
+  let shard_layout = trusted_layout catalog q.Ast.from relation in
+  let join =
+    match (q.Ast.join, right) with
+    | Some { Ast.jpred; _ }, Some (jright, rrel) ->
+        let right_shard_layout = trusted_layout catalog jright rrel in
+        let right_scanned, right_pruned =
+          shard_counts right_shard_layout window
+        in
+        let left_cardinality = Trel.cardinality relation
+        and right_cardinality = Trel.cardinality rrel in
+        let choice =
+          if adaptive then
+            Tempagg.Optimizer.choose_join
+              ~left_stats:(Catalog.stats_summary catalog q.Ast.from)
+              ~right_stats:(Catalog.stats_summary catalog jright)
+              ~left_cardinality ~right_cardinality ()
+          else
+            Tempagg.Optimizer.choose_join ~left_cardinality
+              ~right_cardinality ()
+        in
+        Some
+          {
+            right_relation = rrel;
+            right_name = jright;
+            predicate = jpred;
+            strategy =
+              (if choice.Tempagg.Optimizer.sweep then Join.Engine.Sweep
+               else Join.Engine.Nested_loop);
+            join_rationale = choice.Tempagg.Optimizer.join_rationale;
+            join_stats_source = choice.Tempagg.Optimizer.join_stats_source;
+            right_shard_layout;
+            right_scanned;
+            right_pruned;
+          }
+    | _ -> None
   in
   let* algorithm, sort_first, on_error, rationale, stats_source =
-    choose_algorithm catalog relation q
-      ~invertible:(all_invertible aggregates)
-      ~adaptive ~shard_layout granule window
+    (* The aggregate stage of a join query runs over the joined stream,
+       which the base relation's statistics and physical properties do
+       not describe: no declared order, no shard alignment, no adaptive
+       claims.  The aggregation algorithm is chosen on the stream's
+       estimated scale alone. *)
+    match join with
+    | None ->
+        choose_algorithm catalog relation q
+          ~cardinality:(Trel.cardinality relation)
+          ~time_ordered:(Trel.is_time_ordered relation)
+          ~invertible:(all_invertible aggregates)
+          ~adaptive ~shard_layout granule window
+    | Some j ->
+        choose_algorithm catalog relation q
+          ~cardinality:
+            (Trel.cardinality relation + Trel.cardinality j.right_relation)
+          ~time_ordered:false
+          ~invertible:(all_invertible aggregates)
+          ~adaptive:false ~shard_layout:[] granule window
   in
-  let scanned_shards, pruned_shards =
-    match shard_layout with
-    | [] -> (0, 0)
-    | layout -> (
-        match window with
-        | None -> (List.length layout, 0)
-        | Some w ->
-            let scanned =
-              List.length
-                (List.filter
-                   (fun (span, _) -> Temporal.Interval.overlaps span w)
-                   layout)
-            in
-            (scanned, List.length layout - scanned))
-  in
+  let scanned_shards, pruned_shards = shard_counts shard_layout window in
   let plain_scan =
-    q.Ast.where = [] && q.Ast.group_by = [] && window = None && granule = None
-    && (not sort_first)
+    Option.is_none join && q.Ast.where = [] && q.Ast.group_by = []
+    && window = None
+    && granule = None && (not sort_first)
     && not (List.exists (fun spec -> spec.distinct) aggregates)
   in
   let group_cols_schema =
@@ -390,6 +501,7 @@ let analyze ?(adaptive = true) catalog (q : Ast.query) =
     {
       relation;
       source_name = q.Ast.from;
+      join;
       filter;
       group_columns;
       aggregates;

@@ -30,9 +30,35 @@ type agg_spec = {
   out_ty : Relation.Value.ty;
 }
 
+type join_spec = {
+  right_relation : Relation.Trel.t;
+  right_name : string;
+  predicate : Join.Predicate.t;
+  strategy : Join.Engine.strategy;
+      (** Sweep vs nested loop, from
+          {!Tempagg.Optimizer.choose_join} on the two sides'
+          cardinalities (observed statistics preferred). *)
+  join_rationale : string;
+  join_stats_source : string;
+  right_shard_layout : (Temporal.Interval.t * int) list;
+      (** The right side's shard layout, trusted under the same
+          cardinality check as [shard_layout]; lets the evaluator skip
+          right-side shards outside the window. *)
+  right_scanned : int;
+  right_pruned : int;
+}
+
 type plan = {
   relation : Relation.Trel.t;
   source_name : string;
+  join : join_spec option;
+      (** Interval join: both sides are clipped to the window (skipping
+          shards the window misses), paired under [predicate], and the
+          joined stream — valid times from
+          {!Join.Predicate.result_interval} — feeds the filter,
+          grouping and aggregation below.  The ON clause is evaluated
+          on the {e clipped} intervals, which is what makes per-side
+          shard pruning sound. *)
   filter : Relation.Tuple.t -> bool;  (** Compiled WHERE conjunction. *)
   group_columns : (string * int) list;  (** GROUP BY name and column index. *)
   aggregates : agg_spec list;

@@ -55,6 +55,7 @@ let stats_of_histogram h errors =
 let refresh_session_metrics registry session =
   Live.Stats.to_metrics registry (Session.stats session);
   Obs.Stats.store_to_metrics registry (Session.store session);
+  Join.Telemetry.to_metrics registry;
   (* Partitioned-storage gauges, one set per partitioned relation.
      Registering the same (name, labels) pair on every refresh returns
      the existing gauge, so this is idempotent. *)

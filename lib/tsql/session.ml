@@ -616,6 +616,16 @@ let select ?memory_budget ?deadline_ms ?on_error t (q : Ast.query) =
                ~scanned:plan.Semant.scanned_shards
                ~pruned:plan.Semant.pruned_shards
          | _ -> ());
+      (* A join's right side prunes against its own layout; credit its
+         partition the same way. *)
+      (match plan.Semant.join with
+      | Some j when j.Semant.right_shard_layout <> [] -> (
+          match Hashtbl.find_opt t.bases (fold j.Semant.right_name) with
+          | Some { part = Some p; _ } ->
+              Storage.Partition.record_pruning p
+                ~scanned:j.Semant.right_scanned ~pruned:j.Semant.right_pruned
+          | _ -> ())
+      | _ -> ());
       if memory_budget = None && deadline_ms = None && on_error = None then
         let* rel = run_plan t plan in
         Ok (Rows rel)

@@ -69,6 +69,71 @@ let relation spec =
 
 let seq_of = Array.to_seq
 
+(* The right side of a join pair: a density-controlled fraction of its
+   tuples start inside a uniformly chosen left interval (guaranteeing a
+   shared instant); the rest draw independently, exactly like a
+   single-relation workload.  Durations always come from the right
+   spec's own distribution; a stop running past the lifespan is clamped
+   rather than redrawn, which keeps anchored tuples anchored. *)
+let pair_intervals (p : Spec.pair) =
+  let left = random_intervals p.Spec.left in
+  let right_spec = p.Spec.right in
+  let prng = Prng.create ~seed:(right_spec.Spec.seed + 0x70e) in
+  let right =
+    Array.init right_spec.Spec.n (fun _ ->
+        let long =
+          Prng.bool_with prng
+            ~probability:right_spec.Spec.long_lived_fraction
+        in
+        let anchored =
+          Array.length left > 0
+          && Prng.bool_with prng ~probability:p.Spec.overlap_density
+        in
+        let iv =
+          if anchored then begin
+            let anchor, _ = left.(Prng.int_bounded prng (Array.length left)) in
+            let a_start = Chronon.to_int (Interval.start anchor) in
+            let a_stop = Chronon.to_int (Interval.stop anchor) in
+            let start = Prng.int_in prng ~lo:a_start ~hi:a_stop in
+            let duration =
+              if long then
+                Prng.int_in prng
+                  ~lo:
+                    (int_of_float
+                       (right_spec.Spec.long_min_fraction
+                       *. float_of_int right_spec.Spec.lifespan))
+                  ~hi:
+                    (int_of_float
+                       (right_spec.Spec.long_max_fraction
+                       *. float_of_int right_spec.Spec.lifespan))
+              else
+                Prng.int_in prng ~lo:right_spec.Spec.short_min
+                  ~hi:right_spec.Spec.short_max
+            in
+            let stop = min (start + duration - 1) (right_spec.Spec.lifespan - 1) in
+            Interval.of_ints start stop
+          end
+          else draw_interval prng right_spec ~long
+        in
+        (iv, salary prng))
+  in
+  (left, Ordering.Perturb.shuffle ~rand:(Prng.int_bounded prng) right)
+
+let pair (p : Spec.pair) =
+  let left_ivs, right_ivs = pair_intervals p in
+  let lprng = Prng.create ~seed:(p.Spec.left.Spec.seed + 0xa11ce) in
+  let rprng = Prng.create ~seed:(p.Spec.right.Spec.seed + 0xb0b) in
+  let build prng ivs =
+    Relation.Trel.of_array schema
+      (Array.map
+         (fun (iv, sal) ->
+           Relation.Tuple.make
+             [| Relation.Value.Str (name prng); Relation.Value.Int sal |]
+             iv)
+         ivs)
+  in
+  (build lprng left_ivs, build rprng right_ivs)
+
 type op =
   | Insert of Interval.t * int
   | Delete of int

@@ -32,6 +32,23 @@ val relation : Spec.t -> Relation.Trel.t
 val seq_of : ('a * 'b) array -> ('a * 'b) Seq.t
 (** Convenience: the array as the sequence the algorithms consume. *)
 
+(** {1 Two-relation join workloads} *)
+
+val pair_intervals :
+  Spec.pair ->
+  (Interval.t * int) array * (Interval.t * int) array
+(** [(left, right)] interval streams for an interval-join workload: the
+    left side is {!random_intervals} of the pair's left spec; on the
+    right, an [overlap_density] fraction of tuples start inside a
+    uniformly chosen left interval (each guaranteed at least one
+    intersecting partner, with the stop clamped to the lifespan), the
+    rest draw independently.  Both sides end up shuffled.
+    Deterministic in the two specs' seeds. *)
+
+val pair : Spec.pair -> Relation.Trel.t * Relation.Trel.t
+(** {!pair_intervals} as full relations, each with the
+    [(name, salary)] schema of {!relation}. *)
+
 (** {1 Mixed read/write traces} *)
 
 type op =

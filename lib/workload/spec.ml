@@ -33,6 +33,20 @@ let make ?(long_lived_fraction = 0.) ?(lifespan = 1_000_000) ?(short_min = 1)
     seed;
   }
 
+(* Two-relation join workloads: the right side draws a configurable
+   fraction of its tuples anchored inside a random left tuple's
+   interval (guaranteeing a shared instant), the rest independently —
+   so [overlap_density] is a lower bound on the fraction of right
+   tuples with at least one intersecting partner. *)
+type pair = { left : t; right : t; overlap_density : float }
+
+let pair ?(overlap_density = 0.1) ~left ~right () =
+  if overlap_density < 0. || overlap_density > 1. then
+    invalid_arg "Spec.pair: overlap_density outside [0,1]";
+  if left.lifespan <> right.lifespan then
+    invalid_arg "Spec.pair: sides must share a lifespan";
+  { left; right; overlap_density }
+
 type ops = {
   initial : int;
   length : int;
@@ -83,3 +97,9 @@ let pp ppf t =
     (t.long_min_fraction *. 100.)
     (t.long_max_fraction *. 100.)
     t.seed
+
+let pp_pair ppf p =
+  Format.fprintf ppf "left(n=%d) right(n=%d) overlap=%.0f%% seed=%d/%d"
+    p.left.n p.right.n
+    (p.overlap_density *. 100.)
+    p.left.seed p.right.seed

@@ -69,6 +69,26 @@ val ops :
 
 val pp_ops : Format.formatter -> ops -> unit
 
+(** {1 Two-relation join workloads} *)
+
+type pair = {
+  left : t;
+  right : t;
+  overlap_density : float;
+      (** Fraction of right tuples anchored to start inside a random
+          left tuple's interval — each such tuple is guaranteed at
+          least one intersecting partner, so this is a lower bound on
+          the join's per-right-tuple hit rate.  The rest draw
+          independently. *)
+}
+
+val pair : ?overlap_density:float -> left:t -> right:t -> unit -> pair
+(** Default density 0.1.
+    @raise Invalid_argument when the density is outside [0,1] or the
+    sides' lifespans differ (anchoring needs a common time axis). *)
+
+val pp_pair : Format.formatter -> pair -> unit
+
 (** The paper's tested values (Table 3). *)
 
 val table3_sizes : int list
