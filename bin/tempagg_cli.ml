@@ -603,7 +603,7 @@ let write_slowlog slowlog slowlog_out =
 let serve_net bindings cache_capacity no_adaptive slowlog_ms slowlog_out
     data_dir split_threshold listen domains queue_depth degrade_watermark
     drain_timeout_ms idle_timeout_ms max_connections memory_budget deadline_ms
-    on_error metrics_out =
+    on_error metrics_out recorder_spans recorder_pinned recorder_out =
   let transport =
     if String.lowercase_ascii listen = "stdin" then Ok Net.Server.Stdio
     else
@@ -629,6 +629,14 @@ let serve_net bindings cache_capacity no_adaptive slowlog_ms slowlog_out
         match build_catalog file_bindings with
         | Error msg -> `Error (false, msg)
         | Ok catalog ->
+            (* Flight-recorder sizing is global (the rings live inside
+               Obs.Trace); set it before any statement records spans. *)
+            (match recorder_spans with
+            | Some n -> Obs.Trace.set_ring_capacity n
+            | None -> ());
+            (match recorder_pinned with
+            | Some n -> Obs.Recorder.configure ~max_pinned:n ()
+            | None -> ());
             let slowlog = make_slowlog slowlog_ms slowlog_out in
             let config =
               {
@@ -649,6 +657,7 @@ let serve_net bindings cache_capacity no_adaptive slowlog_ms slowlog_out
                 partitions = List.map parse_binding partition_bindings;
                 split_threshold;
                 slowlog;
+                recorder_out;
               }
             in
             let srv =
@@ -681,9 +690,9 @@ let serve_net bindings cache_capacity no_adaptive slowlog_ms slowlog_out
                 | None -> ()
                 | Some path ->
                     Join.Telemetry.to_metrics report.Net.Server.metrics;
-                    Out_channel.with_open_text path (fun oc ->
-                        output_string oc
-                          (Obs.Metrics.expose report.Net.Server.metrics));
+                    (* Atomic (temp + rename): a scraper racing the
+                       drain never reads a torn exposition. *)
+                    Obs.Metrics.write_file report.Net.Server.metrics path;
                     Printf.eprintf "metrics: wrote %s\n%!" path);
                 write_slowlog slowlog slowlog_out;
                 `Ok ()))
@@ -745,7 +754,8 @@ let serve_script bindings cache_capacity echo metrics_every trace no_adaptive
 let serve bindings cache_capacity echo metrics_every trace no_adaptive
     slowlog_ms slowlog_out data_dir split_threshold script listen domains
     queue_depth degrade_watermark drain_timeout_ms idle_timeout_ms
-    max_connections memory_budget deadline_ms on_error metrics_out =
+    max_connections memory_budget deadline_ms on_error metrics_out
+    recorder_spans recorder_pinned recorder_out =
   match (listen, script) with
   | Some _, Some _ ->
       `Error (false, "--script and --listen are mutually exclusive")
@@ -754,7 +764,8 @@ let serve bindings cache_capacity echo metrics_every trace no_adaptive
       serve_net bindings cache_capacity no_adaptive slowlog_ms slowlog_out
         data_dir split_threshold listen domains queue_depth degrade_watermark
         drain_timeout_ms idle_timeout_ms max_connections memory_budget
-        deadline_ms on_error metrics_out
+        deadline_ms on_error metrics_out recorder_spans recorder_pinned
+        recorder_out
   | None, Some script ->
       serve_script bindings cache_capacity echo metrics_every trace no_adaptive
         slowlog_ms slowlog_out data_dir split_threshold script
@@ -927,6 +938,34 @@ let serve_cmd =
             "Maximum tuples a partition shard may hold before a write \
              splits it at its median start instant (default 8192).")
   in
+  let recorder_spans =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "recorder-spans" ] ~docv:"N"
+          ~doc:
+            "Flight-recorder ring capacity in spans per domain (default \
+             2048; 0 disables the always-on recorder).")
+  in
+  let recorder_pinned =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "recorder-pinned" ] ~docv:"N"
+          ~doc:
+            "Traces the flight recorder retains for slow/shed/degraded/\
+             errored requests before evicting the oldest (default 64).")
+  in
+  let recorder_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "recorder-out" ] ~docv:"PATH"
+          ~doc:
+            "Write the flight-recorder dump (Chrome trace JSON) to $(docv) \
+             on SIGUSR1 and again when the server drains.  Without it \
+             SIGUSR1 still dumps, to tempagg-recorder.json.")
+  in
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(
       ret
@@ -935,11 +974,11 @@ let serve_cmd =
        $ split_threshold $ script $ listen $ domains $ queue_depth
        $ degrade_watermark $ drain_timeout_ms $ idle_timeout_ms
        $ max_connections $ memory_budget_arg $ deadline_arg $ on_error_arg
-       $ metrics_out))
+       $ metrics_out $ recorder_spans $ recorder_pinned $ recorder_out))
 
 (* client *)
 
-let client connect script strict quiet =
+let client connect script strict quiet trace_ids =
   (* The server closing mid-write must surface as EPIPE, not kill us. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let host, port =
@@ -982,15 +1021,43 @@ let client connect script strict quiet =
                     && not (String.length l >= 2 && String.sub l 0 2 = "--"))
                   (List.map String.trim (String.split_on_char '\n' text))
               in
+              let seq = ref 0 in
               List.iter
                 (fun line ->
-                  if !violation = None && not !finished then
-                    match Net.Client.request c line with
-                    | Ok (Net.Protocol.Ok_reply { degraded; payload }) ->
+                  if !violation = None && not !finished then begin
+                    (* With --trace-ids every statement is tagged with a
+                       client-chosen request id (c<pid>-<n>) so its
+                       flight-recorder trace can be pulled later with
+                       TRACE DUMP <id>.  Control verbs (PING, QUIT,
+                       METRICS, TRACE DUMP) are answered on the event
+                       loop without a request id and stay untagged. *)
+                    let control =
+                      let upper = String.uppercase_ascii line in
+                      upper = "QUIT" || upper = "PING"
+                      || Net.Protocol.metrics_request line
+                      || Net.Protocol.trace_dump_request line <> None
+                    in
+                    let trace =
+                      if trace_ids && not control then begin
+                        let id =
+                          Printf.sprintf "c%d-%d" (Unix.getpid ()) !seq
+                        in
+                        incr seq;
+                        Some id
+                      end
+                      else None
+                    in
+                    match Net.Client.request ?trace c line with
+                    | Ok (Net.Protocol.Ok_reply { degraded; trace; payload })
+                      ->
                         incr ok;
                         if not quiet then begin
                           if degraded then
                             Printf.printf "-- degraded: %s\n" line;
+                          (match trace with
+                          | Some id when trace_ids ->
+                              Printf.printf "-- trace: %s\n" id
+                          | _ -> ());
                           List.iter print_endline payload
                         end
                     | Ok Net.Protocol.Pong -> incr ok
@@ -1001,7 +1068,8 @@ let client connect script strict quiet =
                     | Ok (Net.Protocol.Busy reason) ->
                         incr busy;
                         Printf.eprintf "BUSY %s (statement: %s)\n%!" reason line
-                    | Error msg -> violation := Some msg)
+                    | Error msg -> violation := Some msg
+                  end)
                 lines;
               if !violation = None && not !finished then begin
                 match Net.Client.request c "QUIT" with
@@ -1060,8 +1128,17 @@ let client_cmd =
       value & flag
       & info [ "quiet" ] ~doc:"Suppress reply payloads (keep the summary).")
   in
+  let trace_ids =
+    Arg.(
+      value & flag
+      & info [ "trace-ids" ]
+          ~doc:
+            "Tag every statement with a client-chosen request id (TRACE \
+             c<pid>-<n> prefix) and print the id echoed in each OK reply \
+             — the key for a later TRACE DUMP <id>.")
+  in
   Cmd.v (Cmd.info "client" ~doc ~man)
-    Term.(ret (const client $ connect $ script $ strict $ quiet))
+    Term.(ret (const client $ connect $ script $ strict $ quiet $ trace_ids))
 
 let sort_cmd =
   let doc = "sort a relation by valid time (start, then stop)" in

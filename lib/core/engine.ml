@@ -129,10 +129,10 @@ let rec eval : type v s r.
             eval ?origin ?horizon ?instrument inner state_monoid shard)
           monoid data
   in
-  (* Armed check here rather than inside [with_span], so the disarmed
-     cost on the hot path is one atomic load and no closure capture of
-     the attrs list. *)
-  if Obs.Trace.is_armed () then
+  (* Recording check here rather than inside [with_span], so the cost
+     on the hot path with every sink off is the atomic loads and no
+     closure capture of the attrs list. *)
+  if Obs.Trace.recording () then
     Obs.Trace.with_span ~attrs:[ ("algorithm", name algorithm) ] "eval" run
   else run ()
 
@@ -356,7 +356,7 @@ let eval_robust : type v s r.
             (data ())
     in
     let body () =
-      if Obs.Trace.is_armed () then
+      if Obs.Trace.recording () then
         Obs.Trace.with_span ~attrs:[ ("algorithm", name alg) ] "attempt" body
       else body ()
     in
@@ -418,7 +418,7 @@ let eval_robust : type v s r.
       profile;
     result
   in
-  if Obs.Trace.is_armed () then
+  if Obs.Trace.recording () then
     Obs.Trace.with_span
       ~attrs:[ ("algorithm", name algorithm) ]
       "eval-robust" run

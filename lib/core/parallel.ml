@@ -36,10 +36,12 @@ let eval ?instrument ?fallback_shard ?offsets ~domains ~eval_shard monoid data
     | None -> if n = 0 then 1 else min domains n
   in
   (* Spawned domains start with an empty span stack, so capture the
-     parent span here and attach each shard span to it explicitly. *)
+     parent span and the request trace id here and attach each shard
+     span to them explicitly. *)
   let span_parent = Obs.Trace.current () in
+  let span_trace = Obs.Trace.current_trace () in
   let shard_span i f =
-    Obs.Trace.with_span ?parent:span_parent
+    Obs.Trace.with_span ?parent:span_parent ~trace:span_trace
       ~attrs:[ ("shard", string_of_int i) ]
       "shard" f
   in

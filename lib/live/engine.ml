@@ -55,4 +55,5 @@ let eval_live ?origin ?horizon ?memory_budget ?deadline_ms ?stats ?profile
              deadline_ms);
         Error (Tempagg.Engine.Deadline_exhausted { deadline_ms; elapsed_ms })
   in
-  if Obs.Trace.is_armed () then Obs.Trace.with_span "eval-live" run else run ()
+  if Obs.Trace.recording () then Obs.Trace.with_span "eval-live" run
+  else run ()

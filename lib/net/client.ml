@@ -18,7 +18,13 @@ let connect ?(host = "127.0.0.1") ~port () =
     closed = false;
   }
 
-let send t line =
+let send ?trace t line =
+  (match trace with
+  | Some id ->
+      output_string t.oc "TRACE ";
+      output_string t.oc id;
+      output_char t.oc ' '
+  | None -> ());
   output_string t.oc line;
   output_char t.oc '\n';
   flush t.oc
@@ -35,7 +41,7 @@ let read_reply t =
       | Ok (Protocol.H_busy reason) -> Ok (Protocol.Busy reason)
       | Ok Protocol.H_pong -> Ok Protocol.Pong
       | Ok Protocol.H_bye -> Ok Protocol.Bye
-      | Ok (Protocol.H_ok { count; degraded }) ->
+      | Ok (Protocol.H_ok { count; degraded; trace }) ->
           let rec take n acc =
             if n = 0 then Ok (List.rev acc)
             else
@@ -48,11 +54,11 @@ let read_reply t =
               | Some line -> take (n - 1) (line :: acc)
           in
           Result.map
-            (fun payload -> Protocol.Ok_reply { degraded; payload })
+            (fun payload -> Protocol.Ok_reply { degraded; trace; payload })
             (take count []))
 
-let request t line =
-  send t line;
+let request ?trace t line =
+  send ?trace t line;
   read_reply t
 
 let close t =

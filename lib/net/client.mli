@@ -13,14 +13,16 @@ val connect : ?host:string -> port:int -> unit -> t
 (** Open a TCP connection (default host ["127.0.0.1"]).
     @raise Unix.Unix_error when the connection is refused. *)
 
-val send : t -> string -> unit
-(** Write one request line (a trailing newline is added). *)
+val send : ?trace:string -> t -> string -> unit
+(** Write one request line (a trailing newline is added).  [?trace]
+    prepends a [TRACE <id>] prefix, tagging the statement with a
+    client-chosen request id the server echoes in the OK header. *)
 
 val read_reply : t -> (Protocol.reply, string) result
 (** Read one framed reply; [Error] describes a protocol violation or an
     unexpected EOF. *)
 
-val request : t -> string -> (Protocol.reply, string) result
+val request : ?trace:string -> t -> string -> (Protocol.reply, string) result
 (** {!send} then {!read_reply}. *)
 
 val close : t -> unit

@@ -1,5 +1,5 @@
 type reply =
-  | Ok_reply of { degraded : bool; payload : string list }
+  | Ok_reply of { degraded : bool; trace : string option; payload : string list }
   | Err of string
   | Busy of string
   | Pong
@@ -20,12 +20,27 @@ let strip_request line =
   in
   String.trim line
 
+(* Trace ids ride inside protocol headers, so keep them single-token
+   and quote-free: alphanumerics plus [-_.:], at most 64 chars. *)
+let valid_trace_id id =
+  let n = String.length id in
+  n > 0 && n <= 64
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | ':' ->
+             true
+         | _ -> false)
+       id
+
 let encode = function
-  | Ok_reply { degraded; payload } ->
+  | Ok_reply { degraded; trace; payload } ->
       let buf = Buffer.create 64 in
       Buffer.add_string buf
-        (Printf.sprintf "OK %d%s\n" (List.length payload)
-           (if degraded then " degraded" else ""));
+        (Printf.sprintf "OK %d%s%s\n" (List.length payload)
+           (if degraded then " degraded" else "")
+           (match trace with
+           | Some id when valid_trace_id id -> " trace=" ^ id
+           | _ -> ""));
       List.iter
         (fun line ->
           Buffer.add_string buf (clean line);
@@ -38,7 +53,7 @@ let encode = function
   | Bye -> "BYE\n"
 
 type header =
-  | H_ok of { count : int; degraded : bool }
+  | H_ok of { count : int; degraded : bool; trace : string option }
   | H_err of string
   | H_busy of string
   | H_pong
@@ -58,15 +73,31 @@ let parse_header line =
     Ok (H_busy (tail "BUSY "))
   else if String.length line >= 3 && String.sub line 0 3 = "OK " then
     match String.split_on_char ' ' (tail "OK ") with
-    | [ n ] -> (
+    | n :: flags -> (
         match int_of_string_opt n with
-        | Some count when count >= 0 -> Ok (H_ok { count; degraded = false })
+        | Some count when count >= 0 -> (
+            (* Flags after the count: optional "degraded", then an
+               optional "trace=<id>" — strict, in that order. *)
+            let take_trace = function
+              | [] -> Ok None
+              | [ tok ]
+                when String.length tok > 6 && String.sub tok 0 6 = "trace="
+                ->
+                  let id = String.sub tok 6 (String.length tok - 6) in
+                  if valid_trace_id id then Ok (Some id)
+                  else Error (Printf.sprintf "malformed trace id %S" id)
+              | _ -> Error (Printf.sprintf "malformed OK header %S" line)
+            in
+            let degraded, rest =
+              match flags with
+              | "degraded" :: rest -> (true, rest)
+              | rest -> (false, rest)
+            in
+            match take_trace rest with
+            | Ok trace -> Ok (H_ok { count; degraded; trace })
+            | Error e -> Error e)
         | _ -> Error (Printf.sprintf "malformed OK count %S" n))
-    | [ n; "degraded" ] -> (
-        match int_of_string_opt n with
-        | Some count when count >= 0 -> Ok (H_ok { count; degraded = true })
-        | _ -> Error (Printf.sprintf "malformed OK count %S" n))
-    | _ -> Error (Printf.sprintf "malformed OK header %S" line)
+    | [] -> Error (Printf.sprintf "malformed OK header %S" line)
   else Error (Printf.sprintf "unrecognized reply header %S" line)
 
 let sleep_request line =
@@ -77,3 +108,49 @@ let sleep_request line =
       | Some v when v >= 0. -> Some v
       | _ -> None)
   | _ -> None
+
+let metrics_request line =
+  String.uppercase_ascii (strip_request line) = "METRICS"
+
+(* TRACE DUMP [id]: an introspection verb, answered on the event loop.
+   Distinguished from the [TRACE <id> <statement>] prefix by its second
+   token. *)
+let trace_dump_request line =
+  let line = strip_request line in
+  match String.split_on_char ' ' line with
+  | [ t; d ]
+    when String.uppercase_ascii t = "TRACE" && String.uppercase_ascii d = "DUMP"
+    ->
+      Some (Ok None)
+  | [ t; d; id ]
+    when String.uppercase_ascii t = "TRACE" && String.uppercase_ascii d = "DUMP"
+    ->
+      if valid_trace_id id then Some (Ok (Some id))
+      else Some (Error (Printf.sprintf "invalid trace id %S" id))
+  | _ -> None
+
+(* Split an optional [TRACE <id>] prefix off a statement line.  [TRACE
+   DUMP ...] is a verb, not a prefix — check {!trace_dump_request}
+   first. *)
+let split_trace line =
+  let line = strip_request line in
+  match String.index_opt line ' ' with
+  | Some i when String.uppercase_ascii (String.sub line 0 i) = "TRACE" -> (
+      let rest = String.sub line (i + 1) (String.length line - i - 1) in
+      let rest = String.trim rest in
+      match String.index_opt rest ' ' with
+      | None ->
+          if String.uppercase_ascii rest = "DUMP" then Ok (None, line)
+          else Error "TRACE <id> must be followed by a statement"
+      | Some j ->
+          let id = String.sub rest 0 j in
+          if String.uppercase_ascii id = "DUMP" then Ok (None, line)
+          else if not (valid_trace_id id) then
+            Error (Printf.sprintf "invalid trace id %S" id)
+          else
+            let stmt =
+              String.trim (String.sub rest (j + 1) (String.length rest - j - 1))
+            in
+            if stmt = "" then Error "TRACE <id> must be followed by a statement"
+            else Ok (Some id, stmt))
+  | _ -> Ok (None, line)

@@ -18,6 +18,7 @@ type config = {
   partitions : (string * string) list;
   split_threshold : int option;
   slowlog : Obs.Slowlog.t option;
+  recorder_out : string option;
 }
 
 let default_config =
@@ -39,6 +40,7 @@ let default_config =
     partitions = [];
     split_threshold = None;
     slowlog = None;
+    recorder_out = None;
   }
 
 type report = {
@@ -53,12 +55,18 @@ type report = {
   metrics : Obs.Metrics.t;
 }
 
-(* A statement handed to a worker. *)
+(* A statement handed to a worker, carrying its request-trace context:
+   the trace id, the request root span (opened at dispatch, closed at
+   completion) and the queue-wait span (opened at submit, closed by
+   whichever worker takes the job). *)
 type job = {
   j_conn : int;
   j_line : string;
   j_session : Tsql.Session.t;
   j_degraded : bool;
+  j_trace : string;
+  j_root : int;
+  j_queue : int;
 }
 
 (* A worker's finished reply, travelling back to the event loop. *)
@@ -68,6 +76,9 @@ type completion = {
   c_kind : string;
   c_statement : string;
   c_elapsed_us : int;
+  c_trace : string;
+  c_root : int;
+  c_join : string option;
 }
 
 type conn = {
@@ -83,6 +94,7 @@ type conn = {
   mutable c_last_us : int;
   mutable c_eof : bool;  (* no more input; still serving buffered lines *)
   mutable c_closing : bool;  (* discard pending, flush output, close *)
+  mutable c_seq : int;  (* statements dispatched, for minted request ids *)
   c_session : Tsql.Session.t;
 }
 
@@ -100,6 +112,7 @@ type t = {
   conns : (int, conn) Hashtbl.t;
   mutable next_conn_id : int;
   registry : Obs.Metrics.t;
+  dump_requested : bool Atomic.t;  (* SIGUSR1 asked for a recorder dump *)
 }
 
 let max_line_bytes = 65_536
@@ -140,6 +153,7 @@ let create ?(config = default_config) catalog =
     conns = Hashtbl.create 64;
     next_conn_id = 0;
     registry = Obs.Metrics.create ();
+    dump_requested = Atomic.make false;
   }
 
 let port t = t.bound_port
@@ -195,6 +209,13 @@ let refresh_admission_gauges t =
   Obs.Metrics.set_int (m_queued t) (Admission.queued t.admission);
   Obs.Metrics.set_int (m_inflight t) (Admission.in_flight t.admission)
 
+(* Everything a scrape should see beyond the live counters: binary
+   identity, uptime, and flight-recorder pressure. *)
+let refresh_scrape_metrics t =
+  refresh_admission_gauges t;
+  Obs.Build_info.to_metrics t.registry;
+  Obs.Recorder.to_metrics t.registry
+
 (* ---- worker domains ---- *)
 
 let payload_of_outcome = function
@@ -208,7 +229,10 @@ let payload_of_outcome = function
    request per connection serializes access) and the completion queue. *)
 let execute t job =
   let t0 = Obs.Trace.now_us () in
-  let kind, reply =
+  (* The queue wait ends the moment a worker picks the job up; the
+     span was opened on the event loop at submit time. *)
+  Obs.Trace.close_span job.j_queue;
+  let body () =
     match Protocol.sleep_request job.j_line with
     | Some ms ->
         Unix.sleepf (ms /. 1000.);
@@ -216,11 +240,13 @@ let execute t job =
           Protocol.Ok_reply
             {
               degraded = job.j_degraded;
+              trace = Some job.j_trace;
               payload = [ Printf.sprintf "slept %g ms" ms ];
-            } )
+            },
+          None )
     | None -> (
         match Tsql.Parser.parse_statement job.j_line with
-        | Error msg -> ("parse-error", Protocol.Err msg)
+        | Error msg -> ("parse-error", Protocol.Err msg, None)
         | Ok stmt -> (
             let kind = Tsql.Serve.kind_of stmt in
             (* Degraded requests trade the planned fast path for a
@@ -256,13 +282,29 @@ let execute t job =
                 in
                 ( kind,
                   Protocol.Ok_reply
-                    { degraded; payload = payload_of_outcome outcome } )
-            | Error msg -> (kind, Protocol.Err msg)
+                    {
+                      degraded;
+                      trace = Some job.j_trace;
+                      payload = payload_of_outcome outcome;
+                    },
+                  Tsql.Session.last_join job.j_session )
+            | Error msg -> (kind, Protocol.Err msg, None)
             | exception e ->
                 (* A worker must never die: any stray evaluation
                    exception becomes a structured per-statement error. *)
-                (kind, Protocol.Err ("internal error: " ^ Printexc.to_string e))
-            ))
+                ( kind,
+                  Protocol.Err ("internal error: " ^ Printexc.to_string e),
+                  None )))
+  in
+  (* Run under an "execute" span parented to the request root, so every
+     engine/storage/join span the statement records on this domain (and
+     on Parallel shard domains) nests under the request's trace. *)
+  let kind, reply, join =
+    Obs.Trace.with_span
+      ?parent:(if job.j_root = 0 then None else Some job.j_root)
+      ~trace:job.j_trace
+      ~attrs:[ ("conn", string_of_int job.j_conn) ]
+      "execute" body
   in
   {
     c_conn = job.j_conn;
@@ -270,6 +312,9 @@ let execute t job =
     c_kind = kind;
     c_statement = job.j_line;
     c_elapsed_us = Obs.Trace.now_us () - t0;
+    c_trace = job.j_trace;
+    c_root = job.j_root;
+    c_join = join;
   }
 
 let worker_loop t () =
@@ -329,6 +374,7 @@ let add_conn t ~tcp ~fd ~wfd =
       c_last_us = Obs.Trace.now_us ();
       c_eof = false;
       c_closing = false;
+      c_seq = 0;
       c_session = new_session t id;
     }
   in
@@ -371,9 +417,15 @@ let extract_lines conn =
 (* ---- dispatch ---- *)
 
 let observe_completion t (c : completion) =
+  let degraded, is_err =
+    match c.c_reply with
+    | Protocol.Ok_reply { degraded; _ } -> (degraded, false)
+    | Protocol.Err _ -> (false, true)
+    | _ -> (false, false)
+  in
   let kind_ok =
     match c.c_reply with
-    | Protocol.Ok_reply { degraded; _ } ->
+    | Protocol.Ok_reply _ ->
         if degraded then Obs.Metrics.inc (m_degraded t);
         true
     | Protocol.Err _ ->
@@ -381,16 +433,36 @@ let observe_completion t (c : completion) =
         true
     | _ -> false
   in
+  let elapsed_ms = float_of_int c.c_elapsed_us /. 1000. in
+  let slow =
+    match t.cfg.slowlog with
+    | Some log -> elapsed_ms >= Obs.Slowlog.threshold_ms log
+    | None -> false
+  in
+  (* Close the request root before deciding retention, so the root span
+     itself is in the ring when the recorder copies the trace out. *)
+  let outcome =
+    if is_err then "error"
+    else if degraded then "degraded"
+    else if slow then "slow"
+    else "ok"
+  in
+  Obs.Trace.close_span
+    ~attrs:
+      (("outcome", outcome)
+      :: (match c.c_join with Some j -> [ ("join", j) ] | None -> []))
+    c.c_root;
+  if is_err || degraded || slow then
+    Obs.Recorder.pin ~trace:c.c_trace ~reason:outcome;
   if kind_ok then begin
     Obs.Metrics.inc (m_requests t c.c_kind);
     Obs.Histogram.observe (m_latency t c.c_kind) (float_of_int c.c_elapsed_us);
     match t.cfg.slowlog with
     | Some log ->
-        let elapsed_ms = float_of_int c.c_elapsed_us /. 1000. in
-        if elapsed_ms >= Obs.Slowlog.threshold_ms log then
+        if slow then
           ignore
             (Obs.Slowlog.observe log ~kind:c.c_kind ~statement:c.c_statement
-               ~elapsed_ms ())
+               ~elapsed_ms ?join:c.c_join ~trace:c.c_trace ())
     | None -> ()
   end
 
@@ -422,22 +494,86 @@ let rec dispatch t conn =
                   (Printf.sprintf "request exceeds %d bytes" max_line_bytes)));
           dispatch t conn
         end
-        else begin
-          match
-            Admission.submit t.admission (fun ~degraded ->
-                {
-                  j_conn = conn.c_id;
-                  j_line = line;
-                  j_session = conn.c_session;
-                  j_degraded = degraded;
-                })
-          with
-          | Admission.Shed reason ->
-              Obs.Metrics.inc (m_shed t);
-              send conn (Protocol.encode (Protocol.Busy reason));
-              dispatch t conn
-          | Admission.Admitted _ -> conn.c_outstanding <- true
+        else if Protocol.metrics_request line then begin
+          (* Prometheus exposition inline, like PING: a scrape must work
+             even when every worker is busy. *)
+          refresh_scrape_metrics t;
+          let payload =
+            List.filter
+              (fun l -> l <> "")
+              (String.split_on_char '\n' (Obs.Metrics.expose t.registry))
+          in
+          send conn
+            (Protocol.encode
+               (Protocol.Ok_reply { degraded = false; trace = None; payload }));
+          dispatch t conn
         end
+        else
+          match Protocol.trace_dump_request line with
+          | Some (Error msg) ->
+              send conn (Protocol.encode (Protocol.Err msg));
+              dispatch t conn
+          | Some (Ok trace) ->
+              let payload =
+                List.filter
+                  (fun l -> l <> "")
+                  (String.split_on_char '\n' (Obs.Recorder.dump ?trace ()))
+              in
+              send conn
+                (Protocol.encode
+                   (Protocol.Ok_reply
+                      { degraded = false; trace; payload }));
+              dispatch t conn
+          | None -> (
+              match Protocol.split_trace line with
+              | Error msg ->
+                  send conn (Protocol.encode (Protocol.Err msg));
+                  dispatch t conn
+              | Ok (supplied, stmt) ->
+                  (* The request id: client-chosen via the TRACE prefix,
+                     else minted here — every statement gets one. *)
+                  let trace =
+                    match supplied with
+                    | Some id -> id
+                    | None ->
+                        Printf.sprintf "r%d-%d" conn.c_id conn.c_seq
+                  in
+                  conn.c_seq <- conn.c_seq + 1;
+                  let root =
+                    Obs.Trace.open_span ~trace
+                      ~attrs:
+                        [
+                          ("conn", string_of_int conn.c_id);
+                          ( "statement",
+                            if String.length stmt > 120 then
+                              String.sub stmt 0 120 ^ "..."
+                            else stmt );
+                        ]
+                      "request"
+                  in
+                  match
+                    Admission.submit t.admission (fun ~degraded ->
+                        {
+                          j_conn = conn.c_id;
+                          j_line = stmt;
+                          j_session = conn.c_session;
+                          j_degraded = degraded;
+                          j_trace = trace;
+                          j_root = root;
+                          j_queue =
+                            Obs.Trace.open_span ~trace ~parent:root
+                              "queue-wait";
+                        })
+                  with
+                  | Admission.Shed reason ->
+                      Obs.Metrics.inc (m_shed t);
+                      Obs.Trace.close_span
+                        ~attrs:[ ("outcome", "shed"); ("reason", reason) ]
+                        root;
+                      Obs.Recorder.pin ~trace ~reason:"shed";
+                      send conn (Protocol.encode (Protocol.Busy reason));
+                      dispatch t conn
+                  | Admission.Admitted _ -> conn.c_outstanding <- true)
 
 (* ---- the event loop ---- *)
 
@@ -557,11 +693,30 @@ let write_conn t conn =
            is a clean per-connection error, never process death. *)
         close_conn t conn
 
+let recorder_dump_path t =
+  Option.value t.cfg.recorder_out ~default:"tempagg-recorder.json"
+
+(* Flight-recorder dump to disk, atomically (temp + rename) so a reader
+   racing SIGUSR1 never sees half a JSON document. *)
+let write_recorder_dump t =
+  let path = recorder_dump_path t in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Obs.Recorder.dump ()));
+  Sys.rename tmp path
+
 let run ?(signals = false) t =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   if signals then begin
     Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> shutdown t));
-    Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> shutdown t))
+    Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> shutdown t));
+    Sys.set_signal Sys.sigusr1
+      (Sys.Signal_handle
+         (fun _ ->
+           Atomic.set t.dump_requested true;
+           wake t))
   end;
   let started_us = now_us () in
   (* Touch every metric family once so a zero-traffic exposition still
@@ -571,7 +726,7 @@ let run ?(signals = false) t =
   ignore (m_timed_out t);
   ignore (m_errors t);
   ignore (m_degraded t);
-  refresh_admission_gauges t;
+  refresh_scrape_metrics t;
   let workers =
     Array.init t.cfg.domains (fun _ -> Domain.spawn (worker_loop t))
   in
@@ -607,6 +762,10 @@ let run ?(signals = false) t =
   let rec loop () =
     handle_completions t;
     refresh_admission_gauges t;
+    if Atomic.exchange t.dump_requested false then begin
+      try write_recorder_dump t
+      with Sys_error _ | Unix.Unix_error _ -> ()
+    end;
     if Atomic.get t.stop_requested then begin_drain ();
     (* Stdio mode drains itself once its one connection is gone. *)
     if t.cfg.transport = Stdio && Hashtbl.length t.conns = 0 then
@@ -622,6 +781,12 @@ let run ?(signals = false) t =
       List.iter
         (fun job ->
           Obs.Metrics.inc (m_shed t);
+          Obs.Trace.close_span job.j_queue;
+          Obs.Trace.close_span
+            ~attrs:
+              [ ("outcome", "shed"); ("reason", "draining: deadline reached") ]
+            job.j_root;
+          Obs.Recorder.pin ~trace:job.j_trace ~reason:"shed";
           match Hashtbl.find_opt t.conns job.j_conn with
           | None -> ()
           | Some conn ->
@@ -707,7 +872,13 @@ let run ?(signals = false) t =
   Admission.stop t.admission;
   Array.iter Domain.join workers;
   handle_completions t;
-  refresh_admission_gauges t;
+  refresh_scrape_metrics t;
+  (* A configured dump path gets a final dump at exit, so a drained
+     server leaves its retained traces behind for post-mortems. *)
+  (match t.cfg.recorder_out with
+  | Some _ -> (
+      try write_recorder_dump t with Sys_error _ | Unix.Unix_error _ -> ())
+  | None -> ());
   let cval c = int_of_float (Obs.Metrics.counter_value c) in
   {
     accepted = cval (m_accepted t);

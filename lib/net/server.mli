@@ -5,8 +5,8 @@
 
     {b Architecture.}  One event-loop domain owns all socket I/O: it
     accepts connections, reads request lines, answers control verbs
-    ([PING]/[QUIT]) directly, and hands statements to the
-    {!Admission} controller.  A fixed pool of worker domains executes
+    ([PING]/[QUIT]/[METRICS]/[TRACE DUMP]) directly, and hands
+    statements to the {!Admission} controller.  A fixed pool of worker domains executes
     admitted statements against the submitting connection's own
     {!Tsql.Session} (created from the shared catalog with a private
     statistics store, so worker domains never share mutable state) and
@@ -31,7 +31,16 @@
     and in-flight work, flushes replies, and returns its report — all
     within the drain deadline, after which still-queued requests are
     shed and connections force-closed.  Either way the caller gets a
-    report suitable for a clean [exit 0]. *)
+    report suitable for a clean [exit 0].
+
+    {b Request-scoped tracing.}  Every statement runs under a request
+    id — client-chosen via the [TRACE <id>] prefix or minted as
+    [r<conn>-<seq>] — with a root span opened at dispatch, a queue-wait
+    span covering admission, and an execute span on the worker domain
+    under which all engine/storage/join spans nest.  The always-on
+    flight recorder ({!Obs.Recorder}) pins traces of slow, shed,
+    degraded or errored requests; [TRACE DUMP] (or [SIGUSR1]) exports
+    them as Chrome trace JSON. *)
 
 type transport =
   | Tcp of int
@@ -77,7 +86,15 @@ type config = {
   split_threshold : int option;
   slowlog : Obs.Slowlog.t option;
       (** Capture statements at or over its threshold (fed from the
-          event loop; entries carry kind, statement and latency). *)
+          event loop; entries carry kind, statement, latency, the
+          request id and — for joins — the chosen strategy).  The
+          threshold doubles as the flight recorder's "slow" pin
+          trigger. *)
+  recorder_out : string option;
+      (** Where [SIGUSR1] (with [signals]) and the final drain write
+          the flight-recorder dump (Chrome trace JSON, atomic
+          temp+rename).  [None] still honors SIGUSR1 — it falls back
+          to [tempagg-recorder.json] — but skips the exit dump. *)
 }
 
 val default_config : config

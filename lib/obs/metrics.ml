@@ -188,3 +188,14 @@ let expose t =
                (Histogram.count h)))
     metrics;
   Buffer.contents buf
+
+(* Atomic exposition-to-disk: a scraper tailing the file must never see
+   a half-written exposition, so write a sibling temp file and rename
+   it into place (atomic on POSIX within one filesystem). *)
+let write_file t path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (expose t));
+  Sys.rename tmp path

@@ -47,3 +47,9 @@ val expose : t -> string
 (** Prometheus text exposition: metrics sorted by name then labels, one
     [# HELP]/[# TYPE] header per name, integral values printed without a
     decimal point. *)
+
+val write_file : t -> string -> unit
+(** Write {!expose} to [path] atomically: the exposition goes to
+    [path ^ ".tmp"] first and is renamed into place, so a concurrent
+    reader sees either the previous complete exposition or the new one,
+    never a torn write. *)

@@ -10,6 +10,8 @@ type entry = {
   elapsed_ms : float;
   detail : string option;
   span_labels : string list;
+  join : string option;  (* chosen join strategy, with fallback marker *)
+  trace : string option;  (* request id, for cross-referencing a dump *)
 }
 
 type t = {
@@ -38,10 +40,11 @@ let create ?(capacity = 32) ~threshold_ms () =
 
 let threshold_ms t = t.threshold_ms
 
-let observe t ~kind ~statement ~elapsed_ms ?detail ?(span_labels = []) () =
+let observe t ~kind ~statement ~elapsed_ms ?detail ?(span_labels = []) ?join
+    ?trace () =
   if elapsed_ms < t.threshold_ms then false
   else begin
-    let e = { statement; kind; elapsed_ms; detail; span_labels } in
+    let e = { statement; kind; elapsed_ms; detail; span_labels; join; trace } in
     if Array.length t.ring = 0 then t.ring <- Array.make t.capacity e;
     t.ring.(t.next) <- e;
     t.next <- (t.next + 1) mod t.capacity;
@@ -81,13 +84,15 @@ let escape s =
   Buffer.contents buf
 
 let entry_to_json e =
+  let opt = function
+    | None -> "null"
+    | Some s -> Printf.sprintf "\"%s\"" (escape s)
+  in
   Printf.sprintf
     "{\"statement\": \"%s\", \"kind\": \"%s\", \"elapsed_ms\": %.3f, \
-     \"profile\": %s, \"spans\": [%s]}"
-    (escape e.statement) (escape e.kind) e.elapsed_ms
-    (match e.detail with
-    | None -> "null"
-    | Some d -> Printf.sprintf "\"%s\"" (escape d))
+     \"profile\": %s, \"join\": %s, \"trace\": %s, \"spans\": [%s]}"
+    (escape e.statement) (escape e.kind) e.elapsed_ms (opt e.detail)
+    (opt e.join) (opt e.trace)
     (String.concat ", "
        (List.map (fun l -> Printf.sprintf "\"%s\"" (escape l)) e.span_labels))
 

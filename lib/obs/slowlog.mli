@@ -15,6 +15,11 @@ type entry = {
   detail : string option;  (** Profile report text, when captured. *)
   span_labels : string list;
       (** Labels of spans recorded during the statement (tracing armed). *)
+  join : string option;
+      (** Chosen join strategy, e.g. ["sweep-join"]; a fallback retry is
+          marked, e.g. ["sweep-join -> nested-loop-join (fallback)"]. *)
+  trace : string option;
+      (** Request id, for cross-referencing a flight-recorder dump. *)
 }
 
 type t
@@ -33,6 +38,8 @@ val observe :
   elapsed_ms:float ->
   ?detail:string ->
   ?span_labels:string list ->
+  ?join:string ->
+  ?trace:string ->
   unit ->
   bool
 (** Record the statement if it crossed the threshold; returns whether
@@ -49,4 +56,4 @@ val worst : t -> entry option
 
 val to_json : t -> string
 (** [{"threshold_ms": ..., "hits": ..., "entries": [...]}] — one object
-    per entry with statement/kind/elapsed_ms/profile/spans. *)
+    per entry with statement/kind/elapsed_ms/profile/join/trace/spans. *)

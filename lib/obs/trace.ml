@@ -1,11 +1,30 @@
 (* Hierarchical tracing spans, recorded lock-free per domain.
 
-   Disarmed (the default) the only cost on a traced code path is one
-   atomic load — the <3% bar the sweep hot path is held to.  Armed, each
-   domain appends completed spans to its own buffer (created on first
-   use through Domain.DLS, registered once per arming epoch under a
-   mutex); recording itself never takes a lock, so Parallel shards on
-   separate domains trace without contending.
+   Two recording sinks share one instrumentation point:
+
+   - The armed buffer: unbounded per-domain lists of completed spans,
+     toggled by arm/disarm.  This is the profiling mode the bench and
+     the serve loop use — capture everything for one run, export it,
+     clear it.
+   - The flight-recorder ring: a bounded per-domain ring of the most
+     recent spans, on by default (see [set_ring_capacity]).  The ring
+     is what makes request-scoped post-mortems possible on a live
+     server without arming: when a request turns out slow, shed, or
+     degraded, [Recorder.pin] lifts its spans out of the rings before
+     they are overwritten.
+
+   With both sinks off the only cost on a traced code path is two
+   atomic loads — the <3% bar the sweep hot path is held to.  Recording
+   itself never takes a lock, so Parallel shards on separate domains
+   trace without contending.
+
+   Every span carries the request (trace) id of the statement it ran
+   under: [with_span] inherits it from the innermost open span on the
+   same domain, and takes [?trace] explicitly at domain boundaries.
+   Spans that cannot be lexically scoped — a queue-wait opened on the
+   event loop and closed by whichever worker domain picks the job up —
+   use [open_span]/[close_span], which park the open span in a shared
+   table instead of a domain-local stack.
 
    Timestamps come from a single monotonized wall clock shared by all
    domains, so shard timelines line up in the exported Chrome trace. *)
@@ -14,10 +33,11 @@ type span = {
   id : int;
   parent : int option;
   label : string;
+  trace : string;  (* request id; "" when outside any request *)
   domain : int;
   start_us : int;
   mutable stop_us : int;  (* negative while the span is open *)
-  attrs : (string * string) list;
+  mutable attrs : (string * string) list;
 }
 
 (* Per-domain recording state, epoch-stamped so re-arming starts clean
@@ -26,11 +46,20 @@ type buffer = {
   mutable buf_epoch : int;
   mutable closed : span list;
   mutable stack : span list;
+  (* Flight-recorder ring: lazily allocated to the global capacity,
+     overwriting the oldest span once full. *)
+  mutable ring : span array;
+  mutable ring_next : int;
+  mutable ring_filled : int;
+  mutable ring_dropped : int;
 }
 
 let armed_flag = Atomic.make false
 let epoch = Atomic.make 0
 let next_id = Atomic.make 1
+
+let default_ring_capacity = 2048
+let ring_capacity = Atomic.make default_ring_capacity
 
 let registry : buffer list ref = ref []
 let registry_mutex = Mutex.create ()
@@ -55,7 +84,16 @@ let now_us () =
   clamp ()
 
 let dls_key =
-  Domain.DLS.new_key (fun () -> { buf_epoch = -1; closed = []; stack = [] })
+  Domain.DLS.new_key (fun () ->
+      {
+        buf_epoch = -1;
+        closed = [];
+        stack = [];
+        ring = [||];
+        ring_next = 0;
+        ring_filled = 0;
+        ring_dropped = 0;
+      })
 
 let buffer () =
   let b = Domain.DLS.get dls_key in
@@ -64,44 +102,94 @@ let buffer () =
     b.buf_epoch <- e;
     b.closed <- [];
     b.stack <- [];
+    b.ring <- [||];
+    b.ring_next <- 0;
+    b.ring_filled <- 0;
+    b.ring_dropped <- 0;
     with_lock registry_mutex (fun () -> registry := b :: !registry)
   end;
   b
 
 let is_armed () = Atomic.get armed_flag
+let recording () = Atomic.get armed_flag || Atomic.get ring_capacity > 0
+let ring_capacity_now () = Atomic.get ring_capacity
+
+(* Changing the capacity bumps the epoch so stale rings (allocated at
+   the old size) are discarded rather than resized in place. *)
+let set_ring_capacity n =
+  Atomic.set ring_capacity (max 0 n);
+  with_lock registry_mutex (fun () -> registry := []);
+  Atomic.incr epoch
+
+(* Spans opened with [open_span], keyed by id until closed.  Shared
+   across domains because the opener and the closer need not be the
+   same domain. *)
+let open_tbl : (int, span) Hashtbl.t = Hashtbl.create 64
 
 let arm () =
-  with_lock registry_mutex (fun () -> registry := []);
+  with_lock registry_mutex (fun () ->
+      registry := [];
+      Hashtbl.reset open_tbl);
   Atomic.incr epoch;
   Atomic.set armed_flag true
 
 let disarm () = Atomic.set armed_flag false
 
 let current () =
-  if not (Atomic.get armed_flag) then None
+  if not (recording ()) then None
   else
     match (buffer ()).stack with s :: _ -> Some s.id | [] -> None
 
-let with_span ?(attrs = []) ?parent label f =
-  if not (Atomic.get armed_flag) then f ()
+let current_trace () =
+  if not (recording ()) then ""
+  else
+    match (buffer ()).stack with s :: _ -> s.trace | [] -> ""
+
+(* Append a completed span to whichever sinks are on.  The ring
+   overwrites its oldest entry once full, counting the overwrite as a
+   drop so the recorder can report pressure. *)
+let record b span =
+  if Atomic.get armed_flag then b.closed <- span :: b.closed;
+  let cap = Atomic.get ring_capacity in
+  if cap > 0 then begin
+    if Array.length b.ring <> cap then begin
+      b.ring <- Array.make cap span;
+      b.ring_next <- 0;
+      b.ring_filled <- 0
+    end;
+    b.ring.(b.ring_next) <- span;
+    b.ring_next <- (b.ring_next + 1) mod cap;
+    if b.ring_filled = cap then b.ring_dropped <- b.ring_dropped + 1
+    else b.ring_filled <- b.ring_filled + 1
+  end
+
+let make_span ~stack ?parent ?trace ~attrs label =
+  let parent =
+    match parent with
+    | Some _ as p -> p
+    | None -> ( match stack with s :: _ -> Some s.id | [] -> None)
+  in
+  let trace =
+    match trace with
+    | Some t -> t
+    | None -> ( match stack with s :: _ -> s.trace | [] -> "")
+  in
+  {
+    id = Atomic.fetch_and_add next_id 1;
+    parent;
+    label;
+    trace;
+    domain = (Domain.self () :> int);
+    start_us = now_us ();
+    stop_us = -1;
+    attrs;
+  }
+
+let with_span ?(attrs = []) ?parent ?trace label f =
+  if not (recording ()) then f ()
   else begin
     let b = buffer () in
-    let parent =
-      match parent with
-      | Some _ as p -> p
-      | None -> ( match b.stack with s :: _ -> Some s.id | [] -> None)
-    in
-    let span =
-      {
-        id = Atomic.fetch_and_add next_id 1;
-        parent;
-        label;
-        domain = (Domain.self () :> int);
-        start_us = now_us ();
-        stop_us = -1;
-        attrs;
-      }
-    in
+    let span = make_span ~stack:b.stack ?parent ?trace ~attrs label in
     b.stack <- span :: b.stack;
     Fun.protect
       ~finally:(fun () ->
@@ -109,13 +197,36 @@ let with_span ?(attrs = []) ?parent label f =
         (match b.stack with
         | s :: rest when s == span -> b.stack <- rest
         | stack -> b.stack <- List.filter (fun s -> s != span) stack);
-        b.closed <- span :: b.closed)
+        record b span)
       f
   end
 
-let spans () =
-  let buffers = with_lock registry_mutex (fun () -> !registry) in
-  let all = List.concat_map (fun b -> b.closed) buffers in
+let open_span ?(attrs = []) ?parent ?trace label =
+  if not (recording ()) then 0
+  else begin
+    let span = make_span ~stack:[] ?parent ?trace ~attrs label in
+    with_lock registry_mutex (fun () -> Hashtbl.replace open_tbl span.id span);
+    span.id
+  end
+
+let close_span ?(attrs = []) id =
+  if id <> 0 then
+    let found =
+      with_lock registry_mutex (fun () ->
+          match Hashtbl.find_opt open_tbl id with
+          | Some s ->
+              Hashtbl.remove open_tbl id;
+              Some s
+          | None -> None)
+    in
+    match found with
+    | None -> ()
+    | Some span ->
+        span.stop_us <- now_us ();
+        if attrs <> [] then span.attrs <- span.attrs @ attrs;
+        record (buffer ()) span
+
+let sort_spans all =
   List.sort
     (fun a b ->
       match compare a.start_us b.start_us with
@@ -123,8 +234,32 @@ let spans () =
       | c -> c)
     (List.filter (fun s -> s.stop_us >= 0) all)
 
+let spans () =
+  let buffers = with_lock registry_mutex (fun () -> !registry) in
+  sort_spans (List.concat_map (fun b -> b.closed) buffers)
+
+(* Ring contents across all domains.  Reads race with concurrent
+   recording on other domains — the recorder tolerates a torn view (a
+   span may be missed or seen twice across snapshots), same as
+   [spans]. *)
+let recorded () =
+  let buffers = with_lock registry_mutex (fun () -> !registry) in
+  let of_ring b =
+    let n = min b.ring_filled (Array.length b.ring) in
+    List.init n (fun i -> b.ring.(i))
+  in
+  sort_spans (List.concat_map of_ring buffers)
+
+let ring_stats () =
+  let buffers = with_lock registry_mutex (fun () -> !registry) in
+  List.fold_left
+    (fun (occ, dropped) b -> (occ + b.ring_filled, dropped + b.ring_dropped))
+    (0, 0) buffers
+
 let clear () =
-  with_lock registry_mutex (fun () -> registry := []);
+  with_lock registry_mutex (fun () ->
+      registry := [];
+      Hashtbl.reset open_tbl);
   Atomic.incr epoch
 
 (* ---- Chrome trace_event export ---- *)
@@ -171,6 +306,8 @@ let to_chrome_json spans =
            :: (match s.parent with
               | Some p -> [ Printf.sprintf "\"parent\":%d" p ]
               | None -> []))
+          @ (if s.trace = "" then []
+             else [ Printf.sprintf "\"trace\":\"%s\"" (json_escape s.trace) ])
           @ List.map
               (fun (k, v) ->
                 Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))

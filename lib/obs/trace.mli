@@ -1,20 +1,30 @@
 (** Hierarchical tracing spans over a shared monotonic clock.
 
-    Tracing is globally armed/disarmed; disarmed, an instrumented code
-    path costs a single atomic load.  Armed, each domain records into
-    its own buffer (no locks on the recording path), so [Parallel]
-    shards running on separate domains trace concurrently.  Completed
-    spans export as Chrome [trace_event] JSON that loads in
-    [about://tracing] or Perfetto, one timeline row per domain. *)
+    Spans feed two sinks.  Arming ({!arm}/{!disarm}) records everything
+    into unbounded per-domain buffers for {!spans}/{!export_chrome} —
+    the profiling mode.  Independently, a bounded per-domain ring (the
+    flight recorder, on by default — see {!set_ring_capacity}) always
+    holds the most recent spans, so a live server can reconstruct a
+    request after the fact without having been armed.  With both sinks
+    off an instrumented code path costs two atomic loads.  Recording
+    never takes a lock, so [Parallel] shards running on separate
+    domains trace concurrently.  Completed spans export as Chrome
+    [trace_event] JSON that loads in [about://tracing] or Perfetto, one
+    timeline row per domain.
+
+    Every span carries the request (trace) id it ran under, inherited
+    from the enclosing span on the same domain or passed explicitly at
+    domain boundaries. *)
 
 type span = {
   id : int;
   parent : int option;
   label : string;
+  trace : string;  (** request id; [""] when outside any request *)
   domain : int;  (** id of the domain that recorded the span *)
   start_us : int;  (** microseconds since process-local epoch *)
   mutable stop_us : int;
-  attrs : (string * string) list;
+  mutable attrs : (string * string) list;
 }
 
 val now_us : unit -> int
@@ -33,20 +43,70 @@ val disarm : unit -> unit
 
 val is_armed : unit -> bool
 
+val recording : unit -> bool
+(** True when any sink is on: armed, or ring capacity > 0.  Callers
+    that gate optional attribute work (statement text, shard counts)
+    should check this, not {!is_armed}, so the flight recorder sees the
+    same detail a profiling run would. *)
+
+val set_ring_capacity : int -> unit
+(** Resize the per-domain flight-recorder ring (spans kept per domain).
+    [0] disables the ring entirely, restoring the disarmed zero-cost
+    path.  Resizing discards current ring contents.  Default 2048. *)
+
+val ring_capacity_now : unit -> int
+
 val with_span :
-  ?attrs:(string * string) list -> ?parent:int -> string -> (unit -> 'a) -> 'a
-(** [with_span label f] runs [f] inside a new span when tracing is
-    armed, and is a transparent call-through when disarmed.  The parent
-    defaults to the innermost open span on the calling domain; pass
-    [?parent] explicitly when crossing domains (a spawned domain has no
-    open spans of its own).  The span closes even if [f] raises. *)
+  ?attrs:(string * string) list ->
+  ?parent:int ->
+  ?trace:string ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [with_span label f] runs [f] inside a new span when any sink is
+    recording, and is a transparent call-through otherwise.  The parent
+    defaults to the innermost open span on the calling domain, the
+    trace id to that span's; pass [?parent]/[?trace] explicitly when
+    crossing domains (a spawned domain has no open spans of its own).
+    The span closes even if [f] raises. *)
+
+val open_span :
+  ?attrs:(string * string) list ->
+  ?parent:int ->
+  ?trace:string ->
+  string ->
+  int
+(** Open a span that does not nest lexically — a queue wait opened on
+    the event loop and closed by whichever worker takes the job, a
+    request root spanning dispatch to completion.  The span lives in a
+    shared table (not the domain-local stack) until {!close_span},
+    which any domain may call.  Returns the span id, or [0] when
+    nothing is recording ([close_span 0] is a no-op). *)
+
+val close_span : ?attrs:(string * string) list -> int -> unit
+(** Close a span returned by {!open_span}, appending [attrs] to it and
+    recording it on the closing domain.  Unknown or [0] ids are
+    ignored. *)
 
 val current : unit -> int option
 (** Id of the innermost open span on this domain, for handing to a
-    child domain's [with_span ?parent].  [None] when disarmed. *)
+    child domain's [with_span ?parent].  [None] when nothing records. *)
+
+val current_trace : unit -> string
+(** Trace id of the innermost open span on this domain, for handing to
+    a child domain's [with_span ?trace].  [""] when there is none. *)
 
 val spans : unit -> span list
 (** All completed spans from the current arming, ordered by start time. *)
+
+val recorded : unit -> span list
+(** The flight-recorder ring contents across all domains, ordered by
+    start time.  A racy snapshot: concurrent recording on other domains
+    may tear it, which the recorder tolerates. *)
+
+val ring_stats : unit -> int * int
+(** [(occupancy, dropped)] summed over all domain rings: spans
+    currently held, and spans overwritten since the last resize. *)
 
 val clear : unit -> unit
 (** Drop recorded spans without changing the armed state. *)
@@ -54,7 +114,8 @@ val clear : unit -> unit
 val to_chrome_json : span list -> string
 (** Chrome [trace_event] JSON ([{"traceEvents": [...]}]): one complete
     ("ph":"X") event per span with ts/dur in microseconds, tid = domain
-    id, attrs as event args, plus thread-name metadata per domain. *)
+    id, attrs (and trace id) as event args, plus thread-name metadata
+    per domain. *)
 
 val export_chrome : unit -> string
 (** [to_chrome_json (spans ())]. *)

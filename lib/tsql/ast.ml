@@ -125,6 +125,8 @@ type statement =
   | Analyze of string  (* one sampled scan refreshing the relation's stats *)
   | Show_stats
   | Show_partitions
+  | Show_trace
+  | Show_recorder
 
 let window_to_string { w_start; w_stop } =
   Printf.sprintf "[%d,%s]" w_start
@@ -138,6 +140,8 @@ let statement_to_string = function
   | Analyze name -> "ANALYZE " ^ name
   | Show_stats -> "SHOW STATS"
   | Show_partitions -> "SHOW PARTITIONS"
+  | Show_trace -> "SHOW TRACE"
+  | Show_recorder -> "SHOW RECORDER"
   | Create_table { name; columns; boundaries } ->
       Printf.sprintf "CREATE TABLE %s (%s) PARTITION BY RANGE (vt)%s" name
         (String.concat ", "

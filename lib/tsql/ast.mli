@@ -128,6 +128,12 @@ type statement =
   | Show_partitions
       (** Print every partitioned relation's shard layout: ranges,
           cardinalities, I/O counters and pruning totals. *)
+  | Show_trace
+      (** Print the tracing context: current request id, armed state,
+          flight-recorder ring capacity and pressure. *)
+  | Show_recorder
+      (** Print the flight recorder's retention state: ring pressure
+          plus one line per pinned trace (id, reason, span count). *)
 
 val agg_fun_to_string : agg_fun -> string
 val op_to_string : comparison_op -> string

@@ -30,6 +30,8 @@ type token =
   | PARTITIONS
   | RANGE
   | JOIN
+  | TRACE
+  | RECORDER
   | IDENT of string
   | INT of int
   | FLOAT of float
@@ -82,6 +84,8 @@ let token_to_string = function
   | PARTITIONS -> "PARTITIONS"
   | RANGE -> "RANGE"
   | JOIN -> "JOIN"
+  | TRACE -> "TRACE"
+  | RECORDER -> "RECORDER"
   | IDENT s -> s
   | INT n -> string_of_int n
   | FLOAT f -> Printf.sprintf "%g" f
@@ -134,6 +138,8 @@ let keyword_of = function
   | "partitions" -> Some PARTITIONS
   | "range" -> Some RANGE
   | "join" -> Some JOIN
+  | "trace" -> Some TRACE
+  | "recorder" -> Some RECORDER
   | _ -> None
 
 let is_ident_start = function

@@ -37,6 +37,8 @@ type token =
   | PARTITIONS
   | RANGE
   | JOIN
+  | TRACE
+  | RECORDER
   | IDENT of string
   | INT of int
   | FLOAT of float

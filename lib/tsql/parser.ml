@@ -379,7 +379,13 @@ let statement st =
       | Lexer.PARTITIONS ->
           advance st;
           Ast.Show_partitions
-      | _ -> fail st "STATS or PARTITIONS")
+      | Lexer.TRACE ->
+          advance st;
+          Ast.Show_trace
+      | Lexer.RECORDER ->
+          advance st;
+          Ast.Show_recorder
+      | _ -> fail st "STATS, PARTITIONS, TRACE or RECORDER")
   | Lexer.CREATE -> (
       advance st;
       match peek st with
@@ -426,7 +432,8 @@ let statement st =
   | _ ->
       fail st
         "a statement (SELECT, EXPLAIN ANALYZE, CREATE, REFRESH, DROP, INSERT, \
-         DELETE, ANALYZE, SHOW STATS, SHOW PARTITIONS)"
+         DELETE, ANALYZE, SHOW STATS, SHOW PARTITIONS, SHOW TRACE, SHOW \
+         RECORDER)"
 
 let run_parser text parse_fn =
   match Lexer.tokenize text with

@@ -30,12 +30,14 @@ let kind_of = function
   | Ast.Show_stats -> "show-stats"
   | Ast.Create_table _ -> "create-table"
   | Ast.Show_partitions -> "show-partitions"
+  | Ast.Show_trace -> "show-trace"
+  | Ast.Show_recorder -> "show-recorder"
 
 (* Kinds in a stable display order. *)
 let kind_order =
   [ "select"; "insert"; "delete"; "create-table"; "create-view";
     "refresh-view"; "drop-view"; "explain-analyze"; "analyze"; "show-stats";
-    "show-partitions" ]
+    "show-partitions"; "show-trace"; "show-recorder" ]
 
 (* Latencies live in per-kind log-bucketed histograms (gamma 1.05, a 5%
    relative error bound on percentiles) instead of raw sample arrays:
@@ -161,7 +163,8 @@ let run ?(echo = false) ?(out = print_string) ?metrics_every ?slowlog session
           ignore
             (Obs.Slowlog.observe log ~kind
                ~statement:(Ast.statement_to_string stmt)
-               ~elapsed_ms:(dt_us /. 1000.) ?detail ~span_labels ())
+               ~elapsed_ms:(dt_us /. 1000.) ?detail ~span_labels
+               ?join:(Session.last_join session) ())
       | _ -> ());
       (match result with
       | Ok (Session.Rows rel) ->

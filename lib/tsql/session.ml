@@ -65,6 +65,10 @@ type t = {
       (* Where CREATE TABLE places partition directories; a temp dir is
          made on first use when none was given. *)
   split_threshold : int option;  (* Partition shard-split threshold. *)
+  mutable last_join : string option;
+      (* Join strategy chosen by the most recent statement's plan, with
+         a marker appended when the evaluation fell back to a
+         nested-loop retry — what the slow-query log records. *)
   mutable last_degradations : int;
       (* Degradations reported by the most recent statement — how the
          network server learns a guarded SELECT survived by falling
@@ -126,6 +130,7 @@ let create ?(cache_capacity = 128) ?(adaptive = true) ?data_dir
       adaptive;
       data_dir;
       split_threshold;
+      last_join = None;
       last_degradations = 0;
     }
   in
@@ -626,6 +631,10 @@ let select ?memory_budget ?deadline_ms ?on_error t (q : Ast.query) =
                 ~scanned:j.Semant.right_scanned ~pruned:j.Semant.right_pruned
           | _ -> ())
       | _ -> ());
+      (match plan.Semant.join with
+      | Some j ->
+          t.last_join <- Some (Join.Engine.strategy_to_string j.Semant.strategy)
+      | None -> ());
       if memory_budget = None && deadline_ms = None && on_error = None then
         let* rel = run_plan t plan in
         Ok (Rows rel)
@@ -640,6 +649,20 @@ let select ?memory_budget ?deadline_ms ?on_error t (q : Ast.query) =
         with
         | Ok { Eval.result; degradations } ->
             t.last_degradations <- List.length degradations;
+            (* A degradation event in a join stage means the planned
+               strategy was abandoned for the nested-loop retry; mark
+               the recorded strategy so the slowlog can tell them
+               apart. *)
+            (match t.last_join with
+            | Some chosen
+              when List.exists
+                     (fun d ->
+                       String.length d.Tempagg.Engine.stage >= 5
+                       && String.sub d.Tempagg.Engine.stage 0 5 = "join:")
+                     degradations ->
+                t.last_join <-
+                  Some (chosen ^ " -> nested-loop-join (fallback)")
+            | _ -> ());
             Ok (Rows result)
         | Error _ as e -> e
 
@@ -782,8 +805,12 @@ let analyze_relation t name =
 
 let show_stats t = Ok (Ack (Obs.Stats.store_to_string t.store))
 
+let show_trace () = Ok (Ack (Obs.Recorder.trace_status ()))
+let show_recorder () = Ok (Ack (Obs.Recorder.summary ()))
+
 let exec_statement ?memory_budget ?deadline_ms ?on_error t stmt =
   t.last_degradations <- 0;
+  t.last_join <- None;
   match stmt with
   | Ast.Select q -> select ?memory_budget ?deadline_ms ?on_error t q
   | Ast.Explain_analyze q -> explain_analyze t q
@@ -798,8 +825,11 @@ let exec_statement ?memory_budget ?deadline_ms ?on_error t stmt =
   | Ast.Create_table { name; columns; boundaries } ->
       create_table t name columns boundaries
   | Ast.Show_partitions -> show_partitions t
+  | Ast.Show_trace -> show_trace ()
+  | Ast.Show_recorder -> show_recorder ()
 
 let last_degradations t = t.last_degradations
+let last_join t = t.last_join
 
 let exec t text =
   let* stmt = Parser.parse_statement text in

@@ -74,6 +74,12 @@ val last_degradations : t -> int
 (** Number of degradations reported by the most recent statement
     (0 for a clean run, or when the statement took the unguarded path). *)
 
+val last_join : t -> string option
+(** Join strategy the most recent statement's plan chose (e.g.
+    ["sweep-join"]), with a marker appended when the evaluation
+    abandoned it for the nested-loop retry (["sweep-join ->
+    nested-loop-join (fallback)"]).  [None] for join-free statements. *)
+
 val catalog : t -> Catalog.t
 (** The current base relations, materialized as an immutable catalog. *)
 

@@ -124,8 +124,10 @@ let test_obs_section_artifacts () =
       let code, out = run [ "--smoke"; "--sections"; "obs"; "--json"; json ] in
       Alcotest.(check int) "exit 0" 0 code;
       Alcotest.(check bool) "prints the obs banner" true (contains out "obs:");
-      Alcotest.(check bool) "prints the overhead bar" true
-        (contains out "worst disarmed-trace overhead:");
+      Alcotest.(check bool) "prints the tracing-off bar" true
+        (contains out "worst tracing-off overhead:");
+      Alcotest.(check bool) "prints the recorder bar" true
+        (contains out "worst always-on-recorder overhead:");
       let trace = Filename.concat dir "BENCH_trace.json" in
       Alcotest.(check bool) "trace written" true (Sys.file_exists trace);
       let trace_text = In_channel.with_open_text trace In_channel.input_all in

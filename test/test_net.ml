@@ -18,10 +18,11 @@ let test_protocol_encode () =
     (Net.Protocol.encode (Net.Protocol.Busy "queue full"));
   Alcotest.(check string) "ok" "OK 2\na\nb\n"
     (Net.Protocol.encode
-       (Net.Protocol.Ok_reply { degraded = false; payload = [ "a"; "b" ] }));
+       (Net.Protocol.Ok_reply
+          { degraded = false; trace = None; payload = [ "a"; "b" ] }));
   Alcotest.(check string) "ok degraded" "OK 0 degraded\n"
     (Net.Protocol.encode
-       (Net.Protocol.Ok_reply { degraded = true; payload = [] }))
+       (Net.Protocol.Ok_reply { degraded = true; trace = None; payload = [] }))
 
 let test_protocol_clean_embedded_newlines () =
   (* Frame integrity: payload lines and error text can never smuggle a
@@ -30,7 +31,8 @@ let test_protocol_clean_embedded_newlines () =
     (Net.Protocol.encode (Net.Protocol.Err "a\nb"));
   Alcotest.(check string) "crlf collapsed" "OK 1\nx; y\n"
     (Net.Protocol.encode
-       (Net.Protocol.Ok_reply { degraded = false; payload = [ "x\r\ny" ] }))
+       (Net.Protocol.Ok_reply
+          { degraded = false; trace = None; payload = [ "x\r\ny" ] }))
 
 let test_protocol_parse_header () =
   let ok s = match Net.Protocol.parse_header s with Ok h -> h | Error e -> Alcotest.fail e in
@@ -40,15 +42,86 @@ let test_protocol_parse_header () =
   Alcotest.(check bool) "busy" true
     (ok "BUSY draining" = Net.Protocol.H_busy "draining");
   Alcotest.(check bool) "ok plain" true
-    (ok "OK 3" = Net.Protocol.H_ok { count = 3; degraded = false });
+    (ok "OK 3" = Net.Protocol.H_ok { count = 3; degraded = false; trace = None });
   Alcotest.(check bool) "ok degraded" true
-    (ok "OK 7 degraded" = Net.Protocol.H_ok { count = 7; degraded = true });
+    (ok "OK 7 degraded"
+    = Net.Protocol.H_ok { count = 7; degraded = true; trace = None });
   let rejected s =
     match Net.Protocol.parse_header s with Ok _ -> false | Error _ -> true
   in
   Alcotest.(check bool) "garbage" true (rejected "HELLO");
   Alcotest.(check bool) "bad count" true (rejected "OK x");
   Alcotest.(check bool) "negative count" true (rejected "OK -1")
+
+let test_protocol_trace_framing () =
+  Alcotest.(check bool) "valid id" true
+    (Net.Protocol.valid_trace_id "r1-2.x:y_Z");
+  Alcotest.(check bool) "empty id" false (Net.Protocol.valid_trace_id "");
+  Alcotest.(check bool) "space rejected" false
+    (Net.Protocol.valid_trace_id "a b");
+  Alcotest.(check bool) "overlong rejected" false
+    (Net.Protocol.valid_trace_id (String.make 65 'a'));
+  Alcotest.(check string) "ok with trace" "OK 1 trace=r7-1\nx\n"
+    (Net.Protocol.encode
+       (Net.Protocol.Ok_reply
+          { degraded = false; trace = Some "r7-1"; payload = [ "x" ] }));
+  Alcotest.(check string) "degraded and trace" "OK 0 degraded trace=a\n"
+    (Net.Protocol.encode
+       (Net.Protocol.Ok_reply
+          { degraded = true; trace = Some "a"; payload = [] }));
+  (* An invalid id is dropped rather than corrupting the header. *)
+  Alcotest.(check string) "invalid id dropped" "OK 0\n"
+    (Net.Protocol.encode
+       (Net.Protocol.Ok_reply
+          { degraded = false; trace = Some "a b"; payload = [] }));
+  let ok s =
+    match Net.Protocol.parse_header s with
+    | Ok h -> h
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "header with trace" true
+    (ok "OK 2 trace=r7-1"
+    = Net.Protocol.H_ok { count = 2; degraded = false; trace = Some "r7-1" });
+  Alcotest.(check bool) "degraded then trace" true
+    (ok "OK 2 degraded trace=r7-1"
+    = Net.Protocol.H_ok { count = 2; degraded = true; trace = Some "r7-1" });
+  let rejected s =
+    match Net.Protocol.parse_header s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "flags are ordered" true
+    (rejected "OK 2 trace=a degraded");
+  Alcotest.(check bool) "bad id in header rejected" true
+    (rejected "OK 2 trace=a;b")
+
+let test_protocol_trace_verbs () =
+  Alcotest.(check bool) "plain statement passes through" true
+    (Net.Protocol.split_trace "SELECT 1" = Ok (None, "SELECT 1"));
+  (match Net.Protocol.split_trace "TRACE c1-1 SELECT 1" with
+  | Ok (Some "c1-1", "SELECT 1") -> ()
+  | _ -> Alcotest.fail "TRACE prefix must split off");
+  (* TRACE DUMP is a verb, never a statement prefix. *)
+  Alcotest.(check bool) "dump passes through split" true
+    (Net.Protocol.split_trace "TRACE DUMP abc" = Ok (None, "TRACE DUMP abc"));
+  Alcotest.(check bool) "bad id rejected" true
+    (Result.is_error (Net.Protocol.split_trace "TRACE a!b SELECT 1"));
+  Alcotest.(check bool) "missing statement rejected" true
+    (Result.is_error (Net.Protocol.split_trace "TRACE abc"));
+  Alcotest.(check bool) "metrics verb" true
+    (Net.Protocol.metrics_request " metrics ");
+  Alcotest.(check bool) "metrics takes no arguments" false
+    (Net.Protocol.metrics_request "METRICS now");
+  (match Net.Protocol.trace_dump_request "trace dump" with
+  | Some (Ok None) -> ()
+  | _ -> Alcotest.fail "bare TRACE DUMP");
+  (match Net.Protocol.trace_dump_request "TRACE DUMP r1-1" with
+  | Some (Ok (Some "r1-1")) -> ()
+  | _ -> Alcotest.fail "TRACE DUMP with an id");
+  (match Net.Protocol.trace_dump_request "TRACE DUMP bad!id" with
+  | Some (Error _) -> ()
+  | _ -> Alcotest.fail "an invalid dump id is an error, not a statement");
+  match Net.Protocol.trace_dump_request "TRACE r1-1 SELECT 1" with
+  | None -> ()
+  | _ -> Alcotest.fail "a TRACE prefix is not the dump verb"
 
 let test_protocol_sleep () =
   Alcotest.(check bool) "parses" true
@@ -181,7 +254,7 @@ let with_server ?(config = Net.Server.default_config) f =
 
 (* (degraded, payload) of an [OK] reply; anything else fails the test. *)
 let expect_ok = function
-  | Ok (Net.Protocol.Ok_reply { degraded; payload }) -> (degraded, payload)
+  | Ok (Net.Protocol.Ok_reply { degraded; payload; _ }) -> (degraded, payload)
   | Ok other -> Alcotest.fail ("expected OK, got " ^ Net.Protocol.encode other)
   | Error e -> Alcotest.fail e
 
@@ -322,6 +395,164 @@ let test_e2e_graceful_drain_with_inflight () =
           Alcotest.(check bool) "the request ran" true
             (report.Net.Server.requests >= 1)))
 
+(* A traced statement leaves a reconstructable record: the reply echoes
+   the request id, and — with the slowlog threshold at 0, so every
+   statement pins as "slow" — the flight recorder holds the full span
+   tree: request root opened at accept-side dispatch, the queue wait,
+   the worker-side execute span, and the engine spans underneath, every
+   parent resolvable to the root within the same trace. *)
+let test_e2e_trace_span_tree () =
+  Obs.Recorder.clear ();
+  let config =
+    {
+      Net.Server.default_config with
+      Net.Server.slowlog = Some (Obs.Slowlog.create ~threshold_ms:0. ());
+    }
+  in
+  let id = "e2e-span-tree" in
+  with_server ~config (fun port report_of ->
+      let c = Net.Client.connect ~port () in
+      Fun.protect ~finally:(fun () -> Net.Client.close c) (fun () ->
+          match
+            Net.Client.request ~trace:id c
+              "SELECT COUNT(name) FROM Employed DURING [5,15]"
+          with
+          | Ok (Net.Protocol.Ok_reply { trace; _ }) ->
+              Alcotest.(check (option string)) "id echoed" (Some id) trace
+          | Ok other ->
+              Alcotest.fail ("expected OK, got " ^ Net.Protocol.encode other)
+          | Error e -> Alcotest.fail e);
+      ignore (report_of ()));
+  match Obs.Recorder.find id with
+  | None -> Alcotest.fail "a slow request must be pinned"
+  | Some p ->
+      Alcotest.(check string) "pinned as slow" "slow" p.Obs.Recorder.p_reason;
+      let spans = p.Obs.Recorder.p_spans in
+      let has l =
+        List.exists (fun (s : Obs.Trace.span) -> s.label = l) spans
+      in
+      List.iter
+        (fun l -> Alcotest.(check bool) ("span " ^ l) true (has l))
+        [ "request"; "queue-wait"; "execute" ];
+      Alcotest.(check bool) "engine spans nest under the request" true
+        (List.exists
+           (fun (s : Obs.Trace.span) ->
+             s.label <> "request" && s.label <> "queue-wait"
+             && s.label <> "execute")
+           spans);
+      let root =
+        List.find (fun (s : Obs.Trace.span) -> s.label = "request") spans
+      in
+      Alcotest.(check bool) "root has no parent" true (root.parent = None);
+      Alcotest.(check bool) "root records the outcome" true
+        (List.mem_assoc "outcome" root.attrs);
+      let tbl = Hashtbl.create 16 in
+      List.iter (fun (s : Obs.Trace.span) -> Hashtbl.replace tbl s.id s) spans;
+      List.iter
+        (fun (s : Obs.Trace.span) ->
+          Alcotest.(check string) "span carries the request id" id s.trace;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s duration non-negative" s.label)
+            true (s.stop_us >= s.start_us);
+          let rec walk guard (x : Obs.Trace.span) =
+            if guard = 0 then Alcotest.fail "parent cycle"
+            else
+              match x.parent with
+              | None ->
+                  Alcotest.(check int)
+                    (s.label ^ " reaches the request root")
+                    root.id x.id
+              | Some parent -> (
+                  match Hashtbl.find_opt tbl parent with
+                  | None ->
+                      Alcotest.fail
+                        (Printf.sprintf "parent %d of %s not in the trace"
+                           parent x.label)
+                  | Some px -> walk (guard - 1) px)
+          in
+          walk 64 s)
+        spans
+
+(* METRICS and TRACE DUMP are introspection verbs answered on the event
+   loop, like PING: a Prometheus exposition (build identity, uptime and
+   recorder gauges included) and a Chrome trace JSON dump. *)
+let test_e2e_metrics_and_dump_verbs () =
+  Obs.Recorder.clear ();
+  let config =
+    {
+      Net.Server.default_config with
+      Net.Server.slowlog = Some (Obs.Slowlog.create ~threshold_ms:0. ());
+    }
+  in
+  with_server ~config (fun port _report_of ->
+      let c = Net.Client.connect ~port () in
+      let id = "e2e-dump-verb" in
+      let contains hay needle =
+        let lh = String.length hay and ln = String.length needle in
+        let rec go i =
+          i + ln <= lh && (String.sub hay i ln = needle || go (i + 1))
+        in
+        go 0
+      in
+      Fun.protect ~finally:(fun () -> Net.Client.close c) (fun () ->
+          ignore
+            (expect_ok
+               (Net.Client.request ~trace:id c
+                  "SELECT COUNT(name) FROM Employed"));
+          let _, payload = expect_ok (Net.Client.request c "METRICS") in
+          let text = String.concat "\n" payload in
+          List.iter
+            (fun needle ->
+              Alcotest.(check bool) ("exposition has " ^ needle) true
+                (contains text needle))
+            [
+              "tempagg_build_info";
+              "tempagg_uptime_seconds";
+              "tempagg_recorder_ring_spans";
+              "tempagg_net_queued";
+            ];
+          let _, dump_lines =
+            expect_ok (Net.Client.request c ("TRACE DUMP " ^ id))
+          in
+          let dump = String.concat "\n" dump_lines in
+          Alcotest.(check bool) "chrome envelope" true
+            (contains dump "traceEvents");
+          Alcotest.(check bool) "dump holds the trace" true
+            (contains dump ("\"trace\":\"" ^ id ^ "\""));
+          match Net.Client.request c "TRACE DUMP bad!id" with
+          | Ok (Net.Protocol.Err _) -> ()
+          | _ -> Alcotest.fail "an invalid dump id must answer ERR"))
+
+(* Shed requests never reach a worker, but their trace is still worth
+   keeping: the dispatch path closes the root with outcome=shed and pins
+   it, so the BUSY is reconstructable after the fact. *)
+let test_e2e_shed_request_pinned () =
+  Obs.Recorder.clear ();
+  with_server ~config:saturation_config (fun port _report_of ->
+      let blocker = Net.Client.connect ~port () in
+      let prober = Net.Client.connect ~port () in
+      Fun.protect
+        ~finally:(fun () ->
+          Net.Client.close blocker;
+          Net.Client.close prober)
+        (fun () ->
+          Net.Client.send blocker "SLEEP 300";
+          Unix.sleepf 0.1;
+          (match
+             Net.Client.request ~trace:"e2e-shed" prober
+               "SELECT COUNT(name) FROM Employed"
+           with
+          | Ok (Net.Protocol.Busy _) -> ()
+          | _ -> Alcotest.fail "the probe must shed");
+          (match Obs.Recorder.find "e2e-shed" with
+          | Some p ->
+              Alcotest.(check string) "pinned as shed" "shed"
+                p.Obs.Recorder.p_reason
+          | None -> Alcotest.fail "a shed request must be pinned");
+          match Net.Client.read_reply blocker with
+          | Ok (Net.Protocol.Ok_reply _) -> ()
+          | _ -> Alcotest.fail "blocker must get its reply"))
+
 let test_e2e_report_render () =
   with_server (fun port report_of ->
       let c = Net.Client.connect ~port () in
@@ -347,6 +578,9 @@ let () =
           Alcotest.test_case "frame integrity" `Quick
             test_protocol_clean_embedded_newlines;
           Alcotest.test_case "parse_header" `Quick test_protocol_parse_header;
+          Alcotest.test_case "trace framing" `Quick
+            test_protocol_trace_framing;
+          Alcotest.test_case "trace verbs" `Quick test_protocol_trace_verbs;
           Alcotest.test_case "sleep verb" `Quick test_protocol_sleep;
         ] );
       ( "admission",
@@ -371,6 +605,11 @@ let () =
             test_e2e_degraded_under_queueing;
           Alcotest.test_case "graceful drain with in-flight work" `Quick
             test_e2e_graceful_drain_with_inflight;
+          Alcotest.test_case "trace span tree" `Quick test_e2e_trace_span_tree;
+          Alcotest.test_case "METRICS and TRACE DUMP verbs" `Quick
+            test_e2e_metrics_and_dump_verbs;
+          Alcotest.test_case "shed request pinned" `Quick
+            test_e2e_shed_request_pinned;
           Alcotest.test_case "report renders" `Quick test_e2e_report_render;
         ] );
     ]

@@ -207,6 +207,142 @@ let test_trace_chrome_export () =
   Obs.Trace.disarm ()
 
 (* ------------------------------------------------------------------ *)
+(* Flight recorder: ring sink and retention policy                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The ring records even while disarmed — that is the always-on flight
+   recorder — without touching the armed buffer; capacity 0 restores
+   the true zero-cost path. *)
+let test_trace_ring_always_on () =
+  Obs.Trace.disarm ();
+  Obs.Trace.clear ();
+  Obs.Trace.set_ring_capacity 2048;
+  let r = Obs.Trace.with_span ~trace:"ring-t1" "ring-span" (fun () -> 7) in
+  Alcotest.(check int) "value passes through" 7 r;
+  Alcotest.(check int) "armed buffer untouched" 0
+    (List.length (Obs.Trace.spans ()));
+  let mine =
+    List.filter
+      (fun (s : Obs.Trace.span) -> s.trace = "ring-t1")
+      (Obs.Trace.recorded ())
+  in
+  Alcotest.(check int) "ring holds the span" 1 (List.length mine);
+  (* Non-lexical spans: opened on one domain, closed (with outcome
+     attrs) wherever the work ends. *)
+  let id = Obs.Trace.open_span ~trace:"ring-t1" "open-close" in
+  Alcotest.(check bool) "live span id" true (id > 0);
+  Obs.Trace.close_span ~attrs:[ ("outcome", "ok") ] id;
+  Obs.Trace.close_span id;
+  (* double close is a no-op *)
+  Obs.Trace.close_span 0;
+  (* as is the not-recording sentinel *)
+  let oc =
+    List.filter
+      (fun (s : Obs.Trace.span) -> s.label = "open-close")
+      (Obs.Trace.recorded ())
+  in
+  (match oc with
+  | [ s ] ->
+      Alcotest.(check bool) "closed" true (s.stop_us >= s.start_us);
+      Alcotest.(check string) "inherits nothing, keeps its trace" "ring-t1"
+        s.trace;
+      Alcotest.(check (list (pair string string)))
+        "close attrs appended"
+        [ ("outcome", "ok") ]
+        s.attrs
+  | other ->
+      Alcotest.fail
+        (Printf.sprintf "expected one open-close span, got %d"
+           (List.length other)));
+  Obs.Trace.set_ring_capacity 0;
+  Alcotest.(check bool) "capacity 0 turns recording off" false
+    (Obs.Trace.recording ());
+  Alcotest.(check int) "open_span disabled" 0 (Obs.Trace.open_span "nope");
+  ignore (Obs.Trace.with_span ~trace:"ring-t2" "nope" (fun () -> ()));
+  Alcotest.(check int) "nothing recorded" 0
+    (List.length (Obs.Trace.recorded ()));
+  Obs.Trace.set_ring_capacity 2048
+
+(* Tail-based retention: a pinned trace survives ring wrap while the
+   fast-OK noise that wrapped it is what gets evicted. *)
+let test_recorder_tail_retention () =
+  Obs.Recorder.clear ();
+  Obs.Trace.disarm ();
+  Obs.Trace.set_ring_capacity 64;
+  Obs.Trace.with_span ~trace:"keep-1" "interesting" (fun () ->
+      Obs.Trace.with_span "inner" (fun () -> ()));
+  Obs.Recorder.pin ~trace:"keep-1" ~reason:"slow";
+  (match Obs.Recorder.find "keep-1" with
+  | Some p ->
+      Alcotest.(check int) "both spans pinned" 2 (List.length p.p_spans);
+      Alcotest.(check string) "reason" "slow" p.p_reason
+  | None -> Alcotest.fail "pin must capture the trace");
+  (* Re-pinning while the spans are still live replaces the entry. *)
+  Obs.Recorder.pin ~trace:"keep-1" ~reason:"error";
+  (match Obs.Recorder.find "keep-1" with
+  | Some p -> Alcotest.(check string) "last reason wins" "error" p.p_reason
+  | None -> Alcotest.fail "re-pin must keep the trace");
+  Alcotest.(check int) "replaced, not duplicated" 1
+    (List.length
+       (List.filter
+          (fun (p : Obs.Recorder.pinned) -> p.p_trace = "keep-1")
+          (Obs.Recorder.pinned ())));
+  (* Flood the ring with fast-OK noise until the trace wraps out... *)
+  for i = 1 to 256 do
+    Obs.Trace.with_span
+      ~trace:(Printf.sprintf "noise-%d" i)
+      "fast-ok"
+      (fun () -> ())
+  done;
+  let occupancy, dropped = Obs.Trace.ring_stats () in
+  Alcotest.(check int) "ring at capacity" 64 occupancy;
+  Alcotest.(check bool) "overwrites counted" true (dropped > 0);
+  Alcotest.(check bool) "the ring no longer holds the trace" true
+    (List.for_all
+       (fun (s : Obs.Trace.span) -> s.trace <> "keep-1")
+       (Obs.Trace.recorded ()));
+  (* ...but the pinned copy survives and the dump reconstructs it. *)
+  (match Obs.Recorder.find "keep-1" with
+  | Some p -> Alcotest.(check int) "spans retained" 2 (List.length p.p_spans)
+  | None -> Alcotest.fail "pinned trace must survive ring wrap");
+  check_contains "dump restricted to the trace"
+    (Obs.Recorder.dump ~trace:"keep-1" ())
+    "\"trace\":\"keep-1\"";
+  (* Pinning a trace the rings never saw is a no-op. *)
+  Obs.Recorder.pin ~trace:"absent" ~reason:"slow";
+  Alcotest.(check bool) "unknown trace not pinned" true
+    (Obs.Recorder.find "absent" = None);
+  (* The pinned store itself is bounded, FIFO. *)
+  Obs.Recorder.clear ();
+  Obs.Recorder.configure ~max_pinned:2 ();
+  List.iter
+    (fun t ->
+      Obs.Trace.with_span ~trace:t "s" (fun () -> ());
+      Obs.Recorder.pin ~trace:t ~reason:"slow")
+    [ "fifo-1"; "fifo-2"; "fifo-3" ];
+  Alcotest.(check bool) "oldest evicted" true
+    (Obs.Recorder.find "fifo-1" = None);
+  Alcotest.(check bool) "newest kept" true
+    (Obs.Recorder.find "fifo-3" <> None);
+  Alcotest.(check int) "bounded" 2 (List.length (Obs.Recorder.pinned ()));
+  (* Occupancy and pressure fold into the scrape registry. *)
+  let r = Obs.Metrics.create () in
+  Obs.Recorder.to_metrics r;
+  Alcotest.(check (option (float 0.)))
+    "pinned gauge" (Some 2.)
+    (Obs.Metrics.value r "tempagg_recorder_pinned_traces");
+  Alcotest.(check bool) "drop counter exposed" true
+    (match Obs.Metrics.value r "tempagg_recorder_ring_dropped_total" with
+    | Some v -> v > 0.
+    | None -> false);
+  check_contains "SHOW RECORDER summary" (Obs.Recorder.summary ()) "pinned=2/2";
+  check_contains "SHOW TRACE status" (Obs.Recorder.trace_status ())
+    "ring-capacity=64";
+  Obs.Recorder.configure ~max_pinned:64 ();
+  Obs.Recorder.clear ();
+  Obs.Trace.set_ring_capacity 2048
+
+(* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -328,6 +464,91 @@ let test_metrics_family_semantics () =
     (match Obs.Metrics.gauge r ~labels:[ ("kind", "d") ] "fam_total" with
     | _ -> false
     | exception Invalid_argument _ -> true)
+
+(* [write_file] publishes the exposition with a temp-file-plus-rename,
+   so a scraper reading the path concurrently sees either the previous
+   complete exposition or the new one — never a torn write. *)
+let test_metrics_write_file_atomic () =
+  let r = Obs.Metrics.create () in
+  Obs.Metrics.set (Obs.Metrics.gauge r ~help:"Queue depth" "app_queue_depth") 7.;
+  let expected = Obs.Metrics.expose r in
+  let path = Filename.temp_file "tempagg-metrics" ".prom" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove path with Sys_error _ -> ());
+      try Sys.remove (path ^ ".tmp") with Sys_error _ -> ())
+    (fun () ->
+      Obs.Metrics.write_file r path;
+      let stop = Atomic.make false in
+      let reader =
+        Domain.spawn (fun () ->
+            let reads = ref 0 and torn = ref 0 in
+            while not (Atomic.get stop) do
+              let ic = open_in_bin path in
+              let text = really_input_string ic (in_channel_length ic) in
+              close_in ic;
+              incr reads;
+              if text <> expected then incr torn
+            done;
+            (!reads, !torn))
+      in
+      for _ = 1 to 500 do
+        Obs.Metrics.write_file r path
+      done;
+      Atomic.set stop true;
+      let reads, torn = Domain.join reader in
+      Alcotest.(check bool) "reader sampled the file" true (reads > 0);
+      Alcotest.(check int) "no torn read" 0 torn)
+
+let test_build_info_metrics () =
+  let r = Obs.Metrics.create () in
+  Obs.Build_info.to_metrics r;
+  let text = Obs.Metrics.expose r in
+  check_contains "identity gauge" text
+    (Printf.sprintf "tempagg_build_info{version=\"%s\"} 1"
+       Obs.Build_info.version);
+  check_contains "uptime gauge" text "tempagg_uptime_seconds";
+  Alcotest.(check bool) "uptime is non-negative" true
+    (Obs.Build_info.uptime_seconds () >= 0.);
+  (* Refreshing folds in place: still one sample per scrape. *)
+  Obs.Build_info.to_metrics r;
+  Alcotest.(check int) "one build_info sample" 1
+    (List.length
+       (List.filter
+          (fun l -> contains l "tempagg_build_info{")
+          (String.split_on_char '\n' (Obs.Metrics.expose r))))
+
+(* ------------------------------------------------------------------ *)
+(* Slowlog: join strategy and request id                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_slowlog_join_trace_fields () =
+  let log = Obs.Slowlog.create ~threshold_ms:0. () in
+  ignore
+    (Obs.Slowlog.observe log ~kind:"select"
+       ~statement:"SELECT COUNT(*) FROM a JOIN b ON a.vt OVERLAPS b.vt"
+       ~elapsed_ms:12.5
+       ~join:"sweep-join -> nested-loop-join (fallback)" ~trace:"r3-1" ());
+  ignore
+    (Obs.Slowlog.observe log ~kind:"select" ~statement:"SELECT 1"
+       ~elapsed_ms:1.0 ());
+  (match Obs.Slowlog.entries log with
+  | [ plain; joined ] ->
+      Alcotest.(check (option string))
+        "strategy and fallback recorded"
+        (Some "sweep-join -> nested-loop-join (fallback)")
+        joined.Obs.Slowlog.join;
+      Alcotest.(check (option string))
+        "request id recorded" (Some "r3-1") joined.Obs.Slowlog.trace;
+      Alcotest.(check (option string))
+        "absent stays None" None plain.Obs.Slowlog.join
+  | other ->
+      Alcotest.fail (Printf.sprintf "expected 2 entries, got %d" (List.length other)));
+  let json = Obs.Slowlog.to_json log in
+  check_contains "join in json" json
+    "\"join\": \"sweep-join -> nested-loop-join (fallback)\"";
+  check_contains "trace in json" json "\"trace\": \"r3-1\"";
+  check_contains "null when absent" json "\"join\": null"
 
 (* ------------------------------------------------------------------ *)
 (* Adapters                                                            *)
@@ -627,6 +848,12 @@ let () =
             test_trace_parallel_span_tree;
           Alcotest.test_case "chrome export" `Quick test_trace_chrome_export;
         ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "ring always on" `Quick test_trace_ring_always_on;
+          Alcotest.test_case "tail retention" `Quick
+            test_recorder_tail_retention;
+        ] );
       ( "metrics",
         [
           Alcotest.test_case "registry" `Quick test_metrics_registry;
@@ -636,7 +863,15 @@ let () =
             test_metrics_histogram_exposition;
           Alcotest.test_case "family semantics" `Quick
             test_metrics_family_semantics;
+          Alcotest.test_case "write_file is atomic" `Quick
+            test_metrics_write_file_atomic;
+          Alcotest.test_case "build info" `Quick test_build_info_metrics;
           Alcotest.test_case "adapters" `Quick test_adapters;
+        ] );
+      ( "slowlog",
+        [
+          Alcotest.test_case "join and trace fields" `Quick
+            test_slowlog_join_trace_fields;
         ] );
       ( "profile",
         [

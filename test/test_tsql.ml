@@ -627,6 +627,40 @@ let test_session_rejections () =
     (String.length (exec_err s "SELECT Name, COUNT(*) FROM hc GROUP BY Name")
     > 0)
 
+let test_show_trace_and_recorder () =
+  (match Tsql.Parser.parse_statement "show trace" with
+  | Ok Tsql.Ast.Show_trace -> ()
+  | Ok other ->
+      Alcotest.fail ("parsed to " ^ Tsql.Ast.statement_to_string other)
+  | Error msg -> Alcotest.fail msg);
+  (match Tsql.Parser.parse_statement "SHOW RECORDER;" with
+  | Ok Tsql.Ast.Show_recorder -> ()
+  | Ok other ->
+      Alcotest.fail ("parsed to " ^ Tsql.Ast.statement_to_string other)
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check string)
+    "canonical form" "SHOW TRACE"
+    (Tsql.Ast.statement_to_string Tsql.Ast.Show_trace);
+  Alcotest.(check string)
+    "canonical form" "SHOW RECORDER"
+    (Tsql.Ast.statement_to_string Tsql.Ast.Show_recorder);
+  (match Tsql.Parser.parse_statement "SHOW nonsense" with
+  | Ok _ -> Alcotest.fail "unknown SHOW must fail"
+  | Error msg ->
+      Alcotest.(check bool) "error lists the new forms" true
+        (contains msg "TRACE" && contains msg "RECORDER"));
+  let s = session () in
+  (match exec s "SHOW TRACE" with
+  | Tsql.Session.Ack msg ->
+      Alcotest.(check bool) "status line" true
+        (contains msg "trace:" && contains msg "ring-capacity=")
+  | Tsql.Session.Rows _ -> Alcotest.fail "expected an ack");
+  match exec s "SHOW RECORDER" with
+  | Tsql.Session.Ack msg ->
+      Alcotest.(check bool) "summary line" true
+        (contains msg "recorder:" && contains msg "pinned=")
+  | Tsql.Session.Rows _ -> Alcotest.fail "expected an ack"
+
 (* ------------------------------------------------------------------ *)
 (* Serve                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -747,6 +781,7 @@ let () =
             test_session_cache_hits_and_precise_invalidation;
           quick "refresh and drop" test_session_refresh_and_drop;
           quick "rejections" test_session_rejections;
+          quick "SHOW TRACE / SHOW RECORDER" test_show_trace_and_recorder;
         ] );
       ( "serve",
         [
