@@ -603,7 +603,8 @@ let write_slowlog slowlog slowlog_out =
 let serve_net bindings cache_capacity no_adaptive slowlog_ms slowlog_out
     data_dir split_threshold listen domains queue_depth degrade_watermark
     drain_timeout_ms idle_timeout_ms max_connections memory_budget deadline_ms
-    on_error metrics_out recorder_spans recorder_pinned recorder_out =
+    on_error metrics_out recorder_spans recorder_pinned recorder_out
+    scrape_every slo_file =
   let transport =
     if String.lowercase_ascii listen = "stdin" then Ok Net.Server.Stdio
     else
@@ -638,6 +639,22 @@ let serve_net bindings cache_capacity no_adaptive slowlog_ms slowlog_out
             | Some n -> Obs.Recorder.configure ~max_pinned:n ()
             | None -> ());
             let slowlog = make_slowlog slowlog_ms slowlog_out in
+            let slo =
+              match slo_file with
+              | None -> Ok []
+              | Some path -> Obs.Slo.parse_file path
+            in
+            match slo with
+            | Error msg -> `Error (false, "--slo: " ^ msg)
+            | Ok slo ->
+            (* Objectives need the self-relations: --slo implies
+               scraping at the default 1 s period. *)
+            let scrape_every_ms =
+              match (scrape_every, slo) with
+              | Some ms, _ -> Some ms
+              | None, _ :: _ -> Some 1000
+              | None, [] -> None
+            in
             let config =
               {
                 Net.Server.transport;
@@ -658,6 +675,9 @@ let serve_net bindings cache_capacity no_adaptive slowlog_ms slowlog_out
                 split_threshold;
                 slowlog;
                 recorder_out;
+                scrape_every_ms;
+                scrape_config = None;
+                slo;
               }
             in
             let srv =
@@ -755,7 +775,7 @@ let serve bindings cache_capacity echo metrics_every trace no_adaptive
     slowlog_ms slowlog_out data_dir split_threshold script listen domains
     queue_depth degrade_watermark drain_timeout_ms idle_timeout_ms
     max_connections memory_budget deadline_ms on_error metrics_out
-    recorder_spans recorder_pinned recorder_out =
+    recorder_spans recorder_pinned recorder_out scrape_every slo_file =
   match (listen, script) with
   | Some _, Some _ ->
       `Error (false, "--script and --listen are mutually exclusive")
@@ -765,7 +785,7 @@ let serve bindings cache_capacity echo metrics_every trace no_adaptive
         data_dir split_threshold listen domains queue_depth degrade_watermark
         drain_timeout_ms idle_timeout_ms max_connections memory_budget
         deadline_ms on_error metrics_out recorder_spans recorder_pinned
-        recorder_out
+        recorder_out scrape_every slo_file
   | None, Some script ->
       serve_script bindings cache_capacity echo metrics_every trace no_adaptive
         slowlog_ms slowlog_out data_dir split_threshold script
@@ -966,6 +986,37 @@ let serve_cmd =
              on SIGUSR1 and again when the server drains.  Without it \
              SIGUSR1 still dumps, to tempagg-recorder.json.")
   in
+  let scrape_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "scrape-every" ] ~docv:"MS"
+          ~doc:
+            "Self-scrape period: every $(docv) milliseconds the server \
+             samples its own metrics registry into the $(b,_metrics) and \
+             $(b,_requests) temporal relations (counters delta-encoded to \
+             rates, per-kind latency histograms to p50/p99 rows), bounded \
+             by retention with SPAN-aggregate downsampling.  Every \
+             session can then query the server about itself: \
+             $(b,SELECT AVG(value) FROM _metrics WHERE name = '...' \
+             DURING [a,b]).")
+  in
+  let slo_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slo" ] ~docv:"FILE"
+          ~doc:
+            "Service-level objectives, one per line: $(i,name) $(i,target) \
+             < $(i,threshold) over $(i,window) fast $(i,window) [kind \
+             $(i,k)], where target is error_ratio, p50 or p99.  Evaluated \
+             on every scrape tick (implies $(b,--scrape-every 1000) when \
+             not given) by compiling each objective to TSQL over the \
+             self-relations, with multi-window burn rates: both windows \
+             burning is a breach, one a warning.  Verdicts feed the \
+             tempagg_slo_* metrics, the $(b,SLO) verb / $(b,SHOW SLO) \
+             statement, and the final report's alert lines.")
+  in
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(
       ret
@@ -974,7 +1025,8 @@ let serve_cmd =
        $ split_threshold $ script $ listen $ domains $ queue_depth
        $ degrade_watermark $ drain_timeout_ms $ idle_timeout_ms
        $ max_connections $ memory_budget_arg $ deadline_arg $ on_error_arg
-       $ metrics_out $ recorder_spans $ recorder_pinned $ recorder_out))
+       $ metrics_out $ recorder_spans $ recorder_pinned $ recorder_out
+       $ scrape_every $ slo_file))
 
 (* client *)
 

@@ -112,6 +112,8 @@ let sleep_request line =
 let metrics_request line =
   String.uppercase_ascii (strip_request line) = "METRICS"
 
+let slo_request line = String.uppercase_ascii (strip_request line) = "SLO"
+
 (* TRACE DUMP [id]: an introspection verb, answered on the event loop.
    Distinguished from the [TRACE <id> <statement>] prefix by its second
    token. *)

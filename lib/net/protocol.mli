@@ -88,6 +88,10 @@ val sleep_request : string -> float option
 val metrics_request : string -> bool
 (** Whether the line is the [METRICS] verb (case-insensitive). *)
 
+val slo_request : string -> bool
+(** Whether the line is the [SLO] verb (case-insensitive): the latest
+    burn-rate report, answered on the event loop like [METRICS]. *)
+
 val trace_dump_request : string -> (string option, string) result option
 (** [Some (Ok id)] when the line is [TRACE DUMP [<id>]] ([None] = dump
     everything), [Some (Error _)] when it is a TRACE DUMP with a

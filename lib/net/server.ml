@@ -19,6 +19,14 @@ type config = {
   split_threshold : int option;
   slowlog : Obs.Slowlog.t option;
   recorder_out : string option;
+  scrape_every_ms : int option;
+      (* Self-scrape period; None turns the scraper (and the [_metrics]
+         / [_requests] self-relations) off. *)
+  scrape_config : Selfmon.Scrape.config option;
+      (* Retention/downsampling overrides; the period above wins over
+         its [tick_us]. *)
+  slo : Obs.Slo.objective list;
+      (* Objectives evaluated on every scrape tick (needs scraping). *)
 }
 
 let default_config =
@@ -41,6 +49,9 @@ let default_config =
     split_threshold = None;
     slowlog = None;
     recorder_out = None;
+    scrape_every_ms = None;
+    scrape_config = None;
+    slo = [];
   }
 
 type report = {
@@ -53,6 +64,10 @@ type report = {
   elapsed_s : float;
   drained : bool;
   metrics : Obs.Metrics.t;
+  scrapes : int;  (* self-scrape ticks taken (0 with scraping off) *)
+  slo_summary : string option;
+      (* Final rendered burn-rate report, alerts and worst windows
+         included — what the serve report prints below its totals. *)
 }
 
 (* A statement handed to a worker, carrying its request-trace context:
@@ -95,6 +110,10 @@ type conn = {
   mutable c_eof : bool;  (* no more input; still serving buffered lines *)
   mutable c_closing : bool;  (* discard pending, flush output, close *)
   mutable c_seq : int;  (* statements dispatched, for minted request ids *)
+  mutable c_scrape_version : int;
+      (* Scraper version the session's self-relations reflect; refreshed
+         on the event loop before a statement is submitted, the one
+         point where no worker owns the session. *)
   c_session : Tsql.Session.t;
 }
 
@@ -113,6 +132,15 @@ type t = {
   mutable next_conn_id : int;
   registry : Obs.Metrics.t;
   dump_requested : bool Atomic.t;  (* SIGUSR1 asked for a recorder dump *)
+  scraper : Selfmon.Scrape.t option;
+  mutable started_us : int;  (* set by [run]; feeds the uptime gauge *)
+  mutable metrics_text : string;
+      (* Cached exposition for worker-side SHOW METRICS.  Workers read
+         these two fields without a lock: a string-field read is a
+         single atomic load, so they see some complete recent text,
+         refreshed on the event loop. *)
+  mutable slo_text : string;  (* cached SHOW SLO / SLO-verb body *)
+  mutable slo_report : Obs.Slo.report option;  (* latest evaluation *)
 }
 
 let max_line_bytes = 65_536
@@ -137,6 +165,7 @@ let create ?(config = default_config) catalog =
   let wake_r, wake_w = Unix.pipe () in
   Unix.set_nonblock wake_r;
   Unix.set_nonblock wake_w;
+  let registry = Obs.Metrics.create () in
   {
     cfg = config;
     catalog;
@@ -152,8 +181,24 @@ let create ?(config = default_config) catalog =
     completions = [];
     conns = Hashtbl.create 64;
     next_conn_id = 0;
-    registry = Obs.Metrics.create ();
+    registry;
     dump_requested = Atomic.make false;
+    scraper =
+      (match config.scrape_every_ms with
+      | None -> None
+      | Some ms ->
+          let base =
+            Option.value config.scrape_config
+              ~default:Selfmon.Scrape.default_config
+          in
+          Some
+            (Selfmon.Scrape.create
+               ~config:{ base with Selfmon.Scrape.tick_us = ms * 1000 }
+               registry));
+    started_us = Obs.Trace.now_us ();
+    metrics_text = "";
+    slo_text = "no SLO objectives configured (serve with --slo FILE)";
+    slo_report = None;
   }
 
 let port t = t.bound_port
@@ -213,8 +258,50 @@ let refresh_admission_gauges t =
    identity, uptime, and flight-recorder pressure. *)
 let refresh_scrape_metrics t =
   refresh_admission_gauges t;
+  Obs.Metrics.set
+    (gauge t "tempagg_uptime_seconds"
+       "Seconds since the server started (monotonic clock)")
+    (float_of_int (Obs.Trace.now_us () - t.started_us) /. 1e6);
   Obs.Build_info.to_metrics t.registry;
   Obs.Recorder.to_metrics t.registry
+
+(* ---- self-scraping and SLO evaluation (event loop only) ---- *)
+
+(* One scrape tick: refresh the derived gauges, sample the registry into
+   the self-relations, then re-evaluate the objectives against them —
+   through the engine itself, so the SLO verdicts exercise the same
+   aggregation path the verdicts are about.  Also the point where the
+   worker-visible introspection strings are rebuilt. *)
+let scrape_tick t scraper ~now =
+  refresh_scrape_metrics t;
+  Selfmon.Scrape.scrape ~now_us:now scraper;
+  (match t.cfg.slo with
+  | [] -> ()
+  | objectives -> (
+      match Selfmon.Monitor.evaluate ~now_us:now scraper objectives with
+      | Ok report ->
+          Obs.Slo.to_metrics t.registry report;
+          t.slo_report <- Some report;
+          t.slo_text <- Obs.Slo.report_to_string report
+      | Error msg -> t.slo_text <- "SLO evaluation failed: " ^ msg));
+  t.metrics_text <- Obs.Metrics.expose t.registry
+
+(* Bring one connection's self-relations up to the scraper's current
+   version.  Called on the event loop while no worker owns the session
+   (dispatch only submits from that state), so the swap cannot race a
+   statement. *)
+let refresh_self_relations t conn =
+  match t.scraper with
+  | None -> ()
+  | Some scraper ->
+      let v = Selfmon.Scrape.version scraper in
+      if conn.c_scrape_version <> v then begin
+        conn.c_scrape_version <- v;
+        Tsql.Session.replace_base conn.c_session Selfmon.Scrape.metrics_name
+          (Selfmon.Scrape.metrics_relation scraper);
+        Tsql.Session.replace_base conn.c_session Selfmon.Scrape.requests_name
+          (Selfmon.Scrape.requests_relation scraper)
+      end
 
 (* ---- worker domains ---- *)
 
@@ -355,6 +442,10 @@ let new_session t id =
     (fun (name, dir) ->
       Tsql.Session.add_partition session name (Storage.Partition.load dir))
     t.cfg.partitions;
+  Tsql.Session.set_introspection
+    ~metrics:(fun () -> t.metrics_text)
+    ~slo:(fun () -> t.slo_text)
+    session;
   session
 
 let add_conn t ~tcp ~fd ~wfd =
@@ -375,9 +466,11 @@ let add_conn t ~tcp ~fd ~wfd =
       c_eof = false;
       c_closing = false;
       c_seq = 0;
+      c_scrape_version = -1;  (* force a refresh before the first statement *)
       c_session = new_session t id;
     }
   in
+  refresh_self_relations t conn;
   Hashtbl.replace t.conns id conn;
   Obs.Metrics.inc (m_accepted t);
   Obs.Metrics.set_int (m_active t) (Hashtbl.length t.conns);
@@ -508,6 +601,19 @@ let rec dispatch t conn =
                (Protocol.Ok_reply { degraded = false; trace = None; payload }));
           dispatch t conn
         end
+        else if Protocol.slo_request line then begin
+          (* Latest burn-rate report inline, like METRICS: the alerting
+             path must answer even at full saturation. *)
+          let payload =
+            List.filter
+              (fun l -> l <> "")
+              (String.split_on_char '\n' t.slo_text)
+          in
+          send conn
+            (Protocol.encode
+               (Protocol.Ok_reply { degraded = false; trace = None; payload }));
+          dispatch t conn
+        end
         else
           match Protocol.trace_dump_request line with
           | Some (Error msg) ->
@@ -530,6 +636,9 @@ let rec dispatch t conn =
                   send conn (Protocol.encode (Protocol.Err msg));
                   dispatch t conn
               | Ok (supplied, stmt) ->
+                  (* The last race-free moment to swap in fresh
+                     self-relations: no worker owns this session yet. *)
+                  refresh_self_relations t conn;
                   (* The request id: client-chosen via the TRACE prefix,
                      else minted here — every statement gets one. *)
                   let trace =
@@ -719,6 +828,7 @@ let run ?(signals = false) t =
            wake t))
   end;
   let started_us = now_us () in
+  t.started_us <- started_us;
   (* Touch every metric family once so a zero-traffic exposition still
      shows the full instrument panel. *)
   ignore (m_accepted t);
@@ -727,6 +837,10 @@ let run ?(signals = false) t =
   ignore (m_errors t);
   ignore (m_degraded t);
   refresh_scrape_metrics t;
+  (* The first scrape only records the delta baseline; intervals start
+     accruing from server start, not from the first later tick. *)
+  Option.iter (fun s -> scrape_tick t s ~now:started_us) t.scraper;
+  t.metrics_text <- Obs.Metrics.expose t.registry;
   let workers =
     Array.init t.cfg.domains (fun _ -> Domain.spawn (worker_loop t))
   in
@@ -762,6 +876,11 @@ let run ?(signals = false) t =
   let rec loop () =
     handle_completions t;
     refresh_admission_gauges t;
+    Option.iter
+      (fun s ->
+        let now = now_us () in
+        if Selfmon.Scrape.due s ~now_us:now then scrape_tick t s ~now)
+      t.scraper;
     if Atomic.exchange t.dump_requested false then begin
       try write_recorder_dump t
       with Sys_error _ | Unix.Unix_error _ -> ()
@@ -841,6 +960,11 @@ let run ?(signals = false) t =
         let next =
           if !draining then min next_idle !drain_deadline_us else next_idle
         in
+        let next =
+          match t.scraper with
+          | Some s -> min next (Selfmon.Scrape.next_due_us s)
+          | None -> next
+        in
         if next = max_int then 1.0
         else Float.max 0.01 (Float.min 1.0 (float_of_int (next - now) /. 1e6))
       in
@@ -879,6 +1003,9 @@ let run ?(signals = false) t =
   | Some _ -> (
       try write_recorder_dump t with Sys_error _ | Unix.Unix_error _ -> ())
   | None -> ());
+  (* One last scrape-and-evaluate so the report's SLO summary covers the
+     traffic right up to the drain. *)
+  Option.iter (fun s -> scrape_tick t s ~now:(now_us ())) t.scraper;
   let cval c = int_of_float (Obs.Metrics.counter_value c) in
   {
     accepted = cval (m_accepted t);
@@ -890,11 +1017,17 @@ let run ?(signals = false) t =
     elapsed_s = float_of_int (now_us () - started_us) /. 1e6;
     drained = not !forced;
     metrics = t.registry;
+    scrapes = (match t.scraper with Some s -> Selfmon.Scrape.ticks s | None -> 0);
+    slo_summary =
+      Option.map (fun r -> Obs.Slo.report_to_string r) t.slo_report;
   }
 
 let report_to_string r =
   Printf.sprintf
     "server: %d connection(s), %d request(s) in %.3f s — %d shed, %d \
-     error(s), %d degraded, %d idle-reaped, drain %s\n"
+     error(s), %d degraded, %d idle-reaped, drain %s%s\n%s"
     r.accepted r.requests r.elapsed_s r.shed r.errors r.degraded r.timed_out
     (if r.drained then "clean" else "forced")
+    (if r.scrapes > 0 then Printf.sprintf ", %d self-scrape(s)" r.scrapes
+     else "")
+    (match r.slo_summary with None -> "" | Some s -> s ^ "\n")

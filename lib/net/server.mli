@@ -5,7 +5,7 @@
 
     {b Architecture.}  One event-loop domain owns all socket I/O: it
     accepts connections, reads request lines, answers control verbs
-    ([PING]/[QUIT]/[METRICS]/[TRACE DUMP]) directly, and hands
+    ([PING]/[QUIT]/[METRICS]/[SLO]/[TRACE DUMP]) directly, and hands
     statements to the {!Admission} controller.  A fixed pool of worker domains executes
     admitted statements against the submitting connection's own
     {!Tsql.Session} (created from the shared catalog with a private
@@ -95,6 +95,20 @@ type config = {
           the flight-recorder dump (Chrome trace JSON, atomic
           temp+rename).  [None] still honors SIGUSR1 — it falls back
           to [tempagg-recorder.json] — but skips the exit dump. *)
+  scrape_every_ms : int option;
+      (** Self-scrape period: every tick (on the event loop, scheduled
+          off the monotonic clock) samples the server's own registry
+          into the [_metrics] / [_requests] temporal self-relations,
+          which every connection's session sees as ordinary queryable
+          relations.  [None] (the default) turns self-scraping off. *)
+  scrape_config : Selfmon.Scrape.config option;
+      (** Retention / downsampling / family overrides for the scraper;
+          [scrape_every_ms] wins over its [tick_us]. *)
+  slo : Obs.Slo.objective list;
+      (** Objectives re-evaluated on every scrape tick by running their
+          compiled TSQL against the self-relations.  Verdicts feed the
+          [tempagg_slo_*] metrics, the [SLO] verb / [SHOW SLO]
+          statement, and the report's {!report.slo_summary}. *)
 }
 
 val default_config : config
@@ -115,6 +129,11 @@ type report = {
   metrics : Obs.Metrics.t;
       (** Registry with the server gauges/counters and per-kind latency
           histograms, ready for {!Obs.Metrics.expose}. *)
+  scrapes : int;  (** Self-scrape ticks taken (0 with scraping off). *)
+  slo_summary : string option;
+      (** Final rendered burn-rate report — per-objective verdicts,
+          alert lines, worst windows — from a last scrape-and-evaluate
+          at drain.  [None] unless objectives were configured. *)
 }
 
 type t

@@ -100,6 +100,48 @@ let value t ?(labels = []) name =
   | Some { cell = { hist = None; value }; _ } -> Some value
   | _ -> None
 
+(* ---- structured enumeration ---- *)
+
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_kind : kind;
+  s_value : float;  (* counter/gauge value; a histogram's sum *)
+  s_count : int;  (* a histogram's observation count; 1 otherwise *)
+  s_buckets : (float * int) list;  (* non-empty (bound, count); [] unless histogram *)
+}
+
+let sorted_metrics t =
+  Hashtbl.fold (fun _ m acc -> m :: acc) t.tbl []
+  |> List.sort (fun a b ->
+         match compare a.name b.name with
+         | 0 -> compare a.labels b.labels
+         | c -> c)
+
+let samples t =
+  List.map
+    (fun m ->
+      match m.cell.hist with
+      | None ->
+          {
+            s_name = m.name;
+            s_labels = m.labels;
+            s_kind = m.kind;
+            s_value = m.cell.value;
+            s_count = 1;
+            s_buckets = [];
+          }
+      | Some h ->
+          {
+            s_name = m.name;
+            s_labels = m.labels;
+            s_kind = m.kind;
+            s_value = Histogram.sum h;
+            s_count = Histogram.count h;
+            s_buckets = Histogram.nonempty_buckets h;
+          })
+    (sorted_metrics t)
+
 (* ---- exposition ---- *)
 
 (* Prometheus prints counts as bare integers; keep that, and fall back
@@ -133,13 +175,7 @@ let label_string labels =
       ^ "}"
 
 let expose t =
-  let metrics =
-    Hashtbl.fold (fun _ m acc -> m :: acc) t.tbl []
-    |> List.sort (fun a b ->
-           match compare a.name b.name with
-           | 0 -> compare a.labels b.labels
-           | c -> c)
-  in
+  let metrics = sorted_metrics t in
   let buf = Buffer.create 1024 in
   (* # HELP / # TYPE are per metric family: emitted once per name, even
      when the family spans several label sets.  The help text may be

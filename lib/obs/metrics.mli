@@ -11,6 +11,8 @@ type t
 type counter
 type gauge
 
+type kind = Counter | Gauge | Histogram
+
 val create : unit -> t
 
 val counter : t -> ?help:string -> ?labels:(string * string) list -> string -> counter
@@ -42,6 +44,22 @@ val gauge_value : gauge -> float
 val value : t -> ?labels:(string * string) list -> string -> float option
 (** Current value of a registered counter or gauge ([None] for missing
     names and histograms). *)
+
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;  (** Sorted by key. *)
+  s_kind : kind;
+  s_value : float;  (** Counter/gauge value; a histogram's sum. *)
+  s_count : int;  (** A histogram's observation count; 1 otherwise. *)
+  s_buckets : (float * int) list;
+      (** A histogram's non-empty (upper bound, count) buckets in
+          ascending bound order; [[]] for counters and gauges. *)
+}
+
+val samples : t -> sample list
+(** Structured enumeration of every registered metric, in {!expose}'s
+    order (name, then labels) — what scrapers and tests should consume
+    instead of parsing the text exposition. *)
 
 val expose : t -> string
 (** Prometheus text exposition: metrics sorted by name then labels, one

@@ -1,0 +1,408 @@
+(* Declarative service-level objectives evaluated against the scraped
+   self-relations.
+
+   An objective bounds either the error ratio or a latency percentile
+   over a slow window, with a faster companion window for the standard
+   multi-window burn-rate rule: burn = observed / threshold, computed
+   over both windows; both burning (>= 1) is a breach, exactly one a
+   warning.  The fast window catches new regressions quickly, the slow
+   window keeps a short blip from paging.
+
+   The module is evaluation-agnostic: it compiles each objective to
+   TSQL query strings against the [_requests] self-relation and reads
+   the resulting (interval, value) rows back through a caller-supplied
+   callback, so it can live in the obs layer without depending on the
+   query engine.  All window arithmetic (time-weighted integrals,
+   per-window burn, worst-windows top-k) happens here, on rows the
+   callback already fetched once per objective. *)
+
+type target = Error_ratio | Latency_p of float
+
+type objective = {
+  o_name : string;
+  o_target : target;
+  o_threshold : float;  (* ratio bound, or latency bound in microseconds *)
+  o_window_us : int;  (* slow window *)
+  o_fast_us : int;  (* fast window *)
+  o_kind : string option;  (* restrict to one statement kind *)
+}
+
+type verdict = Pass | Warning | Breach
+
+let verdict_to_string = function
+  | Pass -> "ok"
+  | Warning -> "warning"
+  | Breach -> "breach"
+
+let verdict_to_int = function Pass -> 0 | Warning -> 1 | Breach -> 2
+
+let target_to_string = function
+  | Error_ratio -> "error_ratio"
+  | Latency_p p -> Printf.sprintf "p%g" (p *. 100.)
+
+(* ---- parsing ---- *)
+
+(* One objective per line:
+
+     <name> error_ratio < 0.01 over 1h fast 5m [kind select]
+     <name> p99 < 50ms over 5m fast 1m [kind select]
+
+   Durations take us/ms/s/m/h suffixes; latency thresholds are
+   durations too (stored in microseconds).  '#' and '--' start
+   comments; blank lines are skipped. *)
+
+let duration_us tok =
+  let num_end =
+    let n = String.length tok in
+    let rec scan i =
+      if i < n && (tok.[i] = '.' || (tok.[i] >= '0' && tok.[i] <= '9')) then
+        scan (i + 1)
+      else i
+    in
+    scan 0
+  in
+  if num_end = 0 then Error (Printf.sprintf "expected a duration, got %S" tok)
+  else
+    match float_of_string_opt (String.sub tok 0 num_end) with
+    | None -> Error (Printf.sprintf "expected a duration, got %S" tok)
+    | Some v -> (
+        let scale =
+          match String.sub tok num_end (String.length tok - num_end) with
+          | "us" | "" -> Some 1.
+          | "ms" -> Some 1e3
+          | "s" -> Some 1e6
+          | "m" -> Some 60e6
+          | "h" -> Some 3600e6
+          | _ -> None
+        in
+        match scale with
+        | Some s when v >= 0. -> Ok (int_of_float (v *. s))
+        | _ -> Error (Printf.sprintf "expected a duration, got %S" tok))
+
+let parse_line lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = String.trim line in
+  let line =
+    if String.length line >= 2 && String.sub line 0 2 = "--" then "" else line
+  in
+  let tokens =
+    List.filter (fun t -> t <> "") (String.split_on_char ' ' line)
+  in
+  let err msg = Error (Printf.sprintf "slo line %d: %s" lineno msg) in
+  match tokens with
+  | [] -> Ok None
+  | name :: target :: "<" :: threshold :: "over" :: window :: "fast" :: fast
+    :: rest -> (
+      let ( let* ) = Result.bind in
+      let* target, threshold =
+        match String.lowercase_ascii target with
+        | "error_ratio" -> (
+            match float_of_string_opt threshold with
+            | Some v when v > 0. -> Ok (Error_ratio, v)
+            | _ -> err (Printf.sprintf "bad error_ratio threshold %S" threshold)
+            )
+        | "p50" -> (
+            match duration_us threshold with
+            | Ok us when us > 0 -> Ok (Latency_p 0.5, float_of_int us)
+            | _ -> err (Printf.sprintf "bad latency threshold %S" threshold))
+        | "p99" -> (
+            match duration_us threshold with
+            | Ok us when us > 0 -> Ok (Latency_p 0.99, float_of_int us)
+            | _ -> err (Printf.sprintf "bad latency threshold %S" threshold))
+        | t ->
+            err
+              (Printf.sprintf
+                 "unknown target %S (error_ratio, p50 and p99 are supported)" t)
+      in
+      let* window_us =
+        match duration_us window with
+        | Ok us when us > 0 -> Ok us
+        | _ -> err (Printf.sprintf "bad window %S" window)
+      in
+      let* fast_us =
+        match duration_us fast with
+        | Ok us when us > 0 && us <= window_us -> Ok us
+        | Ok _ -> err "the fast window must not exceed the slow window"
+        | Error _ -> err (Printf.sprintf "bad fast window %S" fast)
+      in
+      let* kind =
+        match rest with
+        | [] -> Ok None
+        | [ "kind"; k ] -> Ok (Some k)
+        | _ -> err "trailing tokens (expected nothing or 'kind <k>')"
+      in
+      Ok
+        (Some
+           {
+             o_name = name;
+             o_target = target;
+             o_threshold = threshold;
+             o_window_us = window_us;
+             o_fast_us = fast_us;
+             o_kind = kind;
+           }))
+  | _ ->
+      err
+        "expected '<name> <target> < <threshold> over <window> fast <window> \
+         [kind <k>]'"
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line lineno line with
+        | Error _ as e -> e
+        | Ok None -> go (lineno + 1) acc rest
+        | Ok (Some o) -> go (lineno + 1) (o :: acc) rest)
+  in
+  let ( let* ) = Result.bind in
+  let* objectives = go 1 [] lines in
+  let rec dup = function
+    | [] -> None
+    | o :: rest ->
+        if List.exists (fun o' -> o'.o_name = o.o_name) rest then
+          Some o.o_name
+        else dup rest
+  in
+  match dup objectives with
+  | Some name -> Error (Printf.sprintf "duplicate objective %S" name)
+  | None -> Ok objectives
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> parse text
+
+(* ---- query compilation ---- *)
+
+let kind_filter o =
+  match o.o_kind with
+  | None -> ""
+  | Some k -> Printf.sprintf " AND kind = '%s'" k
+
+(* The queries an objective needs.  [?window] becomes the DURING clause,
+   which the grammar places between FROM and WHERE.  Error ratio divides
+   two time-weighted integrals; latency reads one percentile column. *)
+let queries ?window o =
+  let during =
+    match window with
+    | None -> ""
+    | Some (a, b) -> Printf.sprintf " DURING [%d,%d]" a b
+  in
+  match o.o_target with
+  | Error_ratio ->
+      ( Printf.sprintf
+          "SELECT SUM(rate) FROM _requests%s WHERE outcome = 'error'%s" during
+          (kind_filter o),
+        Some
+          (Printf.sprintf
+             "SELECT SUM(rate) FROM _requests%s WHERE outcome = 'ok'%s" during
+             (kind_filter o)) )
+  | Latency_p p ->
+      ( Printf.sprintf
+          "SELECT AVG(p%g_us) FROM _requests%s WHERE outcome = 'ok'%s"
+          (p *. 100.) during (kind_filter o),
+        None )
+
+(* ---- evaluation ---- *)
+
+type row = { row_start : int; row_stop : int; row_value : float }
+(* One constant-interval result row; [row_stop] is [max_int] for an
+   unbounded interval. *)
+
+type source = { query : string -> (row list, string) result }
+
+type window_burn = { wb_start : int; wb_stop : int; wb_burn : float }
+
+type evaluation = {
+  e_objective : objective;
+  e_observed_fast : float;
+  e_observed_slow : float;
+  e_fast : float;  (* burn rate over the fast window *)
+  e_slow : float;  (* burn rate over the slow window *)
+  e_verdict : verdict;
+  e_worst : window_burn list;  (* fast-width windows by burn, descending *)
+}
+
+type report = { r_now_us : int; r_evaluations : evaluation list }
+
+let max_burn = 1e9
+
+let overlap_len (a, b) row =
+  let lo = max a row.row_start and hi = min b row.row_stop in
+  if hi > lo then hi - lo else 0
+
+(* Integral of value x time over the window, plus the covered duration. *)
+let integrate window rows =
+  List.fold_left
+    (fun (integral, covered) row ->
+      let len = overlap_len window row in
+      ( integral +. (row.row_value *. float_of_int len),
+        covered + len ))
+    (0., 0) rows
+
+let observed_in o window num den =
+  match o.o_target with
+  | Error_ratio ->
+      let errors, _ = integrate window num in
+      let oks, _ = integrate window den in
+      if oks <= 0. then if errors <= 0. then 0. else infinity
+      else errors /. oks
+  | Latency_p _ ->
+      let integral, covered = integrate window num in
+      if covered = 0 then 0. else integral /. float_of_int covered
+
+let burn_of o observed =
+  if observed <= 0. then 0.
+  else Float.min max_burn (observed /. o.o_threshold)
+
+let evaluate_objective ~now_us source o =
+  let ( let* ) = Result.bind in
+  let slow_start = max 0 (now_us - o.o_window_us) in
+  let primary, denominator = queries ~window:(slow_start, now_us) o in
+  let* num = source.query primary in
+  let* den =
+    match denominator with
+    | None -> Ok []
+    | Some q -> source.query q
+  in
+  let slow_window = (slow_start, now_us) in
+  let fast_window = (max 0 (now_us - o.o_fast_us), now_us) in
+  let observed_slow = observed_in o slow_window num den in
+  let observed_fast = observed_in o fast_window num den in
+  let slow = burn_of o observed_slow in
+  let fast = burn_of o observed_fast in
+  let verdict =
+    if fast >= 1. && slow >= 1. then Breach
+    else if fast >= 1. || slow >= 1. then Warning
+    else Pass
+  in
+  (* Worst fast-width windows tiled back through the slow window, from
+     the rows already fetched — top-k troubled spots, not just the
+     current edge. *)
+  let windows = max 1 (o.o_window_us / o.o_fast_us) in
+  let worst =
+    List.init windows (fun i ->
+        let stop = now_us - (i * o.o_fast_us) in
+        let start = max 0 (stop - o.o_fast_us) in
+        {
+          wb_start = start;
+          wb_stop = stop;
+          wb_burn = burn_of o (observed_in o (start, stop) num den);
+        })
+    |> List.filter (fun wb -> wb.wb_stop > wb.wb_start)
+    |> List.sort (fun a b -> compare b.wb_burn a.wb_burn)
+  in
+  Ok
+    {
+      e_objective = o;
+      e_observed_fast = observed_fast;
+      e_observed_slow = observed_slow;
+      e_fast = fast;
+      e_slow = slow;
+      e_verdict = verdict;
+      e_worst = worst;
+    }
+
+let evaluate ~now_us source objectives =
+  let rec go acc = function
+    | [] -> Ok { r_now_us = now_us; r_evaluations = List.rev acc }
+    | o :: rest -> (
+        match evaluate_objective ~now_us source o with
+        | Error _ as e -> e
+        | Ok ev -> go (ev :: acc) rest)
+  in
+  go [] objectives
+
+(* ---- exposition ---- *)
+
+let to_metrics registry report =
+  Metrics.inc
+    (Metrics.counter registry ~help:"SLO evaluation passes"
+       "tempagg_slo_evaluations_total");
+  List.iter
+    (fun ev ->
+      let slo = ev.e_objective.o_name in
+      Metrics.set
+        (Metrics.gauge registry
+           ~help:"SLO burn rate (observed / threshold), by window"
+           ~labels:[ ("slo", slo); ("window", "fast") ]
+           "tempagg_slo_burn_rate")
+        ev.e_fast;
+      Metrics.set
+        (Metrics.gauge registry
+           ~help:"SLO burn rate (observed / threshold), by window"
+           ~labels:[ ("slo", slo); ("window", "slow") ]
+           "tempagg_slo_burn_rate")
+        ev.e_slow;
+      Metrics.set_int
+        (Metrics.gauge registry
+           ~help:"SLO verdict: 0 ok, 1 warning, 2 breach"
+           ~labels:[ ("slo", slo) ]
+           "tempagg_slo_verdict")
+        (verdict_to_int ev.e_verdict);
+      if ev.e_verdict = Breach then
+        Metrics.inc
+          (Metrics.counter registry ~help:"SLO breach verdicts"
+             ~labels:[ ("slo", slo) ]
+             "tempagg_slo_breaches_total"))
+    report.r_evaluations
+
+let objective_to_string o =
+  Printf.sprintf "%s %s < %s over %dus fast %dus%s" o.o_name
+    (target_to_string o.o_target)
+    (match o.o_target with
+    | Error_ratio -> Printf.sprintf "%g" o.o_threshold
+    | Latency_p _ -> Printf.sprintf "%gus" o.o_threshold)
+    o.o_window_us o.o_fast_us
+    (match o.o_kind with None -> "" | Some k -> " kind " ^ k)
+
+let evaluation_to_string ev =
+  let o = ev.e_objective in
+  Printf.sprintf "%s %s: %s observed fast %g slow %g (threshold %g) burn \
+                  fast %.2f slow %.2f"
+    (match ev.e_verdict with
+    | Breach -> "ALERT"
+    | Warning -> "warn "
+    | Pass -> "ok   ")
+    o.o_name
+    (target_to_string o.o_target)
+    ev.e_observed_fast ev.e_observed_slow o.o_threshold ev.e_fast ev.e_slow
+
+let worst_to_string ?(k = 5) ev =
+  match
+    List.filteri (fun i _ -> i < k)
+      (List.filter (fun wb -> wb.wb_burn > 0.) ev.e_worst)
+  with
+  | [] -> ""
+  | worst ->
+      Printf.sprintf "    worst windows: %s"
+        (String.concat "; "
+           (List.map
+              (fun wb ->
+                Printf.sprintf "[%d,%d) burn %.2f" wb.wb_start wb.wb_stop
+                  wb.wb_burn)
+              worst))
+
+let report_to_string ?(k = 5) report =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "slo: %d objective(s) at t=%dus\n"
+       (List.length report.r_evaluations)
+       report.r_now_us);
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf ("  " ^ evaluation_to_string ev ^ "\n");
+      match worst_to_string ~k ev with
+      | "" -> ()
+      | s -> Buffer.add_string buf (s ^ "\n"))
+    report.r_evaluations;
+  String.trim (Buffer.contents buf)
+
+let alerts report =
+  List.filter (fun ev -> ev.e_verdict <> Pass) report.r_evaluations

@@ -1,0 +1,104 @@
+(** Declarative service-level objectives over the scraped self-relations,
+    with multi-window burn-rate evaluation.
+
+    An objective bounds the error ratio or a latency percentile over a
+    slow window, with a faster companion window.  Burn rate is
+    [observed / threshold] per window; both windows burning ([>= 1]) is
+    a {!Breach}, exactly one a {!Warning} — the standard multi-window
+    rule, so a short blip warns while only a sustained regression pages.
+
+    The module is evaluation-agnostic: {!queries} compiles an objective
+    to TSQL query strings against the [_requests] self-relation (see
+    {!Selfmon.Scrape}), and {!evaluate} reads the resulting
+    (interval, value) rows back through a caller-supplied callback —
+    obs stays independent of the query engine while the engine stays
+    the only thing that computes temporal aggregates. *)
+
+type target =
+  | Error_ratio  (** Errored fraction of completed statements. *)
+  | Latency_p of float  (** A latency percentile: 0.5 or 0.99. *)
+
+type objective = {
+  o_name : string;
+  o_target : target;
+  o_threshold : float;
+      (** Ratio bound, or latency bound in microseconds. *)
+  o_window_us : int;  (** The slow window. *)
+  o_fast_us : int;  (** The fast window; at most [o_window_us]. *)
+  o_kind : string option;  (** Restrict to one statement kind. *)
+}
+
+type verdict = Pass | Warning | Breach
+
+val verdict_to_string : verdict -> string
+(** ["ok"], ["warning"] or ["breach"]. *)
+
+val verdict_to_int : verdict -> int
+(** 0, 1 or 2 — the [tempagg_slo_verdict] gauge encoding. *)
+
+val target_to_string : target -> string
+
+val parse : string -> (objective list, string) result
+(** One objective per line:
+    [<name> <target> < <threshold> over <window> fast <window> [kind <k>]]
+    where [<target>] is [error_ratio], [p50] or [p99]; durations (and
+    latency thresholds) take [us]/[ms]/[s]/[m]/[h] suffixes.  ['#'] and
+    ['--'] start comments.  Objective names must be unique. *)
+
+val parse_file : string -> (objective list, string) result
+
+val queries : ?window:int * int -> objective -> string * string option
+(** The TSQL queries the objective needs — the primary query and, for
+    {!Error_ratio}, the denominator query.  [?window] becomes the
+    DURING clause (placed between FROM and WHERE, where the grammar
+    wants it); without it the queries cover the whole timeline. *)
+
+type row = { row_start : int; row_stop : int; row_value : float }
+(** One constant-interval result row in chronons (microseconds);
+    [row_stop] is [max_int] for an unbounded interval. *)
+
+type source = { query : string -> (row list, string) result }
+(** Evaluate one single-aggregate TSQL query and return its rows,
+    omitting NULL-valued ones. *)
+
+type window_burn = { wb_start : int; wb_stop : int; wb_burn : float }
+
+type evaluation = {
+  e_objective : objective;
+  e_observed_fast : float;
+  e_observed_slow : float;
+  e_fast : float;  (** Burn rate over the fast window. *)
+  e_slow : float;  (** Burn rate over the slow window. *)
+  e_verdict : verdict;
+  e_worst : window_burn list;
+      (** Fast-width windows tiled back through the slow window, by
+          burn rate descending — the top-k worst-windows summary. *)
+}
+
+type report = { r_now_us : int; r_evaluations : evaluation list }
+
+val evaluate :
+  now_us:int -> source -> objective list -> (report, string) result
+(** Evaluate every objective at [now_us]: two queries at most per
+    objective (numerator and denominator over the slow window), all
+    window arithmetic — time-weighted integrals, burn rates, worst
+    windows — computed here from the fetched rows.  An error ratio with
+    zero completed work observes 0 when the error integral is 0 too
+    (no traffic is not an outage).  [Error _] on the first query the
+    source fails to evaluate. *)
+
+val to_metrics : Metrics.t -> report -> unit
+(** Fold a report into a registry: [tempagg_slo_burn_rate{slo,window}],
+    [tempagg_slo_verdict{slo}], [tempagg_slo_breaches_total{slo}] and
+    [tempagg_slo_evaluations_total]. *)
+
+val alerts : report -> evaluation list
+(** The evaluations whose verdict is not {!Pass}. *)
+
+val objective_to_string : objective -> string
+val evaluation_to_string : evaluation -> string
+
+val report_to_string : ?k:int -> report -> string
+(** Human-readable report: one line per objective ([ALERT]-prefixed on
+    a breach) plus up to [k] (default 5) worst windows per troubled
+    objective. *)

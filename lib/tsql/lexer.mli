@@ -39,6 +39,8 @@ type token =
   | JOIN
   | TRACE
   | RECORDER
+  | METRICS
+  | SLO
   | IDENT of string
   | INT of int
   | FLOAT of float

@@ -32,12 +32,15 @@ let kind_of = function
   | Ast.Show_partitions -> "show-partitions"
   | Ast.Show_trace -> "show-trace"
   | Ast.Show_recorder -> "show-recorder"
+  | Ast.Show_metrics -> "show-metrics"
+  | Ast.Show_slo -> "show-slo"
 
 (* Kinds in a stable display order. *)
 let kind_order =
   [ "select"; "insert"; "delete"; "create-table"; "create-view";
     "refresh-view"; "drop-view"; "explain-analyze"; "analyze"; "show-stats";
-    "show-partitions"; "show-trace"; "show-recorder" ]
+    "show-partitions"; "show-trace"; "show-recorder"; "show-metrics";
+    "show-slo" ]
 
 (* Latencies live in per-kind log-bucketed histograms (gamma 1.05, a 5%
    relative error bound on percentiles) instead of raw sample arrays:
@@ -116,6 +119,14 @@ let slow_detail session stmt =
 let run ?(echo = false) ?(out = print_string) ?metrics_every ?slowlog session
     statements =
   let registry = Obs.Metrics.create () in
+  (* SHOW METRICS answers with this loop's registry, refreshed at
+     execution time — safe here because the serve loop is
+     single-threaded. *)
+  Session.set_introspection
+    ~metrics:(fun () ->
+      refresh_session_metrics registry session;
+      Obs.Metrics.expose registry)
+    session;
   let latency kind =
     Obs.Metrics.histogram registry
       ~help:"Statement latency in microseconds, by statement kind"

@@ -73,6 +73,10 @@ type t = {
       (* Degradations reported by the most recent statement — how the
          network server learns a guarded SELECT survived by falling
          back rather than completing cleanly. *)
+  mutable metrics_provider : (unit -> string) option;
+      (* SHOW METRICS body — the host (CLI, network server) decides what
+         registry backs it. *)
+  mutable slo_provider : (unit -> string) option;  (* SHOW SLO body *)
 }
 
 let materialize base =
@@ -132,6 +136,8 @@ let create ?(cache_capacity = 128) ?(adaptive = true) ?data_dir
       split_threshold;
       last_join = None;
       last_degradations = 0;
+      metrics_provider = None;
+      slo_provider = None;
     }
   in
   List.iter
@@ -808,6 +814,54 @@ let show_stats t = Ok (Ack (Obs.Stats.store_to_string t.store))
 let show_trace () = Ok (Ack (Obs.Recorder.trace_status ()))
 let show_recorder () = Ok (Ack (Obs.Recorder.summary ()))
 
+let set_introspection ?metrics ?slo t =
+  (match metrics with Some f -> t.metrics_provider <- Some f | None -> ());
+  match slo with Some f -> t.slo_provider <- Some f | None -> ()
+
+let show_metrics t =
+  match t.metrics_provider with
+  | Some f -> Ok (Ack (f ()))
+  | None -> Ok (Ack "no metrics registry attached to this session")
+
+let show_slo t =
+  match t.slo_provider with
+  | Some f -> Ok (Ack (f ()))
+  | None ->
+      Ok (Ack "no SLO engine attached to this session (serve with --slo FILE)")
+
+(* Swap a base relation's contents wholesale — how the server pushes a
+   fresh scrape of the self-relations into every session.  Statistics
+   and cached results tied to the old contents are invalidated;
+   dependent views are rebuilt (incremental) or marked stale
+   (recompute), since a replacement has no per-tuple delta. *)
+let replace_base t name rel =
+  let key = fold name in
+  (match Hashtbl.find_opt t.bases key with
+  | Some base when not (Schema.equal base.schema (Trel.schema rel)) ->
+      invalid_arg
+        (Printf.sprintf "Session.replace_base: schema of %S changed" name)
+  | _ -> ());
+  add_base t name rel;
+  Obs.Stats.store_invalidate t.store key;
+  ignore (Live.Cache.invalidate t.cache ~scope:key ~interval:Interval.full);
+  Hashtbl.iter
+    (fun _ v ->
+      if String.equal v.source key then begin
+        (match v.strategy with
+        | Recompute r -> r.stale <- true
+        | Incremental _ -> (
+            let base = Hashtbl.find t.bases key in
+            match
+              Semant.analyze ~adaptive:t.adaptive (catalog t) v.definition
+            with
+            | Ok plan -> v.strategy <- Incremental (build_incremental t plan base)
+            | Error _ ->
+                v.strategy <-
+                  Recompute { rel = Trel.create v.out_schema []; stale = true }));
+        v.vversion <- v.vversion + 1
+      end)
+    t.views
+
 let exec_statement ?memory_budget ?deadline_ms ?on_error t stmt =
   t.last_degradations <- 0;
   t.last_join <- None;
@@ -827,6 +881,8 @@ let exec_statement ?memory_budget ?deadline_ms ?on_error t stmt =
   | Ast.Show_partitions -> show_partitions t
   | Ast.Show_trace -> show_trace ()
   | Ast.Show_recorder -> show_recorder ()
+  | Ast.Show_metrics -> show_metrics t
+  | Ast.Show_slo -> show_slo t
 
 let last_degradations t = t.last_degradations
 let last_join t = t.last_join

@@ -103,6 +103,22 @@ val store : t -> Obs.Stats.store
 (** The session's per-relation statistics store (shared with every
     catalog it materializes). *)
 
+val replace_base : t -> string -> Relation.Trel.t -> unit
+(** Swap a base relation's contents wholesale (registering the name if
+    new) — how hosts push a fresh scrape of the self-relations into a
+    session.  The relation's ordering statistics and overlapping cache
+    entries are invalidated; dependent incremental views are rebuilt
+    from the new contents, recompute views marked stale.
+    @raise Invalid_argument if the name exists with a different
+    schema. *)
+
+val set_introspection :
+  ?metrics:(unit -> string) -> ?slo:(unit -> string) -> t -> unit
+(** Attach the [SHOW METRICS] / [SHOW SLO] bodies.  Each statement calls
+    the provider at execution time; sessions without one answer with a
+    pointer at the flag that would attach it.  Providers must be safe to
+    call from whichever thread executes statements. *)
+
 val add_partition : t -> string -> Storage.Partition.t -> unit
 (** Register an opened {!Storage.Partition} as a base relation
     (replacing any same-named one): queries see its materialized tuples

@@ -109,6 +109,41 @@ let test_histogram_merge () =
     | () -> false
     | exception Invalid_argument _ -> true)
 
+(* Merging must not cost percentile accuracy: estimates over a merged
+   histogram stay within the same gamma (5%) relative-error bound of
+   the sorted oracle over the concatenated samples, exactly as if every
+   value had been observed in one histogram. *)
+let test_histogram_merge_oracle () =
+  let gen =
+    QCheck.make
+      ~print:QCheck.Print.(pair (list float) (list float))
+      QCheck.Gen.(
+        pair
+          (list_size (int_range 0 300) (float_range 0.05 2e6))
+          (list_size (int_range 1 300) (float_range 0.05 2e6)))
+  in
+  let prop (xs, ys) =
+    let a = Obs.Histogram.create () and b = Obs.Histogram.create () in
+    List.iter (Obs.Histogram.observe a) xs;
+    List.iter (Obs.Histogram.observe b) ys;
+    Obs.Histogram.merge_into ~into:a b;
+    let sorted = Array.of_list (xs @ ys) in
+    Array.sort compare sorted;
+    let gamma = Obs.Histogram.gamma a in
+    Obs.Histogram.count a = Array.length sorted
+    && Obs.Histogram.min_value a = sorted.(0)
+    && Obs.Histogram.max_value a = sorted.(Array.length sorted - 1)
+    && List.for_all
+         (fun p ->
+           let v = oracle_percentile sorted p in
+           let est = Obs.Histogram.percentile a p in
+           est >= v -. 1e-9 && est <= (v *. gamma) +. 1e-9)
+         [ 0.; 0.1; 0.5; 0.9; 0.99; 1. ]
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:200 ~name:"merge_into vs sorted-array oracle"
+       gen prop)
+
 (* ------------------------------------------------------------------ *)
 (* Trace                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -519,6 +554,132 @@ let test_build_info_metrics () =
           (String.split_on_char '\n' (Obs.Metrics.expose r))))
 
 (* ------------------------------------------------------------------ *)
+(* SLO objectives                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_slo_parse () =
+  (match
+     Obs.Slo.parse
+       "api error_ratio < 0.01 over 1h fast 5m kind select\n\
+        # a comment line\n\
+        -- another comment\n\n\
+        lat p99 < 50ms over 5m fast 1m"
+   with
+  | Ok [ o1; o2 ] ->
+      Alcotest.(check string) "name" "api" o1.Obs.Slo.o_name;
+      Alcotest.(check bool) "target" true
+        (o1.Obs.Slo.o_target = Obs.Slo.Error_ratio);
+      Alcotest.(check (float 0.)) "threshold" 0.01 o1.Obs.Slo.o_threshold;
+      Alcotest.(check int) "slow window in us" 3_600_000_000
+        o1.Obs.Slo.o_window_us;
+      Alcotest.(check int) "fast window in us" 300_000_000
+        o1.Obs.Slo.o_fast_us;
+      Alcotest.(check (option string)) "kind" (Some "select")
+        o1.Obs.Slo.o_kind;
+      Alcotest.(check bool) "p99 target" true
+        (o2.Obs.Slo.o_target = Obs.Slo.Latency_p 0.99);
+      Alcotest.(check (float 0.)) "latency threshold in us" 50_000.
+        o2.Obs.Slo.o_threshold
+  | Ok os -> Alcotest.failf "expected 2 objectives, got %d" (List.length os)
+  | Error msg -> Alcotest.failf "parse failed: %s" msg);
+  let rejected text =
+    match Obs.Slo.parse text with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "duplicate names rejected" true
+    (rejected "a error_ratio < 0.1 over 1m fast 1m\n\
+               a error_ratio < 0.2 over 1m fast 1m");
+  Alcotest.(check bool) "unknown target rejected" true
+    (rejected "a p95 < 1ms over 1m fast 1m");
+  Alcotest.(check bool) "fast wider than slow rejected" true
+    (rejected "a error_ratio < 0.1 over 1m fast 2m")
+
+(* The compiled queries must follow the TSQL grammar: DURING sits
+   between FROM and WHERE, and the kind filter rides the WHERE. *)
+let test_slo_queries () =
+  match
+    Obs.Slo.parse "api error_ratio < 0.01 over 1h fast 5m kind select"
+  with
+  | Ok [ o ] -> (
+      let primary, denominator = Obs.Slo.queries ~window:(5, 9) o in
+      Alcotest.(check string) "numerator"
+        "SELECT SUM(rate) FROM _requests DURING [5,9] WHERE outcome = \
+         'error' AND kind = 'select'"
+        primary;
+      match denominator with
+      | Some d ->
+          Alcotest.(check string) "denominator"
+            "SELECT SUM(rate) FROM _requests DURING [5,9] WHERE outcome = \
+             'ok' AND kind = 'select'"
+            d
+      | None -> Alcotest.fail "error_ratio needs a denominator query")
+  | _ -> Alcotest.fail "parse failed"
+
+(* A regression confined to the fast window: slow burn stays under 1,
+   fast burn crosses it — exactly one window burning is a warning.
+   Every integral is checkable by hand from the two constant rows. *)
+let test_slo_warning_oracle () =
+  let source =
+    {
+      Obs.Slo.query =
+        (fun q ->
+          let is_sub needle =
+            let lh = String.length q and ln = String.length needle in
+            let rec go i =
+              i + ln <= lh && (String.sub q i ln = needle || go (i + 1))
+            in
+            go 0
+          in
+          if is_sub "'error'" then
+            (* errors only over the last 2 of 10 seconds *)
+            Ok
+              [
+                {
+                  Obs.Slo.row_start = 8_000_000;
+                  row_stop = 10_000_000;
+                  row_value = 1.;
+                };
+              ]
+          else
+            Ok
+              [
+                {
+                  Obs.Slo.row_start = 0;
+                  row_stop = 10_000_000;
+                  row_value = 1.;
+                };
+              ]);
+    }
+  in
+  match Obs.Slo.parse "api error_ratio < 0.5 over 10s fast 2s" with
+  | Ok objectives -> (
+      match Obs.Slo.evaluate ~now_us:10_000_000 source objectives with
+      | Ok { Obs.Slo.r_evaluations = [ ev ]; _ } ->
+          (* slow: 2s of errors over 10s of oks = 0.2; burn 0.4.
+             fast: 2s of errors over 2s of oks = 1.0; burn 2.0. *)
+          Alcotest.(check (float 1e-9)) "slow observed" 0.2
+            ev.Obs.Slo.e_observed_slow;
+          Alcotest.(check (float 1e-9)) "fast observed" 1.
+            ev.Obs.Slo.e_observed_fast;
+          Alcotest.(check (float 1e-9)) "slow burn" 0.4 ev.Obs.Slo.e_slow;
+          Alcotest.(check (float 1e-9)) "fast burn" 2. ev.Obs.Slo.e_fast;
+          Alcotest.(check string) "one window burning warns" "warning"
+            (Obs.Slo.verdict_to_string ev.Obs.Slo.e_verdict);
+          (* The worst fast-width window is the troubled edge. *)
+          (match ev.Obs.Slo.e_worst with
+          | w :: _ ->
+              Alcotest.(check int) "worst window start" 8_000_000
+                w.Obs.Slo.wb_start;
+              Alcotest.(check (float 1e-9)) "worst window burn" 2.
+                w.Obs.Slo.wb_burn
+          | [] -> Alcotest.fail "worst windows must not be empty");
+          Alcotest.(check int) "warning is an alert" 1
+            (List.length (Obs.Slo.alerts { Obs.Slo.r_now_us = 10_000_000;
+                                           r_evaluations = [ ev ] }))
+      | Ok _ -> Alcotest.fail "expected one evaluation"
+      | Error msg -> Alcotest.failf "evaluate failed: %s" msg)
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+(* ------------------------------------------------------------------ *)
 (* Slowlog: join strategy and request id                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -839,6 +1000,8 @@ let () =
             test_histogram_oracle;
           Alcotest.test_case "basics" `Quick test_histogram_basics;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "merge vs sorted-array oracle" `Quick
+            test_histogram_merge_oracle;
         ] );
       ( "trace",
         [
@@ -867,6 +1030,13 @@ let () =
             test_metrics_write_file_atomic;
           Alcotest.test_case "build info" `Quick test_build_info_metrics;
           Alcotest.test_case "adapters" `Quick test_adapters;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "parse" `Quick test_slo_parse;
+          Alcotest.test_case "query compilation" `Quick test_slo_queries;
+          Alcotest.test_case "warning matches the hand oracle" `Quick
+            test_slo_warning_oracle;
         ] );
       ( "slowlog",
         [
